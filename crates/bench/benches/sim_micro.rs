@@ -1,0 +1,88 @@
+//! Microbenchmarks of simulator hot paths: cache lookups, DRAM booking,
+//! value-cache probing, and full engine fill/writeback operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::cache::SectoredCache;
+use gpu_sim::dram::DramChannel;
+use gpu_sim::{BackingMemory, DramConfig, SectorAddr, SecurityEngine};
+use plutus_core::{PlutusConfig, PlutusEngine, ValueCache, ValueCacheConfig};
+use secure_mem::{PssmEngine, SecureMemConfig};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("sectored_cache_access", |b| {
+        let mut cache = SectoredCache::new(96 * 1024, 16, 128, false);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            black_box(cache.access((i % 100_000) * 32, false, None).hit)
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_channel_access", |b| {
+        let mut d = DramChannel::new(DramConfig::default());
+        let mut i = 0u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            now += 2;
+            black_box(d.access(now, (i % 1_000_000) * 32, 32))
+        });
+    });
+}
+
+fn bench_value_cache(c: &mut Criterion) {
+    c.bench_function("value_cache_probe_insert", |b| {
+        let mut vc = ValueCache::new(ValueCacheConfig::default());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(61);
+            let v = i % 512;
+            vc.probe(v);
+            vc.insert(v);
+        });
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_ops");
+    g.bench_function("pssm_fill", |b| {
+        let mut engine = PssmEngine::new(SecureMemConfig::test_small());
+        let mut mem = BackingMemory::new();
+        for i in 0..512u64 {
+            engine.on_writeback(SectorAddr::new(i * 32), &[i as u8; 32], &mut mem);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 17) % 512;
+            black_box(engine.on_fill(SectorAddr::new(i * 32), &mut mem).crypto_latency)
+        });
+    });
+    g.bench_function("plutus_fill", |b| {
+        let mut engine = PlutusEngine::new(PlutusConfig::test_small());
+        let mut mem = BackingMemory::new();
+        for i in 0..512u64 {
+            engine.on_writeback(SectorAddr::new(i * 32), &[i as u8; 32], &mut mem);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 17) % 512;
+            black_box(engine.on_fill(SectorAddr::new(i * 32), &mut mem).crypto_latency)
+        });
+    });
+    g.bench_function("plutus_writeback", |b| {
+        let mut engine = PlutusEngine::new(PlutusConfig::test_small());
+        let mut mem = BackingMemory::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 29) % 2048;
+            engine.on_writeback(SectorAddr::new(i * 32), &[i as u8; 32], &mut mem);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_dram, bench_value_cache, bench_engines);
+criterion_main!(benches);

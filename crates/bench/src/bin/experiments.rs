@@ -1,0 +1,440 @@
+//! Regenerates every table and figure of the Plutus paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p plutus-bench --bin experiments -- <id> [--scale test|small|paper] [--workloads a,b,c]
+//! ```
+//!
+//! `<id>` ∈ {table1, table2, fig6, fig7, fig9, fig10, fig15, fig16, fig17,
+//! fig18, fig19, fig20, fig21, fig22, all}. Results print as tables and are
+//! saved as JSON under `target/experiments/`.
+
+use gpu_sim::GpuConfig;
+use plutus_bench::{geomean, matrix_table, run_matrix, save_json, EnergyModel, Measurement, Scheme};
+use plutus_core::value_analysis::analyze_trace;
+use secure_mem::SecureMemConfig;
+use workloads::{suite, Scale, WorkloadSpec};
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    workloads: Vec<WorkloadSpec>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut scale = Scale::Small;
+    let mut selected: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match argv.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}; expected test|small|paper");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--workloads" => {
+                i += 1;
+                selected = Some(
+                    argv.get(i)
+                        .map(|s| s.split(',').map(str::to_string).collect())
+                        .unwrap_or_default(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            id => experiment = id.to_string(),
+        }
+        i += 1;
+    }
+    let all = suite();
+    let workloads = match selected {
+        None => all,
+        Some(names) => {
+            let picked: Vec<WorkloadSpec> =
+                all.into_iter().filter(|w| names.iter().any(|n| n == w.name)).collect();
+            if picked.is_empty() {
+                eprintln!("no known workloads in {names:?}");
+                std::process::exit(2);
+            }
+            picked
+        }
+    };
+    Args { experiment, scale, workloads }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = GpuConfig::default();
+    let ids: Vec<&str> = if args.experiment == "all" {
+        vec![
+            "table1", "table2", "fig6", "fig7", "fig9", "fig10", "fig15", "fig16", "fig17",
+            "fig18", "fig19", "fig20", "fig21", "fig22",
+        ]
+    } else {
+        vec![args.experiment.as_str()]
+    };
+    for id in ids {
+        println!("\n=== {id} ===");
+        match id {
+            "table1" => table1(&cfg),
+            "table2" => table2(),
+            "fig6" => fig6(&args, &cfg),
+            "fig7" => fig7(&args, &cfg),
+            "fig9" => fig9(&args, &cfg),
+            "fig10" => fig10(&args),
+            "fig15" => ipc_figure("fig15", &args, &cfg, &[Scheme::Pssm, Scheme::ValueVerifyOnly]),
+            "fig16" => ipc_figure(
+                "fig16",
+                &args,
+                &cfg,
+                &[Scheme::Pssm, Scheme::FineLeafCoarseTree, Scheme::All32],
+            ),
+            "fig17" => ipc_figure(
+                "fig17",
+                &args,
+                &cfg,
+                &[Scheme::Pssm, Scheme::Compact2Bit, Scheme::Compact3Bit, Scheme::CompactAdaptive],
+            ),
+            "fig18" => fig18(&args, &cfg),
+            "fig19" => fig19(&args, &cfg),
+            "fig20" => ipc_figure("fig20", &args, &cfg, &[Scheme::PssmNoTree, Scheme::PlutusNoTree]),
+            "fig21" => ipc_figure(
+                "fig21",
+                &args,
+                &cfg,
+                &[
+                    Scheme::PlutusValueEntries(64),
+                    Scheme::PlutusValueEntries(128),
+                    Scheme::PlutusValueEntries(256),
+                    Scheme::PlutusValueEntries(512),
+                    Scheme::PlutusValueEntries(1024),
+                ],
+            ),
+            "fig22" => fig22(&args, &cfg),
+            "overheads" => overheads(),
+            "workloads" => workload_report(&args),
+            "ablations" => {
+                plutus_bench::ablations::run_all(&args.workloads, args.scale, &cfg);
+            }
+            other => {
+                eprintln!("unknown experiment {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn overheads() {
+    println!("Hardware/storage overheads (paper Section IV-F):");
+    println!(
+        "{:<14}{:>14}{:>12}{:>14}{:>12}{:>12}{:>12}{:>14}",
+        "config", "on-chip/part", "counters", "macs", "bmt", "cmpct-ctr", "cmpct-bmt", "off-chip %"
+    );
+    for r in plutus_core::overheads::section_4f_report() {
+        let protected = plutus_core::PlutusConfig::full().mem.protected_bytes;
+        println!(
+            "{:<14}{:>12} B{:>10} K{:>12} K{:>10} K{:>10} K{:>10} K{:>13.2}%",
+            r.label,
+            r.on_chip.total(),
+            r.off_chip.counters / 1024,
+            r.off_chip.macs / 1024,
+            r.off_chip.bmt / 1024,
+            r.off_chip.compact_counters / 1024,
+            r.off_chip.compact_bmt / 1024,
+            r.off_chip.fraction_of(protected) * 100.0
+        );
+    }
+}
+
+fn workload_report(args: &Args) {
+    println!("Synthetic benchmark characterization at {:?} scale:", args.scale);
+    println!(
+        "{:<14}{:>10}{:>10}{:>12}{:>8}{:>8}{:>10}{:>12}{:>12}",
+        "workload", "suite", "writes%", "footprint", "seq%", "hot10%", "reuse", "vals-exact", "vals-masked"
+    );
+    for w in &args.workloads {
+        let t = w.trace(args.scale);
+        let s = workloads::characterize(&t);
+        let c = workloads::value_census(&t);
+        println!(
+            "{:<14}{:>10}{:>9.1}%{:>10}KB{:>7.0}%{:>7.0}%{:>10.1}{:>12}{:>12}",
+            w.name,
+            w.suite.to_string(),
+            s.write_fraction * 100.0,
+            s.footprint_bytes / 1024,
+            s.sequential_fraction * 100.0,
+            s.hot_tenth_fraction * 100.0,
+            s.mean_reuse,
+            c.distinct_exact,
+            c.distinct_masked
+        );
+    }
+}
+
+fn table1(cfg: &GpuConfig) {
+    println!("Baseline GPU configuration (paper Table I):");
+    println!("  SMs                  {} @ {} MHz", cfg.sm_count, cfg.core_clock_mhz);
+    println!("  warp pool            {} warps in flight", cfg.warps);
+    println!(
+        "  L2 cache             {} partitions x {} banks x {} KiB = {} MiB",
+        cfg.partitions,
+        cfg.l2_banks_per_partition,
+        cfg.l2_bank_bytes / 1024,
+        cfg.total_l2_bytes() / (1024 * 1024)
+    );
+    println!(
+        "  DRAM                 {} partitions, {:.0} GB/s aggregate, {} banks/channel",
+        cfg.partitions,
+        cfg.total_dram_gbps(),
+        cfg.dram.banks
+    );
+    println!("  interleaving         pseudo-random 128B block hash");
+}
+
+fn table2() {
+    let sec = SecureMemConfig::pssm();
+    println!("Metadata caches and security configuration (paper Table II):");
+    println!(
+        "  metadata caches      {} B each (counter / MAC / BMT), {}-way, per partition",
+        sec.meta_cache_bytes, sec.meta_cache_ways
+    );
+    println!(
+        "  MAC                  {} B per 32 B sector, latency {} cycles",
+        sec.mac_bytes, sec.latencies.mac_latency
+    );
+    println!(
+        "  AES                  {} cycle pipelined engine per partition",
+        sec.latencies.aes_latency
+    );
+    println!("  counters             sectored split counters, 32 sectors/group");
+    println!("  BMT                  {}-ary over counters, lazy update", sec.bmt_node_bytes / 8);
+    let vc = plutus_core::ValueCacheConfig::default();
+    println!(
+        "  value cache          {} entries, 25% pinned, 28-bit match, {}-of-4 rule",
+        vc.entries,
+        plutus_core::binomial::plutus_min_hits(vc.entries, vc.effective_bits())
+    );
+}
+
+fn labels(schemes: &[Scheme]) -> Vec<String> {
+    schemes.iter().map(Scheme::label).collect()
+}
+
+fn summarize_vs(rows: &[Measurement], scheme: &str, baseline: &str) {
+    let mut ratios = Vec::new();
+    let mut best: (f64, String) = (0.0, String::new());
+    for r in rows.iter().filter(|r| r.scheme == scheme) {
+        if let Some(b) = rows.iter().find(|x| x.workload == r.workload && x.scheme == baseline) {
+            if b.norm_ipc > 0.0 {
+                let ratio = r.norm_ipc / b.norm_ipc;
+                if ratio > best.0 {
+                    best = (ratio, r.workload.clone());
+                }
+                ratios.push(ratio);
+            }
+        }
+    }
+    if !ratios.is_empty() {
+        let g = geomean(ratios.iter().copied());
+        println!(
+            "{scheme} vs {baseline}: {:+.2}% geomean IPC (best {:+.2}% on {})",
+            (g - 1.0) * 100.0,
+            (best.0 - 1.0) * 100.0,
+            best.1
+        );
+    }
+}
+
+fn ipc_figure(name: &str, args: &Args, cfg: &GpuConfig, schemes: &[Scheme]) {
+    let mut all = vec![Scheme::None];
+    all.extend_from_slice(schemes);
+    let rows = run_matrix(&args.workloads, &all, args.scale, cfg);
+    let cols = labels(schemes);
+    println!("{}", matrix_table(&rows, &cols, |m| m.norm_ipc, "IPC normalized to no security"));
+    let base = schemes[0].label();
+    for s in &schemes[1..] {
+        summarize_vs(&rows, &s.label(), &base);
+    }
+    let path = save_json(name, &rows).expect("write results");
+    println!("saved {}", path.display());
+}
+
+fn fig6(args: &Args, cfg: &GpuConfig) {
+    let rows = run_matrix(&args.workloads, &[Scheme::None, Scheme::Pssm], args.scale, cfg);
+    println!(
+        "{}",
+        matrix_table(&rows, &["pssm".into()], |m| m.norm_ipc, "IPC normalized to no security")
+    );
+    let slowdowns: Vec<f64> =
+        rows.iter().filter(|r| r.scheme == "pssm").map(|r| r.norm_ipc).collect();
+    println!(
+        "secure memory (PSSM) keeps {:.1}% of insecure IPC on geomean",
+        geomean(slowdowns.iter().copied()) * 100.0
+    );
+    let path = save_json("fig6", &rows).expect("write results");
+    println!("saved {}", path.display());
+}
+
+fn fig7(args: &Args, cfg: &GpuConfig) {
+    let rows = run_matrix(&args.workloads, &[Scheme::Pssm], args.scale, cfg);
+    println!("DRAM traffic breakdown under PSSM (fraction of total bytes):");
+    println!(
+        "{:<14}{:>10}{:>10}{:>10}{:>10}{:>12}",
+        "workload", "data", "counter", "mac", "bmt", "overhead%"
+    );
+    for r in rows.iter().filter(|r| r.scheme == "pssm") {
+        let total = r.total_bytes.max(1) as f64;
+        let get = |label: &str| {
+            r.class_bytes.iter().find(|(l, _)| l == label).map(|(_, b)| *b).unwrap_or(0) as f64
+        };
+        let data = get("data").max(1.0);
+        println!(
+            "{:<14}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>11.1}%",
+            r.workload,
+            data / total,
+            get("counter") / total,
+            get("mac") / total,
+            get("bmt") / total,
+            (total - data) / data * 100.0
+        );
+    }
+    let path = save_json("fig7", &rows).expect("write results");
+    println!("saved {}", path.display());
+}
+
+fn fig9(args: &Args, _cfg: &GpuConfig) {
+    println!("Value-reuse percentage of reads (paper Fig. 9; 512-entry caches/partition):");
+    println!(
+        "{:<14}{:>12}{:>14}{:>20}",
+        "workload", "all-8/8", "halves-3of4", "halves-3of4-masked"
+    );
+    let mut json_rows = Vec::new();
+    for w in &args.workloads {
+        let trace = w.trace(args.scale);
+        let r = analyze_trace(&trace, 32, 512);
+        println!(
+            "{:<14}{:>11.1}%{:>13.1}%{:>19.1}%",
+            w.name,
+            r.all_eight * 100.0,
+            r.halves * 100.0,
+            r.halves_masked * 100.0
+        );
+        json_rows.push(Measurement {
+            workload: w.name.to_string(),
+            scheme: "value-analysis".into(),
+            ipc: r.halves_masked,
+            norm_ipc: r.halves_masked,
+            cycles: r.reads,
+            total_bytes: 0,
+            metadata_bytes: 0,
+            class_bytes: vec![
+                ("all_eight_permille".into(), (r.all_eight * 1000.0) as u64),
+                ("halves_permille".into(), (r.halves * 1000.0) as u64),
+                ("halves_masked_permille".into(), (r.halves_masked * 1000.0) as u64),
+            ],
+            engine_stats: Vec::new(),
+        });
+    }
+    let path = save_json("fig9", &json_rows).expect("write results");
+    println!("saved {}", path.display());
+}
+
+fn fig10(args: &Args) {
+    println!("Memory request mix (paper Fig. 10):");
+    println!("{:<14}{:>10}{:>10}", "workload", "reads%", "writes%");
+    for w in &args.workloads {
+        let t = w.trace(args.scale);
+        let wf = t.write_fraction();
+        println!("{:<14}{:>9.1}%{:>9.1}%", w.name, (1.0 - wf) * 100.0, wf * 100.0);
+    }
+}
+
+fn fig18(args: &Args, cfg: &GpuConfig) {
+    let schemes = [Scheme::None, Scheme::Pssm, Scheme::CommonCounters, Scheme::Plutus];
+    let rows = run_matrix(&args.workloads, &schemes, args.scale, cfg);
+    let cols = vec!["pssm".into(), "common-counters".into(), "plutus".into()];
+    println!("{}", matrix_table(&rows, &cols, |m| m.norm_ipc, "IPC normalized to no security"));
+    summarize_vs(&rows, "plutus", "pssm");
+    summarize_vs(&rows, "plutus", "common-counters");
+    let path = save_json("fig18", &rows).expect("write results");
+    println!("saved {}", path.display());
+}
+
+fn fig19(args: &Args, cfg: &GpuConfig) {
+    let rows = run_matrix(&args.workloads, &[Scheme::Pssm, Scheme::Plutus], args.scale, cfg);
+    println!("Security-metadata DRAM traffic (bytes):");
+    println!("{:<14}{:>16}{:>16}{:>12}", "workload", "pssm", "plutus", "reduction");
+    let mut ratios = Vec::new();
+    let mut best: (f64, String) = (0.0, String::new());
+    let mut workload_names: Vec<String> = rows.iter().map(|r| r.workload.clone()).collect();
+    workload_names.sort();
+    workload_names.dedup();
+    for w in &workload_names {
+        let p = rows.iter().find(|r| &r.workload == w && r.scheme == "pssm").unwrap();
+        let q = rows.iter().find(|r| &r.workload == w && r.scheme == "plutus").unwrap();
+        let reduction = 1.0 - q.metadata_bytes as f64 / p.metadata_bytes.max(1) as f64;
+        if reduction > best.0 {
+            best = (reduction, w.clone());
+        }
+        ratios.push(1.0 - reduction);
+        println!(
+            "{:<14}{:>16}{:>16}{:>11.1}%",
+            w,
+            p.metadata_bytes,
+            q.metadata_bytes,
+            reduction * 100.0
+        );
+    }
+    println!(
+        "metadata traffic reduced {:.2}% on geomean (best {:.2}% on {})",
+        (1.0 - geomean(ratios.iter().copied())) * 100.0,
+        best.0 * 100.0,
+        best.1
+    );
+    let path = save_json("fig19", &rows).expect("write results");
+    println!("saved {}", path.display());
+}
+
+fn fig22(args: &Args, cfg: &GpuConfig) {
+    let rows = run_matrix(
+        &args.workloads,
+        &[Scheme::None, Scheme::Pssm, Scheme::Plutus],
+        args.scale,
+        cfg,
+    );
+    let model = EnergyModel::default();
+    println!("Average power normalized to no security (paper Fig. 22):");
+    println!("{:<14}{:>12}{:>12}", "workload", "pssm", "plutus");
+    let mut pssm_all = Vec::new();
+    let mut plutus_all = Vec::new();
+    let mut workload_names: Vec<String> = rows.iter().map(|r| r.workload.clone()).collect();
+    workload_names.sort();
+    workload_names.dedup();
+    for w in &workload_names {
+        let base = rows.iter().find(|r| &r.workload == w && r.scheme == "no-security").unwrap();
+        let p = rows.iter().find(|r| &r.workload == w && r.scheme == "pssm").unwrap();
+        let q = rows.iter().find(|r| &r.workload == w && r.scheme == "plutus").unwrap();
+        let np = model.normalized_power(p, base);
+        let nq = model.normalized_power(q, base);
+        pssm_all.push(np);
+        plutus_all.push(nq);
+        println!("{:<14}{:>12.3}{:>12.3}", w, np, nq);
+    }
+    println!(
+        "power overhead: PSSM {:+.1}%, Plutus {:+.1}% (geomean)",
+        (geomean(pssm_all.iter().copied()) - 1.0) * 100.0,
+        (geomean(plutus_all.iter().copied()) - 1.0) * 100.0
+    );
+    let path = save_json("fig22", &rows).expect("write results");
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,19 @@
+//! Experiment harness for the Plutus (HPCA 2023) reproduction: shared
+//! runner, energy model, and report formatting used by the `experiments`
+//! binary and the Criterion benches.
+//!
+//! Run `cargo run --release -p plutus-bench --bin experiments -- all` to
+//! regenerate every paper table and figure; see `EXPERIMENTS.md` at the
+//! repository root for the measured-vs-paper record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod energy;
+pub mod report;
+pub mod runner;
+
+pub use energy::EnergyModel;
+pub use report::{matrix_table, pct_change, save_json};
+pub use runner::{geomean, run_matrix, run_one, run_with_factory, Measurement, Scheme};

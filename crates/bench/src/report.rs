@@ -1,0 +1,125 @@
+//! Table formatting and JSON result persistence for the experiments.
+
+use crate::runner::{geomean, Measurement};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a per-workload × per-scheme table of one metric.
+///
+/// `metric` extracts the plotted value from each measurement; `fmt` renders
+/// a cell.
+pub fn matrix_table(
+    rows: &[Measurement],
+    schemes: &[String],
+    metric: impl Fn(&Measurement) -> f64,
+    unit: &str,
+) -> String {
+    let mut workloads: Vec<String> = rows.iter().map(|r| r.workload.clone()).collect();
+    workloads.sort();
+    workloads.dedup();
+
+    let mut out = String::new();
+    let _ = write!(out, "{:<14}", "workload");
+    for s in schemes {
+        let _ = write!(out, "{s:>18}");
+    }
+    out.push('\n');
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for w in &workloads {
+        let _ = write!(out, "{w:<14}");
+        for (i, s) in schemes.iter().enumerate() {
+            match rows.iter().find(|r| &r.workload == w && &r.scheme == s) {
+                Some(r) => {
+                    let v = metric(r);
+                    columns[i].push(v);
+                    let _ = write!(out, "{v:>18.4}");
+                }
+                None => {
+                    let _ = write!(out, "{:>18}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{:<14}", "geomean");
+    for col in &columns {
+        let _ = write!(out, "{:>18.4}", geomean(col.iter().copied()));
+    }
+    out.push('\n');
+    if !unit.is_empty() {
+        let _ = writeln!(out, "(values in {unit})");
+    }
+    out
+}
+
+/// Writes measurements as JSON under `target/experiments/<name>.json`.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn save_json(name: &str, rows: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("target/experiments");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(rows)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Percentage-change helper: `(new / old - 1) × 100`.
+pub fn pct_change(new: f64, old: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new / old - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(w: &str, s: &str, ipc: f64) -> Measurement {
+        Measurement {
+            workload: w.into(),
+            scheme: s.into(),
+            ipc,
+            norm_ipc: ipc,
+            cycles: 100,
+            total_bytes: 0,
+            metadata_bytes: 0,
+            class_bytes: Vec::new(),
+            engine_stats: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn table_contains_workloads_schemes_and_geomean() {
+        let rows = vec![meas("bfs", "pssm", 0.8), meas("bfs", "plutus", 0.95)];
+        let t = matrix_table(
+            &rows,
+            &["pssm".into(), "plutus".into()],
+            |m| m.norm_ipc,
+            "normalized IPC",
+        );
+        assert!(t.contains("bfs"));
+        assert!(t.contains("pssm"));
+        assert!(t.contains("geomean"));
+        assert!(t.contains("0.9500"));
+    }
+
+    #[test]
+    fn missing_cells_render_dash() {
+        let rows = vec![meas("bfs", "pssm", 0.8)];
+        let t = matrix_table(&rows, &["pssm".into(), "plutus".into()], |m| m.norm_ipc, "");
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn pct_change_math() {
+        assert!((pct_change(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert_eq!(pct_change(1.0, 0.0), 0.0);
+    }
+}

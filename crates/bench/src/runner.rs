@@ -1,0 +1,280 @@
+//! Shared experiment runner: schemes × workloads → results.
+
+use gpu_sim::{EngineFactory, GpuConfig, NoSecurityEngine, SimResult, Simulator};
+use plutus_core::{CompactKind, PlutusConfig, PlutusEngine};
+use secure_mem::{CommonCountersEngine, PssmEngine, SecureMemConfig};
+use serde::{Deserialize, Serialize};
+use workloads::{Scale, WorkloadSpec};
+
+/// Every security scheme the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// No memory security (the normalization baseline).
+    None,
+    /// PSSM baseline (8 B MAC, 128 B metadata, CME).
+    Pssm,
+    /// PSSM with the original 4 B MAC.
+    PssmMac4,
+    /// Common Counters layered on PSSM.
+    CommonCounters,
+    /// Fig. 14 design ②: 32 B counter/MAC blocks, 128 B BMT nodes.
+    FineLeafCoarseTree,
+    /// Fig. 14 design ③: all metadata 32 B.
+    All32,
+    /// Plutus idea ① only: value-based verification.
+    ValueVerifyOnly,
+    /// Plutus idea ② only, 2-bit compact counters.
+    Compact2Bit,
+    /// Plutus idea ② only, 3-bit compact counters.
+    Compact3Bit,
+    /// Plutus idea ② only, adaptive 3-bit compact counters.
+    CompactAdaptive,
+    /// Full Plutus (all three ideas).
+    Plutus,
+    /// Full Plutus with integrity-tree traffic eliminated (Fig. 20).
+    PlutusNoTree,
+    /// PSSM with integrity-tree traffic eliminated (MGX-style reference).
+    PssmNoTree,
+    /// Full Plutus with a custom value-cache entry count (Fig. 21).
+    PlutusValueEntries(usize),
+}
+
+impl Scheme {
+    /// Display label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::None => "no-security".into(),
+            Scheme::Pssm => "pssm".into(),
+            Scheme::PssmMac4 => "pssm-mac4".into(),
+            Scheme::CommonCounters => "common-counters".into(),
+            Scheme::FineLeafCoarseTree => "leaf32-tree128".into(),
+            Scheme::All32 => "all-32".into(),
+            Scheme::ValueVerifyOnly => "value-verify".into(),
+            Scheme::Compact2Bit => "compact-2bit".into(),
+            Scheme::Compact3Bit => "compact-3bit".into(),
+            Scheme::CompactAdaptive => "compact-adaptive".into(),
+            Scheme::Plutus => "plutus".into(),
+            Scheme::PlutusNoTree => "plutus-no-tree".into(),
+            Scheme::PssmNoTree => "pssm-no-tree".into(),
+            Scheme::PlutusValueEntries(n) => format!("plutus-vc{n}"),
+        }
+    }
+
+    fn factory(&self) -> Box<dyn EngineFactory> {
+        match self {
+            Scheme::None => Box::new(NoSecurityFactoryShim),
+            Scheme::Pssm => Box::new(PssmEngine::factory(SecureMemConfig::pssm())),
+            Scheme::PssmMac4 => Box::new(PssmEngine::factory(SecureMemConfig::pssm_mac4())),
+            Scheme::CommonCounters => {
+                Box::new(CommonCountersEngine::factory(SecureMemConfig::pssm()))
+            }
+            Scheme::FineLeafCoarseTree => {
+                Box::new(PssmEngine::factory(SecureMemConfig::fine_leaf_coarse_tree()))
+            }
+            Scheme::All32 => Box::new(PssmEngine::factory(SecureMemConfig::all_32())),
+            Scheme::ValueVerifyOnly => {
+                Box::new(PlutusEngine::factory(PlutusConfig::value_verify_only()))
+            }
+            Scheme::Compact2Bit => {
+                Box::new(PlutusEngine::factory(PlutusConfig::compact_only(CompactKind::TwoBit)))
+            }
+            Scheme::Compact3Bit => {
+                Box::new(PlutusEngine::factory(PlutusConfig::compact_only(CompactKind::ThreeBit)))
+            }
+            Scheme::CompactAdaptive => Box::new(PlutusEngine::factory(PlutusConfig::compact_only(
+                CompactKind::Adaptive3,
+            ))),
+            Scheme::Plutus => Box::new(PlutusEngine::factory(PlutusConfig::full())),
+            Scheme::PlutusNoTree => Box::new(PlutusEngine::factory(PlutusConfig::full_no_tree())),
+            Scheme::PssmNoTree => {
+                let cfg = SecureMemConfig { disable_tree: true, ..SecureMemConfig::pssm() };
+                Box::new(PssmEngine::factory(cfg))
+            }
+            Scheme::PlutusValueEntries(n) => {
+                Box::new(PlutusEngine::factory(PlutusConfig::full_with_value_entries(*n)))
+            }
+        }
+    }
+}
+
+struct NoSecurityFactoryShim;
+
+impl EngineFactory for NoSecurityFactoryShim {
+    fn build(&self, _partition: usize) -> Box<dyn gpu_sim::SecurityEngine> {
+        Box::new(NoSecurityEngine::new())
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Runs one workload under one scheme.
+pub fn run_one(workload: &WorkloadSpec, scheme: Scheme, scale: Scale, cfg: &GpuConfig) -> SimResult {
+    let trace = workload.trace(scale);
+    let factory = scheme.factory();
+    let mut sim = Simulator::new(cfg.clone(), trace, factory.as_ref());
+    sim.run()
+}
+
+/// Runs one workload under a custom engine factory (for ablations not
+/// covered by [`Scheme`]).
+pub fn run_with_factory(
+    workload: &WorkloadSpec,
+    factory: &dyn EngineFactory,
+    scale: Scale,
+    cfg: &GpuConfig,
+) -> SimResult {
+    let trace = workload.trace(scale);
+    let mut sim = Simulator::new(cfg.clone(), trace, factory);
+    sim.run()
+}
+
+/// One (workload × scheme) measurement with its baseline normalization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Raw IPC.
+    pub ipc: f64,
+    /// IPC normalized to the no-security run of the same trace.
+    pub norm_ipc: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Total DRAM bytes.
+    pub total_bytes: u64,
+    /// Security-metadata DRAM bytes.
+    pub metadata_bytes: u64,
+    /// Per-class byte totals `(label, bytes)`.
+    pub class_bytes: Vec<(String, u64)>,
+    /// Engine-specific counters.
+    pub engine_stats: Vec<(String, u64)>,
+}
+
+/// Runs `workloads × schemes`, normalizing every scheme against the
+/// no-security run of the same workload. Workloads run on parallel threads.
+pub fn run_matrix(
+    workloads: &[WorkloadSpec],
+    schemes: &[Scheme],
+    scale: Scale,
+    cfg: &GpuConfig,
+) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                let cfg = cfg.clone();
+                let schemes = schemes.to_vec();
+                scope.spawn(move |_| {
+                    let baseline = run_one(w, Scheme::None, scale, &cfg);
+                    let base_ipc = baseline.ipc();
+                    let mut rows = Vec::new();
+                    for scheme in schemes {
+                        let r = if scheme == Scheme::None {
+                            baseline.clone()
+                        } else {
+                            run_one(w, scheme, scale, &cfg)
+                        };
+                        rows.push(Measurement {
+                            workload: w.name.to_string(),
+                            scheme: scheme.label(),
+                            ipc: r.ipc(),
+                            norm_ipc: if base_ipc > 0.0 { r.ipc() / base_ipc } else { 0.0 },
+                            cycles: r.stats.cycles,
+                            total_bytes: r.stats.total_bytes(),
+                            metadata_bytes: r.stats.metadata_bytes(),
+                            class_bytes: gpu_sim::TrafficClass::ALL
+                                .iter()
+                                .map(|c| (c.label().to_string(), r.stats.class_bytes(*c)))
+                                .collect(),
+                            engine_stats: r.stats.engine.clone(),
+                        });
+                    }
+                    rows
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("workload thread panicked"));
+        }
+    })
+    .expect("scope");
+    out
+}
+
+/// Geometric mean of a non-empty series.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::by_name;
+
+    fn small_cfg() -> GpuConfig {
+        GpuConfig::test_small()
+    }
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn security_costs_performance() {
+        let w = by_name("bfs").unwrap();
+        let none = run_one(&w, Scheme::None, Scale::Test, &small_cfg());
+        let pssm = run_one(&w, Scheme::Pssm, Scale::Test, &small_cfg());
+        assert!(none.stats.violations == 0 && pssm.stats.violations == 0);
+        assert!(
+            pssm.stats.cycles > none.stats.cycles,
+            "secure memory must cost cycles: {} vs {}",
+            pssm.stats.cycles,
+            none.stats.cycles
+        );
+        assert!(pssm.stats.metadata_bytes() > 0);
+        assert_eq!(none.stats.metadata_bytes(), 0);
+    }
+
+    #[test]
+    fn plutus_moves_less_metadata_than_pssm() {
+        let w = by_name("bfs").unwrap();
+        let pssm = run_one(&w, Scheme::Pssm, Scale::Test, &small_cfg());
+        let plutus = run_one(&w, Scheme::Plutus, Scale::Test, &small_cfg());
+        assert!(plutus.stats.violations == 0, "honest run must not raise violations");
+        assert!(
+            plutus.stats.metadata_bytes() < pssm.stats.metadata_bytes(),
+            "plutus {} >= pssm {}",
+            plutus.stats.metadata_bytes(),
+            pssm.stats.metadata_bytes()
+        );
+    }
+
+    #[test]
+    fn run_matrix_normalizes_against_baseline() {
+        let w = [by_name("histo").unwrap()];
+        let rows = run_matrix(&w, &[Scheme::None, Scheme::Pssm], Scale::Test, &small_cfg());
+        assert_eq!(rows.len(), 2);
+        let none = rows.iter().find(|r| r.scheme == "no-security").unwrap();
+        assert!((none.norm_ipc - 1.0).abs() < 1e-9);
+        let pssm = rows.iter().find(|r| r.scheme == "pssm").unwrap();
+        assert!(pssm.norm_ipc < 1.0);
+    }
+}

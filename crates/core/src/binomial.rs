@@ -1,0 +1,156 @@
+//! The binomial security analysis behind value-based integrity
+//! verification (paper Section IV-C, Eq. 1).
+//!
+//! A tampered AES-XTS cipher block decrypts to an (effectively) uniform
+//! 128-bit value, so each of its four 32-bit words hits a `K`-entry value
+//! cache matching on `m` effective bits with probability `p = K / 2^m`.
+//! Requiring at least `x` of the `n = 4` words to hit bounds the forgery
+//! acceptance probability by the binomial tail
+//! `P(X ≥ x) = Σ_{i≥x} C(n,i) p^i (1-p)^{n-i}`, which must stay below the
+//! forgery bound Gueron established as sufficient for SGX-class MACs
+//! (2⁻⁵⁶).
+
+/// The forgery-probability budget: 2⁻⁵⁶, the collision bound of the 56-bit
+/// MACs used by Intel SGX which the paper adopts as "sufficient".
+pub const FORGERY_BUDGET: f64 = 1.0 / (1u64 << 56) as f64;
+
+/// Number of 32-bit values per 128-bit AES-XTS cipher block.
+pub const VALUES_PER_UNIT: u32 = 4;
+
+/// Binomial coefficient C(n, k) as f64.
+fn choose(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0;
+    let mut den = 1.0;
+    for i in 0..k {
+        num *= (n - i) as f64;
+        den *= (i + 1) as f64;
+    }
+    num / den
+}
+
+/// Probability that exactly `x` of `n` independent trials succeed when each
+/// succeeds with probability `p` (the paper's Eq. 1 left-hand side).
+pub fn binomial_pmf(n: u32, x: u32, p: f64) -> f64 {
+    choose(n, x) * p.powi(x as i32) * (1.0 - p).powi((n - x) as i32)
+}
+
+/// Tail probability `P(X ≥ x)` — the chance a *tampered* unit passes a
+/// "≥ x hits out of n" check.
+pub fn binomial_tail(n: u32, x: u32, p: f64) -> f64 {
+    (x..=n).map(|i| binomial_pmf(n, i, p)).sum()
+}
+
+/// Per-value hit probability for a tampered value: `K / 2^m` for a
+/// `K`-entry cache matching on `m` effective bits.
+///
+/// # Panics
+///
+/// Panics if `effective_bits` is 0 or > 63, or `entries` is 0.
+pub fn tamper_hit_probability(entries: usize, effective_bits: u32) -> f64 {
+    assert!(entries > 0, "value cache must have entries");
+    assert!((1..=63).contains(&effective_bits), "effective_bits must be 1..=63");
+    entries as f64 / (1u64 << effective_bits) as f64
+}
+
+/// Minimum hits `x` (out of `n`) a 128-bit unit must score for the forgery
+/// tail to drop below `budget`, or `None` if even `x = n` is insufficient.
+pub fn min_hits_required(n: u32, p: f64, budget: f64) -> Option<u32> {
+    (1..=n).find(|&x| binomial_tail(n, x, p) < budget)
+}
+
+/// The Plutus design point: 256 entries × 28 effective bits → `x = 3` of
+/// the 4 words per 128-bit unit must hit (paper Section IV-C, "Design
+/// Implementation").
+pub fn plutus_min_hits(entries: usize, effective_bits: u32) -> u32 {
+    min_hits_required(
+        VALUES_PER_UNIT,
+        tamper_hit_probability(entries, effective_bits),
+        FORGERY_BUDGET,
+    )
+    .unwrap_or(VALUES_PER_UNIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_small_values() {
+        assert_eq!(choose(4, 0), 1.0);
+        assert_eq!(choose(4, 1), 4.0);
+        assert_eq!(choose(4, 2), 6.0);
+        assert_eq!(choose(4, 3), 4.0);
+        assert_eq!(choose(4, 4), 1.0);
+        assert_eq!(choose(3, 5), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let p = 0.3;
+        let total: f64 = (0..=4).map(|x| binomial_pmf(4, x, p)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_is_monotonically_decreasing_in_x() {
+        let p = 0.1;
+        for x in 1..=4 {
+            assert!(binomial_tail(4, x, p) <= binomial_tail(4, x - 1, p));
+        }
+    }
+
+    /// The paper's headline design point: a 256-entry cache matching 28
+    /// bits needs 3-of-4 hits per 128-bit unit.
+    #[test]
+    fn paper_design_point_needs_three_hits() {
+        assert_eq!(plutus_min_hits(256, 28), 3);
+    }
+
+    #[test]
+    fn three_hits_meets_budget_two_does_not() {
+        let p = tamper_hit_probability(256, 28); // 2^-20
+        assert!(binomial_tail(4, 3, p) < FORGERY_BUDGET);
+        assert!(binomial_tail(4, 2, p) >= FORGERY_BUDGET);
+    }
+
+    #[test]
+    fn bigger_caches_eventually_need_more_hits() {
+        // At 2^24 entries on 28 bits, p = 2^-4: even 4 hits give 2^-16,
+        // far above the budget.
+        assert_eq!(
+            min_hits_required(4, tamper_hit_probability(1 << 24, 28), FORGERY_BUDGET),
+            None
+        );
+        // Doubling the cache to 512 entries pushes the x = 3 tail to
+        // ~2⁻⁵⁵, just over the budget, forcing x = 4 — the quantitative
+        // reason the paper sizes the value cache at exactly 256 entries.
+        assert_eq!(plutus_min_hits(512, 28), 4);
+        assert_eq!(plutus_min_hits(256, 28), 3);
+    }
+
+    #[test]
+    fn unmasked_32_bit_matching_allows_three_hits_too() {
+        assert_eq!(plutus_min_hits(256, 32), 3);
+    }
+
+    #[test]
+    fn forgery_probability_is_below_mac_collision() {
+        // The claim in the abstract: the value-check false-accept rate is
+        // lower than a 56-bit MAC's collision rate.
+        let p = tamper_hit_probability(256, 28);
+        let accept = binomial_tail(4, 3, p);
+        assert!(accept < FORGERY_BUDGET);
+        // And the two-unit (32 B sector) check squares it.
+        assert!(accept * accept < FORGERY_BUDGET * FORGERY_BUDGET);
+    }
+
+    #[test]
+    #[should_panic(expected = "effective_bits")]
+    fn rejects_bad_bits() {
+        tamper_hit_probability(256, 0);
+    }
+}

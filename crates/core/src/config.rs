@@ -1,0 +1,154 @@
+//! Plutus engine configuration and the paper's evaluation presets.
+
+use crate::compact::{CompactConfig, CompactKind};
+use crate::value_cache::ValueCacheConfig;
+use secure_mem::{CipherKind, SecureMemConfig};
+use serde::{Deserialize, Serialize};
+
+/// Full Plutus configuration: the underlying secure-memory machinery plus
+/// per-technique toggles, so each of the paper's three ideas can be
+/// evaluated in isolation (Figs. 15–17) or combined (Fig. 18).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlutusConfig {
+    /// Base secure-memory configuration (cipher, granularities, caches).
+    pub mem: SecureMemConfig,
+    /// Idea ①: value-based integrity verification (skips MAC traffic).
+    pub value_verify: bool,
+    /// Value-cache geometry (used when `value_verify` is on).
+    pub value_cache: ValueCacheConfig,
+    /// Idea ②: compact mirrored counters (None = original counters only).
+    pub compact: Option<CompactConfig>,
+}
+
+impl PlutusConfig {
+    /// The full Plutus design (paper Fig. 18): AES-XTS, value-based
+    /// verification, adaptive 3-bit compact counters, and all-32 B
+    /// fine-grain metadata (idea ③).
+    pub fn full() -> Self {
+        Self {
+            mem: SecureMemConfig { cipher: CipherKind::Xts, ..SecureMemConfig::all_32() },
+            value_verify: true,
+            value_cache: ValueCacheConfig::default(),
+            compact: Some(CompactConfig::default()),
+        }
+    }
+
+    /// Idea ① alone (paper Fig. 15): value verification on the otherwise
+    /// unchanged PSSM organization, with the XTS cipher it requires.
+    pub fn value_verify_only() -> Self {
+        Self {
+            mem: SecureMemConfig { cipher: CipherKind::Xts, ..SecureMemConfig::pssm() },
+            value_verify: true,
+            value_cache: ValueCacheConfig::default(),
+            compact: None,
+        }
+    }
+
+    /// Idea ② alone (paper Fig. 17): compact mirrored counters of the given
+    /// kind on the baseline organization.
+    pub fn compact_only(kind: CompactKind) -> Self {
+        Self {
+            mem: SecureMemConfig::pssm(),
+            value_verify: false,
+            value_cache: ValueCacheConfig::default(),
+            compact: Some(CompactConfig { kind, ..CompactConfig::default() }),
+        }
+    }
+
+    /// Fig. 20 mode: full Plutus with all integrity-tree traffic (both the
+    /// original BMT and the compact tree's) eliminated, for comparison
+    /// against MGX/TNPU/softVN-style schemes.
+    pub fn full_no_tree() -> Self {
+        let mut cfg = Self::full();
+        cfg.mem.disable_tree = true;
+        cfg
+    }
+
+    /// Full Plutus with a custom value-cache size (paper Fig. 21 sweep).
+    pub fn full_with_value_entries(entries: usize) -> Self {
+        let mut cfg = Self::full();
+        cfg.value_cache.entries = entries;
+        cfg
+    }
+
+    /// Small protected region for unit tests (single partition so tree
+    /// depths are deterministic).
+    pub fn test_small() -> Self {
+        let mut cfg = Self::full();
+        cfg.mem.protected_bytes = 1 << 20;
+        cfg.mem.partitions = 1;
+        cfg.compact = Some(CompactConfig { cache_bytes: 2048, ..CompactConfig::default() });
+        cfg
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency. Notably,
+    /// value-based verification is only sound on a diffusing cipher, so
+    /// `value_verify` with [`CipherKind::Cme`] is rejected (paper
+    /// Section IV-B: CME tampering is bit-localized and *would* hit the
+    /// value cache).
+    pub fn validate(&self) -> Result<(), String> {
+        self.mem.validate()?;
+        self.value_cache.validate()?;
+        if self.value_verify && self.mem.cipher == CipherKind::Cme {
+            return Err(
+                "value-based verification requires AES-XTS: CME is malleable, so tampered \
+                 data would still hit the value cache"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+impl Default for PlutusConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        PlutusConfig::full().validate().unwrap();
+        PlutusConfig::value_verify_only().validate().unwrap();
+        PlutusConfig::compact_only(CompactKind::TwoBit).validate().unwrap();
+        PlutusConfig::compact_only(CompactKind::Adaptive3).validate().unwrap();
+        PlutusConfig::full_no_tree().validate().unwrap();
+        PlutusConfig::test_small().validate().unwrap();
+    }
+
+    #[test]
+    fn full_uses_xts_and_fine_grain() {
+        let c = PlutusConfig::full();
+        assert_eq!(c.mem.cipher, CipherKind::Xts);
+        assert_eq!(c.mem.ctr_fetch_bytes, 32);
+        assert_eq!(c.mem.bmt_node_bytes, 32);
+        assert!(c.value_verify);
+        assert_eq!(c.compact.unwrap().kind, CompactKind::Adaptive3);
+    }
+
+    #[test]
+    fn value_verify_on_cme_is_rejected() {
+        let mut c = PlutusConfig::value_verify_only();
+        c.mem.cipher = CipherKind::Cme;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("malleable"));
+    }
+
+    #[test]
+    fn no_tree_preset_disables_tree() {
+        assert!(PlutusConfig::full_no_tree().mem.disable_tree);
+    }
+
+    #[test]
+    fn value_entries_sweep() {
+        assert_eq!(PlutusConfig::full_with_value_entries(64).value_cache.entries, 64);
+    }
+}

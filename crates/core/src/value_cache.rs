@@ -1,0 +1,327 @@
+//! The Plutus value cache: recently seen 32-bit values used to verify
+//! integrity without MAC fetches (paper Section IV-C).
+//!
+//! A small, fully associative structure per memory partition. Values match
+//! on their upper 28 bits (the 4 least-significant bits are masked to
+//! capture nearby values). Entries carry a 4-bit use counter; entries whose
+//! counter reaches the promotion threshold move to a *pinned* region
+//! (default: a quarter of the capacity) and are never evicted afterwards —
+//! pinned hits are what let a *write* guarantee it will pass value
+//! verification on its next read, so its MAC update can be skipped
+//! entirely.
+
+use serde::{Deserialize, Serialize};
+
+/// Value-cache configuration (paper Table II: 1 kB, fully associative,
+/// 25% pinned, 256 entries of 28-bit value + 4-bit counter).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueCacheConfig {
+    /// Total entries (pinned + transient).
+    pub entries: usize,
+    /// Fraction of entries reserved for pinned values.
+    pub pinned_fraction: f64,
+    /// Use-counter value at which a transient entry is promoted.
+    pub promote_threshold: u8,
+    /// Low bits of each 32-bit value masked before matching.
+    pub masked_bits: u32,
+}
+
+impl Default for ValueCacheConfig {
+    fn default() -> Self {
+        Self { entries: 256, pinned_fraction: 0.25, promote_threshold: 8, masked_bits: 4 }
+    }
+}
+
+impl ValueCacheConfig {
+    /// Effective matched bits per 32-bit value.
+    pub fn effective_bits(&self) -> u32 {
+        32 - self.masked_bits
+    }
+
+    /// Pinned-region capacity in entries.
+    pub fn pinned_capacity(&self) -> usize {
+        (self.entries as f64 * self.pinned_fraction) as usize
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entries == 0 {
+            return Err("value cache must have entries".into());
+        }
+        if !(0.0..1.0).contains(&self.pinned_fraction) {
+            return Err("pinned_fraction must be in [0, 1)".into());
+        }
+        if self.masked_bits >= 32 {
+            return Err("masked_bits must be < 32".into());
+        }
+        if self.promote_threshold == 0 || self.promote_threshold > 15 {
+            return Err("promote_threshold must fit the 4-bit use counter (1..=15)".into());
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: u32,
+    uses: u8,
+    last_used: u64,
+}
+
+/// How a probe resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// Matched a pinned entry.
+    HitPinned,
+    /// Matched a transient entry.
+    HitTransient,
+    /// No match.
+    Miss,
+}
+
+impl ProbeResult {
+    /// Any kind of hit.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, ProbeResult::Miss)
+    }
+}
+
+/// The fully associative value cache.
+#[derive(Debug, Clone)]
+pub struct ValueCache {
+    cfg: ValueCacheConfig,
+    pinned: Vec<Entry>,
+    transient: Vec<Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    promotions: u64,
+}
+
+impl ValueCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    pub fn new(cfg: ValueCacheConfig) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid ValueCacheConfig: {e}"));
+        Self {
+            cfg,
+            pinned: Vec::with_capacity(cfg.pinned_capacity()),
+            transient: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            promotions: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ValueCacheConfig {
+        &self.cfg
+    }
+
+    fn key_of(&self, value: u32) -> u32 {
+        value >> self.cfg.masked_bits
+    }
+
+    /// Probes for `value` without inserting, updating recency and use
+    /// counters on a hit.
+    pub fn probe(&mut self, value: u32) -> ProbeResult {
+        self.tick += 1;
+        let key = self.key_of(value);
+        if let Some(e) = self.pinned.iter_mut().find(|e| e.key == key) {
+            e.last_used = self.tick;
+            self.hits += 1;
+            return ProbeResult::HitPinned;
+        }
+        if let Some(pos) = self.transient.iter().position(|e| e.key == key) {
+            self.transient[pos].last_used = self.tick;
+            self.transient[pos].uses = (self.transient[pos].uses + 1).min(15);
+            self.hits += 1;
+            if self.transient[pos].uses >= self.cfg.promote_threshold
+                && self.pinned.len() < self.cfg.pinned_capacity()
+            {
+                let e = self.transient.swap_remove(pos);
+                self.pinned.push(e);
+                self.promotions += 1;
+                return ProbeResult::HitPinned;
+            }
+            return ProbeResult::HitTransient;
+        }
+        self.misses += 1;
+        ProbeResult::Miss
+    }
+
+    /// Inserts `value` if absent (recently seen). Present values are
+    /// refreshed instead.
+    pub fn insert(&mut self, value: u32) {
+        self.tick += 1;
+        let key = self.key_of(value);
+        if let Some(e) = self.pinned.iter_mut().find(|e| e.key == key) {
+            e.last_used = self.tick;
+            return;
+        }
+        if let Some(e) = self.transient.iter_mut().find(|e| e.key == key) {
+            e.last_used = self.tick;
+            e.uses = (e.uses + 1).min(15);
+            return;
+        }
+        let capacity = self.cfg.entries - self.pinned.len();
+        if self.transient.len() >= capacity {
+            // Evict the least recently used transient entry.
+            if let Some(pos) = self
+                .transient
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                self.transient.swap_remove(pos);
+            }
+        }
+        self.transient.push(Entry { key, uses: 1, last_used: self.tick });
+    }
+
+    /// True if `value` currently matches a pinned entry (no state change).
+    pub fn is_pinned(&self, value: u32) -> bool {
+        let key = self.key_of(value);
+        self.pinned.iter().any(|e| e.key == key)
+    }
+
+    /// Occupancy `(pinned, transient)`.
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.pinned.len(), self.transient.len())
+    }
+
+    /// Lifetime statistics `(hits, misses, promotions)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.promotions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> ValueCache {
+        ValueCache::new(ValueCacheConfig::default())
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut c = cache();
+        assert_eq!(c.probe(0x1234_5670), ProbeResult::Miss);
+        c.insert(0x1234_5670);
+        assert!(c.probe(0x1234_5670).is_hit());
+    }
+
+    #[test]
+    fn masked_bits_capture_nearby_values() {
+        let mut c = cache();
+        c.insert(0x1234_5670);
+        // Same upper 28 bits, different low nibble → hit.
+        assert!(c.probe(0x1234_567f).is_hit());
+        // Different upper bits → miss.
+        assert_eq!(c.probe(0x1234_5680), ProbeResult::Miss);
+    }
+
+    #[test]
+    fn promotion_after_threshold_hits() {
+        let mut c = cache();
+        c.insert(42 << 4);
+        for _ in 0..ValueCacheConfig::default().promote_threshold {
+            c.probe(42 << 4);
+        }
+        assert!(c.is_pinned(42 << 4));
+        let (_, _, promotions) = c.stats();
+        assert_eq!(promotions, 1);
+    }
+
+    #[test]
+    fn pinned_entries_survive_capacity_churn() {
+        let mut c = cache();
+        c.insert(7 << 4);
+        for _ in 0..15 {
+            c.probe(7 << 4); // promote
+        }
+        assert!(c.is_pinned(7 << 4));
+        // Flood with 10× capacity of distinct values.
+        for i in 0..2560u32 {
+            c.insert((1000 + i) << 4);
+        }
+        assert!(c.is_pinned(7 << 4), "pinned values must never be evicted");
+        assert!(c.probe(7 << 4).is_hit());
+    }
+
+    #[test]
+    fn transient_lru_eviction() {
+        let cfg = ValueCacheConfig { entries: 4, pinned_fraction: 0.25, ..Default::default() };
+        let mut c = ValueCache::new(cfg);
+        // Transient capacity = 4 (pinned region empty so far).
+        for i in 0..4u32 {
+            c.insert(i << 4);
+        }
+        c.probe(0); // refresh value 0
+        c.insert(100 << 4); // evicts LRU = value 1
+        assert!(c.probe(0).is_hit());
+        assert_eq!(c.probe(1 << 4), ProbeResult::Miss);
+    }
+
+    #[test]
+    fn pinned_region_bounded() {
+        let cfg = ValueCacheConfig { entries: 8, pinned_fraction: 0.25, promote_threshold: 1, ..Default::default() };
+        let mut c = ValueCache::new(cfg);
+        // Try to promote many values; only 2 slots exist.
+        for i in 0..8u32 {
+            c.insert(i << 4);
+            c.probe(i << 4);
+            c.probe(i << 4);
+        }
+        let (pinned, _) = c.occupancy();
+        assert!(pinned <= 2, "pinned occupancy {pinned} exceeds capacity");
+    }
+
+    #[test]
+    fn total_occupancy_never_exceeds_entries() {
+        let mut c = cache();
+        for i in 0..10_000u32 {
+            c.insert(i);
+            if i % 3 == 0 {
+                c.probe(i);
+            }
+            let (p, t) = c.occupancy();
+            assert!(p + t <= 256);
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent_for_present_values() {
+        let mut c = cache();
+        c.insert(5 << 4);
+        c.insert(5 << 4);
+        let (_, t) = c.occupancy();
+        assert_eq!(t, 1);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = cache();
+        c.probe(1 << 4);
+        c.insert(1 << 4);
+        c.probe(1 << 4);
+        let (h, m, _) = c.stats();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ValueCacheConfig")]
+    fn invalid_config_rejected() {
+        ValueCache::new(ValueCacheConfig { entries: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,511 @@
+//! AES-128 block cipher (FIPS-197).
+//!
+//! A dependency-free software implementation using the classic 32-bit
+//! T-table formulation for the round function (the simulator decrypts
+//! every fill for real, so block throughput directly bounds simulation
+//! speed). The byte-oriented reference path is kept for cross-checking in
+//! tests. Constant-time execution is *not* a goal here — the simulator
+//! itself is the threat-model boundary, not this process.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse AES S-box.
+const INV_SBOX: [u8; 256] = [
+    0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e, 0x81, 0xf3, 0xd7, 0xfb,
+    0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87, 0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde, 0xe9, 0xcb,
+    0x54, 0x7b, 0x94, 0x32, 0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42, 0xfa, 0xc3, 0x4e,
+    0x08, 0x2e, 0xa1, 0x66, 0x28, 0xd9, 0x24, 0xb2, 0x76, 0x5b, 0xa2, 0x49, 0x6d, 0x8b, 0xd1, 0x25,
+    0x72, 0xf8, 0xf6, 0x64, 0x86, 0x68, 0x98, 0x16, 0xd4, 0xa4, 0x5c, 0xcc, 0x5d, 0x65, 0xb6, 0x92,
+    0x6c, 0x70, 0x48, 0x50, 0xfd, 0xed, 0xb9, 0xda, 0x5e, 0x15, 0x46, 0x57, 0xa7, 0x8d, 0x9d, 0x84,
+    0x90, 0xd8, 0xab, 0x00, 0x8c, 0xbc, 0xd3, 0x0a, 0xf7, 0xe4, 0x58, 0x05, 0xb8, 0xb3, 0x45, 0x06,
+    0xd0, 0x2c, 0x1e, 0x8f, 0xca, 0x3f, 0x0f, 0x02, 0xc1, 0xaf, 0xbd, 0x03, 0x01, 0x13, 0x8a, 0x6b,
+    0x3a, 0x91, 0x11, 0x41, 0x4f, 0x67, 0xdc, 0xea, 0x97, 0xf2, 0xcf, 0xce, 0xf0, 0xb4, 0xe6, 0x73,
+    0x96, 0xac, 0x74, 0x22, 0xe7, 0xad, 0x35, 0x85, 0xe2, 0xf9, 0x37, 0xe8, 0x1c, 0x75, 0xdf, 0x6e,
+    0x47, 0xf1, 0x1a, 0x71, 0x1d, 0x29, 0xc5, 0x89, 0x6f, 0xb7, 0x62, 0x0e, 0xaa, 0x18, 0xbe, 0x1b,
+    0xfc, 0x56, 0x3e, 0x4b, 0xc6, 0xd2, 0x79, 0x20, 0x9a, 0xdb, 0xc0, 0xfe, 0x78, 0xcd, 0x5a, 0xf4,
+    0x1f, 0xdd, 0xa8, 0x33, 0x88, 0x07, 0xc7, 0x31, 0xb1, 0x12, 0x10, 0x59, 0x27, 0x80, 0xec, 0x5f,
+    0x60, 0x51, 0x7f, 0xa9, 0x19, 0xb5, 0x4a, 0x0d, 0x2d, 0xe5, 0x7a, 0x9f, 0x93, 0xc9, 0x9c, 0xef,
+    0xa0, 0xe0, 0x3b, 0x4d, 0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63, 0x55, 0x21, 0x0c, 0x7d,
+];
+
+/// Round constants for the AES-128 key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply a GF(2^8) element by `x` (i.e., `{02}`) modulo the AES polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// Multiply two GF(2^8) elements modulo the AES polynomial.
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// Round-function lookup tables: `TE[i][x]` / `TD[i][x]` are the classic
+/// Rijndael T-tables, with `TE[i] = TE[0].rotate_right(8 i)`.
+struct Tables {
+    te: [[u32; 256]; 4],
+    td: [[u32; 256]; 4],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: std::sync::OnceLock<Tables> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut te = [[0u32; 256]; 4];
+        let mut td = [[0u32; 256]; 4];
+        for x in 0..256 {
+            let s = SBOX[x];
+            let e = u32::from_be_bytes([gmul(s, 2), s, s, gmul(s, 3)]);
+            let si = INV_SBOX[x];
+            let d = u32::from_be_bytes([gmul(si, 14), gmul(si, 9), gmul(si, 13), gmul(si, 11)]);
+            for i in 0..4 {
+                te[i][x] = e.rotate_right(8 * i as u32);
+                td[i][x] = d.rotate_right(8 * i as u32);
+            }
+        }
+        Tables { te, td }
+    })
+}
+
+/// `InvMixColumns` of one big-endian column word (key-schedule transform
+/// for the equivalent inverse cipher).
+fn inv_mix_word(w: u32) -> u32 {
+    let b = w.to_be_bytes();
+    let m = |r: [u8; 4]| {
+        gmul(b[0], r[0]) ^ gmul(b[1], r[1]) ^ gmul(b[2], r[2]) ^ gmul(b[3], r[3])
+    };
+    u32::from_be_bytes([
+        m([14, 11, 13, 9]),
+        m([9, 14, 11, 13]),
+        m([13, 9, 14, 11]),
+        m([11, 13, 9, 14]),
+    ])
+}
+
+/// An expanded AES-128 key, ready for block encryption and decryption.
+///
+/// # Example
+///
+/// ```
+/// use plutus_crypto::Aes128;
+///
+/// let aes = Aes128::new([0u8; 16]);
+/// let mut block = [0u8; 16];
+/// aes.encrypt_block(&mut block);
+/// aes.decrypt_block(&mut block);
+/// assert_eq!(block, [0u8; 16]);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    /// 11 round keys of 16 bytes each (reference byte layout).
+    round_keys: [[u8; 16]; 11],
+    /// Encryption round keys as big-endian column words.
+    ek: [[u32; 4]; 11],
+    /// Equivalent-inverse-cipher round keys.
+    dk: [[u32; 4]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key material through Debug output.
+        f.debug_struct("Aes128").field("round_keys", &"<redacted>").finish()
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the full AES-128 key schedule.
+    pub fn new(key: [u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        let mut ek = [[0u32; 4]; 11];
+        for (r, rk) in round_keys.iter().enumerate() {
+            for c in 0..4 {
+                ek[r][c] = u32::from_be_bytes(rk[4 * c..4 * c + 4].try_into().unwrap());
+            }
+        }
+        // Equivalent inverse cipher: reverse the schedule and apply
+        // InvMixColumns to the inner round keys.
+        let mut dk = [[0u32; 4]; 11];
+        dk[0] = ek[10];
+        dk[10] = ek[0];
+        for r in 1..10 {
+            for c in 0..4 {
+                dk[r][c] = inv_mix_word(ek[10 - r][c]);
+            }
+        }
+        Self { round_keys, ek, dk }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let t = tables();
+        let ek = &self.ek;
+        let mut s0 = u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ ek[0][0];
+        let mut s1 = u32::from_be_bytes(block[4..8].try_into().unwrap()) ^ ek[0][1];
+        let mut s2 = u32::from_be_bytes(block[8..12].try_into().unwrap()) ^ ek[0][2];
+        let mut s3 = u32::from_be_bytes(block[12..16].try_into().unwrap()) ^ ek[0][3];
+        for rk in &ek[1..10] {
+            let t0 = t.te[0][(s0 >> 24) as usize]
+                ^ t.te[1][(s1 >> 16) as usize & 0xff]
+                ^ t.te[2][(s2 >> 8) as usize & 0xff]
+                ^ t.te[3][s3 as usize & 0xff]
+                ^ rk[0];
+            let t1 = t.te[0][(s1 >> 24) as usize]
+                ^ t.te[1][(s2 >> 16) as usize & 0xff]
+                ^ t.te[2][(s3 >> 8) as usize & 0xff]
+                ^ t.te[3][s0 as usize & 0xff]
+                ^ rk[1];
+            let t2 = t.te[0][(s2 >> 24) as usize]
+                ^ t.te[1][(s3 >> 16) as usize & 0xff]
+                ^ t.te[2][(s0 >> 8) as usize & 0xff]
+                ^ t.te[3][s1 as usize & 0xff]
+                ^ rk[2];
+            let t3 = t.te[0][(s3 >> 24) as usize]
+                ^ t.te[1][(s0 >> 16) as usize & 0xff]
+                ^ t.te[2][(s1 >> 8) as usize & 0xff]
+                ^ t.te[3][s2 as usize & 0xff]
+                ^ rk[3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
+        }
+        let last = |a: u32, b: u32, c: u32, d: u32, rk: u32| {
+            (u32::from(SBOX[(a >> 24) as usize]) << 24
+                | u32::from(SBOX[(b >> 16) as usize & 0xff]) << 16
+                | u32::from(SBOX[(c >> 8) as usize & 0xff]) << 8
+                | u32::from(SBOX[d as usize & 0xff]))
+                ^ rk
+        };
+        let o0 = last(s0, s1, s2, s3, ek[10][0]);
+        let o1 = last(s1, s2, s3, s0, ek[10][1]);
+        let o2 = last(s2, s3, s0, s1, ek[10][2]);
+        let o3 = last(s3, s0, s1, s2, ek[10][3]);
+        block[0..4].copy_from_slice(&o0.to_be_bytes());
+        block[4..8].copy_from_slice(&o1.to_be_bytes());
+        block[8..12].copy_from_slice(&o2.to_be_bytes());
+        block[12..16].copy_from_slice(&o3.to_be_bytes());
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let t = tables();
+        let dk = &self.dk;
+        let mut s0 = u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ dk[0][0];
+        let mut s1 = u32::from_be_bytes(block[4..8].try_into().unwrap()) ^ dk[0][1];
+        let mut s2 = u32::from_be_bytes(block[8..12].try_into().unwrap()) ^ dk[0][2];
+        let mut s3 = u32::from_be_bytes(block[12..16].try_into().unwrap()) ^ dk[0][3];
+        for rk in &dk[1..10] {
+            let t0 = t.td[0][(s0 >> 24) as usize]
+                ^ t.td[1][(s3 >> 16) as usize & 0xff]
+                ^ t.td[2][(s2 >> 8) as usize & 0xff]
+                ^ t.td[3][s1 as usize & 0xff]
+                ^ rk[0];
+            let t1 = t.td[0][(s1 >> 24) as usize]
+                ^ t.td[1][(s0 >> 16) as usize & 0xff]
+                ^ t.td[2][(s3 >> 8) as usize & 0xff]
+                ^ t.td[3][s2 as usize & 0xff]
+                ^ rk[1];
+            let t2 = t.td[0][(s2 >> 24) as usize]
+                ^ t.td[1][(s1 >> 16) as usize & 0xff]
+                ^ t.td[2][(s0 >> 8) as usize & 0xff]
+                ^ t.td[3][s3 as usize & 0xff]
+                ^ rk[2];
+            let t3 = t.td[0][(s3 >> 24) as usize]
+                ^ t.td[1][(s2 >> 16) as usize & 0xff]
+                ^ t.td[2][(s1 >> 8) as usize & 0xff]
+                ^ t.td[3][s0 as usize & 0xff]
+                ^ rk[3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
+        }
+        let last = |a: u32, b: u32, c: u32, d: u32, rk: u32| {
+            (u32::from(INV_SBOX[(a >> 24) as usize]) << 24
+                | u32::from(INV_SBOX[(b >> 16) as usize & 0xff]) << 16
+                | u32::from(INV_SBOX[(c >> 8) as usize & 0xff]) << 8
+                | u32::from(INV_SBOX[d as usize & 0xff]))
+                ^ rk
+        };
+        let o0 = last(s0, s3, s2, s1, dk[10][0]);
+        let o1 = last(s1, s0, s3, s2, dk[10][1]);
+        let o2 = last(s2, s1, s0, s3, dk[10][2]);
+        let o3 = last(s3, s2, s1, s0, dk[10][3]);
+        block[0..4].copy_from_slice(&o0.to_be_bytes());
+        block[4..8].copy_from_slice(&o1.to_be_bytes());
+        block[8..12].copy_from_slice(&o2.to_be_bytes());
+        block[12..16].copy_from_slice(&o3.to_be_bytes());
+    }
+
+    /// Reference byte-oriented encryption (used by tests to cross-check
+    /// the T-table path).
+    #[doc(hidden)]
+    pub fn encrypt_block_reference(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Reference byte-oriented decryption (used by tests to cross-check
+    /// the T-table path).
+    #[doc(hidden)]
+    pub fn decrypt_block_reference(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[10]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for round in (1..10).rev() {
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypts a copy of `block` and returns the ciphertext.
+    pub fn encrypt(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut out = block;
+        self.encrypt_block(&mut out);
+        out
+    }
+
+    /// Decrypts a copy of `block` and returns the plaintext.
+    pub fn decrypt(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut out = block;
+        self.decrypt_block(&mut out);
+        out
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+/// State layout: byte `state[4*c + r]` is row `r`, column `c` (FIPS-197
+/// column-major order, matching the round-key layout produced in `new`).
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().unwrap();
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().unwrap();
+        state[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] = gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] = gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] = gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    /// FIPS-197 Appendix C.1 example vector.
+    #[test]
+    fn fips197_appendix_c1() {
+        let aes = Aes128::new(hex16("000102030405060708090a0b0c0d0e0f"));
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let ct = aes.encrypt(pt);
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt(ct), pt);
+    }
+
+    /// FIPS-197 Appendix B example vector.
+    #[test]
+    fn fips197_appendix_b() {
+        let aes = Aes128::new(hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let ct = aes.encrypt(pt);
+        assert_eq!(ct, hex16("3925841d02dc09fbdc118597196a0b32"));
+        assert_eq!(aes.decrypt(ct), pt);
+    }
+
+    #[test]
+    fn roundtrip_many_keys_and_blocks() {
+        // Deterministic pseudo-random coverage without pulling in rand here.
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..64 {
+            let mut key = [0u8; 16];
+            let mut pt = [0u8; 16];
+            key[..8].copy_from_slice(&next().to_le_bytes());
+            key[8..].copy_from_slice(&next().to_le_bytes());
+            pt[..8].copy_from_slice(&next().to_le_bytes());
+            pt[8..].copy_from_slice(&next().to_le_bytes());
+            let aes = Aes128::new(key);
+            assert_eq!(aes.decrypt(aes.encrypt(pt)), pt);
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_diffuses() {
+        let aes = Aes128::new(hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let pt = [0u8; 16];
+        let ct = aes.encrypt(pt);
+        let mut ct2 = ct;
+        ct2[0] ^= 1;
+        let pt2 = aes.decrypt(ct2);
+        // Avalanche: roughly half the 128 bits should differ; demand > 32.
+        let differing: u32 = pt.iter().zip(pt2.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert!(differing > 32, "only {differing} bits differ after bit-flip");
+    }
+
+    /// The T-table fast path must agree with the byte-oriented reference
+    /// implementation on random keys and blocks.
+    #[test]
+    fn ttable_matches_reference() {
+        let mut x: u64 = 0xdead_beef_cafe_f00d;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..128 {
+            let mut key = [0u8; 16];
+            let mut pt = [0u8; 16];
+            key[..8].copy_from_slice(&next().to_le_bytes());
+            key[8..].copy_from_slice(&next().to_le_bytes());
+            pt[..8].copy_from_slice(&next().to_le_bytes());
+            pt[8..].copy_from_slice(&next().to_le_bytes());
+            let aes = Aes128::new(key);
+            let mut fast = pt;
+            aes.encrypt_block(&mut fast);
+            let mut slow = pt;
+            aes.encrypt_block_reference(&mut slow);
+            assert_eq!(fast, slow, "encrypt mismatch");
+            aes.decrypt_block(&mut fast);
+            aes.decrypt_block_reference(&mut slow);
+            assert_eq!(fast, slow, "decrypt mismatch");
+            assert_eq!(fast, pt);
+        }
+    }
+
+    #[test]
+    fn gmul_matches_xtime() {
+        for b in 0..=255u8 {
+            assert_eq!(gmul(b, 2), xtime(b));
+            assert_eq!(gmul(b, 1), b);
+            assert_eq!(gmul(b, 3), xtime(b) ^ b);
+        }
+    }
+
+    #[test]
+    fn debug_redacts_key() {
+        let aes = Aes128::new([7u8; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains('7'));
+    }
+}

@@ -1,0 +1,118 @@
+//! GF(2^128) doubling operations used by XTS tweaks and CMAC subkeys.
+//!
+//! Both XTS and CMAC multiply a 128-bit value by `x` (α) in
+//! GF(2^128) / (x^128 + x^7 + x^2 + x + 1), but with opposite byte/bit
+//! conventions:
+//!
+//! - **XTS** (IEEE 1619) treats the 16-byte tweak as little-endian: bit 0 of
+//!   byte 0 is the least-significant coefficient, and the reduction constant
+//!   `0x87` folds into byte 0.
+//! - **CMAC** (RFC 4493 / NIST SP 800-38B) treats the block as big-endian:
+//!   the most-significant bit of byte 0 carries out, and `0x87` folds into
+//!   byte 15.
+
+/// Multiplies a 16-byte XTS tweak by α (little-endian convention).
+///
+/// This advances the tweak from cipher block `j` to block `j + 1` within a
+/// sector.
+#[inline]
+pub fn xts_mul_alpha(tweak: &mut [u8; 16]) {
+    let mut carry = 0u8;
+    for byte in tweak.iter_mut() {
+        let new_carry = *byte >> 7;
+        *byte = (*byte << 1) | carry;
+        carry = new_carry;
+    }
+    if carry != 0 {
+        tweak[0] ^= 0x87;
+    }
+}
+
+/// Multiplies a 16-byte block by `x` in the CMAC (big-endian) convention.
+///
+/// Used to derive the CMAC subkeys `K1 = L·x` and `K2 = L·x²`.
+#[inline]
+pub fn cmac_double(block: &mut [u8; 16]) {
+    let mut carry = 0u8;
+    for byte in block.iter_mut().rev() {
+        let new_carry = *byte >> 7;
+        *byte = (*byte << 1) | carry;
+        carry = new_carry;
+    }
+    if carry != 0 {
+        tweak_fold_be(block);
+    }
+}
+
+#[inline]
+fn tweak_fold_be(block: &mut [u8; 16]) {
+    block[15] ^= 0x87;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xts_mul_alpha_shifts_low_bit_up() {
+        let mut t = [0u8; 16];
+        t[0] = 1;
+        xts_mul_alpha(&mut t);
+        assert_eq!(t[0], 2);
+        // 64 more doublings move the bit into byte 8.
+        for _ in 0..63 {
+            xts_mul_alpha(&mut t);
+        }
+        assert_eq!(t[8], 1);
+        assert_eq!(t[0], 0);
+    }
+
+    #[test]
+    fn xts_mul_alpha_reduces_on_overflow() {
+        let mut t = [0u8; 16];
+        t[15] = 0x80; // x^127
+        xts_mul_alpha(&mut t);
+        // x^128 ≡ x^7 + x^2 + x + 1 = 0x87 in byte 0.
+        let mut expected = [0u8; 16];
+        expected[0] = 0x87;
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn cmac_double_reduces_on_overflow() {
+        let mut b = [0u8; 16];
+        b[0] = 0x80;
+        cmac_double(&mut b);
+        let mut expected = [0u8; 16];
+        expected[15] = 0x87;
+        assert_eq!(b, expected);
+    }
+
+    #[test]
+    fn cmac_double_plain_shift() {
+        let mut b = [0u8; 16];
+        b[15] = 0x01;
+        cmac_double(&mut b);
+        let mut expected = [0u8; 16];
+        expected[15] = 0x02;
+        assert_eq!(b, expected);
+    }
+
+    /// Doubling 128 times returns to the reduction polynomial pattern, never
+    /// to zero (the map is a bijection on nonzero elements).
+    #[test]
+    fn doubling_never_reaches_zero() {
+        let mut t = [0u8; 16];
+        t[3] = 0x5a;
+        for _ in 0..1000 {
+            xts_mul_alpha(&mut t);
+            assert_ne!(t, [0u8; 16]);
+        }
+        let mut b = [0u8; 16];
+        b[3] = 0x5a;
+        for _ in 0..1000 {
+            cmac_double(&mut b);
+            assert_ne!(b, [0u8; 16]);
+        }
+    }
+}

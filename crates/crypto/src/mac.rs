@@ -1,0 +1,216 @@
+//! AES-CMAC (RFC 4493 / NIST SP 800-38B) with truncation.
+//!
+//! Secure-memory designs store a truncated MAC per protected unit: Intel SGX
+//! uses 56-bit MACs, PSSM uses 32-bit per-sector MACs, and Plutus's baseline
+//! uses 64-bit per-sector MACs. This module provides the full 128-bit CMAC
+//! plus [`Cmac::tag`] truncation, and a *stateful* variant
+//! ([`Cmac::stateful_tag`]) that mixes the encryption tweak into the MAC as
+//! Bonsai-Merkle-Tree-style replay protection requires.
+
+use crate::gf128::cmac_double;
+use crate::{Aes128, Tweak};
+
+/// An AES-CMAC instance with precomputed subkeys.
+///
+/// # Example
+///
+/// ```
+/// use plutus_crypto::Cmac;
+///
+/// let cmac = Cmac::new([0x42; 16]);
+/// let tag8 = cmac.tag(b"sector data", 8);
+/// assert_eq!(tag8.len(), 8);
+/// ```
+#[derive(Clone)]
+pub struct Cmac {
+    cipher: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+impl std::fmt::Debug for Cmac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cmac").field("subkeys", &"<redacted>").finish()
+    }
+}
+
+impl Cmac {
+    /// Creates a CMAC instance, deriving subkeys `K1`, `K2` from `key`.
+    pub fn new(key: [u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let mut k1 = cipher.encrypt([0u8; 16]);
+        cmac_double(&mut k1);
+        let mut k2 = k1;
+        cmac_double(&mut k2);
+        Self { cipher, k1, k2 }
+    }
+
+    /// Computes the full 128-bit CMAC of `message`.
+    pub fn mac(&self, message: &[u8]) -> [u8; 16] {
+        let mut x = [0u8; 16];
+        if message.is_empty() {
+            // Single padded block XOR K2.
+            let mut block = [0u8; 16];
+            block[0] = 0x80;
+            for i in 0..16 {
+                block[i] ^= self.k2[i] ^ x[i];
+            }
+            return self.cipher.encrypt(block);
+        }
+        let full_blocks = (message.len() - 1) / 16;
+        for i in 0..full_blocks {
+            let mut block: [u8; 16] = message[16 * i..16 * i + 16].try_into().unwrap();
+            for j in 0..16 {
+                block[j] ^= x[j];
+            }
+            x = self.cipher.encrypt(block);
+        }
+        let rest = &message[16 * full_blocks..];
+        let mut last = [0u8; 16];
+        let key = if rest.len() == 16 {
+            last.copy_from_slice(rest);
+            &self.k1
+        } else {
+            last[..rest.len()].copy_from_slice(rest);
+            last[rest.len()] = 0x80;
+            &self.k2
+        };
+        for j in 0..16 {
+            last[j] ^= x[j] ^ key[j];
+        }
+        self.cipher.encrypt(last)
+    }
+
+    /// Computes a truncated tag of `len` bytes (1 ..= 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or greater than 16.
+    pub fn tag(&self, message: &[u8], len: usize) -> Vec<u8> {
+        assert!((1..=16).contains(&len), "tag length must be 1..=16, got {len}");
+        self.mac(message)[..len].to_vec()
+    }
+
+    /// Computes a stateful truncated tag binding `message` to its `tweak`
+    /// (address + counter), as required for replay protection: replaying an
+    /// old (data, MAC) pair fails because the current counter differs.
+    pub fn stateful_tag(&self, message: &[u8], tweak: Tweak, len: usize) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(message.len() + 16);
+        buf.extend_from_slice(&tweak.to_block());
+        buf.extend_from_slice(message);
+        self.tag(&buf, len)
+    }
+
+    /// Computes a fixed 8-byte stateful tag as a `u64` (the Plutus MAC
+    /// configuration). Convenient for storing tags in simulator tables.
+    pub fn stateful_tag64(&self, message: &[u8], tweak: Tweak) -> u64 {
+        let full = {
+            let mut buf = Vec::with_capacity(message.len() + 16);
+            buf.extend_from_slice(&tweak.to_block());
+            buf.extend_from_slice(message);
+            self.mac(&buf)
+        };
+        u64::from_le_bytes(full[..8].try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hexv(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc4493_cmac() -> Cmac {
+        Cmac::new(hexv("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap())
+    }
+
+    /// RFC 4493 test vector: empty message.
+    #[test]
+    fn rfc4493_empty() {
+        assert_eq!(
+            rfc4493_cmac().mac(b"").to_vec(),
+            hexv("bb1d6929e95937287fa37d129b756746")
+        );
+    }
+
+    /// RFC 4493 test vector: 16-byte message.
+    #[test]
+    fn rfc4493_one_block() {
+        let msg = hexv("6bc1bee22e409f96e93d7e117393172a");
+        assert_eq!(
+            rfc4493_cmac().mac(&msg).to_vec(),
+            hexv("070a16b46b4d4144f79bdd9dd04a287c")
+        );
+    }
+
+    /// RFC 4493 test vector: 40-byte message (partial final block).
+    #[test]
+    fn rfc4493_forty_bytes() {
+        let msg = hexv(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411"
+        ));
+        assert_eq!(
+            rfc4493_cmac().mac(&msg).to_vec(),
+            hexv("dfa66747de9ae63030ca32611497c827")
+        );
+    }
+
+    /// RFC 4493 test vector: 64-byte message.
+    #[test]
+    fn rfc4493_four_blocks() {
+        let msg = hexv(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ));
+        assert_eq!(
+            rfc4493_cmac().mac(&msg).to_vec(),
+            hexv("51f0bebf7e3b9d92fc49741779363cfe")
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_prefix() {
+        let cmac = rfc4493_cmac();
+        let full = cmac.mac(b"hello");
+        assert_eq!(cmac.tag(b"hello", 4), full[..4].to_vec());
+        assert_eq!(cmac.tag(b"hello", 8), full[..8].to_vec());
+    }
+
+    #[test]
+    fn stateful_tag_binds_counter() {
+        let cmac = rfc4493_cmac();
+        let t1 = cmac.stateful_tag64(b"data", Tweak::new(0x40, 1));
+        let t2 = cmac.stateful_tag64(b"data", Tweak::new(0x40, 2));
+        assert_ne!(t1, t2, "replay with stale counter must change the tag");
+    }
+
+    #[test]
+    fn stateful_tag_binds_address() {
+        let cmac = rfc4493_cmac();
+        let t1 = cmac.stateful_tag64(b"data", Tweak::new(0x40, 1));
+        let t2 = cmac.stateful_tag64(b"data", Tweak::new(0x60, 1));
+        assert_ne!(t1, t2, "splicing to another address must change the tag");
+    }
+
+    #[test]
+    #[should_panic(expected = "tag length")]
+    fn rejects_oversized_tag() {
+        rfc4493_cmac().tag(b"x", 17);
+    }
+
+    #[test]
+    fn stateful_tag64_matches_stateful_tag() {
+        let cmac = rfc4493_cmac();
+        let tweak = Tweak::new(0x1234, 56);
+        let v = cmac.stateful_tag(b"abc", tweak, 8);
+        assert_eq!(cmac.stateful_tag64(b"abc", tweak), u64::from_le_bytes(v.try_into().unwrap()));
+    }
+}

@@ -1,0 +1,217 @@
+//! AES-XTS sector encryption.
+//!
+//! XTS ("XEX-based tweaked-codebook mode with ciphertext stealing") is the
+//! encryption mode Plutus selects for the data path: unlike counter mode,
+//! the plaintext passes *through* the block cipher, so any modification of a
+//! 16-byte ciphertext block decrypts to an unrelated, effectively uniform
+//! 16-byte plaintext block. That diffusion ("malleability resistance") is
+//! what makes value-based integrity verification sound.
+//!
+//! GPU memory sectors are 32 bytes — an exact multiple of the 16-byte cipher
+//! block — so the ciphertext-stealing half of XTS is never needed; this
+//! implementation handles whole-block sectors of any multiple of 16 bytes.
+
+use crate::gf128::xts_mul_alpha;
+use crate::{Aes128, Tweak};
+
+/// An AES-XTS cipher with independent data and tweak keys.
+///
+/// # Example
+///
+/// ```
+/// use plutus_crypto::{Xts, Tweak};
+///
+/// let xts = Xts::new([1; 16], [2; 16]);
+/// let mut sector = [0u8; 32];
+/// xts.encrypt_sector(&mut sector, Tweak::new(0x1000, 0));
+/// // Same plaintext, different counter => different ciphertext.
+/// let mut sector2 = [0u8; 32];
+/// xts.encrypt_sector(&mut sector2, Tweak::new(0x1000, 1));
+/// assert_ne!(sector, sector2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Xts {
+    data_cipher: Aes128,
+    tweak_cipher: Aes128,
+}
+
+impl Xts {
+    /// Creates an XTS cipher from the data key (key1) and tweak key (key2).
+    pub fn new(data_key: [u8; 16], tweak_key: [u8; 16]) -> Self {
+        Self {
+            data_cipher: Aes128::new(data_key),
+            tweak_cipher: Aes128::new(tweak_key),
+        }
+    }
+
+    /// Computes the initial whitening value `T = AES_K2(tweak)`.
+    fn initial_t(&self, tweak: Tweak) -> [u8; 16] {
+        self.tweak_cipher.encrypt(tweak.to_block())
+    }
+
+    /// Encrypts `data` in place under `tweak`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a positive multiple of 16.
+    pub fn encrypt_sector(&self, data: &mut [u8], tweak: Tweak) {
+        self.process(data, tweak, true);
+    }
+
+    /// Decrypts `data` in place under `tweak`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a positive multiple of 16.
+    pub fn decrypt_sector(&self, data: &mut [u8], tweak: Tweak) {
+        self.process(data, tweak, false);
+    }
+
+    fn process(&self, data: &mut [u8], tweak: Tweak, encrypt: bool) {
+        assert!(
+            !data.is_empty() && data.len() % 16 == 0,
+            "XTS data must be a positive multiple of 16 bytes, got {}",
+            data.len()
+        );
+        let mut t = self.initial_t(tweak);
+        for chunk in data.chunks_exact_mut(16) {
+            let mut block: [u8; 16] = chunk.try_into().unwrap();
+            for (b, tb) in block.iter_mut().zip(t.iter()) {
+                *b ^= tb;
+            }
+            if encrypt {
+                self.data_cipher.encrypt_block(&mut block);
+            } else {
+                self.data_cipher.decrypt_block(&mut block);
+            }
+            for (b, tb) in block.iter_mut().zip(t.iter()) {
+                *b ^= tb;
+            }
+            chunk.copy_from_slice(&block);
+            xts_mul_alpha(&mut t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xts() -> Xts {
+        Xts::new(
+            *b"\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c",
+            *b"\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f",
+        )
+    }
+
+    #[test]
+    fn roundtrip_32_byte_sector() {
+        let x = xts();
+        let original = *b"value locality in GPU sectors!!!";
+        let mut data = original;
+        x.encrypt_sector(&mut data, Tweak::new(0xabc0, 3));
+        assert_ne!(data, original);
+        x.decrypt_sector(&mut data, Tweak::new(0xabc0, 3));
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn roundtrip_128_byte_line() {
+        let x = xts();
+        let original: Vec<u8> = (0..128u8).collect();
+        let mut data = original.clone();
+        x.encrypt_sector(&mut data, Tweak::new(0, 0));
+        x.decrypt_sector(&mut data, Tweak::new(0, 0));
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_addresses_give_different_ciphertexts() {
+        let x = xts();
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        x.encrypt_sector(&mut a, Tweak::new(0x1000, 0));
+        x.encrypt_sector(&mut b, Tweak::new(0x1020, 0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_counters_give_different_ciphertexts() {
+        let x = xts();
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        x.encrypt_sector(&mut a, Tweak::new(0x1000, 0));
+        x.encrypt_sector(&mut b, Tweak::new(0x1000, 1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wrong_counter_fails_to_decrypt() {
+        let x = xts();
+        let original = [7u8; 32];
+        let mut data = original;
+        x.encrypt_sector(&mut data, Tweak::new(0x40, 5));
+        x.decrypt_sector(&mut data, Tweak::new(0x40, 6));
+        assert_ne!(data, original, "replayed counter must not decrypt correctly");
+    }
+
+    /// The property Plutus relies on: flipping any ciphertext bit
+    /// randomizes the *entire* containing 16-byte block (and only that
+    /// block).
+    #[test]
+    fn tamper_diffusion_is_block_wide_and_block_local() {
+        let x = xts();
+        let original = [0x5au8; 32];
+        let mut ct = original;
+        x.encrypt_sector(&mut ct, Tweak::new(0x2000, 9));
+
+        let mut tampered = ct;
+        tampered[3] ^= 0x10; // flip one bit in the first cipher block
+        x.decrypt_sector(&mut tampered, Tweak::new(0x2000, 9));
+
+        // Second block untouched: decrypts to the original plaintext.
+        assert_eq!(&tampered[16..], &original[16..]);
+        // First block: wide diffusion, many bits differ.
+        let differing: u32 = tampered[..16]
+            .iter()
+            .zip(original[..16].iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert!(differing > 32, "only {differing} bits differ in tampered block");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_unaligned_length() {
+        let x = xts();
+        let mut data = [0u8; 20];
+        x.encrypt_sector(&mut data, Tweak::new(0, 0));
+    }
+
+    #[test]
+    fn per_block_tweak_progression_matches_manual_xex() {
+        // Encrypting a 32-byte sector must equal encrypting each 16-byte
+        // block with T and T·α respectively.
+        let x = xts();
+        let mut sector = [0x11u8; 32];
+        x.encrypt_sector(&mut sector, Tweak::new(0x77, 2));
+
+        let t0 = x.tweak_cipher.encrypt(Tweak::new(0x77, 2).to_block());
+        let mut t1 = t0;
+        crate::gf128::xts_mul_alpha(&mut t1);
+
+        let xex = |t: [u8; 16]| {
+            let mut b = [0x11u8; 16];
+            for (bb, tb) in b.iter_mut().zip(t.iter()) {
+                *bb ^= tb;
+            }
+            x.data_cipher.encrypt_block(&mut b);
+            for (bb, tb) in b.iter_mut().zip(t.iter()) {
+                *bb ^= tb;
+            }
+            b
+        };
+        assert_eq!(&sector[..16], &xex(t0));
+        assert_eq!(&sector[16..], &xex(t1));
+    }
+}

@@ -1,0 +1,171 @@
+//! Address arithmetic for the sectored GPU memory hierarchy.
+//!
+//! Volta-class GPUs cache 128-byte lines but transfer 32-byte *sectors* to
+//! and from DRAM; sectors are the granularity at which the Plutus paper
+//! attaches security metadata (one counter and one MAC per sector).
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per DRAM access sector.
+pub const SECTOR_SIZE: u64 = 32;
+/// Bytes per cache line ("block" in the paper).
+pub const BLOCK_SIZE: u64 = 128;
+/// Sectors per cache line.
+pub const SECTORS_PER_BLOCK: usize = (BLOCK_SIZE / SECTOR_SIZE) as usize;
+
+/// A sector-aligned physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SectorAddr(u64);
+
+impl SectorAddr {
+    /// Creates a sector address by aligning `addr` down to 32 bytes.
+    pub fn containing(addr: u64) -> Self {
+        Self(addr & !(SECTOR_SIZE - 1))
+    }
+
+    /// Creates a sector address from an already-aligned value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 32-byte aligned.
+    pub fn new(addr: u64) -> Self {
+        assert_eq!(addr % SECTOR_SIZE, 0, "sector address {addr:#x} not 32B-aligned");
+        Self(addr)
+    }
+
+    /// The raw byte address.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The 128-byte block containing this sector.
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 & !(BLOCK_SIZE - 1))
+    }
+
+    /// Index of this sector within its block (0..4).
+    pub fn sector_in_block(self) -> usize {
+        ((self.0 % BLOCK_SIZE) / SECTOR_SIZE) as usize
+    }
+
+    /// Global sector index (address / 32).
+    pub fn index(self) -> u64 {
+        self.0 / SECTOR_SIZE
+    }
+}
+
+impl std::fmt::Display for SectorAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A 128-byte-aligned block (cache line) address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address by aligning `addr` down to 128 bytes.
+    pub fn containing(addr: u64) -> Self {
+        Self(addr & !(BLOCK_SIZE - 1))
+    }
+
+    /// The raw byte address.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Global block index (address / 128).
+    pub fn index(self) -> u64 {
+        self.0 / BLOCK_SIZE
+    }
+
+    /// The `i`-th sector of this block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    pub fn sector(self, i: usize) -> SectorAddr {
+        assert!(i < SECTORS_PER_BLOCK, "sector index {i} out of range");
+        SectorAddr(self.0 + i as u64 * SECTOR_SIZE)
+    }
+}
+
+impl std::fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Maps a block to its memory partition using a pseudo-random interleave.
+///
+/// Volta interleaves 128-byte blocks across 32 partitions with an
+/// address hash to avoid camping; we fold the upper block-index bits into
+/// the lower ones before taking the modulus, which spreads strided patterns
+/// evenly (Table I: "pseudo-random memory interleaving").
+pub fn partition_of(block: BlockAddr, partitions: usize) -> usize {
+    assert!(partitions > 0, "partition count must be positive");
+    let idx = block.index();
+    let mixed = idx ^ (idx >> 7) ^ (idx >> 13) ^ (idx >> 21);
+    (mixed % partitions as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_alignment_and_block_membership() {
+        let s = SectorAddr::containing(0x1234_5678);
+        assert_eq!(s.raw() % SECTOR_SIZE, 0);
+        assert_eq!(s.block().raw() % BLOCK_SIZE, 0);
+        assert!(s.raw() >= s.block().raw());
+        assert!(s.raw() < s.block().raw() + BLOCK_SIZE);
+    }
+
+    #[test]
+    fn sector_in_block_covers_all_four() {
+        let b = BlockAddr::containing(0x8000);
+        for i in 0..SECTORS_PER_BLOCK {
+            assert_eq!(b.sector(i).sector_in_block(), i);
+            assert_eq!(b.sector(i).block(), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not 32B-aligned")]
+    fn unaligned_sector_rejected() {
+        SectorAddr::new(33);
+    }
+
+    #[test]
+    fn partition_mapping_is_stable_and_in_range() {
+        for i in 0..10_000u64 {
+            let b = BlockAddr::containing(i * BLOCK_SIZE);
+            let p = partition_of(b, 32);
+            assert!(p < 32);
+            assert_eq!(p, partition_of(b, 32), "mapping must be deterministic");
+        }
+    }
+
+    #[test]
+    fn partition_mapping_spreads_strided_accesses() {
+        // A large power-of-two stride must not camp on one partition.
+        let mut counts = [0usize; 32];
+        for i in 0..3200u64 {
+            let b = BlockAddr::containing(i * 4096);
+            counts[partition_of(b, 32)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 3 * (min + 1), "imbalanced interleave: min={min} max={max}");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let s = SectorAddr::new(96);
+        assert_eq!(s.index(), 3);
+        assert_eq!(s.sector_in_block(), 3);
+        assert_eq!(s.block().index(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Functional backing store for simulated device memory.
+//!
+//! The store holds whatever bytes the active security engine writes —
+//! ciphertext for encrypting engines, plaintext for the no-security
+//! baseline. Sectors never written read back as `None`; engines interpret
+//! that as an all-zero plaintext sector with a zero write counter, matching
+//! zero-initialized device memory.
+//!
+//! The store doubles as the *attack surface*: [`BackingMemory::corrupt`]
+//! and [`BackingMemory::replay`] model the physical attacker of the paper's
+//! threat model, and integration tests drive detection through them.
+
+use crate::address::{SectorAddr, SECTOR_SIZE};
+use std::collections::HashMap;
+
+/// Sparse functional memory, sector granularity.
+#[derive(Debug, Default, Clone)]
+pub struct BackingMemory {
+    sectors: HashMap<u64, [u8; SECTOR_SIZE as usize]>,
+}
+
+impl BackingMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a sector, or `None` if it was never written.
+    pub fn read(&self, addr: SectorAddr) -> Option<[u8; 32]> {
+        self.sectors.get(&addr.raw()).copied()
+    }
+
+    /// Writes a sector.
+    pub fn write(&mut self, addr: SectorAddr, data: [u8; 32]) {
+        self.sectors.insert(addr.raw(), data);
+    }
+
+    /// Number of distinct sectors ever written.
+    pub fn resident_sectors(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// Physical attack: XORs `mask` into the stored bytes of `addr`.
+    ///
+    /// Returns `false` (and does nothing) if the sector is not resident —
+    /// an attacker can only flip bits in bytes that exist.
+    pub fn corrupt(&mut self, addr: SectorAddr, mask: &[u8; 32]) -> bool {
+        match self.sectors.get_mut(&addr.raw()) {
+            Some(data) => {
+                for (b, m) in data.iter_mut().zip(mask.iter()) {
+                    *b ^= m;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Physical attack: captures the current bytes of `addr` for later
+    /// replay. Returns `None` if not resident.
+    pub fn snapshot(&self, addr: SectorAddr) -> Option<[u8; 32]> {
+        self.read(addr)
+    }
+
+    /// Physical attack: restores previously captured bytes (a replay).
+    pub fn replay(&mut self, addr: SectorAddr, old: [u8; 32]) {
+        self.write(addr, old);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = BackingMemory::new();
+        let a = SectorAddr::new(0x40);
+        assert_eq!(m.read(a), None);
+        m.write(a, [9; 32]);
+        assert_eq!(m.read(a), Some([9; 32]));
+        assert_eq!(m.resident_sectors(), 1);
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_masked_bits() {
+        let mut m = BackingMemory::new();
+        let a = SectorAddr::new(0x40);
+        m.write(a, [0xff; 32]);
+        let mut mask = [0u8; 32];
+        mask[5] = 0x0f;
+        assert!(m.corrupt(a, &mask));
+        let got = m.read(a).unwrap();
+        assert_eq!(got[5], 0xf0);
+        assert_eq!(got[4], 0xff);
+    }
+
+    #[test]
+    fn corrupt_missing_sector_is_noop() {
+        let mut m = BackingMemory::new();
+        assert!(!m.corrupt(SectorAddr::new(0), &[1; 32]));
+    }
+
+    #[test]
+    fn snapshot_replay_roundtrip() {
+        let mut m = BackingMemory::new();
+        let a = SectorAddr::new(0x80);
+        m.write(a, [1; 32]);
+        let old = m.snapshot(a).unwrap();
+        m.write(a, [2; 32]);
+        m.replay(a, old);
+        assert_eq!(m.read(a), Some([1; 32]));
+    }
+}

@@ -1,0 +1,262 @@
+//! The interface between the memory controller and a memory-security
+//! scheme.
+//!
+//! Every L2 miss (fill) and dirty writeback passes through a
+//! [`SecurityEngine`]. The engine performs the *functional* work (real
+//! encryption, MAC and integrity-tree bookkeeping against the
+//! [`BackingMemory`]) and returns a *timing plan* describing the extra DRAM
+//! requests and crypto latencies the simulator must charge. One engine
+//! instance exists per memory partition, mirroring PSSM's per-partition
+//! security engines and metadata caches.
+
+use crate::address::SectorAddr;
+use crate::mem::BackingMemory;
+use crate::stats::TrafficClass;
+
+/// One metadata DRAM request in a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramReq {
+    /// Address (used for bank/row mapping; metadata is partition-local).
+    pub addr: u64,
+    /// Transfer size in bytes (32 for sectors, 128 for whole blocks).
+    pub bytes: u32,
+    /// Traffic classification for the statistics breakdown.
+    pub class: TrafficClass,
+}
+
+impl DramReq {
+    /// Convenience constructor.
+    pub fn new(addr: u64, bytes: u32, class: TrafficClass) -> Self {
+        Self { addr, bytes, class }
+    }
+}
+
+/// A detected integrity violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// The per-sector MAC did not match the decrypted data.
+    MacMismatch {
+        /// The offending data sector.
+        addr: SectorAddr,
+    },
+    /// An integrity-tree node failed verification (replayed counter).
+    TreeMismatch {
+        /// The offending data sector.
+        addr: SectorAddr,
+        /// Tree level at which verification failed (0 = leaf/counter).
+        level: u32,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MacMismatch { addr } => write!(f, "MAC mismatch at {addr}"),
+            Violation::TreeMismatch { addr, level } => {
+                write!(f, "integrity-tree mismatch at {addr} (level {level})")
+            }
+        }
+    }
+}
+
+/// Timing plan for serving one L2 read miss.
+///
+/// The simulator executes it as:
+///
+/// ```text
+/// t_meta  = max over pre_chains of (sequential DRAM reads in the chain)
+/// t_data  = DRAM read of the 32 B data sector (issued by the simulator)
+/// t_ready = max(t_meta, t_data) + crypto_latency
+/// if post_chain: t_ready = (sequential reads from t_ready) + post_latency
+/// ```
+///
+/// Metadata writebacks in `writes` are fire-and-forget (they consume
+/// bandwidth but nothing waits on them).
+#[derive(Debug, Clone, Default)]
+pub struct FillPlan {
+    /// Parallel chains of *sequential* metadata reads required before the
+    /// data can be verified (e.g. counter → BMT level 1 → BMT level 2).
+    pub pre_chains: Vec<Vec<DramReq>>,
+    /// Latency charged once data and `pre_chains` complete (decryption).
+    pub crypto_latency: u64,
+    /// Reads issued only after decryption — Plutus's deferred MAC fetch.
+    pub post_chain: Vec<DramReq>,
+    /// Latency charged after `post_chain` (MAC verification).
+    pub post_latency: u64,
+    /// Reads nothing waits on (e.g. lazy-update fetches of integrity-tree
+    /// nodes being propagated); they consume bandwidth only.
+    pub async_reads: Vec<DramReq>,
+    /// Asynchronous metadata writebacks (dirty metadata-cache evictions).
+    pub writes: Vec<DramReq>,
+    /// Decrypted sector contents delivered to the core.
+    pub plaintext: [u8; 32],
+    /// Set when verification failed (tampered/replayed memory).
+    pub violation: Option<Violation>,
+}
+
+/// Timing plan for one dirty-sector writeback.
+#[derive(Debug, Clone, Default)]
+pub struct WritePlan {
+    /// Parallel chains of sequential metadata reads needed to perform the
+    /// write (e.g. counter fetch for read-modify-write on a miss).
+    pub pre_chains: Vec<Vec<DramReq>>,
+    /// Crypto latency (encryption + MAC generation).
+    pub crypto_latency: u64,
+    /// Reads nothing waits on (lazy-update and overflow re-encryption
+    /// fetches); they consume bandwidth only.
+    pub async_reads: Vec<DramReq>,
+    /// Metadata writes (counter/MAC/BMT blocks); the 32 B data write itself
+    /// is issued by the simulator.
+    pub writes: Vec<DramReq>,
+    /// Set when a metadata fetch performed for this write failed to verify.
+    pub violation: Option<Violation>,
+}
+
+/// A pluggable memory-security scheme, one instance per memory partition.
+pub trait SecurityEngine {
+    /// Engine name used in reports (e.g. `"pssm"`, `"plutus"`).
+    fn name(&self) -> &'static str;
+
+    /// Installs one sector of the initial (pre-kernel) memory image,
+    /// encrypting it with its current counter and establishing whatever
+    /// metadata the scheme needs. Must not generate timing.
+    fn install(&mut self, addr: SectorAddr, plaintext: &[u8; 32], mem: &mut BackingMemory);
+
+    /// Serves an L2 read miss of `addr`: decrypt + verify, returning the
+    /// timing plan and plaintext.
+    fn on_fill(&mut self, addr: SectorAddr, mem: &mut BackingMemory) -> FillPlan;
+
+    /// Serves a dirty writeback of `addr` carrying `plaintext`: encrypt,
+    /// update metadata, write ciphertext to `mem`, return the timing plan.
+    fn on_writeback(
+        &mut self,
+        addr: SectorAddr,
+        plaintext: &[u8; 32],
+        mem: &mut BackingMemory,
+    ) -> WritePlan;
+
+    /// Engine-specific statistic counters folded into [`crate::stats::SimStats::engine`].
+    fn extra_stats(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+}
+
+/// Builds one engine instance per partition.
+///
+/// Engines hold per-partition state (metadata caches, value caches), so the
+/// simulator needs a fresh instance for each partition.
+pub trait EngineFactory {
+    /// Creates the engine for `partition`.
+    fn build(&self, partition: usize) -> Box<dyn SecurityEngine>;
+
+    /// Name of the scheme this factory builds.
+    fn scheme_name(&self) -> &'static str;
+}
+
+impl<F> EngineFactory for F
+where
+    F: Fn(usize) -> Box<dyn SecurityEngine>,
+{
+    fn build(&self, partition: usize) -> Box<dyn SecurityEngine> {
+        self(partition)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// The no-security baseline: plaintext storage, no metadata, no latency.
+///
+/// Every paper figure normalizes against this engine.
+#[derive(Debug, Default, Clone)]
+pub struct NoSecurityEngine;
+
+impl NoSecurityEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Factory for use with the simulator.
+    pub fn factory() -> impl EngineFactory {
+        |_p: usize| Box::new(NoSecurityEngine) as Box<dyn SecurityEngine>
+    }
+}
+
+impl SecurityEngine for NoSecurityEngine {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn install(&mut self, addr: SectorAddr, plaintext: &[u8; 32], mem: &mut BackingMemory) {
+        mem.write(addr, *plaintext);
+    }
+
+    fn on_fill(&mut self, addr: SectorAddr, mem: &mut BackingMemory) -> FillPlan {
+        FillPlan {
+            plaintext: mem.read(addr).unwrap_or([0; 32]),
+            ..FillPlan::default()
+        }
+    }
+
+    fn on_writeback(
+        &mut self,
+        addr: SectorAddr,
+        plaintext: &[u8; 32],
+        mem: &mut BackingMemory,
+    ) -> WritePlan {
+        mem.write(addr, *plaintext);
+        WritePlan::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_security_roundtrip() {
+        let mut e = NoSecurityEngine::new();
+        let mut mem = BackingMemory::new();
+        let a = SectorAddr::new(0x100);
+        let wp = e.on_writeback(a, &[5; 32], &mut mem);
+        assert!(wp.writes.is_empty());
+        assert_eq!(wp.crypto_latency, 0);
+        let fp = e.on_fill(a, &mut mem);
+        assert_eq!(fp.plaintext, [5; 32]);
+        assert!(fp.pre_chains.is_empty());
+        assert!(fp.violation.is_none());
+    }
+
+    #[test]
+    fn no_security_unwritten_reads_zero() {
+        let mut e = NoSecurityEngine::new();
+        let mut mem = BackingMemory::new();
+        let fp = e.on_fill(SectorAddr::new(0), &mut mem);
+        assert_eq!(fp.plaintext, [0; 32]);
+    }
+
+    #[test]
+    fn install_writes_plaintext() {
+        let mut e = NoSecurityEngine::new();
+        let mut mem = BackingMemory::new();
+        e.install(SectorAddr::new(0x40), &[3; 32], &mut mem);
+        assert_eq!(mem.read(SectorAddr::new(0x40)), Some([3; 32]));
+    }
+
+    #[test]
+    fn factory_builds_engines() {
+        let f = NoSecurityEngine::factory();
+        let e = f.build(3);
+        assert_eq!(e.name(), "none");
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::MacMismatch { addr: SectorAddr::new(0x40) };
+        assert!(v.to_string().contains("0x40"));
+        let v = Violation::TreeMismatch { addr: SectorAddr::new(0x40), level: 2 };
+        assert!(v.to_string().contains("level 2"));
+    }
+}

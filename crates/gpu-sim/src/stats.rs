@@ -1,0 +1,253 @@
+//! Traffic and performance statistics.
+//!
+//! Everything the paper's figures plot comes from these counters: IPC
+//! (Figs. 6, 15–18, 20–21), per-class DRAM traffic (Figs. 7, 19), request
+//! mix (Fig. 10), and the DRAM-energy proxy behind the power figure
+//! (Fig. 22).
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of DRAM traffic, matching the paper's breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Application data sectors.
+    Data,
+    /// Encryption counter blocks (the original split counters).
+    Counter,
+    /// Per-sector MACs.
+    Mac,
+    /// Bonsai Merkle Tree nodes over the original counters.
+    BmtNode,
+    /// Plutus compact mirrored counter blocks.
+    CompactCounter,
+    /// Nodes of the small BMT protecting the compact counters.
+    CompactBmt,
+}
+
+impl TrafficClass {
+    /// All classes, in display order.
+    pub const ALL: [TrafficClass; 6] = [
+        TrafficClass::Data,
+        TrafficClass::Counter,
+        TrafficClass::Mac,
+        TrafficClass::BmtNode,
+        TrafficClass::CompactCounter,
+        TrafficClass::CompactBmt,
+    ];
+
+    /// Index into per-class arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            TrafficClass::Data => 0,
+            TrafficClass::Counter => 1,
+            TrafficClass::Mac => 2,
+            TrafficClass::BmtNode => 3,
+            TrafficClass::CompactCounter => 4,
+            TrafficClass::CompactBmt => 5,
+        }
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Data => "data",
+            TrafficClass::Counter => "counter",
+            TrafficClass::Mac => "mac",
+            TrafficClass::BmtNode => "bmt",
+            TrafficClass::CompactCounter => "compact_ctr",
+            TrafficClass::CompactBmt => "compact_bmt",
+        }
+    }
+
+    /// True for classes that are security metadata rather than data.
+    pub fn is_metadata(self) -> bool {
+        !matches!(self, TrafficClass::Data)
+    }
+}
+
+impl std::fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Byte/request counters for one traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassTraffic {
+    /// Bytes read from DRAM.
+    pub read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub write_bytes: u64,
+    /// Read requests.
+    pub read_reqs: u64,
+    /// Write requests.
+    pub write_reqs: u64,
+}
+
+impl ClassTraffic {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+/// Aggregated statistics for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total simulated cycles (time of the last retired event).
+    pub cycles: u64,
+    /// Instructions retired (from trace annotations).
+    pub instructions: u64,
+    /// Memory accesses completed.
+    pub accesses: u64,
+    /// Read accesses issued by the cores.
+    pub read_accesses: u64,
+    /// Write accesses issued by the cores.
+    pub write_accesses: u64,
+    /// L2 hits (sector present and not pending).
+    pub l2_hits: u64,
+    /// L2 misses that allocated an MSHR.
+    pub l2_misses: u64,
+    /// Accesses merged into an in-flight MSHR entry.
+    pub mshr_merges: u64,
+    /// Retries due to MSHR exhaustion.
+    pub mshr_stalls: u64,
+    /// Per-class DRAM traffic, indexed by [`TrafficClass::idx`].
+    pub traffic: [ClassTraffic; 6],
+    /// Integrity violations detected (nonzero only under active attack).
+    pub violations: u64,
+    /// Sum of fill latencies (ready − arrival), for average-latency
+    /// diagnostics.
+    pub fill_latency_sum: u64,
+    /// Number of fills contributing to [`Self::fill_latency_sum`].
+    pub fill_count: u64,
+    /// Engine-specific counters (e.g. value-cache hits), name → count.
+    pub engine: Vec<(String, u64)>,
+}
+
+impl SimStats {
+    /// Records a DRAM transfer.
+    pub fn record_traffic(&mut self, class: TrafficClass, bytes: u64, is_write: bool) {
+        let t = &mut self.traffic[class.idx()];
+        if is_write {
+            t.write_bytes += bytes;
+            t.write_reqs += 1;
+        } else {
+            t.read_bytes += bytes;
+            t.read_reqs += 1;
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total DRAM bytes moved, all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.traffic.iter().map(ClassTraffic::total_bytes).sum()
+    }
+
+    /// Bytes of security metadata moved (everything but `Data`).
+    pub fn metadata_bytes(&self) -> u64 {
+        TrafficClass::ALL
+            .iter()
+            .filter(|c| c.is_metadata())
+            .map(|c| self.traffic[c.idx()].total_bytes())
+            .sum()
+    }
+
+    /// Bytes for one class.
+    pub fn class_bytes(&self, class: TrafficClass) -> u64 {
+        self.traffic[class.idx()].total_bytes()
+    }
+
+    /// Achieved DRAM bandwidth utilization against a theoretical peak,
+    /// `bytes_per_cycle` aggregated over all partitions.
+    pub fn bandwidth_utilization(&self, peak_bytes_per_cycle: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / (self.cycles as f64 * peak_bytes_per_cycle)
+        }
+    }
+
+    /// Looks up an engine-specific counter by name.
+    pub fn engine_counter(&self, name: &str) -> Option<u64> {
+        self.engine.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// DRAM energy proxy in picojoules: `pj_per_byte` × bytes moved.
+    /// Used by the Fig. 22 power model.
+    pub fn dram_energy_pj(&self, pj_per_byte: f64) -> f64 {
+        self.total_bytes() as f64 * pj_per_byte
+    }
+
+    /// Average fill latency in cycles (arrival at the controller to
+    /// verified data).
+    pub fn avg_fill_latency(&self) -> f64 {
+        if self.fill_count == 0 {
+            0.0
+        } else {
+            self.fill_latency_sum as f64 / self.fill_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_classification() {
+        let mut s = SimStats::default();
+        s.record_traffic(TrafficClass::Data, 32, false);
+        s.record_traffic(TrafficClass::Mac, 32, false);
+        s.record_traffic(TrafficClass::Counter, 128, true);
+        assert_eq!(s.total_bytes(), 192);
+        assert_eq!(s.metadata_bytes(), 160);
+        assert_eq!(s.class_bytes(TrafficClass::Mac), 32);
+        assert_eq!(s.traffic[TrafficClass::Counter.idx()].write_reqs, 1);
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let s = SimStats { cycles: 100, instructions: 250, ..Default::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_indices_are_unique_and_dense() {
+        let mut seen = [false; 6];
+        for c in TrafficClass::ALL {
+            assert!(!seen[c.idx()], "duplicate idx for {c}");
+            seen[c.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bandwidth_utilization_bounds() {
+        let mut s = SimStats { cycles: 10, ..Default::default() };
+        s.record_traffic(TrafficClass::Data, 240, false);
+        let u = s.bandwidth_utilization(24.0);
+        assert!((u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_data_is_not_metadata() {
+        for c in TrafficClass::ALL {
+            assert_eq!(c.is_metadata(), c != TrafficClass::Data);
+        }
+    }
+}

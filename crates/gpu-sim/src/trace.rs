@@ -1,0 +1,161 @@
+//! Memory-access traces driving the simulator.
+//!
+//! A [`Trace`] is a flat, ordered stream of sector accesses plus the initial
+//! memory image. The warp pool dispatches accesses round-robin: each warp
+//! repeatedly claims the next access, spends its `think_cycles` of compute,
+//! issues it, and (for reads) blocks until the response returns. This keeps
+//! workload generation (in the `workloads` crate) fully decoupled from
+//! timing.
+
+use crate::address::SectorAddr;
+use serde::{Deserialize, Serialize};
+
+/// Whether an access reads or writes its sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Load: blocks the issuing warp until data returns.
+    Read,
+    /// Full-sector store: fire-and-forget from the warp's perspective.
+    Write,
+}
+
+/// Sentinel for "no write data attached".
+pub const NO_DATA: u32 = u32::MAX;
+
+/// One memory access in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceAccess {
+    /// Sector-aligned address.
+    pub addr: SectorAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Compute cycles the warp spends before issuing this access.
+    pub think_cycles: u32,
+    /// Instructions retired when this access completes (models the
+    /// arithmetic the access feeds; drives IPC).
+    pub instructions: u32,
+    /// Index into [`Trace::write_data`] for writes; [`NO_DATA`] for reads.
+    pub data_idx: u32,
+}
+
+/// A complete workload trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable workload name (e.g. `"bfs"`).
+    pub name: String,
+    /// The ordered access stream.
+    pub accesses: Vec<TraceAccess>,
+    /// Write payloads referenced by [`TraceAccess::data_idx`].
+    pub write_data: Vec<[u8; 32]>,
+    /// Initial plaintext memory image: (sector address, contents).
+    pub initial_image: Vec<(SectorAddr, [u8; 32])>,
+}
+
+impl Trace {
+    /// Creates an empty named trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ..Default::default() }
+    }
+
+    /// Appends a read access.
+    pub fn push_read(&mut self, addr: SectorAddr, think_cycles: u32, instructions: u32) {
+        self.accesses.push(TraceAccess {
+            addr,
+            kind: AccessKind::Read,
+            think_cycles,
+            instructions,
+            data_idx: NO_DATA,
+        });
+    }
+
+    /// Appends a full-sector write access carrying `data`.
+    pub fn push_write(
+        &mut self,
+        addr: SectorAddr,
+        data: [u8; 32],
+        think_cycles: u32,
+        instructions: u32,
+    ) {
+        let idx = self.write_data.len() as u32;
+        assert!(idx != NO_DATA, "trace write_data overflow");
+        self.write_data.push(data);
+        self.accesses.push(TraceAccess {
+            addr,
+            kind: AccessKind::Write,
+            think_cycles,
+            instructions,
+            data_idx: idx,
+        });
+    }
+
+    /// Adds an initial-image sector (pre-kernel device memory contents).
+    pub fn set_initial(&mut self, addr: SectorAddr, data: [u8; 32]) {
+        self.initial_image.push((addr, data));
+    }
+
+    /// Payload of a write access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `access` is not a write from this trace.
+    pub fn data_of(&self, access: &TraceAccess) -> &[u8; 32] {
+        assert_eq!(access.kind, AccessKind::Write, "data_of called on a read");
+        &self.write_data[access.data_idx as usize]
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if the trace has no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Fraction of accesses that are writes (paper Fig. 10).
+    pub fn write_fraction(&self) -> f64 {
+        if self.accesses.is_empty() {
+            return 0.0;
+        }
+        let writes = self.accesses.iter().filter(|a| a.kind == AccessKind::Write).count();
+        writes as f64 / self.accesses.len() as f64
+    }
+
+    /// Total instructions annotated on the trace.
+    pub fn total_instructions(&self) -> u64 {
+        self.accesses.iter().map(|a| a.instructions as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_inspect() {
+        let mut t = Trace::new("unit");
+        t.push_read(SectorAddr::new(0), 4, 10);
+        t.push_write(SectorAddr::new(32), [7; 32], 2, 5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_instructions(), 15);
+        assert!((t.write_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(t.data_of(&t.accesses[1]), &[7; 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data_of called on a read")]
+    fn data_of_read_panics() {
+        let mut t = Trace::new("unit");
+        t.push_read(SectorAddr::new(0), 0, 0);
+        let a = t.accesses[0];
+        t.data_of(&a);
+    }
+
+    #[test]
+    fn empty_trace_properties() {
+        let t = Trace::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.write_fraction(), 0.0);
+    }
+}

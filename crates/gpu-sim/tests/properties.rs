@@ -1,0 +1,114 @@
+//! Property-based tests for the simulator substrate: the sectored cache is
+//! checked against a reference model, and the DRAM channel against its
+//! throughput/latency contracts.
+
+use gpu_sim::cache::SectoredCache;
+use gpu_sim::dram::DramChannel;
+use gpu_sim::{partition_of, BlockAddr, DramConfig, SectorAddr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Read(u64),
+    Write(u64, u8),
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..256).prop_map(|s| CacheOp::Read(s * 32)),
+            ((0u64..256), any::<u8>()).prop_map(|(s, v)| CacheOp::Write(s * 32, v)),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    /// Write-back correctness: every byte the cache ever returns (via
+    /// eviction or final flush) matches the last value written there.
+    #[test]
+    fn cache_is_a_faithful_writeback_store(ops in cache_ops()) {
+        let mut cache = SectoredCache::new(2048, 4, 128, true);
+        let mut reference: HashMap<u64, [u8; 32]> = HashMap::new();
+        let mut evictions: Vec<(u64, Option<[u8; 32]>, [u8; 32])> = Vec::new();
+        for op in &ops {
+            let (addr, out) = match *op {
+                CacheOp::Read(addr) => (addr, cache.access(addr, false, None)),
+                CacheOp::Write(addr, v) => {
+                    let data = [v; 32];
+                    let out = cache.access(addr, true, Some(data));
+                    reference.insert(addr, data);
+                    (addr, out)
+                }
+            };
+            let _ = addr;
+            for ev in out.evicted {
+                let expected = reference.get(&ev.addr).copied().unwrap_or([0; 32]);
+                evictions.push((ev.addr, ev.data, expected));
+            }
+        }
+        for ev in cache.flush_dirty() {
+            let expected = reference.get(&ev.addr).copied().unwrap_or([0; 32]);
+            evictions.push((ev.addr, ev.data, expected));
+        }
+        for (addr, data, expected) in evictions {
+            if let Some(d) = data {
+                prop_assert_eq!(d, expected, "stale eviction at {:#x}", addr);
+            }
+        }
+    }
+
+    /// A probe after an access to the same sector always hits until an
+    /// intervening eviction; stats never decrease.
+    #[test]
+    fn cache_probe_agrees_with_access(addrs in proptest::collection::vec(0u64..64, 1..100)) {
+        let mut cache = SectoredCache::new(4096, 4, 128, false);
+        for &a in &addrs {
+            let addr = a * 32;
+            cache.access(addr, false, None);
+            // 4 KiB cache, 64 sectors ≤ capacity: nothing evicts, so the
+            // sector must be present.
+            prop_assert!(cache.probe(addr));
+        }
+        let (hits, misses) = cache.hit_stats();
+        prop_assert_eq!(hits + misses, addrs.len() as u64);
+    }
+
+    /// DRAM completions respect arrival time plus minimum service, and a
+    /// dense batch never exceeds the configured bandwidth.
+    #[test]
+    fn dram_respects_time_and_bandwidth(
+        reqs in proptest::collection::vec((any::<u16>(), prop_oneof![Just(32u32), Just(128u32)]), 1..200)
+    ) {
+        let cfg = DramConfig::default();
+        let bpc = cfg.bytes_per_cycle;
+        let mut d = DramChannel::new(cfg);
+        let mut now = 0u64;
+        let mut last_done = 0u64;
+        let mut total = 0u64;
+        for (addr, bytes) in reqs {
+            let done = d.access(now, u64::from(addr) * 32, bytes);
+            prop_assert!(done >= now, "completion before arrival");
+            total += u64::from(bytes);
+            last_done = last_done.max(done);
+            now += 1;
+        }
+        // Bandwidth cap: the whole batch cannot finish faster than the bus
+        // can move its bytes.
+        prop_assert!((last_done as f64) + 1e-9 >= total as f64 / bpc);
+        prop_assert_eq!(d.bytes_transferred(), total);
+    }
+
+    /// Address arithmetic invariants.
+    #[test]
+    fn address_roundtrips(addr in any::<u64>()) {
+        let s = SectorAddr::containing(addr);
+        prop_assert!(s.raw() <= addr);
+        prop_assert!(addr - s.raw() < 32);
+        prop_assert_eq!(s.block().sector(s.sector_in_block()).raw(), s.raw());
+        let p = partition_of(s.block(), 32);
+        prop_assert!(p < 32);
+        prop_assert_eq!(p, partition_of(BlockAddr::containing(addr), 32));
+    }
+}

@@ -1,0 +1,213 @@
+//! The Common Counters baseline (Na et al., as characterized in the
+//! paper's Sections I/III-C): a coarse-grain on-chip read-only tracker.
+//!
+//! Device memory is divided into 16 KiB regions. While a region has never
+//! been written, every sector in it provably has counter value zero, so
+//! reads need **no counter fetch and no BMT traversal** — the counter is
+//! known on-chip. The first write to a region permanently demotes it to the
+//! normal PSSM path. This captures the scheme's first-order behavior (and
+//! its weakness the paper exploits: one write poisons a whole 16 KiB
+//! region, and MAC traffic is never optimized).
+
+use crate::config::SecureMemConfig;
+use crate::pssm::PssmEngine;
+use gpu_sim::{BackingMemory, EngineFactory, FillPlan, SectorAddr, SecurityEngine, WritePlan};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Region granularity tracked on-chip.
+pub const REGION_BYTES: u64 = 16 * 1024;
+
+/// Common-Counters engine: PSSM plus the clean-region shortcut.
+///
+/// The dirty-region table is a single *GPU-level* on-chip structure: a
+/// write arriving at any memory partition demotes the region for every
+/// partition, so the table is shared between the per-partition engine
+/// instances built by one [`CommonCountersFactory`].
+#[derive(Debug, Clone)]
+pub struct CommonCountersEngine {
+    inner: PssmEngine,
+    dirty_regions: Arc<Mutex<HashSet<u64>>>,
+    clean_hits: u64,
+}
+
+impl CommonCountersEngine {
+    /// Builds a standalone engine from `cfg` (its region table is private;
+    /// use [`CommonCountersEngine::factory`] for a multi-partition
+    /// simulator so the table is shared).
+    pub fn new(cfg: SecureMemConfig) -> Self {
+        Self::with_shared_table(cfg, Arc::new(Mutex::new(HashSet::new())))
+    }
+
+    fn with_shared_table(cfg: SecureMemConfig, table: Arc<Mutex<HashSet<u64>>>) -> Self {
+        Self { inner: PssmEngine::new(cfg), dirty_regions: table, clean_hits: 0 }
+    }
+
+    /// An [`EngineFactory`] producing one engine per partition, all sharing
+    /// one dirty-region table.
+    pub fn factory(cfg: SecureMemConfig) -> CommonCountersFactory {
+        CommonCountersFactory { cfg, table: Arc::new(Mutex::new(HashSet::new())) }
+    }
+
+    fn region_of(addr: SectorAddr) -> u64 {
+        addr.raw() / REGION_BYTES
+    }
+
+    /// True if `addr`'s region has never been written.
+    pub fn is_clean(&self, addr: SectorAddr) -> bool {
+        !self.dirty_regions.lock().contains(&Self::region_of(addr))
+    }
+
+    /// The wrapped PSSM engine.
+    pub fn inner_mut(&mut self) -> &mut PssmEngine {
+        &mut self.inner
+    }
+}
+
+impl SecurityEngine for CommonCountersEngine {
+    fn name(&self) -> &'static str {
+        "common_counters"
+    }
+
+    fn install(&mut self, addr: SectorAddr, plaintext: &[u8; 32], mem: &mut BackingMemory) {
+        // Install is the pre-kernel image, not a kernel write: the region
+        // stays clean (counters stay zero).
+        self.inner.install(addr, plaintext, mem);
+    }
+
+    fn on_fill(&mut self, addr: SectorAddr, mem: &mut BackingMemory) -> FillPlan {
+        if self.is_clean(addr) {
+            // Counter is zero by construction: skip the counter/BMT path
+            // entirely; only the MAC is fetched and checked.
+            self.clean_hits += 1;
+            let mut plan = self.inner.fill_with_known_counter(addr, 0, mem);
+            debug_assert!(plan
+                .pre_chains
+                .iter()
+                .flatten()
+                .all(|r| r.class == gpu_sim::TrafficClass::Mac));
+            plan.crypto_latency = self.inner.latencies().mac_latency;
+            return plan;
+        }
+        self.inner.on_fill(addr, mem)
+    }
+
+    fn on_writeback(
+        &mut self,
+        addr: SectorAddr,
+        plaintext: &[u8; 32],
+        mem: &mut BackingMemory,
+    ) -> WritePlan {
+        self.dirty_regions.lock().insert(Self::region_of(addr));
+        self.inner.on_writeback(addr, plaintext, mem)
+    }
+
+    fn extra_stats(&self) -> Vec<(String, u64)> {
+        let mut stats = self.inner.extra_stats();
+        stats.push(("clean_region_fills".into(), self.clean_hits));
+        stats.push(("dirty_regions".into(), self.dirty_regions.lock().len() as u64));
+        stats
+    }
+}
+
+/// Factory building [`CommonCountersEngine`] instances per partition, all
+/// sharing one GPU-level dirty-region table.
+#[derive(Debug, Clone)]
+pub struct CommonCountersFactory {
+    cfg: SecureMemConfig,
+    table: Arc<Mutex<HashSet<u64>>>,
+}
+
+impl EngineFactory for CommonCountersFactory {
+    fn build(&self, _partition: usize) -> Box<dyn SecurityEngine> {
+        Box::new(CommonCountersEngine::with_shared_table(self.cfg.clone(), self.table.clone()))
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "common_counters"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::TrafficClass;
+
+    fn engine() -> (CommonCountersEngine, BackingMemory) {
+        (CommonCountersEngine::new(SecureMemConfig::test_small()), BackingMemory::new())
+    }
+
+    fn sector(i: u64) -> SectorAddr {
+        SectorAddr::new(i * 32)
+    }
+
+    #[test]
+    fn clean_region_reads_skip_counter_traffic() {
+        let (mut e, mut mem) = engine();
+        e.install(sector(0), &[5; 32], &mut mem);
+        let fill = e.on_fill(sector(0), &mut mem);
+        assert_eq!(fill.plaintext, [5; 32]);
+        assert!(fill.violation.is_none());
+        let classes: Vec<_> =
+            fill.pre_chains.iter().flat_map(|c| c.iter().map(|r| r.class)).collect();
+        assert!(!classes.contains(&TrafficClass::Counter));
+        assert!(!classes.contains(&TrafficClass::BmtNode));
+        assert!(classes.contains(&TrafficClass::Mac), "MAC is still fetched");
+    }
+
+    #[test]
+    fn first_write_dirties_the_whole_region() {
+        let (mut e, mut mem) = engine();
+        assert!(e.is_clean(sector(0)));
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        assert!(!e.is_clean(sector(0)));
+        // A *different* sector in the same 16 KiB region is also dirty now.
+        assert!(!e.is_clean(sector(511)));
+        // But the next region is clean.
+        assert!(e.is_clean(sector(512)));
+    }
+
+    #[test]
+    fn dirty_region_reads_take_the_full_path() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        let fill = e.on_fill(sector(4 * 32), &mut mem); // same region, different group
+        let classes: Vec<_> =
+            fill.pre_chains.iter().flat_map(|c| c.iter().map(|r| r.class)).collect();
+        assert!(classes.contains(&TrafficClass::Counter));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(9), &[0x77; 32], &mut mem);
+        let fill = e.on_fill(sector(9), &mut mem);
+        assert_eq!(fill.plaintext, [0x77; 32]);
+        assert!(fill.violation.is_none());
+    }
+
+    #[test]
+    fn tamper_in_clean_region_still_detected() {
+        let (mut e, mut mem) = engine();
+        e.install(sector(0), &[5; 32], &mut mem);
+        let mut mask = [0u8; 32];
+        mask[10] = 4;
+        mem.corrupt(sector(0), &mask);
+        let fill = e.on_fill(sector(0), &mut mem);
+        assert!(fill.violation.is_some(), "MAC still protects clean regions");
+    }
+
+    #[test]
+    fn stats_count_clean_fills() {
+        let (mut e, mut mem) = engine();
+        e.on_fill(sector(0), &mut mem);
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        e.on_fill(sector(1), &mut mem);
+        let stats = e.extra_stats();
+        let clean = stats.iter().find(|(n, _)| n == "clean_region_fills").unwrap().1;
+        assert_eq!(clean, 1);
+        let dirty = stats.iter().find(|(n, _)| n == "dirty_regions").unwrap().1;
+        assert_eq!(dirty, 1);
+    }
+}

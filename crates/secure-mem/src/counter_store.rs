@@ -1,0 +1,316 @@
+//! Functional split-counter state (paper Fig. 4 organization).
+//!
+//! Each group of 32 data sectors shares a 32-bit *major* counter and has a
+//! 7-bit *minor* counter per sector; the encryption tweak uses
+//! `major << 7 | minor`. When a minor overflows, the group's major is
+//! incremented, every minor resets, and all sectors in the group must be
+//! re-encrypted under the new counters — the classic split-counter overflow
+//! cost, surfaced to the engine via [`IncrementOutcome::GroupOverflow`].
+
+use crate::layout::SECTORS_PER_COUNTER_GROUP;
+use gpu_sim::SectorAddr;
+use std::collections::HashMap;
+
+/// Minor counter width in bits.
+pub const MINOR_BITS: u32 = 7;
+/// Maximum minor counter value before a group overflow.
+pub const MINOR_MAX: u8 = (1 << MINOR_BITS) - 1;
+
+/// Result of incrementing a sector's write counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncrementOutcome {
+    /// The minor counter incremented normally; the tweak counter is given.
+    Normal {
+        /// New combined counter value for the written sector.
+        new_value: u64,
+    },
+    /// The minor overflowed: the major was bumped and all minors reset.
+    /// Every sector in the group must be re-encrypted with counter
+    /// `new_value` (major′ << 7).
+    GroupOverflow {
+        /// New combined counter value now shared by the whole group.
+        new_value: u64,
+        /// Counter values each group member had *before* the overflow,
+        /// indexed by position in the group (needed to decrypt for
+        /// re-encryption).
+        old_values: Vec<u64>,
+    },
+}
+
+/// Functional storage for encryption counters (split-sectored by default,
+/// SGX-style monolithic as the comparison organization).
+#[derive(Debug, Clone)]
+pub struct CounterStore {
+    org: crate::config::CounterOrg,
+    majors: HashMap<u64, u32>,
+    minors: HashMap<u64, u8>,
+    monolithic: HashMap<u64, u64>,
+}
+
+impl Default for CounterStore {
+    fn default() -> Self {
+        Self::with_org(crate::config::CounterOrg::SplitSectored)
+    }
+}
+
+impl CounterStore {
+    /// Creates an empty split-sectored store (all counters zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store with the given organization.
+    pub fn with_org(org: crate::config::CounterOrg) -> Self {
+        Self { org, majors: HashMap::new(), minors: HashMap::new(), monolithic: HashMap::new() }
+    }
+
+    fn group_of(&self, sector: SectorAddr) -> u64 {
+        sector.index() / self.org.sectors_per_group()
+    }
+
+    /// Combined tweak-counter value of `sector`.
+    pub fn value(&self, sector: SectorAddr) -> u64 {
+        match self.org {
+            crate::config::CounterOrg::Monolithic => {
+                *self.monolithic.get(&sector.index()).unwrap_or(&0)
+            }
+            crate::config::CounterOrg::SplitSectored => {
+                let major = *self.majors.get(&self.group_of(sector)).unwrap_or(&0);
+                let minor = *self.minors.get(&sector.index()).unwrap_or(&0);
+                (u64::from(major) << MINOR_BITS) | u64::from(minor)
+            }
+        }
+    }
+
+    /// Major counter of `sector`'s group (split organization).
+    pub fn major(&self, sector: SectorAddr) -> u32 {
+        *self.majors.get(&self.group_of(sector)).unwrap_or(&0)
+    }
+
+    /// Minor counter of `sector`.
+    pub fn minor(&self, sector: SectorAddr) -> u8 {
+        *self.minors.get(&sector.index()).unwrap_or(&0)
+    }
+
+    /// Increments `sector`'s counter for a write, handling group overflow.
+    pub fn increment(&mut self, sector: SectorAddr) -> IncrementOutcome {
+        if self.org == crate::config::CounterOrg::Monolithic {
+            let v = self.monolithic.entry(sector.index()).or_insert(0);
+            *v += 1;
+            return IncrementOutcome::Normal { new_value: *v };
+        }
+        let group = self.group_of(sector);
+        let minor = self.minors.entry(sector.index()).or_insert(0);
+        if *minor < MINOR_MAX {
+            *minor += 1;
+            return IncrementOutcome::Normal { new_value: self.value(sector) };
+        }
+        // Overflow: capture old values, bump major, clear minors.
+        let major = *self.majors.get(&group).unwrap_or(&0);
+        let base = group * SECTORS_PER_COUNTER_GROUP;
+        let old_values = (0..SECTORS_PER_COUNTER_GROUP)
+            .map(|i| {
+                let minor = *self.minors.get(&(base + i)).unwrap_or(&0);
+                (u64::from(major) << MINOR_BITS) | u64::from(minor)
+            })
+            .collect();
+        let new_major = major.checked_add(1).expect("major counter exhausted");
+        self.majors.insert(group, new_major);
+        for i in 0..SECTORS_PER_COUNTER_GROUP {
+            self.minors.insert(base + i, 0);
+        }
+        IncrementOutcome::GroupOverflow {
+            new_value: u64::from(new_major) << MINOR_BITS,
+            old_values,
+        }
+    }
+
+    /// Serializes the counter sector of `sector`'s group for BMT leaf
+    /// hashing: major (LE) followed by the 32 minor bytes (split), or the
+    /// four 64-bit counters (monolithic).
+    pub fn serialize_group(&self, group: u64) -> Vec<u8> {
+        let per = self.org.sectors_per_group();
+        let base = group * per;
+        match self.org {
+            crate::config::CounterOrg::Monolithic => {
+                let mut out = Vec::with_capacity(8 * per as usize);
+                for i in 0..per {
+                    out.extend_from_slice(
+                        &self.monolithic.get(&(base + i)).unwrap_or(&0).to_le_bytes(),
+                    );
+                }
+                out
+            }
+            crate::config::CounterOrg::SplitSectored => {
+                let major = *self.majors.get(&group).unwrap_or(&0);
+                let mut out = Vec::with_capacity(4 + per as usize);
+                out.extend_from_slice(&major.to_le_bytes());
+                for i in 0..per {
+                    out.push(*self.minors.get(&(base + i)).unwrap_or(&0));
+                }
+                out
+            }
+        }
+    }
+
+    /// Raises `sector`'s minor counter to exactly `value` (used when a
+    /// Plutus compact counter saturates and its value is propagated to the
+    /// original copy). The counter must not move backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds the minor range or would decrease the
+    /// sector's current minor.
+    pub fn set_minor(&mut self, sector: SectorAddr, value: u8) {
+        assert_eq!(
+            self.org,
+            crate::config::CounterOrg::SplitSectored,
+            "compact-counter propagation requires the split organization"
+        );
+        assert!(value <= MINOR_MAX, "minor {value} out of range");
+        let cur = self.minor(sector);
+        assert!(value >= cur, "counter must not move backwards ({cur} -> {value})");
+        self.minors.insert(sector.index(), value);
+    }
+
+    /// Attack hook: overwrite `sector`'s counter without touching the
+    /// integrity tree (models tampering with the counter block in DRAM).
+    pub fn tamper_minor(&mut self, sector: SectorAddr, value: u8) {
+        match self.org {
+            crate::config::CounterOrg::Monolithic => {
+                self.monolithic.insert(sector.index(), u64::from(value));
+            }
+            crate::config::CounterOrg::SplitSectored => {
+                self.minors.insert(sector.index(), value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u64) -> SectorAddr {
+        SectorAddr::new(i * 32)
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let c = CounterStore::new();
+        assert_eq!(c.value(s(0)), 0);
+        assert_eq!(c.major(s(0)), 0);
+        assert_eq!(c.minor(s(0)), 0);
+    }
+
+    #[test]
+    fn increment_bumps_minor() {
+        let mut c = CounterStore::new();
+        match c.increment(s(5)) {
+            IncrementOutcome::Normal { new_value } => assert_eq!(new_value, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.value(s(5)), 1);
+        // Neighbors unaffected.
+        assert_eq!(c.value(s(6)), 0);
+    }
+
+    #[test]
+    fn group_members_share_major() {
+        let mut c = CounterStore::new();
+        // Overflow sector 0's minor.
+        for _ in 0..=MINOR_MAX {
+            c.increment(s(0));
+        }
+        // Sector 0 overflowed the group: all members see the new major.
+        assert_eq!(c.major(s(0)), 1);
+        assert_eq!(c.major(s(31)), 1);
+        assert_eq!(c.minor(s(31)), 0);
+        // But a different group is untouched.
+        assert_eq!(c.major(s(32)), 0);
+    }
+
+    #[test]
+    fn overflow_reports_old_values() {
+        let mut c = CounterStore::new();
+        c.increment(s(1)); // sector 1 minor = 1
+        for _ in 0..MINOR_MAX {
+            c.increment(s(0)); // sector 0 minor = 127
+        }
+        match c.increment(s(0)) {
+            IncrementOutcome::GroupOverflow { new_value, old_values } => {
+                assert_eq!(new_value, 1 << MINOR_BITS);
+                assert_eq!(old_values.len(), 32);
+                assert_eq!(old_values[0], u64::from(MINOR_MAX));
+                assert_eq!(old_values[1], 1);
+                assert_eq!(old_values[2], 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Post-overflow values: major 1, minors 0.
+        assert_eq!(c.value(s(0)), 128);
+        assert_eq!(c.value(s(1)), 128);
+    }
+
+    #[test]
+    fn values_never_repeat_across_overflow() {
+        // The combined counter is strictly increasing for a given sector.
+        let mut c = CounterStore::new();
+        let mut last = c.value(s(0));
+        for _ in 0..300 {
+            c.increment(s(0));
+            let v = c.value(s(0));
+            assert!(v > last, "counter value repeated: {v} after {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn serialize_group_reflects_state() {
+        let mut c = CounterStore::new();
+        let before = c.serialize_group(0);
+        c.increment(s(3));
+        let after = c.serialize_group(0);
+        assert_ne!(before, after);
+        assert_eq!(after.len(), 36);
+        assert_eq!(after[4 + 3], 1);
+    }
+
+    #[test]
+    fn monolithic_counters_increment_independently() {
+        let mut c = CounterStore::with_org(crate::config::CounterOrg::Monolithic);
+        for _ in 0..200 {
+            c.increment(s(0));
+        }
+        assert_eq!(c.value(s(0)), 200);
+        // No group sharing: the neighbor is untouched even past 128.
+        assert_eq!(c.value(s(1)), 0);
+        // And no overflow outcome ever fires.
+        assert!(matches!(c.increment(s(0)), IncrementOutcome::Normal { new_value: 201 }));
+    }
+
+    #[test]
+    fn monolithic_serialization_covers_four_sectors() {
+        let mut c = CounterStore::with_org(crate::config::CounterOrg::Monolithic);
+        c.increment(s(1));
+        let bytes = c.serialize_group(0);
+        assert_eq!(bytes.len(), 32, "4 × 64-bit counters fill the 32 B sector");
+        assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "split organization")]
+    fn set_minor_rejects_monolithic() {
+        let mut c = CounterStore::with_org(crate::config::CounterOrg::Monolithic);
+        c.set_minor(s(0), 3);
+    }
+
+    #[test]
+    fn tamper_changes_serialization() {
+        let mut c = CounterStore::new();
+        c.increment(s(0));
+        let honest = c.serialize_group(0);
+        c.tamper_minor(s(0), 99);
+        assert_ne!(c.serialize_group(0), honest);
+    }
+}

@@ -1,0 +1,485 @@
+//! The PSSM baseline engine (Yuan et al., the paper's Section II-B
+//! baseline): partitioned, sectored security metadata with counter-mode
+//! encryption, per-sector MACs, and a Bonsai Merkle Tree over the counters.
+//!
+//! The same engine also realizes the paper's Fig. 14/16 metadata-granularity
+//! design points (via [`SecureMemConfig::fine_leaf_coarse_tree`] /
+//! [`SecureMemConfig::all_32`]) and the Fig. 20 no-tree mode
+//! (`disable_tree`), since those vary only the configuration.
+
+use crate::cipher::DataCipher;
+use crate::config::SecureMemConfig;
+use crate::counter_system::CounterSystem;
+use crate::mac_system::MacSystem;
+use gpu_sim::{
+    BackingMemory, EngineFactory, FillPlan, SectorAddr, SecurityEngine, Violation, WritePlan,
+};
+
+/// The PSSM secure-memory engine (one per partition).
+#[derive(Debug, Clone)]
+pub struct PssmEngine {
+    cfg: SecureMemConfig,
+    cipher: DataCipher,
+    counters: CounterSystem,
+    macs: MacSystem,
+    fills: u64,
+    writebacks: u64,
+    overflows: u64,
+}
+
+impl PssmEngine {
+    /// Builds an engine from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: SecureMemConfig) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid SecureMemConfig: {e}"));
+        Self {
+            cipher: DataCipher::new(&cfg),
+            counters: CounterSystem::new(&cfg),
+            macs: MacSystem::new(&cfg),
+            cfg,
+            fills: 0,
+            writebacks: 0,
+            overflows: 0,
+        }
+    }
+
+    /// An [`EngineFactory`] producing one engine per partition.
+    pub fn factory(cfg: SecureMemConfig) -> PssmFactory {
+        PssmFactory { cfg }
+    }
+
+    /// The counter subsystem (attack hooks and stats live here).
+    pub fn counters_mut(&mut self) -> &mut CounterSystem {
+        &mut self.counters
+    }
+
+    /// The MAC subsystem.
+    pub fn macs_mut(&mut self) -> &mut MacSystem {
+        &mut self.macs
+    }
+
+    /// The configured crypto latencies.
+    pub fn latencies(&self) -> gpu_sim::SecurityLatencies {
+        self.cfg.latencies
+    }
+
+    /// Serves a fill whose counter value is already known on-chip (used by
+    /// Common Counters for clean regions and by Plutus for unsaturated
+    /// compact counters): no counter fetch, no BMT walk — only the MAC path.
+    pub fn fill_with_known_counter(
+        &mut self,
+        addr: SectorAddr,
+        ctr: u64,
+        mem: &mut BackingMemory,
+    ) -> FillPlan {
+        self.fills += 1;
+        let mut plan = FillPlan::default();
+        let ma = self.macs.read(addr);
+        if !ma.chain.is_empty() {
+            plan.pre_chains.push(ma.chain);
+        }
+        plan.writes.extend(ma.writes);
+        let plaintext = self.read_plaintext(addr, ctr, mem);
+        if !self.macs.verify(addr, &plaintext, ctr) {
+            plan.violation = Some(Violation::MacMismatch { addr });
+        }
+        plan.plaintext = plaintext;
+        let lat = self.cfg.latencies;
+        plan.crypto_latency =
+            lat.mac_latency + if self.cipher.overlaps_fetch() { 0 } else { lat.aes_latency };
+        plan
+    }
+
+    /// Decrypts (functionally) what memory holds for `sector` under
+    /// counter `ctr`.
+    fn read_plaintext(&self, sector: SectorAddr, ctr: u64, mem: &BackingMemory) -> [u8; 32] {
+        match mem.read(sector) {
+            Some(mut ct) => {
+                self.cipher.decrypt(&mut ct, sector, ctr);
+                ct
+            }
+            None => [0; 32], // zero-initialized device memory
+        }
+    }
+
+    /// Re-encrypts every resident sector of an overflowed counter group
+    /// under the shared new counter, refreshing MACs; returns the extra
+    /// traffic as `(reads, writes)` sector counts.
+    fn reencrypt_group(
+        &mut self,
+        written: SectorAddr,
+        old_values: &[u64],
+        new_value: u64,
+        mem: &mut BackingMemory,
+        plan: &mut WritePlan,
+    ) {
+        self.overflows += 1;
+        let group = self.counters.layout().group_of(written);
+        let first = self.counters.layout().group_first_sector(group);
+        for (i, old) in old_values.iter().enumerate() {
+            let sector = SectorAddr::new(first.raw() + (i as u64) * 32);
+            if sector == written {
+                continue; // the triggering sector is re-encrypted by the caller
+            }
+            let Some(mut data) = mem.read(sector) else { continue };
+            self.cipher.decrypt(&mut data, sector, *old);
+            let plaintext = data;
+            let mut ct = plaintext;
+            self.cipher.encrypt(&mut ct, sector, new_value);
+            mem.write(sector, ct);
+            self.macs.update_silently(sector, &plaintext, new_value);
+            plan.async_reads.push(gpu_sim::DramReq::new(
+                sector.raw(),
+                32,
+                gpu_sim::TrafficClass::Data,
+            ));
+            plan.writes.push(gpu_sim::DramReq::new(
+                sector.raw(),
+                32,
+                gpu_sim::TrafficClass::Data,
+            ));
+        }
+    }
+}
+
+impl SecurityEngine for PssmEngine {
+    fn name(&self) -> &'static str {
+        "pssm"
+    }
+
+    fn install(&mut self, addr: SectorAddr, plaintext: &[u8; 32], mem: &mut BackingMemory) {
+        let ctr = self.counters.peek_value(addr);
+        let mut ct = *plaintext;
+        self.cipher.encrypt(&mut ct, addr, ctr);
+        mem.write(addr, ct);
+        self.macs.update_silently(addr, plaintext, ctr);
+    }
+
+    fn on_fill(&mut self, addr: SectorAddr, mem: &mut BackingMemory) -> FillPlan {
+        self.fills += 1;
+        let mut plan = FillPlan::default();
+
+        // Counter (+ BMT verification) chain.
+        let ca = self.counters.read(addr);
+        if !ca.chain.is_empty() {
+            plan.pre_chains.push(ca.chain);
+        }
+        plan.async_reads.extend(ca.async_reads);
+        plan.writes.extend(ca.writes);
+        plan.violation = ca.violation;
+
+        // MAC fetch, in parallel with the counter chain.
+        let ma = self.macs.read(addr);
+        if !ma.chain.is_empty() {
+            plan.pre_chains.push(ma.chain);
+        }
+        plan.writes.extend(ma.writes);
+
+        // Functional decrypt + verify.
+        let plaintext = self.read_plaintext(addr, ca.value, mem);
+        if !self.macs.verify(addr, &plaintext, ca.value) && plan.violation.is_none() {
+            plan.violation = Some(Violation::MacMismatch { addr });
+        }
+        plan.plaintext = plaintext;
+
+        // Latency: CME overlaps pad generation with the data fetch (pay AES
+        // only when the counter had to be fetched first); XTS decrypts
+        // after the data arrives. MAC verification is always charged.
+        let lat = self.cfg.latencies;
+        plan.crypto_latency = lat.mac_latency
+            + if self.cipher.overlaps_fetch() {
+                if ca.hit { 0 } else { lat.aes_latency }
+            } else {
+                lat.aes_latency
+            };
+        plan
+    }
+
+    fn on_writeback(
+        &mut self,
+        addr: SectorAddr,
+        plaintext: &[u8; 32],
+        mem: &mut BackingMemory,
+    ) -> WritePlan {
+        self.writebacks += 1;
+        let mut plan = WritePlan::default();
+
+        let ca = self.counters.increment(addr);
+        if !ca.chain.is_empty() {
+            plan.pre_chains.push(ca.chain);
+        }
+        plan.async_reads.extend(ca.async_reads);
+        plan.writes.extend(ca.writes);
+        plan.violation = ca.violation;
+
+        if let Some(old_values) = &ca.overflow_old_values {
+            let old = old_values.clone();
+            self.reencrypt_group(addr, &old, ca.value, mem, &mut plan);
+        }
+
+        // Encrypt and store the data.
+        let mut ct = *plaintext;
+        self.cipher.encrypt(&mut ct, addr, ca.value);
+        mem.write(addr, ct);
+
+        // Fresh MAC (write-allocate in the MAC cache).
+        let ma = self.macs.write(addr, plaintext, ca.value);
+        plan.writes.extend(ma.writes);
+
+        plan.crypto_latency = self.cfg.latencies.aes_latency + self.cfg.latencies.mac_latency;
+        plan
+    }
+
+    fn extra_stats(&self) -> Vec<(String, u64)> {
+        let (ch, cm, bf, bh) = self.counters.stats();
+        let (mh, mm) = self.macs.stats();
+        vec![
+            ("fills".into(), self.fills),
+            ("writebacks".into(), self.writebacks),
+            ("ctr_cache_hits".into(), ch),
+            ("ctr_cache_misses".into(), cm),
+            ("bmt_node_fetches".into(), bf),
+            ("bmt_node_hits".into(), bh),
+            ("mac_cache_hits".into(), mh),
+            ("mac_cache_misses".into(), mm),
+            ("ctr_group_overflows".into(), self.overflows),
+        ]
+    }
+}
+
+/// Factory building [`PssmEngine`] instances per partition.
+#[derive(Debug, Clone)]
+pub struct PssmFactory {
+    cfg: SecureMemConfig,
+}
+
+impl EngineFactory for PssmFactory {
+    fn build(&self, _partition: usize) -> Box<dyn SecurityEngine> {
+        Box::new(PssmEngine::new(self.cfg.clone()))
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "pssm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::TrafficClass;
+
+    fn engine() -> (PssmEngine, BackingMemory) {
+        (PssmEngine::new(SecureMemConfig::test_small()), BackingMemory::new())
+    }
+
+    fn sector(i: u64) -> SectorAddr {
+        SectorAddr::new(i * 32)
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[0x42; 32], &mut mem);
+        let fill = e.on_fill(sector(0), &mut mem);
+        assert_eq!(fill.plaintext, [0x42; 32]);
+        assert!(fill.violation.is_none());
+    }
+
+    #[test]
+    fn ciphertext_in_memory_differs_from_plaintext() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[0x42; 32], &mut mem);
+        assert_ne!(mem.read(sector(0)).unwrap(), [0x42; 32]);
+    }
+
+    #[test]
+    fn install_then_read_roundtrips() {
+        let (mut e, mut mem) = engine();
+        e.install(sector(3), &[7; 32], &mut mem);
+        let fill = e.on_fill(sector(3), &mut mem);
+        assert_eq!(fill.plaintext, [7; 32]);
+        assert!(fill.violation.is_none());
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero_clean() {
+        let (mut e, mut mem) = engine();
+        let fill = e.on_fill(sector(100), &mut mem);
+        assert_eq!(fill.plaintext, [0; 32]);
+        assert!(fill.violation.is_none());
+    }
+
+    #[test]
+    fn first_fill_fetches_counter_bmt_and_mac() {
+        let (mut e, mut mem) = engine();
+        let fill = e.on_fill(sector(0), &mut mem);
+        // Two parallel chains: [counter, bmt...] and [mac].
+        assert_eq!(fill.pre_chains.len(), 2);
+        let classes: Vec<_> = fill
+            .pre_chains
+            .iter()
+            .flat_map(|c| c.iter().map(|r| r.class))
+            .collect();
+        assert!(classes.contains(&TrafficClass::Counter));
+        assert!(classes.contains(&TrafficClass::Mac));
+        assert!(classes.contains(&TrafficClass::BmtNode));
+    }
+
+    #[test]
+    fn cached_metadata_makes_fills_free() {
+        let (mut e, mut mem) = engine();
+        e.on_fill(sector(0), &mut mem);
+        let fill = e.on_fill(sector(1), &mut mem); // same group, same MAC line
+        assert!(fill.pre_chains.is_empty(), "all metadata should be cached");
+    }
+
+    #[test]
+    fn data_tamper_detected_via_mac() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[0x42; 32], &mut mem);
+        let mut mask = [0u8; 32];
+        mask[0] = 0x80;
+        assert!(mem.corrupt(sector(0), &mask));
+        let fill = e.on_fill(sector(0), &mut mem);
+        assert!(matches!(fill.violation, Some(Violation::MacMismatch { .. })));
+    }
+
+    #[test]
+    fn data_replay_detected_via_counter_binding() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        let old = mem.snapshot(sector(0)).unwrap();
+        e.on_writeback(sector(0), &[2; 32], &mut mem);
+        mem.replay(sector(0), old);
+        let fill = e.on_fill(sector(0), &mut mem);
+        assert!(
+            matches!(fill.violation, Some(Violation::MacMismatch { .. })),
+            "replayed data must fail the stateful MAC"
+        );
+    }
+
+    #[test]
+    fn counter_rollback_detected_via_tree() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        e.on_writeback(sector(0), &[2; 32], &mut mem);
+        // Evict the counter by touching many distinct groups' fetch units.
+        for i in 1..64 {
+            e.on_fill(sector(i * 128), &mut mem);
+        }
+        e.counters_mut().tamper_minor(sector(0), 1);
+        let fill = e.on_fill(sector(0), &mut mem);
+        assert!(matches!(fill.violation, Some(Violation::TreeMismatch { .. })));
+    }
+
+    #[test]
+    fn cme_fill_latency_depends_on_counter_hit() {
+        let (mut e, mut mem) = engine();
+        let lat = e.cfg.latencies;
+        let first = e.on_fill(sector(0), &mut mem);
+        assert_eq!(first.crypto_latency, lat.mac_latency + lat.aes_latency);
+        let second = e.on_fill(sector(1), &mut mem);
+        assert_eq!(second.crypto_latency, lat.mac_latency);
+    }
+
+    #[test]
+    fn xts_fill_always_pays_aes() {
+        let cfg = SecureMemConfig {
+            cipher: crate::config::CipherKind::Xts,
+            ..SecureMemConfig::test_small()
+        };
+        let lat = cfg.latencies;
+        let mut e = PssmEngine::new(cfg);
+        let mut mem = BackingMemory::new();
+        e.on_fill(sector(0), &mut mem);
+        let second = e.on_fill(sector(1), &mut mem);
+        assert_eq!(second.crypto_latency, lat.mac_latency + lat.aes_latency);
+    }
+
+    #[test]
+    fn group_overflow_reencrypts_residents() {
+        let (mut e, mut mem) = engine();
+        // Make two sectors of group 0 resident.
+        e.on_writeback(sector(1), &[0xaa; 32], &mut mem);
+        // Drive sector 0 to overflow (128 writes).
+        for _ in 0..128 {
+            e.on_writeback(sector(0), &[0xbb; 32], &mut mem);
+        }
+        // Both sectors must still decrypt + verify after re-encryption.
+        let f1 = e.on_fill(sector(1), &mut mem);
+        assert_eq!(f1.plaintext, [0xaa; 32]);
+        assert!(f1.violation.is_none());
+        let f0 = e.on_fill(sector(0), &mut mem);
+        assert_eq!(f0.plaintext, [0xbb; 32]);
+        assert!(f0.violation.is_none());
+        assert!(e.overflows >= 1);
+    }
+
+    #[test]
+    fn disable_tree_removes_bmt_chain() {
+        let cfg = SecureMemConfig { disable_tree: true, ..SecureMemConfig::test_small() };
+        let mut e = PssmEngine::new(cfg);
+        let mut mem = BackingMemory::new();
+        let fill = e.on_fill(sector(0), &mut mem);
+        let classes: Vec<_> = fill
+            .pre_chains
+            .iter()
+            .flat_map(|c| c.iter().map(|r| r.class))
+            .collect();
+        assert!(!classes.contains(&TrafficClass::BmtNode));
+        assert!(classes.contains(&TrafficClass::Counter));
+    }
+
+    #[test]
+    fn monolithic_variant_roundtrips_and_detects() {
+        let cfg = SecureMemConfig {
+            counter_org: crate::config::CounterOrg::Monolithic,
+            ..SecureMemConfig::test_small()
+        };
+        let mut e = PssmEngine::new(cfg);
+        let mut mem = BackingMemory::new();
+        for i in 0..8u64 {
+            e.on_writeback(sector(i), &[i as u8; 32], &mut mem);
+        }
+        for i in 0..8u64 {
+            let f = e.on_fill(sector(i), &mut mem);
+            assert_eq!(f.plaintext, [i as u8; 32]);
+            assert!(f.violation.is_none());
+        }
+        // Monolithic counter sectors cover only 4 data sectors: sector 4
+        // needs a different counter fetch unit than sector 0... but both
+        // land in one 128B fetch; sector 16 does not.
+        let mut mask = [0u8; 32];
+        mask[3] = 1;
+        mem.corrupt(sector(0), &mask);
+        assert!(e.on_fill(sector(0), &mut mem).violation.is_some());
+    }
+
+    #[test]
+    fn monolithic_replay_detected_via_tree() {
+        let cfg = SecureMemConfig {
+            counter_org: crate::config::CounterOrg::Monolithic,
+            ..SecureMemConfig::test_small()
+        };
+        let mut e = PssmEngine::new(cfg);
+        let mut mem = BackingMemory::new();
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        e.on_writeback(sector(0), &[2; 32], &mut mem);
+        for i in 1..80 {
+            e.on_fill(sector(i * 128), &mut mem);
+        }
+        e.counters_mut().tamper_minor(sector(0), 1);
+        let f = e.on_fill(sector(0), &mut mem);
+        assert!(matches!(f.violation, Some(Violation::TreeMismatch { .. })));
+    }
+
+    #[test]
+    fn factory_reports_scheme() {
+        let f = PssmEngine::factory(SecureMemConfig::test_small());
+        assert_eq!(f.scheme_name(), "pssm");
+        assert_eq!(f.build(0).name(), "pssm");
+    }
+}

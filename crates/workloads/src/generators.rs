@@ -1,0 +1,422 @@
+//! Access-pattern generators: the structural skeletons of the synthetic
+//! benchmarks (graph traversal, stencil sweeps, tiled GEMM, random
+//! read-modify-write, point clustering, streaming).
+//!
+//! Each generator emits a [`Trace`] whose *ordering* is GPU-like: the
+//! simulator's warp pool round-robins over the stream, so consecutive trace
+//! entries execute concurrently — a sequential address run therefore models
+//! a coalesced parallel sweep.
+
+use crate::values::ValueProfile;
+use gpu_sim::{SectorAddr, Trace, SECTOR_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Common generator knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenParams {
+    /// Data footprint in sectors.
+    pub footprint_sectors: u64,
+    /// Total accesses to emit.
+    pub accesses: usize,
+    /// Warp compute cycles between accesses: uniform in `[min, max]`.
+    pub think_cycles: (u32, u32),
+    /// Instructions retired per access (arithmetic intensity for IPC).
+    pub instructions: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GenParams {
+    fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    fn think(&self, rng: &mut StdRng) -> u32 {
+        if self.think_cycles.0 >= self.think_cycles.1 {
+            self.think_cycles.0
+        } else {
+            rng.gen_range(self.think_cycles.0..=self.think_cycles.1)
+        }
+    }
+}
+
+fn sector(i: u64) -> SectorAddr {
+    SectorAddr::new(i * SECTOR_SIZE)
+}
+
+/// The structural pattern of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Sequential array sweeps: read `read_arrays` input arrays, write one
+    /// output array every `write_period`-th access group (stencils, LBM,
+    /// pathfinding — the structured-grid Rodinia/Parboil kernels).
+    Stencil {
+        /// Input arrays streamed per pass.
+        read_arrays: u32,
+        /// One write per this many reads (u32::MAX = read-only).
+        write_period: u32,
+        /// Full sweeps over the footprint.
+        passes: u32,
+    },
+    /// CSR graph traversal: row-pointer reads (sequential-ish), edge-list
+    /// reads, random neighbor-data gathers, sparse relaxation writes
+    /// (BFS/SSSP/PageRank/coloring/SpMV — the irregular suites).
+    Graph {
+        /// Average neighbors gathered per visited node.
+        degree: u32,
+        /// Permille of visits that write the node's data back.
+        write_permille: u32,
+    },
+    /// Tiled dense matrix multiply: A/B tile reads with strong L2 reuse,
+    /// one C write per tile element pass (SGEMM).
+    Gemm {
+        /// Tile side in sectors.
+        tile: u32,
+    },
+    /// Random read-modify-write over a table (histogramming, hash builds).
+    RandomRmw,
+    /// Streamed points against a small hot centroid table, with periodic
+    /// small writes (k-means, streamcluster).
+    Cluster {
+        /// Sectors of hot (centroid) data revisited constantly.
+        hot_sectors: u64,
+        /// Permille of accesses that write assignments.
+        write_permille: u32,
+    },
+}
+
+/// Builds a trace from a pattern, value profiles, and common knobs.
+///
+/// `read_values` fills the pre-initialized input data; `write_values`
+/// drives the values the kernel writes back.
+pub fn generate(
+    name: &str,
+    pattern: Pattern,
+    params: GenParams,
+    read_values: ValueProfile,
+    write_values: ValueProfile,
+) -> Trace {
+    let mut rng = params.rng();
+    let mut trace = Trace::new(name);
+    let fp = params.footprint_sectors.max(16);
+
+    // Pre-initialize the input image (all patterns read real data).
+    for i in 0..fp {
+        trace.set_initial(sector(i), read_values.fill_sector(&mut rng));
+    }
+
+    match pattern {
+        Pattern::Stencil { read_arrays, write_period, passes } => {
+            let arrays = u64::from(read_arrays).max(1);
+            let array_len = fp / (arrays + 1); // last region is the output
+            let out_base = arrays * array_len;
+            let mut emitted = 0usize;
+            'outer: for _pass in 0..passes.max(1) {
+                for i in 0..array_len {
+                    for a in 0..arrays {
+                        if emitted >= params.accesses {
+                            break 'outer;
+                        }
+                        let think = params.think(&mut rng);
+                        trace.push_read(sector(a * array_len + i), think, params.instructions);
+                        emitted += 1;
+                    }
+                    if write_period != u32::MAX && i % u64::from(write_period.max(1)) == 0 {
+                        if emitted >= params.accesses {
+                            break 'outer;
+                        }
+                        let think = params.think(&mut rng);
+                        let data = write_values.fill_sector(&mut rng);
+                        trace.push_write(sector(out_base + i % array_len.max(1)), data, think, params.instructions);
+                        emitted += 1;
+                    }
+                }
+            }
+        }
+        Pattern::Graph { degree, write_permille } => {
+            // Regions: row pointers (1/8), edge lists (5/8), node data (2/8).
+            let row_len = fp / 8;
+            let edge_len = fp * 5 / 8;
+            let data_len = fp - row_len - edge_len;
+            let edge_base = row_len;
+            let data_base = row_len + edge_len;
+            let mut emitted = 0usize;
+            let mut node = 0u64;
+            while emitted < params.accesses {
+                // Frontier scan: row pointer (sequential-ish with jumps).
+                node = if rng.gen_range(0..100) < 70 {
+                    (node + 1) % row_len.max(1)
+                } else {
+                    rng.gen_range(0..row_len.max(1))
+                };
+                trace.push_read(sector(node), params.think(&mut rng), params.instructions);
+                emitted += 1;
+                // Edge list for this node: 1–2 contiguous sectors.
+                let estart = rng.gen_range(0..edge_len.max(1));
+                trace.push_read(
+                    sector(edge_base + estart),
+                    params.think(&mut rng),
+                    params.instructions,
+                );
+                emitted += 1;
+                // Neighbor gathers: skewed toward hub nodes (power-law
+                // degree distributions make a small hot set absorb most
+                // edge endpoints), the rest scattered.
+                for _ in 0..degree.max(1) {
+                    if emitted >= params.accesses {
+                        break;
+                    }
+                    let n = if rng.gen_range(0..100) < 55 {
+                        rng.gen_range(0..(data_len / 8).max(1))
+                    } else {
+                        rng.gen_range(0..data_len.max(1))
+                    };
+                    trace.push_read(
+                        sector(data_base + n),
+                        params.think(&mut rng),
+                        params.instructions,
+                    );
+                    emitted += 1;
+                }
+                // Sparse relaxation write.
+                if rng.gen_range(0..1000) < write_permille && emitted < params.accesses {
+                    let n = rng.gen_range(0..data_len.max(1));
+                    let data = write_values.fill_sector(&mut rng);
+                    trace.push_write(
+                        sector(data_base + n),
+                        data,
+                        params.think(&mut rng),
+                        params.instructions,
+                    );
+                    emitted += 1;
+                }
+            }
+        }
+        Pattern::Gemm { tile } => {
+            let tile = u64::from(tile.max(1));
+            let third = fp / 3;
+            let (a_base, b_base, c_base) = (0u64, third, 2 * third);
+            let mut emitted = 0usize;
+            let tiles = (third / tile).max(1);
+            'gemm: for ti in 0..tiles {
+                for tj in 0..tiles {
+                    // Stream a row-tile of A against a column-tile of B.
+                    for k in 0..tile {
+                        if emitted + 2 >= params.accesses {
+                            break 'gemm;
+                        }
+                        trace.push_read(
+                            sector(a_base + (ti * tile + k) % third.max(1)),
+                            params.think(&mut rng),
+                            params.instructions,
+                        );
+                        trace.push_read(
+                            sector(b_base + (tj * tile + k) % third.max(1)),
+                            params.think(&mut rng),
+                            params.instructions,
+                        );
+                        emitted += 2;
+                    }
+                    let data = write_values.fill_sector(&mut rng);
+                    trace.push_write(
+                        sector(c_base + (ti * tiles + tj) % third.max(1)),
+                        data,
+                        params.think(&mut rng),
+                        params.instructions,
+                    );
+                    emitted += 1;
+                }
+            }
+        }
+        Pattern::RandomRmw => {
+            let mut emitted = 0usize;
+            while emitted < params.accesses {
+                let i = rng.gen_range(0..fp);
+                trace.push_read(sector(i), params.think(&mut rng), params.instructions);
+                emitted += 1;
+                if emitted < params.accesses {
+                    let data = write_values.fill_sector(&mut rng);
+                    trace.push_write(sector(i), data, params.think(&mut rng), params.instructions);
+                    emitted += 1;
+                }
+            }
+        }
+        Pattern::Cluster { hot_sectors, write_permille } => {
+            let hot = hot_sectors.clamp(1, fp / 2);
+            let cold_base = hot;
+            let cold_len = fp - hot;
+            let mut emitted = 0usize;
+            let mut cursor = 0u64;
+            while emitted < params.accesses {
+                // Stream the next point.
+                cursor = (cursor + 1) % cold_len.max(1);
+                trace.push_read(
+                    sector(cold_base + cursor),
+                    params.think(&mut rng),
+                    params.instructions,
+                );
+                emitted += 1;
+                // Compare against a hot centroid.
+                if emitted < params.accesses {
+                    let h = rng.gen_range(0..hot);
+                    trace.push_read(sector(h), params.think(&mut rng), params.instructions);
+                    emitted += 1;
+                }
+                if rng.gen_range(0..1000) < write_permille && emitted < params.accesses {
+                    let data = write_values.fill_sector(&mut rng);
+                    trace.push_write(
+                        sector(cold_base + cursor),
+                        data,
+                        params.think(&mut rng),
+                        params.instructions,
+                    );
+                    emitted += 1;
+                }
+            }
+        }
+    }
+    // Generators emit in small structural groups (e.g. row + edges +
+    // gathers) and may overshoot by a few entries; trim to the requested
+    // length. Orphaned write payloads are harmless.
+    trace.accesses.truncate(params.accesses);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::AccessKind;
+
+    fn params(accesses: usize) -> GenParams {
+        GenParams {
+            footprint_sectors: 4096,
+            accesses,
+            think_cycles: (2, 10),
+            instructions: 12,
+            seed: 7,
+        }
+    }
+
+    fn ints() -> ValueProfile {
+        ValueProfile::SmallInts { max: 100 }
+    }
+
+    #[test]
+    fn stencil_is_mostly_sequential_reads() {
+        let t = generate(
+            "stencil",
+            Pattern::Stencil { read_arrays: 2, write_period: 2, passes: 4 },
+            params(5000),
+            ints(),
+            ints(),
+        );
+        assert!(t.len() >= 4990 && t.len() <= 5000);
+        let wf = t.write_fraction();
+        assert!(wf > 0.1 && wf < 0.4, "stencil write fraction {wf}");
+    }
+
+    #[test]
+    fn read_only_stencil_has_no_writes() {
+        let t = generate(
+            "ro",
+            Pattern::Stencil { read_arrays: 3, write_period: u32::MAX, passes: 2 },
+            params(3000),
+            ints(),
+            ints(),
+        );
+        assert_eq!(t.write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn graph_writes_are_sparse() {
+        let t = generate(
+            "bfs",
+            Pattern::Graph { degree: 3, write_permille: 150 },
+            params(5000),
+            ints(),
+            ints(),
+        );
+        let wf = t.write_fraction();
+        assert!(wf < 0.1, "graph write fraction {wf}");
+        // Irregular: many distinct sectors touched.
+        let distinct: std::collections::HashSet<u64> =
+            t.accesses.iter().map(|a| a.addr.raw()).collect();
+        assert!(distinct.len() > 1000);
+    }
+
+    #[test]
+    fn random_rmw_is_half_writes() {
+        let t = generate("histo", Pattern::RandomRmw, params(4000), ints(), ints());
+        let wf = t.write_fraction();
+        assert!((wf - 0.5).abs() < 0.02, "rmw write fraction {wf}");
+        // Read/write pairs hit the same address.
+        for pair in t.accesses.chunks_exact(2) {
+            assert_eq!(pair[0].addr, pair[1].addr);
+            assert_eq!(pair[0].kind, AccessKind::Read);
+            assert_eq!(pair[1].kind, AccessKind::Write);
+        }
+    }
+
+    #[test]
+    fn cluster_concentrates_on_hot_sectors() {
+        let t = generate(
+            "kmeans",
+            Pattern::Cluster { hot_sectors: 16, write_permille: 100 },
+            params(4000),
+            ints(),
+            ints(),
+        );
+        let hot_hits = t
+            .accesses
+            .iter()
+            .filter(|a| a.addr.raw() < 16 * SECTOR_SIZE)
+            .count();
+        assert!(hot_hits as f64 > t.len() as f64 * 0.3, "hot hits {hot_hits}/{}", t.len());
+    }
+
+    #[test]
+    fn gemm_reuses_tiles() {
+        let t = generate("sgemm", Pattern::Gemm { tile: 8 }, params(4000), ints(), ints());
+        assert!(t.write_fraction() < 0.15);
+        assert!(t.len() >= 3900);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mk = || {
+            generate(
+                "det",
+                Pattern::Graph { degree: 4, write_permille: 100 },
+                params(2000),
+                ints(),
+                ValueProfile::WideRandom,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.accesses.len(), b.accesses.len());
+        assert_eq!(a.accesses[100], b.accesses[100]);
+        assert_eq!(a.write_data, b.write_data);
+    }
+
+    #[test]
+    fn traces_fit_their_footprint() {
+        let p = params(3000);
+        for pattern in [
+            Pattern::Stencil { read_arrays: 2, write_period: 4, passes: 2 },
+            Pattern::Graph { degree: 2, write_permille: 200 },
+            Pattern::Gemm { tile: 4 },
+            Pattern::RandomRmw,
+            Pattern::Cluster { hot_sectors: 8, write_permille: 50 },
+        ] {
+            let t = generate("fit", pattern, p, ints(), ints());
+            let max_addr = t.accesses.iter().map(|a| a.addr.raw()).max().unwrap();
+            assert!(
+                max_addr < p.footprint_sectors * SECTOR_SIZE,
+                "{pattern:?} exceeded footprint: {max_addr:#x}"
+            );
+        }
+    }
+}

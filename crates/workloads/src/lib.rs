@@ -1,0 +1,37 @@
+//! Synthetic GPU workload suite for the Plutus (HPCA 2023) reproduction.
+//!
+//! The paper evaluates on Rodinia-3.1, Parboil, LonestarGPU-2.0 and
+//! Pannotia binaries running under GPGPU-Sim. Neither those binaries nor
+//! their PTX traces are available here, so this crate generates traces that
+//! reproduce the workload *characteristics* the paper's results depend on:
+//!
+//! - **access structure** ([`generators::Pattern`]): coalesced streaming
+//!   sweeps, CSR graph traversals, tiled GEMM, random read-modify-write,
+//!   hot-table clustering;
+//! - **read/write mix** (paper Fig. 10): from read-only to 50% writes;
+//! - **memory intensity** (think cycles / arithmetic per access);
+//! - **data-value locality** ([`values::ValueProfile`], paper Fig. 9):
+//!   small-integer graph data, cluster-structured floats, uniform noise.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{by_name, Scale};
+//!
+//! let trace = by_name("bfs").unwrap().trace(Scale::Test);
+//! assert!(!trace.is_empty());
+//! println!("bfs: {} accesses, {:.0}% writes", trace.len(), trace.write_fraction() * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod spec;
+pub mod stats;
+pub mod values;
+
+pub use generators::{generate, GenParams, Pattern};
+pub use spec::{by_name, suite, Intensity, Scale, Suite, WorkloadSpec};
+pub use stats::{characterize, value_census, TraceStats, ValueCensus};
+pub use values::ValueProfile;

@@ -1,0 +1,352 @@
+//! The named benchmark suite: synthetic stand-ins for the Rodinia-3.1,
+//! Parboil, LonestarGPU-2.0 and Pannotia workloads the paper evaluates.
+//!
+//! Each spec documents and reproduces the *characteristics* that drive the
+//! paper's results — access regularity, read/write mix (Fig. 10), memory
+//! intensity, and data-value locality (Fig. 9) — rather than emulating the
+//! kernels instruction-by-instruction (see DESIGN.md, "Substitutions").
+
+use crate::generators::{generate, GenParams, Pattern};
+use crate::values::ValueProfile;
+use gpu_sim::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Source suite of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Suite {
+    /// Rodinia-3.1.
+    Rodinia,
+    /// Parboil.
+    Parboil,
+    /// LonestarGPU-2.0.
+    Lonestar,
+    /// Pannotia.
+    Pannotia,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::Rodinia => "rodinia",
+            Suite::Parboil => "parboil",
+            Suite::Lonestar => "lonestar",
+            Suite::Pannotia => "pannotia",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory-bandwidth intensity class (paper: >50% high, >20% medium).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Intensity {
+    /// Uses more than half the available bandwidth.
+    High,
+    /// Uses 20–50% of the available bandwidth.
+    Medium,
+}
+
+/// Trace size/footprint scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Unit tests: 256 KiB footprint, 6 k accesses.
+    Test,
+    /// Quick experiments: 64 MiB footprint, 300 k accesses.
+    Small,
+    /// Paper-style runs: 256 MiB footprint, 2 M accesses.
+    Paper,
+}
+
+impl Scale {
+    fn footprint_sectors(self) -> u64 {
+        // Far larger than the 6 MiB L2 (except at test scale), as the
+        // paper's memory-intensive workloads are.
+        match self {
+            Scale::Test => 8 * 1024,          // 256 KiB (vs the 64 KiB test-config L2)
+            Scale::Small => 2 * 1024 * 1024,  // 64 MiB
+            Scale::Paper => 8 * 1024 * 1024,  // 256 MiB
+        }
+    }
+
+    fn accesses(self) -> usize {
+        match self {
+            Scale::Test => 6_000,
+            Scale::Small => 300_000,
+            Scale::Paper => 2_000_000,
+        }
+    }
+}
+
+/// One synthetic benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Benchmark name (matches the paper's figures).
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// Bandwidth-intensity class.
+    pub intensity: Intensity,
+    /// Structural access pattern.
+    pub pattern: Pattern,
+    /// Value profile of the input data.
+    pub read_values: ValueProfile,
+    /// Value profile of kernel writes.
+    pub write_values: ValueProfile,
+}
+
+impl WorkloadSpec {
+    /// Generates this benchmark's trace at the given scale.
+    pub fn trace(&self, scale: Scale) -> Trace {
+        self.trace_seeded(scale, fxhash(self.name))
+    }
+
+    /// Generates with an explicit seed (for sensitivity studies).
+    pub fn trace_seeded(&self, scale: Scale, seed: u64) -> Trace {
+        let think = match self.intensity {
+            Intensity::High => (2, 10),
+            Intensity::Medium => (20, 48),
+        };
+        let instructions = match self.intensity {
+            Intensity::High => 12,
+            Intensity::Medium => 30,
+        };
+        generate(
+            self.name,
+            self.pattern,
+            GenParams {
+                footprint_sectors: scale.footprint_sectors(),
+                accesses: scale.accesses(),
+                think_cycles: think,
+                instructions,
+                seed,
+            },
+            self.read_values,
+            self.write_values,
+        )
+    }
+}
+
+/// Deterministic name hash for per-benchmark seeds.
+fn fxhash(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// The full benchmark suite (19 workloads across the four paper suites).
+pub fn suite() -> Vec<WorkloadSpec> {
+    use Intensity::*;
+    use Suite::*;
+    vec![
+        WorkloadSpec {
+            name: "bfs",
+            suite: Rodinia,
+            intensity: High,
+            pattern: Pattern::Graph { degree: 3, write_permille: 550 },
+            read_values: ValueProfile::SmallInts { max: 1 << 10 },
+            write_values: ValueProfile::SmallInts { max: 64 },
+        },
+        WorkloadSpec {
+            name: "backprop",
+            suite: Rodinia,
+            intensity: High,
+            pattern: Pattern::Stencil { read_arrays: 2, write_period: 2, passes: 8 },
+            read_values: ValueProfile::ClusteredFloats { centers: 64, spread: 15 },
+            write_values: ValueProfile::ClusteredFloats { centers: 64, spread: 15 },
+        },
+        WorkloadSpec {
+            name: "hotspot",
+            suite: Rodinia,
+            intensity: High,
+            pattern: Pattern::Stencil { read_arrays: 2, write_period: 4, passes: 8 },
+            read_values: ValueProfile::ClusteredFloats { centers: 32, spread: 15 },
+            write_values: ValueProfile::ClusteredFloats { centers: 32, spread: 15 },
+        },
+        WorkloadSpec {
+            name: "srad",
+            suite: Rodinia,
+            intensity: High,
+            pattern: Pattern::Stencil { read_arrays: 3, write_period: 4, passes: 6 },
+            read_values: ValueProfile::ClusteredFloats { centers: 48, spread: 15 },
+            write_values: ValueProfile::ClusteredFloats { centers: 48, spread: 15 },
+        },
+        WorkloadSpec {
+            name: "pathfinder",
+            suite: Rodinia,
+            intensity: High,
+            pattern: Pattern::Stencil { read_arrays: 1, write_period: 8, passes: 10 },
+            read_values: ValueProfile::SmallInts { max: 4096 },
+            write_values: ValueProfile::SmallInts { max: 4096 },
+        },
+        WorkloadSpec {
+            name: "btree",
+            suite: Rodinia,
+            intensity: Medium,
+            pattern: Pattern::Graph { degree: 2, write_permille: 30 },
+            read_values: ValueProfile::Mixed { small_permille: 600, max: 1 << 16 },
+            write_values: ValueProfile::Mixed { small_permille: 600, max: 1 << 16 },
+        },
+        WorkloadSpec {
+            name: "kmeans",
+            suite: Rodinia,
+            intensity: Medium,
+            pattern: Pattern::Cluster { hot_sectors: 64, write_permille: 80 },
+            read_values: ValueProfile::ClusteredFloats { centers: 96, spread: 15 },
+            write_values: ValueProfile::SmallInts { max: 32 },
+        },
+        WorkloadSpec {
+            name: "streamcluster",
+            suite: Rodinia,
+            intensity: High,
+            pattern: Pattern::Cluster { hot_sectors: 128, write_permille: 30 },
+            read_values: ValueProfile::ClusteredFloats { centers: 80, spread: 15 },
+            write_values: ValueProfile::SmallInts { max: 128 },
+        },
+        WorkloadSpec {
+            name: "spmv",
+            suite: Parboil,
+            intensity: High,
+            pattern: Pattern::Graph { degree: 4, write_permille: 300 },
+            read_values: ValueProfile::Mixed { small_permille: 700, max: 1 << 14 },
+            write_values: ValueProfile::ClusteredFloats { centers: 128, spread: 15 },
+        },
+        WorkloadSpec {
+            name: "stencil",
+            suite: Parboil,
+            intensity: High,
+            pattern: Pattern::Stencil { read_arrays: 1, write_period: 4, passes: 8 },
+            read_values: ValueProfile::ClusteredFloats { centers: 40, spread: 15 },
+            write_values: ValueProfile::ClusteredFloats { centers: 40, spread: 15 },
+        },
+        WorkloadSpec {
+            name: "sgemm",
+            suite: Parboil,
+            intensity: Medium,
+            pattern: Pattern::Gemm { tile: 16 },
+            read_values: ValueProfile::ClusteredFloats { centers: 64, spread: 15 },
+            write_values: ValueProfile::WideRandom,
+        },
+        WorkloadSpec {
+            name: "lbm",
+            suite: Parboil,
+            intensity: High,
+            pattern: Pattern::Stencil { read_arrays: 2, write_period: 2, passes: 6 },
+            read_values: ValueProfile::WideRandom,
+            write_values: ValueProfile::WideRandom,
+        },
+        WorkloadSpec {
+            name: "histo",
+            suite: Parboil,
+            intensity: High,
+            pattern: Pattern::RandomRmw,
+            read_values: ValueProfile::SmallInts { max: 256 },
+            write_values: ValueProfile::SmallInts { max: 256 },
+        },
+        WorkloadSpec {
+            name: "mriq",
+            suite: Parboil,
+            intensity: Medium,
+            pattern: Pattern::Stencil { read_arrays: 2, write_period: u32::MAX, passes: 4 },
+            read_values: ValueProfile::ClusteredFloats { centers: 72, spread: 15 },
+            write_values: ValueProfile::WideRandom,
+        },
+        WorkloadSpec {
+            name: "mst",
+            suite: Lonestar,
+            intensity: High,
+            pattern: Pattern::Graph { degree: 3, write_permille: 350 },
+            read_values: ValueProfile::Mixed { small_permille: 800, max: 1 << 12 },
+            write_values: ValueProfile::SmallInts { max: 1 << 12 },
+        },
+        WorkloadSpec {
+            name: "sssp",
+            suite: Lonestar,
+            intensity: High,
+            pattern: Pattern::Graph { degree: 4, write_permille: 700 },
+            read_values: ValueProfile::SmallInts { max: 1 << 16 },
+            write_values: ValueProfile::SmallInts { max: 1 << 16 },
+        },
+        WorkloadSpec {
+            name: "pagerank",
+            suite: Pannotia,
+            intensity: High,
+            pattern: Pattern::Graph { degree: 5, write_permille: 900 },
+            read_values: ValueProfile::ClusteredFloats { centers: 128, spread: 15 },
+            write_values: ValueProfile::ClusteredFloats { centers: 128, spread: 15 },
+        },
+        WorkloadSpec {
+            name: "color",
+            suite: Pannotia,
+            intensity: High,
+            pattern: Pattern::Graph { degree: 3, write_permille: 600 },
+            read_values: ValueProfile::SmallInts { max: 64 },
+            write_values: ValueProfile::SmallInts { max: 64 },
+        },
+        WorkloadSpec {
+            name: "mis",
+            suite: Pannotia,
+            intensity: High,
+            pattern: Pattern::Graph { degree: 3, write_permille: 500 },
+            read_values: ValueProfile::SmallInts { max: 8 },
+            write_values: ValueProfile::SmallInts { max: 8 },
+        },
+    ]
+}
+
+/// Looks up a benchmark by name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_four_sources() {
+        let s = suite();
+        assert!(s.len() >= 16);
+        for src in [Suite::Rodinia, Suite::Parboil, Suite::Lonestar, Suite::Pannotia] {
+            assert!(s.iter().any(|w| w.suite == src), "missing suite {src}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = suite();
+        let mut names: Vec<_> = s.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn every_workload_generates_at_test_scale() {
+        for w in suite() {
+            let t = w.trace(Scale::Test);
+            assert!(!t.is_empty(), "{} generated empty trace", w.name);
+            assert!(t.len() <= Scale::Test.accesses());
+            assert!(!t.initial_image.is_empty());
+        }
+    }
+
+    #[test]
+    fn write_mix_spans_the_fig10_range() {
+        // Fig. 10: the suite spans read-only-ish to write-heavy.
+        let fracs: Vec<f64> = suite().iter().map(|w| w.trace(Scale::Test).write_fraction()).collect();
+        assert!(fracs.iter().any(|&f| f < 0.08), "need read-dominated workloads");
+        assert!(fracs.iter().any(|&f| f > 0.3), "need write-heavy workloads");
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        assert_eq!(by_name("bfs").unwrap().name, "bfs");
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_name() {
+        let a = by_name("sssp").unwrap().trace(Scale::Test);
+        let b = by_name("sssp").unwrap().trace(Scale::Test);
+        assert_eq!(a.accesses, b.accesses);
+    }
+}

@@ -1,0 +1,200 @@
+//! Trace characterization: the workload properties that determine how a
+//! security scheme behaves (footprint, request mix, spatial locality,
+//! reuse), computed directly from a generated trace.
+//!
+//! Used by the `experiments workloads` report and by tests that pin each
+//! synthetic benchmark to the behavior class of its namesake.
+
+use gpu_sim::{AccessKind, Trace, SECTOR_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Summary statistics of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total accesses.
+    pub accesses: usize,
+    /// Write fraction (paper Fig. 10).
+    pub write_fraction: f64,
+    /// Distinct sectors touched.
+    pub unique_sectors: usize,
+    /// Touched footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Fraction of accesses whose sector is ±1 sector from the previous
+    /// access (coalesced/streaming behavior).
+    pub sequential_fraction: f64,
+    /// Fraction of accesses to the hottest 10% of touched sectors
+    /// (temporal concentration; 0.1 = uniform).
+    pub hot_tenth_fraction: f64,
+    /// Mean reuse count per touched sector.
+    pub mean_reuse: f64,
+}
+
+/// Computes [`TraceStats`] for a trace.
+pub fn characterize(trace: &Trace) -> TraceStats {
+    let n = trace.accesses.len();
+    if n == 0 {
+        return TraceStats {
+            accesses: 0,
+            write_fraction: 0.0,
+            unique_sectors: 0,
+            footprint_bytes: 0,
+            sequential_fraction: 0.0,
+            hot_tenth_fraction: 0.0,
+            mean_reuse: 0.0,
+        };
+    }
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut writes = 0usize;
+    let mut sequential = 0usize;
+    let mut prev: Option<u64> = None;
+    for a in &trace.accesses {
+        let idx = a.addr.index();
+        *counts.entry(idx).or_insert(0) += 1;
+        if a.kind == AccessKind::Write {
+            writes += 1;
+        }
+        if let Some(p) = prev {
+            if idx.abs_diff(p) <= 1 {
+                sequential += 1;
+            }
+        }
+        prev = Some(idx);
+    }
+    let unique = counts.len();
+    let mut by_count: Vec<u64> = counts.values().copied().collect();
+    by_count.sort_unstable_by(|a, b| b.cmp(a));
+    let hot_n = (unique / 10).max(1);
+    let hot_hits: u64 = by_count.iter().take(hot_n).sum();
+
+    TraceStats {
+        accesses: n,
+        write_fraction: writes as f64 / n as f64,
+        unique_sectors: unique,
+        footprint_bytes: unique as u64 * SECTOR_SIZE,
+        sequential_fraction: sequential as f64 / n as f64,
+        hot_tenth_fraction: hot_hits as f64 / n as f64,
+        mean_reuse: n as f64 / unique as f64,
+    }
+}
+
+/// Distinct-value census of a trace's data (initial image + writes) at
+/// 32-bit granularity — the supply side of the paper's Fig. 8 value-
+/// locality study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueCensus {
+    /// Total 32-bit words examined.
+    pub words: u64,
+    /// Distinct exact 32-bit values.
+    pub distinct_exact: u64,
+    /// Distinct values after masking the low 4 bits.
+    pub distinct_masked: u64,
+}
+
+impl ValueCensus {
+    /// Mean occurrences per distinct exact value.
+    pub fn exact_reuse(&self) -> f64 {
+        if self.distinct_exact == 0 {
+            0.0
+        } else {
+            self.words as f64 / self.distinct_exact as f64
+        }
+    }
+}
+
+/// Counts distinct data values in the trace's initial image and writes.
+pub fn value_census(trace: &Trace) -> ValueCensus {
+    let mut exact: HashSet<u32> = HashSet::new();
+    let mut masked: HashSet<u32> = HashSet::new();
+    let mut words = 0u64;
+    let mut scan = |sector: &[u8; 32]| {
+        for chunk in sector.chunks_exact(4) {
+            let v = u32::from_le_bytes(chunk.try_into().unwrap());
+            exact.insert(v);
+            masked.insert(v >> 4);
+        }
+    };
+    for (_, data) in &trace.initial_image {
+        scan(data);
+        words += 8;
+    }
+    for data in &trace.write_data {
+        scan(data);
+        words += 8;
+    }
+    ValueCensus {
+        words,
+        distinct_exact: exact.len() as u64,
+        distinct_masked: masked.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{by_name, Scale};
+    use gpu_sim::SectorAddr;
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = characterize(&Trace::new("empty"));
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.unique_sectors, 0);
+    }
+
+    #[test]
+    fn sequential_trace_measures_sequential() {
+        let mut t = Trace::new("seq");
+        for i in 0..100 {
+            t.push_read(SectorAddr::new(i * 32), 0, 1);
+        }
+        let s = characterize(&t);
+        assert!(s.sequential_fraction > 0.98);
+        assert_eq!(s.unique_sectors, 100);
+        assert!((s.mean_reuse - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stencil_is_more_sequential_than_graph() {
+        let stencil = characterize(&by_name("stencil").unwrap().trace(Scale::Test));
+        let graph = characterize(&by_name("bfs").unwrap().trace(Scale::Test));
+        assert!(
+            stencil.sequential_fraction > graph.sequential_fraction,
+            "stencil {} vs bfs {}",
+            stencil.sequential_fraction,
+            graph.sequential_fraction
+        );
+    }
+
+    #[test]
+    fn graph_traces_concentrate_on_hubs() {
+        let s = characterize(&by_name("pagerank").unwrap().trace(Scale::Test));
+        assert!(s.hot_tenth_fraction > 0.15, "hub skew missing: {}", s.hot_tenth_fraction);
+    }
+
+    #[test]
+    fn histo_is_half_writes() {
+        let s = characterize(&by_name("histo").unwrap().trace(Scale::Test));
+        assert!((s.write_fraction - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn value_census_separates_locality_classes() {
+        let hot = value_census(&by_name("mis").unwrap().trace(Scale::Test)); // SmallInts{8}
+        let cold = value_census(&by_name("lbm").unwrap().trace(Scale::Test)); // WideRandom
+        assert!(hot.exact_reuse() > 100.0, "mis reuse {}", hot.exact_reuse());
+        assert!(cold.exact_reuse() < 2.0, "lbm reuse {}", cold.exact_reuse());
+        assert!(hot.distinct_masked <= hot.distinct_exact);
+    }
+
+    #[test]
+    fn clustered_floats_collapse_under_masking() {
+        let c = value_census(&by_name("hotspot").unwrap().trace(Scale::Test));
+        assert!(
+            (c.distinct_masked as f64) < c.distinct_exact as f64 / 4.0,
+            "masking should collapse clustered floats: {} vs {}",
+            c.distinct_masked,
+            c.distinct_exact
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Data-value generators controlling the *value locality* of synthetic
+//! workloads — the property Plutus's value-based verification exploits
+//! (paper Section III-B).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How 32-bit data words are drawn for a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueProfile {
+    /// Small integers (node ids, distances, histogram counts, labels):
+    /// values repeat heavily — the high-reuse regime of graph workloads.
+    SmallInts {
+        /// Exclusive upper bound on generated values.
+        max: u32,
+    },
+    /// Float-like values clustered around a few centers, with noise
+    /// confined to the low bits: exact matching misses, but the 28-bit
+    /// masked matching Plutus uses still hits (grid/temperature data).
+    ClusteredFloats {
+        /// Number of cluster centers.
+        centers: u32,
+        /// Noise magnitude (kept within the masked low bits when ≤ 15).
+        spread: u32,
+    },
+    /// Uniformly random words: essentially no value locality (hash tables,
+    /// compressed/encrypted payloads).
+    WideRandom,
+    /// A mix: `small_permille`/1000 of words are small integers, the rest
+    /// random (structures mixing indices with payloads).
+    Mixed {
+        /// Parts-per-thousand of words drawn as small integers.
+        small_permille: u32,
+        /// Exclusive upper bound for the small-integer part.
+        max: u32,
+    },
+}
+
+impl ValueProfile {
+    /// Samples one 32-bit word.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        match *self {
+            ValueProfile::SmallInts { max } => rng.gen_range(0..max.max(1)),
+            ValueProfile::ClusteredFloats { centers, spread } => {
+                let center = rng.gen_range(0..centers.max(1));
+                // Deterministic center value spread across the 32-bit space,
+                // plus low-bit noise.
+                let base = center.wrapping_mul(0x9e37_79b9) & !0xf;
+                base.wrapping_add(rng.gen_range(0..=spread))
+            }
+            ValueProfile::WideRandom => rng.gen(),
+            ValueProfile::Mixed { small_permille, max } => {
+                if rng.gen_range(0..1000) < small_permille {
+                    rng.gen_range(0..max.max(1))
+                } else {
+                    rng.gen()
+                }
+            }
+        }
+    }
+
+    /// Fills a 32-byte sector with eight sampled words.
+    pub fn fill_sector(&self, rng: &mut StdRng) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..8 {
+            out[4 * i..4 * i + 4].copy_from_slice(&self.sample(rng).to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn small_ints_repeat_heavily() {
+        let mut r = rng();
+        let p = ValueProfile::SmallInts { max: 64 };
+        let distinct: HashSet<u32> = (0..1000).map(|_| p.sample(&mut r)).collect();
+        assert!(distinct.len() <= 64);
+    }
+
+    #[test]
+    fn clustered_floats_match_after_masking() {
+        let mut r = rng();
+        let p = ValueProfile::ClusteredFloats { centers: 8, spread: 15 };
+        let masked: HashSet<u32> = (0..1000).map(|_| p.sample(&mut r) >> 4).collect();
+        assert!(masked.len() <= 8, "masked keys {} > centers", masked.len());
+        let exact: HashSet<u32> = (0..1000).map(|_| p.sample(&mut r)).collect();
+        assert!(exact.len() > 8, "noise must defeat exact matching");
+    }
+
+    #[test]
+    fn wide_random_rarely_repeats() {
+        let mut r = rng();
+        let p = ValueProfile::WideRandom;
+        let distinct: HashSet<u32> = (0..1000).map(|_| p.sample(&mut r)).collect();
+        assert!(distinct.len() > 990);
+    }
+
+    #[test]
+    fn mixed_profile_blends() {
+        let mut r = rng();
+        let p = ValueProfile::Mixed { small_permille: 500, max: 16 };
+        let small = (0..2000).filter(|_| p.sample(&mut r) < 16).count();
+        assert!(small > 800 && small < 1300, "small fraction {small}/2000");
+    }
+
+    #[test]
+    fn fill_sector_has_eight_words() {
+        let mut r = rng();
+        let s = ValueProfile::SmallInts { max: 4 }.fill_sector(&mut r);
+        for chunk in s.chunks_exact(4) {
+            assert!(u32::from_le_bytes(chunk.try_into().unwrap()) < 4);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Design-space exploration: sweep the knobs the paper fixes and see why
+//! it fixed them there.
+//!
+//! Covers three ablations called out in DESIGN.md:
+//! 1. value-cache size vs the 3-of-4 rule (Eq. 1: bigger caches need a
+//!    stricter rule, so 256 entries is the sweet spot);
+//! 2. metadata granularity (Fig. 14's three designs);
+//! 3. compact-counter kind (2-bit / 3-bit / adaptive).
+//!
+//! ```text
+//! cargo run --release -p plutus-bench --example design_space
+//! ```
+
+use gpu_sim::GpuConfig;
+use plutus_bench::{run_one, Scheme};
+use plutus_core::binomial::{plutus_min_hits, tamper_hit_probability, binomial_tail, FORGERY_BUDGET};
+use workloads::{by_name, Scale};
+
+fn main() {
+    // --- 1. The Eq. 1 security analysis across value-cache sizes. -------
+    println!("value-cache size vs required hits per 128-bit unit (Eq. 1):");
+    println!("{:>10}{:>10}{:>24}", "entries", "min hits", "forgery tail at 3-of-4");
+    for entries in [64usize, 128, 256, 512, 1024] {
+        let p = tamper_hit_probability(entries, 28);
+        println!(
+            "{entries:>10}{:>10}{:>24.3e}",
+            plutus_min_hits(entries, 28),
+            binomial_tail(4, 3, p)
+        );
+    }
+    println!("(budget: {FORGERY_BUDGET:.3e} — a 56-bit MAC's collision rate)");
+    println!("256 entries is the largest cache that still admits the 3-of-4 rule.\n");
+
+    // --- 2 & 3. Timing ablations on a mixed pair of workloads. ----------
+    let cfg = GpuConfig::default();
+    for name in ["sssp", "hotspot"] {
+        let w = by_name(name).expect("workload");
+        let baseline = run_one(&w, Scheme::None, Scale::Small, &cfg);
+        println!("=== {name} ===");
+        println!("{:<22}{:>12}{:>16}", "design", "norm. IPC", "metadata bytes");
+        for scheme in [
+            Scheme::Pssm,
+            Scheme::FineLeafCoarseTree,
+            Scheme::All32,
+            Scheme::Compact2Bit,
+            Scheme::Compact3Bit,
+            Scheme::CompactAdaptive,
+            Scheme::Plutus,
+        ] {
+            let r = run_one(&w, scheme, Scale::Small, &cfg);
+            println!(
+                "{:<22}{:>12.3}{:>16}",
+                scheme.label(),
+                r.ipc() / baseline.ipc(),
+                r.stats.metadata_bytes()
+            );
+        }
+        println!();
+    }
+}
