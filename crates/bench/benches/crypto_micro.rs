@@ -1,65 +1,59 @@
 //! Microbenchmarks of the crypto substrate: the functional cost of each
 //! primitive the security engines invoke per memory access.
+//!
+//! Plain `harness = false` timing binaries (the build resolves no
+//! external crates, so Criterion is unavailable); timings are collected
+//! through `plutus-telemetry` span histograms and printed as its
+//! summary table. Run with `cargo bench -p plutus-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use plutus_crypto::{Aes128, Cmac, CounterMode, Tweak, Xts};
+use plutus_telemetry::{Span, Telemetry};
 use std::hint::black_box;
 
-fn bench_aes(c: &mut Criterion) {
+fn bench(tel: &Telemetry, name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f(); // warmup
+    }
+    let hist = tel.histogram(&format!("span.{name}.ns"));
+    for _ in 0..iters {
+        let _guard = Span::enter(tel, &hist);
+        f();
+    }
+}
+
+fn main() {
+    let tel = Telemetry::new();
+    let iters = 20_000;
+
     let aes = Aes128::new([7; 16]);
-    let mut g = c.benchmark_group("aes128");
-    g.throughput(Throughput::Bytes(16));
-    g.bench_function("encrypt_block", |b| {
-        let mut block = [0u8; 16];
-        b.iter(|| {
-            aes.encrypt_block(black_box(&mut block));
-        });
+    let mut block = [0u8; 16];
+    bench(&tel, "aes128.encrypt_block", iters, || {
+        aes.encrypt_block(black_box(&mut block))
     });
-    g.bench_function("decrypt_block", |b| {
-        let mut block = [0u8; 16];
-        b.iter(|| {
-            aes.decrypt_block(black_box(&mut block));
-        });
+    bench(&tel, "aes128.decrypt_block", iters, || {
+        aes.decrypt_block(black_box(&mut block))
     });
-    g.finish();
-}
 
-fn bench_xts(c: &mut Criterion) {
     let xts = Xts::new([1; 16], [2; 16]);
-    let mut g = c.benchmark_group("xts");
-    g.throughput(Throughput::Bytes(32));
-    g.bench_function("encrypt_sector_32B", |b| {
-        let mut sector = [0u8; 32];
-        b.iter(|| xts.encrypt_sector(black_box(&mut sector), Tweak::new(0x1000, 7)));
+    let mut sector = [0u8; 32];
+    bench(&tel, "xts.encrypt_sector_32B", iters, || {
+        xts.encrypt_sector(black_box(&mut sector), Tweak::new(0x1000, 7));
     });
-    g.bench_function("decrypt_sector_32B", |b| {
-        let mut sector = [0u8; 32];
-        b.iter(|| xts.decrypt_sector(black_box(&mut sector), Tweak::new(0x1000, 7)));
+    bench(&tel, "xts.decrypt_sector_32B", iters, || {
+        xts.decrypt_sector(black_box(&mut sector), Tweak::new(0x1000, 7));
     });
-    g.finish();
-}
 
-fn bench_cme(c: &mut Criterion) {
     let cme = CounterMode::new([3; 16]);
-    let mut g = c.benchmark_group("counter_mode");
-    g.throughput(Throughput::Bytes(32));
-    g.bench_function("apply_sector_32B", |b| {
-        let mut sector = [0u8; 32];
-        b.iter(|| cme.apply(black_box(&mut sector), Tweak::new(0x2000, 3)));
+    let mut cme_sector = [0u8; 32];
+    bench(&tel, "counter_mode.apply_sector_32B", iters, || {
+        cme.apply(black_box(&mut cme_sector), Tweak::new(0x2000, 3));
     });
-    g.finish();
-}
 
-fn bench_cmac(c: &mut Criterion) {
     let cmac = Cmac::new([9; 16]);
-    let sector = [0x5au8; 32];
-    let mut g = c.benchmark_group("cmac");
-    g.throughput(Throughput::Bytes(32));
-    g.bench_function("stateful_tag64_32B", |b| {
-        b.iter(|| cmac.stateful_tag64(black_box(&sector), Tweak::new(0x40, 5)));
+    let msg = [0x5au8; 32];
+    bench(&tel, "cmac.stateful_tag64_32B", iters, || {
+        black_box(cmac.stateful_tag64(black_box(&msg), Tweak::new(0x40, 5)));
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_aes, bench_xts, bench_cme, bench_cmac);
-criterion_main!(benches);
+    print!("{}", tel.report().summary_table());
+}

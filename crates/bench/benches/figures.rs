@@ -1,105 +1,68 @@
-//! Figure-regeneration benches: one Criterion target per paper experiment
-//! family, each timing a complete simulation (workload trace + engine) at
-//! test scale. `cargo bench -p plutus-bench --bench figures` therefore
-//! both exercises every experiment path and tracks simulator performance;
-//! the full-size figures come from the `experiments` binary (see
-//! EXPERIMENTS.md).
+//! Figure-regeneration benches: one timing target per paper experiment
+//! family, each running a complete simulation (workload trace + engine)
+//! at test scale. `cargo bench -p plutus-bench --bench figures`
+//! therefore both exercises every experiment path and tracks simulator
+//! performance; the full-size figures come from the `experiments`
+//! binary (see EXPERIMENTS.md).
+//!
+//! Plain `harness = false` timing binaries (the build resolves no
+//! external crates, so Criterion is unavailable); timings are collected
+//! through `plutus-telemetry` span histograms and printed as its
+//! summary table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::GpuConfig;
 use plutus_bench::{run_one, Scheme};
+use plutus_telemetry::{Span, Telemetry};
 use std::hint::black_box;
 use workloads::{by_name, Scale};
+
+const SAMPLES: u32 = 5;
 
 fn cfg() -> GpuConfig {
     GpuConfig::test_small()
 }
 
-fn bench_fig6_overhead(c: &mut Criterion) {
-    let w = by_name("bfs").unwrap();
-    let mut g = c.benchmark_group("fig6_secure_memory_overhead");
-    g.sample_size(10);
+fn bench_run(tel: &Telemetry, group: &str, workload: &str, scheme: Scheme) {
+    let w = by_name(workload).unwrap();
+    let hist = tel.histogram(&format!("span.{group}.{workload}.{}.ns", scheme.label()));
+    for _ in 0..SAMPLES {
+        let _guard = Span::enter(tel, &hist);
+        black_box(run_one(&w, scheme, Scale::Test, &cfg()).stats.cycles);
+    }
+}
+
+fn main() {
+    let tel = Telemetry::new();
+
     for scheme in [Scheme::None, Scheme::Pssm] {
-        g.bench_with_input(BenchmarkId::new("bfs", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| black_box(run_one(&w, s, Scale::Test, &cfg()).stats.cycles));
-        });
+        bench_run(&tel, "fig6_secure_memory_overhead", "bfs", scheme);
     }
-    g.finish();
-}
-
-fn bench_fig15_value_verification(c: &mut Criterion) {
-    let w = by_name("color").unwrap();
-    let mut g = c.benchmark_group("fig15_value_verification");
-    g.sample_size(10);
     for scheme in [Scheme::Pssm, Scheme::ValueVerifyOnly] {
-        g.bench_with_input(BenchmarkId::new("color", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| black_box(run_one(&w, s, Scale::Test, &cfg()).stats.cycles));
-        });
+        bench_run(&tel, "fig15_value_verification", "color", scheme);
     }
-    g.finish();
-}
-
-fn bench_fig16_granularity(c: &mut Criterion) {
-    let w = by_name("sssp").unwrap();
-    let mut g = c.benchmark_group("fig16_metadata_granularity");
-    g.sample_size(10);
     for scheme in [Scheme::Pssm, Scheme::FineLeafCoarseTree, Scheme::All32] {
-        g.bench_with_input(BenchmarkId::new("sssp", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| black_box(run_one(&w, s, Scale::Test, &cfg()).stats.cycles));
-        });
+        bench_run(&tel, "fig16_metadata_granularity", "sssp", scheme);
     }
-    g.finish();
-}
-
-fn bench_fig17_compact_counters(c: &mut Criterion) {
-    let w = by_name("histo").unwrap();
-    let mut g = c.benchmark_group("fig17_compact_counters");
-    g.sample_size(10);
-    for scheme in [Scheme::Compact2Bit, Scheme::Compact3Bit, Scheme::CompactAdaptive] {
-        g.bench_with_input(BenchmarkId::new("histo", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| black_box(run_one(&w, s, Scale::Test, &cfg()).stats.cycles));
-        });
+    for scheme in [
+        Scheme::Compact2Bit,
+        Scheme::Compact3Bit,
+        Scheme::CompactAdaptive,
+    ] {
+        bench_run(&tel, "fig17_compact_counters", "histo", scheme);
     }
-    g.finish();
-}
-
-fn bench_fig18_plutus_overall(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig18_plutus_overall");
-    g.sample_size(10);
     for name in ["bfs", "stencil"] {
-        let w = by_name(name).unwrap();
         for scheme in [Scheme::Pssm, Scheme::CommonCounters, Scheme::Plutus] {
-            g.bench_with_input(BenchmarkId::new(name, scheme.label()), &scheme, |b, &s| {
-                b.iter(|| black_box(run_one(&w, s, Scale::Test, &cfg()).stats.cycles));
-            });
+            bench_run(&tel, "fig18_plutus_overall", name, scheme);
         }
     }
-    g.finish();
-}
-
-fn bench_fig21_value_cache_size(c: &mut Criterion) {
-    let w = by_name("pagerank").unwrap();
-    let mut g = c.benchmark_group("fig21_value_cache_size");
-    g.sample_size(10);
     for entries in [64usize, 256, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &n| {
-            b.iter(|| {
-                black_box(
-                    run_one(&w, Scheme::PlutusValueEntries(n), Scale::Test, &cfg()).stats.cycles,
-                )
-            });
-        });
+        bench_run(
+            &tel,
+            "fig21_value_cache_size",
+            "pagerank",
+            Scheme::PlutusValueEntries(entries),
+        );
     }
-    g.finish();
-}
 
-criterion_group!(
-    figures,
-    bench_fig6_overhead,
-    bench_fig15_value_verification,
-    bench_fig16_granularity,
-    bench_fig17_compact_counters,
-    bench_fig18_plutus_overall,
-    bench_fig21_value_cache_size
-);
-criterion_main!(figures);
+    print!("{}", tel.report().summary_table());
+}

@@ -1,88 +1,94 @@
 //! Microbenchmarks of simulator hot paths: cache lookups, DRAM booking,
 //! value-cache probing, and full engine fill/writeback operations.
+//!
+//! Plain `harness = false` timing binaries (the build resolves no
+//! external crates, so Criterion is unavailable); timings are collected
+//! through `plutus-telemetry` span histograms and printed as its
+//! summary table. Run with `cargo bench -p plutus-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::cache::SectoredCache;
 use gpu_sim::dram::DramChannel;
 use gpu_sim::{BackingMemory, DramConfig, SectorAddr, SecurityEngine};
 use plutus_core::{PlutusConfig, PlutusEngine, ValueCache, ValueCacheConfig};
+use plutus_telemetry::{Span, Telemetry};
 use secure_mem::{PssmEngine, SecureMemConfig};
 use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("sectored_cache_access", |b| {
-        let mut cache = SectoredCache::new(96 * 1024, 16, 128, false);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e37_79b9);
-            black_box(cache.access((i % 100_000) * 32, false, None).hit)
-        });
-    });
+fn bench(tel: &Telemetry, name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f(); // warmup
+    }
+    let hist = tel.histogram(&format!("span.{name}.ns"));
+    for _ in 0..iters {
+        let _guard = Span::enter(tel, &hist);
+        f();
+    }
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_channel_access", |b| {
-        let mut d = DramChannel::new(DramConfig::default());
-        let mut i = 0u64;
-        let mut now = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e37_79b9);
-            now += 2;
-            black_box(d.access(now, (i % 1_000_000) * 32, 32))
-        });
-    });
-}
+fn main() {
+    let tel = Telemetry::new();
 
-fn bench_value_cache(c: &mut Criterion) {
-    c.bench_function("value_cache_probe_insert", |b| {
-        let mut vc = ValueCache::new(ValueCacheConfig::default());
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(61);
-            let v = i % 512;
-            vc.probe(v);
-            vc.insert(v);
-        });
+    let mut cache = SectoredCache::new(96 * 1024, 16, 128, false);
+    let mut i = 0u64;
+    bench(&tel, "sectored_cache.access", 20_000, || {
+        i = i.wrapping_add(0x9e37_79b9);
+        black_box(cache.access((i % 100_000) * 32, false, None).hit);
     });
-}
 
-fn bench_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_ops");
-    g.bench_function("pssm_fill", |b| {
-        let mut engine = PssmEngine::new(SecureMemConfig::test_small());
-        let mut mem = BackingMemory::new();
-        for i in 0..512u64 {
-            engine.on_writeback(SectorAddr::new(i * 32), &[i as u8; 32], &mut mem);
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 17) % 512;
-            black_box(engine.on_fill(SectorAddr::new(i * 32), &mut mem).crypto_latency)
-        });
+    let mut dram = DramChannel::new(DramConfig::default());
+    let mut j = 0u64;
+    let mut now = 0u64;
+    bench(&tel, "dram_channel.access", 20_000, || {
+        j = j.wrapping_add(0x9e37_79b9);
+        now += 2;
+        black_box(dram.access(now, (j % 1_000_000) * 32, 32));
     });
-    g.bench_function("plutus_fill", |b| {
-        let mut engine = PlutusEngine::new(PlutusConfig::test_small());
-        let mut mem = BackingMemory::new();
-        for i in 0..512u64 {
-            engine.on_writeback(SectorAddr::new(i * 32), &[i as u8; 32], &mut mem);
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 17) % 512;
-            black_box(engine.on_fill(SectorAddr::new(i * 32), &mut mem).crypto_latency)
-        });
-    });
-    g.bench_function("plutus_writeback", |b| {
-        let mut engine = PlutusEngine::new(PlutusConfig::test_small());
-        let mut mem = BackingMemory::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 29) % 2048;
-            engine.on_writeback(SectorAddr::new(i * 32), &[i as u8; 32], &mut mem);
-        });
-    });
-    g.finish();
-}
 
-criterion_group!(benches, bench_cache, bench_dram, bench_value_cache, bench_engines);
-criterion_main!(benches);
+    let mut vc = ValueCache::new(ValueCacheConfig::default());
+    let mut k = 0u64;
+    bench(&tel, "value_cache.probe_insert", 20_000, || {
+        k = k.wrapping_add(61);
+        let v = (k % 512) as u32;
+        vc.probe(v);
+        vc.insert(v);
+    });
+
+    let mut pssm = PssmEngine::new(SecureMemConfig::test_small());
+    let mut pssm_mem = BackingMemory::new();
+    for s in 0..512u64 {
+        pssm.on_writeback(SectorAddr::new(s * 32), &[s as u8; 32], &mut pssm_mem);
+    }
+    let mut p = 0u64;
+    bench(&tel, "pssm.fill", 5_000, || {
+        p = (p + 17) % 512;
+        black_box(
+            pssm.on_fill(SectorAddr::new(p * 32), &mut pssm_mem)
+                .crypto_latency,
+        );
+    });
+
+    let mut plutus = PlutusEngine::new(PlutusConfig::test_small());
+    let mut plutus_mem = BackingMemory::new();
+    for s in 0..512u64 {
+        plutus.on_writeback(SectorAddr::new(s * 32), &[s as u8; 32], &mut plutus_mem);
+    }
+    let mut q = 0u64;
+    bench(&tel, "plutus.fill", 5_000, || {
+        q = (q + 17) % 512;
+        black_box(
+            plutus
+                .on_fill(SectorAddr::new(q * 32), &mut plutus_mem)
+                .crypto_latency,
+        );
+    });
+
+    let mut wb_engine = PlutusEngine::new(PlutusConfig::test_small());
+    let mut wb_mem = BackingMemory::new();
+    let mut w = 0u64;
+    bench(&tel, "plutus.writeback", 5_000, || {
+        w = (w + 29) % 2048;
+        wb_engine.on_writeback(SectorAddr::new(w * 32), &[w as u8; 32], &mut wb_mem);
+    });
+
+    print!("{}", tel.report().summary_table());
+}

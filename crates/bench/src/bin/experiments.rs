@@ -7,24 +7,79 @@
 //! `<id>` ∈ {table1, table2, fig6, fig7, fig9, fig10, fig15, fig16, fig17,
 //! fig18, fig19, fig20, fig21, fig22, all}. Results print as tables and are
 //! saved as JSON under `target/experiments/`.
+//!
+//! Telemetry: `--metrics-out <path>` captures the full metrics registry
+//! (per-class traffic counters, cache hit/miss counters, latency
+//! histograms, per-run epoch snapshots, typed events) and writes it to
+//! `<path>` on exit; `--metrics-format json|csv` picks the exporter
+//! (default json) and `--epoch-cycles N` additionally closes an epoch
+//! every N simulated cycles inside each run.
 
 use gpu_sim::GpuConfig;
-use plutus_bench::{geomean, matrix_table, run_matrix, save_json, EnergyModel, Measurement, Scheme};
+use plutus_bench::{
+    geomean, matrix_table, run_matrix, run_matrix_with_telemetry, save_json, EnergyModel,
+    Measurement, Scheme,
+};
 use plutus_core::value_analysis::analyze_trace;
+use plutus_telemetry::{CycleClock, Event, Telemetry};
 use secure_mem::SecureMemConfig;
+use std::path::PathBuf;
+use std::sync::Arc;
 use workloads::{suite, Scale, WorkloadSpec};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Csv,
+}
 
 struct Args {
     experiment: String,
     scale: Scale,
     workloads: Vec<WorkloadSpec>,
+    metrics_out: Option<PathBuf>,
+    metrics_format: MetricsFormat,
+    epoch_cycles: Option<u64>,
+    tel: Telemetry,
 }
 
-fn parse_args() -> Args {
+impl Args {
+    /// Runs a workload×scheme matrix, instrumented when `--metrics-out`
+    /// is active (sequential, so epochs stay attributable per run).
+    fn matrix(&self, cfg: &GpuConfig, schemes: &[Scheme]) -> Vec<Measurement> {
+        if self.metrics_out.is_some() {
+            run_matrix_with_telemetry(
+                &self.workloads,
+                schemes,
+                self.scale,
+                cfg,
+                &self.tel,
+                self.epoch_cycles,
+            )
+        } else {
+            run_matrix(&self.workloads, schemes, self.scale, cfg)
+        }
+    }
+}
+
+/// Logs the error to the telemetry event log, prints it, and exits
+/// nonzero.
+fn fail(tel: &Telemetry, message: String) -> ! {
+    tel.event(Event::CliError {
+        message: message.clone(),
+    });
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+fn parse_args(tel: &Telemetry) -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::from("all");
     let mut scale = Scale::Small;
     let mut selected: Option<Vec<String>> = None;
+    let mut metrics_out = None;
+    let mut metrics_format = MetricsFormat::Json;
+    let mut epoch_cycles = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -34,10 +89,10 @@ fn parse_args() -> Args {
                     Some("test") => Scale::Test,
                     Some("small") => Scale::Small,
                     Some("paper") => Scale::Paper,
-                    other => {
-                        eprintln!("unknown scale {other:?}; expected test|small|paper");
-                        std::process::exit(2);
-                    }
+                    other => fail(
+                        tel,
+                        format!("unknown scale {other:?}; expected test|small|paper"),
+                    ),
                 };
             }
             "--workloads" => {
@@ -48,10 +103,32 @@ fn parse_args() -> Args {
                         .unwrap_or_default(),
                 );
             }
-            flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag}");
-                std::process::exit(2);
+            "--metrics-out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => metrics_out = Some(PathBuf::from(p)),
+                    None => fail(tel, "--metrics-out requires a path".into()),
+                }
             }
+            "--metrics-format" => {
+                i += 1;
+                metrics_format = match argv.get(i).map(String::as_str) {
+                    Some("json") => MetricsFormat::Json,
+                    Some("csv") => MetricsFormat::Csv,
+                    other => fail(
+                        tel,
+                        format!("unknown metrics format {other:?}; expected json|csv"),
+                    ),
+                };
+            }
+            "--epoch-cycles" => {
+                i += 1;
+                epoch_cycles = match argv.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => fail(tel, "--epoch-cycles requires a positive integer".into()),
+                };
+            }
+            flag if flag.starts_with("--") => fail(tel, format!("unknown flag {flag}")),
             id => experiment = id.to_string(),
         }
         i += 1;
@@ -60,20 +137,37 @@ fn parse_args() -> Args {
     let workloads = match selected {
         None => all,
         Some(names) => {
-            let picked: Vec<WorkloadSpec> =
-                all.into_iter().filter(|w| names.iter().any(|n| n == w.name)).collect();
+            let known: Vec<&str> = all.iter().map(|w| w.name).collect();
+            if let Some(bad) = names.iter().find(|n| !known.contains(&n.as_str())) {
+                fail(
+                    tel,
+                    format!("unknown workload {bad:?}; known: {}", known.join(", ")),
+                );
+            }
+            let picked: Vec<WorkloadSpec> = all
+                .into_iter()
+                .filter(|w| names.iter().any(|n| n == w.name))
+                .collect();
             if picked.is_empty() {
-                eprintln!("no known workloads in {names:?}");
-                std::process::exit(2);
+                fail(tel, format!("no known workloads in {names:?}"));
             }
             picked
         }
     };
-    Args { experiment, scale, workloads }
+    Args {
+        experiment,
+        scale,
+        workloads,
+        metrics_out,
+        metrics_format,
+        epoch_cycles,
+        tel: tel.clone(),
+    }
 }
 
 fn main() {
-    let args = parse_args();
+    let tel = Telemetry::with_clock(Arc::new(CycleClock::new()));
+    let args = parse_args(&tel);
     let cfg = GpuConfig::default();
     let ids: Vec<&str> = if args.experiment == "all" {
         vec![
@@ -92,7 +186,12 @@ fn main() {
             "fig7" => fig7(&args, &cfg),
             "fig9" => fig9(&args, &cfg),
             "fig10" => fig10(&args),
-            "fig15" => ipc_figure("fig15", &args, &cfg, &[Scheme::Pssm, Scheme::ValueVerifyOnly]),
+            "fig15" => ipc_figure(
+                "fig15",
+                &args,
+                &cfg,
+                &[Scheme::Pssm, Scheme::ValueVerifyOnly],
+            ),
             "fig16" => ipc_figure(
                 "fig16",
                 &args,
@@ -103,11 +202,21 @@ fn main() {
                 "fig17",
                 &args,
                 &cfg,
-                &[Scheme::Pssm, Scheme::Compact2Bit, Scheme::Compact3Bit, Scheme::CompactAdaptive],
+                &[
+                    Scheme::Pssm,
+                    Scheme::Compact2Bit,
+                    Scheme::Compact3Bit,
+                    Scheme::CompactAdaptive,
+                ],
             ),
             "fig18" => fig18(&args, &cfg),
             "fig19" => fig19(&args, &cfg),
-            "fig20" => ipc_figure("fig20", &args, &cfg, &[Scheme::PssmNoTree, Scheme::PlutusNoTree]),
+            "fig20" => ipc_figure(
+                "fig20",
+                &args,
+                &cfg,
+                &[Scheme::PssmNoTree, Scheme::PlutusNoTree],
+            ),
             "fig21" => ipc_figure(
                 "fig21",
                 &args,
@@ -126,11 +235,23 @@ fn main() {
             "ablations" => {
                 plutus_bench::ablations::run_all(&args.workloads, args.scale, &cfg);
             }
-            other => {
-                eprintln!("unknown experiment {other}");
-                std::process::exit(2);
-            }
+            other => fail(&args.tel, format!("unknown experiment {other}")),
         }
+    }
+    if let Some(path) = &args.metrics_out {
+        let report = args.tel.report();
+        let text = match args.metrics_format {
+            MetricsFormat::Json => report.to_json().to_string_pretty(),
+            MetricsFormat::Csv => report.to_csv(),
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            fail(
+                &args.tel,
+                format!("cannot write metrics to {}: {e}", path.display()),
+            );
+        }
+        println!("\n{}", report.summary_table());
+        println!("metrics written to {}", path.display());
     }
 }
 
@@ -157,10 +278,21 @@ fn overheads() {
 }
 
 fn workload_report(args: &Args) {
-    println!("Synthetic benchmark characterization at {:?} scale:", args.scale);
+    println!(
+        "Synthetic benchmark characterization at {:?} scale:",
+        args.scale
+    );
     println!(
         "{:<14}{:>10}{:>10}{:>12}{:>8}{:>8}{:>10}{:>12}{:>12}",
-        "workload", "suite", "writes%", "footprint", "seq%", "hot10%", "reuse", "vals-exact", "vals-masked"
+        "workload",
+        "suite",
+        "writes%",
+        "footprint",
+        "seq%",
+        "hot10%",
+        "reuse",
+        "vals-exact",
+        "vals-masked"
     );
     for w in &args.workloads {
         let t = w.trace(args.scale);
@@ -183,7 +315,10 @@ fn workload_report(args: &Args) {
 
 fn table1(cfg: &GpuConfig) {
     println!("Baseline GPU configuration (paper Table I):");
-    println!("  SMs                  {} @ {} MHz", cfg.sm_count, cfg.core_clock_mhz);
+    println!(
+        "  SMs                  {} @ {} MHz",
+        cfg.sm_count, cfg.core_clock_mhz
+    );
     println!("  warp pool            {} warps in flight", cfg.warps);
     println!(
         "  L2 cache             {} partitions x {} banks x {} KiB = {} MiB",
@@ -217,7 +352,10 @@ fn table2() {
         sec.latencies.aes_latency
     );
     println!("  counters             sectored split counters, 32 sectors/group");
-    println!("  BMT                  {}-ary over counters, lazy update", sec.bmt_node_bytes / 8);
+    println!(
+        "  BMT                  {}-ary over counters, lazy update",
+        sec.bmt_node_bytes / 8
+    );
     let vc = plutus_core::ValueCacheConfig::default();
     println!(
         "  value cache          {} entries, 25% pinned, 28-bit match, {}-of-4 rule",
@@ -234,7 +372,10 @@ fn summarize_vs(rows: &[Measurement], scheme: &str, baseline: &str) {
     let mut ratios = Vec::new();
     let mut best: (f64, String) = (0.0, String::new());
     for r in rows.iter().filter(|r| r.scheme == scheme) {
-        if let Some(b) = rows.iter().find(|x| x.workload == r.workload && x.scheme == baseline) {
+        if let Some(b) = rows
+            .iter()
+            .find(|x| x.workload == r.workload && x.scheme == baseline)
+        {
             if b.norm_ipc > 0.0 {
                 let ratio = r.norm_ipc / b.norm_ipc;
                 if ratio > best.0 {
@@ -258,9 +399,17 @@ fn summarize_vs(rows: &[Measurement], scheme: &str, baseline: &str) {
 fn ipc_figure(name: &str, args: &Args, cfg: &GpuConfig, schemes: &[Scheme]) {
     let mut all = vec![Scheme::None];
     all.extend_from_slice(schemes);
-    let rows = run_matrix(&args.workloads, &all, args.scale, cfg);
+    let rows = args.matrix(cfg, &all);
     let cols = labels(schemes);
-    println!("{}", matrix_table(&rows, &cols, |m| m.norm_ipc, "IPC normalized to no security"));
+    println!(
+        "{}",
+        matrix_table(
+            &rows,
+            &cols,
+            |m| m.norm_ipc,
+            "IPC normalized to no security"
+        )
+    );
     let base = schemes[0].label();
     for s in &schemes[1..] {
         summarize_vs(&rows, &s.label(), &base);
@@ -270,13 +419,21 @@ fn ipc_figure(name: &str, args: &Args, cfg: &GpuConfig, schemes: &[Scheme]) {
 }
 
 fn fig6(args: &Args, cfg: &GpuConfig) {
-    let rows = run_matrix(&args.workloads, &[Scheme::None, Scheme::Pssm], args.scale, cfg);
+    let rows = args.matrix(cfg, &[Scheme::None, Scheme::Pssm]);
     println!(
         "{}",
-        matrix_table(&rows, &["pssm".into()], |m| m.norm_ipc, "IPC normalized to no security")
+        matrix_table(
+            &rows,
+            &["pssm".into()],
+            |m| m.norm_ipc,
+            "IPC normalized to no security"
+        )
     );
-    let slowdowns: Vec<f64> =
-        rows.iter().filter(|r| r.scheme == "pssm").map(|r| r.norm_ipc).collect();
+    let slowdowns: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.scheme == "pssm")
+        .map(|r| r.norm_ipc)
+        .collect();
     println!(
         "secure memory (PSSM) keeps {:.1}% of insecure IPC on geomean",
         geomean(slowdowns.iter().copied()) * 100.0
@@ -286,7 +443,7 @@ fn fig6(args: &Args, cfg: &GpuConfig) {
 }
 
 fn fig7(args: &Args, cfg: &GpuConfig) {
-    let rows = run_matrix(&args.workloads, &[Scheme::Pssm], args.scale, cfg);
+    let rows = args.matrix(cfg, &[Scheme::Pssm]);
     println!("DRAM traffic breakdown under PSSM (fraction of total bytes):");
     println!(
         "{:<14}{:>10}{:>10}{:>10}{:>10}{:>12}",
@@ -295,7 +452,11 @@ fn fig7(args: &Args, cfg: &GpuConfig) {
     for r in rows.iter().filter(|r| r.scheme == "pssm") {
         let total = r.total_bytes.max(1) as f64;
         let get = |label: &str| {
-            r.class_bytes.iter().find(|(l, _)| l == label).map(|(_, b)| *b).unwrap_or(0) as f64
+            r.class_bytes
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, b)| *b)
+                .unwrap_or(0) as f64
         };
         let data = get("data").max(1.0);
         println!(
@@ -340,7 +501,10 @@ fn fig9(args: &Args, _cfg: &GpuConfig) {
             class_bytes: vec![
                 ("all_eight_permille".into(), (r.all_eight * 1000.0) as u64),
                 ("halves_permille".into(), (r.halves * 1000.0) as u64),
-                ("halves_masked_permille".into(), (r.halves_masked * 1000.0) as u64),
+                (
+                    "halves_masked_permille".into(),
+                    (r.halves_masked * 1000.0) as u64,
+                ),
             ],
             engine_stats: Vec::new(),
         });
@@ -355,15 +519,33 @@ fn fig10(args: &Args) {
     for w in &args.workloads {
         let t = w.trace(args.scale);
         let wf = t.write_fraction();
-        println!("{:<14}{:>9.1}%{:>9.1}%", w.name, (1.0 - wf) * 100.0, wf * 100.0);
+        println!(
+            "{:<14}{:>9.1}%{:>9.1}%",
+            w.name,
+            (1.0 - wf) * 100.0,
+            wf * 100.0
+        );
     }
 }
 
 fn fig18(args: &Args, cfg: &GpuConfig) {
-    let schemes = [Scheme::None, Scheme::Pssm, Scheme::CommonCounters, Scheme::Plutus];
-    let rows = run_matrix(&args.workloads, &schemes, args.scale, cfg);
+    let schemes = [
+        Scheme::None,
+        Scheme::Pssm,
+        Scheme::CommonCounters,
+        Scheme::Plutus,
+    ];
+    let rows = args.matrix(cfg, &schemes);
     let cols = vec!["pssm".into(), "common-counters".into(), "plutus".into()];
-    println!("{}", matrix_table(&rows, &cols, |m| m.norm_ipc, "IPC normalized to no security"));
+    println!(
+        "{}",
+        matrix_table(
+            &rows,
+            &cols,
+            |m| m.norm_ipc,
+            "IPC normalized to no security"
+        )
+    );
     summarize_vs(&rows, "plutus", "pssm");
     summarize_vs(&rows, "plutus", "common-counters");
     let path = save_json("fig18", &rows).expect("write results");
@@ -371,17 +553,26 @@ fn fig18(args: &Args, cfg: &GpuConfig) {
 }
 
 fn fig19(args: &Args, cfg: &GpuConfig) {
-    let rows = run_matrix(&args.workloads, &[Scheme::Pssm, Scheme::Plutus], args.scale, cfg);
+    let rows = args.matrix(cfg, &[Scheme::Pssm, Scheme::Plutus]);
     println!("Security-metadata DRAM traffic (bytes):");
-    println!("{:<14}{:>16}{:>16}{:>12}", "workload", "pssm", "plutus", "reduction");
+    println!(
+        "{:<14}{:>16}{:>16}{:>12}",
+        "workload", "pssm", "plutus", "reduction"
+    );
     let mut ratios = Vec::new();
     let mut best: (f64, String) = (0.0, String::new());
     let mut workload_names: Vec<String> = rows.iter().map(|r| r.workload.clone()).collect();
     workload_names.sort();
     workload_names.dedup();
     for w in &workload_names {
-        let p = rows.iter().find(|r| &r.workload == w && r.scheme == "pssm").unwrap();
-        let q = rows.iter().find(|r| &r.workload == w && r.scheme == "plutus").unwrap();
+        let p = rows
+            .iter()
+            .find(|r| &r.workload == w && r.scheme == "pssm")
+            .unwrap();
+        let q = rows
+            .iter()
+            .find(|r| &r.workload == w && r.scheme == "plutus")
+            .unwrap();
         let reduction = 1.0 - q.metadata_bytes as f64 / p.metadata_bytes.max(1) as f64;
         if reduction > best.0 {
             best = (reduction, w.clone());
@@ -406,12 +597,7 @@ fn fig19(args: &Args, cfg: &GpuConfig) {
 }
 
 fn fig22(args: &Args, cfg: &GpuConfig) {
-    let rows = run_matrix(
-        &args.workloads,
-        &[Scheme::None, Scheme::Pssm, Scheme::Plutus],
-        args.scale,
-        cfg,
-    );
+    let rows = args.matrix(cfg, &[Scheme::None, Scheme::Pssm, Scheme::Plutus]);
     let model = EnergyModel::default();
     println!("Average power normalized to no security (paper Fig. 22):");
     println!("{:<14}{:>12}{:>12}", "workload", "pssm", "plutus");
@@ -421,9 +607,18 @@ fn fig22(args: &Args, cfg: &GpuConfig) {
     workload_names.sort();
     workload_names.dedup();
     for w in &workload_names {
-        let base = rows.iter().find(|r| &r.workload == w && r.scheme == "no-security").unwrap();
-        let p = rows.iter().find(|r| &r.workload == w && r.scheme == "pssm").unwrap();
-        let q = rows.iter().find(|r| &r.workload == w && r.scheme == "plutus").unwrap();
+        let base = rows
+            .iter()
+            .find(|r| &r.workload == w && r.scheme == "no-security")
+            .unwrap();
+        let p = rows
+            .iter()
+            .find(|r| &r.workload == w && r.scheme == "pssm")
+            .unwrap();
+        let q = rows
+            .iter()
+            .find(|r| &r.workload == w && r.scheme == "plutus")
+            .unwrap();
         let np = model.normalized_power(p, base);
         let nq = model.normalized_power(q, base);
         pssm_all.push(np);

@@ -15,10 +15,9 @@
 //! neighborhood — and are exposed for sensitivity studies.
 
 use crate::runner::Measurement;
-use serde::{Deserialize, Serialize};
 
 /// Energy-model constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Constant core/SM power in arbitrary units.
     pub core_power: f64,
@@ -63,8 +62,7 @@ impl EnergyModel {
             .filter(|(n, _)| n == "fills" || n == "writebacks")
             .map(|(_, v)| *v)
             .sum();
-        let crypto_power =
-            (crypto_ops as f64 * (self.e_aes_op + self.e_mac_op)) / m.cycles as f64;
+        let crypto_power = (crypto_ops as f64 * (self.e_aes_op + self.e_mac_op)) / m.cycles as f64;
         self.core_power + self.e_dram_per_byte * bpc + crypto_power
     }
 
@@ -123,7 +121,11 @@ mod tests {
         let peak_run = meas(1000, (m.peak_bytes_per_cycle * 1000.0) as u64, 0);
         let total = m.power(&peak_run);
         let dram = total - m.core_power;
-        assert!((dram / total - 0.4).abs() < 0.01, "dram share {}", dram / total);
+        assert!(
+            (dram / total - 0.4).abs() < 0.01,
+            "dram share {}",
+            dram / total
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Experiment harness for the Plutus (HPCA 2023) reproduction: shared
 //! runner, energy model, and report formatting used by the `experiments`
-//! binary and the Criterion benches.
+//! binary and the timing benches.
 //!
 //! Run `cargo run --release -p plutus-bench --bin experiments -- all` to
 //! regenerate every paper table and figure; see `EXPERIMENTS.md` at the
@@ -16,4 +16,7 @@ pub mod runner;
 
 pub use energy::EnergyModel;
 pub use report::{matrix_table, pct_change, save_json};
-pub use runner::{geomean, run_matrix, run_one, run_with_factory, Measurement, Scheme};
+pub use runner::{
+    geomean, run_matrix, run_matrix_with_telemetry, run_one, run_one_with_telemetry,
+    run_with_factory, Measurement, Scheme,
+};

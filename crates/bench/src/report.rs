@@ -1,6 +1,7 @@
 //! Table formatting and JSON result persistence for the experiments.
 
 use crate::runner::{geomean, Measurement};
+use plutus_telemetry::Json;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -53,18 +54,32 @@ pub fn matrix_table(
     out
 }
 
+/// Renders one measurement as a JSON object.
+pub fn measurement_json(m: &Measurement) -> Json {
+    let pairs = |kv: &[(String, u64)]| kv.iter().fold(Json::object(), |o, (k, v)| o.set(k, *v));
+    Json::object()
+        .set("workload", m.workload.as_str())
+        .set("scheme", m.scheme.as_str())
+        .set("ipc", m.ipc)
+        .set("norm_ipc", m.norm_ipc)
+        .set("cycles", m.cycles)
+        .set("total_bytes", m.total_bytes)
+        .set("metadata_bytes", m.metadata_bytes)
+        .set("class_bytes", pairs(&m.class_bytes))
+        .set("engine_stats", pairs(&m.engine_stats))
+}
+
 /// Writes measurements as JSON under `target/experiments/<name>.json`.
 ///
 /// # Errors
 ///
-/// Returns any I/O or serialization error.
+/// Returns any I/O error.
 pub fn save_json(name: &str, rows: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
     let dir = Path::new("target/experiments");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(rows)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
-    std::fs::write(&path, json)?;
+    let doc = Json::Array(rows.iter().map(measurement_json).collect());
+    std::fs::write(&path, doc.to_string_pretty())?;
     Ok(path)
 }
 

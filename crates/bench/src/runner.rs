@@ -2,12 +2,12 @@
 
 use gpu_sim::{EngineFactory, GpuConfig, NoSecurityEngine, SimResult, Simulator};
 use plutus_core::{CompactKind, PlutusConfig, PlutusEngine};
+use plutus_telemetry::{Event, Telemetry};
 use secure_mem::{CommonCountersEngine, PssmEngine, SecureMemConfig};
-use serde::{Deserialize, Serialize};
 use workloads::{Scale, WorkloadSpec};
 
 /// Every security scheme the experiments compare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheme {
     /// No memory security (the normalization baseline).
     None,
@@ -75,24 +75,27 @@ impl Scheme {
             Scheme::ValueVerifyOnly => {
                 Box::new(PlutusEngine::factory(PlutusConfig::value_verify_only()))
             }
-            Scheme::Compact2Bit => {
-                Box::new(PlutusEngine::factory(PlutusConfig::compact_only(CompactKind::TwoBit)))
-            }
-            Scheme::Compact3Bit => {
-                Box::new(PlutusEngine::factory(PlutusConfig::compact_only(CompactKind::ThreeBit)))
-            }
+            Scheme::Compact2Bit => Box::new(PlutusEngine::factory(PlutusConfig::compact_only(
+                CompactKind::TwoBit,
+            ))),
+            Scheme::Compact3Bit => Box::new(PlutusEngine::factory(PlutusConfig::compact_only(
+                CompactKind::ThreeBit,
+            ))),
             Scheme::CompactAdaptive => Box::new(PlutusEngine::factory(PlutusConfig::compact_only(
                 CompactKind::Adaptive3,
             ))),
             Scheme::Plutus => Box::new(PlutusEngine::factory(PlutusConfig::full())),
             Scheme::PlutusNoTree => Box::new(PlutusEngine::factory(PlutusConfig::full_no_tree())),
             Scheme::PssmNoTree => {
-                let cfg = SecureMemConfig { disable_tree: true, ..SecureMemConfig::pssm() };
+                let cfg = SecureMemConfig {
+                    disable_tree: true,
+                    ..SecureMemConfig::pssm()
+                };
                 Box::new(PssmEngine::factory(cfg))
             }
-            Scheme::PlutusValueEntries(n) => {
-                Box::new(PlutusEngine::factory(PlutusConfig::full_with_value_entries(*n)))
-            }
+            Scheme::PlutusValueEntries(n) => Box::new(PlutusEngine::factory(
+                PlutusConfig::full_with_value_entries(*n),
+            )),
         }
     }
 }
@@ -109,12 +112,46 @@ impl EngineFactory for NoSecurityFactoryShim {
     }
 }
 
-/// Runs one workload under one scheme.
-pub fn run_one(workload: &WorkloadSpec, scheme: Scheme, scale: Scale, cfg: &GpuConfig) -> SimResult {
+/// Runs one workload under one scheme (telemetry disabled).
+pub fn run_one(
+    workload: &WorkloadSpec,
+    scheme: Scheme,
+    scale: Scale,
+    cfg: &GpuConfig,
+) -> SimResult {
+    run_one_with_telemetry(workload, scheme, scale, cfg, &Telemetry::disabled(), None)
+}
+
+/// Runs one workload under one scheme with instrumentation: the
+/// simulator feeds `tel`'s registry, `RunStart`/`RunEnd` events bracket
+/// the run, and one epoch snapshot is closed per run (labelled
+/// `workload/scheme`). `epoch_cycles` additionally closes an epoch
+/// every N simulated cycles for in-run time series.
+pub fn run_one_with_telemetry(
+    workload: &WorkloadSpec,
+    scheme: Scheme,
+    scale: Scale,
+    cfg: &GpuConfig,
+    tel: &Telemetry,
+    epoch_cycles: Option<u64>,
+) -> SimResult {
     let trace = workload.trace(scale);
     let factory = scheme.factory();
-    let mut sim = Simulator::new(cfg.clone(), trace, factory.as_ref());
-    sim.run()
+    let mut sim = Simulator::with_telemetry(cfg.clone(), trace, factory.as_ref(), tel.clone());
+    if let Some(cycles) = epoch_cycles {
+        sim.set_epoch_interval(cycles);
+    }
+    tel.event(Event::RunStart {
+        workload: workload.name.to_string(),
+        scheme: scheme.label(),
+    });
+    let result = sim.run();
+    tel.event(Event::RunEnd {
+        workload: workload.name.to_string(),
+        scheme: scheme.label(),
+    });
+    tel.end_epoch(&format!("{}/{}", workload.name, scheme.label()));
+    result
 }
 
 /// Runs one workload under a custom engine factory (for ablations not
@@ -131,7 +168,7 @@ pub fn run_with_factory(
 }
 
 /// One (workload × scheme) measurement with its baseline normalization.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Workload name.
     pub workload: String,
@@ -153,8 +190,31 @@ pub struct Measurement {
     pub engine_stats: Vec<(String, u64)>,
 }
 
+fn measurement_of(w: &WorkloadSpec, scheme: Scheme, r: &SimResult, base_ipc: f64) -> Measurement {
+    Measurement {
+        workload: w.name.to_string(),
+        scheme: scheme.label(),
+        ipc: r.ipc(),
+        norm_ipc: if base_ipc > 0.0 {
+            r.ipc() / base_ipc
+        } else {
+            0.0
+        },
+        cycles: r.stats.cycles,
+        total_bytes: r.stats.total_bytes(),
+        metadata_bytes: r.stats.metadata_bytes(),
+        class_bytes: gpu_sim::TrafficClass::ALL
+            .iter()
+            .map(|c| (c.label().to_string(), r.stats.class_bytes(*c)))
+            .collect(),
+        engine_stats: r.stats.engine.clone(),
+    }
+}
+
 /// Runs `workloads × schemes`, normalizing every scheme against the
-/// no-security run of the same workload. Workloads run on parallel threads.
+/// no-security run of the same workload. Workloads run on parallel
+/// threads with telemetry disabled; use
+/// [`run_matrix_with_telemetry`] when collecting metrics.
 pub fn run_matrix(
     workloads: &[WorkloadSpec],
     schemes: &[Scheme],
@@ -162,13 +222,13 @@ pub fn run_matrix(
     cfg: &GpuConfig,
 ) -> Vec<Measurement> {
     let mut out = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = workloads
             .iter()
             .map(|w| {
                 let cfg = cfg.clone();
                 let schemes = schemes.to_vec();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let baseline = run_one(w, Scheme::None, scale, &cfg);
                     let base_ipc = baseline.ipc();
                     let mut rows = Vec::new();
@@ -178,20 +238,7 @@ pub fn run_matrix(
                         } else {
                             run_one(w, scheme, scale, &cfg)
                         };
-                        rows.push(Measurement {
-                            workload: w.name.to_string(),
-                            scheme: scheme.label(),
-                            ipc: r.ipc(),
-                            norm_ipc: if base_ipc > 0.0 { r.ipc() / base_ipc } else { 0.0 },
-                            cycles: r.stats.cycles,
-                            total_bytes: r.stats.total_bytes(),
-                            metadata_bytes: r.stats.metadata_bytes(),
-                            class_bytes: gpu_sim::TrafficClass::ALL
-                                .iter()
-                                .map(|c| (c.label().to_string(), r.stats.class_bytes(*c)))
-                                .collect(),
-                            engine_stats: r.stats.engine.clone(),
-                        });
+                        rows.push(measurement_of(w, scheme, &r, base_ipc));
                     }
                     rows
                 })
@@ -200,8 +247,35 @@ pub fn run_matrix(
         for h in handles {
             out.extend(h.join().expect("workload thread panicked"));
         }
-    })
-    .expect("scope");
+    });
+    out
+}
+
+/// The instrumented variant of [`run_matrix`]: runs sequentially so the
+/// per-run epoch snapshots in `tel` stay attributable to one
+/// (workload, scheme) pair each, and brackets every run with
+/// `RunStart`/`RunEnd` events.
+pub fn run_matrix_with_telemetry(
+    workloads: &[WorkloadSpec],
+    schemes: &[Scheme],
+    scale: Scale,
+    cfg: &GpuConfig,
+    tel: &Telemetry,
+    epoch_cycles: Option<u64>,
+) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for w in workloads {
+        let baseline = run_one_with_telemetry(w, Scheme::None, scale, cfg, tel, epoch_cycles);
+        let base_ipc = baseline.ipc();
+        for &scheme in schemes {
+            let r = if scheme == Scheme::None {
+                baseline.clone()
+            } else {
+                run_one_with_telemetry(w, scheme, scale, cfg, tel, epoch_cycles)
+            };
+            out.push(measurement_of(w, scheme, &r, base_ipc));
+        }
+    }
     out
 }
 
@@ -258,7 +332,10 @@ mod tests {
         let w = by_name("bfs").unwrap();
         let pssm = run_one(&w, Scheme::Pssm, Scale::Test, &small_cfg());
         let plutus = run_one(&w, Scheme::Plutus, Scale::Test, &small_cfg());
-        assert!(plutus.stats.violations == 0, "honest run must not raise violations");
+        assert!(
+            plutus.stats.violations == 0,
+            "honest run must not raise violations"
+        );
         assert!(
             plutus.stats.metadata_bytes() < pssm.stats.metadata_bytes(),
             "plutus {} >= pssm {}",

@@ -52,7 +52,10 @@ pub fn binomial_tail(n: u32, x: u32, p: f64) -> f64 {
 /// Panics if `effective_bits` is 0 or > 63, or `entries` is 0.
 pub fn tamper_hit_probability(entries: usize, effective_bits: u32) -> f64 {
     assert!(entries > 0, "value cache must have entries");
-    assert!((1..=63).contains(&effective_bits), "effective_bits must be 1..=63");
+    assert!(
+        (1..=63).contains(&effective_bits),
+        "effective_bits must be 1..=63"
+    );
     entries as f64 / (1u64 << effective_bits) as f64
 }
 

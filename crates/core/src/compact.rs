@@ -20,11 +20,11 @@
 use gpu_sim::cache::SectoredCache;
 use gpu_sim::{DramReq, SectorAddr, TrafficClass, Violation, SECTOR_SIZE};
 use plutus_crypto::Cmac;
-use serde::{Deserialize, Serialize};
+use plutus_telemetry::{Counter, Event, Telemetry};
 use std::collections::{HashMap, HashSet};
 
 /// Which compact-counter design is active (the paper's three options).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompactKind {
     /// 2-bit counters: 4× compaction, saturates on the third write.
     TwoBit,
@@ -62,7 +62,7 @@ impl CompactKind {
 }
 
 /// Configuration of the compact layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactConfig {
     /// Counter design.
     pub kind: CompactKind,
@@ -77,7 +77,12 @@ pub struct CompactConfig {
 
 impl Default for CompactConfig {
     fn default() -> Self {
-        Self { kind: CompactKind::Adaptive3, disable_threshold: 8, cache_bytes: 2048, cache_ways: 4 }
+        Self {
+            kind: CompactKind::Adaptive3,
+            disable_threshold: 8,
+            cache_bytes: 2048,
+            cache_ways: 4,
+        }
     }
 }
 
@@ -129,6 +134,9 @@ pub struct CompactCounters {
     saturations: u64,
     disables: u64,
     tree_fetches: u64,
+    tel: Telemetry,
+    tel_saturations: Counter,
+    tel_disables: Counter,
 }
 
 const TREE_ARITY: u64 = 4;
@@ -192,7 +200,21 @@ impl CompactCounters {
             saturations: 0,
             disables: 0,
             tree_fetches: 0,
+            tel: Telemetry::disabled(),
+            tel_saturations: Counter::disabled(),
+            tel_disables: Counter::disabled(),
         }
+    }
+
+    /// Mirrors the compact caches into `tel` (`compact_cache.*`,
+    /// `compact_tree_cache.*`), registers saturation/disable counters and
+    /// emits [`Event::CompactOverflow`]/[`Event::CompactDisable`].
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        self.cache.attach_telemetry(tel, "compact_cache");
+        self.tree_cache.attach_telemetry(tel, "compact_tree_cache");
+        self.tel_saturations = tel.counter("compact.saturations");
+        self.tel_disables = tel.counter("compact.block_disables");
+        self.tel = tel.clone();
     }
 
     fn block_of(&self, sector: SectorAddr) -> u64 {
@@ -247,10 +269,18 @@ impl CompactCounters {
             return;
         }
         self.misses += 1;
-        out.chain.push(DramReq::new(addr, SECTOR_SIZE as u32, TrafficClass::CompactCounter));
+        out.chain.push(DramReq::new(
+            addr,
+            SECTOR_SIZE as u32,
+            TrafficClass::CompactCounter,
+        ));
         let outcome = self.cache.access(addr, false, None);
         for ev in outcome.evicted {
-            out.writes.push(DramReq::new(ev.addr, SECTOR_SIZE as u32, TrafficClass::CompactCounter));
+            out.writes.push(DramReq::new(
+                ev.addr,
+                SECTOR_SIZE as u32,
+                TrafficClass::CompactCounter,
+            ));
             let ev_block = (ev.addr - COMPACT_BASE) / SECTOR_SIZE;
             self.touch_tree_dirty(1, ev_block / self.partitions / TREE_ARITY, out);
         }
@@ -261,7 +291,10 @@ impl CompactCounters {
             None => self.zero_leaf_hash(block),
         };
         if recomputed != expected && out.violation.is_none() {
-            out.violation = Some(Violation::TreeMismatch { addr: sector, level: 0 });
+            out.violation = Some(Violation::TreeMismatch {
+                addr: sector,
+                level: 0,
+            });
         }
         if self.tree_disabled {
             return;
@@ -280,10 +313,18 @@ impl CompactCounters {
                 break;
             }
             self.tree_fetches += 1;
-            out.chain.push(DramReq::new(naddr, NODE_BYTES as u32, TrafficClass::CompactBmt));
+            out.chain.push(DramReq::new(
+                naddr,
+                NODE_BYTES as u32,
+                TrafficClass::CompactBmt,
+            ));
             let outcome = self.tree_cache.access(naddr, false, None);
             for ev in outcome.evicted {
-                out.writes.push(DramReq::new(ev.addr, SECTOR_SIZE as u32, TrafficClass::CompactBmt));
+                out.writes.push(DramReq::new(
+                    ev.addr,
+                    SECTOR_SIZE as u32,
+                    TrafficClass::CompactBmt,
+                ));
             }
             level += 1;
             idx /= TREE_ARITY;
@@ -297,7 +338,11 @@ impl CompactCounters {
         let addr = self.node_addr(level, idx);
         let outcome = self.tree_cache.access(addr, true, None);
         for ev in outcome.evicted {
-            out.writes.push(DramReq::new(ev.addr, SECTOR_SIZE as u32, TrafficClass::CompactBmt));
+            out.writes.push(DramReq::new(
+                ev.addr,
+                SECTOR_SIZE as u32,
+                TrafficClass::CompactBmt,
+            ));
         }
     }
 
@@ -342,11 +387,22 @@ impl CompactCounters {
         } else {
             // Saturating write: propagate to the original counters.
             self.saturations += 1;
+            self.tel_saturations.inc();
+            if self.tel.enabled() {
+                self.tel
+                    .event(Event::CompactOverflow { addr: sector.raw() });
+            }
             out.propagate = Some(sat);
             let count = self.saturated_in_block.entry(block).or_insert(0);
             *count += 1;
             if self.cfg.kind == CompactKind::Adaptive3 && *count >= self.cfg.disable_threshold {
                 self.disables += 1;
+                self.tel_disables.inc();
+                if self.tel.enabled() {
+                    self.tel.event(Event::CompactDisable {
+                        addr: self.block_addr(block),
+                    });
+                }
                 self.disabled_blocks.insert(block);
                 let per = self.cfg.kind.sectors_per_block();
                 let first = block * per;
@@ -354,9 +410,8 @@ impl CompactCounters {
                     .filter_map(|i| {
                         let idx = first + i;
                         let v = *self.values.get(&idx).unwrap_or(&0);
-                        (v < sat && idx != sector.index()).then(|| {
-                            (SectorAddr::new(idx * SECTOR_SIZE), v)
-                        })
+                        (v < sat && idx != sector.index())
+                            .then(|| (SectorAddr::new(idx * SECTOR_SIZE), v))
                     })
                     .collect();
                 out.block_disable = Some(copies);
@@ -386,7 +441,13 @@ impl CompactCounters {
     /// `(cache hits, cache misses, saturations, adaptive disables, tree
     /// node fetches)`.
     pub fn stats(&self) -> (u64, u64, u64, u64, u64) {
-        (self.hits, self.misses, self.saturations, self.disables, self.tree_fetches)
+        (
+            self.hits,
+            self.misses,
+            self.saturations,
+            self.disables,
+            self.tree_fetches,
+        )
     }
 }
 
@@ -395,7 +456,15 @@ mod tests {
     use super::*;
 
     fn sys(kind: CompactKind) -> CompactCounters {
-        CompactCounters::new(CompactConfig { kind, ..Default::default() }, 1 << 20, 1, [9; 16])
+        CompactCounters::new(
+            CompactConfig {
+                kind,
+                ..Default::default()
+            },
+            1 << 20,
+            1,
+            [9; 16],
+        )
     }
 
     fn sector(i: u64) -> SectorAddr {

@@ -3,12 +3,11 @@
 use crate::compact::{CompactConfig, CompactKind};
 use crate::value_cache::ValueCacheConfig;
 use secure_mem::{CipherKind, SecureMemConfig};
-use serde::{Deserialize, Serialize};
 
 /// Full Plutus configuration: the underlying secure-memory machinery plus
 /// per-technique toggles, so each of the paper's three ideas can be
 /// evaluated in isolation (Figs. 15–17) or combined (Fig. 18).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlutusConfig {
     /// Base secure-memory configuration (cipher, granularities, caches).
     pub mem: SecureMemConfig,
@@ -26,7 +25,10 @@ impl PlutusConfig {
     /// fine-grain metadata (idea ③).
     pub fn full() -> Self {
         Self {
-            mem: SecureMemConfig { cipher: CipherKind::Xts, ..SecureMemConfig::all_32() },
+            mem: SecureMemConfig {
+                cipher: CipherKind::Xts,
+                ..SecureMemConfig::all_32()
+            },
             value_verify: true,
             value_cache: ValueCacheConfig::default(),
             compact: Some(CompactConfig::default()),
@@ -37,7 +39,10 @@ impl PlutusConfig {
     /// unchanged PSSM organization, with the XTS cipher it requires.
     pub fn value_verify_only() -> Self {
         Self {
-            mem: SecureMemConfig { cipher: CipherKind::Xts, ..SecureMemConfig::pssm() },
+            mem: SecureMemConfig {
+                cipher: CipherKind::Xts,
+                ..SecureMemConfig::pssm()
+            },
             value_verify: true,
             value_cache: ValueCacheConfig::default(),
             compact: None,
@@ -51,7 +56,10 @@ impl PlutusConfig {
             mem: SecureMemConfig::pssm(),
             value_verify: false,
             value_cache: ValueCacheConfig::default(),
-            compact: Some(CompactConfig { kind, ..CompactConfig::default() }),
+            compact: Some(CompactConfig {
+                kind,
+                ..CompactConfig::default()
+            }),
         }
     }
 
@@ -77,7 +85,10 @@ impl PlutusConfig {
         let mut cfg = Self::full();
         cfg.mem.protected_bytes = 1 << 20;
         cfg.mem.partitions = 1;
-        cfg.compact = Some(CompactConfig { cache_bytes: 2048, ..CompactConfig::default() });
+        cfg.compact = Some(CompactConfig {
+            cache_bytes: 2048,
+            ..CompactConfig::default()
+        });
         cfg
     }
 
@@ -118,8 +129,12 @@ mod tests {
     fn presets_validate() {
         PlutusConfig::full().validate().unwrap();
         PlutusConfig::value_verify_only().validate().unwrap();
-        PlutusConfig::compact_only(CompactKind::TwoBit).validate().unwrap();
-        PlutusConfig::compact_only(CompactKind::Adaptive3).validate().unwrap();
+        PlutusConfig::compact_only(CompactKind::TwoBit)
+            .validate()
+            .unwrap();
+        PlutusConfig::compact_only(CompactKind::Adaptive3)
+            .validate()
+            .unwrap();
         PlutusConfig::full_no_tree().validate().unwrap();
         PlutusConfig::test_small().validate().unwrap();
     }
@@ -149,6 +164,11 @@ mod tests {
 
     #[test]
     fn value_entries_sweep() {
-        assert_eq!(PlutusConfig::full_with_value_entries(64).value_cache.entries, 64);
+        assert_eq!(
+            PlutusConfig::full_with_value_entries(64)
+                .value_cache
+                .entries,
+            64
+        );
     }
 }

@@ -26,6 +26,7 @@ use crate::verify::{ValueVerifier, Verdict, WriteScreen};
 use gpu_sim::{
     BackingMemory, EngineFactory, FillPlan, SectorAddr, SecurityEngine, Violation, WritePlan,
 };
+use plutus_telemetry::{Counter, Event, Telemetry};
 use secure_mem::{CounterAccess, CounterSystem, DataCipher, MacSystem};
 
 /// The Plutus engine (one per memory partition).
@@ -42,6 +43,10 @@ pub struct PlutusEngine {
     mac_fetches_avoided: u64,
     mac_updates_skipped: u64,
     compact_fallbacks: u64,
+    tel: Telemetry,
+    tel_mac_avoided: Counter,
+    tel_mac_skipped: Counter,
+    tel_compact_fallbacks: Counter,
 }
 
 impl PlutusEngine {
@@ -51,12 +56,15 @@ impl PlutusEngine {
     ///
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: PlutusConfig) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid PlutusConfig: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid PlutusConfig: {e}"));
         Self {
             cipher: DataCipher::new(&cfg.mem),
             counters: CounterSystem::new(&cfg.mem),
             macs: MacSystem::new(&cfg.mem),
-            verifier: cfg.value_verify.then(|| ValueVerifier::new(cfg.value_cache)),
+            verifier: cfg
+                .value_verify
+                .then(|| ValueVerifier::new(cfg.value_cache)),
             compact: cfg.compact.map(|cc| {
                 CompactCounters::with_tree_disabled(
                     cc,
@@ -72,6 +80,10 @@ impl PlutusEngine {
             mac_fetches_avoided: 0,
             mac_updates_skipped: 0,
             compact_fallbacks: 0,
+            tel: Telemetry::disabled(),
+            tel_mac_avoided: Counter::disabled(),
+            tel_mac_skipped: Counter::disabled(),
+            tel_compact_fallbacks: Counter::disabled(),
         }
     }
 
@@ -134,6 +146,10 @@ impl PlutusEngine {
             // Saturated or disabled: the original counter path follows,
             // sequentially (the paper's two-access cost).
             self.compact_fallbacks += 1;
+            self.tel_compact_fallbacks.inc();
+            if self.tel.enabled() {
+                self.tel.event(Event::CompactFallback);
+            }
         }
         let oa = self.counters.read(addr);
         let hit = oa.hit;
@@ -181,15 +197,25 @@ impl PlutusEngine {
                     continue;
                 }
             }
-            let Some(mut data) = mem.read(sector) else { continue };
+            let Some(mut data) = mem.read(sector) else {
+                continue;
+            };
             self.cipher.decrypt(&mut data, sector, *old);
             let plaintext = data;
             let mut ct = plaintext;
             self.cipher.encrypt(&mut ct, sector, new_value);
             mem.write(sector, ct);
             self.macs.update_silently(sector, &plaintext, new_value);
-            plan.async_reads.push(gpu_sim::DramReq::new(sector.raw(), 32, gpu_sim::TrafficClass::Data));
-            plan.writes.push(gpu_sim::DramReq::new(sector.raw(), 32, gpu_sim::TrafficClass::Data));
+            plan.async_reads.push(gpu_sim::DramReq::new(
+                sector.raw(),
+                32,
+                gpu_sim::TrafficClass::Data,
+            ));
+            plan.writes.push(gpu_sim::DramReq::new(
+                sector.raw(),
+                32,
+                gpu_sim::TrafficClass::Data,
+            ));
         }
     }
 }
@@ -209,6 +235,7 @@ impl SecurityEngine for PlutusEngine {
 
     fn on_fill(&mut self, addr: SectorAddr, mem: &mut BackingMemory) -> FillPlan {
         self.fills += 1;
+        let _span = self.tel.span("engine.fill");
         let mut plan = FillPlan::default();
         let mut chain = Vec::new();
         let (ctr, ctr_hit) = self.resolve_read_counter(
@@ -242,6 +269,11 @@ impl SecurityEngine for PlutusEngine {
             Some(Verdict::Verified) => {
                 // Integrity assured by value locality: no MAC at all.
                 self.mac_fetches_avoided += 1;
+                self.tel_mac_avoided.inc();
+                if self.tel.enabled() {
+                    self.tel.event(Event::ValueVerified);
+                    self.tel.event(Event::MacFetchAvoided);
+                }
             }
             Some(Verdict::NeedMac) => {
                 // Deferred MAC: fetched only now, after decryption.
@@ -276,6 +308,7 @@ impl SecurityEngine for PlutusEngine {
         mem: &mut BackingMemory,
     ) -> WritePlan {
         self.writebacks += 1;
+        let _span = self.tel.span("engine.writeback");
         let mut plan = WritePlan::default();
         let mut chain = Vec::new();
 
@@ -298,6 +331,10 @@ impl SecurityEngine for PlutusEngine {
                         self.counters.raise_to(addr, sat)
                     } else {
                         self.compact_fallbacks += 1;
+                        self.tel_compact_fallbacks.inc();
+                        if self.tel.enabled() {
+                            self.tel.event(Event::CompactFallback);
+                        }
                         self.counters.increment(addr)
                     };
                     let value = oa.value;
@@ -375,6 +412,10 @@ impl SecurityEngine for PlutusEngine {
         let skip = match self.verifier.as_mut().map(|v| v.screen_write(plaintext)) {
             Some(WriteScreen::SkipMac) => {
                 self.mac_updates_skipped += 1;
+                self.tel_mac_skipped.inc();
+                if self.tel.enabled() {
+                    self.tel.event(Event::MacUpdateSkipped);
+                }
                 true
             }
             _ => false,
@@ -387,6 +428,21 @@ impl SecurityEngine for PlutusEngine {
             plan.crypto_latency = lat.aes_latency + lat.mac_latency;
         }
         plan
+    }
+
+    fn attach_telemetry(&mut self, tel: &Telemetry) {
+        self.counters.attach_telemetry(tel);
+        self.macs.attach_telemetry(tel);
+        if let Some(v) = self.verifier.as_mut() {
+            v.attach_telemetry(tel);
+        }
+        if let Some(c) = self.compact.as_mut() {
+            c.attach_telemetry(tel);
+        }
+        self.tel_mac_avoided = tel.counter("engine.mac_fetches_avoided");
+        self.tel_mac_skipped = tel.counter("engine.mac_updates_skipped");
+        self.tel_compact_fallbacks = tel.counter("engine.compact_fallbacks");
+        self.tel = tel.clone();
     }
 
     fn extra_stats(&self) -> Vec<(String, u64)> {
@@ -451,7 +507,10 @@ mod tests {
     use gpu_sim::TrafficClass;
 
     fn engine() -> (PlutusEngine, BackingMemory) {
-        (PlutusEngine::new(PlutusConfig::test_small()), BackingMemory::new())
+        (
+            PlutusEngine::new(PlutusConfig::test_small()),
+            BackingMemory::new(),
+        )
     }
 
     fn sector(i: u64) -> SectorAddr {
@@ -480,8 +539,11 @@ mod tests {
     fn first_fill_uses_compact_not_original_counters() {
         let (mut e, mut mem) = engine();
         let fill = e.on_fill(sector(0), &mut mem);
-        let classes: Vec<_> =
-            fill.pre_chains.iter().flat_map(|c| c.iter().map(|r| r.class)).collect();
+        let classes: Vec<_> = fill
+            .pre_chains
+            .iter()
+            .flat_map(|c| c.iter().map(|r| r.class))
+            .collect();
         assert!(classes.contains(&TrafficClass::CompactCounter));
         assert!(
             !classes.contains(&TrafficClass::Counter),
@@ -513,12 +575,18 @@ mod tests {
         for i in 0..30u64 {
             e.on_writeback(sector(i), &[0x77; 32], &mut mem);
         }
-        assert!(e.mac_updates_skipped > 0, "hot constant writes must skip MAC updates");
+        assert!(
+            e.mac_updates_skipped > 0,
+            "hot constant writes must skip MAC updates"
+        );
         // And the skipped sectors still read back clean (value-verified).
         for i in 0..30u64 {
             let fill = e.on_fill(sector(i), &mut mem);
             assert_eq!(fill.plaintext, [0x77; 32]);
-            assert!(fill.violation.is_none(), "skip-MAC sector must verify by value");
+            assert!(
+                fill.violation.is_none(),
+                "skip-MAC sector must verify by value"
+            );
         }
     }
 
@@ -544,7 +612,10 @@ mod tests {
         e.on_writeback(sector(0), &[2; 32], &mut mem);
         mem.replay(sector(0), old);
         let fill = e.on_fill(sector(0), &mut mem);
-        assert!(fill.violation.is_some(), "replayed ciphertext must be detected");
+        assert!(
+            fill.violation.is_some(),
+            "replayed ciphertext must be detected"
+        );
     }
 
     #[test]
@@ -577,7 +648,10 @@ mod tests {
             }
         }
         let (.., disables, _) = e.compact_mut().unwrap().stats();
-        assert!(disables >= 1, "threshold saturations must disable the block");
+        assert!(
+            disables >= 1,
+            "threshold saturations must disable the block"
+        );
         // Every sector still decrypts and verifies.
         let fill = e.on_fill(sector(60), &mut mem);
         assert_eq!(fill.plaintext, [0xee; 32]);
@@ -596,8 +670,11 @@ mod tests {
         let mut e = PlutusEngine::new(cfg);
         let mut mem = BackingMemory::new();
         let fill = e.on_fill(sector(0), &mut mem);
-        let classes: Vec<_> =
-            fill.pre_chains.iter().flat_map(|c| c.iter().map(|r| r.class)).collect();
+        let classes: Vec<_> = fill
+            .pre_chains
+            .iter()
+            .flat_map(|c| c.iter().map(|r| r.class))
+            .collect();
         assert!(classes.contains(&TrafficClass::Counter));
         assert!(!classes.contains(&TrafficClass::CompactCounter));
     }
@@ -609,9 +686,15 @@ mod tests {
         let mut e = PlutusEngine::new(cfg);
         let mut mem = BackingMemory::new();
         let fill = e.on_fill(sector(0), &mut mem);
-        assert!(fill.post_chain.is_empty(), "no deferred MAC without value verification");
-        let classes: Vec<_> =
-            fill.pre_chains.iter().flat_map(|c| c.iter().map(|r| r.class)).collect();
+        assert!(
+            fill.post_chain.is_empty(),
+            "no deferred MAC without value verification"
+        );
+        let classes: Vec<_> = fill
+            .pre_chains
+            .iter()
+            .flat_map(|c| c.iter().map(|r| r.class))
+            .collect();
         assert!(classes.contains(&TrafficClass::Mac));
     }
 
@@ -626,8 +709,11 @@ mod tests {
             e.on_writeback(sector(0), &[1; 32], &mut mem);
         }
         let fill = e.on_fill(sector(0), &mut mem);
-        let classes: Vec<_> =
-            fill.pre_chains.iter().flat_map(|c| c.iter().map(|r| r.class)).collect();
+        let classes: Vec<_> = fill
+            .pre_chains
+            .iter()
+            .flat_map(|c| c.iter().map(|r| r.class))
+            .collect();
         assert!(!classes.contains(&TrafficClass::BmtNode));
         assert!(fill.violation.is_none());
     }
@@ -637,7 +723,11 @@ mod tests {
         let (mut e, mut mem) = engine();
         e.on_fill(sector(0), &mut mem);
         let stats = e.extra_stats();
-        for key in ["mac_fetches_avoided", "compact_cache_misses", "vv_reads_need_mac"] {
+        for key in [
+            "mac_fetches_avoided",
+            "compact_cache_misses",
+            "vv_reads_need_mac",
+        ] {
             assert!(stats.iter().any(|(n, _)| n == key), "missing stat {key}");
         }
     }

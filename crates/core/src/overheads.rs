@@ -9,10 +9,9 @@
 use crate::compact::CompactKind;
 use crate::config::PlutusConfig;
 use secure_mem::{Layout, SecureMemConfig};
-use serde::{Deserialize, Serialize};
 
 /// On-chip SRAM added per memory partition (bytes).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OnChipOverheads {
     /// Counter, MAC and BMT metadata caches (present in the baseline too).
     pub metadata_caches: u64,
@@ -30,7 +29,7 @@ impl OnChipOverheads {
 }
 
 /// Off-chip (device-memory) metadata storage (bytes, whole GPU).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OffChipOverheads {
     /// Split-counter array.
     pub counters: u64,
@@ -104,11 +103,17 @@ pub fn off_chip(cfg: &PlutusConfig) -> OffChipOverheads {
             (region, tree_bytes(local, 4, 32) * parts)
         }
     };
-    OffChipOverheads { counters, macs, bmt, compact_counters, compact_bmt }
+    OffChipOverheads {
+        counters,
+        macs,
+        bmt,
+        compact_counters,
+        compact_bmt,
+    }
 }
 
 /// A labeled overheads row for reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadReport {
     /// Configuration label.
     pub label: String,

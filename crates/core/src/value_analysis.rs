@@ -54,15 +54,19 @@ impl ScenarioCaches {
             masked_bits: 4,
             ..ValueCacheConfig::default()
         };
-        Self { exact: ValueCache::new(exact), masked: ValueCache::new(masked) }
+        Self {
+            exact: ValueCache::new(exact),
+            masked: ValueCache::new(masked),
+        }
     }
 }
 
 /// Replays `trace` and measures value reuse with `entries`-entry caches per
 /// partition (paper: 512 entries = 2 kB per partition, `partitions` = 32).
 pub fn analyze_trace(trace: &Trace, partitions: usize, entries: usize) -> ValueReuse {
-    let mut caches: Vec<ScenarioCaches> =
-        (0..partitions).map(|_| ScenarioCaches::new(entries)).collect();
+    let mut caches: Vec<ScenarioCaches> = (0..partitions)
+        .map(|_| ScenarioCaches::new(entries))
+        .collect();
     let mut memory: HashMap<u64, [u8; 32]> = HashMap::new();
     for (addr, data) in &trace.initial_image {
         memory.insert(addr.raw(), *data);
@@ -86,10 +90,14 @@ pub fn analyze_trace(trace: &Trace, partitions: usize, entries: usize) -> ValueR
                 let values = values_of(&data);
                 reuse.reads += 1;
 
-                let exact_hits: Vec<bool> =
-                    values.iter().map(|v| caches.exact.probe(*v).is_hit()).collect();
-                let masked_hits: Vec<bool> =
-                    values.iter().map(|v| caches.masked.probe(*v).is_hit()).collect();
+                let exact_hits: Vec<bool> = values
+                    .iter()
+                    .map(|v| caches.exact.probe(*v).is_hit())
+                    .collect();
+                let masked_hits: Vec<bool> = values
+                    .iter()
+                    .map(|v| caches.masked.probe(*v).is_hit())
+                    .collect();
 
                 if exact_hits.iter().all(|&h| h) {
                     reuse.all_eight += 1.0;
@@ -183,8 +191,14 @@ mod tests {
         let mut t = Trace::new("near");
         // First sector inserts values; second has values differing only in
         // the low 4 bits.
-        t.set_initial(SectorAddr::new(0), sector_bytes([0x100, 0x200, 0x300, 0x400, 0x500, 0x600, 0x700, 0x800]));
-        t.set_initial(SectorAddr::new(32), sector_bytes([0x10f, 0x20e, 0x30d, 0x40c, 0x50b, 0x60a, 0x709, 0x808]));
+        t.set_initial(
+            SectorAddr::new(0),
+            sector_bytes([0x100, 0x200, 0x300, 0x400, 0x500, 0x600, 0x700, 0x800]),
+        );
+        t.set_initial(
+            SectorAddr::new(32),
+            sector_bytes([0x10f, 0x20e, 0x30d, 0x40c, 0x50b, 0x60a, 0x709, 0x808]),
+        );
         t.push_read(SectorAddr::new(0), 0, 1);
         t.push_read(SectorAddr::new(32), 0, 1);
         let r = analyze_trace(&t, 1, 512);

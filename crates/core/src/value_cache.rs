@@ -10,11 +10,11 @@
 //! verification on its next read, so its MAC update can be skipped
 //! entirely.
 
-use serde::{Deserialize, Serialize};
+use plutus_telemetry::{Counter, Event, Telemetry};
 
 /// Value-cache configuration (paper Table II: 1 kB, fully associative,
 /// 25% pinned, 256 entries of 28-bit value + 4-bit counter).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValueCacheConfig {
     /// Total entries (pinned + transient).
     pub entries: usize,
@@ -28,7 +28,12 @@ pub struct ValueCacheConfig {
 
 impl Default for ValueCacheConfig {
     fn default() -> Self {
-        Self { entries: 256, pinned_fraction: 0.25, promote_threshold: 8, masked_bits: 4 }
+        Self {
+            entries: 256,
+            pinned_fraction: 0.25,
+            promote_threshold: 8,
+            masked_bits: 4,
+        }
     }
 }
 
@@ -100,6 +105,10 @@ pub struct ValueCache {
     hits: u64,
     misses: u64,
     promotions: u64,
+    tel: Telemetry,
+    tel_hits: Counter,
+    tel_misses: Counter,
+    tel_promotions: Counter,
 }
 
 impl ValueCache {
@@ -109,7 +118,8 @@ impl ValueCache {
     ///
     /// Panics if `cfg` is invalid.
     pub fn new(cfg: ValueCacheConfig) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid ValueCacheConfig: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid ValueCacheConfig: {e}"));
         Self {
             cfg,
             pinned: Vec::with_capacity(cfg.pinned_capacity()),
@@ -118,7 +128,20 @@ impl ValueCache {
             hits: 0,
             misses: 0,
             promotions: 0,
+            tel: Telemetry::disabled(),
+            tel_hits: Counter::disabled(),
+            tel_misses: Counter::disabled(),
+            tel_promotions: Counter::disabled(),
         }
+    }
+
+    /// Mirrors probe outcomes into `tel` (`value_cache.hits`/`.misses`/
+    /// `.promotions`) and emits typed probe events.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        self.tel_hits = tel.counter("value_cache.hits");
+        self.tel_misses = tel.counter("value_cache.misses");
+        self.tel_promotions = tel.counter("value_cache.promotions");
+        self.tel = tel.clone();
     }
 
     /// The configuration in use.
@@ -133,6 +156,23 @@ impl ValueCache {
     /// Probes for `value` without inserting, updating recency and use
     /// counters on a hit.
     pub fn probe(&mut self, value: u32) -> ProbeResult {
+        let result = self.probe_inner(value);
+        match result {
+            ProbeResult::Miss => self.tel_misses.inc(),
+            ProbeResult::HitPinned | ProbeResult::HitTransient => self.tel_hits.inc(),
+        }
+        if self.tel.enabled() {
+            self.tel.event(match result {
+                ProbeResult::Miss => Event::ValueCacheMiss,
+                hit => Event::ValueCacheHit {
+                    pinned: hit == ProbeResult::HitPinned,
+                },
+            });
+        }
+        result
+    }
+
+    fn probe_inner(&mut self, value: u32) -> ProbeResult {
         self.tick += 1;
         let key = self.key_of(value);
         if let Some(e) = self.pinned.iter_mut().find(|e| e.key == key) {
@@ -150,6 +190,10 @@ impl ValueCache {
                 let e = self.transient.swap_remove(pos);
                 self.pinned.push(e);
                 self.promotions += 1;
+                self.tel_promotions.inc();
+                if self.tel.enabled() {
+                    self.tel.event(Event::ValueCachePromotion);
+                }
                 return ProbeResult::HitPinned;
             }
             return ProbeResult::HitTransient;
@@ -185,7 +229,11 @@ impl ValueCache {
                 self.transient.swap_remove(pos);
             }
         }
-        self.transient.push(Entry { key, uses: 1, last_used: self.tick });
+        self.transient.push(Entry {
+            key,
+            uses: 1,
+            last_used: self.tick,
+        });
     }
 
     /// True if `value` currently matches a pinned entry (no state change).
@@ -261,7 +309,11 @@ mod tests {
 
     #[test]
     fn transient_lru_eviction() {
-        let cfg = ValueCacheConfig { entries: 4, pinned_fraction: 0.25, ..Default::default() };
+        let cfg = ValueCacheConfig {
+            entries: 4,
+            pinned_fraction: 0.25,
+            ..Default::default()
+        };
         let mut c = ValueCache::new(cfg);
         // Transient capacity = 4 (pinned region empty so far).
         for i in 0..4u32 {
@@ -275,7 +327,12 @@ mod tests {
 
     #[test]
     fn pinned_region_bounded() {
-        let cfg = ValueCacheConfig { entries: 8, pinned_fraction: 0.25, promote_threshold: 1, ..Default::default() };
+        let cfg = ValueCacheConfig {
+            entries: 8,
+            pinned_fraction: 0.25,
+            promote_threshold: 1,
+            ..Default::default()
+        };
         let mut c = ValueCache::new(cfg);
         // Try to promote many values; only 2 slots exist.
         for i in 0..8u32 {
@@ -322,6 +379,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid ValueCacheConfig")]
     fn invalid_config_rejected() {
-        ValueCache::new(ValueCacheConfig { entries: 0, ..Default::default() });
+        ValueCache::new(ValueCacheConfig {
+            entries: 0,
+            ..Default::default()
+        });
     }
 }

@@ -65,6 +65,12 @@ impl ValueVerifier {
         self.min_hits
     }
 
+    /// Mirrors the underlying value cache into `tel` (see
+    /// [`ValueCache::attach_telemetry`]).
+    pub fn attach_telemetry(&mut self, tel: &plutus_telemetry::Telemetry) {
+        self.cache.attach_telemetry(tel);
+    }
+
     /// The underlying value cache.
     pub fn cache(&self) -> &ValueCache {
         &self.cache
@@ -85,7 +91,10 @@ impl ValueVerifier {
         let values = Self::values_of(plaintext);
         let mut verdict = Verdict::Verified;
         for unit in values.chunks_exact(VALUES_PER_UNIT as usize) {
-            let hits = unit.iter().filter(|v| self.cache.probe(**v).is_hit()).count() as u32;
+            let hits = unit
+                .iter()
+                .filter(|v| self.cache.probe(**v).is_hit())
+                .count() as u32;
             if hits < self.min_hits {
                 verdict = Verdict::NeedMac;
             }
@@ -127,7 +136,12 @@ impl ValueVerifier {
     /// `(reads verified, reads needing MAC, writes skipping MAC, writes
     /// updating MAC)`.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
-        (self.sectors_verified, self.sectors_need_mac, self.writes_skipped, self.writes_with_mac)
+        (
+            self.sectors_verified,
+            self.sectors_need_mac,
+            self.writes_skipped,
+            self.writes_with_mac,
+        )
     }
 }
 
@@ -155,13 +169,25 @@ mod tests {
     #[test]
     fn cold_cache_needs_mac() {
         let mut v = verifier();
-        assert_eq!(v.verify_read(&sector_of([1, 2, 3, 4, 5, 6, 7, 8])), Verdict::NeedMac);
+        assert_eq!(
+            v.verify_read(&sector_of([1, 2, 3, 4, 5, 6, 7, 8])),
+            Verdict::NeedMac
+        );
     }
 
     #[test]
     fn repeated_sector_verifies_second_time() {
         let mut v = verifier();
-        let s = sector_of([10 << 4, 20 << 4, 30 << 4, 40 << 4, 50 << 4, 60 << 4, 70 << 4, 80 << 4]);
+        let s = sector_of([
+            10 << 4,
+            20 << 4,
+            30 << 4,
+            40 << 4,
+            50 << 4,
+            60 << 4,
+            70 << 4,
+            80 << 4,
+        ]);
         assert_eq!(v.verify_read(&s), Verdict::NeedMac);
         assert_eq!(v.verify_read(&s), Verdict::Verified);
     }
@@ -169,31 +195,83 @@ mod tests {
     #[test]
     fn three_of_four_suffices_per_unit() {
         let mut v = verifier();
-        let base = [1u32 << 4, 2 << 4, 3 << 4, 4 << 4, 5 << 4, 6 << 4, 7 << 4, 8 << 4];
+        let base = [
+            1u32 << 4,
+            2 << 4,
+            3 << 4,
+            4 << 4,
+            5 << 4,
+            6 << 4,
+            7 << 4,
+            8 << 4,
+        ];
         v.verify_read(&sector_of(base));
         // One novel value in each unit: still 3 hits per unit.
-        let variant =
-            [1 << 4, 2 << 4, 3 << 4, 999 << 4, 5 << 4, 6 << 4, 7 << 4, 888 << 4];
+        let variant = [
+            1 << 4,
+            2 << 4,
+            3 << 4,
+            999 << 4,
+            5 << 4,
+            6 << 4,
+            7 << 4,
+            888 << 4,
+        ];
         assert_eq!(v.verify_read(&sector_of(variant)), Verdict::Verified);
     }
 
     #[test]
     fn two_of_four_fails_a_unit() {
         let mut v = verifier();
-        let base = [1u32 << 4, 2 << 4, 3 << 4, 4 << 4, 5 << 4, 6 << 4, 7 << 4, 8 << 4];
+        let base = [
+            1u32 << 4,
+            2 << 4,
+            3 << 4,
+            4 << 4,
+            5 << 4,
+            6 << 4,
+            7 << 4,
+            8 << 4,
+        ];
         v.verify_read(&sector_of(base));
-        let variant =
-            [1 << 4, 2 << 4, 777 << 4, 999 << 4, 5 << 4, 6 << 4, 7 << 4, 8 << 4];
+        let variant = [
+            1 << 4,
+            2 << 4,
+            777 << 4,
+            999 << 4,
+            5 << 4,
+            6 << 4,
+            7 << 4,
+            8 << 4,
+        ];
         assert_eq!(v.verify_read(&sector_of(variant)), Verdict::NeedMac);
     }
 
     #[test]
     fn both_units_must_pass() {
         let mut v = verifier();
-        let base = [1u32 << 4, 2 << 4, 3 << 4, 4 << 4, 5 << 4, 6 << 4, 7 << 4, 8 << 4];
+        let base = [
+            1u32 << 4,
+            2 << 4,
+            3 << 4,
+            4 << 4,
+            5 << 4,
+            6 << 4,
+            7 << 4,
+            8 << 4,
+        ];
         v.verify_read(&sector_of(base));
         // First unit fully reused, second unit novel.
-        let variant = [1 << 4, 2 << 4, 3 << 4, 4 << 4, 91 << 4, 92 << 4, 93 << 4, 94 << 4];
+        let variant = [
+            1 << 4,
+            2 << 4,
+            3 << 4,
+            4 << 4,
+            91 << 4,
+            92 << 4,
+            93 << 4,
+            94 << 4,
+        ];
         assert_eq!(v.verify_read(&sector_of(variant)), Verdict::NeedMac);
     }
 
@@ -242,7 +320,16 @@ mod tests {
     fn cold_write_updates_mac() {
         let mut v = verifier();
         assert_eq!(
-            v.screen_write(&sector_of([11 << 4, 22 << 4, 33 << 4, 44 << 4, 55 << 4, 66 << 4, 77 << 4, 88 << 4])),
+            v.screen_write(&sector_of([
+                11 << 4,
+                22 << 4,
+                33 << 4,
+                44 << 4,
+                55 << 4,
+                66 << 4,
+                77 << 4,
+                88 << 4
+            ])),
             WriteScreen::UpdateMac
         );
     }

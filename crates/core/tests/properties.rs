@@ -1,4 +1,6 @@
-//! Property-based tests for the Plutus core structures.
+//! Property-style tests for the Plutus core structures, driven by
+//! seeded random sampling (the build resolves no external crates, so
+//! these loops stand in for proptest).
 
 use gpu_sim::{BackingMemory, SectorAddr, SecurityEngine};
 use plutus_core::binomial::{binomial_tail, min_hits_required, tamper_hit_probability};
@@ -6,7 +8,10 @@ use plutus_core::{
     CompactConfig, CompactCounters, CompactKind, PlutusConfig, PlutusEngine, ValueCache,
     ValueCacheConfig, ValueVerifier, Verdict, WriteScreen,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEEDS: u64 = 24;
 
 fn sector_of(values: [u32; 8]) -> [u8; 32] {
     let mut out = [0u8; 32];
@@ -16,11 +21,12 @@ fn sector_of(values: [u32; 8]) -> [u8; 32] {
     out
 }
 
-proptest! {
-    /// The value cache never exceeds its capacity and pinned entries
-    /// survive arbitrary churn.
-    #[test]
-    fn value_cache_capacity_and_pinning(values in proptest::collection::vec(any::<u32>(), 1..2000)) {
+/// The value cache never exceeds its capacity and pinned entries
+/// survive arbitrary churn.
+#[test]
+fn value_cache_capacity_and_pinning() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
         let cfg = ValueCacheConfig::default();
         let mut c = ValueCache::new(cfg);
         // Pin one value by hammering it.
@@ -29,39 +35,45 @@ proptest! {
         for _ in 0..16 {
             c.probe(hot);
         }
-        prop_assert!(c.is_pinned(hot));
-        for v in values {
-            c.insert(v);
+        assert!(c.is_pinned(hot));
+        for _ in 0..rng.gen_range(1usize..2000) {
+            c.insert(rng.gen());
             let (p, t) = c.occupancy();
-            prop_assert!(p + t <= cfg.entries);
-            prop_assert!(p <= cfg.pinned_capacity());
+            assert!(p + t <= cfg.entries);
+            assert!(p <= cfg.pinned_capacity());
         }
-        prop_assert!(c.is_pinned(hot), "pinned entry evicted by churn");
+        assert!(c.is_pinned(hot), "pinned entry evicted by churn");
     }
+}
 
-    /// Eq. 1 sanity: the binomial tail decreases in x and increases in p;
-    /// the minimum-hits solution actually satisfies the budget.
-    #[test]
-    fn binomial_solution_meets_budget(entries in 1usize..4096, bits in 20u32..32) {
+/// Eq. 1 sanity: the binomial tail decreases in x and increases in p;
+/// the minimum-hits solution actually satisfies the budget.
+#[test]
+fn binomial_solution_meets_budget() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = rng.gen_range(1usize..4096);
+        let bits = rng.gen_range(20u32..32);
         let p = tamper_hit_probability(entries, bits);
         for x in 1..4 {
-            prop_assert!(binomial_tail(4, x + 1, p) <= binomial_tail(4, x, p));
+            assert!(binomial_tail(4, x + 1, p) <= binomial_tail(4, x, p));
         }
         let budget = 1e-12;
         if let Some(x) = min_hits_required(4, p, budget) {
-            prop_assert!(binomial_tail(4, x, p) < budget);
+            assert!(binomial_tail(4, x, p) < budget);
             if x > 1 {
-                prop_assert!(binomial_tail(4, x - 1, p) >= budget);
+                assert!(binomial_tail(4, x - 1, p) >= budget);
             }
         }
     }
+}
 
-    /// The write-screen guarantee: once `SkipMac`, the next read of the
-    /// same bytes passes value verification, no matter what runs between.
-    #[test]
-    fn skip_mac_guarantee_is_unconditional(
-        churn in proptest::collection::vec(any::<[u32; 8]>(), 0..400)
-    ) {
+/// The write-screen guarantee: once `SkipMac`, the next read of the
+/// same bytes passes value verification, no matter what runs between.
+#[test]
+fn skip_mac_guarantee_is_unconditional() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut v = ValueVerifier::new(ValueCacheConfig::default());
         let hot = sector_of([0x70; 8]);
         let mut screened = WriteScreen::UpdateMac;
@@ -71,24 +83,30 @@ proptest! {
                 break;
             }
         }
-        prop_assume!(screened == WriteScreen::SkipMac);
-        for s in churn {
-            v.verify_read(&sector_of(s));
+        assert_eq!(screened, WriteScreen::SkipMac);
+        for _ in 0..rng.gen_range(0usize..400) {
+            v.verify_read(&sector_of(rng.gen()));
         }
-        prop_assert_eq!(v.verify_read(&hot), Verdict::Verified);
+        assert_eq!(v.verify_read(&hot), Verdict::Verified);
     }
+}
 
-    /// Compact counters produce strictly increasing live counter values
-    /// across the compact → original handoff.
-    #[test]
-    fn compact_counter_values_monotonic(kind_sel in 0u8..3, n_writes in 1usize..20) {
-        let kind = match kind_sel {
+/// Compact counters produce strictly increasing live counter values
+/// across the compact → original handoff.
+#[test]
+fn compact_counter_values_monotonic() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kind = match rng.gen_range(0u8..3) {
             0 => CompactKind::TwoBit,
             1 => CompactKind::ThreeBit,
             _ => CompactKind::Adaptive3,
         };
         let mut c = CompactCounters::new(
-            CompactConfig { kind, ..Default::default() },
+            CompactConfig {
+                kind,
+                ..Default::default()
+            },
             1 << 20,
             1,
             [3; 16],
@@ -96,17 +114,21 @@ proptest! {
         let s = SectorAddr::new(0);
         let mut last = 0u64;
         let mut saturated = false;
-        for _ in 0..n_writes {
+        for _ in 0..rng.gen_range(1usize..20) {
             let a = c.increment(s);
             match a.counter {
                 Some(v) => {
-                    prop_assert!(!saturated, "compact counter revived after saturation");
-                    prop_assert!(v > last, "compact counter did not advance: {} -> {}", last, v);
+                    assert!(!saturated, "compact counter revived after saturation");
+                    assert!(v > last, "compact counter did not advance: {last} -> {v}");
                     last = v;
                 }
                 None => {
                     if let Some(p) = a.propagate {
-                        prop_assert_eq!(u64::from(p), last + 1, "propagated value must continue the sequence");
+                        assert_eq!(
+                            u64::from(p),
+                            last + 1,
+                            "propagated value must continue the sequence"
+                        );
                         last = u64::from(p);
                     }
                     saturated = true;
@@ -114,26 +136,28 @@ proptest! {
             }
         }
     }
+}
 
-    /// Full Plutus engine round-trips random write/read interleavings with
-    /// zero false violations.
-    #[test]
-    fn plutus_engine_roundtrips(
-        ops in proptest::collection::vec((0u64..64, any::<u8>(), any::<bool>()), 1..150)
-    ) {
+/// Full Plutus engine round-trips random write/read interleavings with
+/// zero false violations.
+#[test]
+fn plutus_engine_roundtrips() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut engine = PlutusEngine::new(PlutusConfig::test_small());
         let mut mem = BackingMemory::new();
         let mut reference: std::collections::HashMap<u64, [u8; 32]> = Default::default();
-        for (s, v, is_write) in ops {
-            let addr = SectorAddr::new(s * 32);
-            if is_write {
+        for _ in 0..rng.gen_range(1usize..150) {
+            let addr = SectorAddr::new(rng.gen_range(0u64..64) * 32);
+            let v = rng.gen::<u8>();
+            if rng.gen::<bool>() {
                 engine.on_writeback(addr, &[v; 32], &mut mem);
                 reference.insert(addr.raw(), [v; 32]);
             } else {
                 let fill = engine.on_fill(addr, &mut mem);
                 let expected = reference.get(&addr.raw()).copied().unwrap_or([0; 32]);
-                prop_assert_eq!(fill.plaintext, expected);
-                prop_assert!(fill.violation.is_none());
+                assert_eq!(fill.plaintext, expected);
+                assert!(fill.violation.is_none());
             }
         }
     }

@@ -100,9 +100,7 @@ fn tables() -> &'static Tables {
 /// for the equivalent inverse cipher).
 fn inv_mix_word(w: u32) -> u32 {
     let b = w.to_be_bytes();
-    let m = |r: [u8; 4]| {
-        gmul(b[0], r[0]) ^ gmul(b[1], r[1]) ^ gmul(b[2], r[2]) ^ gmul(b[3], r[3])
-    };
+    let m = |r: [u8; 4]| gmul(b[0], r[0]) ^ gmul(b[1], r[1]) ^ gmul(b[2], r[2]) ^ gmul(b[3], r[3]);
     u32::from_be_bytes([
         m([14, 11, 13, 9]),
         m([9, 14, 11, 13]),
@@ -137,7 +135,9 @@ pub struct Aes128 {
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never leak key material through Debug output.
-        f.debug_struct("Aes128").field("round_keys", &"<redacted>").finish()
+        f.debug_struct("Aes128")
+            .field("round_keys", &"<redacted>")
+            .finish()
     }
 }
 
@@ -387,10 +387,14 @@ fn mix_columns(state: &mut [u8; 16]) {
 fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().unwrap();
-        state[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
-        state[4 * c + 1] = gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
-        state[4 * c + 2] = gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
-        state[4 * c + 3] = gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+        state[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] =
+            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
     }
 }
 
@@ -457,8 +461,15 @@ mod tests {
         ct2[0] ^= 1;
         let pt2 = aes.decrypt(ct2);
         // Avalanche: roughly half the 128 bits should differ; demand > 32.
-        let differing: u32 = pt.iter().zip(pt2.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
-        assert!(differing > 32, "only {differing} bits differ after bit-flip");
+        let differing: u32 = pt
+            .iter()
+            .zip(pt2.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert!(
+            differing > 32,
+            "only {differing} bits differ after bit-flip"
+        );
     }
 
     /// The T-table fast path must agree with the byte-oriented reference

@@ -98,7 +98,13 @@ mod tests {
     fn tweak_block_roundtrip_layout() {
         let t = Tweak::new(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
         let block = t.to_block();
-        assert_eq!(u64::from_le_bytes(block[..8].try_into().unwrap()), t.address);
-        assert_eq!(u64::from_le_bytes(block[8..].try_into().unwrap()), t.counter);
+        assert_eq!(
+            u64::from_le_bytes(block[..8].try_into().unwrap()),
+            t.address
+        );
+        assert_eq!(
+            u64::from_le_bytes(block[8..].try_into().unwrap()),
+            t.counter
+        );
     }
 }

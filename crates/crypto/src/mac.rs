@@ -30,7 +30,9 @@ pub struct Cmac {
 
 impl std::fmt::Debug for Cmac {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cmac").field("subkeys", &"<redacted>").finish()
+        f.debug_struct("Cmac")
+            .field("subkeys", &"<redacted>")
+            .finish()
     }
 }
 
@@ -87,7 +89,10 @@ impl Cmac {
     ///
     /// Panics if `len` is zero or greater than 16.
     pub fn tag(&self, message: &[u8], len: usize) -> Vec<u8> {
-        assert!((1..=16).contains(&len), "tag length must be 1..=16, got {len}");
+        assert!(
+            (1..=16).contains(&len),
+            "tag length must be 1..=16, got {len}"
+        );
         self.mac(message)[..len].to_vec()
     }
 
@@ -211,6 +216,9 @@ mod tests {
         let cmac = rfc4493_cmac();
         let tweak = Tweak::new(0x1234, 56);
         let v = cmac.stateful_tag(b"abc", tweak, 8);
-        assert_eq!(cmac.stateful_tag64(b"abc", tweak), u64::from_le_bytes(v.try_into().unwrap()));
+        assert_eq!(
+            cmac.stateful_tag64(b"abc", tweak),
+            u64::from_le_bytes(v.try_into().unwrap())
+        );
     }
 }

@@ -69,7 +69,7 @@ impl Xts {
 
     fn process(&self, data: &mut [u8], tweak: Tweak, encrypt: bool) {
         assert!(
-            !data.is_empty() && data.len() % 16 == 0,
+            !data.is_empty() && data.len().is_multiple_of(16),
             "XTS data must be a positive multiple of 16 bytes, got {}",
             data.len()
         );
@@ -152,7 +152,10 @@ mod tests {
         let mut data = original;
         x.encrypt_sector(&mut data, Tweak::new(0x40, 5));
         x.decrypt_sector(&mut data, Tweak::new(0x40, 6));
-        assert_ne!(data, original, "replayed counter must not decrypt correctly");
+        assert_ne!(
+            data, original,
+            "replayed counter must not decrypt correctly"
+        );
     }
 
     /// The property Plutus relies on: flipping any ciphertext bit
@@ -177,7 +180,10 @@ mod tests {
             .zip(original[..16].iter())
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
-        assert!(differing > 32, "only {differing} bits differ in tampered block");
+        assert!(
+            differing > 32,
+            "only {differing} bits differ in tampered block"
+        );
     }
 
     #[test]

@@ -4,8 +4,6 @@
 //! and from DRAM; sectors are the granularity at which the Plutus paper
 //! attaches security metadata (one counter and one MAC per sector).
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per DRAM access sector.
 pub const SECTOR_SIZE: u64 = 32;
 /// Bytes per cache line ("block" in the paper).
@@ -14,7 +12,7 @@ pub const BLOCK_SIZE: u64 = 128;
 pub const SECTORS_PER_BLOCK: usize = (BLOCK_SIZE / SECTOR_SIZE) as usize;
 
 /// A sector-aligned physical address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SectorAddr(u64);
 
 impl SectorAddr {
@@ -29,7 +27,11 @@ impl SectorAddr {
     ///
     /// Panics if `addr` is not 32-byte aligned.
     pub fn new(addr: u64) -> Self {
-        assert_eq!(addr % SECTOR_SIZE, 0, "sector address {addr:#x} not 32B-aligned");
+        assert_eq!(
+            addr % SECTOR_SIZE,
+            0,
+            "sector address {addr:#x} not 32B-aligned"
+        );
         Self(addr)
     }
 
@@ -61,7 +63,7 @@ impl std::fmt::Display for SectorAddr {
 }
 
 /// A 128-byte-aligned block (cache line) address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockAddr(u64);
 
 impl BlockAddr {
@@ -158,7 +160,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max < 3 * (min + 1), "imbalanced interleave: min={min} max={max}");
+        assert!(
+            max < 3 * (min + 1),
+            "imbalanced interleave: min={min} max={max}"
+        );
     }
 
     #[test]

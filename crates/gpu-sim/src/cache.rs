@@ -13,6 +13,7 @@
 //! fine-grain metadata designs.
 
 use crate::address::SECTOR_SIZE;
+use plutus_telemetry::{Counter, Telemetry};
 
 /// Maximum sectors per line supported (128 B line / 32 B sector).
 const MAX_SECTORS: usize = 4;
@@ -37,7 +38,13 @@ struct Line {
 
 impl Line {
     fn empty() -> Self {
-        Self { tag: u64::MAX, valid_mask: 0, dirty_mask: 0, lru: 0, data: None }
+        Self {
+            tag: u64::MAX,
+            valid_mask: 0,
+            dirty_mask: 0,
+            lru: 0,
+            data: None,
+        }
     }
 }
 
@@ -62,6 +69,8 @@ pub struct SectoredCache {
     lru_tick: u64,
     hits: u64,
     misses: u64,
+    tel_hits: Counter,
+    tel_misses: Counter,
 }
 
 impl SectoredCache {
@@ -77,13 +86,13 @@ impl SectoredCache {
     /// `ways × line_size`, or unsupported line size).
     pub fn new(capacity_bytes: u64, ways: usize, line_size: u64, store_data: bool) -> Self {
         assert!(
-            line_size % SECTOR_SIZE == 0 && line_size >= SECTOR_SIZE && line_size <= 128,
+            line_size.is_multiple_of(SECTOR_SIZE) && (SECTOR_SIZE..=128).contains(&line_size),
             "line_size must be 32, 64, 96 or 128 bytes, got {line_size}"
         );
         assert!(ways > 0, "ways must be positive");
         let lines_total = capacity_bytes / line_size;
         assert!(
-            lines_total >= ways as u64 && lines_total % ways as u64 == 0,
+            lines_total >= ways as u64 && lines_total.is_multiple_of(ways as u64),
             "capacity {capacity_bytes} must hold a whole number of {ways}-way sets of {line_size}B lines"
         );
         let sets = (lines_total / ways as u64) as usize;
@@ -97,7 +106,18 @@ impl SectoredCache {
             lru_tick: 0,
             hits: 0,
             misses: 0,
+            tel_hits: Counter::disabled(),
+            tel_misses: Counter::disabled(),
         }
+    }
+
+    /// Mirrors this cache's hit/miss statistics into `tel` under
+    /// `<prefix>.hits` / `<prefix>.misses`. Caches attached with the same
+    /// prefix (e.g. every L2 bank, or one metadata cache per partition)
+    /// aggregate into the same counters.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry, prefix: &str) {
+        self.tel_hits = tel.counter(&format!("{prefix}.hits"));
+        self.tel_misses = tel.counter(&format!("{prefix}.misses"));
     }
 
     fn set_of(&self, addr: u64) -> usize {
@@ -156,20 +176,30 @@ impl SectoredCache {
             }
             if store_data {
                 if let Some(d) = data {
-                    line.data.get_or_insert_with(|| Box::new([[0; 32]; MAX_SECTORS]))[sector] = d;
+                    line.data
+                        .get_or_insert_with(|| Box::new([[0; 32]; MAX_SECTORS]))[sector] = d;
                 }
             }
             if was_valid {
                 self.hits += 1;
-                return AccessOutcome { hit: true, evicted: Vec::new() };
+                self.tel_hits.inc();
+                return AccessOutcome {
+                    hit: true,
+                    evicted: Vec::new(),
+                };
             }
             // Sector miss within a present line: no eviction needed.
             self.misses += 1;
-            return AccessOutcome { hit: false, evicted: Vec::new() };
+            self.tel_misses.inc();
+            return AccessOutcome {
+                hit: false,
+                evicted: Vec::new(),
+            };
         }
 
         // Allocate: pick invalid way or LRU victim.
         self.misses += 1;
+        self.tel_misses.inc();
         let lines = self.set_lines(set);
         let victim_way = lines
             .iter()
@@ -190,7 +220,10 @@ impl SectoredCache {
             for s in 0..sectors_per_line {
                 if line.dirty_mask & (1 << s) != 0 {
                     let payload = line.data.as_ref().map(|d| d[s]);
-                    evicted.push(EvictedSector { addr: base + s as u64 * SECTOR_SIZE, data: payload });
+                    evicted.push(EvictedSector {
+                        addr: base + s as u64 * SECTOR_SIZE,
+                        data: payload,
+                    });
                 }
             }
         }
@@ -203,10 +236,14 @@ impl SectoredCache {
         line.data = None;
         if store_data {
             if let Some(d) = data {
-                line.data.get_or_insert_with(|| Box::new([[0; 32]; MAX_SECTORS]))[sector] = d;
+                line.data
+                    .get_or_insert_with(|| Box::new([[0; 32]; MAX_SECTORS]))[sector] = d;
             }
         }
-        AccessOutcome { hit: false, evicted }
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Installs sector data without changing hit statistics (used when a
@@ -222,7 +259,8 @@ impl SectoredCache {
         let lines = self.set_lines(set);
         if let Some(line) = lines.iter_mut().find(|l| l.tag == tag && l.valid_mask != 0) {
             if line.dirty_mask & (1 << sector) == 0 {
-                line.data.get_or_insert_with(|| Box::new([[0; 32]; MAX_SECTORS]))[sector] = data;
+                line.data
+                    .get_or_insert_with(|| Box::new([[0; 32]; MAX_SECTORS]))[sector] = data;
             }
         }
     }
@@ -252,7 +290,10 @@ impl SectoredCache {
                 for s in 0..self.sectors_per_line {
                     if dirty_mask & (1 << s) != 0 {
                         let payload = self.lines[idx].data.as_ref().map(|d| d[s]);
-                        out.push(EvictedSector { addr: base + s as u64 * SECTOR_SIZE, data: payload });
+                        out.push(EvictedSector {
+                            addr: base + s as u64 * SECTOR_SIZE,
+                            data: payload,
+                        });
                     }
                 }
                 self.lines[idx].dirty_mask = 0;
@@ -395,6 +436,10 @@ mod tests {
         let conflict = addr + 8 * 128;
         let o = c.access(conflict, false, None);
         assert_eq!(o.evicted.len(), 1);
-        assert_eq!(o.evicted[0].addr, addr & !(31), "evicted addr must match original");
+        assert_eq!(
+            o.evicted[0].addr,
+            addr & !(31),
+            "evicted addr must match original"
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! Simulator configuration, defaulting to the paper's Table I Volta model.
 
-use serde::{Deserialize, Serialize};
-
 /// Top-level GPU configuration (paper Table I).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors (informational; the warp pool
     /// abstracts cores).
@@ -107,7 +105,7 @@ impl GpuConfig {
         }
         let line_bytes = crate::address::BLOCK_SIZE;
         let lines = self.l2_bank_bytes / line_bytes;
-        if lines == 0 || lines % self.l2_ways as u64 != 0 {
+        if lines == 0 || !lines.is_multiple_of(self.l2_ways as u64) {
             return Err(format!(
                 "l2_bank_bytes {} must hold a multiple of l2_ways {} lines",
                 self.l2_bank_bytes, self.l2_ways
@@ -121,7 +119,7 @@ impl GpuConfig {
 }
 
 /// DRAM channel model parameters (one channel per partition).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramConfig {
     /// Effective data-bus bandwidth per partition in bytes per core cycle.
     /// Default: 868 GB/s ÷ 32 partitions at 1132 MHz ≈ 24 B/cycle.
@@ -176,7 +174,7 @@ impl DramConfig {
 }
 
 /// Security-engine latency parameters shared by all engines (paper Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SecurityLatencies {
     /// AES encryption/decryption pipeline latency in cycles.
     pub aes_latency: u64,
@@ -186,7 +184,10 @@ pub struct SecurityLatencies {
 
 impl Default for SecurityLatencies {
     fn default() -> Self {
-        Self { aes_latency: 40, mac_latency: 40 }
+        Self {
+            aes_latency: 40,
+            mac_latency: 40,
+        }
     }
 }
 
@@ -202,7 +203,10 @@ mod tests {
         assert_eq!(c.total_l2_bytes(), 6 * 1024 * 1024);
         // 24 B/cycle × 32 partitions × 1.132 GHz ≈ 869 GB/s (Table I: 868).
         let bw = c.total_dram_gbps();
-        assert!((bw - 868.0).abs() < 5.0, "bandwidth {bw} too far from Table I");
+        assert!(
+            (bw - 868.0).abs() < 5.0,
+            "bandwidth {bw} too far from Table I"
+        );
         c.validate().unwrap();
     }
 
@@ -213,12 +217,17 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = GpuConfig::default();
-        c.partitions = 0;
+        let c = GpuConfig {
+            partitions: 0,
+            ..GpuConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = GpuConfig::default();
-        c.l2_bank_bytes = 100; // not a whole number of lines
+        // Not a whole number of lines.
+        let c = GpuConfig {
+            l2_bank_bytes: 100,
+            ..GpuConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = GpuConfig::default();

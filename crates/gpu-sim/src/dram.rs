@@ -20,6 +20,7 @@
 //! activations).
 
 use crate::config::DramConfig;
+use plutus_telemetry::{Counter, Telemetry};
 
 #[derive(Debug, Clone, Copy)]
 struct Bank {
@@ -39,12 +40,20 @@ pub struct DramChannel {
     bytes_transferred: u64,
     row_hits: u64,
     row_misses: u64,
+    tel_row_hits: Counter,
+    tel_row_misses: Counter,
 }
 
 impl DramChannel {
     /// Creates a channel with the given timing parameters.
     pub fn new(cfg: DramConfig) -> Self {
-        let banks = vec![Bank { open_row: u64::MAX, busy_until: 0.0 }; cfg.banks];
+        let banks = vec![
+            Bank {
+                open_row: u64::MAX,
+                busy_until: 0.0
+            };
+            cfg.banks
+        ];
         Self {
             cfg,
             banks,
@@ -53,7 +62,17 @@ impl DramChannel {
             bytes_transferred: 0,
             row_hits: 0,
             row_misses: 0,
+            tel_row_hits: Counter::disabled(),
+            tel_row_misses: Counter::disabled(),
         }
+    }
+
+    /// Mirrors this channel's row-buffer statistics into `tel` under
+    /// `<prefix>.row_hits` / `<prefix>.row_misses`. Channels attached with
+    /// the same prefix aggregate into the same counters.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry, prefix: &str) {
+        self.tel_row_hits = tel.counter(&format!("{prefix}.row_hits"));
+        self.tel_row_misses = tel.counter(&format!("{prefix}.row_misses"));
     }
 
     /// Schedules a `bytes`-byte transfer touching `addr` at time `now`
@@ -80,9 +99,11 @@ impl DramChannel {
         let ready = nowf.max(bank.busy_until);
         let act_done = if bank.open_row == row {
             self.row_hits += 1;
+            self.tel_row_hits.inc();
             ready
         } else {
             self.row_misses += 1;
+            self.tel_row_misses.inc();
             bank.open_row = row;
             let done = ready + (self.cfg.t_rp + self.cfg.t_rcd) as f64;
             bank.busy_until = done;
@@ -110,8 +131,7 @@ impl DramChannel {
     /// `now` (diagnostic).
     pub fn queue_depth_cycles(&self, now: u64) -> f64 {
         let elapsed = (now as f64 - self.last_time).max(0.0);
-        ((self.backlog_bytes - elapsed * self.cfg.bytes_per_cycle)
-            / self.cfg.bytes_per_cycle)
+        ((self.backlog_bytes - elapsed * self.cfg.bytes_per_cycle) / self.cfg.bytes_per_cycle)
             .max(0.0)
     }
 
@@ -249,6 +269,6 @@ mod tests {
             last = d.access(i, (i % 4) * 0x80 + ((i / 4) % 8) * 0x20, 32);
         }
         // 1000 requests × 32 B at 16 B/cycle ≈ 2000 cycles.
-        assert!(last >= 1990 && last <= 2110, "last completion {last}");
+        assert!((1990..=2110).contains(&last), "last completion {last}");
     }
 }

@@ -45,10 +45,14 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 
-pub use address::{partition_of, BlockAddr, SectorAddr, BLOCK_SIZE, SECTORS_PER_BLOCK, SECTOR_SIZE};
+pub use address::{
+    partition_of, BlockAddr, SectorAddr, BLOCK_SIZE, SECTORS_PER_BLOCK, SECTOR_SIZE,
+};
 pub use config::{DramConfig, GpuConfig, SecurityLatencies};
 pub use mem::BackingMemory;
-pub use security::{DramReq, EngineFactory, FillPlan, NoSecurityEngine, SecurityEngine, Violation, WritePlan};
+pub use security::{
+    DramReq, EngineFactory, FillPlan, NoSecurityEngine, SecurityEngine, Violation, WritePlan,
+};
 pub use sim::{SimResult, Simulator};
 pub use stats::{SimStats, TrafficClass};
 pub use trace::{AccessKind, Trace, TraceAccess};

@@ -139,6 +139,12 @@ pub trait SecurityEngine {
     fn extra_stats(&self) -> Vec<(String, u64)> {
         Vec::new()
     }
+
+    /// Hands the engine a telemetry handle so it can register metrics and
+    /// emit events (value-cache hits, MAC fetches, BMT walks, …). Called
+    /// once per engine, right after construction and before any traffic.
+    /// The default implementation ignores it.
+    fn attach_telemetry(&mut self, _tel: &plutus_telemetry::Telemetry) {}
 }
 
 /// Builds one engine instance per partition.
@@ -254,9 +260,14 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        let v = Violation::MacMismatch { addr: SectorAddr::new(0x40) };
+        let v = Violation::MacMismatch {
+            addr: SectorAddr::new(0x40),
+        };
         assert!(v.to_string().contains("0x40"));
-        let v = Violation::TreeMismatch { addr: SectorAddr::new(0x40), level: 2 };
+        let v = Violation::TreeMismatch {
+            addr: SectorAddr::new(0x40),
+            level: 2,
+        };
         assert!(v.to_string().contains("level 2"));
     }
 }

@@ -23,6 +23,7 @@ use crate::mem::BackingMemory;
 use crate::security::{EngineFactory, SecurityEngine};
 use crate::stats::{SimStats, TrafficClass};
 use crate::trace::{AccessKind, Trace, TraceAccess};
+use plutus_telemetry::{Counter, Event as TelEvent, Histogram, Telemetry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -79,6 +80,63 @@ struct Partition {
     engine: Box<dyn SecurityEngine>,
 }
 
+/// Registry handles mirroring [`SimStats`] into the telemetry layer.
+///
+/// [`SimStats`] stays the synchronous source of truth for results (its
+/// accessors are the compatibility facade every experiment reads); these
+/// handles feed the same observations into the shared registry so epoch
+/// deltas, exports, and cross-run aggregation see them. All handles are
+/// branch-free no-ops when telemetry is disabled.
+struct SimTelemetry {
+    /// Per-class DRAM read bytes, indexed by [`TrafficClass::idx`].
+    read_bytes: [Counter; 6],
+    /// Per-class DRAM write bytes.
+    write_bytes: [Counter; 6],
+    l2_hits: Counter,
+    l2_misses: Counter,
+    mshr_merges: Counter,
+    mshr_stalls: Counter,
+    violations: Counter,
+    /// Fill latency (arrival at the controller → verified data), cycles.
+    fill_latency: Histogram,
+}
+
+impl SimTelemetry {
+    fn new(tel: &Telemetry) -> Self {
+        let per_class = |dir: &str| {
+            TrafficClass::ALL.map(|c| tel.counter(&format!("traffic.{}.{dir}_bytes", c.label())))
+        };
+        Self {
+            read_bytes: per_class("read"),
+            write_bytes: per_class("write"),
+            l2_hits: tel.counter("l2.hits"),
+            l2_misses: tel.counter("l2.misses"),
+            mshr_merges: tel.counter("mshr.merges"),
+            mshr_stalls: tel.counter("mshr.stalls"),
+            violations: tel.counter("violations"),
+            fill_latency: tel.histogram("fill.latency_cycles"),
+        }
+    }
+}
+
+/// Books one DRAM transfer into both the per-run [`SimStats`] and the
+/// shared registry (free function so callers can hold disjoint borrows of
+/// other `Simulator` fields).
+fn book_traffic(
+    stats: &mut SimStats,
+    tel: &SimTelemetry,
+    class: TrafficClass,
+    bytes: u64,
+    is_write: bool,
+) {
+    stats.record_traffic(class, bytes, is_write);
+    if is_write {
+        tel.write_bytes[class.idx()].add(bytes);
+    } else {
+        tel.read_bytes[class.idx()].add(bytes);
+    }
+}
+
 /// Result of a completed simulation.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -124,28 +182,63 @@ pub struct Simulator {
     horizon: u64,
     stats: SimStats,
     engine_name: &'static str,
+    tel: Telemetry,
+    simtel: SimTelemetry,
+    /// Close a telemetry epoch every this many simulated cycles.
+    epoch_interval: Option<u64>,
+    next_epoch_at: u64,
 }
 
 impl Simulator {
     /// Builds a simulator for `trace` with engines from `factory`,
     /// installing the trace's initial memory image through the engines.
+    /// Telemetry is disabled; see [`Simulator::with_telemetry`].
     ///
     /// # Panics
     ///
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: GpuConfig, trace: Trace, factory: &dyn EngineFactory) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid GpuConfig: {e}"));
+        Self::with_telemetry(cfg, trace, factory, Telemetry::disabled())
+    }
+
+    /// Builds a simulator whose statistics also feed `tel`'s registry, and
+    /// whose engines, caches, and DRAM channels are handed the same handle
+    /// (via [`SecurityEngine::attach_telemetry`] and friends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_telemetry(
+        cfg: GpuConfig,
+        trace: Trace,
+        factory: &dyn EngineFactory,
+        tel: Telemetry,
+    ) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid GpuConfig: {e}"));
         let mut backing = BackingMemory::new();
         let mut partitions: Vec<Partition> = (0..cfg.partitions)
-            .map(|p| Partition {
-                l2: (0..cfg.l2_banks_per_partition)
-                    .map(|_| SectoredCache::new(cfg.l2_bank_bytes, cfg.l2_ways, 128, true))
-                    .collect(),
-                mshr: HashMap::new(),
-                mshr_capacity: cfg.mshrs_per_partition,
-                pending: VecDeque::new(),
-                dram: DramChannel::new(cfg.dram.clone()),
-                engine: factory.build(p),
+            .map(|p| {
+                let mut engine = factory.build(p);
+                engine.attach_telemetry(&tel);
+                let mut dram = DramChannel::new(cfg.dram.clone());
+                dram.attach_telemetry(&tel, "dram");
+                let l2 = (0..cfg.l2_banks_per_partition)
+                    .map(|_| {
+                        let mut bank =
+                            SectoredCache::new(cfg.l2_bank_bytes, cfg.l2_ways, 128, true);
+                        bank.attach_telemetry(&tel, "l2_bank");
+                        bank
+                    })
+                    .collect();
+                Partition {
+                    l2,
+                    mshr: HashMap::new(),
+                    mshr_capacity: cfg.mshrs_per_partition,
+                    pending: VecDeque::new(),
+                    dram,
+                    engine,
+                }
             })
             .collect();
         let engine_name = partitions
@@ -158,6 +251,7 @@ impl Simulator {
             partitions[p].engine.install(*addr, data, &mut backing);
         }
 
+        let simtel = SimTelemetry::new(&tel);
         Self {
             cfg,
             trace,
@@ -169,7 +263,23 @@ impl Simulator {
             horizon: 0,
             stats: SimStats::default(),
             engine_name,
+            tel,
+            simtel,
+            epoch_interval: None,
+            next_epoch_at: u64::MAX,
         }
+    }
+
+    /// Closes a telemetry epoch every `cycles` simulated cycles, labelled
+    /// with the cycle boundary. No effect when telemetry is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn set_epoch_interval(&mut self, cycles: u64) {
+        assert!(cycles > 0, "epoch interval must be positive");
+        self.epoch_interval = Some(cycles);
+        self.next_epoch_at = cycles;
     }
 
     /// Mutable access to the functional memory, for injecting physical
@@ -186,7 +296,11 @@ impl Simulator {
     fn schedule(&mut self, time: u64, kind: EventKind) {
         self.seq += 1;
         self.horizon = self.horizon.max(time);
-        self.events.push(Reverse(Event { time, seq: self.seq, kind }));
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     /// Runs the simulation to completion and returns the results.
@@ -200,6 +314,12 @@ impl Simulator {
         }
         while let Some(Reverse(ev)) = self.events.pop() {
             self.horizon = self.horizon.max(ev.time);
+            if self.tel.enabled() {
+                self.tel.advance_clock(ev.time);
+                if ev.time >= self.next_epoch_at {
+                    self.roll_epochs(ev.time);
+                }
+            }
             match ev.kind {
                 EventKind::WarpNext { warp } => self.warp_next(ev.time, warp),
                 EventKind::Arrive { access } => self.arrive(ev.time, access),
@@ -212,6 +332,18 @@ impl Simulator {
             self.flush_l2();
         }
         self.finalize()
+    }
+
+    /// Closes every epoch boundary at or before `now` (several may pass at
+    /// once when the event queue jumps across idle time).
+    fn roll_epochs(&mut self, now: u64) {
+        let Some(interval) = self.epoch_interval else {
+            return;
+        };
+        while now >= self.next_epoch_at {
+            self.tel.end_epoch(&format!("cycle-{}", self.next_epoch_at));
+            self.next_epoch_at += interval;
+        }
     }
 
     fn finalize(&mut self) -> SimResult {
@@ -284,26 +416,34 @@ impl Simulator {
         match access.kind {
             AccessKind::Write => {
                 let data = *self.trace.data_of(&access);
-                let outcome = self.partitions[p_idx].l2[bank].access(sector.raw(), true, Some(data));
+                let outcome =
+                    self.partitions[p_idx].l2[bank].access(sector.raw(), true, Some(data));
                 if outcome.hit {
                     self.stats.l2_hits += 1;
+                    self.simtel.l2_hits.inc();
                 } else {
                     self.stats.l2_misses += 1;
+                    self.simtel.l2_misses.inc();
                 }
                 self.handle_evictions(now, p_idx, &outcome.evicted);
             }
             AccessKind::Read => {
                 let warp = access.data_idx; // see schedule_arrive
-                // Merge into an outstanding miss?
+                                            // Merge into an outstanding miss?
                 if let Some(entry) = self.partitions[p_idx].mshr.get_mut(&sector) {
-                    entry.waiters.push(Waiter { warp, instructions: access.instructions });
+                    entry.waiters.push(Waiter {
+                        warp,
+                        instructions: access.instructions,
+                    });
                     self.stats.mshr_merges += 1;
+                    self.simtel.mshr_merges.inc();
                     return;
                 }
                 if self.partitions[p_idx].l2[bank].probe(sector.raw()) {
                     // Hit.
                     self.partitions[p_idx].l2[bank].access(sector.raw(), false, None);
                     self.stats.l2_hits += 1;
+                    self.simtel.l2_hits.inc();
                     self.stats.instructions += access.instructions as u64;
                     self.stats.accesses += 1;
                     let wake = now + self.cfg.l2_hit_latency + self.cfg.interconnect_latency;
@@ -313,21 +453,32 @@ impl Simulator {
                 // Miss.
                 if self.partitions[p_idx].mshr.len() >= self.partitions[p_idx].mshr_capacity {
                     self.stats.mshr_stalls += 1;
+                    self.simtel.mshr_stalls.inc();
                     self.partitions[p_idx].pending.push_back(access);
                     return;
                 }
                 self.stats.l2_misses += 1;
+                self.simtel.l2_misses.inc();
                 let outcome = self.partitions[p_idx].l2[bank].access(sector.raw(), false, None);
                 self.handle_evictions(now, p_idx, &outcome.evicted);
                 let (ready, plaintext) = self.execute_fill(now, p_idx, sector);
                 self.partitions[p_idx].mshr.insert(
                     sector,
                     MshrEntry {
-                        waiters: vec![Waiter { warp, instructions: access.instructions }],
+                        waiters: vec![Waiter {
+                            warp,
+                            instructions: access.instructions,
+                        }],
                         plaintext,
                     },
                 );
-                self.schedule(ready, EventKind::FillDone { partition: p_idx as u32, sector });
+                self.schedule(
+                    ready,
+                    EventKind::FillDone {
+                        partition: p_idx as u32,
+                        sector,
+                    },
+                );
             }
         }
     }
@@ -367,7 +518,13 @@ impl Simulator {
         // latency — which the warp pool hides — is approximated, keeping
         // the simulator in the paper's bandwidth-bound regime.
         let data_done = part.dram.access(now, sector.raw(), SECTOR_SIZE as u32);
-        self.stats.record_traffic(TrafficClass::Data, SECTOR_SIZE, false);
+        book_traffic(
+            &mut self.stats,
+            &self.simtel,
+            TrafficClass::Data,
+            SECTOR_SIZE,
+            false,
+        );
 
         let mut ready = data_done;
         let serial = self.cfg.serial_metadata_chains;
@@ -380,7 +537,13 @@ impl Simulator {
                 } else {
                     t = t.max(done);
                 }
-                self.stats.record_traffic(req.class, req.bytes as u64, false);
+                book_traffic(
+                    &mut self.stats,
+                    &self.simtel,
+                    req.class,
+                    req.bytes as u64,
+                    false,
+                );
             }
             ready = ready.max(t);
         }
@@ -389,25 +552,51 @@ impl Simulator {
             for req in &plan.post_chain {
                 part.dram.access(now, req.addr, req.bytes);
                 ready += part.dram.unloaded_latency(req.bytes);
-                self.stats.record_traffic(req.class, req.bytes as u64, false);
+                book_traffic(
+                    &mut self.stats,
+                    &self.simtel,
+                    req.class,
+                    req.bytes as u64,
+                    false,
+                );
             }
             ready += plan.post_latency;
         }
         for req in &plan.async_reads {
             let done = part.dram.access(now, req.addr, req.bytes);
             self.horizon = self.horizon.max(done);
-            self.stats.record_traffic(req.class, req.bytes as u64, false);
+            book_traffic(
+                &mut self.stats,
+                &self.simtel,
+                req.class,
+                req.bytes as u64,
+                false,
+            );
         }
         for req in &plan.writes {
             let done = part.dram.access(now, req.addr, req.bytes);
             self.horizon = self.horizon.max(done);
-            self.stats.record_traffic(req.class, req.bytes as u64, true);
+            book_traffic(
+                &mut self.stats,
+                &self.simtel,
+                req.class,
+                req.bytes as u64,
+                true,
+            );
         }
-        if plan.violation.is_some() {
+        if let Some(v) = plan.violation {
             self.stats.violations += 1;
+            self.simtel.violations.inc();
+            if self.tel.enabled() {
+                self.tel.event(TelEvent::Violation {
+                    kind: v.to_string(),
+                });
+            }
         }
-        self.stats.fill_latency_sum += ready.saturating_sub(now);
+        let latency = ready.saturating_sub(now);
+        self.stats.fill_latency_sum += latency;
         self.stats.fill_count += 1;
+        self.simtel.fill_latency.record(latency);
         self.horizon = self.horizon.max(ready);
         (ready, plan.plaintext)
     }
@@ -434,28 +623,58 @@ impl Simulator {
                 } else {
                     t = t.max(done);
                 }
-                self.stats.record_traffic(req.class, req.bytes as u64, false);
+                book_traffic(
+                    &mut self.stats,
+                    &self.simtel,
+                    req.class,
+                    req.bytes as u64,
+                    false,
+                );
             }
             meta_ready = meta_ready.max(t);
         }
         for req in &plan.async_reads {
             let done = part.dram.access(now, req.addr, req.bytes);
             self.horizon = self.horizon.max(done);
-            self.stats.record_traffic(req.class, req.bytes as u64, false);
+            book_traffic(
+                &mut self.stats,
+                &self.simtel,
+                req.class,
+                req.bytes as u64,
+                false,
+            );
         }
         // The encrypted data and metadata writes drain from the write
         // buffer; their bandwidth is booked immediately, and the pipeline
         // latency (crypto) only extends the horizon.
         let done = part.dram.access(now, sector.raw(), SECTOR_SIZE as u32);
         self.horizon = self.horizon.max(done.max(meta_ready) + plan.crypto_latency);
-        self.stats.record_traffic(TrafficClass::Data, SECTOR_SIZE, true);
+        book_traffic(
+            &mut self.stats,
+            &self.simtel,
+            TrafficClass::Data,
+            SECTOR_SIZE,
+            true,
+        );
         for req in &plan.writes {
             let done = part.dram.access(now, req.addr, req.bytes);
             self.horizon = self.horizon.max(done);
-            self.stats.record_traffic(req.class, req.bytes as u64, true);
+            book_traffic(
+                &mut self.stats,
+                &self.simtel,
+                req.class,
+                req.bytes as u64,
+                true,
+            );
         }
-        if plan.violation.is_some() {
+        if let Some(v) = plan.violation {
             self.stats.violations += 1;
+            self.simtel.violations.inc();
+            if self.tel.enabled() {
+                self.tel.event(TelEvent::Violation {
+                    kind: v.to_string(),
+                });
+            }
         }
     }
 
@@ -490,6 +709,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::security::NoSecurityEngine;
+    use plutus_telemetry::{CycleClock, Telemetry};
 
     fn read_trace(n: u64, stride: u64) -> Trace {
         let mut t = Trace::new("reads");
@@ -650,6 +870,75 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.stats.accesses, 400, "queued accesses must all complete");
         assert!(r.stats.mshr_stalls > 0, "tiny MSHR must actually saturate");
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats_and_rolls_epochs() {
+        let tel = Telemetry::with_clock(std::sync::Arc::new(CycleClock::new()));
+        let trace = read_trace(400, 32);
+        let mut sim = Simulator::with_telemetry(
+            GpuConfig::test_small(),
+            trace,
+            &NoSecurityEngine::factory(),
+            tel.clone(),
+        );
+        sim.set_epoch_interval(50);
+        let r = sim.run();
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counter("traffic.data.read_bytes"),
+            Some(r.stats.traffic[TrafficClass::Data.idx()].read_bytes)
+        );
+        assert_eq!(snap.counter("l2.hits"), Some(r.stats.l2_hits));
+        assert_eq!(snap.counter("l2.misses"), Some(r.stats.l2_misses));
+        assert_eq!(snap.counter("violations"), Some(0));
+        let (row_hits, row_misses) = (
+            snap.counter("dram.row_hits"),
+            snap.counter("dram.row_misses"),
+        );
+        assert_eq!(
+            row_hits.unwrap() + row_misses.unwrap(),
+            r.stats
+                .traffic
+                .iter()
+                .map(|t| t.read_reqs + t.write_reqs)
+                .sum::<u64>()
+        );
+        // Fill-latency histogram observed every fill.
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "fill.latency_cycles")
+            .map(|(_, h)| h.clone())
+            .expect("fill latency histogram registered");
+        assert_eq!(hist.count, r.stats.fill_count);
+        assert_eq!(hist.sum, r.stats.fill_latency_sum);
+        // 400 misses over hundreds of cycles at a 50-cycle interval must
+        // close multiple epochs, and their deltas chain contiguously.
+        let epochs = tel.epochs();
+        assert!(
+            epochs.len() >= 2,
+            "expected >=2 epochs, got {}",
+            epochs.len()
+        );
+        for w in epochs.windows(2) {
+            assert_eq!(w[1].start_time, w[0].end_time);
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        let run = |tel: Telemetry| {
+            let mut sim = Simulator::with_telemetry(
+                GpuConfig::test_small(),
+                read_trace(300, 64),
+                &NoSecurityEngine::factory(),
+                tel,
+            );
+            let r = sim.run();
+            (r.stats.cycles, r.stats.total_bytes(), r.stats.l2_hits)
+        };
+        assert_eq!(run(Telemetry::disabled()), run(Telemetry::new()));
     }
 
     #[test]

@@ -5,10 +5,8 @@
 //! mix (Fig. 10), and the DRAM-energy proxy behind the power figure
 //! (Fig. 22).
 
-use serde::{Deserialize, Serialize};
-
 /// Classification of DRAM traffic, matching the paper's breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TrafficClass {
     /// Application data sectors.
     Data,
@@ -72,7 +70,7 @@ impl std::fmt::Display for TrafficClass {
 }
 
 /// Byte/request counters for one traffic class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassTraffic {
     /// Bytes read from DRAM.
     pub read_bytes: u64,
@@ -92,7 +90,7 @@ impl ClassTraffic {
 }
 
 /// Aggregated statistics for one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total simulated cycles (time of the last retired event).
     pub cycles: u64,
@@ -222,7 +220,11 @@ mod tests {
 
     #[test]
     fn ipc_computation() {
-        let s = SimStats { cycles: 100, instructions: 250, ..Default::default() };
+        let s = SimStats {
+            cycles: 100,
+            instructions: 250,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
     }
 
@@ -238,7 +240,10 @@ mod tests {
 
     #[test]
     fn bandwidth_utilization_bounds() {
-        let mut s = SimStats { cycles: 10, ..Default::default() };
+        let mut s = SimStats {
+            cycles: 10,
+            ..Default::default()
+        };
         s.record_traffic(TrafficClass::Data, 240, false);
         let u = s.bandwidth_utilization(24.0);
         assert!((u - 1.0).abs() < 1e-12);

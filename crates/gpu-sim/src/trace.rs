@@ -8,10 +8,9 @@
 //! timing.
 
 use crate::address::SectorAddr;
-use serde::{Deserialize, Serialize};
 
 /// Whether an access reads or writes its sector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Load: blocks the issuing warp until data returns.
     Read,
@@ -23,7 +22,7 @@ pub enum AccessKind {
 pub const NO_DATA: u32 = u32::MAX;
 
 /// One memory access in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceAccess {
     /// Sector-aligned address.
     pub addr: SectorAddr,
@@ -39,7 +38,7 @@ pub struct TraceAccess {
 }
 
 /// A complete workload trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Human-readable workload name (e.g. `"bfs"`).
     pub name: String,
@@ -54,7 +53,10 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty named trace.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), ..Default::default() }
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Appends a read access.
@@ -118,7 +120,11 @@ impl Trace {
         if self.accesses.is_empty() {
             return 0.0;
         }
-        let writes = self.accesses.iter().filter(|a| a.kind == AccessKind::Write).count();
+        let writes = self
+            .accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Write)
+            .count();
         writes as f64 / self.accesses.len() as f64
     }
 

@@ -19,6 +19,7 @@ use crate::layout::Layout;
 use gpu_sim::cache::SectoredCache;
 use gpu_sim::{DramReq, SectorAddr, TrafficClass, Violation, SECTOR_SIZE};
 use plutus_crypto::Cmac;
+use plutus_telemetry::{Event, Histogram, Telemetry};
 use std::collections::HashMap;
 
 /// Timing and verification products of a BMT operation.
@@ -58,6 +59,8 @@ pub struct Bmt {
     node_fetches: u64,
     node_hits: u64,
     traffic_class: TrafficClass,
+    tel: Telemetry,
+    walk_depth: Histogram,
 }
 
 impl Bmt {
@@ -84,7 +87,18 @@ impl Bmt {
             node_fetches: 0,
             node_hits: 0,
             traffic_class: class,
+            tel: Telemetry::disabled(),
+            walk_depth: Histogram::disabled(),
         }
+    }
+
+    /// Mirrors the node cache into `tel` (`<prefix>.cache.hits`/`.misses`),
+    /// records every verification walk's depth into the
+    /// `<prefix>.walk_depth` histogram, and emits [`Event::BmtWalk`].
+    pub fn attach_telemetry(&mut self, tel: &Telemetry, prefix: &str) {
+        self.cache.attach_telemetry(tel, &format!("{prefix}.cache"));
+        self.walk_depth = tel.histogram(&format!("{prefix}.walk_depth"));
+        self.tel = tel.clone();
     }
 
     /// Recomputes the hash of `leaf` from live counter state.
@@ -118,8 +132,10 @@ impl Bmt {
             None => self.zero_leaf_hash(leaf),
         };
         if recomputed != expected {
-            walk.violation =
-                Some(Violation::TreeMismatch { addr: data_sector, level: 0 });
+            walk.violation = Some(Violation::TreeMismatch {
+                addr: data_sector,
+                level: 0,
+            });
         }
         if self.disabled {
             return walk;
@@ -139,10 +155,19 @@ impl Bmt {
                 break; // verified at a cached ancestor
             }
             self.node_fetches += 1;
-            walk.chain.push(DramReq::new(addr, self.layout.node_bytes() as u32, self.traffic_class));
+            walk.chain.push(DramReq::new(
+                addr,
+                self.layout.node_bytes() as u32,
+                self.traffic_class,
+            ));
             self.fill_node(addr, false, &mut walk);
             level += 1;
             idx = self.layout.parent_index(idx);
+        }
+        let depth = level - 1; // levels fetched before a cached node / root
+        self.walk_depth.record(u64::from(depth));
+        if self.tel.enabled() {
+            self.tel.event(Event::BmtWalk { depth });
         }
         walk
     }
@@ -187,7 +212,11 @@ impl Bmt {
         for p in 0..pieces {
             let outcome = self.cache.access(addr + p * SECTOR_SIZE, write, None);
             for ev in outcome.evicted {
-                walk.writes.push(DramReq::new(ev.addr, SECTOR_SIZE as u32, self.traffic_class));
+                walk.writes.push(DramReq::new(
+                    ev.addr,
+                    SECTOR_SIZE as u32,
+                    self.traffic_class,
+                ));
                 if let Some((ev_level, ev_idx)) = self.layout.node_of_addr(ev.addr) {
                     self.touch_dirty(ev_level + 1, self.layout.parent_index(ev_idx), walk);
                 }
@@ -257,7 +286,10 @@ mod tests {
         // Attack: roll the counter back (replay).
         store.tamper_minor(sector(0), 0);
         let w = bmt.verify(leaf, &store, sector(0));
-        assert!(matches!(w.violation, Some(Violation::TreeMismatch { level: 0, .. })));
+        assert!(matches!(
+            w.violation,
+            Some(Violation::TreeMismatch { level: 0, .. })
+        ));
     }
 
     #[test]
@@ -266,12 +298,18 @@ mod tests {
         store.tamper_minor(sector(3), 7);
         let leaf = layout.leaf_of(layout.ctr_fetch_addr(sector(3)));
         let w = bmt.verify(leaf, &store, sector(3));
-        assert!(w.violation.is_some(), "zero-default leaves must still be protected");
+        assert!(
+            w.violation.is_some(),
+            "zero-default leaves must still be protected"
+        );
     }
 
     #[test]
     fn disabled_tree_produces_no_traffic_but_still_verifies() {
-        let cfg = SecureMemConfig { disable_tree: true, ..SecureMemConfig::test_small() };
+        let cfg = SecureMemConfig {
+            disable_tree: true,
+            ..SecureMemConfig::test_small()
+        };
         let layout = Layout::new(&cfg);
         let mut bmt = Bmt::new(&cfg, layout.clone());
         let mut store = CounterStore::new();
@@ -311,7 +349,10 @@ mod tests {
             let w = bmt.touch_leaf_parent(i * arity);
             total_writes += w.writes.len();
         }
-        assert!(total_writes > 0, "dirty node evictions must produce writebacks");
+        assert!(
+            total_writes > 0,
+            "dirty node evictions must produce writebacks"
+        );
     }
 
     #[test]

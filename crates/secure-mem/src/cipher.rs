@@ -60,7 +60,10 @@ mod tests {
     use super::*;
 
     fn cipher(kind: CipherKind) -> DataCipher {
-        DataCipher::new(&SecureMemConfig { cipher: kind, ..SecureMemConfig::test_small() })
+        DataCipher::new(&SecureMemConfig {
+            cipher: kind,
+            ..SecureMemConfig::test_small()
+        })
     }
 
     #[test]

@@ -12,9 +12,8 @@
 use crate::config::SecureMemConfig;
 use crate::pssm::PssmEngine;
 use gpu_sim::{BackingMemory, EngineFactory, FillPlan, SectorAddr, SecurityEngine, WritePlan};
-use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Region granularity tracked on-chip.
 pub const REGION_BYTES: u64 = 16 * 1024;
@@ -41,13 +40,20 @@ impl CommonCountersEngine {
     }
 
     fn with_shared_table(cfg: SecureMemConfig, table: Arc<Mutex<HashSet<u64>>>) -> Self {
-        Self { inner: PssmEngine::new(cfg), dirty_regions: table, clean_hits: 0 }
+        Self {
+            inner: PssmEngine::new(cfg),
+            dirty_regions: table,
+            clean_hits: 0,
+        }
     }
 
     /// An [`EngineFactory`] producing one engine per partition, all sharing
     /// one dirty-region table.
     pub fn factory(cfg: SecureMemConfig) -> CommonCountersFactory {
-        CommonCountersFactory { cfg, table: Arc::new(Mutex::new(HashSet::new())) }
+        CommonCountersFactory {
+            cfg,
+            table: Arc::new(Mutex::new(HashSet::new())),
+        }
     }
 
     fn region_of(addr: SectorAddr) -> u64 {
@@ -56,7 +62,11 @@ impl CommonCountersEngine {
 
     /// True if `addr`'s region has never been written.
     pub fn is_clean(&self, addr: SectorAddr) -> bool {
-        !self.dirty_regions.lock().contains(&Self::region_of(addr))
+        !self
+            .dirty_regions
+            .lock()
+            .unwrap()
+            .contains(&Self::region_of(addr))
     }
 
     /// The wrapped PSSM engine.
@@ -99,15 +109,25 @@ impl SecurityEngine for CommonCountersEngine {
         plaintext: &[u8; 32],
         mem: &mut BackingMemory,
     ) -> WritePlan {
-        self.dirty_regions.lock().insert(Self::region_of(addr));
+        self.dirty_regions
+            .lock()
+            .unwrap()
+            .insert(Self::region_of(addr));
         self.inner.on_writeback(addr, plaintext, mem)
     }
 
     fn extra_stats(&self) -> Vec<(String, u64)> {
         let mut stats = self.inner.extra_stats();
         stats.push(("clean_region_fills".into(), self.clean_hits));
-        stats.push(("dirty_regions".into(), self.dirty_regions.lock().len() as u64));
+        stats.push((
+            "dirty_regions".into(),
+            self.dirty_regions.lock().unwrap().len() as u64,
+        ));
         stats
+    }
+
+    fn attach_telemetry(&mut self, tel: &plutus_telemetry::Telemetry) {
+        self.inner.attach_telemetry(tel);
     }
 }
 
@@ -121,7 +141,10 @@ pub struct CommonCountersFactory {
 
 impl EngineFactory for CommonCountersFactory {
     fn build(&self, _partition: usize) -> Box<dyn SecurityEngine> {
-        Box::new(CommonCountersEngine::with_shared_table(self.cfg.clone(), self.table.clone()))
+        Box::new(CommonCountersEngine::with_shared_table(
+            self.cfg.clone(),
+            self.table.clone(),
+        ))
     }
 
     fn scheme_name(&self) -> &'static str {
@@ -135,7 +158,10 @@ mod tests {
     use gpu_sim::TrafficClass;
 
     fn engine() -> (CommonCountersEngine, BackingMemory) {
-        (CommonCountersEngine::new(SecureMemConfig::test_small()), BackingMemory::new())
+        (
+            CommonCountersEngine::new(SecureMemConfig::test_small()),
+            BackingMemory::new(),
+        )
     }
 
     fn sector(i: u64) -> SectorAddr {
@@ -149,8 +175,11 @@ mod tests {
         let fill = e.on_fill(sector(0), &mut mem);
         assert_eq!(fill.plaintext, [5; 32]);
         assert!(fill.violation.is_none());
-        let classes: Vec<_> =
-            fill.pre_chains.iter().flat_map(|c| c.iter().map(|r| r.class)).collect();
+        let classes: Vec<_> = fill
+            .pre_chains
+            .iter()
+            .flat_map(|c| c.iter().map(|r| r.class))
+            .collect();
         assert!(!classes.contains(&TrafficClass::Counter));
         assert!(!classes.contains(&TrafficClass::BmtNode));
         assert!(classes.contains(&TrafficClass::Mac), "MAC is still fetched");
@@ -173,8 +202,11 @@ mod tests {
         let (mut e, mut mem) = engine();
         e.on_writeback(sector(0), &[1; 32], &mut mem);
         let fill = e.on_fill(sector(4 * 32), &mut mem); // same region, different group
-        let classes: Vec<_> =
-            fill.pre_chains.iter().flat_map(|c| c.iter().map(|r| r.class)).collect();
+        let classes: Vec<_> = fill
+            .pre_chains
+            .iter()
+            .flat_map(|c| c.iter().map(|r| r.class))
+            .collect();
         assert!(classes.contains(&TrafficClass::Counter));
     }
 
@@ -205,7 +237,11 @@ mod tests {
         e.on_writeback(sector(0), &[1; 32], &mut mem);
         e.on_fill(sector(1), &mut mem);
         let stats = e.extra_stats();
-        let clean = stats.iter().find(|(n, _)| n == "clean_region_fills").unwrap().1;
+        let clean = stats
+            .iter()
+            .find(|(n, _)| n == "clean_region_fills")
+            .unwrap()
+            .1;
         assert_eq!(clean, 1);
         let dirty = stats.iter().find(|(n, _)| n == "dirty_regions").unwrap().1;
         assert_eq!(dirty, 1);

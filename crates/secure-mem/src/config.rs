@@ -3,10 +3,9 @@
 //! design space).
 
 use gpu_sim::SecurityLatencies;
-use serde::{Deserialize, Serialize};
 
 /// Encryption-counter organization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterOrg {
     /// Sectored split counters (paper Fig. 4 / Yan et al.): a 32 B counter
     /// sector holds one shared 32-bit major plus 32 seven-bit minors,
@@ -31,7 +30,7 @@ impl CounterOrg {
 }
 
 /// Data-path encryption mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CipherKind {
     /// Counter-mode encryption (PSSM baseline). Pad generation overlaps the
     /// data fetch, but tampering is bit-localized (malleable).
@@ -42,7 +41,7 @@ pub enum CipherKind {
 }
 
 /// Configuration shared by every secure-memory engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SecureMemConfig {
     /// Size of the protected data region in bytes (metadata regions are
     /// laid out above it).
@@ -119,13 +118,19 @@ impl SecureMemConfig {
 
     /// PSSM with the original 4-byte truncated MAC.
     pub fn pssm_mac4() -> Self {
-        Self { mac_bytes: 4, ..Self::default() }
+        Self {
+            mac_bytes: 4,
+            ..Self::default()
+        }
     }
 
     /// PSSM with SGX-style monolithic counters (Section II comparison:
     /// one 64-bit counter per sector, 8× the counter footprint).
     pub fn pssm_monolithic() -> Self {
-        Self { counter_org: CounterOrg::Monolithic, ..Self::default() }
+        Self {
+            counter_org: CounterOrg::Monolithic,
+            ..Self::default()
+        }
     }
 
     /// Fig. 14 design ②: 32 B counter/MAC blocks, 128 B BMT nodes.
@@ -151,7 +156,11 @@ impl SecureMemConfig {
     /// Small protected region for fast unit tests (1 MiB, single
     /// partition so tree depths are deterministic in tests).
     pub fn test_small() -> Self {
-        Self { protected_bytes: 1 << 20, partitions: 1, ..Self::default() }
+        Self {
+            protected_bytes: 1 << 20,
+            partitions: 1,
+            ..Self::default()
+        }
     }
 
     /// Line size of the counter cache implied by the fetch granularity:
@@ -183,18 +192,30 @@ impl SecureMemConfig {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !matches!(self.mac_bytes, 4 | 8 | 16) {
-            return Err(format!("mac_bytes must be 4, 8 or 16, got {}", self.mac_bytes));
+            return Err(format!(
+                "mac_bytes must be 4, 8 or 16, got {}",
+                self.mac_bytes
+            ));
         }
         if !matches!(self.ctr_fetch_bytes, 32 | 128) {
-            return Err(format!("ctr_fetch_bytes must be 32 or 128, got {}", self.ctr_fetch_bytes));
+            return Err(format!(
+                "ctr_fetch_bytes must be 32 or 128, got {}",
+                self.ctr_fetch_bytes
+            ));
         }
         if !matches!(self.mac_fetch_bytes, 32 | 128) {
-            return Err(format!("mac_fetch_bytes must be 32 or 128, got {}", self.mac_fetch_bytes));
+            return Err(format!(
+                "mac_fetch_bytes must be 32 or 128, got {}",
+                self.mac_fetch_bytes
+            ));
         }
         if !matches!(self.bmt_node_bytes, 32 | 128) {
-            return Err(format!("bmt_node_bytes must be 32 or 128, got {}", self.bmt_node_bytes));
+            return Err(format!(
+                "bmt_node_bytes must be 32 or 128, got {}",
+                self.bmt_node_bytes
+            ));
         }
-        if self.protected_bytes < (1 << 16) || self.protected_bytes % (4096) != 0 {
+        if self.protected_bytes < (1 << 16) || !self.protected_bytes.is_multiple_of(4096) {
             return Err("protected_bytes must be ≥ 64 KiB and 4 KiB-aligned".into());
         }
         if self.meta_cache_bytes < 256 {
@@ -244,14 +265,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = SecureMemConfig::default();
-        c.mac_bytes = 3;
+        let c = SecureMemConfig {
+            mac_bytes: 3,
+            ..SecureMemConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SecureMemConfig::default();
-        c.ctr_fetch_bytes = 64;
+        let c = SecureMemConfig {
+            ctr_fetch_bytes: 64,
+            ..SecureMemConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SecureMemConfig::default();
-        c.protected_bytes = 100;
+        let c = SecureMemConfig {
+            protected_bytes: 100,
+            ..SecureMemConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

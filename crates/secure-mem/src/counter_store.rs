@@ -61,7 +61,12 @@ impl CounterStore {
 
     /// Creates an empty store with the given organization.
     pub fn with_org(org: crate::config::CounterOrg) -> Self {
-        Self { org, majors: HashMap::new(), minors: HashMap::new(), monolithic: HashMap::new() }
+        Self {
+            org,
+            majors: HashMap::new(),
+            minors: HashMap::new(),
+            monolithic: HashMap::new(),
+        }
     }
 
     fn group_of(&self, sector: SectorAddr) -> u64 {
@@ -103,7 +108,9 @@ impl CounterStore {
         let minor = self.minors.entry(sector.index()).or_insert(0);
         if *minor < MINOR_MAX {
             *minor += 1;
-            return IncrementOutcome::Normal { new_value: self.value(sector) };
+            return IncrementOutcome::Normal {
+                new_value: self.value(sector),
+            };
         }
         // Overflow: capture old values, bump major, clear minors.
         let major = *self.majors.get(&group).unwrap_or(&0);
@@ -169,7 +176,10 @@ impl CounterStore {
         );
         assert!(value <= MINOR_MAX, "minor {value} out of range");
         let cur = self.minor(sector);
-        assert!(value >= cur, "counter must not move backwards ({cur} -> {value})");
+        assert!(
+            value >= cur,
+            "counter must not move backwards ({cur} -> {value})"
+        );
         self.minors.insert(sector.index(), value);
     }
 
@@ -238,7 +248,10 @@ mod tests {
             c.increment(s(0)); // sector 0 minor = 127
         }
         match c.increment(s(0)) {
-            IncrementOutcome::GroupOverflow { new_value, old_values } => {
+            IncrementOutcome::GroupOverflow {
+                new_value,
+                old_values,
+            } => {
                 assert_eq!(new_value, 1 << MINOR_BITS);
                 assert_eq!(old_values.len(), 32);
                 assert_eq!(old_values[0], u64::from(MINOR_MAX));
@@ -286,7 +299,10 @@ mod tests {
         // No group sharing: the neighbor is untouched even past 128.
         assert_eq!(c.value(s(1)), 0);
         // And no overflow outcome ever fires.
-        assert!(matches!(c.increment(s(0)), IncrementOutcome::Normal { new_value: 201 }));
+        assert!(matches!(
+            c.increment(s(0)),
+            IncrementOutcome::Normal { new_value: 201 }
+        ));
     }
 
     #[test]

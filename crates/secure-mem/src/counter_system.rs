@@ -7,6 +7,7 @@ use crate::counter_store::{CounterStore, IncrementOutcome};
 use crate::layout::Layout;
 use gpu_sim::cache::SectoredCache;
 use gpu_sim::{DramReq, SectorAddr, TrafficClass, Violation, SECTOR_SIZE};
+use plutus_telemetry::{Event, Telemetry};
 
 /// Everything an engine needs from one counter operation.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +50,7 @@ pub struct CounterSystem {
     bmt: Bmt,
     hits: u64,
     misses: u64,
+    tel: Telemetry,
 }
 
 impl CounterSystem {
@@ -67,7 +69,16 @@ impl CounterSystem {
             layout,
             hits: 0,
             misses: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Mirrors the counter cache into `tel` (`ctr_cache.hits`/`.misses`),
+    /// forwards to the BMT, and emits [`Event::CounterFetch`] on misses.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        self.cache.attach_telemetry(tel, "ctr_cache");
+        self.bmt.attach_telemetry(tel, "bmt");
+        self.tel = tel.clone();
     }
 
     /// The metadata layout in use.
@@ -97,14 +108,18 @@ impl CounterSystem {
         self.ensure_present(sector, &mut out);
         // Mark the counter sector dirty (lazy BMT update happens when it is
         // evicted).
-        self.cache.access(self.layout.ctr_sector_addr(sector), true, None);
+        self.cache
+            .access(self.layout.ctr_sector_addr(sector), true, None);
         let outcome = self.store.increment(sector);
         let leaf = self.layout.leaf_of(self.layout.ctr_fetch_addr(sector));
         let new_hash = self.bmt.recompute_leaf(leaf, &self.store);
         self.bmt.set_leaf(leaf, new_hash);
         match outcome {
             IncrementOutcome::Normal { new_value } => out.value = new_value,
-            IncrementOutcome::GroupOverflow { new_value, old_values } => {
+            IncrementOutcome::GroupOverflow {
+                new_value,
+                old_values,
+            } => {
                 out.value = new_value;
                 out.overflow_old_values = Some(old_values);
             }
@@ -123,7 +138,8 @@ impl CounterSystem {
     pub fn raise_to(&mut self, sector: SectorAddr, value: u8) -> CounterAccess {
         let mut out = CounterAccess::default();
         self.ensure_present(sector, &mut out);
-        self.cache.access(self.layout.ctr_sector_addr(sector), true, None);
+        self.cache
+            .access(self.layout.ctr_sector_addr(sector), true, None);
         self.store.set_minor(sector, value);
         let leaf = self.layout.leaf_of(self.layout.ctr_fetch_addr(sector));
         let new_hash = self.bmt.recompute_leaf(leaf, &self.store);
@@ -143,14 +159,25 @@ impl CounterSystem {
         self.misses += 1;
         let fetch_addr = self.layout.ctr_fetch_addr(sector);
         let fetch_bytes = self.layout.ctr_fetch_bytes();
-        out.chain.push(DramReq::new(fetch_addr, fetch_bytes as u32, TrafficClass::Counter));
+        if self.tel.enabled() {
+            self.tel.event(Event::CounterFetch { addr: fetch_addr });
+        }
+        out.chain.push(DramReq::new(
+            fetch_addr,
+            fetch_bytes as u32,
+            TrafficClass::Counter,
+        ));
         // Install every 32 B piece of the fetch unit, writing back any
         // dirty counter sectors displaced and lazily propagating their
         // leaf updates into the tree.
         for p in 0..fetch_bytes / SECTOR_SIZE {
             let outcome = self.cache.access(fetch_addr + p * SECTOR_SIZE, false, None);
             for ev in outcome.evicted {
-                out.writes.push(DramReq::new(ev.addr, SECTOR_SIZE as u32, TrafficClass::Counter));
+                out.writes.push(DramReq::new(
+                    ev.addr,
+                    SECTOR_SIZE as u32,
+                    TrafficClass::Counter,
+                ));
                 let ev_leaf = self.layout.leaf_of(ev.addr);
                 let walk = self.bmt.touch_leaf_parent(ev_leaf);
                 out.absorb(walk);
@@ -247,11 +274,17 @@ mod tests {
             let a = s.read(sector(i * 128));
             wrote_back |= a.writes.iter().any(|w| w.class == TrafficClass::Counter);
         }
-        assert!(wrote_back, "dirty counter sector must be written back on eviction");
+        assert!(
+            wrote_back,
+            "dirty counter sector must be written back on eviction"
+        );
         let r = s.read(sector(5));
         assert!(!r.hit);
         assert_eq!(r.value, 1);
-        assert!(r.violation.is_none(), "reloaded counter must verify against the tree");
+        assert!(
+            r.violation.is_none(),
+            "reloaded counter must verify against the tree"
+        );
     }
 
     #[test]
@@ -275,7 +308,9 @@ mod tests {
             s.increment(sector(0));
         }
         let last = s.increment(sector(0));
-        let old = last.overflow_old_values.expect("128th write overflows the 7-bit minor");
+        let old = last
+            .overflow_old_values
+            .expect("128th write overflows the 7-bit minor");
         assert_eq!(old.len(), 32);
         assert_eq!(old[0], 127);
         assert_eq!(last.value, 128);

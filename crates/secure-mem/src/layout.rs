@@ -50,7 +50,8 @@ impl Layout {
     /// Panics if the configuration is invalid (call
     /// [`SecureMemConfig::validate`] first for a graceful error).
     pub fn new(cfg: &SecureMemConfig) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid SecureMemConfig: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid SecureMemConfig: {e}"));
         let protected = cfg.protected_bytes;
         let sectors_per_group = cfg.counter_org.sectors_per_group();
         let ctr_region = protected / sectors_per_group; // 32B counter sector per group
@@ -174,8 +175,7 @@ impl Layout {
 
     /// True if `level` is the root level (kept on-chip, never fetched).
     pub fn is_root_level(&self, level: u32) -> bool {
-        level as usize >= self.levels.len()
-            || self.levels[level as usize - 1].1 <= 1
+        level as usize >= self.levels.len() || self.levels[level as usize - 1].1 <= 1
     }
 
     /// Address of internal node `idx` at `level` (1-based).
@@ -185,7 +185,10 @@ impl Layout {
     /// Panics if `level` is out of range.
     pub fn node_addr(&self, level: u32, idx: u64) -> u64 {
         let (base, count) = self.levels[level as usize - 1];
-        assert!(idx < count, "node index {idx} out of range at level {level}");
+        assert!(
+            idx < count,
+            "node index {idx} out of range at level {level}"
+        );
         base + idx * self.node_bytes
     }
 
@@ -266,7 +269,10 @@ mod tests {
     fn bmt_arity_follows_node_size() {
         let coarse = layout(SecureMemConfig::test_small());
         assert_eq!(coarse.arity(), 16);
-        let fine = layout(SecureMemConfig { bmt_node_bytes: 32, ..SecureMemConfig::test_small() });
+        let fine = layout(SecureMemConfig {
+            bmt_node_bytes: 32,
+            ..SecureMemConfig::test_small()
+        });
         assert_eq!(fine.arity(), 4);
     }
 
@@ -310,7 +316,10 @@ mod tests {
         let coarse = layout(SecureMemConfig::pssm());
         let fine = layout(SecureMemConfig::all_32());
         let ratio = fine.bmt_storage_bytes() as f64 / coarse.bmt_storage_bytes() as f64;
-        assert!(ratio > 3.0 && ratio < 20.0, "fine/coarse storage ratio {ratio}");
+        assert!(
+            ratio > 3.0 && ratio < 20.0,
+            "fine/coarse storage ratio {ratio}"
+        );
     }
 
     #[test]

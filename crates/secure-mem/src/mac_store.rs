@@ -25,14 +25,27 @@ impl MacStore {
     ///
     /// Panics if `mac_bytes` is 0 or greater than 8.
     pub fn new(key: [u8; 16], mac_bytes: u32) -> Self {
-        assert!((1..=8).contains(&mac_bytes), "mac_bytes must be 1..=8, got {mac_bytes}");
-        let mask = if mac_bytes == 8 { u64::MAX } else { (1u64 << (mac_bytes * 8)) - 1 };
-        Self { tags: HashMap::new(), cmac: Cmac::new(key), mask }
+        assert!(
+            (1..=8).contains(&mac_bytes),
+            "mac_bytes must be 1..=8, got {mac_bytes}"
+        );
+        let mask = if mac_bytes == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (mac_bytes * 8)) - 1
+        };
+        Self {
+            tags: HashMap::new(),
+            cmac: Cmac::new(key),
+            mask,
+        }
     }
 
     /// Computes the truncated tag of `plaintext` under `(addr, counter)`.
     pub fn compute(&self, plaintext: &[u8; 32], addr: SectorAddr, counter: u64) -> u64 {
-        self.cmac.stateful_tag64(plaintext, Tweak::new(addr.raw(), counter)) & self.mask
+        self.cmac
+            .stateful_tag64(plaintext, Tweak::new(addr.raw(), counter))
+            & self.mask
     }
 
     /// Stores the tag for a freshly written sector.

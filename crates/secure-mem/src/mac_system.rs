@@ -10,6 +10,7 @@ use crate::layout::Layout;
 use crate::mac_store::MacStore;
 use gpu_sim::cache::SectoredCache;
 use gpu_sim::{DramReq, SectorAddr, TrafficClass, SECTOR_SIZE};
+use plutus_telemetry::{Event, Telemetry};
 
 /// Timing products of one MAC-cache operation.
 #[derive(Debug, Clone, Default)]
@@ -30,6 +31,7 @@ pub struct MacSystem {
     cache: SectoredCache,
     hits: u64,
     misses: u64,
+    tel: Telemetry,
 }
 
 impl MacSystem {
@@ -46,7 +48,15 @@ impl MacSystem {
             ),
             hits: 0,
             misses: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Mirrors the MAC cache into `tel` (`mac_cache.hits`/`.misses`) and
+    /// emits [`Event::MacFetch`] on read misses.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        self.cache.attach_telemetry(tel, "mac_cache");
+        self.tel = tel.clone();
     }
 
     fn mac_piece(&self, sector: SectorAddr) -> u64 {
@@ -67,11 +77,19 @@ impl MacSystem {
         self.misses += 1;
         let fetch_addr = self.layout.mac_fetch_addr(sector);
         let fetch_bytes = self.layout.mac_fetch_bytes();
-        out.chain.push(DramReq::new(fetch_addr, fetch_bytes as u32, TrafficClass::Mac));
+        if self.tel.enabled() {
+            self.tel.event(Event::MacFetch { addr: fetch_addr });
+        }
+        out.chain.push(DramReq::new(
+            fetch_addr,
+            fetch_bytes as u32,
+            TrafficClass::Mac,
+        ));
         for p in 0..fetch_bytes / SECTOR_SIZE {
             let outcome = self.cache.access(fetch_addr + p * SECTOR_SIZE, false, None);
             for ev in outcome.evicted {
-                out.writes.push(DramReq::new(ev.addr, SECTOR_SIZE as u32, TrafficClass::Mac));
+                out.writes
+                    .push(DramReq::new(ev.addr, SECTOR_SIZE as u32, TrafficClass::Mac));
             }
         }
         out
@@ -90,7 +108,8 @@ impl MacSystem {
         }
         let outcome = self.cache.access(piece, true, None);
         for ev in outcome.evicted {
-            out.writes.push(DramReq::new(ev.addr, SECTOR_SIZE as u32, TrafficClass::Mac));
+            out.writes
+                .push(DramReq::new(ev.addr, SECTOR_SIZE as u32, TrafficClass::Mac));
         }
         out
     }
@@ -184,7 +203,10 @@ mod tests {
 
     #[test]
     fn coarse_fetch_configuration_fetches_128() {
-        let cfg = SecureMemConfig { mac_fetch_bytes: 128, ..SecureMemConfig::test_small() };
+        let cfg = SecureMemConfig {
+            mac_fetch_bytes: 128,
+            ..SecureMemConfig::test_small()
+        };
         let mut m = MacSystem::new(&cfg);
         let a = m.read(sector(0));
         assert_eq!(a.chain[0].bytes, 128);

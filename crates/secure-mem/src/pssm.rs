@@ -34,7 +34,8 @@ impl PssmEngine {
     ///
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: SecureMemConfig) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid SecureMemConfig: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid SecureMemConfig: {e}"));
         Self {
             cipher: DataCipher::new(&cfg),
             counters: CounterSystem::new(&cfg),
@@ -88,8 +89,12 @@ impl PssmEngine {
         }
         plan.plaintext = plaintext;
         let lat = self.cfg.latencies;
-        plan.crypto_latency =
-            lat.mac_latency + if self.cipher.overlaps_fetch() { 0 } else { lat.aes_latency };
+        plan.crypto_latency = lat.mac_latency
+            + if self.cipher.overlaps_fetch() {
+                0
+            } else {
+                lat.aes_latency
+            };
         plan
     }
 
@@ -124,7 +129,9 @@ impl PssmEngine {
             if sector == written {
                 continue; // the triggering sector is re-encrypted by the caller
             }
-            let Some(mut data) = mem.read(sector) else { continue };
+            let Some(mut data) = mem.read(sector) else {
+                continue;
+            };
             self.cipher.decrypt(&mut data, sector, *old);
             let plaintext = data;
             let mut ct = plaintext;
@@ -191,7 +198,11 @@ impl SecurityEngine for PssmEngine {
         let lat = self.cfg.latencies;
         plan.crypto_latency = lat.mac_latency
             + if self.cipher.overlaps_fetch() {
-                if ca.hit { 0 } else { lat.aes_latency }
+                if ca.hit {
+                    0
+                } else {
+                    lat.aes_latency
+                }
             } else {
                 lat.aes_latency
             };
@@ -248,6 +259,11 @@ impl SecurityEngine for PssmEngine {
             ("ctr_group_overflows".into(), self.overflows),
         ]
     }
+
+    fn attach_telemetry(&mut self, tel: &plutus_telemetry::Telemetry) {
+        self.counters.attach_telemetry(tel);
+        self.macs.attach_telemetry(tel);
+    }
 }
 
 /// Factory building [`PssmEngine`] instances per partition.
@@ -272,7 +288,10 @@ mod tests {
     use gpu_sim::TrafficClass;
 
     fn engine() -> (PssmEngine, BackingMemory) {
-        (PssmEngine::new(SecureMemConfig::test_small()), BackingMemory::new())
+        (
+            PssmEngine::new(SecureMemConfig::test_small()),
+            BackingMemory::new(),
+        )
     }
 
     fn sector(i: u64) -> SectorAddr {
@@ -344,7 +363,10 @@ mod tests {
         mask[0] = 0x80;
         assert!(mem.corrupt(sector(0), &mask));
         let fill = e.on_fill(sector(0), &mut mem);
-        assert!(matches!(fill.violation, Some(Violation::MacMismatch { .. })));
+        assert!(matches!(
+            fill.violation,
+            Some(Violation::MacMismatch { .. })
+        ));
     }
 
     #[test]
@@ -372,7 +394,10 @@ mod tests {
         }
         e.counters_mut().tamper_minor(sector(0), 1);
         let fill = e.on_fill(sector(0), &mut mem);
-        assert!(matches!(fill.violation, Some(Violation::TreeMismatch { .. })));
+        assert!(matches!(
+            fill.violation,
+            Some(Violation::TreeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -420,7 +445,10 @@ mod tests {
 
     #[test]
     fn disable_tree_removes_bmt_chain() {
-        let cfg = SecureMemConfig { disable_tree: true, ..SecureMemConfig::test_small() };
+        let cfg = SecureMemConfig {
+            disable_tree: true,
+            ..SecureMemConfig::test_small()
+        };
         let mut e = PssmEngine::new(cfg);
         let mut mem = BackingMemory::new();
         let fill = e.on_fill(sector(0), &mut mem);

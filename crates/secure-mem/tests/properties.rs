@@ -1,18 +1,24 @@
-//! Property-based tests for the secure-memory machinery.
+//! Property-style tests for the secure-memory machinery, driven by
+//! seeded random sampling (the build resolves no external crates, so
+//! these loops stand in for proptest).
 
 use gpu_sim::{BackingMemory, SectorAddr, SecurityEngine};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use secure_mem::{CounterStore, IncrementOutcome, MacStore, PssmEngine, SecureMemConfig};
 
-proptest! {
-    /// Split counters are strictly monotonic per sector across any
-    /// interleaving of increments, including group overflows.
-    #[test]
-    fn counters_never_repeat(ops in proptest::collection::vec(0u64..8, 1..600)) {
+const SEEDS: u64 = 24;
+
+/// Split counters are strictly monotonic per sector across any
+/// interleaving of increments, including group overflows.
+#[test]
+fn counters_never_repeat() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut store = CounterStore::new();
         let mut last: std::collections::HashMap<u64, u64> = Default::default();
-        for s in ops {
-            let sector = SectorAddr::new(s * 32);
+        for _ in 0..rng.gen_range(1usize..600) {
+            let sector = SectorAddr::new(rng.gen_range(0u64..8) * 32);
             store.increment(sector);
             // All 8 tracked sectors must stay monotonic (group resets bump
             // the shared major, so values may jump, never fall or repeat
@@ -21,16 +27,20 @@ proptest! {
                 let addr = SectorAddr::new(t * 32);
                 let v = store.value(addr);
                 let prev = last.insert(t, v).unwrap_or(0);
-                prop_assert!(v >= prev, "sector {} went {} -> {}", t, prev, v);
+                assert!(v >= prev, "sector {t} went {prev} -> {v}");
             }
             let v = store.value(sector);
-            prop_assert!(v > 0);
+            assert!(v > 0);
         }
     }
+}
 
-    /// Group overflow reports exactly the pre-overflow values.
-    #[test]
-    fn overflow_old_values_match_observations(extra in 0u8..120) {
+/// Group overflow reports exactly the pre-overflow values.
+#[test]
+fn overflow_old_values_match_observations() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let extra = rng.gen_range(0u32..120);
         let mut store = CounterStore::new();
         let a = SectorAddr::new(0);
         let b = SectorAddr::new(32); // same group
@@ -42,65 +52,78 @@ proptest! {
             store.increment(a); // minor reaches its 127 maximum
         }
         match store.increment(a) {
-            IncrementOutcome::GroupOverflow { old_values, new_value } => {
-                prop_assert_eq!(old_values[0], 127);
-                prop_assert_eq!(old_values[1], b_value);
-                prop_assert_eq!(new_value, 128);
+            IncrementOutcome::GroupOverflow {
+                old_values,
+                new_value,
+            } => {
+                assert_eq!(old_values[0], 127);
+                assert_eq!(old_values[1], b_value);
+                assert_eq!(new_value, 128);
             }
-            other => prop_assert!(false, "expected overflow, got {:?}", other),
+            other => panic!("expected overflow, got {other:?}"),
         }
     }
+}
 
-    /// MAC verification accepts exactly the (data, counter) pair it was
-    /// computed over.
-    #[test]
-    fn mac_verification_is_sound_and_complete(
-        data in any::<[u8; 32]>(),
-        other in any::<[u8; 32]>(),
-        ctr in 0u64..1000,
-    ) {
+/// MAC verification accepts exactly the (data, counter) pair it was
+/// computed over.
+#[test]
+fn mac_verification_is_sound_and_complete() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: [u8; 32] = rng.gen();
+        let other: [u8; 32] = rng.gen();
+        let ctr = rng.gen_range(0u64..1000);
         let mut m = MacStore::new([5; 16], 8);
         let addr = SectorAddr::new(0x40);
         m.update(addr, &data, ctr);
-        prop_assert!(m.verify(addr, &data, ctr));
-        prop_assert!(!m.verify(addr, &data, ctr + 1), "stale counter accepted");
+        assert!(m.verify(addr, &data, ctr));
+        assert!(!m.verify(addr, &data, ctr + 1), "stale counter accepted");
         if other != data {
-            prop_assert!(!m.verify(addr, &other, ctr), "forged data accepted");
+            assert!(!m.verify(addr, &other, ctr), "forged data accepted");
         }
     }
+}
 
-    /// The PSSM engine round-trips arbitrary write sequences (random
-    /// addresses within a few groups, random payloads).
-    #[test]
-    fn pssm_roundtrips_random_sequences(
-        writes in proptest::collection::vec((0u64..96, any::<u8>()), 1..120)
-    ) {
+/// The PSSM engine round-trips arbitrary write sequences (random
+/// addresses within a few groups, random payloads).
+#[test]
+fn pssm_roundtrips_random_sequences() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut engine = PssmEngine::new(SecureMemConfig::test_small());
         let mut mem = BackingMemory::new();
         let mut reference: std::collections::HashMap<u64, [u8; 32]> = Default::default();
-        for (s, v) in writes {
-            let addr = SectorAddr::new(s * 32);
+        for _ in 0..rng.gen_range(1usize..120) {
+            let addr = SectorAddr::new(rng.gen_range(0u64..96) * 32);
+            let v = rng.gen::<u8>();
             engine.on_writeback(addr, &[v; 32], &mut mem);
             reference.insert(addr.raw(), [v; 32]);
         }
         for (&raw, expected) in &reference {
             let fill = engine.on_fill(SectorAddr::new(raw), &mut mem);
-            prop_assert_eq!(&fill.plaintext, expected);
-            prop_assert!(fill.violation.is_none());
+            assert_eq!(&fill.plaintext, expected);
+            assert!(fill.violation.is_none());
         }
     }
+}
 
-    /// Any single-bit corruption of a written sector is detected by PSSM.
-    #[test]
-    fn pssm_detects_arbitrary_bit_flips(byte in 0usize..32, bit in 0u8..8, v in any::<u8>()) {
+/// Any single-bit corruption of a written sector is detected by PSSM.
+#[test]
+fn pssm_detects_arbitrary_bit_flips() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let byte = rng.gen_range(0usize..32);
+        let bit = rng.gen_range(0u8..8);
+        let v = rng.gen::<u8>();
         let mut engine = PssmEngine::new(SecureMemConfig::test_small());
         let mut mem = BackingMemory::new();
         let addr = SectorAddr::new(0x80);
         engine.on_writeback(addr, &[v; 32], &mut mem);
         let mut mask = [0u8; 32];
         mask[byte] = 1 << bit;
-        prop_assert!(mem.corrupt(addr, &mask));
+        assert!(mem.corrupt(addr, &mask));
         let fill = engine.on_fill(addr, &mut mem);
-        prop_assert!(fill.violation.is_some());
+        assert!(fill.violation.is_some());
     }
 }

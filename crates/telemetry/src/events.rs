@@ -1,0 +1,294 @@
+//! Typed events and the bounded event log.
+//!
+//! Events capture *discrete* happenings on the secure-memory pipeline —
+//! a MAC fetch, a compact-counter overflow, a BMT walk of a given depth
+//! — with a timestamp from the telemetry clock. High-frequency totals
+//! belong in [`crate::MetricsRegistry`] counters; the event log is for
+//! timelines and post-mortems, so it is bounded: once full, new events
+//! are counted as dropped rather than growing without limit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A structured event on the secure-memory pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A benchmark run started.
+    RunStart {
+        /// Workload name.
+        workload: String,
+        /// Scheme label.
+        scheme: String,
+    },
+    /// A benchmark run finished.
+    RunEnd {
+        /// Workload name.
+        workload: String,
+        /// Scheme label.
+        scheme: String,
+    },
+    /// A sector was verified by value reuse alone (no MAC fetch).
+    ValueVerified,
+    /// A value-cache probe hit (`pinned` when the entry was pinned).
+    ValueCacheHit {
+        /// Whether the hit landed in the pinned region.
+        pinned: bool,
+    },
+    /// A value-cache probe missed.
+    ValueCacheMiss,
+    /// A transient value-cache entry was promoted to pinned.
+    ValueCachePromotion,
+    /// A MAC line was fetched from DRAM.
+    MacFetch {
+        /// Sector address whose MAC was fetched.
+        addr: u64,
+    },
+    /// A MAC fetch was avoided by value verification.
+    MacFetchAvoided,
+    /// A MAC update was skipped on a write (pinned-value guarantee).
+    MacUpdateSkipped,
+    /// A compact counter saturated and fell back to the original
+    /// counters ("overflow" in the paper's Fig. 13 terminology).
+    CompactOverflow {
+        /// Sector address whose compact counter saturated.
+        addr: u64,
+    },
+    /// Adaptive compaction disabled itself for a write-hot block.
+    CompactDisable {
+        /// Block address compaction gave up on.
+        addr: u64,
+    },
+    /// A read fell back from compact to original counters.
+    CompactFallback,
+    /// An encryption-counter line was fetched from DRAM.
+    CounterFetch {
+        /// Sector address whose counter was fetched.
+        addr: u64,
+    },
+    /// A BMT verification walk terminated after `depth` levels.
+    BmtWalk {
+        /// Number of tree levels climbed before hitting a cached node
+        /// or the root.
+        depth: u32,
+    },
+    /// An integrity violation was raised.
+    Violation {
+        /// Human-readable description of the violation.
+        kind: String,
+    },
+    /// One simulation epoch ended (snapshot taken).
+    EpochEnd {
+        /// Epoch label.
+        label: String,
+    },
+    /// A command-line error routed through the event log.
+    CliError {
+        /// The error message shown to the user.
+        message: String,
+    },
+    /// A free-form event for call sites without a dedicated variant.
+    Custom {
+        /// Static event name.
+        name: &'static str,
+        /// Event payload.
+        value: u64,
+    },
+}
+
+impl Event {
+    /// Stable kind label used by exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::RunEnd { .. } => "run_end",
+            Event::ValueVerified => "value_verified",
+            Event::ValueCacheHit { .. } => "value_cache_hit",
+            Event::ValueCacheMiss => "value_cache_miss",
+            Event::ValueCachePromotion => "value_cache_promotion",
+            Event::MacFetch { .. } => "mac_fetch",
+            Event::MacFetchAvoided => "mac_fetch_avoided",
+            Event::MacUpdateSkipped => "mac_update_skipped",
+            Event::CompactOverflow { .. } => "compact_overflow",
+            Event::CompactDisable { .. } => "compact_disable",
+            Event::CompactFallback => "compact_fallback",
+            Event::CounterFetch { .. } => "counter_fetch",
+            Event::BmtWalk { .. } => "bmt_walk",
+            Event::Violation { .. } => "violation",
+            Event::EpochEnd { .. } => "epoch_end",
+            Event::CliError { .. } => "cli_error",
+            Event::Custom { .. } => "custom",
+        }
+    }
+
+    /// `(field, value)` payload pairs for exporters.
+    pub fn fields(&self) -> Vec<(&'static str, FieldValue)> {
+        use FieldValue::*;
+        match self {
+            Event::RunStart { workload, scheme } | Event::RunEnd { workload, scheme } => {
+                vec![
+                    ("workload", Str(workload.clone())),
+                    ("scheme", Str(scheme.clone())),
+                ]
+            }
+            Event::ValueCacheHit { pinned } => vec![("pinned", Bool(*pinned))],
+            Event::MacFetch { addr }
+            | Event::CompactOverflow { addr }
+            | Event::CompactDisable { addr }
+            | Event::CounterFetch { addr } => vec![("addr", Num(*addr))],
+            Event::BmtWalk { depth } => vec![("depth", Num(u64::from(*depth)))],
+            Event::Violation { kind } => vec![("kind", Str(kind.clone()))],
+            Event::EpochEnd { label } => vec![("label", Str(label.clone()))],
+            Event::CliError { message } => vec![("message", Str(message.clone()))],
+            Event::Custom { name, value } => {
+                vec![("name", Str((*name).to_string())), ("value", Num(*value))]
+            }
+            _ => vec![],
+        }
+    }
+}
+
+/// A typed event payload value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer payload.
+    Num(u64),
+    /// String payload.
+    Str(String),
+    /// Boolean payload.
+    Bool(bool),
+}
+
+/// An [`Event`] plus the clock reading when it was recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Clock reading at record time.
+    pub time: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// Default bound on retained events.
+pub const DEFAULT_EVENT_CAPACITY: usize = 16_384;
+
+/// A bounded, thread-safe event log. When full, new events are dropped
+/// (and counted) rather than evicting history: the head of a timeline
+/// is usually more diagnostic than its tail.
+#[derive(Debug)]
+pub struct EventLog {
+    events: Mutex<VecDeque<TimedEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Mutex::new(VecDeque::new()),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// A log that records nothing (capacity 0).
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Records `event` at time `time`.
+    pub fn record(&self, time: u64, event: Event) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut events = self.events.lock().unwrap();
+        if events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push_back(TimedEvent { time, event });
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn to_vec(&self) -> Vec<TimedEvent> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Removes and returns all retained events, oldest first.
+    pub fn drain(&self) -> Vec<TimedEvent> {
+        self.events.lock().unwrap().drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let log = EventLog::with_capacity(10);
+        log.record(1, Event::ValueCacheMiss);
+        log.record(2, Event::BmtWalk { depth: 3 });
+        let v = log.to_vec();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].time, 1);
+        assert_eq!(v[1].event, Event::BmtWalk { depth: 3 });
+    }
+
+    #[test]
+    fn bounded_log_counts_drops() {
+        let log = EventLog::with_capacity(2);
+        for i in 0..5 {
+            log.record(i, Event::ValueCacheMiss);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = EventLog::disabled();
+        log.record(0, Event::MacFetchAvoided);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_empties_the_log() {
+        let log = EventLog::with_capacity(4);
+        log.record(0, Event::ValueCacheMiss);
+        assert_eq!(log.drain().len(), 1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn kinds_and_fields_are_stable() {
+        let e = Event::MacFetch { addr: 0x40 };
+        assert_eq!(e.kind(), "mac_fetch");
+        assert_eq!(e.fields(), vec![("addr", FieldValue::Num(0x40))]);
+        assert!(Event::ValueCacheMiss.fields().is_empty());
+        assert_eq!(
+            Event::RunStart {
+                workload: "bfs".into(),
+                scheme: "plutus".into()
+            }
+            .kind(),
+            "run_start"
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! **plutus-telemetry** — a workspace-wide metrics, event-tracing, and
+//! profiling layer for the Plutus secure-memory pipeline.
+//!
+//! The paper's whole argument is quantitative: Plutus wins by cutting
+//! metadata *traffic*. This crate is the substrate every measurement
+//! flows through:
+//!
+//! * a [`MetricsRegistry`] of named [`Counter`]s, [`Gauge`]s, and
+//!   log-scale [`Histogram`]s with cheap `Arc`-shared handles and
+//!   atomic updates;
+//! * a structured [`Event`] log plus [`Span`] guards that profile
+//!   wall-clock time, with event timestamps read from a pluggable
+//!   [`Clock`] (simulated cycles or nanoseconds);
+//! * per-epoch snapshot/delta support ([`Telemetry::end_epoch`]) so
+//!   long simulations can emit time-series;
+//! * JSON and CSV exporters and a human-readable summary table
+//!   ([`Report`]).
+//!
+//! Instrumentation is opt-out: [`Telemetry::disabled`] hands out
+//! handles whose record calls are branch-free no-ops (masked atomics),
+//! so the hot paths carry no conditionals either way.
+//!
+//! ```
+//! use plutus_telemetry::{Event, Telemetry};
+//!
+//! let tel = Telemetry::new();
+//! let bytes = tel.counter("traffic.data.read_bytes");
+//! bytes.add(4096);
+//! tel.event(Event::BmtWalk { depth: 2 });
+//! tel.end_epoch("warmup");
+//! let report = tel.report();
+//! assert_eq!(report.totals.counter("traffic.data.read_bytes"), Some(4096));
+//! println!("{}", report.to_json().to_string_pretty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod events;
+pub mod export;
+pub mod json;
+pub mod metrics;
+
+pub use clock::{Clock, CycleClock, NullClock, WallClock};
+pub use events::{Event, EventLog, FieldValue, TimedEvent, DEFAULT_EVENT_CAPACITY};
+pub use export::{EpochSnapshot, Report};
+pub use json::Json;
+pub use metrics::{
+    BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot,
+};
+
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct Inner {
+    enabled: bool,
+    clock: Arc<dyn Clock>,
+    registry: MetricsRegistry,
+    events: EventLog,
+    epochs: Mutex<EpochState>,
+}
+
+#[derive(Debug, Default)]
+struct EpochState {
+    last: Snapshot,
+    closed: Vec<EpochSnapshot>,
+}
+
+/// The shared telemetry handle: clones are cheap and point at the same
+/// registry, event log, and epoch series.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Telemetry {
+    /// An enabled instance with wall-clock timestamps.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// An enabled instance timestamping events with `clock`.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self::build(true, clock, DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled instance with a bounded event log of `capacity`.
+    pub fn with_event_capacity(clock: Arc<dyn Clock>, capacity: usize) -> Self {
+        Self::build(true, clock, capacity)
+    }
+
+    /// A disabled instance: every handle it hands out is a branch-free
+    /// no-op, events and epochs are discarded.
+    pub fn disabled() -> Self {
+        Self::build(false, Arc::new(NullClock), 0)
+    }
+
+    fn build(enabled: bool, clock: Arc<dyn Clock>, capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                enabled,
+                clock,
+                registry: MetricsRegistry::new(),
+                events: EventLog::with_capacity(capacity),
+                epochs: Mutex::new(EpochState::default()),
+            }),
+        }
+    }
+
+    /// Whether this instance records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// The event-timestamp clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    /// Drives an externally-advanced clock (cycle clocks) to `t`.
+    pub fn advance_clock(&self, t: u64) {
+        self.inner.clock.advance_to(t);
+    }
+
+    /// A handle to counter `name` (no-op handle when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        if self.inner.enabled {
+            self.inner.registry.counter(name)
+        } else {
+            Counter::disabled()
+        }
+    }
+
+    /// A handle to gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if self.inner.enabled {
+            self.inner.registry.gauge(name)
+        } else {
+            Gauge::disabled()
+        }
+    }
+
+    /// A handle to histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if self.inner.enabled {
+            self.inner.registry.histogram(name)
+        } else {
+            Histogram::disabled()
+        }
+    }
+
+    /// Records `event` at the current clock reading.
+    pub fn event(&self, event: Event) {
+        self.inner.events.record(self.inner.clock.now(), event);
+    }
+
+    /// A guard profiling the wall-clock time from now until drop into
+    /// the histogram `span.<name>.ns`. See also [`span!`].
+    pub fn span(&self, name: &str) -> Span {
+        if self.inner.enabled {
+            Span::running(self.inner.registry.histogram(&format!("span.{name}.ns")))
+        } else {
+            Span::noop()
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner.registry.snapshot(self.inner.clock.now())
+    }
+
+    /// Closes the current epoch: snapshots the registry, computes
+    /// counter deltas since the previous epoch boundary, and records an
+    /// [`Event::EpochEnd`]. Returns the closed epoch (None when
+    /// disabled).
+    pub fn end_epoch(&self, label: &str) -> Option<EpochSnapshot> {
+        if !self.inner.enabled {
+            return None;
+        }
+        let now = self.snapshot();
+        let mut state = self.inner.epochs.lock().unwrap();
+        let epoch = EpochSnapshot {
+            index: state.closed.len(),
+            label: label.to_string(),
+            start_time: state.last.time,
+            end_time: now.time,
+            counter_deltas: now.counter_deltas(&state.last),
+        };
+        state.last = now;
+        state.closed.push(epoch.clone());
+        drop(state);
+        self.event(Event::EpochEnd {
+            label: label.to_string(),
+        });
+        Some(epoch)
+    }
+
+    /// The closed epochs so far, oldest first.
+    pub fn epochs(&self) -> Vec<EpochSnapshot> {
+        self.inner.epochs.lock().unwrap().closed.clone()
+    }
+
+    /// Builds the immutable export bundle (cumulative totals, epochs,
+    /// events).
+    pub fn report(&self) -> Report {
+        Report {
+            time_unit: self.inner.clock.unit(),
+            totals: self.snapshot(),
+            epochs: self.epochs(),
+            events: self.inner.events.to_vec(),
+            events_dropped: self.inner.events.dropped(),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// An RAII guard recording its elapsed wall-clock nanoseconds into a
+/// histogram on drop. Create via [`Telemetry::span`], the [`span!`]
+/// macro, or [`Span::enter`] with a pre-fetched histogram handle.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    /// `None` when telemetry is disabled — the drop-time clock read is
+    /// skipped entirely.
+    start: Option<std::time::Instant>,
+}
+
+impl Span {
+    fn running(hist: Histogram) -> Span {
+        Span {
+            hist,
+            start: Some(std::time::Instant::now()),
+        }
+    }
+
+    fn noop() -> Span {
+        Span {
+            hist: Histogram::disabled(),
+            start: None,
+        }
+    }
+
+    /// A span recording into a pre-fetched histogram handle — use this
+    /// on hot paths to avoid the name lookup of [`Telemetry::span`].
+    pub fn enter(tel: &Telemetry, hist: &Histogram) -> Span {
+        if tel.enabled() {
+            Span::running(hist.clone())
+        } else {
+            Span::noop()
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Opens a profiling span: `span!(tel, "verify_sector")` returns a
+/// guard recording wall-clock ns into `span.verify_sector.ns` when it
+/// drops.
+#[macro_export]
+macro_rules! span {
+    ($tel:expr, $name:expr) => {
+        $tel.span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_roundtrip() {
+        let tel = Telemetry::new();
+        assert!(tel.enabled());
+        tel.counter("c").add(2);
+        tel.gauge("g").set(5);
+        tel.histogram("h").record(9);
+        tel.event(Event::ValueCacheMiss);
+        let r = tel.report();
+        assert_eq!(r.totals.counter("c"), Some(2));
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.time_unit, "ns");
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.enabled());
+        tel.counter("c").add(2);
+        tel.event(Event::ValueCacheMiss);
+        assert!(tel.end_epoch("e").is_none());
+        let r = tel.report();
+        assert!(r.totals.counters.is_empty());
+        assert!(r.events.is_empty());
+        assert!(r.epochs.is_empty());
+    }
+
+    #[test]
+    fn epochs_chain_and_sum_to_totals() {
+        let tel = Telemetry::new();
+        let c = tel.counter("x");
+        c.add(3);
+        let e0 = tel.end_epoch("first").unwrap();
+        c.add(4);
+        let e1 = tel.end_epoch("second").unwrap();
+        assert_eq!(e0.delta("x"), 3);
+        assert_eq!(e1.delta("x"), 4);
+        assert_eq!(e1.index, 1);
+        let total: u64 = tel.epochs().iter().map(|e| e.delta("x")).sum();
+        assert_eq!(total, tel.snapshot().counter("x").unwrap());
+    }
+
+    #[test]
+    fn spans_record_durations() {
+        let tel = Telemetry::new();
+        {
+            let _guard = span!(tel, "verify_sector");
+            std::hint::black_box(0u64);
+        }
+        let hist = tel.histogram("span.verify_sector.ns");
+        assert_eq!(hist.count(), 1);
+        // Disabled spans record nothing.
+        let off = Telemetry::disabled();
+        drop(off.span("verify_sector"));
+        assert_eq!(off.report().totals.histograms.len(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tel = Telemetry::new();
+        let other = tel.clone();
+        other.counter("shared").inc();
+        assert_eq!(tel.snapshot().counter("shared"), Some(1));
+    }
+}

@@ -1,0 +1,489 @@
+//! The metrics registry: named counters, gauges, and log-scale
+//! histograms with cheap `Arc`-shared handles and atomic updates.
+//!
+//! Handles are `Clone + Send + Sync`; cloning shares the underlying
+//! atomic cell, so per-partition engine instances aggregate into one
+//! named metric. Disabled handles (from [`Counter::disabled`] etc.) are
+//! *branch-free* no-ops: every record call executes the same masked
+//! atomic instruction sequence, with the mask zeroing the operand, so
+//! the hot path carries no conditional at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const REL: Ordering = Ordering::Relaxed;
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    mask: u64,
+}
+
+impl Counter {
+    fn live(cell: Arc<AtomicU64>) -> Self {
+        Self {
+            cell,
+            mask: u64::MAX,
+        }
+    }
+
+    /// A detached no-op counter: `add`/`inc` are branch-free no-ops.
+    pub fn disabled() -> Self {
+        Self {
+            cell: Arc::new(AtomicU64::new(0)),
+            mask: 0,
+        }
+    }
+
+    /// Adds `n` (no-op when disabled, without branching).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n & self.mask, REL);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(REL)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// A last-value gauge handle (also tracks via [`Gauge::set_max`]).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+    mask: u64,
+}
+
+impl Gauge {
+    fn live(cell: Arc<AtomicU64>) -> Self {
+        Self {
+            cell,
+            mask: u64::MAX,
+        }
+    }
+
+    /// A detached no-op gauge.
+    pub fn disabled() -> Self {
+        Self {
+            cell: Arc::new(AtomicU64::new(0)),
+            mask: 0,
+        }
+    }
+
+    /// Sets the gauge to `v` (masked store; no-op when disabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.store(v & self.mask, REL);
+    }
+
+    /// Raises the gauge to `v` if larger.
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.cell.fetch_max(v & self.mask, REL);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(REL)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Shared storage of one histogram: 65 base-2 buckets (bucket 0 holds
+/// zeros; bucket `b ≥ 1` holds values in `[2^(b-1), 2^b)`).
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(REL);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(REL),
+            min: if count == 0 { 0 } else { self.min.load(REL) },
+            max: self.max.load(REL),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(REL);
+                    (n != 0).then_some((bucket_bounds(i), n))
+                })
+                .map(|((lo, hi), n)| BucketCount { lo, hi, count: n })
+                .collect(),
+        }
+    }
+}
+
+/// Inclusive `[lo, hi]` bounds of log bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i >= 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (i - 1), (1 << i) - 1)
+    }
+}
+
+/// Index of the log bucket holding `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// A log-scale histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+    /// `u64::MAX` when live, 0 when disabled.
+    mask: u64,
+    /// `!mask` — ORed into `fetch_min` operands so a disabled record
+    /// degenerates to `fetch_min(u64::MAX)`, a no-op.
+    inv: u64,
+}
+
+impl Histogram {
+    fn live(core: Arc<HistogramCore>) -> Self {
+        Self {
+            core,
+            mask: u64::MAX,
+            inv: 0,
+        }
+    }
+
+    /// A detached no-op histogram.
+    pub fn disabled() -> Self {
+        Self {
+            core: Arc::new(HistogramCore::new()),
+            mask: 0,
+            inv: u64::MAX,
+        }
+    }
+
+    /// Records one observation (branch-free no-op when disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = bucket_index(v & self.mask);
+        self.core.buckets[idx].fetch_add(1 & self.mask, REL);
+        self.core.count.fetch_add(1 & self.mask, REL);
+        self.core.sum.fetch_add(v & self.mask, REL);
+        self.core.min.fetch_min(v | self.inv, REL);
+        self.core.max.fetch_max(v & self.mask, REL);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(REL)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(REL)
+    }
+
+    /// A point-in-time copy of the full distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core.snapshot()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Inclusive upper bound of the bucket.
+    pub hi: u64,
+    /// Observations that fell in `[lo, hi]`.
+    pub count: u64,
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 if empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0..=1.0) —
+    /// a log-resolution estimate, exact enough for p50/p95 reporting.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= target {
+                return b.hi.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The registry of all named metrics. Names are registered on first use;
+/// asking for an existing name returns a handle to the same cell.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    gauges: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    histograms: Mutex<Vec<(String, Arc<HistogramCore>)>>,
+}
+
+fn intern<T>(
+    table: &Mutex<Vec<(String, Arc<T>)>>,
+    name: &str,
+    fresh: impl FnOnce() -> T,
+) -> Arc<T> {
+    let mut table = table.lock().unwrap();
+    if let Some((_, cell)) = table.iter().find(|(n, _)| n == name) {
+        return Arc::clone(cell);
+    }
+    let cell = Arc::new(fresh());
+    table.push((name.to_string(), Arc::clone(&cell)));
+    cell
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A live handle to the counter `name` (registering it if new).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter::live(intern(&self.counters, name, || AtomicU64::new(0)))
+    }
+
+    /// A live handle to the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge::live(intern(&self.gauges, name, || AtomicU64::new(0)))
+    }
+
+    /// A live handle to the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram::live(intern(&self.histograms, name, HistogramCore::new))
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self, time: u64) -> Snapshot {
+        let read = |t: &Mutex<Vec<(String, Arc<AtomicU64>)>>| {
+            t.lock()
+                .unwrap()
+                .iter()
+                .map(|(n, c)| (n.clone(), c.load(REL)))
+                .collect::<Vec<_>>()
+        };
+        Snapshot {
+            time,
+            counters: read(&self.counters),
+            gauges: read(&self.gauges),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Clock reading when the snapshot was taken.
+    pub time: u64,
+    /// `(name, value)` for every counter, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, distribution)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if registered at snapshot time.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Per-counter deltas since `earlier`. Counters are monotonic, so
+    /// deltas are non-negative; counters registered after `earlier` was
+    /// taken contribute their full value.
+    pub fn counter_deltas(&self, earlier: &Snapshot) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(n, v)| {
+                let before = earlier.counter(n).unwrap_or(0);
+                (n.clone(), v.saturating_sub(before))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot(0).counter("x"), Some(4));
+    }
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let c = Counter::disabled();
+        c.add(100);
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::disabled();
+        g.set(7);
+        g.set_max(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::disabled();
+        h.record(42);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        // 0 → [0,0]; 1 → [1,1]; 2,3 → [2,3]; 4 → [4,7]; 1000 → [512,1023].
+        let lows: Vec<u64> = s.buckets.iter().map(|b| b.lo).collect();
+        assert_eq!(lows, vec![0, 1, 2, 4, 512]);
+        assert_eq!(s.buckets[2].count, 2);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile() {
+        let h = MetricsRegistry::new().histogram("q");
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(100_000);
+        let s = h.snapshot();
+        assert!((s.mean() - (99.0 * 10.0 + 100_000.0) / 100.0).abs() < 1e-9);
+        assert_eq!(s.quantile(0.5), 15); // bucket [8,15]
+        assert_eq!(s.quantile(1.0), 100_000);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_deltas_are_nonnegative_and_complete() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a");
+        c.add(10);
+        let s1 = reg.snapshot(1);
+        c.add(5);
+        let d = reg.counter("b"); // registered between snapshots
+        d.add(2);
+        let s2 = reg.snapshot(2);
+        let deltas = s2.counter_deltas(&s1);
+        assert_eq!(deltas, vec![("a".to_string(), 5), ("b".to_string(), 2)]);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(5), (16, 31));
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+        for v in [0u64, 1, 2, 7, 8, 1 << 40, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo},{hi}]");
+        }
+    }
+}

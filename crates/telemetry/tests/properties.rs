@@ -1,0 +1,172 @@
+//! Property-style tests for the telemetry invariants the rest of the
+//! workspace leans on: snapshot deltas are non-negative and sum to the
+//! cumulative totals, histograms conserve mass, and the disabled
+//! registry is effectively free.
+//!
+//! Deterministic seeded loops stand in for a property-testing framework
+//! (the build environment resolves no external crates).
+
+use plutus_telemetry::{Event, Snapshot, Telemetry};
+
+/// SplitMix64 — deterministic pseudo-random stream for case generation.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn epoch_deltas_are_nonnegative_and_sum_to_totals() {
+    for seed in 0..20u64 {
+        let mut rng = Mix(seed);
+        let tel = Telemetry::new();
+        let names = ["a", "b", "c", "d"];
+        let handles: Vec<_> = names.iter().map(|n| tel.counter(n)).collect();
+        let epochs = 2 + (rng.next() % 6) as usize;
+        for _ in 0..epochs {
+            for h in &handles {
+                h.add(rng.next() % 1000);
+            }
+            tel.end_epoch("step");
+        }
+        // A tail of updates after the last epoch boundary.
+        handles[0].add(rng.next() % 100);
+
+        let closed = tel.epochs();
+        assert_eq!(closed.len(), epochs);
+        let totals = tel.snapshot();
+        for name in names {
+            let mut summed = 0u64;
+            for (i, e) in closed.iter().enumerate() {
+                assert_eq!(e.index, i);
+                summed += e.delta(name); // deltas are u64: non-negative by type
+            }
+            let total = totals.counter(name).unwrap();
+            // Epoch deltas never over-count the cumulative total, and
+            // counters untouched after the last boundary sum exactly.
+            assert!(
+                summed <= total,
+                "{name}: epoch deltas {summed} exceed total {total}"
+            );
+            if name != "a" {
+                assert_eq!(summed, total, "{name}: epoch deltas must sum to the total");
+            }
+        }
+        // Epochs chain: each starts where the previous ended.
+        for w in closed.windows(2) {
+            assert_eq!(w[1].start_time, w[0].end_time);
+        }
+    }
+}
+
+#[test]
+fn histograms_conserve_count_and_sum() {
+    for seed in 0..20u64 {
+        let mut rng = Mix(0x5eed ^ seed);
+        let tel = Telemetry::new();
+        let h = tel.histogram("lat");
+        let n = 1 + (rng.next() % 500) as usize;
+        let mut expect_sum = 0u64;
+        let mut expect_min = u64::MAX;
+        let mut expect_max = 0u64;
+        for _ in 0..n {
+            // Spread across many orders of magnitude.
+            let v = rng.next() >> (rng.next() % 60);
+            h.record(v);
+            expect_sum = expect_sum.wrapping_add(v);
+            expect_min = expect_min.min(v);
+            expect_max = expect_max.max(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, n as u64);
+        assert_eq!(s.sum, expect_sum);
+        assert_eq!(s.min, expect_min);
+        assert_eq!(s.max, expect_max);
+        // Bucket mass equals total count, and every bucket is sane.
+        let mass: u64 = s.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(mass, s.count);
+        for b in &s.buckets {
+            assert!(b.lo <= b.hi);
+        }
+        for w in s.buckets.windows(2) {
+            assert!(w[0].hi < w[1].lo, "buckets must be disjoint and ascending");
+        }
+    }
+}
+
+#[test]
+fn report_export_roundtrips_counter_values() {
+    let tel = Telemetry::new();
+    for (i, name) in ["x.bytes", "y.bytes", "z, with comma"].iter().enumerate() {
+        tel.counter(name).add((i as u64 + 1) * 7);
+    }
+    tel.event(Event::CliError {
+        message: "bad, \"flag\"".into(),
+    });
+    tel.end_epoch("only");
+    let report = tel.report();
+
+    let json = report.to_json().to_string_pretty();
+    assert!(json.contains("\"x.bytes\": 7"));
+    assert!(json.contains("\\\"flag\\\""));
+
+    let csv = report.to_csv();
+    let header = csv.lines().next().unwrap();
+    assert_eq!(header, "record,epoch,name,field,value");
+    // Quoted fields keep rows parseable: a naive split sees extra
+    // commas only inside quotes.
+    assert!(csv
+        .lines()
+        .any(|l| l.starts_with("counter,,\"z, with comma\"")));
+}
+
+#[test]
+fn snapshot_deltas_of_identical_snapshots_are_zero() {
+    let tel = Telemetry::new();
+    tel.counter("c").add(5);
+    let s1 = tel.snapshot();
+    let s2 = tel.snapshot();
+    assert!(s2.counter_deltas(&s1).iter().all(|(_, d)| *d == 0));
+    assert!(Snapshot::default()
+        .counter_deltas(&Snapshot::default())
+        .is_empty());
+}
+
+/// Acceptance criterion: disabled-handle record calls are branch-free
+/// no-ops with near-zero cost. Only meaningful with optimizations on,
+/// so it is gated to release builds (`cargo test --release`).
+#[cfg(not(debug_assertions))]
+#[test]
+fn disabled_recording_is_near_zero_cost() {
+    use std::time::Instant;
+
+    let off = Telemetry::disabled();
+    let counter = off.counter("hot");
+    let hist = off.histogram("lat");
+
+    const ITERS: u64 = 20_000_000;
+    let start = Instant::now();
+    for i in 0..ITERS {
+        counter.add(std::hint::black_box(i));
+        hist.record(std::hint::black_box(i));
+    }
+    let elapsed = start.elapsed();
+    let ns_per_op = elapsed.as_nanos() as f64 / (2 * ITERS) as f64;
+
+    assert_eq!(counter.get(), 0, "disabled counter must stay zero");
+    assert_eq!(hist.count(), 0, "disabled histogram must stay empty");
+    // Masked atomics on uncontended cache lines run in a few ns; 50 ns
+    // leaves two orders of magnitude of headroom over the locked-map
+    // designs this layer exists to avoid, while staying robust on slow
+    // or shared CI hardware.
+    assert!(
+        ns_per_op < 50.0,
+        "disabled record calls cost {ns_per_op:.1} ns/op — not near-zero"
+    );
+}

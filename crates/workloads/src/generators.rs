@@ -11,10 +11,9 @@ use crate::values::ValueProfile;
 use gpu_sim::{SectorAddr, Trace, SECTOR_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Common generator knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GenParams {
     /// Data footprint in sectors.
     pub footprint_sectors: u64,
@@ -47,7 +46,7 @@ fn sector(i: u64) -> SectorAddr {
 }
 
 /// The structural pattern of a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Pattern {
     /// Sequential array sweeps: read `read_arrays` input arrays, write one
     /// output array every `write_period`-th access group (stencils, LBM,
@@ -108,7 +107,11 @@ pub fn generate(
     }
 
     match pattern {
-        Pattern::Stencil { read_arrays, write_period, passes } => {
+        Pattern::Stencil {
+            read_arrays,
+            write_period,
+            passes,
+        } => {
             let arrays = u64::from(read_arrays).max(1);
             let array_len = fp / (arrays + 1); // last region is the output
             let out_base = arrays * array_len;
@@ -129,13 +132,21 @@ pub fn generate(
                         }
                         let think = params.think(&mut rng);
                         let data = write_values.fill_sector(&mut rng);
-                        trace.push_write(sector(out_base + i % array_len.max(1)), data, think, params.instructions);
+                        trace.push_write(
+                            sector(out_base + i % array_len.max(1)),
+                            data,
+                            think,
+                            params.instructions,
+                        );
                         emitted += 1;
                     }
                 }
             }
         }
-        Pattern::Graph { degree, write_permille } => {
+        Pattern::Graph {
+            degree,
+            write_permille,
+        } => {
             // Regions: row pointers (1/8), edge lists (5/8), node data (2/8).
             let row_len = fp / 8;
             let edge_len = fp * 5 / 8;
@@ -243,7 +254,10 @@ pub fn generate(
                 }
             }
         }
-        Pattern::Cluster { hot_sectors, write_permille } => {
+        Pattern::Cluster {
+            hot_sectors,
+            write_permille,
+        } => {
             let hot = hot_sectors.clamp(1, fp / 2);
             let cold_base = hot;
             let cold_len = fp - hot;
@@ -307,7 +321,11 @@ mod tests {
     fn stencil_is_mostly_sequential_reads() {
         let t = generate(
             "stencil",
-            Pattern::Stencil { read_arrays: 2, write_period: 2, passes: 4 },
+            Pattern::Stencil {
+                read_arrays: 2,
+                write_period: 2,
+                passes: 4,
+            },
             params(5000),
             ints(),
             ints(),
@@ -321,7 +339,11 @@ mod tests {
     fn read_only_stencil_has_no_writes() {
         let t = generate(
             "ro",
-            Pattern::Stencil { read_arrays: 3, write_period: u32::MAX, passes: 2 },
+            Pattern::Stencil {
+                read_arrays: 3,
+                write_period: u32::MAX,
+                passes: 2,
+            },
             params(3000),
             ints(),
             ints(),
@@ -333,7 +355,10 @@ mod tests {
     fn graph_writes_are_sparse() {
         let t = generate(
             "bfs",
-            Pattern::Graph { degree: 3, write_permille: 150 },
+            Pattern::Graph {
+                degree: 3,
+                write_permille: 150,
+            },
             params(5000),
             ints(),
             ints(),
@@ -363,7 +388,10 @@ mod tests {
     fn cluster_concentrates_on_hot_sectors() {
         let t = generate(
             "kmeans",
-            Pattern::Cluster { hot_sectors: 16, write_permille: 100 },
+            Pattern::Cluster {
+                hot_sectors: 16,
+                write_permille: 100,
+            },
             params(4000),
             ints(),
             ints(),
@@ -373,12 +401,22 @@ mod tests {
             .iter()
             .filter(|a| a.addr.raw() < 16 * SECTOR_SIZE)
             .count();
-        assert!(hot_hits as f64 > t.len() as f64 * 0.3, "hot hits {hot_hits}/{}", t.len());
+        assert!(
+            hot_hits as f64 > t.len() as f64 * 0.3,
+            "hot hits {hot_hits}/{}",
+            t.len()
+        );
     }
 
     #[test]
     fn gemm_reuses_tiles() {
-        let t = generate("sgemm", Pattern::Gemm { tile: 8 }, params(4000), ints(), ints());
+        let t = generate(
+            "sgemm",
+            Pattern::Gemm { tile: 8 },
+            params(4000),
+            ints(),
+            ints(),
+        );
         assert!(t.write_fraction() < 0.15);
         assert!(t.len() >= 3900);
     }
@@ -388,7 +426,10 @@ mod tests {
         let mk = || {
             generate(
                 "det",
-                Pattern::Graph { degree: 4, write_permille: 100 },
+                Pattern::Graph {
+                    degree: 4,
+                    write_permille: 100,
+                },
                 params(2000),
                 ints(),
                 ValueProfile::WideRandom,
@@ -405,11 +446,21 @@ mod tests {
     fn traces_fit_their_footprint() {
         let p = params(3000);
         for pattern in [
-            Pattern::Stencil { read_arrays: 2, write_period: 4, passes: 2 },
-            Pattern::Graph { degree: 2, write_permille: 200 },
+            Pattern::Stencil {
+                read_arrays: 2,
+                write_period: 4,
+                passes: 2,
+            },
+            Pattern::Graph {
+                degree: 2,
+                write_permille: 200,
+            },
             Pattern::Gemm { tile: 4 },
             Pattern::RandomRmw,
-            Pattern::Cluster { hot_sectors: 8, write_permille: 50 },
+            Pattern::Cluster {
+                hot_sectors: 8,
+                write_permille: 50,
+            },
         ] {
             let t = generate("fit", pattern, p, ints(), ints());
             let max_addr = t.accesses.iter().map(|a| a.addr.raw()).max().unwrap();

@@ -9,10 +9,9 @@
 use crate::generators::{generate, GenParams, Pattern};
 use crate::values::ValueProfile;
 use gpu_sim::Trace;
-use serde::{Deserialize, Serialize};
 
 /// Source suite of a benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Suite {
     /// Rodinia-3.1.
     Rodinia,
@@ -37,7 +36,7 @@ impl std::fmt::Display for Suite {
 }
 
 /// Memory-bandwidth intensity class (paper: >50% high, >20% medium).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Intensity {
     /// Uses more than half the available bandwidth.
     High,
@@ -46,7 +45,7 @@ pub enum Intensity {
 }
 
 /// Trace size/footprint scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Unit tests: 256 KiB footprint, 6 k accesses.
     Test,
@@ -61,9 +60,9 @@ impl Scale {
         // Far larger than the 6 MiB L2 (except at test scale), as the
         // paper's memory-intensive workloads are.
         match self {
-            Scale::Test => 8 * 1024,          // 256 KiB (vs the 64 KiB test-config L2)
-            Scale::Small => 2 * 1024 * 1024,  // 64 MiB
-            Scale::Paper => 8 * 1024 * 1024,  // 256 MiB
+            Scale::Test => 8 * 1024,         // 256 KiB (vs the 64 KiB test-config L2)
+            Scale::Small => 2 * 1024 * 1024, // 64 MiB
+            Scale::Paper => 8 * 1024 * 1024, // 256 MiB
         }
     }
 
@@ -141,7 +140,10 @@ pub fn suite() -> Vec<WorkloadSpec> {
             name: "bfs",
             suite: Rodinia,
             intensity: High,
-            pattern: Pattern::Graph { degree: 3, write_permille: 550 },
+            pattern: Pattern::Graph {
+                degree: 3,
+                write_permille: 550,
+            },
             read_values: ValueProfile::SmallInts { max: 1 << 10 },
             write_values: ValueProfile::SmallInts { max: 64 },
         },
@@ -149,31 +151,65 @@ pub fn suite() -> Vec<WorkloadSpec> {
             name: "backprop",
             suite: Rodinia,
             intensity: High,
-            pattern: Pattern::Stencil { read_arrays: 2, write_period: 2, passes: 8 },
-            read_values: ValueProfile::ClusteredFloats { centers: 64, spread: 15 },
-            write_values: ValueProfile::ClusteredFloats { centers: 64, spread: 15 },
+            pattern: Pattern::Stencil {
+                read_arrays: 2,
+                write_period: 2,
+                passes: 8,
+            },
+            read_values: ValueProfile::ClusteredFloats {
+                centers: 64,
+                spread: 15,
+            },
+            write_values: ValueProfile::ClusteredFloats {
+                centers: 64,
+                spread: 15,
+            },
         },
         WorkloadSpec {
             name: "hotspot",
             suite: Rodinia,
             intensity: High,
-            pattern: Pattern::Stencil { read_arrays: 2, write_period: 4, passes: 8 },
-            read_values: ValueProfile::ClusteredFloats { centers: 32, spread: 15 },
-            write_values: ValueProfile::ClusteredFloats { centers: 32, spread: 15 },
+            pattern: Pattern::Stencil {
+                read_arrays: 2,
+                write_period: 4,
+                passes: 8,
+            },
+            read_values: ValueProfile::ClusteredFloats {
+                centers: 32,
+                spread: 15,
+            },
+            write_values: ValueProfile::ClusteredFloats {
+                centers: 32,
+                spread: 15,
+            },
         },
         WorkloadSpec {
             name: "srad",
             suite: Rodinia,
             intensity: High,
-            pattern: Pattern::Stencil { read_arrays: 3, write_period: 4, passes: 6 },
-            read_values: ValueProfile::ClusteredFloats { centers: 48, spread: 15 },
-            write_values: ValueProfile::ClusteredFloats { centers: 48, spread: 15 },
+            pattern: Pattern::Stencil {
+                read_arrays: 3,
+                write_period: 4,
+                passes: 6,
+            },
+            read_values: ValueProfile::ClusteredFloats {
+                centers: 48,
+                spread: 15,
+            },
+            write_values: ValueProfile::ClusteredFloats {
+                centers: 48,
+                spread: 15,
+            },
         },
         WorkloadSpec {
             name: "pathfinder",
             suite: Rodinia,
             intensity: High,
-            pattern: Pattern::Stencil { read_arrays: 1, write_period: 8, passes: 10 },
+            pattern: Pattern::Stencil {
+                read_arrays: 1,
+                write_period: 8,
+                passes: 10,
+            },
             read_values: ValueProfile::SmallInts { max: 4096 },
             write_values: ValueProfile::SmallInts { max: 4096 },
         },
@@ -181,55 +217,102 @@ pub fn suite() -> Vec<WorkloadSpec> {
             name: "btree",
             suite: Rodinia,
             intensity: Medium,
-            pattern: Pattern::Graph { degree: 2, write_permille: 30 },
-            read_values: ValueProfile::Mixed { small_permille: 600, max: 1 << 16 },
-            write_values: ValueProfile::Mixed { small_permille: 600, max: 1 << 16 },
+            pattern: Pattern::Graph {
+                degree: 2,
+                write_permille: 30,
+            },
+            read_values: ValueProfile::Mixed {
+                small_permille: 600,
+                max: 1 << 16,
+            },
+            write_values: ValueProfile::Mixed {
+                small_permille: 600,
+                max: 1 << 16,
+            },
         },
         WorkloadSpec {
             name: "kmeans",
             suite: Rodinia,
             intensity: Medium,
-            pattern: Pattern::Cluster { hot_sectors: 64, write_permille: 80 },
-            read_values: ValueProfile::ClusteredFloats { centers: 96, spread: 15 },
+            pattern: Pattern::Cluster {
+                hot_sectors: 64,
+                write_permille: 80,
+            },
+            read_values: ValueProfile::ClusteredFloats {
+                centers: 96,
+                spread: 15,
+            },
             write_values: ValueProfile::SmallInts { max: 32 },
         },
         WorkloadSpec {
             name: "streamcluster",
             suite: Rodinia,
             intensity: High,
-            pattern: Pattern::Cluster { hot_sectors: 128, write_permille: 30 },
-            read_values: ValueProfile::ClusteredFloats { centers: 80, spread: 15 },
+            pattern: Pattern::Cluster {
+                hot_sectors: 128,
+                write_permille: 30,
+            },
+            read_values: ValueProfile::ClusteredFloats {
+                centers: 80,
+                spread: 15,
+            },
             write_values: ValueProfile::SmallInts { max: 128 },
         },
         WorkloadSpec {
             name: "spmv",
             suite: Parboil,
             intensity: High,
-            pattern: Pattern::Graph { degree: 4, write_permille: 300 },
-            read_values: ValueProfile::Mixed { small_permille: 700, max: 1 << 14 },
-            write_values: ValueProfile::ClusteredFloats { centers: 128, spread: 15 },
+            pattern: Pattern::Graph {
+                degree: 4,
+                write_permille: 300,
+            },
+            read_values: ValueProfile::Mixed {
+                small_permille: 700,
+                max: 1 << 14,
+            },
+            write_values: ValueProfile::ClusteredFloats {
+                centers: 128,
+                spread: 15,
+            },
         },
         WorkloadSpec {
             name: "stencil",
             suite: Parboil,
             intensity: High,
-            pattern: Pattern::Stencil { read_arrays: 1, write_period: 4, passes: 8 },
-            read_values: ValueProfile::ClusteredFloats { centers: 40, spread: 15 },
-            write_values: ValueProfile::ClusteredFloats { centers: 40, spread: 15 },
+            pattern: Pattern::Stencil {
+                read_arrays: 1,
+                write_period: 4,
+                passes: 8,
+            },
+            read_values: ValueProfile::ClusteredFloats {
+                centers: 40,
+                spread: 15,
+            },
+            write_values: ValueProfile::ClusteredFloats {
+                centers: 40,
+                spread: 15,
+            },
         },
         WorkloadSpec {
             name: "sgemm",
             suite: Parboil,
             intensity: Medium,
             pattern: Pattern::Gemm { tile: 16 },
-            read_values: ValueProfile::ClusteredFloats { centers: 64, spread: 15 },
+            read_values: ValueProfile::ClusteredFloats {
+                centers: 64,
+                spread: 15,
+            },
             write_values: ValueProfile::WideRandom,
         },
         WorkloadSpec {
             name: "lbm",
             suite: Parboil,
             intensity: High,
-            pattern: Pattern::Stencil { read_arrays: 2, write_period: 2, passes: 6 },
+            pattern: Pattern::Stencil {
+                read_arrays: 2,
+                write_period: 2,
+                passes: 6,
+            },
             read_values: ValueProfile::WideRandom,
             write_values: ValueProfile::WideRandom,
         },
@@ -245,23 +328,39 @@ pub fn suite() -> Vec<WorkloadSpec> {
             name: "mriq",
             suite: Parboil,
             intensity: Medium,
-            pattern: Pattern::Stencil { read_arrays: 2, write_period: u32::MAX, passes: 4 },
-            read_values: ValueProfile::ClusteredFloats { centers: 72, spread: 15 },
+            pattern: Pattern::Stencil {
+                read_arrays: 2,
+                write_period: u32::MAX,
+                passes: 4,
+            },
+            read_values: ValueProfile::ClusteredFloats {
+                centers: 72,
+                spread: 15,
+            },
             write_values: ValueProfile::WideRandom,
         },
         WorkloadSpec {
             name: "mst",
             suite: Lonestar,
             intensity: High,
-            pattern: Pattern::Graph { degree: 3, write_permille: 350 },
-            read_values: ValueProfile::Mixed { small_permille: 800, max: 1 << 12 },
+            pattern: Pattern::Graph {
+                degree: 3,
+                write_permille: 350,
+            },
+            read_values: ValueProfile::Mixed {
+                small_permille: 800,
+                max: 1 << 12,
+            },
             write_values: ValueProfile::SmallInts { max: 1 << 12 },
         },
         WorkloadSpec {
             name: "sssp",
             suite: Lonestar,
             intensity: High,
-            pattern: Pattern::Graph { degree: 4, write_permille: 700 },
+            pattern: Pattern::Graph {
+                degree: 4,
+                write_permille: 700,
+            },
             read_values: ValueProfile::SmallInts { max: 1 << 16 },
             write_values: ValueProfile::SmallInts { max: 1 << 16 },
         },
@@ -269,15 +368,27 @@ pub fn suite() -> Vec<WorkloadSpec> {
             name: "pagerank",
             suite: Pannotia,
             intensity: High,
-            pattern: Pattern::Graph { degree: 5, write_permille: 900 },
-            read_values: ValueProfile::ClusteredFloats { centers: 128, spread: 15 },
-            write_values: ValueProfile::ClusteredFloats { centers: 128, spread: 15 },
+            pattern: Pattern::Graph {
+                degree: 5,
+                write_permille: 900,
+            },
+            read_values: ValueProfile::ClusteredFloats {
+                centers: 128,
+                spread: 15,
+            },
+            write_values: ValueProfile::ClusteredFloats {
+                centers: 128,
+                spread: 15,
+            },
         },
         WorkloadSpec {
             name: "color",
             suite: Pannotia,
             intensity: High,
-            pattern: Pattern::Graph { degree: 3, write_permille: 600 },
+            pattern: Pattern::Graph {
+                degree: 3,
+                write_permille: 600,
+            },
             read_values: ValueProfile::SmallInts { max: 64 },
             write_values: ValueProfile::SmallInts { max: 64 },
         },
@@ -285,7 +396,10 @@ pub fn suite() -> Vec<WorkloadSpec> {
             name: "mis",
             suite: Pannotia,
             intensity: High,
-            pattern: Pattern::Graph { degree: 3, write_permille: 500 },
+            pattern: Pattern::Graph {
+                degree: 3,
+                write_permille: 500,
+            },
             read_values: ValueProfile::SmallInts { max: 8 },
             write_values: ValueProfile::SmallInts { max: 8 },
         },
@@ -305,7 +419,12 @@ mod tests {
     fn suite_has_all_four_sources() {
         let s = suite();
         assert!(s.len() >= 16);
-        for src in [Suite::Rodinia, Suite::Parboil, Suite::Lonestar, Suite::Pannotia] {
+        for src in [
+            Suite::Rodinia,
+            Suite::Parboil,
+            Suite::Lonestar,
+            Suite::Pannotia,
+        ] {
             assert!(s.iter().any(|w| w.suite == src), "missing suite {src}");
         }
     }
@@ -332,8 +451,14 @@ mod tests {
     #[test]
     fn write_mix_spans_the_fig10_range() {
         // Fig. 10: the suite spans read-only-ish to write-heavy.
-        let fracs: Vec<f64> = suite().iter().map(|w| w.trace(Scale::Test).write_fraction()).collect();
-        assert!(fracs.iter().any(|&f| f < 0.08), "need read-dominated workloads");
+        let fracs: Vec<f64> = suite()
+            .iter()
+            .map(|w| w.trace(Scale::Test).write_fraction())
+            .collect();
+        assert!(
+            fracs.iter().any(|&f| f < 0.08),
+            "need read-dominated workloads"
+        );
         assert!(fracs.iter().any(|&f| f > 0.3), "need write-heavy workloads");
     }
 

@@ -6,11 +6,10 @@
 //! synthetic benchmark to the behavior class of its namesake.
 
 use gpu_sim::{AccessKind, Trace, SECTOR_SIZE};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Summary statistics of one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Total accesses.
     pub accesses: usize,
@@ -81,7 +80,7 @@ pub fn characterize(trace: &Trace) -> TraceStats {
 /// Distinct-value census of a trace's data (initial image + writes) at
 /// 32-bit granularity — the supply side of the paper's Fig. 8 value-
 /// locality study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValueCensus {
     /// Total 32-bit words examined.
     pub words: u64,
@@ -169,7 +168,11 @@ mod tests {
     #[test]
     fn graph_traces_concentrate_on_hubs() {
         let s = characterize(&by_name("pagerank").unwrap().trace(Scale::Test));
-        assert!(s.hot_tenth_fraction > 0.15, "hub skew missing: {}", s.hot_tenth_fraction);
+        assert!(
+            s.hot_tenth_fraction > 0.15,
+            "hub skew missing: {}",
+            s.hot_tenth_fraction
+        );
     }
 
     #[test]

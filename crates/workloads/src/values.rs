@@ -4,10 +4,9 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How 32-bit data words are drawn for a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ValueProfile {
     /// Small integers (node ids, distances, histogram counts, labels):
     /// values repeat heavily — the high-reuse regime of graph workloads.
@@ -50,7 +49,10 @@ impl ValueProfile {
                 base.wrapping_add(rng.gen_range(0..=spread))
             }
             ValueProfile::WideRandom => rng.gen(),
-            ValueProfile::Mixed { small_permille, max } => {
+            ValueProfile::Mixed {
+                small_permille,
+                max,
+            } => {
                 if rng.gen_range(0..1000) < small_permille {
                     rng.gen_range(0..max.max(1))
                 } else {
@@ -91,7 +93,10 @@ mod tests {
     #[test]
     fn clustered_floats_match_after_masking() {
         let mut r = rng();
-        let p = ValueProfile::ClusteredFloats { centers: 8, spread: 15 };
+        let p = ValueProfile::ClusteredFloats {
+            centers: 8,
+            spread: 15,
+        };
         let masked: HashSet<u32> = (0..1000).map(|_| p.sample(&mut r) >> 4).collect();
         assert!(masked.len() <= 8, "masked keys {} > centers", masked.len());
         let exact: HashSet<u32> = (0..1000).map(|_| p.sample(&mut r)).collect();
@@ -109,7 +114,10 @@ mod tests {
     #[test]
     fn mixed_profile_blends() {
         let mut r = rng();
-        let p = ValueProfile::Mixed { small_permille: 500, max: 16 };
+        let p = ValueProfile::Mixed {
+            small_permille: 500,
+            max: 16,
+        };
         let small = (0..2000).filter(|_| p.sample(&mut r) < 16).count();
         assert!(small > 800 && small < 1300, "small fraction {small}/2000");
     }

@@ -13,13 +13,18 @@
 
 use gpu_sim::GpuConfig;
 use plutus_bench::{run_one, Scheme};
-use plutus_core::binomial::{plutus_min_hits, tamper_hit_probability, binomial_tail, FORGERY_BUDGET};
+use plutus_core::binomial::{
+    binomial_tail, plutus_min_hits, tamper_hit_probability, FORGERY_BUDGET,
+};
 use workloads::{by_name, Scale};
 
 fn main() {
     // --- 1. The Eq. 1 security analysis across value-cache sizes. -------
     println!("value-cache size vs required hits per 128-bit unit (Eq. 1):");
-    println!("{:>10}{:>10}{:>24}", "entries", "min hits", "forgery tail at 3-of-4");
+    println!(
+        "{:>10}{:>10}{:>24}",
+        "entries", "min hits", "forgery tail at 3-of-4"
+    );
     for entries in [64usize, 128, 256, 512, 1024] {
         let p = tamper_hit_probability(entries, 28);
         println!(
@@ -37,7 +42,10 @@ fn main() {
         let w = by_name(name).expect("workload");
         let baseline = run_one(&w, Scheme::None, Scale::Small, &cfg);
         println!("=== {name} ===");
-        println!("{:<22}{:>12}{:>16}", "design", "norm. IPC", "metadata bytes");
+        println!(
+            "{:<22}{:>12}{:>16}",
+            "design", "norm. IPC", "metadata bytes"
+        );
         for scheme in [
             Scheme::Pssm,
             Scheme::FineLeafCoarseTree,

@@ -13,7 +13,10 @@ use workloads::{by_name, Scale};
 fn main() {
     let cfg = GpuConfig::default();
     let workload = by_name("bfs").expect("bfs is part of the suite");
-    println!("workload: bfs (synthetic graph traversal), {:?} scale", Scale::Small);
+    println!(
+        "workload: bfs (synthetic graph traversal), {:?} scale",
+        Scale::Small
+    );
 
     // 1. No security: the normalization baseline.
     let trace = workload.trace(Scale::Small);
@@ -53,8 +56,8 @@ fn main() {
     }
 
     let speedup = (plutus.ipc() / pssm.ipc() - 1.0) * 100.0;
-    let saved = (1.0 - plutus.stats.metadata_bytes() as f64 / pssm.stats.metadata_bytes() as f64)
-        * 100.0;
+    let saved =
+        (1.0 - plutus.stats.metadata_bytes() as f64 / pssm.stats.metadata_bytes() as f64) * 100.0;
     println!("\nPlutus vs PSSM: {speedup:+.1}% IPC, {saved:.1}% less metadata traffic");
     if let Some(avoided) = plutus.stats.engine_counter("mac_fetches_avoided") {
         let fills = plutus.stats.engine_counter("fills").unwrap_or(1).max(1);

@@ -37,7 +37,9 @@ fn main() {
     let fill = engine.on_fill(addr, &mut mem);
     println!(
         "bit-flip attack:  {}",
-        fill.violation.map(|v| v.to_string()).unwrap_or_else(|| "UNDETECTED!".into())
+        fill.violation
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "UNDETECTED!".into())
     );
     assert!(fill.violation.is_some(), "tampering must be detected");
     // Undo the flip.
@@ -51,7 +53,9 @@ fn main() {
     let fill = engine.on_fill(addr, &mut mem);
     println!(
         "replay attack:    {}",
-        fill.violation.map(|v| v.to_string()).unwrap_or_else(|| "UNDETECTED!".into())
+        fill.violation
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "UNDETECTED!".into())
     );
     assert!(fill.violation.is_some(), "replay must be detected");
 
@@ -67,9 +71,14 @@ fn main() {
     let fill = engine.on_fill(target, &mut mem);
     println!(
         "counter rollback: {}",
-        fill.violation.map(|v| v.to_string()).unwrap_or_else(|| "UNDETECTED!".into())
+        fill.violation
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "UNDETECTED!".into())
     );
-    assert!(fill.violation.is_some(), "counter rollback must be detected");
+    assert!(
+        fill.violation.is_some(),
+        "counter rollback must be detected"
+    );
 
     println!("\nall three attack classes detected; honest traffic unaffected");
 }

@@ -34,7 +34,11 @@ fn every_workload_completes_under_every_scheme() {
                 "{} under {:?} lost accesses",
                 w.name, scheme
             );
-            assert_eq!(r.stats.violations, 0, "{} under {:?} raised violations", w.name, scheme);
+            assert_eq!(
+                r.stats.violations, 0,
+                "{} under {:?} raised violations",
+                w.name, scheme
+            );
             assert!(r.stats.cycles > 0);
         }
     }
@@ -46,10 +50,16 @@ fn security_always_costs_cycles_and_metadata() {
         let w = by_name(name).unwrap();
         let none = run_one(&w, Scheme::None, Scale::Test, &cfg());
         let pssm = run_one(&w, Scheme::Pssm, Scale::Test, &cfg());
-        assert!(pssm.stats.cycles > none.stats.cycles, "{name}: pssm not slower");
+        assert!(
+            pssm.stats.cycles > none.stats.cycles,
+            "{name}: pssm not slower"
+        );
         assert!(pssm.stats.metadata_bytes() > 0);
         assert_eq!(none.stats.metadata_bytes(), 0);
-        assert_eq!(none.stats.total_bytes(), none.stats.class_bytes(gpu_sim::TrafficClass::Data));
+        assert_eq!(
+            none.stats.total_bytes(),
+            none.stats.class_bytes(gpu_sim::TrafficClass::Data)
+        );
     }
 }
 
@@ -101,10 +111,18 @@ fn no_tree_mode_removes_tree_traffic_only() {
     let plutus = run_one(&w, Scheme::Plutus, Scale::Test, &cfg());
     let no_tree = run_one(&w, Scheme::PlutusNoTree, Scale::Test, &cfg());
     assert_eq!(no_tree.stats.class_bytes(gpu_sim::TrafficClass::BmtNode), 0);
-    assert_eq!(no_tree.stats.class_bytes(gpu_sim::TrafficClass::CompactBmt), 0);
+    assert_eq!(
+        no_tree.stats.class_bytes(gpu_sim::TrafficClass::CompactBmt),
+        0
+    );
     assert!(plutus.stats.class_bytes(gpu_sim::TrafficClass::CompactBmt) > 0);
     // Still encrypted + counter-managed.
-    assert!(no_tree.stats.class_bytes(gpu_sim::TrafficClass::CompactCounter) > 0);
+    assert!(
+        no_tree
+            .stats
+            .class_bytes(gpu_sim::TrafficClass::CompactCounter)
+            > 0
+    );
 }
 
 #[test]
@@ -119,11 +137,18 @@ fn run_matrix_covers_all_cells_deterministically() {
             .iter()
             .find(|r| r.workload == row.workload && r.scheme == row.scheme)
             .expect("matching cell");
-        assert_eq!(row.cycles, twin.cycles, "nondeterministic cycles for {}", row.workload);
+        assert_eq!(
+            row.cycles, twin.cycles,
+            "nondeterministic cycles for {}",
+            row.workload
+        );
         assert_eq!(row.total_bytes, twin.total_bytes);
     }
     for row in a.iter().filter(|r| r.scheme != "no-security") {
-        assert!(row.norm_ipc <= 1.0 + 1e-9, "secure scheme faster than no security?");
+        assert!(
+            row.norm_ipc <= 1.0 + 1e-9,
+            "secure scheme faster than no security?"
+        );
     }
 }
 

@@ -11,12 +11,18 @@ use secure_mem::{CommonCountersEngine, PssmEngine, SecureMemConfig};
 
 fn victims() -> Vec<(&'static str, Box<dyn SecurityEngine>)> {
     vec![
-        ("pssm", Box::new(PssmEngine::new(SecureMemConfig::test_small()))),
+        (
+            "pssm",
+            Box::new(PssmEngine::new(SecureMemConfig::test_small())),
+        ),
         (
             "common-counters",
             Box::new(CommonCountersEngine::new(SecureMemConfig::test_small())),
         ),
-        ("plutus", Box::new(PlutusEngine::new(PlutusConfig::test_small()))),
+        (
+            "plutus",
+            Box::new(PlutusEngine::new(PlutusConfig::test_small())),
+        ),
     ]
 }
 
@@ -56,7 +62,10 @@ fn multi_sector_garbage_rewrites_are_detected() {
             rng.fill(&mut garbage[..]);
             mem.write(addr, garbage);
             let fill = engine.on_fill(addr, &mut mem);
-            assert!(fill.violation.is_some(), "{name}: garbage rewrite at {addr} undetected");
+            assert!(
+                fill.violation.is_some(),
+                "{name}: garbage rewrite at {addr} undetected"
+            );
         }
     }
 }
@@ -133,7 +142,10 @@ fn compact_counter_tampering_is_detected() {
     }
     engine.compact_mut().unwrap().tamper(addr, 0);
     let fill = engine.on_fill(addr, &mut mem);
-    assert!(fill.violation.is_some(), "compact counter rollback undetected");
+    assert!(
+        fill.violation.is_some(),
+        "compact counter rollback undetected"
+    );
 }
 
 #[test]
@@ -163,7 +175,10 @@ fn tampered_data_never_passes_value_verification() {
         }
         mem.corrupt(addr, &mask); // restore
     }
-    assert_eq!(undetected, 0, "{undetected}/5000 tampered sectors passed verification");
+    assert_eq!(
+        undetected, 0,
+        "{undetected}/5000 tampered sectors passed verification"
+    );
 }
 
 #[test]
