@@ -14,10 +14,20 @@
 //! `<path>` on exit; `--metrics-format json|csv` picks the exporter
 //! (default json) and `--epoch-cycles N` additionally closes an epoch
 //! every N simulated cycles inside each run.
+//!
+//! Fault-injection campaigns: `--campaign tamper|replay|rollback|sweep`
+//! replaces the experiment ids with a seeded Monte Carlo attack on every
+//! security engine (`--trials R` runs × `--faults F` faults each,
+//! `--seed S`), reporting detection rates, the detecting-layer
+//! histogram, and detection latencies under
+//! `target/experiments/campaign-<kind>.{json,csv}`. The campaign exits
+//! nonzero if the measured value-verification forgery-acceptance rate
+//! exceeds the analytic Eq. 1 binomial bound.
 
 use gpu_sim::GpuConfig;
 use plutus_bench::{
-    geomean, matrix_table, run_matrix, run_matrix_with_telemetry, save_json, EnergyModel,
+    campaign_table, eq1_checks, geomean, matrix_table, run_campaign, run_matrix,
+    run_matrix_with_telemetry, save_campaign, save_json, CampaignConfig, CampaignKind, EnergyModel,
     Measurement, Scheme,
 };
 use plutus_core::value_analysis::analyze_trace;
@@ -40,6 +50,10 @@ struct Args {
     metrics_out: Option<PathBuf>,
     metrics_format: MetricsFormat,
     epoch_cycles: Option<u64>,
+    campaign: Option<CampaignKind>,
+    trials: Option<usize>,
+    faults_per_run: Option<usize>,
+    seed: u64,
     tel: Telemetry,
 }
 
@@ -80,6 +94,10 @@ fn parse_args(tel: &Telemetry) -> Args {
     let mut metrics_out = None;
     let mut metrics_format = MetricsFormat::Json;
     let mut epoch_cycles = None;
+    let mut campaign = None;
+    let mut trials = None;
+    let mut faults_per_run = None;
+    let mut seed = 0xB00C_5EED;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -128,6 +146,40 @@ fn parse_args(tel: &Telemetry) -> Args {
                     _ => fail(tel, "--epoch-cycles requires a positive integer".into()),
                 };
             }
+            "--campaign" => {
+                i += 1;
+                campaign = match argv.get(i).and_then(|s| CampaignKind::parse(s)) {
+                    Some(k) => Some(k),
+                    None => fail(
+                        tel,
+                        format!(
+                            "unknown campaign {:?}; expected tamper|replay|rollback|sweep",
+                            argv.get(i).map_or("", String::as_str)
+                        ),
+                    ),
+                };
+            }
+            "--trials" => {
+                i += 1;
+                trials = match argv.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => fail(tel, "--trials requires a positive integer".into()),
+                };
+            }
+            "--faults" => {
+                i += 1;
+                faults_per_run = match argv.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => fail(tel, "--faults requires a positive integer".into()),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = match argv.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => n,
+                    None => fail(tel, "--seed requires an unsigned integer".into()),
+                };
+            }
             flag if flag.starts_with("--") => fail(tel, format!("unknown flag {flag}")),
             id => experiment = id.to_string(),
         }
@@ -161,7 +213,63 @@ fn parse_args(tel: &Telemetry) -> Args {
         metrics_out,
         metrics_format,
         epoch_cycles,
+        campaign,
+        trials,
+        faults_per_run,
+        seed,
         tel: tel.clone(),
+    }
+}
+
+/// Runs a fault-injection campaign and validates the Eq. 1 bound,
+/// exiting nonzero when any measured forgery-acceptance rate exceeds it.
+fn run_campaign_cli(args: &Args, cfg: &GpuConfig, kind: CampaignKind) {
+    let mut campaign = CampaignConfig::new(kind, args.seed, args.scale);
+    if let Some(t) = args.trials {
+        campaign.runs = t;
+    }
+    if let Some(f) = args.faults_per_run {
+        campaign.faults_per_run = f;
+    }
+    println!(
+        "=== campaign {} ({} runs x {} faults, seed {}, {:?} scale) ===",
+        kind.label(),
+        campaign.runs,
+        campaign.faults_per_run,
+        campaign.seed,
+        campaign.scale
+    );
+    let rows = run_campaign(&args.workloads, &campaign, cfg);
+    println!("{}", campaign_table(&rows));
+    let path = save_campaign(&format!("campaign-{}", kind.label()), &rows)
+        .expect("write campaign results");
+    println!("saved {} (and .csv)", path.display());
+    let checks = eq1_checks(&rows);
+    let mut failed = Vec::new();
+    for c in &checks {
+        println!(
+            "eq1 {}/{}: {} forgeries / {} adjudicated = {:.3e} (bound {:.3e}) {}",
+            c.workload,
+            c.scheme,
+            c.forgeries,
+            c.adjudicated,
+            c.empirical,
+            c.bound,
+            if c.holds() { "OK" } else { "VIOLATED" }
+        );
+        if !c.holds() {
+            failed.push(format!("{}/{}", c.workload, c.scheme));
+        }
+    }
+    if !failed.is_empty() {
+        fail(
+            &args.tel,
+            format!(
+                "Eq. 1 violated: measured value-verification forgery acceptance exceeds \
+                 the analytic binomial bound on {}",
+                failed.join(", ")
+            ),
+        );
     }
 }
 
@@ -169,6 +277,11 @@ fn main() {
     let tel = Telemetry::with_clock(Arc::new(CycleClock::new()));
     let args = parse_args(&tel);
     let cfg = GpuConfig::default();
+    if let Some(kind) = args.campaign {
+        run_campaign_cli(&args, &cfg, kind);
+        write_metrics(&args);
+        return;
+    }
     let ids: Vec<&str> = if args.experiment == "all" {
         vec![
             "table1", "table2", "fig6", "fig7", "fig9", "fig10", "fig15", "fig16", "fig17",
@@ -238,6 +351,10 @@ fn main() {
             other => fail(&args.tel, format!("unknown experiment {other}")),
         }
     }
+    write_metrics(&args);
+}
+
+fn write_metrics(args: &Args) {
     if let Some(path) = &args.metrics_out {
         let report = args.tel.report();
         let text = match args.metrics_format {

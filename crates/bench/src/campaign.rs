@@ -1,0 +1,728 @@
+//! Seeded Monte Carlo fault-injection campaigns.
+//!
+//! A campaign hammers every security engine with randomized mid-run
+//! faults — data corruption, replay, counter/MAC/BMT metadata rollback —
+//! scheduled through [`gpu_sim::FaultSchedule`] while real workload
+//! traces run, and aggregates how each fault resolved: which
+//! verification layer caught it, how many cycles detection took, and
+//! whether anything escaped. The campaign also validates the paper's
+//! Eq. 1 claim empirically: the measured forgery-acceptance rate of the
+//! value-verification fast path must stay at or below the analytic
+//! binomial-tail bound.
+//!
+//! Engines continue-and-count: a run does not stop at its first
+//! violation, so one run adjudicates every fault it was given.
+
+use crate::runner::Scheme;
+use gpu_sim::{
+    FaultKind, FaultOutcome, FaultSchedule, FaultTrigger, GpuConfig, MetaFault, ScheduledFault,
+    SectorAddr, Simulator, Trace,
+};
+use plutus_core::binomial::{
+    binomial_tail, plutus_min_hits, tamper_hit_probability, VALUES_PER_UNIT,
+};
+use plutus_core::ValueCacheConfig;
+use plutus_telemetry::Json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use workloads::{Scale, WorkloadSpec};
+
+/// Which fault family a campaign injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignKind {
+    /// Ciphertext corruption plus MAC and BMT-node tampering.
+    Tamper,
+    /// Snapshot/restore replay of stale ciphertext.
+    Replay,
+    /// Encryption-counter and compact-counter rollback.
+    Rollback,
+    /// All of the above, mixed uniformly.
+    Sweep,
+}
+
+impl CampaignKind {
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Option<CampaignKind> {
+        match s {
+            "tamper" => Some(CampaignKind::Tamper),
+            "replay" => Some(CampaignKind::Replay),
+            "rollback" => Some(CampaignKind::Rollback),
+            "sweep" => Some(CampaignKind::Sweep),
+            _ => None,
+        }
+    }
+
+    /// Stable label used in report file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            CampaignKind::Tamper => "tamper",
+            CampaignKind::Replay => "replay",
+            CampaignKind::Rollback => "rollback",
+            CampaignKind::Sweep => "sweep",
+        }
+    }
+}
+
+/// Campaign parameters. `runs × faults_per_run` faults are injected per
+/// engine per workload, all derived deterministically from `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Fault family to inject.
+    pub kind: CampaignKind,
+    /// Randomized runs per engine per workload.
+    pub runs: usize,
+    /// Faults scheduled in each run.
+    pub faults_per_run: usize,
+    /// Master seed; every run's schedule derives from it.
+    pub seed: u64,
+    /// Trace scale the victim workloads run at.
+    pub scale: Scale,
+}
+
+impl CampaignConfig {
+    /// The default campaign: 150 runs × 8 faults ≈ 1200 randomized
+    /// faults per engine per workload.
+    pub fn new(kind: CampaignKind, seed: u64, scale: Scale) -> Self {
+        Self {
+            kind,
+            runs: 150,
+            faults_per_run: 8,
+            seed,
+            scale,
+        }
+    }
+}
+
+/// The engines every campaign attacks.
+pub fn campaign_schemes() -> [Scheme; 3] {
+    [Scheme::Pssm, Scheme::CommonCounters, Scheme::Plutus]
+}
+
+/// Aggregated campaign outcome for one (workload, engine) pair.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Faults scheduled (snapshot bookkeeping excluded).
+    pub injected: u64,
+    /// Faults that changed simulator state.
+    pub applied: u64,
+    /// Applied faults caught by a verification layer.
+    pub detected: u64,
+    /// Applied faults served to the core with no violation.
+    pub escaped: u64,
+    /// Escapes of plaintext-changing faults accepted by the
+    /// value-verification fast path alone — forgery acceptances in
+    /// Eq. 1's terms (see [`randomizes_plaintext`]).
+    pub value_forgeries: u64,
+    /// Applied faults overwritten by a writeback before verification.
+    pub clobbered: u64,
+    /// Applied faults never verified again before the run ended.
+    pub unobserved: u64,
+    /// Faults that could not change state (target absent, metadata the
+    /// scheme does not keep, or a rollback to the current value).
+    pub not_applied: u64,
+    /// Detections per verification layer, stable label → count.
+    pub layer_hist: Vec<(String, u64)>,
+    /// Injection-to-detection latency of every detected fault, cycles.
+    pub latencies: Vec<u64>,
+}
+
+impl CampaignRow {
+    fn new(workload: &str, scheme: &Scheme) -> Self {
+        Self {
+            workload: workload.to_string(),
+            scheme: scheme.label(),
+            injected: 0,
+            applied: 0,
+            detected: 0,
+            escaped: 0,
+            value_forgeries: 0,
+            clobbered: 0,
+            unobserved: 0,
+            not_applied: 0,
+            layer_hist: Vec::new(),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Faults a verification layer actually ruled on.
+    pub fn adjudicated(&self) -> u64 {
+        self.detected + self.escaped
+    }
+
+    /// Detected fraction of adjudicated faults.
+    pub fn detection_rate(&self) -> f64 {
+        ratio(self.detected, self.adjudicated())
+    }
+
+    /// Escaped fraction of adjudicated faults.
+    pub fn escape_rate(&self) -> f64 {
+        ratio(self.escaped, self.adjudicated())
+    }
+
+    /// Measured forgery-acceptance rate of the value-verification fast
+    /// path: value-verified escapes over adjudicated faults.
+    pub fn forgery_rate(&self) -> f64 {
+        ratio(self.value_forgeries, self.adjudicated())
+    }
+
+    /// `(min, mean, p50, max)` of the detection-latency distribution,
+    /// all zero when nothing was detected.
+    pub fn latency_summary(&self) -> (u64, f64, u64, u64) {
+        if self.latencies.is_empty() {
+            return (0, 0.0, 0, 0);
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let sum: u64 = sorted.iter().sum();
+        (
+            sorted[0],
+            sum as f64 / sorted.len() as f64,
+            sorted[sorted.len() / 2],
+            sorted[sorted.len() - 1],
+        )
+    }
+
+    fn absorb(
+        &mut self,
+        records: &[gpu_sim::FaultRecord],
+        layer_counts: &mut HashMap<String, u64>,
+    ) {
+        for r in records {
+            self.injected += 1;
+            match r.outcome {
+                FaultOutcome::Detected { layer, latency } => {
+                    self.applied += 1;
+                    self.detected += 1;
+                    self.latencies.push(latency);
+                    *layer_counts.entry(layer.label().to_string()).or_insert(0) += 1;
+                }
+                FaultOutcome::Escaped { value_verified } => {
+                    self.applied += 1;
+                    self.escaped += 1;
+                    if value_verified && randomizes_plaintext(r.kind) {
+                        self.value_forgeries += 1;
+                    }
+                }
+                FaultOutcome::Clobbered => {
+                    self.applied += 1;
+                    self.clobbered += 1;
+                }
+                FaultOutcome::Unobserved => {
+                    self.applied += 1;
+                    self.unobserved += 1;
+                }
+                FaultOutcome::NotApplied => self.not_applied += 1,
+            }
+        }
+    }
+}
+
+/// Fault kinds whose applied effect changes the plaintext served to the
+/// core — the only kinds whose value-verified escapes count as forgery
+/// acceptances under Eq. 1. A tampered MAC or BMT node leaves the data
+/// path honest (the tampered structure simply goes unconsulted on a
+/// value-verified read), so such escapes are expected behaviour, not
+/// forgeries: Eq. 1 bounds the chance that *non-authentic* plaintext
+/// clears the 3-of-4 value screen.
+fn randomizes_plaintext(kind: &str) -> bool {
+    matches!(
+        kind,
+        "corrupt_data" | "replay_data" | "rollback_counter" | "rollback_compact"
+    )
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// SplitMix-style per-run seed derivation, so every (workload, scheme,
+/// run) triple gets an independent, reproducible stream.
+fn run_seed(base: u64, workload_idx: usize, scheme_idx: usize, run: usize) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(((workload_idx as u64) << 40) | ((scheme_idx as u64) << 32) | run as u64)
+}
+
+/// Address pools a schedule draws targets from, extracted once per
+/// workload trace.
+struct TargetPools {
+    /// Sectors resident in DRAM before the first access (initial image).
+    resident: Vec<SectorAddr>,
+    /// Every distinct sector the trace touches, first-seen order.
+    touched: Vec<SectorAddr>,
+    /// Distinct sectors the trace writes, first-seen order.
+    written: Vec<SectorAddr>,
+    /// Total accesses in the trace.
+    accesses: u64,
+}
+
+impl TargetPools {
+    fn of(trace: &Trace) -> Self {
+        let resident: Vec<SectorAddr> = trace.initial_image.iter().map(|(a, _)| *a).collect();
+        let mut touched = Vec::new();
+        let mut written = Vec::new();
+        let mut seen_touched = std::collections::HashSet::new();
+        let mut seen_written = std::collections::HashSet::new();
+        for a in &trace.accesses {
+            if seen_touched.insert(a.addr.raw()) {
+                touched.push(a.addr);
+            }
+            if a.kind == gpu_sim::AccessKind::Write && seen_written.insert(a.addr.raw()) {
+                written.push(a.addr);
+            }
+        }
+        Self {
+            resident,
+            touched,
+            written,
+            accesses: trace.accesses.len() as u64,
+        }
+    }
+
+    fn pick(pool: &[SectorAddr], fallback: &[SectorAddr], rng: &mut StdRng) -> Option<SectorAddr> {
+        let pool = if pool.is_empty() { fallback } else { pool };
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool[rng.gen_range(0..pool.len())])
+        }
+    }
+}
+
+/// Builds one randomized schedule. Returns the schedule and the number
+/// of scheduled faults (snapshot bookkeeping excluded).
+fn build_schedule(
+    kind: CampaignKind,
+    pools: &TargetPools,
+    faults_per_run: usize,
+    rng: &mut StdRng,
+) -> (FaultSchedule, u64) {
+    let mut schedule = FaultSchedule::new();
+    let mut injected = 0u64;
+    if pools.accesses < 2 {
+        return (schedule, injected);
+    }
+    for _ in 0..faults_per_run {
+        let sub = match kind {
+            CampaignKind::Sweep => match rng.gen_range(0..3u32) {
+                0 => CampaignKind::Tamper,
+                1 => CampaignKind::Replay,
+                _ => CampaignKind::Rollback,
+            },
+            k => k,
+        };
+        match sub {
+            CampaignKind::Tamper => {
+                let (addr, fk) = match rng.gen_range(0..3u32) {
+                    0 => {
+                        // Corrupt ciphertext of a sector known to be in
+                        // DRAM (initial image), with a nonzero mask.
+                        let Some(addr) = TargetPools::pick(&pools.resident, &pools.touched, rng)
+                        else {
+                            continue;
+                        };
+                        let mut mask = [0u8; 32];
+                        mask[rng.gen_range(0..32usize)] = rng.gen_range(1..=255u32) as u8;
+                        (addr, FaultKind::CorruptData { mask })
+                    }
+                    1 => {
+                        let Some(addr) = TargetPools::pick(&pools.touched, &pools.resident, rng)
+                        else {
+                            continue;
+                        };
+                        (addr, FaultKind::Metadata(MetaFault::TamperMac))
+                    }
+                    _ => {
+                        let Some(addr) = TargetPools::pick(&pools.touched, &pools.resident, rng)
+                        else {
+                            continue;
+                        };
+                        (addr, FaultKind::Metadata(MetaFault::TamperBmtNode))
+                    }
+                };
+                schedule.push(ScheduledFault {
+                    trigger: FaultTrigger::AtAccess(rng.gen_range(1..pools.accesses)),
+                    addr,
+                    kind: fk,
+                });
+                injected += 1;
+            }
+            CampaignKind::Replay => {
+                // Snapshot early, restore later: only pairs where the
+                // sector was rewritten in between actually change state.
+                let Some(addr) = TargetPools::pick(&pools.written, &pools.touched, rng) else {
+                    continue;
+                };
+                let snap_at = rng.gen_range(1..pools.accesses);
+                let replay_at = rng.gen_range(snap_at..=pools.accesses);
+                schedule.push(ScheduledFault {
+                    trigger: FaultTrigger::AtAccess(snap_at),
+                    addr,
+                    kind: FaultKind::SnapshotData,
+                });
+                schedule.push(ScheduledFault {
+                    trigger: FaultTrigger::AtAccess(replay_at),
+                    addr,
+                    kind: FaultKind::ReplayData,
+                });
+                injected += 1;
+            }
+            CampaignKind::Rollback => {
+                let Some(addr) = TargetPools::pick(&pools.written, &pools.touched, rng) else {
+                    continue;
+                };
+                let fk = if rng.gen_range(0..2u32) == 0 {
+                    FaultKind::Metadata(MetaFault::RollbackCounter {
+                        value: rng.gen_range(0..=255u32) as u8,
+                    })
+                } else {
+                    FaultKind::Metadata(MetaFault::RollbackCompact {
+                        value: rng.gen_range(0..8u32) as u8,
+                    })
+                };
+                schedule.push(ScheduledFault {
+                    trigger: FaultTrigger::AtAccess(rng.gen_range(1..pools.accesses)),
+                    addr,
+                    kind: fk,
+                });
+                injected += 1;
+            }
+            CampaignKind::Sweep => unreachable!("sweep resolved above"),
+        }
+    }
+    (schedule, injected)
+}
+
+/// Runs the campaign: every workload (on its own thread, like
+/// [`crate::run_matrix`]) × every security engine × `runs` seeded runs.
+///
+/// # Panics
+///
+/// Panics if a workload thread panics.
+pub fn run_campaign(
+    workloads: &[WorkloadSpec],
+    campaign: &CampaignConfig,
+    cfg: &GpuConfig,
+) -> Vec<CampaignRow> {
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .enumerate()
+            .map(|(wi, w)| {
+                let cfg = cfg.clone();
+                let campaign = *campaign;
+                scope.spawn(move || {
+                    let trace = w.trace(campaign.scale);
+                    let pools = TargetPools::of(&trace);
+                    let mut rows = Vec::new();
+                    for (si, scheme) in campaign_schemes().iter().enumerate() {
+                        let mut row = CampaignRow::new(w.name, scheme);
+                        let mut layer_counts: HashMap<String, u64> = HashMap::new();
+                        for run in 0..campaign.runs {
+                            let mut rng =
+                                StdRng::seed_from_u64(run_seed(campaign.seed, wi, si, run));
+                            let (schedule, _) = build_schedule(
+                                campaign.kind,
+                                &pools,
+                                campaign.faults_per_run,
+                                &mut rng,
+                            );
+                            if schedule.is_empty() {
+                                continue;
+                            }
+                            let factory = scheme.factory();
+                            let mut sim =
+                                Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
+                            sim.set_fault_schedule(schedule);
+                            let result = sim.run();
+                            row.absorb(&result.stats.fault_records, &mut layer_counts);
+                        }
+                        let mut hist: Vec<(String, u64)> = layer_counts.into_iter().collect();
+                        hist.sort();
+                        row.layer_hist = hist;
+                        rows.push(row);
+                    }
+                    rows
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("campaign workload thread panicked"));
+        }
+    });
+    out
+}
+
+/// One empirical-vs-analytic Eq. 1 comparison (paper Section IV-C).
+#[derive(Debug, Clone)]
+pub struct Eq1Check {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Faults a verification layer ruled on.
+    pub adjudicated: u64,
+    /// Value-verification forgery acceptances among them.
+    pub forgeries: u64,
+    /// Measured acceptance rate.
+    pub empirical: f64,
+    /// Analytic Eq. 1 bound the measurement must not exceed.
+    pub bound: f64,
+}
+
+impl Eq1Check {
+    /// True when the measurement respects the analytic bound.
+    pub fn holds(&self) -> bool {
+        self.empirical <= self.bound
+    }
+}
+
+/// The analytic Eq. 1 forgery bound at the default value-cache design
+/// point: `P(X ≥ x)` for one 128-bit unit under a tampered decrypt.
+pub fn eq1_bound() -> f64 {
+    let vc = ValueCacheConfig::default();
+    let p = tamper_hit_probability(vc.entries, vc.effective_bits());
+    binomial_tail(
+        VALUES_PER_UNIT,
+        plutus_min_hits(vc.entries, vc.effective_bits()),
+        p,
+    )
+}
+
+/// Extracts an [`Eq1Check`] per row of a value-verifying engine.
+pub fn eq1_checks(rows: &[CampaignRow]) -> Vec<Eq1Check> {
+    let bound = eq1_bound();
+    rows.iter()
+        .filter(|r| {
+            r.scheme == Scheme::Plutus.label() || r.scheme == Scheme::ValueVerifyOnly.label()
+        })
+        .map(|r| Eq1Check {
+            workload: r.workload.clone(),
+            scheme: r.scheme.clone(),
+            adjudicated: r.adjudicated(),
+            forgeries: r.value_forgeries,
+            empirical: r.forgery_rate(),
+            bound,
+        })
+        .collect()
+}
+
+/// Renders campaign rows as a JSON document.
+pub fn campaign_json(rows: &[CampaignRow]) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|r| {
+                let (lat_min, lat_mean, lat_p50, lat_max) = r.latency_summary();
+                let hist = r
+                    .layer_hist
+                    .iter()
+                    .fold(Json::object(), |o, (k, v)| o.set(k, *v));
+                Json::object()
+                    .set("workload", r.workload.as_str())
+                    .set("scheme", r.scheme.as_str())
+                    .set("injected", r.injected)
+                    .set("applied", r.applied)
+                    .set("detected", r.detected)
+                    .set("escaped", r.escaped)
+                    .set("value_forgeries", r.value_forgeries)
+                    .set("clobbered", r.clobbered)
+                    .set("unobserved", r.unobserved)
+                    .set("not_applied", r.not_applied)
+                    .set("detection_rate", r.detection_rate())
+                    .set("escape_rate", r.escape_rate())
+                    .set("forgery_rate", r.forgery_rate())
+                    .set("layer_histogram", hist)
+                    .set("latency_min", lat_min)
+                    .set("latency_mean", lat_mean)
+                    .set("latency_p50", lat_p50)
+                    .set("latency_max", lat_max)
+            })
+            .collect(),
+    )
+}
+
+/// Renders campaign rows as CSV (one row per workload × engine).
+pub fn campaign_csv(rows: &[CampaignRow]) -> String {
+    let mut out = String::from(
+        "workload,scheme,injected,applied,detected,escaped,value_forgeries,clobbered,\
+         unobserved,not_applied,detection_rate,escape_rate,latency_mean,latency_p50,latency_max\n",
+    );
+    for r in rows {
+        let (_, lat_mean, lat_p50, lat_max) = r.latency_summary();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.1},{},{}\n",
+            r.workload,
+            r.scheme,
+            r.injected,
+            r.applied,
+            r.detected,
+            r.escaped,
+            r.value_forgeries,
+            r.clobbered,
+            r.unobserved,
+            r.not_applied,
+            r.detection_rate(),
+            r.escape_rate(),
+            lat_mean,
+            lat_p50,
+            lat_max
+        ));
+    }
+    out
+}
+
+/// Writes campaign results as JSON and CSV under `target/experiments/`,
+/// returning the JSON path.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn save_campaign(name: &str, rows: &[CampaignRow]) -> std::io::Result<PathBuf> {
+    let dir = Path::new("target/experiments");
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("{name}.json"));
+    std::fs::write(&json_path, campaign_json(rows).to_string_pretty())?;
+    std::fs::write(dir.join(format!("{name}.csv")), campaign_csv(rows))?;
+    Ok(json_path)
+}
+
+/// Renders the per-(workload, engine) campaign table.
+pub fn campaign_table(rows: &[CampaignRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:<18}{:>9}{:>9}{:>9}{:>9}{:>7}{:>9}{:>11}{:>10}",
+        "workload",
+        "scheme",
+        "injected",
+        "applied",
+        "detected",
+        "escaped",
+        "other",
+        "det-rate",
+        "lat-p50",
+        "layers"
+    );
+    for r in rows {
+        let (_, _, lat_p50, _) = r.latency_summary();
+        let layers = r
+            .layer_hist
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "{:<14}{:<18}{:>9}{:>9}{:>9}{:>9}{:>7}{:>8.1}%{:>11}  {}",
+            r.workload,
+            r.scheme,
+            r.injected,
+            r.applied,
+            r.detected,
+            r.escaped,
+            r.clobbered + r.unobserved + r.not_applied,
+            r.detection_rate() * 100.0,
+            lat_p50,
+            layers
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::by_name;
+
+    fn tiny_campaign(kind: CampaignKind) -> CampaignConfig {
+        CampaignConfig {
+            kind,
+            runs: 3,
+            faults_per_run: 4,
+            seed: 7,
+            scale: Scale::Test,
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let w = [by_name("bfs").unwrap()];
+        let cfg = GpuConfig::test_small();
+        let a = run_campaign(&w, &tiny_campaign(CampaignKind::Tamper), &cfg);
+        let b = run_campaign(&w, &tiny_campaign(CampaignKind::Tamper), &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.injected, x.detected, x.escaped, x.not_applied),
+                (y.injected, y.detected, y.escaped, y.not_applied),
+                "{}/{} not reproducible",
+                x.workload,
+                x.scheme
+            );
+        }
+    }
+
+    #[test]
+    fn tamper_campaign_detects_and_never_forges() {
+        let w = [by_name("bfs").unwrap()];
+        let cfg = GpuConfig::test_small();
+        let rows = run_campaign(&w, &tiny_campaign(CampaignKind::Sweep), &cfg);
+        assert_eq!(rows.len(), campaign_schemes().len());
+        let total_detected: u64 = rows.iter().map(|r| r.detected).sum();
+        assert!(total_detected > 0, "campaign must catch something");
+        for check in eq1_checks(&rows) {
+            assert!(
+                check.holds(),
+                "{}/{}: empirical {} > bound {}",
+                check.workload,
+                check.scheme,
+                check.empirical,
+                check.bound
+            );
+        }
+        // Detected faults carry the detecting layer and a latency sample.
+        for r in &rows {
+            let hist_total: u64 = r.layer_hist.iter().map(|(_, v)| v).sum();
+            assert_eq!(hist_total, r.detected, "{}: histogram mismatch", r.scheme);
+            assert_eq!(r.latencies.len() as u64, r.detected);
+        }
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let rows = vec![CampaignRow {
+            layer_hist: vec![("mac".into(), 2)],
+            latencies: vec![10, 30],
+            injected: 4,
+            applied: 3,
+            detected: 2,
+            escaped: 0,
+            ..CampaignRow::new("bfs", &Scheme::Plutus)
+        }];
+        let json = campaign_json(&rows).to_string_pretty();
+        assert!(json.contains("\"detection_rate\""));
+        assert!(json.contains("\"mac\": 2"));
+        let csv = campaign_csv(&rows);
+        assert!(csv.starts_with("workload,scheme"));
+        assert!(csv.contains("bfs,plutus"));
+    }
+
+    #[test]
+    fn eq1_bound_matches_design_point() {
+        // 256 entries × 28 bits, 3-of-4: the bound is strictly positive
+        // and far below 1.
+        let b = eq1_bound();
+        assert!(b > 0.0 && b < 1e-10, "bound {b}");
+    }
+}

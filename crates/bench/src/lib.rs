@@ -10,10 +10,15 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod campaign;
 pub mod energy;
 pub mod report;
 pub mod runner;
 
+pub use campaign::{
+    campaign_csv, campaign_json, campaign_schemes, campaign_table, eq1_bound, eq1_checks,
+    run_campaign, save_campaign, CampaignConfig, CampaignKind, CampaignRow, Eq1Check,
+};
 pub use energy::EnergyModel;
 pub use report::{matrix_table, pct_change, save_json};
 pub use runner::{

@@ -60,7 +60,7 @@ impl Scheme {
         }
     }
 
-    fn factory(&self) -> Box<dyn EngineFactory> {
+    pub(crate) fn factory(&self) -> Box<dyn EngineFactory> {
         match self {
             Scheme::None => Box::new(NoSecurityFactoryShim),
             Scheme::Pssm => Box::new(PssmEngine::factory(SecureMemConfig::pssm())),

@@ -45,7 +45,11 @@ pub fn binomial_tail(n: u32, x: u32, p: f64) -> f64 {
 }
 
 /// Per-value hit probability for a tampered value: `K / 2^m` for a
-/// `K`-entry cache matching on `m` effective bits.
+/// `K`-entry cache matching on `m` effective bits, clamped to 1.0 —
+/// a cache holding more (distinct-tag) entries than the tag space has
+/// values degenerates to "every tampered value hits". Without the clamp,
+/// `p > 1` makes [`binomial_pmf`]'s `(1 - p)` factor negative, and the
+/// whole Eq. 1 analysis (and [`plutus_min_hits`]) returns nonsense.
 ///
 /// # Panics
 ///
@@ -56,7 +60,7 @@ pub fn tamper_hit_probability(entries: usize, effective_bits: u32) -> f64 {
         (1..=63).contains(&effective_bits),
         "effective_bits must be 1..=63"
     );
-    entries as f64 / (1u64 << effective_bits) as f64
+    (entries as f64 / (1u64 << effective_bits) as f64).min(1.0)
 }
 
 /// Minimum hits `x` (out of `n`) a 128-bit unit must score for the forgery
@@ -155,5 +159,22 @@ mod tests {
     #[should_panic(expected = "effective_bits")]
     fn rejects_bad_bits() {
         tamper_hit_probability(256, 0);
+    }
+
+    /// Regression: more entries than tag-space values used to yield p > 1,
+    /// a *negative* pmf for x < n, and a bogus `plutus_min_hits` answer.
+    #[test]
+    fn degenerate_geometry_clamps_to_certain_hit() {
+        let p = tamper_hit_probability(1 << 30, 20);
+        assert_eq!(p, 1.0);
+        for x in 0..=VALUES_PER_UNIT {
+            let pmf = binomial_pmf(VALUES_PER_UNIT, x, p);
+            assert!((0.0..=1.0).contains(&pmf), "pmf({x}) = {pmf} out of [0, 1]");
+        }
+        // Every tampered value hits: the tail is 1 for every x, no hit
+        // threshold can meet the budget, and the fallback is "all hits".
+        assert_eq!(binomial_tail(VALUES_PER_UNIT, VALUES_PER_UNIT, p), 1.0);
+        assert_eq!(min_hits_required(VALUES_PER_UNIT, p, FORGERY_BUDGET), None);
+        assert_eq!(plutus_min_hits(1 << 30, 20), VALUES_PER_UNIT);
     }
 }

@@ -291,7 +291,7 @@ impl CompactCounters {
             None => self.zero_leaf_hash(block),
         };
         if recomputed != expected && out.violation.is_none() {
-            out.violation = Some(Violation::TreeMismatch {
+            out.violation = Some(Violation::CompactTreeMismatch {
                 addr: sector,
                 level: 0,
             });
@@ -433,9 +433,15 @@ impl CompactCounters {
             || self.value_of(sector) >= self.cfg.kind.saturation()
     }
 
-    /// Attack hook: tamper with a stored compact counter.
-    pub fn tamper(&mut self, sector: SectorAddr, value: u8) {
+    /// Attack hook: tamper with a stored compact counter. Returns `false`
+    /// when `value` equals the current counter (rolling back to the
+    /// present value changes nothing).
+    pub fn tamper(&mut self, sector: SectorAddr, value: u8) -> bool {
+        if self.value_of(sector) == value {
+            return false;
+        }
         self.values.insert(sector.index(), value);
+        true
     }
 
     /// `(cache hits, cache misses, saturations, adaptive disables, tree
@@ -598,9 +604,12 @@ mod tests {
         for b in 1..200u64 {
             c.read(sector(b * 64));
         }
-        c.tamper(sector(0), 0); // roll back 1 → 0
+        assert!(c.tamper(sector(0), 0)); // roll back 1 → 0
         let a = c.read(sector(0));
-        assert!(matches!(a.violation, Some(Violation::TreeMismatch { .. })));
+        assert!(matches!(
+            a.violation,
+            Some(Violation::CompactTreeMismatch { .. })
+        ));
     }
 
     #[test]

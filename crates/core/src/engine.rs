@@ -24,7 +24,8 @@ use crate::compact::CompactCounters;
 use crate::config::PlutusConfig;
 use crate::verify::{ValueVerifier, Verdict, WriteScreen};
 use gpu_sim::{
-    BackingMemory, EngineFactory, FillPlan, SectorAddr, SecurityEngine, Violation, WritePlan,
+    BackingMemory, EngineFactory, FillPlan, MetaFault, SectorAddr, SecurityEngine, Violation,
+    WritePlan,
 };
 use plutus_telemetry::{Counter, Event, Telemetry};
 use secure_mem::{CounterAccess, CounterSystem, DataCipher, MacSystem};
@@ -268,6 +269,7 @@ impl SecurityEngine for PlutusEngine {
         match self.verifier.as_mut().map(|v| v.verify_read(&plaintext)) {
             Some(Verdict::Verified) => {
                 // Integrity assured by value locality: no MAC at all.
+                plan.verified_by_value = true;
                 self.mac_fetches_avoided += 1;
                 self.tel_mac_avoided.inc();
                 if self.tel.enabled() {
@@ -276,13 +278,16 @@ impl SecurityEngine for PlutusEngine {
                 }
             }
             Some(Verdict::NeedMac) => {
-                // Deferred MAC: fetched only now, after decryption.
+                // Deferred MAC: fetched only now, after decryption. A
+                // mismatch here means the value screen rejected the sector
+                // and the deferred MAC confirmed it (Fig. 11 read flow) —
+                // attributed to the value-verification layer.
                 let ma = self.macs.read(addr);
                 plan.post_chain = ma.chain;
                 plan.writes.extend(ma.writes);
                 plan.post_latency = lat.mac_latency;
                 if !self.macs.verify(addr, &plaintext, ctr) && plan.violation.is_none() {
-                    plan.violation = Some(Violation::MacMismatch { addr });
+                    plan.violation = Some(Violation::ValueMismatch { addr });
                 }
             }
             None => {
@@ -482,6 +487,33 @@ impl SecurityEngine for PlutusEngine {
         }
         out
     }
+
+    fn inject_fault(&mut self, addr: SectorAddr, fault: MetaFault) -> bool {
+        // While a sector's live counter is served by the compact layer, the
+        // original split counter (and the main BMT protecting it) are never
+        // consulted on its read path — faults against them are not applied,
+        // so campaigns don't count honest-data reads as escapes.
+        let original_live = self.compact.as_ref().is_none_or(|c| c.uses_original(addr));
+        match fault {
+            MetaFault::RollbackCounter { value } => {
+                original_live && self.counters.tamper_minor(addr, value)
+            }
+            MetaFault::TamperMac => {
+                self.macs.tamper(addr);
+                true
+            }
+            MetaFault::TamperBmtNode => {
+                if original_live {
+                    self.counters.tamper_bmt(addr);
+                }
+                original_live
+            }
+            MetaFault::RollbackCompact { value } => match self.compact.as_mut() {
+                Some(c) if !c.uses_original(addr) => c.tamper(addr, value),
+                _ => false,
+            },
+        }
+    }
 }
 
 /// Factory building [`PlutusEngine`] instances per partition.
@@ -610,7 +642,7 @@ mod tests {
         e.on_writeback(sector(0), &[1; 32], &mut mem);
         let old = mem.snapshot(sector(0)).unwrap();
         e.on_writeback(sector(0), &[2; 32], &mut mem);
-        mem.replay(sector(0), old);
+        assert!(mem.replay(sector(0), old));
         let fill = e.on_fill(sector(0), &mut mem);
         assert!(
             fill.violation.is_some(),

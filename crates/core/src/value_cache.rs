@@ -202,10 +202,13 @@ impl ValueCache {
         ProbeResult::Miss
     }
 
-    /// Inserts `value` if absent (recently seen). Present values are
-    /// refreshed instead.
+    /// Inserts `value` if absent (recently seen). Present values only have
+    /// their recency refreshed: the use counter that drives promotion is
+    /// advanced by *probe hits* alone, so that the counted uses, the hits
+    /// reported by [`ValueCache::stats`], and the pinning decision all
+    /// measure the same thing. (The usual probe-miss-then-insert sequence
+    /// also advances the recency clock exactly once, in the probe.)
     pub fn insert(&mut self, value: u32) {
-        self.tick += 1;
         let key = self.key_of(value);
         if let Some(e) = self.pinned.iter_mut().find(|e| e.key == key) {
             e.last_used = self.tick;
@@ -213,9 +216,9 @@ impl ValueCache {
         }
         if let Some(e) = self.transient.iter_mut().find(|e| e.key == key) {
             e.last_used = self.tick;
-            e.uses = (e.uses + 1).min(15);
             return;
         }
+        self.tick += 1;
         let capacity = self.cfg.entries - self.pinned.len();
         if self.transient.len() >= capacity {
             // Evict the least recently used transient entry.
@@ -383,5 +386,45 @@ mod tests {
             entries: 0,
             ..Default::default()
         });
+    }
+
+    /// Regression: re-inserting a present value used to bump its use
+    /// counter, so repeated *writes* of a value could pin it without a
+    /// single probe hit — promotion must be earned by probe hits alone.
+    #[test]
+    fn insert_refreshes_do_not_count_toward_promotion() {
+        let cfg = ValueCacheConfig {
+            promote_threshold: 3,
+            ..Default::default()
+        };
+        let mut c = ValueCache::new(cfg);
+        for _ in 0..20 {
+            c.insert(9 << 4);
+        }
+        assert!(!c.is_pinned(9 << 4), "inserts alone must never pin");
+        // One probe hit is still below the threshold of 3.
+        assert!(c.probe(9 << 4).is_hit());
+        assert!(!c.is_pinned(9 << 4));
+        let (h, _, _) = c.stats();
+        assert_eq!(h, 1, "only the probe counts as a hit");
+    }
+
+    /// An insert refresh must still update recency, or hot written values
+    /// would be evicted as stale.
+    #[test]
+    fn insert_refresh_updates_recency() {
+        let cfg = ValueCacheConfig {
+            entries: 4,
+            pinned_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut c = ValueCache::new(cfg);
+        for i in 0..4u32 {
+            c.insert(i << 4);
+        }
+        c.insert(0); // refresh value 0 (oldest) via insert, not probe
+        c.insert(100 << 4); // evicts LRU, which must now be value 1
+        assert!(c.probe(0).is_hit(), "refreshed entry was evicted");
+        assert_eq!(c.probe(1 << 4), ProbeResult::Miss);
     }
 }

@@ -1,0 +1,187 @@
+//! Cycle- and access-scheduled fault injection.
+//!
+//! A [`FaultSchedule`] is handed to the simulator before `run()` and
+//! consumed *during* execution: when simulated time (or the number of
+//! arrived memory accesses) reaches a fault's trigger, the simulator
+//! applies it — corrupting or replaying data sectors in the
+//! [`crate::BackingMemory`] directly, and delegating metadata faults
+//! (counter rollback, MAC tamper, BMT-node tamper, compact-counter
+//! rollback) to the owning partition's engine via
+//! [`crate::SecurityEngine::inject_fault`].
+//!
+//! Every applied fault is *armed* on its data sector; the simulator
+//! resolves it into a [`crate::stats::FaultOutcome`] when the sector is
+//! next filled (detected / escaped), overwritten (clobbered), or when the
+//! run ends without either (unobserved). This is what turns one-shot
+//! tamper probes into measurable Monte Carlo campaigns: the simulation
+//! continues and counts rather than stopping at the first violation.
+
+use crate::address::SectorAddr;
+use crate::security::MetaFault;
+
+/// When a scheduled fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire at the first event at or after this simulated cycle.
+    AtCycle(u64),
+    /// Fire just before the Nth memory access (1-based) is processed at
+    /// its L2 partition.
+    AtAccess(u64),
+}
+
+/// What a scheduled fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// XOR `mask` into the stored bytes of the data sector.
+    CorruptData {
+        /// Mask XORed into the 32 stored bytes.
+        mask: [u8; 32],
+    },
+    /// Capture the sector's current bytes for a later [`FaultKind::ReplayData`].
+    /// Snapshots are attacker bookkeeping, not faults: they change nothing
+    /// and produce no fault record.
+    SnapshotData,
+    /// Restore the bytes captured by the most recent snapshot of the same
+    /// sector. Applies only if a snapshot exists, the sector is resident,
+    /// and the bytes actually differ (replaying identical ciphertext is
+    /// not an attack).
+    ReplayData,
+    /// A fault against the engine's metadata structures.
+    Metadata(MetaFault),
+}
+
+impl FaultKind {
+    /// Stable short label used in fault records and campaign reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::CorruptData { .. } => "corrupt_data",
+            FaultKind::SnapshotData => "snapshot_data",
+            FaultKind::ReplayData => "replay_data",
+            FaultKind::Metadata(mf) => mf.label(),
+        }
+    }
+}
+
+/// One fault scheduled against one data sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// When the fault fires.
+    pub trigger: FaultTrigger,
+    /// The data sector the fault targets (metadata faults name the data
+    /// sector whose metadata is attacked).
+    pub addr: SectorAddr,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+/// An ordered collection of scheduled faults the simulator drains as the
+/// run advances.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    by_cycle: Vec<ScheduledFault>,
+    by_access: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault to the schedule.
+    pub fn push(&mut self, fault: ScheduledFault) {
+        match fault.trigger {
+            FaultTrigger::AtCycle(_) => self.by_cycle.push(fault),
+            FaultTrigger::AtAccess(_) => self.by_access.push(fault),
+        }
+    }
+
+    /// Number of faults not yet fired.
+    pub fn len(&self) -> usize {
+        self.by_cycle.len() + self.by_access.len()
+    }
+
+    /// Whether all faults have fired (or none were scheduled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sorts both queues so due faults can be popped from the front.
+    /// Called once when the schedule is installed; the sort is stable so
+    /// same-trigger faults fire in insertion order.
+    pub(crate) fn normalize(&mut self) {
+        self.by_cycle.sort_by_key(|f| match f.trigger {
+            FaultTrigger::AtCycle(c) => c,
+            FaultTrigger::AtAccess(_) => unreachable!("cycle queue holds cycle triggers"),
+        });
+        self.by_access.sort_by_key(|f| match f.trigger {
+            FaultTrigger::AtAccess(n) => n,
+            FaultTrigger::AtCycle(_) => unreachable!("access queue holds access triggers"),
+        });
+        // Pop from the back.
+        self.by_cycle.reverse();
+        self.by_access.reverse();
+    }
+
+    /// Removes and returns the next fault due at `cycle` with
+    /// `accesses_seen` accesses arrived, if any.
+    pub(crate) fn pop_due(&mut self, cycle: u64, accesses_seen: u64) -> Option<ScheduledFault> {
+        if let Some(f) = self.by_cycle.last() {
+            if matches!(f.trigger, FaultTrigger::AtCycle(c) if c <= cycle) {
+                return self.by_cycle.pop();
+            }
+        }
+        if let Some(f) = self.by_access.last() {
+            if matches!(f.trigger, FaultTrigger::AtAccess(n) if n <= accesses_seen) {
+                return self.by_access.pop();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(trigger: FaultTrigger) -> ScheduledFault {
+        ScheduledFault {
+            trigger,
+            addr: SectorAddr::new(0x40),
+            kind: FaultKind::CorruptData { mask: [1; 32] },
+        }
+    }
+
+    #[test]
+    fn pops_in_trigger_order() {
+        let mut s = FaultSchedule::new();
+        s.push(fault(FaultTrigger::AtCycle(50)));
+        s.push(fault(FaultTrigger::AtCycle(10)));
+        s.push(fault(FaultTrigger::AtAccess(3)));
+        s.normalize();
+        assert_eq!(s.len(), 3);
+        assert!(s.pop_due(5, 0).is_none());
+        assert_eq!(s.pop_due(20, 0).unwrap().trigger, FaultTrigger::AtCycle(10));
+        assert!(s.pop_due(20, 2).is_none());
+        assert_eq!(s.pop_due(20, 3).unwrap().trigger, FaultTrigger::AtAccess(3));
+        assert_eq!(s.pop_due(60, 3).unwrap().trigger, FaultTrigger::AtCycle(50));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            FaultKind::CorruptData { mask: [0; 32] }.label(),
+            "corrupt_data"
+        );
+        assert_eq!(FaultKind::ReplayData.label(), "replay_data");
+        assert_eq!(
+            FaultKind::Metadata(MetaFault::TamperMac).label(),
+            "tamper_mac"
+        );
+        assert_eq!(
+            FaultKind::Metadata(MetaFault::RollbackCompact { value: 0 }).label(),
+            "rollback_compact"
+        );
+    }
+}

@@ -39,6 +39,7 @@ pub mod address;
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod fault;
 pub mod mem;
 pub mod security;
 pub mod sim;
@@ -49,10 +50,12 @@ pub use address::{
     partition_of, BlockAddr, SectorAddr, BLOCK_SIZE, SECTORS_PER_BLOCK, SECTOR_SIZE,
 };
 pub use config::{DramConfig, GpuConfig, SecurityLatencies};
+pub use fault::{FaultKind, FaultSchedule, FaultTrigger, ScheduledFault};
 pub use mem::BackingMemory;
 pub use security::{
-    DramReq, EngineFactory, FillPlan, NoSecurityEngine, SecurityEngine, Violation, WritePlan,
+    DetectionLayer, DramReq, EngineFactory, FillPlan, MetaFault, NoSecurityEngine, SecurityEngine,
+    Violation, WritePlan,
 };
 pub use sim::{SimResult, Simulator};
-pub use stats::{SimStats, TrafficClass};
+pub use stats::{FaultOutcome, FaultRecord, SimStats, TrafficClass, ViolationRecord};
 pub use trace::{AccessKind, Trace, TraceAccess};

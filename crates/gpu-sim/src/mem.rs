@@ -63,8 +63,19 @@ impl BackingMemory {
     }
 
     /// Physical attack: restores previously captured bytes (a replay).
-    pub fn replay(&mut self, addr: SectorAddr, old: [u8; 32]) {
-        self.write(addr, old);
+    ///
+    /// Returns `false` (and does nothing) if the sector is not resident —
+    /// like [`BackingMemory::corrupt`], a physical attacker can overwrite
+    /// bytes that exist but cannot materialize sectors the program never
+    /// wrote.
+    pub fn replay(&mut self, addr: SectorAddr, old: [u8; 32]) -> bool {
+        match self.sectors.get_mut(&addr.raw()) {
+            Some(data) => {
+                *data = old;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -108,7 +119,17 @@ mod tests {
         m.write(a, [1; 32]);
         let old = m.snapshot(a).unwrap();
         m.write(a, [2; 32]);
-        m.replay(a, old);
+        assert!(m.replay(a, old));
         assert_eq!(m.read(a), Some([1; 32]));
+    }
+
+    #[test]
+    fn replay_missing_sector_is_rejected() {
+        // Regression: replay used to call `write` unconditionally, letting
+        // an "attacker" materialize sectors the program never wrote.
+        let mut m = BackingMemory::new();
+        assert!(!m.replay(SectorAddr::new(0x100), [7; 32]));
+        assert_eq!(m.read(SectorAddr::new(0x100)), None);
+        assert_eq!(m.resident_sectors(), 0);
     }
 }

@@ -31,11 +31,64 @@ impl DramReq {
     }
 }
 
+/// The verification layer that caught an integrity violation.
+///
+/// Fault-injection campaigns histogram detections by layer to show which
+/// mechanism each engine actually relies on: PSSM-style engines catch
+/// data tampering at the MAC, Plutus catches it on the value-verification
+/// read path, and counter replays surface in one of the two trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectionLayer {
+    /// The value-verification read path (value screen + deferred MAC).
+    ValueVerification,
+    /// The per-sector MAC, checked in parallel with decryption.
+    Mac,
+    /// The Bonsai Merkle Tree over the original counters.
+    Bmt {
+        /// Tree level at which verification failed (0 = leaf).
+        level: u32,
+    },
+    /// The small BMT protecting the compact counters.
+    CompactBmt {
+        /// Tree level at which verification failed (0 = leaf).
+        level: u32,
+    },
+}
+
+impl DetectionLayer {
+    /// Stable short label used in histograms and telemetry exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectionLayer::ValueVerification => "value_verification",
+            DetectionLayer::Mac => "mac",
+            DetectionLayer::Bmt { .. } => "bmt",
+            DetectionLayer::CompactBmt { .. } => "compact_bmt",
+        }
+    }
+}
+
+impl std::fmt::Display for DetectionLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectionLayer::Bmt { level } => write!(f, "bmt[{level}]"),
+            DetectionLayer::CompactBmt { level } => write!(f, "compact_bmt[{level}]"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
 /// A detected integrity violation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Violation {
     /// The per-sector MAC did not match the decrypted data.
     MacMismatch {
+        /// The offending data sector.
+        addr: SectorAddr,
+    },
+    /// Tampering caught on the value-verification read path: the value
+    /// screen rejected the fast path and the deferred MAC confirmed the
+    /// mismatch (the Plutus read flow of the paper's Fig. 11).
+    ValueMismatch {
         /// The offending data sector.
         addr: SectorAddr,
     },
@@ -46,15 +99,86 @@ pub enum Violation {
         /// Tree level at which verification failed (0 = leaf/counter).
         level: u32,
     },
+    /// A node of the compact-counter BMT failed verification (tampered or
+    /// rolled-back compact counter).
+    CompactTreeMismatch {
+        /// The offending data sector.
+        addr: SectorAddr,
+        /// Tree level at which verification failed (0 = leaf).
+        level: u32,
+    },
+}
+
+impl Violation {
+    /// The data sector the violation was raised for.
+    pub fn addr(&self) -> SectorAddr {
+        match self {
+            Violation::MacMismatch { addr }
+            | Violation::ValueMismatch { addr }
+            | Violation::TreeMismatch { addr, .. }
+            | Violation::CompactTreeMismatch { addr, .. } => *addr,
+        }
+    }
+
+    /// Which verification layer detected the violation.
+    pub fn layer(&self) -> DetectionLayer {
+        match self {
+            Violation::MacMismatch { .. } => DetectionLayer::Mac,
+            Violation::ValueMismatch { .. } => DetectionLayer::ValueVerification,
+            Violation::TreeMismatch { level, .. } => DetectionLayer::Bmt { level: *level },
+            Violation::CompactTreeMismatch { level, .. } => {
+                DetectionLayer::CompactBmt { level: *level }
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::MacMismatch { addr } => write!(f, "MAC mismatch at {addr}"),
+            Violation::ValueMismatch { addr } => {
+                write!(f, "value-verification mismatch at {addr}")
+            }
             Violation::TreeMismatch { addr, level } => {
                 write!(f, "integrity-tree mismatch at {addr} (level {level})")
             }
+            Violation::CompactTreeMismatch { addr, level } => {
+                write!(f, "compact-tree mismatch at {addr} (level {level})")
+            }
+        }
+    }
+}
+
+/// A fault a [`crate::FaultSchedule`] asks the owning engine to apply to
+/// its *metadata* structures mid-run (data-sector faults go straight to
+/// the [`BackingMemory`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaFault {
+    /// Roll the sector's encryption counter (minor part) back to `value`.
+    RollbackCounter {
+        /// Minor-counter value to roll back to.
+        value: u8,
+    },
+    /// Corrupt the sector's stored MAC tag.
+    TamperMac,
+    /// Roll the sector's compact counter back to `value`.
+    RollbackCompact {
+        /// Compact-counter value to roll back to.
+        value: u8,
+    },
+    /// Corrupt the BMT node (leaf record) covering the sector's counter.
+    TamperBmtNode,
+}
+
+impl MetaFault {
+    /// Stable short label used in campaign reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MetaFault::RollbackCounter { .. } => "rollback_counter",
+            MetaFault::TamperMac => "tamper_mac",
+            MetaFault::RollbackCompact { .. } => "rollback_compact",
+            MetaFault::TamperBmtNode => "tamper_bmt_node",
         }
     }
 }
@@ -92,6 +216,10 @@ pub struct FillPlan {
     pub plaintext: [u8; 32],
     /// Set when verification failed (tampered/replayed memory).
     pub violation: Option<Violation>,
+    /// True when the sector was accepted by value verification alone
+    /// (no MAC fetched). Campaigns use this to classify an undetected
+    /// tampered fill as a forgery acceptance of the fast path (Eq. 1).
+    pub verified_by_value: bool,
 }
 
 /// Timing plan for one dirty-sector writeback.
@@ -145,6 +273,17 @@ pub trait SecurityEngine {
     /// once per engine, right after construction and before any traffic.
     /// The default implementation ignores it.
     fn attach_telemetry(&mut self, _tel: &plutus_telemetry::Telemetry) {}
+
+    /// Applies a mid-run metadata fault from a [`crate::FaultSchedule`]
+    /// to the engine's functional structures (counters, MACs, BMT nodes,
+    /// compact counters). Returns `true` only when the engine has such a
+    /// structure *and* applying the fault changed its state — a rollback
+    /// to the current value, or a fault against metadata the scheme does
+    /// not keep, returns `false` so campaigns can count it as
+    /// not-applied rather than an escape. Must not generate timing.
+    fn inject_fault(&mut self, _addr: SectorAddr, _fault: MetaFault) -> bool {
+        false
+    }
 }
 
 /// Builds one engine instance per partition.

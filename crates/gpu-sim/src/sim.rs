@@ -19,9 +19,10 @@ use crate::address::{partition_of, SectorAddr, SECTOR_SIZE};
 use crate::cache::{EvictedSector, SectoredCache};
 use crate::config::GpuConfig;
 use crate::dram::DramChannel;
+use crate::fault::{FaultKind, FaultSchedule, ScheduledFault};
 use crate::mem::BackingMemory;
-use crate::security::{EngineFactory, SecurityEngine};
-use crate::stats::{SimStats, TrafficClass};
+use crate::security::{EngineFactory, SecurityEngine, Violation};
+use crate::stats::{FaultOutcome, FaultRecord, SimStats, TrafficClass, ViolationRecord};
 use crate::trace::{AccessKind, Trace, TraceAccess};
 use plutus_telemetry::{Counter, Event as TelEvent, Histogram, Telemetry};
 use std::cmp::Reverse;
@@ -54,6 +55,16 @@ impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// A fault applied to a sector, awaiting resolution (detected / escaped /
+/// clobbered) at the sector's next verification.
+#[derive(Debug, Clone, Copy)]
+struct ArmedFault {
+    /// Cycle at which the fault was applied.
+    cycle: u64,
+    /// Stable label of the fault kind.
+    kind: &'static str,
 }
 
 #[derive(Debug)]
@@ -187,6 +198,15 @@ pub struct Simulator {
     /// Close a telemetry epoch every this many simulated cycles.
     epoch_interval: Option<u64>,
     next_epoch_at: u64,
+    /// Faults still waiting for their trigger.
+    faults: FaultSchedule,
+    /// Attacker snapshots captured by [`FaultKind::SnapshotData`].
+    snapshots: HashMap<u64, [u8; 32]>,
+    /// Applied faults awaiting resolution, keyed by raw sector address.
+    armed: HashMap<u64, ArmedFault>,
+    /// Accesses that have arrived at their partition (drives
+    /// [`crate::FaultTrigger::AtAccess`]).
+    accesses_seen: u64,
 }
 
 impl Simulator {
@@ -267,6 +287,10 @@ impl Simulator {
             simtel,
             epoch_interval: None,
             next_epoch_at: u64::MAX,
+            faults: FaultSchedule::new(),
+            snapshots: HashMap::new(),
+            armed: HashMap::new(),
+            accesses_seen: 0,
         }
     }
 
@@ -283,9 +307,25 @@ impl Simulator {
     }
 
     /// Mutable access to the functional memory, for injecting physical
-    /// attacks before (or between) runs.
+    /// attacks before (or between) runs. Mid-run attacks go through
+    /// [`Simulator::set_fault_schedule`] instead, which also tracks each
+    /// fault's outcome.
     pub fn backing_mut(&mut self) -> &mut BackingMemory {
         &mut self.backing
+    }
+
+    /// Installs a schedule of faults to inject *during* the run.
+    ///
+    /// Each applied fault is resolved into a
+    /// [`FaultOutcome`] in [`SimStats::fault_records`]: detected (with the
+    /// detecting layer and injection-to-detection latency), escaped,
+    /// clobbered by a writeback, or unobserved. The simulation continues
+    /// and counts violations rather than stopping at the first one, so a
+    /// schedule with thousands of faults measures detection rates in one
+    /// run. Replaces any previously installed schedule.
+    pub fn set_fault_schedule(&mut self, mut schedule: FaultSchedule) {
+        schedule.normalize();
+        self.faults = schedule;
     }
 
     /// Read access to the functional memory.
@@ -320,6 +360,14 @@ impl Simulator {
                     self.roll_epochs(ev.time);
                 }
             }
+            if !self.faults.is_empty() {
+                if matches!(ev.kind, EventKind::Arrive { .. }) {
+                    self.accesses_seen += 1;
+                }
+                while let Some(f) = self.faults.pop_due(ev.time, self.accesses_seen) {
+                    self.apply_fault(ev.time, f);
+                }
+            }
             match ev.kind {
                 EventKind::WarpNext { warp } => self.warp_next(ev.time, warp),
                 EventKind::Arrive { access } => self.arrive(ev.time, access),
@@ -346,8 +394,113 @@ impl Simulator {
         }
     }
 
+    /// Applies one scheduled fault: data faults go straight to the
+    /// backing store; metadata faults are delegated to the partition
+    /// engine owning the sector. Applied faults are armed on the sector
+    /// for outcome resolution; faults that could not change state are
+    /// recorded as [`FaultOutcome::NotApplied`] immediately.
+    fn apply_fault(&mut self, now: u64, f: ScheduledFault) {
+        let applied = match f.kind {
+            FaultKind::CorruptData { mask } => self.backing.corrupt(f.addr, &mask),
+            FaultKind::SnapshotData => {
+                if let Some(bytes) = self.backing.snapshot(f.addr) {
+                    self.snapshots.insert(f.addr.raw(), bytes);
+                }
+                return; // bookkeeping only, no fault record
+            }
+            FaultKind::ReplayData => match self.snapshots.get(&f.addr.raw()) {
+                Some(&old) if self.backing.read(f.addr) != Some(old) => {
+                    self.backing.replay(f.addr, old)
+                }
+                _ => false,
+            },
+            FaultKind::Metadata(mf) => {
+                let p = partition_of(f.addr.block(), self.cfg.partitions);
+                self.partitions[p].engine.inject_fault(f.addr, mf)
+            }
+        };
+        let kind = f.kind.label();
+        if applied {
+            if self.tel.enabled() {
+                self.tel.event(TelEvent::FaultInjected {
+                    addr: f.addr.raw(),
+                    kind: kind.to_string(),
+                });
+            }
+            let armed = ArmedFault { cycle: now, kind };
+            // A second fault on an already-armed sector takes over the
+            // arming; the first can no longer be told apart and resolves
+            // as unobserved.
+            if let Some(prev) = self.armed.insert(f.addr.raw(), armed) {
+                self.stats.fault_records.push(FaultRecord {
+                    addr: f.addr.raw(),
+                    kind: prev.kind,
+                    injected_cycle: prev.cycle,
+                    outcome: FaultOutcome::Unobserved,
+                });
+            }
+        } else {
+            self.stats.fault_records.push(FaultRecord {
+                addr: f.addr.raw(),
+                kind,
+                injected_cycle: now,
+                outcome: FaultOutcome::NotApplied,
+            });
+        }
+    }
+
+    /// Books a detected violation into stats and telemetry. `latency` is
+    /// the verification latency of the detecting request (0 on the
+    /// writeback path, which nothing waits on).
+    fn record_violation(&mut self, now: u64, v: Violation, latency: u64) {
+        self.stats.violations += 1;
+        self.simtel.violations.inc();
+        self.stats.violation_records.push(ViolationRecord {
+            cycle: now,
+            addr: v.addr().raw(),
+            layer: v.layer(),
+            latency,
+        });
+        if self.tel.enabled() {
+            self.tel.event(TelEvent::Violation {
+                kind: v.to_string(),
+                layer: v.layer().label().to_string(),
+                latency,
+            });
+        }
+    }
+
+    /// Resolves the armed fault on `sector` (if any) into a fault record,
+    /// computing the outcome from the armed state.
+    fn resolve_armed(
+        &mut self,
+        sector: SectorAddr,
+        outcome_of: impl FnOnce(&ArmedFault) -> FaultOutcome,
+    ) {
+        if let Some(armed) = self.armed.remove(&sector.raw()) {
+            self.stats.fault_records.push(FaultRecord {
+                addr: sector.raw(),
+                kind: armed.kind,
+                injected_cycle: armed.cycle,
+                outcome: outcome_of(&armed),
+            });
+        }
+    }
+
     fn finalize(&mut self) -> SimResult {
         self.stats.cycles = self.horizon;
+        // Faults never verified again resolve as unobserved; sort for
+        // deterministic record order (the armed map is a HashMap).
+        let mut leftovers: Vec<(u64, ArmedFault)> = self.armed.drain().collect();
+        leftovers.sort_by_key(|(addr, armed)| (armed.cycle, *addr));
+        for (addr, armed) in leftovers {
+            self.stats.fault_records.push(FaultRecord {
+                addr,
+                kind: armed.kind,
+                injected_cycle: armed.cycle,
+                outcome: FaultOutcome::Unobserved,
+            });
+        }
         // Merge engine-specific counters across partitions.
         let mut merged: Vec<(String, u64)> = Vec::new();
         for p in &self.partitions {
@@ -584,16 +737,21 @@ impl Simulator {
                 true,
             );
         }
-        if let Some(v) = plan.violation {
-            self.stats.violations += 1;
-            self.simtel.violations.inc();
-            if self.tel.enabled() {
-                self.tel.event(TelEvent::Violation {
-                    kind: v.to_string(),
-                });
-            }
-        }
         let latency = ready.saturating_sub(now);
+        if let Some(v) = plan.violation {
+            self.record_violation(now, v, latency);
+        }
+        if !self.armed.is_empty() {
+            self.resolve_armed(sector, |armed| match plan.violation {
+                Some(v) => FaultOutcome::Detected {
+                    layer: v.layer(),
+                    latency: ready.saturating_sub(armed.cycle),
+                },
+                None => FaultOutcome::Escaped {
+                    value_verified: plan.verified_by_value,
+                },
+            });
+        }
         self.stats.fill_latency_sum += latency;
         self.stats.fill_count += 1;
         self.simtel.fill_latency.record(latency);
@@ -668,13 +826,20 @@ impl Simulator {
             );
         }
         if let Some(v) = plan.violation {
-            self.stats.violations += 1;
-            self.simtel.violations.inc();
-            if self.tel.enabled() {
-                self.tel.event(TelEvent::Violation {
-                    kind: v.to_string(),
-                });
-            }
+            self.record_violation(now, v, 0);
+        }
+        if !self.armed.is_empty() {
+            // A writeback either trips verification (metadata fetched for
+            // the read-modify-write fails) or overwrites the faulted state
+            // with fresh ciphertext and metadata before any verification
+            // saw it.
+            self.resolve_armed(sector, |armed| match plan.violation {
+                Some(v) => FaultOutcome::Detected {
+                    layer: v.layer(),
+                    latency: now.saturating_sub(armed.cycle),
+                },
+                None => FaultOutcome::Clobbered,
+            });
         }
     }
 

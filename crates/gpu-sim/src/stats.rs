@@ -5,6 +5,8 @@
 //! mix (Fig. 10), and the DRAM-energy proxy behind the power figure
 //! (Fig. 22).
 
+use crate::security::DetectionLayer;
+
 /// Classification of DRAM traffic, matching the paper's breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TrafficClass {
@@ -89,6 +91,61 @@ impl ClassTraffic {
     }
 }
 
+/// One detected integrity violation, with where and when it was caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViolationRecord {
+    /// Cycle at which the offending request arrived at the controller.
+    pub cycle: u64,
+    /// Raw address of the offending data sector.
+    pub addr: u64,
+    /// Verification layer that caught the violation.
+    pub layer: DetectionLayer,
+    /// Cycles from the request's arrival to verified rejection (the
+    /// fill's verification latency; 0 for writeback-path detections,
+    /// which nothing waits on).
+    pub latency: u64,
+}
+
+/// How one scheduled fault resolved by the end of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Verification caught the fault.
+    Detected {
+        /// Layer that raised the violation.
+        layer: DetectionLayer,
+        /// Cycles from injection to detection.
+        latency: u64,
+    },
+    /// The faulted sector was served to the core with no violation.
+    Escaped {
+        /// True when the sector was accepted by the value-verification
+        /// fast path alone — a forgery acceptance in Eq. 1's terms.
+        value_verified: bool,
+    },
+    /// The faulted state was overwritten (writeback) before any
+    /// verification saw it.
+    Clobbered,
+    /// The faulted sector was never verified again before the run ended.
+    Unobserved,
+    /// The fault could not be applied (target not resident, metadata the
+    /// scheme does not keep, or a rollback to the current value).
+    NotApplied,
+}
+
+/// The full life of one scheduled fault: what was injected, when, and how
+/// it resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Raw address of the targeted data sector.
+    pub addr: u64,
+    /// Stable label of the fault kind (see `FaultKind::label`).
+    pub kind: &'static str,
+    /// Cycle at which the fault was applied.
+    pub injected_cycle: u64,
+    /// How the fault resolved.
+    pub outcome: FaultOutcome,
+}
+
 /// Aggregated statistics for one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
@@ -114,6 +171,12 @@ pub struct SimStats {
     pub traffic: [ClassTraffic; 6],
     /// Integrity violations detected (nonzero only under active attack).
     pub violations: u64,
+    /// Per-violation records: detecting layer and detection latency.
+    /// Accrues only under active attack (honest runs leave it empty).
+    pub violation_records: Vec<ViolationRecord>,
+    /// Resolution of every fault applied from a
+    /// [`crate::FaultSchedule`], in deterministic order.
+    pub fault_records: Vec<FaultRecord>,
     /// Sum of fill latencies (ready − arrival), for average-latency
     /// diagnostics.
     pub fill_latency_sum: u64,

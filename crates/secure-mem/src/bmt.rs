@@ -122,6 +122,19 @@ impl Bmt {
         self.leaf_hashes.insert(leaf, hash);
     }
 
+    /// Attack hook: corrupts the stored hash of `leaf`, modeling tampering
+    /// with the BMT node in DRAM. The next [`Bmt::verify`] covering the
+    /// leaf recomputes an honest hash from live counters and must reject
+    /// the corrupted record.
+    pub fn tamper_leaf(&mut self, leaf: u64) {
+        let current = match self.leaf_hashes.get(&leaf) {
+            Some(h) => *h,
+            None => self.zero_leaf_hash(leaf),
+        };
+        self.leaf_hashes
+            .insert(leaf, current ^ 0xdead_beef_0bad_f00d);
+    }
+
     /// Verifies the counters under `leaf` and walks the tree path until a
     /// cached (already-verified) node or the on-chip root.
     pub fn verify(&mut self, leaf: u64, store: &CounterStore, data_sector: SectorAddr) -> Walk {

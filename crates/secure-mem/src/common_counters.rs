@@ -11,7 +11,9 @@
 
 use crate::config::SecureMemConfig;
 use crate::pssm::PssmEngine;
-use gpu_sim::{BackingMemory, EngineFactory, FillPlan, SectorAddr, SecurityEngine, WritePlan};
+use gpu_sim::{
+    BackingMemory, EngineFactory, FillPlan, MetaFault, SectorAddr, SecurityEngine, WritePlan,
+};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
@@ -128,6 +130,18 @@ impl SecurityEngine for CommonCountersEngine {
 
     fn attach_telemetry(&mut self, tel: &plutus_telemetry::Telemetry) {
         self.inner.attach_telemetry(tel);
+    }
+
+    fn inject_fault(&mut self, addr: SectorAddr, fault: MetaFault) -> bool {
+        match fault {
+            // Clean regions never consult per-sector counters or the BMT
+            // (the counter is known to be zero on-chip), so counter/BMT
+            // faults there have no observable target.
+            MetaFault::RollbackCounter { .. } | MetaFault::TamperBmtNode if self.is_clean(addr) => {
+                false
+            }
+            _ => self.inner.inject_fault(addr, fault),
+        }
     }
 }
 

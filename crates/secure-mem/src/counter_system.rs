@@ -189,8 +189,20 @@ impl CounterSystem {
     }
 
     /// Attack hook: tamper with the stored minor counter of `sector`.
-    pub fn tamper_minor(&mut self, sector: SectorAddr, value: u8) {
+    /// Returns `false` when `value` equals the current counter (a
+    /// rollback to the present value changes nothing).
+    pub fn tamper_minor(&mut self, sector: SectorAddr, value: u8) -> bool {
+        let before = self.store.value(sector);
         self.store.tamper_minor(sector, value);
+        self.store.value(sector) != before
+    }
+
+    /// Attack hook: corrupts the stored BMT leaf covering `sector`'s
+    /// counter fetch unit. Detected on the next counter-cache miss that
+    /// re-verifies the leaf.
+    pub fn tamper_bmt(&mut self, sector: SectorAddr) {
+        let leaf = self.layout.leaf_of(self.layout.ctr_fetch_addr(sector));
+        self.bmt.tamper_leaf(leaf);
     }
 
     /// `(counter-cache hits, misses, bmt node fetches, bmt node hits)`.

@@ -12,7 +12,8 @@ use crate::config::SecureMemConfig;
 use crate::counter_system::CounterSystem;
 use crate::mac_system::MacSystem;
 use gpu_sim::{
-    BackingMemory, EngineFactory, FillPlan, SectorAddr, SecurityEngine, Violation, WritePlan,
+    BackingMemory, EngineFactory, FillPlan, MetaFault, SectorAddr, SecurityEngine, Violation,
+    WritePlan,
 };
 
 /// The PSSM secure-memory engine (one per partition).
@@ -264,6 +265,22 @@ impl SecurityEngine for PssmEngine {
         self.counters.attach_telemetry(tel);
         self.macs.attach_telemetry(tel);
     }
+
+    fn inject_fault(&mut self, addr: SectorAddr, fault: MetaFault) -> bool {
+        match fault {
+            MetaFault::RollbackCounter { value } => self.counters.tamper_minor(addr, value),
+            MetaFault::TamperMac => {
+                self.macs.tamper(addr);
+                true
+            }
+            MetaFault::TamperBmtNode => {
+                self.counters.tamper_bmt(addr);
+                true
+            }
+            // PSSM keeps no compact counters.
+            MetaFault::RollbackCompact { .. } => false,
+        }
+    }
 }
 
 /// Factory building [`PssmEngine`] instances per partition.
@@ -375,7 +392,7 @@ mod tests {
         e.on_writeback(sector(0), &[1; 32], &mut mem);
         let old = mem.snapshot(sector(0)).unwrap();
         e.on_writeback(sector(0), &[2; 32], &mut mem);
-        mem.replay(sector(0), old);
+        assert!(mem.replay(sector(0), old));
         let fill = e.on_fill(sector(0), &mut mem);
         assert!(
             matches!(fill.violation, Some(Violation::MacMismatch { .. })),

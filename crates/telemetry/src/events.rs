@@ -76,6 +76,18 @@ pub enum Event {
     Violation {
         /// Human-readable description of the violation.
         kind: String,
+        /// Stable label of the verification layer that caught it
+        /// (e.g. `"mac"`, `"value_verification"`, `"bmt"`).
+        layer: String,
+        /// Verification latency in cycles of the detecting request.
+        latency: u64,
+    },
+    /// A scheduled fault was injected into the memory system.
+    FaultInjected {
+        /// Raw address of the targeted data sector.
+        addr: u64,
+        /// Stable label of the fault kind (e.g. `"corrupt_data"`).
+        kind: String,
     },
     /// One simulation epoch ended (snapshot taken).
     EpochEnd {
@@ -115,6 +127,7 @@ impl Event {
             Event::CounterFetch { .. } => "counter_fetch",
             Event::BmtWalk { .. } => "bmt_walk",
             Event::Violation { .. } => "violation",
+            Event::FaultInjected { .. } => "fault_injected",
             Event::EpochEnd { .. } => "epoch_end",
             Event::CliError { .. } => "cli_error",
             Event::Custom { .. } => "custom",
@@ -137,7 +150,18 @@ impl Event {
             | Event::CompactDisable { addr }
             | Event::CounterFetch { addr } => vec![("addr", Num(*addr))],
             Event::BmtWalk { depth } => vec![("depth", Num(u64::from(*depth)))],
-            Event::Violation { kind } => vec![("kind", Str(kind.clone()))],
+            Event::Violation {
+                kind,
+                layer,
+                latency,
+            } => vec![
+                ("kind", Str(kind.clone())),
+                ("layer", Str(layer.clone())),
+                ("latency_cycles", Num(*latency)),
+            ],
+            Event::FaultInjected { addr, kind } => {
+                vec![("addr", Num(*addr)), ("kind", Str(kind.clone()))]
+            }
             Event::EpochEnd { label } => vec![("label", Str(label.clone()))],
             Event::CliError { message } => vec![("message", Str(message.clone()))],
             Event::Custom { name, value } => {
@@ -282,6 +306,32 @@ mod tests {
         assert_eq!(e.kind(), "mac_fetch");
         assert_eq!(e.fields(), vec![("addr", FieldValue::Num(0x40))]);
         assert!(Event::ValueCacheMiss.fields().is_empty());
+        let v = Event::Violation {
+            kind: "MAC mismatch at 0x40".into(),
+            layer: "mac".into(),
+            latency: 17,
+        };
+        assert_eq!(v.kind(), "violation");
+        assert_eq!(
+            v.fields(),
+            vec![
+                ("kind", FieldValue::Str("MAC mismatch at 0x40".into())),
+                ("layer", FieldValue::Str("mac".into())),
+                ("latency_cycles", FieldValue::Num(17)),
+            ]
+        );
+        let fi = Event::FaultInjected {
+            addr: 0x80,
+            kind: "corrupt_data".into(),
+        };
+        assert_eq!(fi.kind(), "fault_injected");
+        assert_eq!(
+            fi.fields(),
+            vec![
+                ("addr", FieldValue::Num(0x80)),
+                ("kind", FieldValue::Str("corrupt_data".into())),
+            ]
+        );
         assert_eq!(
             Event::RunStart {
                 workload: "bfs".into(),

@@ -49,7 +49,7 @@ fn main() {
     //    then restore the stale bytes.
     let stale = mem.snapshot(addr).unwrap();
     engine.on_writeback(addr, b"model weights: revision 2 data!!", &mut mem);
-    mem.replay(addr, stale);
+    assert!(mem.replay(addr, stale));
     let fill = engine.on_fill(addr, &mut mem);
     println!(
         "replay attack:    {}",
@@ -59,10 +59,14 @@ fn main() {
     );
     assert!(fill.violation.is_some(), "replay must be detected");
 
-    // 5. Counter rollback: tamper with the stored write counter.
+    // 5. Counter rollback: tamper with the stored write counter. The
+    //    target must be written past compact-counter saturation first —
+    //    until then the split counter is dead state (the compact layer
+    //    serves the live counter) and rolling it back changes nothing.
     let target = SectorAddr::new(0x8000);
-    engine.on_writeback(target, &[1; 32], &mut mem);
-    engine.on_writeback(target, &[2; 32], &mut mem);
+    for i in 1..=9u8 {
+        engine.on_writeback(target, &[i; 32], &mut mem);
+    }
     // Evict the counter so the next access re-verifies it against the BMT.
     for i in 1..64 {
         engine.on_fill(SectorAddr::new(0x8000 + i * 128 * 32), &mut mem);
