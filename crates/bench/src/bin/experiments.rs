@@ -23,14 +23,29 @@
 //! `target/experiments/campaign-<kind>.{json,csv}`. The campaign exits
 //! nonzero if the measured value-verification forgery-acceptance rate
 //! exceeds the analytic Eq. 1 binomial bound.
+//!
+//! Fail-operational campaigns: `--campaign transient` injects a seeded
+//! soft-error process (`--soft-error-rate P` per fill) and retries
+//! failed fills up to `--retry-limit N`, exiting nonzero if any benign
+//! transient is misclassified as an attack; `--campaign crash` kills
+//! runs at arbitrary cycles, restores the last metadata checkpoint
+//! (`--checkpoint-cycles C` cadence), reconstructs counters against the
+//! persistent MACs, and exits nonzero unless every post-recovery read
+//! is bit-identical with no spurious violations. Reports land under
+//! `target/experiments/campaign-{transient,crash}.{json,csv}`.
 
 use gpu_sim::GpuConfig;
 use plutus_bench::{
-    campaign_table, eq1_checks, geomean, matrix_table, run_campaign, run_matrix,
-    run_matrix_with_telemetry, save_campaign, save_json, CampaignConfig, CampaignKind, EnergyModel,
-    Measurement, Scheme,
+    campaign_table, eq1_checks, geomean, matrix_table, recovery_schemes, run_campaign,
+    run_matrix_with_telemetry, save_campaign, save_json, try_run_matrix, CampaignConfig,
+    CampaignKind, EnergyModel, Measurement, Scheme,
 };
 use plutus_core::value_analysis::analyze_trace;
+use plutus_recovery::{
+    crash_gate, crash_table, run_crash_campaign, run_transient_campaign, save_crash_campaign,
+    save_transient_campaign, transient_gate, transient_table, CrashCampaignConfig,
+    TransientCampaignConfig,
+};
 use plutus_telemetry::{CycleClock, Event, Telemetry};
 use secure_mem::SecureMemConfig;
 use std::path::PathBuf;
@@ -43,6 +58,17 @@ enum MetricsFormat {
     Csv,
 }
 
+/// Which campaign family `--campaign` selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CampaignSel {
+    /// Adversarial fault injection (tamper/replay/rollback/sweep).
+    Adversarial(CampaignKind),
+    /// Benign soft errors with bounded retry.
+    Transient,
+    /// Crash injection with checkpoint restore and recovery.
+    Crash,
+}
+
 struct Args {
     experiment: String,
     scale: Scale,
@@ -50,9 +76,12 @@ struct Args {
     metrics_out: Option<PathBuf>,
     metrics_format: MetricsFormat,
     epoch_cycles: Option<u64>,
-    campaign: Option<CampaignKind>,
+    campaign: Option<CampaignSel>,
     trials: Option<usize>,
     faults_per_run: Option<usize>,
+    soft_error_rate: Option<f64>,
+    retry_limit: Option<u32>,
+    checkpoint_cycles: Option<u64>,
     seed: u64,
     tel: Telemetry,
 }
@@ -71,7 +100,19 @@ impl Args {
                 self.epoch_cycles,
             )
         } else {
-            run_matrix(&self.workloads, schemes, self.scale, cfg)
+            match try_run_matrix(&self.workloads, schemes, self.scale, cfg) {
+                Ok(rows) => rows,
+                Err(e) => fail(&self.tel, e.to_string()),
+            }
+        }
+    }
+
+    /// Saves a measurement set, routing I/O failure through [`fail`]
+    /// so the CLI exits nonzero instead of panicking.
+    fn save(&self, name: &str, rows: &[Measurement]) -> PathBuf {
+        match save_json(name, rows) {
+            Ok(p) => p,
+            Err(e) => fail(&self.tel, format!("cannot write {name} results: {e}")),
         }
     }
 }
@@ -97,6 +138,9 @@ fn parse_args(tel: &Telemetry) -> Args {
     let mut campaign = None;
     let mut trials = None;
     let mut faults_per_run = None;
+    let mut soft_error_rate = None;
+    let mut retry_limit = None;
+    let mut checkpoint_cycles = None;
     let mut seed = 0xB00C_5EED;
     let mut i = 0;
     while i < argv.len() {
@@ -148,14 +192,46 @@ fn parse_args(tel: &Telemetry) -> Args {
             }
             "--campaign" => {
                 i += 1;
-                campaign = match argv.get(i).and_then(|s| CampaignKind::parse(s)) {
-                    Some(k) => Some(k),
-                    None => fail(
-                        tel,
-                        format!(
-                            "unknown campaign {:?}; expected tamper|replay|rollback|sweep",
-                            argv.get(i).map_or("", String::as_str)
+                campaign = match argv.get(i).map(String::as_str) {
+                    Some("transient") => Some(CampaignSel::Transient),
+                    Some("crash") => Some(CampaignSel::Crash),
+                    Some(s) => match CampaignKind::parse(s) {
+                        Some(k) => Some(CampaignSel::Adversarial(k)),
+                        None => fail(
+                            tel,
+                            format!(
+                                "unknown campaign {s:?}; expected \
+                                 tamper|replay|rollback|sweep|transient|crash"
+                            ),
                         ),
+                    },
+                    None => fail(tel, "--campaign requires a kind".into()),
+                };
+            }
+            "--soft-error-rate" => {
+                i += 1;
+                soft_error_rate = match argv.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(r) if (0.0..=1.0).contains(&r) => Some(r),
+                    _ => fail(
+                        tel,
+                        "--soft-error-rate requires a probability in [0, 1]".into(),
+                    ),
+                };
+            }
+            "--retry-limit" => {
+                i += 1;
+                retry_limit = match argv.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) => Some(n),
+                    None => fail(tel, "--retry-limit requires an unsigned integer".into()),
+                };
+            }
+            "--checkpoint-cycles" => {
+                i += 1;
+                checkpoint_cycles = match argv.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => fail(
+                        tel,
+                        "--checkpoint-cycles requires a positive integer".into(),
                     ),
                 };
             }
@@ -216,6 +292,9 @@ fn parse_args(tel: &Telemetry) -> Args {
         campaign,
         trials,
         faults_per_run,
+        soft_error_rate,
+        retry_limit,
+        checkpoint_cycles,
         seed,
         tel: tel.clone(),
     }
@@ -241,8 +320,10 @@ fn run_campaign_cli(args: &Args, cfg: &GpuConfig, kind: CampaignKind) {
     );
     let rows = run_campaign(&args.workloads, &campaign, cfg);
     println!("{}", campaign_table(&rows));
-    let path = save_campaign(&format!("campaign-{}", kind.label()), &rows)
-        .expect("write campaign results");
+    let path = match save_campaign(&format!("campaign-{}", kind.label()), &rows) {
+        Ok(p) => p,
+        Err(e) => fail(&args.tel, format!("cannot write campaign results: {e}")),
+    };
     println!("saved {} (and .csv)", path.display());
     let checks = eq1_checks(&rows);
     let mut failed = Vec::new();
@@ -273,12 +354,85 @@ fn run_campaign_cli(args: &Args, cfg: &GpuConfig, kind: CampaignKind) {
     }
 }
 
+/// Runs the transient soft-error campaign, exiting nonzero when any
+/// benign transient fault is misclassified as an attack.
+fn run_transient_cli(args: &Args, cfg: &GpuConfig) {
+    let mut campaign = TransientCampaignConfig::new(args.seed, args.scale);
+    if let Some(r) = args.soft_error_rate {
+        campaign.soft_error_rate = r;
+    }
+    if let Some(l) = args.retry_limit {
+        campaign.retry_limit = l;
+    }
+    if let Some(t) = args.trials {
+        campaign.runs = t;
+    }
+    println!(
+        "=== campaign transient (rate {}, retry limit {}, {} runs, seed {}, {:?} scale) ===",
+        campaign.soft_error_rate,
+        campaign.retry_limit,
+        campaign.runs,
+        campaign.seed,
+        campaign.scale
+    );
+    let rows = run_transient_campaign(&args.workloads, &recovery_schemes(), &campaign, cfg);
+    println!("{}", transient_table(&rows));
+    let path = match save_transient_campaign("campaign-transient", &rows) {
+        Ok(p) => p,
+        Err(e) => fail(&args.tel, format!("cannot write transient results: {e}")),
+    };
+    println!("saved {} (and .csv)", path.display());
+    match transient_gate(&rows) {
+        Ok(()) => println!(
+            "gate OK: every detected transient recovered within {} retries",
+            campaign.retry_limit
+        ),
+        Err(e) => fail(
+            &args.tel,
+            format!("transient faults misclassified as attacks: {e}"),
+        ),
+    }
+}
+
+/// Runs the crash-injection campaign, exiting nonzero unless every
+/// restore-and-recover audit reads back bit-identical.
+fn run_crash_cli(args: &Args, cfg: &GpuConfig) {
+    let mut campaign = CrashCampaignConfig::new(args.checkpoint_cycles.unwrap_or(5000), args.scale);
+    if let Some(t) = args.trials {
+        campaign.crash_points = t;
+    }
+    println!(
+        "=== campaign crash (checkpoint every {} cycles, {} crash points, {:?} scale) ===",
+        campaign.checkpoint_cycles, campaign.crash_points, campaign.scale
+    );
+    let rows = run_crash_campaign(&args.workloads, &recovery_schemes(), &campaign, cfg);
+    println!("{}", crash_table(&rows));
+    let path = match save_crash_campaign("campaign-crash", &rows) {
+        Ok(p) => p,
+        Err(e) => fail(&args.tel, format!("cannot write crash results: {e}")),
+    };
+    println!("saved {} (and .csv)", path.display());
+    match crash_gate(&rows) {
+        Ok(()) => {
+            let audited: u64 = rows.iter().map(|r| r.audited).sum();
+            println!(
+                "gate OK: {audited} post-recovery reads bit-identical, no spurious violations"
+            );
+        }
+        Err(e) => fail(&args.tel, format!("crash recovery diverged: {e}")),
+    }
+}
+
 fn main() {
     let tel = Telemetry::with_clock(Arc::new(CycleClock::new()));
     let args = parse_args(&tel);
     let cfg = GpuConfig::default();
-    if let Some(kind) = args.campaign {
-        run_campaign_cli(&args, &cfg, kind);
+    if let Some(sel) = args.campaign {
+        match sel {
+            CampaignSel::Adversarial(kind) => run_campaign_cli(&args, &cfg, kind),
+            CampaignSel::Transient => run_transient_cli(&args, &cfg),
+            CampaignSel::Crash => run_crash_cli(&args, &cfg),
+        }
         write_metrics(&args);
         return;
     }
@@ -531,7 +685,7 @@ fn ipc_figure(name: &str, args: &Args, cfg: &GpuConfig, schemes: &[Scheme]) {
     for s in &schemes[1..] {
         summarize_vs(&rows, &s.label(), &base);
     }
-    let path = save_json(name, &rows).expect("write results");
+    let path = args.save(name, &rows);
     println!("saved {}", path.display());
 }
 
@@ -555,7 +709,7 @@ fn fig6(args: &Args, cfg: &GpuConfig) {
         "secure memory (PSSM) keeps {:.1}% of insecure IPC on geomean",
         geomean(slowdowns.iter().copied()) * 100.0
     );
-    let path = save_json("fig6", &rows).expect("write results");
+    let path = args.save("fig6", &rows);
     println!("saved {}", path.display());
 }
 
@@ -586,7 +740,7 @@ fn fig7(args: &Args, cfg: &GpuConfig) {
             (total - data) / data * 100.0
         );
     }
-    let path = save_json("fig7", &rows).expect("write results");
+    let path = args.save("fig7", &rows);
     println!("saved {}", path.display());
 }
 
@@ -626,7 +780,7 @@ fn fig9(args: &Args, _cfg: &GpuConfig) {
             engine_stats: Vec::new(),
         });
     }
-    let path = save_json("fig9", &json_rows).expect("write results");
+    let path = args.save("fig9", &json_rows);
     println!("saved {}", path.display());
 }
 
@@ -665,7 +819,7 @@ fn fig18(args: &Args, cfg: &GpuConfig) {
     );
     summarize_vs(&rows, "plutus", "pssm");
     summarize_vs(&rows, "plutus", "common-counters");
-    let path = save_json("fig18", &rows).expect("write results");
+    let path = args.save("fig18", &rows);
     println!("saved {}", path.display());
 }
 
@@ -709,7 +863,7 @@ fn fig19(args: &Args, cfg: &GpuConfig) {
         best.0 * 100.0,
         best.1
     );
-    let path = save_json("fig19", &rows).expect("write results");
+    let path = args.save("fig19", &rows);
     println!("saved {}", path.display());
 }
 
@@ -747,6 +901,6 @@ fn fig22(args: &Args, cfg: &GpuConfig) {
         (geomean(pssm_all.iter().copied()) - 1.0) * 100.0,
         (geomean(plutus_all.iter().copied()) - 1.0) * 100.0
     );
-    let path = save_json("fig22", &rows).expect("write results");
+    let path = args.save("fig22", &rows);
     println!("saved {}", path.display());
 }

@@ -22,6 +22,6 @@ pub use campaign::{
 pub use energy::EnergyModel;
 pub use report::{matrix_table, pct_change, save_json};
 pub use runner::{
-    geomean, run_matrix, run_matrix_with_telemetry, run_one, run_one_with_telemetry,
-    run_with_factory, Measurement, Scheme,
+    geomean, recovery_schemes, run_matrix, run_matrix_with_telemetry, run_one,
+    run_one_with_telemetry, run_with_factory, try_run_matrix, Measurement, RunnerError, Scheme,
 };

@@ -100,6 +100,60 @@ impl Scheme {
     }
 }
 
+impl plutus_recovery::SchemeProvider for Scheme {
+    fn scheme_label(&self) -> String {
+        self.label()
+    }
+
+    fn make_factory(&self) -> Box<dyn EngineFactory> {
+        self.factory()
+    }
+}
+
+/// Schemes the fail-operational campaigns exercise: the three
+/// checkpoint-capable engines.
+pub fn recovery_schemes() -> Vec<Box<dyn plutus_recovery::SchemeProvider>> {
+    vec![
+        Box::new(Scheme::Pssm),
+        Box::new(Scheme::CommonCounters),
+        Box::new(Scheme::Plutus),
+    ]
+}
+
+/// Error raised by the fallible experiment runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerError {
+    /// A workload's worker thread panicked; the message carries
+    /// whatever payload the panic unwound with.
+    WorkerPanicked {
+        /// Workload whose thread died.
+        workload: String,
+        /// Stringified panic payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::WorkerPanicked { workload, message } => {
+                write!(f, "workload {workload:?} worker thread panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+/// Stringifies a worker thread's panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
 struct NoSecurityFactoryShim;
 
 impl EngineFactory for NoSecurityFactoryShim {
@@ -215,20 +269,43 @@ fn measurement_of(w: &WorkloadSpec, scheme: Scheme, r: &SimResult, base_ipc: f64
 /// no-security run of the same workload. Workloads run on parallel
 /// threads with telemetry disabled; use
 /// [`run_matrix_with_telemetry`] when collecting metrics.
+///
+/// # Panics
+///
+/// Panics if a workload thread panics; [`try_run_matrix`] reports the
+/// same condition as a [`RunnerError`] instead.
 pub fn run_matrix(
     workloads: &[WorkloadSpec],
     schemes: &[Scheme],
     scale: Scale,
     cfg: &GpuConfig,
 ) -> Vec<Measurement> {
+    try_run_matrix(workloads, schemes, scale, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run_matrix`]: a panicking worker thread is
+/// returned as a [`RunnerError`] value (after every other worker has
+/// been joined) rather than propagated, so CLI paths can log the
+/// failure and exit nonzero instead of aborting mid-report.
+///
+/// # Errors
+///
+/// Returns the first worker-thread panic, in workload order.
+pub fn try_run_matrix(
+    workloads: &[WorkloadSpec],
+    schemes: &[Scheme],
+    scale: Scale,
+    cfg: &GpuConfig,
+) -> Result<Vec<Measurement>, RunnerError> {
     let mut out = Vec::new();
+    let mut first_err = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = workloads
             .iter()
             .map(|w| {
                 let cfg = cfg.clone();
                 let schemes = schemes.to_vec();
-                scope.spawn(move || {
+                let handle = scope.spawn(move || {
                     let baseline = run_one(w, Scheme::None, scale, &cfg);
                     let base_ipc = baseline.ipc();
                     let mut rows = Vec::new();
@@ -241,14 +318,28 @@ pub fn run_matrix(
                         rows.push(measurement_of(w, scheme, &r, base_ipc));
                     }
                     rows
-                })
+                });
+                (w.name, handle)
             })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("workload thread panicked"));
+        for (workload, h) in handles {
+            match h.join() {
+                Ok(rows) => out.extend(rows),
+                Err(payload) => {
+                    if first_err.is_none() {
+                        first_err = Some(RunnerError::WorkerPanicked {
+                            workload: workload.to_string(),
+                            message: panic_message(payload),
+                        });
+                    }
+                }
+            }
         }
     });
-    out
+    match first_err {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
 }
 
 /// The instrumented variant of [`run_matrix`]: runs sequentially so the
@@ -342,6 +433,20 @@ mod tests {
             plutus.stats.metadata_bytes(),
             pssm.stats.metadata_bytes()
         );
+    }
+
+    #[test]
+    fn try_run_matrix_reports_results_as_values() {
+        let w = [by_name("histo").unwrap()];
+        let rows = try_run_matrix(&w, &[Scheme::None, Scheme::Pssm], Scale::Test, &small_cfg())
+            .expect("healthy matrix must succeed");
+        assert_eq!(rows.len(), 2);
+        let err = RunnerError::WorkerPanicked {
+            workload: "histo".into(),
+            message: "boom".into(),
+        };
+        assert!(err.to_string().contains("histo"));
+        let _: &dyn std::error::Error = &err;
     }
 
     #[test]

@@ -351,7 +351,10 @@ impl CompactCounters {
     pub fn read(&mut self, sector: SectorAddr) -> CompactAccess {
         let mut out = CompactAccess::default();
         let block = self.block_of(sector);
-        if self.cfg.kind == CompactKind::Adaptive3 && self.disabled_blocks.contains(&block) {
+        // Disabled blocks (adaptive disable or a reliability freeze) are
+        // redirected for every kind; only Adaptive3 *creates* disables on
+        // its own.
+        if self.disabled_blocks.contains(&block) {
             out.hit = true; // enable bits are on-chip: free redirect
             return out; // counter = None → original path
         }
@@ -369,7 +372,7 @@ impl CompactCounters {
         let mut out = CompactAccess::default();
         let block = self.block_of(sector);
         let sat = self.cfg.kind.saturation();
-        if self.cfg.kind == CompactKind::Adaptive3 && self.disabled_blocks.contains(&block) {
+        if self.disabled_blocks.contains(&block) {
             out.hit = true;
             return out; // original path handles the increment
         }
@@ -429,8 +432,79 @@ impl CompactCounters {
     /// compact value and must be left alone.
     pub fn uses_original(&self, sector: SectorAddr) -> bool {
         let block = self.block_of(sector);
-        (self.cfg.kind == CompactKind::Adaptive3 && self.disabled_blocks.contains(&block))
-            || self.value_of(sector) >= self.cfg.kind.saturation()
+        self.disabled_blocks.contains(&block) || self.value_of(sector) >= self.cfg.kind.saturation()
+    }
+
+    /// The counter design in use.
+    pub fn kind(&self) -> CompactKind {
+        self.cfg.kind
+    }
+
+    /// Block index covering `sector` (degradation bookkeeping).
+    pub fn block_index(&self, sector: SectorAddr) -> u64 {
+        self.block_of(sector)
+    }
+
+    /// True if `sector`'s block is disabled (adaptively or frozen).
+    pub fn is_disabled(&self, sector: SectorAddr) -> bool {
+        self.disabled_blocks.contains(&self.block_of(sector))
+    }
+
+    /// Live compact counter without traffic or cache effects: `Some(v)`
+    /// while the compact layer serves `sector`, `None` when saturated or
+    /// the block is disabled.
+    pub fn peek_live(&self, sector: SectorAddr) -> Option<u64> {
+        if self.is_disabled(sector) {
+            return None;
+        }
+        let v = self.value_of(sector);
+        (v < self.cfg.kind.saturation()).then_some(u64::from(v))
+    }
+
+    /// Reliability freeze: permanently disables `sector`'s block so every
+    /// sector in it moves to the original split-counter path, returning the
+    /// `(sector, value)` copies the caller must propagate into the original
+    /// counters (unwritten and saturated sectors need no copy). Works for
+    /// every kind, unlike the adaptive disable which only Adaptive3
+    /// triggers on its own.
+    pub fn freeze_block(&mut self, sector: SectorAddr) -> Vec<(SectorAddr, u8)> {
+        let block = self.block_of(sector);
+        if self.disabled_blocks.contains(&block) {
+            return Vec::new();
+        }
+        self.disables += 1;
+        self.tel_disables.inc();
+        if self.tel.enabled() {
+            self.tel.event(Event::CompactDisable {
+                addr: self.block_addr(block),
+            });
+        }
+        self.disabled_blocks.insert(block);
+        let sat = self.cfg.kind.saturation();
+        let per = self.cfg.kind.sectors_per_block();
+        let first = block * per;
+        (0..per)
+            .filter_map(|i| {
+                let idx = first + i;
+                let v = *self.values.get(&idx).unwrap_or(&0);
+                (v > 0 && v < sat).then(|| (SectorAddr::new(idx * SECTOR_SIZE), v))
+            })
+            .collect()
+    }
+
+    /// Crash-recovery hook: overwrite `sector`'s compact counter with a
+    /// value proven against a persistent MAC, rebuilding the small-tree
+    /// leaf so subsequent verifications pass.
+    pub fn restore_value(&mut self, sector: SectorAddr, value: u8) {
+        let block = self.block_of(sector);
+        let sat = self.cfg.kind.saturation();
+        let old = self.value_of(sector);
+        self.values.insert(sector.index(), value);
+        if old < sat && value >= sat {
+            *self.saturated_in_block.entry(block).or_insert(0) += 1;
+        }
+        let h = self.leaf_hash(block);
+        self.leaf_hashes.insert(block, h);
     }
 
     /// Attack hook: tamper with a stored compact counter. Returns `false`
@@ -610,6 +684,52 @@ mod tests {
             a.violation,
             Some(Violation::CompactTreeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn freeze_block_redirects_all_kinds_and_reports_copies() {
+        let mut c = sys(CompactKind::ThreeBit);
+        c.increment(sector(3));
+        c.increment(sector(3));
+        let copies = c.freeze_block(sector(0));
+        assert_eq!(copies, vec![(sector(3), 2)]);
+        assert!(c.uses_original(sector(3)));
+        // Reads now bypass the compact layer with zero traffic even for the
+        // non-adaptive kind.
+        let r = c.read(sector(3));
+        assert!(r.hit);
+        assert_eq!(r.counter, None);
+        assert!(r.chain.is_empty());
+        // Freezing again is a no-op.
+        assert!(c.freeze_block(sector(0)).is_empty());
+    }
+
+    #[test]
+    fn restore_value_rebuilds_leaf_so_reload_verifies() {
+        let mut c = sys(CompactKind::ThreeBit);
+        c.increment(sector(0));
+        c.restore_value(sector(0), 4);
+        assert_eq!(c.peek_live(sector(0)), Some(4));
+        // Evict block 0, then reload: the rebuilt leaf must verify.
+        for b in 1..200u64 {
+            c.read(sector(b * 64));
+        }
+        let a = c.read(sector(0));
+        assert_eq!(a.counter, Some(4));
+        assert!(a.violation.is_none());
+    }
+
+    #[test]
+    fn peek_live_reports_saturation_and_disable() {
+        let mut c = sys(CompactKind::ThreeBit);
+        assert_eq!(c.peek_live(sector(0)), Some(0));
+        for _ in 0..7 {
+            c.increment(sector(0));
+        }
+        assert_eq!(c.peek_live(sector(0)), None, "saturated");
+        assert_eq!(c.peek_live(sector(1)), Some(0));
+        c.freeze_block(sector(1));
+        assert_eq!(c.peek_live(sector(1)), None, "frozen block");
     }
 
     #[test]

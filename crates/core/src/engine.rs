@@ -24,11 +24,35 @@ use crate::compact::CompactCounters;
 use crate::config::PlutusConfig;
 use crate::verify::{ValueVerifier, Verdict, WriteScreen};
 use gpu_sim::{
-    BackingMemory, EngineFactory, FillPlan, MetaFault, SectorAddr, SecurityEngine, Violation,
-    WritePlan,
+    BackingMemory, EngineFactory, FillPlan, MetaFault, RecoveryError, RecoveryReport, SectorAddr,
+    SecurityEngine, Violation, WritePlan,
 };
 use plutus_telemetry::{Counter, Event, Telemetry};
-use secure_mem::{CounterAccess, CounterSystem, DataCipher, MacSystem};
+use secure_mem::{CounterAccess, CounterSystem, DataCipher, MacSystem, SecureMemError};
+use std::collections::HashMap;
+
+/// Fill failures (retries or escalations) before the value-cache fast path
+/// is frozen and every read pays full MAC verification.
+const VERIFIER_FREEZE_FAILURES: u64 = 4;
+
+/// Fill failures attributed to one compact-counter block before the block
+/// is frozen onto the split-counter path.
+const BLOCK_FREEZE_FAILURES: u32 = 8;
+
+/// Upper bound on split-counter candidates probed per sector during
+/// Phoenix-style crash recovery.
+const RECOVERY_PROBE_BOUND: u64 = 1 << 14;
+
+/// How one sector's counter was settled during crash recovery.
+enum RecoverKind {
+    /// The reverted state already verifies.
+    Consistent,
+    /// A probed candidate was proven by the persistent MAC.
+    Mac,
+    /// The pinned-value screen vouched for a sector whose MAC update was
+    /// legitimately skipped; the MAC was repaired in place.
+    Value,
+}
 
 /// The Plutus engine (one per memory partition).
 #[derive(Debug, Clone)]
@@ -44,6 +68,10 @@ pub struct PlutusEngine {
     mac_fetches_avoided: u64,
     mac_updates_skipped: u64,
     compact_fallbacks: u64,
+    fill_failures: u64,
+    verifier_frozen: bool,
+    block_failures: HashMap<u64, u32>,
+    blocks_frozen: u64,
     tel: Telemetry,
     tel_mac_avoided: Counter,
     tel_mac_skipped: Counter,
@@ -57,9 +85,15 @@ impl PlutusEngine {
     ///
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: PlutusConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds an engine from `cfg`, returning a typed error instead of
+    /// panicking when the configuration is invalid (the CLI path).
+    pub fn try_new(cfg: PlutusConfig) -> Result<Self, SecureMemError> {
         cfg.validate()
-            .unwrap_or_else(|e| panic!("invalid PlutusConfig: {e}"));
-        Self {
+            .map_err(|reason| SecureMemError::InvalidConfig { reason })?;
+        Ok(Self {
             cipher: DataCipher::new(&cfg.mem),
             counters: CounterSystem::new(&cfg.mem),
             macs: MacSystem::new(&cfg.mem),
@@ -81,11 +115,15 @@ impl PlutusEngine {
             mac_fetches_avoided: 0,
             mac_updates_skipped: 0,
             compact_fallbacks: 0,
+            fill_failures: 0,
+            verifier_frozen: false,
+            block_failures: HashMap::new(),
+            blocks_frozen: 0,
             tel: Telemetry::disabled(),
             tel_mac_avoided: Counter::disabled(),
             tel_mac_skipped: Counter::disabled(),
             tel_compact_fallbacks: Counter::disabled(),
-        }
+        })
     }
 
     /// An [`EngineFactory`] producing one engine per partition.
@@ -219,6 +257,118 @@ impl PlutusEngine {
             ));
         }
     }
+
+    /// True while the value-verification fast path is in use (configured
+    /// and not frozen by the degradation ladder).
+    pub fn verifier_active(&self) -> bool {
+        self.verifier.is_some() && !self.verifier_frozen
+    }
+
+    /// The counter a read of `addr` would decrypt with right now, without
+    /// generating traffic: the compact value while that layer serves the
+    /// sector, the original split value otherwise.
+    fn live_counter(&self, addr: SectorAddr) -> u64 {
+        if let Some(c) = &self.compact {
+            if let Some(v) = c.peek_live(addr) {
+                return v;
+            }
+        }
+        self.counters.peek_value(addr)
+    }
+
+    /// Checks one counter candidate during crash recovery. `Some(true)` —
+    /// proven by the persistent MAC; `Some(false)` — vouched by the
+    /// pinned-value screen (the MAC update was legitimately skipped);
+    /// `None` — neither.
+    fn candidate_ok(&self, addr: SectorAddr, v: u64, mem: &BackingMemory) -> Option<bool> {
+        let pt = self.read_plaintext(addr, v, mem);
+        if self.macs.verify(addr, &pt, v) {
+            return Some(true);
+        }
+        if self
+            .verifier
+            .as_ref()
+            .is_some_and(|ver| ver.screen_pinned(&pt))
+        {
+            return Some(false);
+        }
+        None
+    }
+
+    /// Accepts candidate `v` for `addr`: places the value in the layer that
+    /// serves the sector and repairs the MAC if it was vouched by value.
+    fn accept_candidate(&mut self, addr: SectorAddr, v: u64, by_mac: bool, mem: &BackingMemory) {
+        let compact_live = match &self.compact {
+            Some(c) if !c.is_disabled(addr) => v < u64::from(c.kind().saturation()),
+            _ => false,
+        };
+        if compact_live {
+            self.compact
+                .as_mut()
+                .expect("checked above")
+                .restore_value(addr, v as u8);
+        } else {
+            self.counters.restore_value(addr, v);
+            // A sector recovered past the compact range must read as
+            // saturated so the original path serves it.
+            if let Some(c) = self.compact.as_mut() {
+                if !c.is_disabled(addr) {
+                    let sat = c.kind().saturation();
+                    c.restore_value(addr, sat);
+                }
+            }
+        }
+        if !by_mac {
+            let pt = self.read_plaintext(addr, v, mem);
+            self.macs.update_silently(addr, &pt, v);
+        }
+    }
+
+    /// Phoenix-style recovery of one sector: current value first, then the
+    /// compact range, then the split range from the recovery floor.
+    fn recover_sector(&mut self, addr: SectorAddr, mem: &BackingMemory) -> Option<RecoverKind> {
+        let live = self.live_counter(addr);
+        if let Some(by_mac) = self.candidate_ok(addr, live, mem) {
+            if !by_mac {
+                let pt = self.read_plaintext(addr, live, mem);
+                self.macs.update_silently(addr, &pt, live);
+                return Some(RecoverKind::Value);
+            }
+            return Some(RecoverKind::Consistent);
+        }
+        if let Some(c) = &self.compact {
+            if !c.is_disabled(addr) {
+                for v in 0..u64::from(c.kind().saturation()) {
+                    if v == live {
+                        continue;
+                    }
+                    if let Some(by_mac) = self.candidate_ok(addr, v, mem) {
+                        self.accept_candidate(addr, v, by_mac, mem);
+                        return Some(if by_mac {
+                            RecoverKind::Mac
+                        } else {
+                            RecoverKind::Value
+                        });
+                    }
+                }
+            }
+        }
+        let base = self.counters.recovery_floor(addr);
+        for v in base..base.saturating_add(RECOVERY_PROBE_BOUND) {
+            if v == live {
+                continue;
+            }
+            if let Some(by_mac) = self.candidate_ok(addr, v, mem) {
+                self.accept_candidate(addr, v, by_mac, mem);
+                return Some(if by_mac {
+                    RecoverKind::Mac
+                } else {
+                    RecoverKind::Value
+                });
+            }
+        }
+        None
+    }
 }
 
 impl SecurityEngine for PlutusEngine {
@@ -266,7 +416,14 @@ impl SecurityEngine for PlutusEngine {
             lat.aes_latency
         };
 
-        match self.verifier.as_mut().map(|v| v.verify_read(&plaintext)) {
+        let verdict = if self.verifier_frozen {
+            // Degraded mode: the fast path is frozen; every read takes the
+            // conventional parallel-MAC branch below.
+            None
+        } else {
+            self.verifier.as_mut().map(|v| v.verify_read(&plaintext))
+        };
+        match verdict {
             Some(Verdict::Verified) => {
                 // Integrity assured by value locality: no MAC at all.
                 plan.verified_by_value = true;
@@ -291,7 +448,8 @@ impl SecurityEngine for PlutusEngine {
                 }
             }
             None => {
-                // Value verification disabled: conventional parallel MAC.
+                // Value verification disabled or frozen: conventional
+                // parallel MAC.
                 let ma = self.macs.read(addr);
                 if !ma.chain.is_empty() {
                     plan.pre_chains.push(ma.chain);
@@ -299,7 +457,21 @@ impl SecurityEngine for PlutusEngine {
                 plan.writes.extend(ma.writes);
                 plan.crypto_latency += lat.mac_latency;
                 if !self.macs.verify(addr, &plaintext, ctr) && plan.violation.is_none() {
-                    plan.violation = Some(Violation::MacMismatch { addr });
+                    // A sector whose MAC update was legitimately skipped
+                    // before the freeze has no fresh MAC; the pinned-value
+                    // screen (the guarantee skip-MAC relied on) still
+                    // vouches for it. Repair the MAC so the fallback is
+                    // one-time.
+                    let vouched = self.verifier_frozen
+                        && self
+                            .verifier
+                            .as_ref()
+                            .is_some_and(|v| v.screen_pinned(&plaintext));
+                    if vouched {
+                        self.macs.update_silently(addr, &plaintext, ctr);
+                    } else {
+                        plan.violation = Some(Violation::MacMismatch { addr });
+                    }
                 }
             }
         }
@@ -414,7 +586,12 @@ impl SecurityEngine for PlutusEngine {
         // MAC update, unless the pinned value screen guarantees the next
         // read verifies by value.
         let lat = self.cfg.mem.latencies;
-        let skip = match self.verifier.as_mut().map(|v| v.screen_write(plaintext)) {
+        let screen = if self.verifier_frozen {
+            None // degraded mode: never skip MAC updates
+        } else {
+            self.verifier.as_mut().map(|v| v.screen_write(plaintext))
+        };
+        let skip = match screen {
             Some(WriteScreen::SkipMac) => {
                 self.mac_updates_skipped += 1;
                 self.tel_mac_skipped.inc();
@@ -485,6 +662,12 @@ impl SecurityEngine for PlutusEngine {
             out.push(("compact_block_disables".into(), dis));
             out.push(("compact_tree_fetches".into(), tf));
         }
+        out.push(("fill_failures".into(), self.fill_failures));
+        out.push((
+            "degraded_verifier_frozen".into(),
+            u64::from(self.verifier_frozen),
+        ));
+        out.push(("degraded_blocks_frozen".into(), self.blocks_frozen));
         out
     }
 
@@ -513,6 +696,91 @@ impl SecurityEngine for PlutusEngine {
                 _ => false,
             },
         }
+    }
+
+    fn note_fill_failure(&mut self, addr: SectorAddr, _recovered: bool) {
+        self.fill_failures += 1;
+        if !self.verifier_frozen
+            && self.verifier.is_some()
+            && self.fill_failures >= VERIFIER_FREEZE_FAILURES
+        {
+            self.verifier_frozen = true;
+            if self.tel.enabled() {
+                self.tel.event(Event::Degraded {
+                    mode: "value_cache_disabled".into(),
+                    addr: addr.raw(),
+                });
+            }
+        }
+        if let Some(compact) = self.compact.as_mut() {
+            let block = compact.block_index(addr);
+            let n = self.block_failures.entry(block).or_insert(0);
+            *n += 1;
+            if *n >= BLOCK_FREEZE_FAILURES && !compact.is_disabled(addr) {
+                // Freeze the failing block onto the split-counter path.
+                // The transition is out-of-band (no DRAM traffic charged):
+                // it is rare and its copies move counter state only.
+                let copies = compact.freeze_block(addr);
+                for (s, v) in copies {
+                    let _ = self.counters.raise_to(s, v);
+                }
+                self.blocks_frozen += 1;
+                if self.tel.enabled() {
+                    self.tel.event(Event::Degraded {
+                        mode: "compact_block_frozen".into(),
+                        addr: addr.raw(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Box<dyn SecurityEngine>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn crash_revert(&mut self, checkpoint: &dyn SecurityEngine) -> bool {
+        let Some(ck) = checkpoint
+            .as_any()
+            .and_then(|a| a.downcast_ref::<PlutusEngine>())
+        else {
+            return false;
+        };
+        // MACs are write-through persistent; the pinned value set is tiny,
+        // monotone, and flushed on promotion — both survive the crash.
+        let persistent_macs = self.macs.clone();
+        let persistent_pinned = self.verifier.as_ref().map(|v| v.pinned_keys());
+        *self = ck.clone();
+        self.macs = persistent_macs;
+        if let (Some(v), Some(keys)) = (self.verifier.as_mut(), persistent_pinned) {
+            v.graft_pinned(&keys);
+        }
+        true
+    }
+
+    fn recover(
+        &mut self,
+        mem: &BackingMemory,
+        sectors: &[SectorAddr],
+    ) -> Result<RecoveryReport, RecoveryError> {
+        let mut report = RecoveryReport::default();
+        for &addr in sectors {
+            match self.recover_sector(addr, mem) {
+                Some(RecoverKind::Consistent) => report.already_consistent += 1,
+                Some(RecoverKind::Mac) => report.recovered_by_mac += 1,
+                Some(RecoverKind::Value) => report.recovered_by_value += 1,
+                None => report.failed.push(addr.raw()),
+            }
+        }
+        Ok(report)
+    }
+
+    fn peek_plaintext(&self, addr: SectorAddr, mem: &BackingMemory) -> Option<[u8; 32]> {
+        Some(self.read_plaintext(addr, self.live_counter(addr), mem))
     }
 }
 
@@ -748,6 +1016,118 @@ mod tests {
             .collect();
         assert!(!classes.contains(&TrafficClass::BmtNode));
         assert!(fill.violation.is_none());
+    }
+
+    #[test]
+    fn frozen_verifier_keeps_skip_mac_sectors_readable() {
+        let (mut e, mut mem) = engine();
+        for i in 0..30u64 {
+            e.on_writeback(sector(i), &[0x77; 32], &mut mem);
+        }
+        assert!(e.mac_updates_skipped > 0, "test needs skip-MAC sectors");
+        for _ in 0..VERIFIER_FREEZE_FAILURES {
+            e.note_fill_failure(sector(0), true);
+        }
+        assert!(!e.verifier_active(), "ladder must freeze the fast path");
+        // Sectors with no fresh MAC are vouched by the pinned screen.
+        for i in 0..30u64 {
+            let fill = e.on_fill(sector(i), &mut mem);
+            assert_eq!(fill.plaintext, [0x77; 32]);
+            assert!(fill.violation.is_none(), "sector {i} spuriously flagged");
+        }
+        // Degraded mode still detects real tampering.
+        let mut mask = [0u8; 32];
+        mask[3] = 9;
+        mem.corrupt(sector(0), &mask);
+        assert!(e.on_fill(sector(0), &mut mem).violation.is_some());
+    }
+
+    #[test]
+    fn degraded_engine_still_detects_replay() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        for _ in 0..VERIFIER_FREEZE_FAILURES {
+            e.note_fill_failure(sector(9), true);
+        }
+        let old = mem.snapshot(sector(0)).unwrap();
+        e.on_writeback(sector(0), &[2; 32], &mut mem);
+        assert!(mem.replay(sector(0), old));
+        assert!(e.on_fill(sector(0), &mut mem).violation.is_some());
+    }
+
+    #[test]
+    fn repeated_block_failures_freeze_compact_block() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[1; 32], &mut mem); // compact value 1
+        for _ in 0..BLOCK_FREEZE_FAILURES {
+            e.note_fill_failure(sector(0), true);
+        }
+        assert!(e.compact_mut().unwrap().uses_original(sector(0)));
+        // The copied counter keeps the sector decryptable on the new path.
+        let fill = e.on_fill(sector(0), &mut mem);
+        assert_eq!(fill.plaintext, [1; 32]);
+        assert!(fill.violation.is_none());
+        let stats = e.extra_stats();
+        let frozen = stats
+            .iter()
+            .find(|(n, _)| n == "degraded_blocks_frozen")
+            .unwrap()
+            .1;
+        assert_eq!(frozen, 1);
+    }
+
+    #[test]
+    fn crash_recovery_restores_compact_and_split_state() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[1; 32], &mut mem); // compact regime
+        for _ in 0..9 {
+            e.on_writeback(sector(1), &[2; 32], &mut mem); // saturates → split
+        }
+        let ck = e.checkpoint().expect("plutus supports checkpointing");
+        e.on_writeback(sector(0), &[3; 32], &mut mem);
+        e.on_writeback(sector(1), &[4; 32], &mut mem);
+        e.on_writeback(sector(5), &[5; 32], &mut mem); // first write post-ck
+        assert!(e.crash_revert(ck.as_ref()));
+        let report = e.recover(&mem, &mem.resident_addrs()).unwrap();
+        assert!(report.failed.is_empty(), "failed: {:?}", report.failed);
+        for (s, want) in [(0u64, [3u8; 32]), (1, [4; 32]), (5, [5; 32])] {
+            let f = e.on_fill(sector(s), &mut mem);
+            assert_eq!(f.plaintext, want, "sector {s} diverged after recovery");
+            assert!(f.violation.is_none(), "sector {s} spuriously flagged");
+        }
+    }
+
+    #[test]
+    fn crash_recovery_vouches_skip_mac_sectors_by_pinned_values() {
+        let (mut e, mut mem) = engine();
+        // Pin a hot pattern; later writes of it skip their MAC updates.
+        for i in 0..30u64 {
+            e.on_writeback(sector(i), &[0x77; 32], &mut mem);
+        }
+        assert!(e.mac_updates_skipped > 0);
+        let ck = e.checkpoint().unwrap();
+        e.on_writeback(sector(40), &[0x77; 32], &mut mem); // skip-MAC, post-ck
+        assert!(e.crash_revert(ck.as_ref()));
+        let report = e.recover(&mem, &mem.resident_addrs()).unwrap();
+        assert!(report.failed.is_empty(), "failed: {:?}", report.failed);
+        assert!(
+            report.recovered_by_value >= 1,
+            "pinned screen must vouch for MAC-skipped sectors"
+        );
+        let f = e.on_fill(sector(40), &mut mem);
+        assert_eq!(f.plaintext, [0x77; 32]);
+        assert!(f.violation.is_none());
+    }
+
+    #[test]
+    fn peek_plaintext_tracks_live_counter_across_layers() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[8; 32], &mut mem); // compact regime
+        assert_eq!(e.peek_plaintext(sector(0), &mem), Some([8; 32]));
+        for _ in 0..9 {
+            e.on_writeback(sector(1), &[6; 32], &mut mem); // split regime
+        }
+        assert_eq!(e.peek_plaintext(sector(1), &mem), Some([6; 32]));
     }
 
     #[test]

@@ -245,6 +245,34 @@ impl ValueCache {
         self.pinned.iter().any(|e| e.key == key)
     }
 
+    /// Raw keys (already shifted by `masked_bits`) of every pinned entry.
+    /// The pinned set is the only value-cache state that must survive a
+    /// crash: skip-MAC writes rely on it, so it is modeled as flushed to
+    /// persistent storage on each promotion (tens of bytes, append-only).
+    pub fn pinned_keys(&self) -> Vec<u32> {
+        self.pinned.iter().map(|e| e.key).collect()
+    }
+
+    /// Crash-recovery hook: re-pins raw `keys` previously captured with
+    /// [`ValueCache::pinned_keys`], up to the pinned capacity; keys already
+    /// pinned are skipped.
+    pub fn graft_pinned(&mut self, keys: &[u32]) {
+        for &key in keys {
+            if self.pinned.iter().any(|e| e.key == key) {
+                continue;
+            }
+            if self.pinned.len() >= self.cfg.pinned_capacity() {
+                break;
+            }
+            self.tick += 1;
+            self.pinned.push(Entry {
+                key,
+                uses: self.cfg.promote_threshold,
+                last_used: self.tick,
+            });
+        }
+    }
+
     /// Occupancy `(pinned, transient)`.
     pub fn occupancy(&self) -> (usize, usize) {
         (self.pinned.len(), self.transient.len())
@@ -386,6 +414,24 @@ mod tests {
             entries: 0,
             ..Default::default()
         });
+    }
+
+    #[test]
+    fn pinned_keys_roundtrip_through_graft() {
+        let mut c = cache();
+        c.insert(7 << 4);
+        for _ in 0..15 {
+            c.probe(7 << 4); // promote
+        }
+        let keys = c.pinned_keys();
+        assert_eq!(keys, vec![7]);
+        // Graft into a fresh cache: the value is pinned without any probes.
+        let mut fresh = cache();
+        fresh.graft_pinned(&keys);
+        assert!(fresh.is_pinned(7 << 4));
+        // Grafting again does not duplicate.
+        fresh.graft_pinned(&keys);
+        assert_eq!(fresh.pinned_keys(), vec![7]);
     }
 
     /// Regression: re-inserting a present value used to bump its use

@@ -133,6 +133,33 @@ impl ValueVerifier {
         screen
     }
 
+    /// Non-mutating pinned-only screen: would `plaintext` pass value
+    /// verification on pinned entries alone? This is exactly the guarantee
+    /// [`ValueVerifier::screen_write`] relied on when a MAC update was
+    /// skipped, so crash recovery and the degraded (frozen) read path use
+    /// it to vouch for sectors that have no fresh MAC.
+    pub fn screen_pinned(&self, plaintext: &[u8; 32]) -> bool {
+        let values = Self::values_of(plaintext);
+        for unit in values.chunks_exact(VALUES_PER_UNIT as usize) {
+            let pinned = unit.iter().filter(|v| self.cache.is_pinned(**v)).count() as u32;
+            if pinned < self.min_hits {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Raw pinned keys (see [`ValueCache::pinned_keys`]).
+    pub fn pinned_keys(&self) -> Vec<u32> {
+        self.cache.pinned_keys()
+    }
+
+    /// Re-pins keys captured before a crash (see
+    /// [`ValueCache::graft_pinned`]).
+    pub fn graft_pinned(&mut self, keys: &[u32]) {
+        self.cache.graft_pinned(keys);
+    }
+
     /// `(reads verified, reads needing MAC, writes skipping MAC, writes
     /// updating MAC)`.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
@@ -314,6 +341,19 @@ mod tests {
             ]));
         }
         assert_eq!(v.verify_read(&s), Verdict::Verified);
+    }
+
+    #[test]
+    fn screen_pinned_matches_skip_mac_guarantee() {
+        let mut v = verifier();
+        let s = sector_of([7 << 4; 8]);
+        assert!(!v.screen_pinned(&s), "cold cache vouches for nothing");
+        while v.screen_write(&s) != WriteScreen::SkipMac {}
+        assert!(v.screen_pinned(&s), "a SkipMac write implies a pinned pass");
+        // And it is non-mutating: repeated calls don't change stats.
+        let stats = v.stats();
+        v.screen_pinned(&s);
+        assert_eq!(v.stats(), stats);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod security;
 pub mod sim;
 pub mod stats;
 pub mod trace;
+pub mod transient;
 
 pub use address::{
     partition_of, BlockAddr, SectorAddr, BLOCK_SIZE, SECTORS_PER_BLOCK, SECTOR_SIZE,
@@ -53,9 +54,13 @@ pub use config::{DramConfig, GpuConfig, SecurityLatencies};
 pub use fault::{FaultKind, FaultSchedule, FaultTrigger, ScheduledFault};
 pub use mem::BackingMemory;
 pub use security::{
-    DetectionLayer, DramReq, EngineFactory, FillPlan, MetaFault, NoSecurityEngine, SecurityEngine,
-    Violation, WritePlan,
+    DetectionLayer, DramReq, EngineFactory, FillPlan, MetaFault, NoSecurityEngine, RecoveryError,
+    RecoveryReport, SecurityEngine, Violation, WritePlan,
 };
-pub use sim::{SimResult, Simulator};
-pub use stats::{FaultOutcome, FaultRecord, SimStats, TrafficClass, ViolationRecord};
+pub use sim::{CrashAudit, SimResult, Simulator};
+pub use stats::{
+    FaultOutcome, FaultRecord, SimStats, TrafficClass, TransientOutcome, TransientRecord,
+    ViolationRecord,
+};
 pub use trace::{AccessKind, Trace, TraceAccess};
+pub use transient::{RetryPolicy, TransientConfig, TransientKind, TransientSampler};

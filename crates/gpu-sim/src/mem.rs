@@ -40,6 +40,15 @@ impl BackingMemory {
         self.sectors.len()
     }
 
+    /// Addresses of every resident sector, sorted for deterministic
+    /// iteration (the map itself is unordered). Crash recovery walks this
+    /// to rebuild metadata for exactly the data that reached DRAM.
+    pub fn resident_addrs(&self) -> Vec<SectorAddr> {
+        let mut addrs: Vec<SectorAddr> = self.sectors.keys().map(|&a| SectorAddr::new(a)).collect();
+        addrs.sort_by_key(|a| a.raw());
+        addrs
+    }
+
     /// Physical attack: XORs `mask` into the stored bytes of `addr`.
     ///
     /// Returns `false` (and does nothing) if the sector is not resident —
@@ -104,6 +113,16 @@ mod tests {
         let got = m.read(a).unwrap();
         assert_eq!(got[5], 0xf0);
         assert_eq!(got[4], 0xff);
+    }
+
+    #[test]
+    fn resident_addrs_are_sorted() {
+        let mut m = BackingMemory::new();
+        m.write(SectorAddr::new(0xc0), [1; 32]);
+        m.write(SectorAddr::new(0x40), [2; 32]);
+        m.write(SectorAddr::new(0x80), [3; 32]);
+        let addrs: Vec<u64> = m.resident_addrs().iter().map(|a| a.raw()).collect();
+        assert_eq!(addrs, vec![0x40, 0x80, 0xc0]);
     }
 
     #[test]

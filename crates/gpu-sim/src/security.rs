@@ -150,6 +150,77 @@ impl std::fmt::Display for Violation {
     }
 }
 
+impl std::error::Error for Violation {}
+
+/// Why a checkpoint/restore or metadata-recovery step could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// No checkpoint has been taken yet (enable checkpointing and run
+    /// past at least one boundary first).
+    NoCheckpoint,
+    /// The active engine does not implement the recovery surface.
+    Unsupported {
+        /// Name of the engine that lacks support.
+        engine: &'static str,
+    },
+    /// Phoenix-style counter reconstruction found no candidate counter
+    /// consistent with the sector's persistent MAC (or pinned values).
+    CounterUnrecoverable {
+        /// Raw address of the unrecoverable sector.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::NoCheckpoint => f.write_str("no metadata checkpoint available"),
+            RecoveryError::Unsupported { engine } => {
+                write!(f, "engine '{engine}' does not support checkpoint/recovery")
+            }
+            RecoveryError::CounterUnrecoverable { addr } => {
+                write!(f, "no counter consistent with MAC at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Tally of one Phoenix-style metadata-recovery pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sectors whose checkpointed counter already matched the MAC.
+    pub already_consistent: u64,
+    /// Sectors whose counter was reconstructed by probing candidate
+    /// values against the persistent MAC.
+    pub recovered_by_mac: u64,
+    /// Sectors recovered through the pinned-value screen (Plutus
+    /// skip-MAC writes leave the MAC stale; the persistent pinned set
+    /// re-authenticates them and the MAC is then repaired).
+    pub recovered_by_value: u64,
+    /// Raw addresses of sectors no candidate counter could explain.
+    pub failed: Vec<u64>,
+}
+
+impl RecoveryReport {
+    /// Folds another partition's report into this one.
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.already_consistent += other.already_consistent;
+        self.recovered_by_mac += other.recovered_by_mac;
+        self.recovered_by_value += other.recovered_by_value;
+        self.failed.extend_from_slice(&other.failed);
+    }
+
+    /// Sectors examined by the pass.
+    pub fn total(&self) -> u64 {
+        self.already_consistent
+            + self.recovered_by_mac
+            + self.recovered_by_value
+            + self.failed.len() as u64
+    }
+}
+
 /// A fault a [`crate::FaultSchedule`] asks the owning engine to apply to
 /// its *metadata* structures mid-run (data-sector faults go straight to
 /// the [`BackingMemory`]).
@@ -284,6 +355,55 @@ pub trait SecurityEngine {
     fn inject_fault(&mut self, _addr: SectorAddr, _fault: MetaFault) -> bool {
         false
     }
+
+    /// Clones the engine's full metadata state as an epoch checkpoint.
+    /// Engines without checkpoint support return `None` (the default).
+    fn checkpoint(&self) -> Option<Box<dyn SecurityEngine>> {
+        None
+    }
+
+    /// Concrete-type escape hatch so [`SecurityEngine::crash_revert`]
+    /// implementations can downcast the checkpoint handed back to them.
+    /// Engines supporting recovery return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Simulates a crash: replaces this engine's *volatile* metadata with
+    /// `checkpoint`'s, keeping whatever state the scheme persists across
+    /// power loss (write-through MACs, the pinned value set). Returns
+    /// `false` when `checkpoint` is not a checkpoint of this engine type
+    /// or the scheme has no recovery support.
+    fn crash_revert(&mut self, _checkpoint: &dyn SecurityEngine) -> bool {
+        false
+    }
+
+    /// Phoenix-style metadata reconstruction after a crash revert: for
+    /// each resident sector, probe candidate counter values against the
+    /// persistent MACs (and pinned values) and restore the metadata that
+    /// was lost since the checkpoint. Must not generate timing.
+    fn recover(
+        &mut self,
+        _mem: &BackingMemory,
+        _sectors: &[SectorAddr],
+    ) -> Result<RecoveryReport, RecoveryError> {
+        Err(RecoveryError::Unsupported {
+            engine: self.name(),
+        })
+    }
+
+    /// Decrypts `addr` with the engine's *current* metadata without
+    /// mutating any state or generating timing — the oracle crash audits
+    /// compare reads against. `None` when the scheme cannot peek.
+    fn peek_plaintext(&self, _addr: SectorAddr, _mem: &BackingMemory) -> Option<[u8; 32]> {
+        None
+    }
+
+    /// Tells the engine one of its fills needed the retry path
+    /// (`recovered` = the retry succeeded). Engines use this to drive
+    /// graceful degradation after repeated failures; the default ignores
+    /// it. Must not generate timing.
+    fn note_fill_failure(&mut self, _addr: SectorAddr, _recovered: bool) {}
 }
 
 /// Builds one engine instance per partition.
@@ -354,6 +474,34 @@ impl SecurityEngine for NoSecurityEngine {
         mem.write(addr, *plaintext);
         WritePlan::default()
     }
+
+    fn checkpoint(&self) -> Option<Box<dyn SecurityEngine>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn crash_revert(&mut self, checkpoint: &dyn SecurityEngine) -> bool {
+        // Stateless: reverting is a no-op, but the checkpoint must at
+        // least be of the right engine type.
+        checkpoint
+            .as_any()
+            .is_some_and(|a| a.is::<NoSecurityEngine>())
+    }
+
+    fn recover(
+        &mut self,
+        _mem: &BackingMemory,
+        _sectors: &[SectorAddr],
+    ) -> Result<RecoveryReport, RecoveryError> {
+        Ok(RecoveryReport::default())
+    }
+
+    fn peek_plaintext(&self, addr: SectorAddr, mem: &BackingMemory) -> Option<[u8; 32]> {
+        Some(mem.read(addr).unwrap_or([0; 32]))
+    }
 }
 
 #[cfg(test)]
@@ -408,5 +556,51 @@ mod tests {
             level: 2,
         };
         assert!(v.to_string().contains("level 2"));
+    }
+
+    #[test]
+    fn violation_and_recovery_errors_are_std_errors() {
+        let v: Box<dyn std::error::Error> = Box::new(Violation::MacMismatch {
+            addr: SectorAddr::new(0x40),
+        });
+        assert!(v.to_string().contains("MAC"));
+        let e: Box<dyn std::error::Error> = Box::new(RecoveryError::NoCheckpoint);
+        assert!(e.to_string().contains("checkpoint"));
+        assert!(RecoveryError::CounterUnrecoverable { addr: 0x40 }
+            .to_string()
+            .contains("0x40"));
+    }
+
+    #[test]
+    fn no_security_checkpoint_revert_recover_roundtrip() {
+        let mut e = NoSecurityEngine::new();
+        let mut mem = BackingMemory::new();
+        let a = SectorAddr::new(0x40);
+        e.install(a, &[3; 32], &mut mem);
+        let ck = e.checkpoint().expect("checkpoint supported");
+        assert!(e.crash_revert(ck.as_ref()));
+        let report = e.recover(&mem, &[a]).unwrap();
+        assert_eq!(report.total(), 0);
+        assert_eq!(e.peek_plaintext(a, &mem), Some([3; 32]));
+        assert_eq!(e.peek_plaintext(SectorAddr::new(0x80), &mem), Some([0; 32]));
+    }
+
+    #[test]
+    fn recovery_report_merges() {
+        let mut a = RecoveryReport {
+            already_consistent: 1,
+            recovered_by_mac: 2,
+            recovered_by_value: 0,
+            failed: vec![0x40],
+        };
+        let b = RecoveryReport {
+            already_consistent: 1,
+            recovered_by_mac: 0,
+            recovered_by_value: 3,
+            failed: vec![],
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 8);
+        assert_eq!(a.failed, vec![0x40]);
     }
 }

@@ -21,9 +21,15 @@ use crate::config::GpuConfig;
 use crate::dram::DramChannel;
 use crate::fault::{FaultKind, FaultSchedule, ScheduledFault};
 use crate::mem::BackingMemory;
-use crate::security::{EngineFactory, SecurityEngine, Violation};
-use crate::stats::{FaultOutcome, FaultRecord, SimStats, TrafficClass, ViolationRecord};
+use crate::security::{
+    EngineFactory, FillPlan, MetaFault, RecoveryError, RecoveryReport, SecurityEngine, Violation,
+};
+use crate::stats::{
+    FaultOutcome, FaultRecord, SimStats, TrafficClass, TransientOutcome, TransientRecord,
+    ViolationRecord,
+};
 use crate::trace::{AccessKind, Trace, TraceAccess};
+use crate::transient::{RetryPolicy, TransientConfig, TransientKind, TransientSampler};
 use plutus_telemetry::{Counter, Event as TelEvent, Histogram, Telemetry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -65,6 +71,46 @@ struct ArmedFault {
     cycle: u64,
     /// Stable label of the fault kind.
     kind: &'static str,
+}
+
+/// A transient fault applied for the duration of one fill attempt.
+/// Every injection primitive is an involution, so undoing is re-applying.
+#[derive(Debug, Clone, Copy)]
+struct PendingTransient {
+    kind: TransientKind,
+    mask: [u8; 32],
+}
+
+/// Last metadata checkpoint: one cloned engine per partition, plus the
+/// cycle the snapshot was taken at.
+struct CheckpointState {
+    cycle: u64,
+    engines: Vec<Box<dyn SecurityEngine>>,
+}
+
+/// Outcome of a crash-inject → restore → recover → re-read audit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CrashAudit {
+    /// Cycle of the checkpoint the crash was restored from.
+    pub checkpoint_cycle: u64,
+    /// Cycle the crash was injected at (last event processed).
+    pub crash_cycle: u64,
+    /// Tally of the Phoenix-style recovery pass.
+    pub report: RecoveryReport,
+    /// Resident sectors compared against the pre-crash oracle.
+    pub audited: u64,
+    /// Sectors whose post-recovery plaintext diverged from the oracle.
+    pub mismatches: u64,
+    /// Post-recovery fills that raised a violation on honest data.
+    pub spurious_violations: u64,
+}
+
+impl CrashAudit {
+    /// True when every read came back bit-identical with no spurious
+    /// violations — the condition crash campaigns gate on.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches == 0 && self.spurious_violations == 0 && self.report.failed.is_empty()
+    }
 }
 
 #[derive(Debug)]
@@ -207,6 +253,23 @@ pub struct Simulator {
     /// Accesses that have arrived at their partition (drives
     /// [`crate::FaultTrigger::AtAccess`]).
     accesses_seen: u64,
+    /// Soft-error process sampling transient faults per fill.
+    transients: Option<TransientSampler>,
+    /// Bounded-retry policy for failed fills (limit 0 = fail-stop).
+    retry: RetryPolicy,
+    /// Fill ordinal feeding the transient sampler.
+    fill_ordinal: u64,
+    /// Stop the event loop at the first recorded violation.
+    halt_on_violation: bool,
+    /// Take a metadata checkpoint every this many cycles.
+    checkpoint_interval: Option<u64>,
+    next_checkpoint_at: u64,
+    checkpoint: Option<CheckpointState>,
+    /// Whether the warp pool has been launched (guards re-entry of
+    /// [`Simulator::run_until`]).
+    started: bool,
+    /// Time of the last processed event (the crash cycle on early stop).
+    last_event_time: u64,
 }
 
 impl Simulator {
@@ -291,7 +354,28 @@ impl Simulator {
             snapshots: HashMap::new(),
             armed: HashMap::new(),
             accesses_seen: 0,
+            transients: None,
+            retry: RetryPolicy::default(),
+            fill_ordinal: 0,
+            halt_on_violation: false,
+            checkpoint_interval: None,
+            next_checkpoint_at: u64::MAX,
+            checkpoint: None,
+            started: false,
+            last_event_time: 0,
         }
+    }
+
+    /// Fallible variant of [`Simulator::with_telemetry`]: returns the
+    /// configuration-validation error as a value instead of panicking.
+    pub fn try_with_telemetry(
+        cfg: GpuConfig,
+        trace: Trace,
+        factory: &dyn EngineFactory,
+        tel: Telemetry,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Self::with_telemetry(cfg, trace, factory, tel))
     }
 
     /// Closes a telemetry epoch every `cycles` simulated cycles, labelled
@@ -304,6 +388,45 @@ impl Simulator {
         assert!(cycles > 0, "epoch interval must be positive");
         self.epoch_interval = Some(cycles);
         self.next_epoch_at = cycles;
+    }
+
+    /// Enables the seeded soft-error process: each fill may suffer a
+    /// transient fault per `cfg`. Pair with
+    /// [`Simulator::set_retry_policy`] so detections are retried rather
+    /// than escalated.
+    pub fn set_transient_faults(&mut self, cfg: TransientConfig) {
+        self.transients = Some(TransientSampler::new(cfg));
+    }
+
+    /// Sets the bounded-retry policy for failed fills. The default
+    /// (limit 0) escalates the first failed verification immediately,
+    /// matching pre-recovery behavior.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Stops the event loop at the first recorded violation (stats and
+    /// telemetry epochs are still flushed; see [`Simulator::run_until`]).
+    pub fn set_halt_on_violation(&mut self, halt: bool) {
+        self.halt_on_violation = halt;
+    }
+
+    /// Takes a metadata checkpoint at run start and then every `cycles`
+    /// simulated cycles. Requires every partition engine to support
+    /// [`SecurityEngine::checkpoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn set_checkpoint_interval(&mut self, cycles: u64) {
+        assert!(cycles > 0, "checkpoint interval must be positive");
+        self.checkpoint_interval = Some(cycles);
+        self.next_checkpoint_at = cycles;
+    }
+
+    /// Cycle of the last metadata checkpoint, if one was taken.
+    pub fn last_checkpoint_cycle(&self) -> Option<u64> {
+        self.checkpoint.as_ref().map(|c| c.cycle)
     }
 
     /// Mutable access to the functional memory, for injecting physical
@@ -345,20 +468,47 @@ impl Simulator {
 
     /// Runs the simulation to completion and returns the results.
     pub fn run(&mut self) -> SimResult {
-        let warps = self.cfg.warps.min(self.trace.len().max(1));
-        for w in 0..warps {
-            // Stagger warp launches (thread-block wave scheduling): an
-            // instantaneous 4k-warp burst would create an artificial
-            // standing convoy at the memory controllers.
-            self.schedule(w as u64 / 2, EventKind::WarpNext { warp: w as u32 });
+        self.run_until(u64::MAX)
+    }
+
+    /// Runs the simulation until the event queue drains or the next event
+    /// would be after `limit` — the crash-injection point. On early
+    /// termination the remaining events are abandoned (a crash, not a
+    /// pause), stats are finalized from the last processed event, and any
+    /// open telemetry epoch is flushed so nothing observed is lost.
+    /// [`Simulator::set_halt_on_violation`] stops the same way at the
+    /// first violation.
+    pub fn run_until(&mut self, limit: u64) -> SimResult {
+        if !self.started {
+            self.started = true;
+            let warps = self.cfg.warps.min(self.trace.len().max(1));
+            for w in 0..warps {
+                // Stagger warp launches (thread-block wave scheduling): an
+                // instantaneous 4k-warp burst would create an artificial
+                // standing convoy at the memory controllers.
+                self.schedule(w as u64 / 2, EventKind::WarpNext { warp: w as u32 });
+            }
+            if self.checkpoint_interval.is_some() {
+                self.take_checkpoint(0);
+            }
         }
-        while let Some(Reverse(ev)) = self.events.pop() {
+        let mut halted = false;
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if ev.time > limit {
+                halted = true;
+                break;
+            }
+            self.events.pop();
+            self.last_event_time = ev.time;
             self.horizon = self.horizon.max(ev.time);
             if self.tel.enabled() {
                 self.tel.advance_clock(ev.time);
                 if ev.time >= self.next_epoch_at {
                     self.roll_epochs(ev.time);
                 }
+            }
+            if ev.time >= self.next_checkpoint_at {
+                self.roll_checkpoints(ev.time);
             }
             if !self.faults.is_empty() {
                 if matches!(ev.kind, EventKind::Arrive { .. }) {
@@ -375,8 +525,23 @@ impl Simulator {
                     self.fill_done(ev.time, partition as usize, sector)
                 }
             }
+            if self.halt_on_violation && self.stats.violations > 0 {
+                halted = true;
+                break;
+            }
         }
-        if self.cfg.flush_l2_at_end {
+        if halted {
+            // Early termination: the future scheduled work never happens,
+            // so the run's horizon is the moment of the stop — without
+            // this, in-flight fills would inflate the cycle count of a
+            // run that was cut short.
+            self.horizon = self.last_event_time;
+            if self.tel.enabled() {
+                self.tel.advance_clock(self.last_event_time);
+                self.tel
+                    .end_epoch(&format!("halt-{}", self.last_event_time));
+            }
+        } else if self.cfg.flush_l2_at_end {
             self.flush_l2();
         }
         self.finalize()
@@ -392,6 +557,137 @@ impl Simulator {
             self.tel.end_epoch(&format!("cycle-{}", self.next_epoch_at));
             self.next_epoch_at += interval;
         }
+    }
+
+    /// Takes one checkpoint when `now` crosses a checkpoint boundary and
+    /// advances the boundary past `now` (state is snapshotted as-of `now`,
+    /// so crossing several idle boundaries at once yields one snapshot).
+    fn roll_checkpoints(&mut self, now: u64) {
+        let Some(interval) = self.checkpoint_interval else {
+            return;
+        };
+        if now >= self.next_checkpoint_at {
+            self.take_checkpoint(now);
+            while self.next_checkpoint_at <= now {
+                self.next_checkpoint_at += interval;
+            }
+        }
+    }
+
+    /// Clones every partition engine's metadata as the current
+    /// checkpoint. Returns `false` (keeping any previous checkpoint) if
+    /// an engine does not support checkpointing.
+    fn take_checkpoint(&mut self, now: u64) -> bool {
+        let mut engines = Vec::with_capacity(self.partitions.len());
+        for p in &self.partitions {
+            match p.engine.checkpoint() {
+                Some(e) => engines.push(e),
+                None => return false,
+            }
+        }
+        self.checkpoint = Some(CheckpointState {
+            cycle: now,
+            engines,
+        });
+        self.stats.checkpoints += 1;
+        if self.tel.enabled() {
+            self.tel.event(TelEvent::Checkpoint { cycle: now });
+        }
+        true
+    }
+
+    /// Simulates a crash at the current point: every partition engine's
+    /// volatile metadata reverts to the last checkpoint (persistent state
+    /// — write-through MACs, the pinned value set — survives). Returns
+    /// the checkpoint cycle restored to.
+    pub fn crash_revert_to_checkpoint(&mut self) -> Result<u64, RecoveryError> {
+        let ck = self
+            .checkpoint
+            .as_ref()
+            .ok_or(RecoveryError::NoCheckpoint)?;
+        for (p, saved) in self.partitions.iter_mut().zip(ck.engines.iter()) {
+            if !p.engine.crash_revert(saved.as_ref()) {
+                return Err(RecoveryError::Unsupported {
+                    engine: p.engine.name(),
+                });
+            }
+        }
+        if self.tel.enabled() {
+            self.tel.event(TelEvent::CrashRestore {
+                checkpoint_cycle: ck.cycle,
+            });
+        }
+        Ok(ck.cycle)
+    }
+
+    /// Resident data sectors grouped by owning partition.
+    fn sectors_by_partition(&self) -> Vec<Vec<SectorAddr>> {
+        let mut per: Vec<Vec<SectorAddr>> = vec![Vec::new(); self.partitions.len()];
+        for addr in self.backing.resident_addrs() {
+            per[partition_of(addr.block(), self.cfg.partitions)].push(addr);
+        }
+        per
+    }
+
+    /// Phoenix-style reconstruction of metadata lost since the restored
+    /// checkpoint: every partition engine probes its resident sectors'
+    /// counters against the persistent MACs. Call after
+    /// [`Simulator::crash_revert_to_checkpoint`].
+    pub fn recover_metadata(&mut self) -> Result<RecoveryReport, RecoveryError> {
+        let per = self.sectors_by_partition();
+        let mut total = RecoveryReport::default();
+        for (p, sectors) in self.partitions.iter_mut().zip(per) {
+            let r = p.engine.recover(&self.backing, &sectors)?;
+            total.merge(&r);
+        }
+        Ok(total)
+    }
+
+    /// Full crash-consistency audit: record what every resident sector
+    /// decrypts to *now* (the pre-crash oracle), crash-revert to the last
+    /// checkpoint, run metadata recovery, then re-read every sector and
+    /// count divergences and spurious violations. Call after
+    /// [`Simulator::run_until`] stopped at the crash point.
+    pub fn crash_recover_audit(&mut self) -> Result<CrashAudit, RecoveryError> {
+        let per = self.sectors_by_partition();
+        let mut expected: Vec<(usize, SectorAddr, [u8; 32])> = Vec::new();
+        for (p_idx, sectors) in per.iter().enumerate() {
+            for &s in sectors {
+                let pt = self.partitions[p_idx]
+                    .engine
+                    .peek_plaintext(s, &self.backing)
+                    .ok_or(RecoveryError::Unsupported {
+                        engine: self.partitions[p_idx].engine.name(),
+                    })?;
+                expected.push((p_idx, s, pt));
+            }
+        }
+        let checkpoint_cycle = self.crash_revert_to_checkpoint()?;
+        let report = self.recover_metadata()?;
+        let mut audit = CrashAudit {
+            checkpoint_cycle,
+            crash_cycle: self.last_event_time,
+            report,
+            ..CrashAudit::default()
+        };
+        for (p_idx, s, want) in expected {
+            audit.audited += 1;
+            let part = &mut self.partitions[p_idx];
+            let got = part.engine.peek_plaintext(s, &self.backing);
+            if got != Some(want) {
+                audit.mismatches += 1;
+                continue;
+            }
+            // Drive the real fill path too: recovery must not leave state
+            // that verifies under peek but trips the production read.
+            let plan = part.engine.on_fill(s, &mut self.backing);
+            if plan.violation.is_some() {
+                audit.spurious_violations += 1;
+            } else if plan.plaintext != want {
+                audit.mismatches += 1;
+            }
+        }
+        Ok(audit)
     }
 
     /// Applies one scheduled fault: data faults go straight to the
@@ -658,19 +954,23 @@ impl Simulator {
         }
     }
 
-    /// Books the data + metadata DRAM requests for a fill and returns the
-    /// cycle at which the verified plaintext is ready at the controller,
-    /// along with the plaintext itself.
-    fn execute_fill(&mut self, now: u64, p_idx: usize, sector: SectorAddr) -> (u64, [u8; 32]) {
+    /// Books the data + metadata DRAM requests of one fill attempt
+    /// starting at `start` and returns the cycle at which the verified
+    /// plaintext is ready at the controller.
+    fn book_fill_plan(
+        &mut self,
+        start: u64,
+        p_idx: usize,
+        sector: SectorAddr,
+        plan: &FillPlan,
+    ) -> u64 {
         let part = &mut self.partitions[p_idx];
-        let plan = part.engine.on_fill(sector, &mut self.backing);
-
         // All of a fill's DRAM requests book bus bandwidth at issue time;
         // dependence chains (counter → tree levels, deferred MAC) extend
         // the fill's *latency* only. Bandwidth contention stays exact while
         // latency — which the warp pool hides — is approximated, keeping
         // the simulator in the paper's bandwidth-bound regime.
-        let data_done = part.dram.access(now, sector.raw(), SECTOR_SIZE as u32);
+        let data_done = part.dram.access(start, sector.raw(), SECTOR_SIZE as u32);
         book_traffic(
             &mut self.stats,
             &self.simtel,
@@ -682,9 +982,9 @@ impl Simulator {
         let mut ready = data_done;
         let serial = self.cfg.serial_metadata_chains;
         for chain in &plan.pre_chains {
-            let mut t = now;
+            let mut t = start;
             for (i, req) in chain.iter().enumerate() {
-                let done = part.dram.access(now, req.addr, req.bytes);
+                let done = part.dram.access(start, req.addr, req.bytes);
                 if serial && i > 0 {
                     t += part.dram.unloaded_latency(req.bytes);
                 } else {
@@ -703,7 +1003,7 @@ impl Simulator {
         ready += plan.crypto_latency;
         if !plan.post_chain.is_empty() || plan.post_latency > 0 {
             for req in &plan.post_chain {
-                part.dram.access(now, req.addr, req.bytes);
+                part.dram.access(start, req.addr, req.bytes);
                 ready += part.dram.unloaded_latency(req.bytes);
                 book_traffic(
                     &mut self.stats,
@@ -716,7 +1016,7 @@ impl Simulator {
             ready += plan.post_latency;
         }
         for req in &plan.async_reads {
-            let done = part.dram.access(now, req.addr, req.bytes);
+            let done = part.dram.access(start, req.addr, req.bytes);
             self.horizon = self.horizon.max(done);
             book_traffic(
                 &mut self.stats,
@@ -727,7 +1027,7 @@ impl Simulator {
             );
         }
         for req in &plan.writes {
-            let done = part.dram.access(now, req.addr, req.bytes);
+            let done = part.dram.access(start, req.addr, req.bytes);
             self.horizon = self.horizon.max(done);
             book_traffic(
                 &mut self.stats,
@@ -737,26 +1037,163 @@ impl Simulator {
                 true,
             );
         }
-        let latency = ready.saturating_sub(now);
-        if let Some(v) = plan.violation {
-            self.record_violation(now, v, latency);
+        self.horizon = self.horizon.max(ready);
+        ready
+    }
+
+    /// Samples the soft-error process for this fill and, if a fault
+    /// fires, applies it. Returns the pending fault so the fill path can
+    /// undo it (transients are in-flight transfer errors: the stored
+    /// bytes were never wrong).
+    fn begin_transient(
+        &mut self,
+        now: u64,
+        p_idx: usize,
+        sector: SectorAddr,
+    ) -> Option<PendingTransient> {
+        let sampler = self.transients.as_ref()?;
+        let (kind, mask) = sampler.sample(self.fill_ordinal)?;
+        self.stats.transients_injected += 1;
+        let applied = self.apply_transient(p_idx, sector, kind, &mask);
+        if !applied {
+            self.stats.transients_not_applied += 1;
+            self.stats.transient_records.push(TransientRecord {
+                addr: sector.raw(),
+                kind: kind.label(),
+                cycle: now,
+                outcome: TransientOutcome::NotApplied,
+            });
+            return None;
         }
-        if !self.armed.is_empty() {
-            self.resolve_armed(sector, |armed| match plan.violation {
-                Some(v) => FaultOutcome::Detected {
-                    layer: v.layer(),
-                    latency: ready.saturating_sub(armed.cycle),
-                },
-                None => FaultOutcome::Escaped {
-                    value_verified: plan.verified_by_value,
-                },
+        if self.tel.enabled() {
+            self.tel.event(TelEvent::TransientFault {
+                addr: sector.raw(),
+                kind: kind.label().to_string(),
             });
         }
-        self.stats.fill_latency_sum += latency;
-        self.stats.fill_count += 1;
-        self.simtel.fill_latency.record(latency);
-        self.horizon = self.horizon.max(ready);
-        (ready, plan.plaintext)
+        Some(PendingTransient { kind, mask })
+    }
+
+    /// Applies (or, because every primitive is an involution, undoes) a
+    /// transient fault. Returns whether state changed.
+    fn apply_transient(
+        &mut self,
+        p_idx: usize,
+        sector: SectorAddr,
+        kind: TransientKind,
+        mask: &[u8; 32],
+    ) -> bool {
+        match kind {
+            TransientKind::Data => self.backing.corrupt(sector, mask),
+            TransientKind::Mac => self.partitions[p_idx]
+                .engine
+                .inject_fault(sector, MetaFault::TamperMac),
+            TransientKind::BmtNode => self.partitions[p_idx]
+                .engine
+                .inject_fault(sector, MetaFault::TamperBmtNode),
+        }
+    }
+
+    /// Serves one L2 read miss, with bounded retry: a failed verification
+    /// is re-fetched up to the retry limit with exponential backoff, and
+    /// only the final attempt's outcome escalates to a recorded
+    /// [`Violation`]. Returns the cycle at which verified plaintext is
+    /// ready, along with the plaintext itself.
+    fn execute_fill(&mut self, now: u64, p_idx: usize, sector: SectorAddr) -> (u64, [u8; 32]) {
+        self.fill_ordinal += 1;
+        let transient = self.begin_transient(now, p_idx, sector);
+        let mut transient_active = transient.is_some();
+        let mut transient_tripped = false;
+        let mut attempt: u32 = 0;
+        let mut start = now;
+        loop {
+            let part = &mut self.partitions[p_idx];
+            let plan = part.engine.on_fill(sector, &mut self.backing);
+            let ready = self.book_fill_plan(start, p_idx, sector, &plan);
+            if plan.violation.is_some() && attempt < self.retry.limit {
+                // Failed verification with retries remaining: undo any
+                // in-flight transient (a re-fetch observes clean data),
+                // charge backoff, and re-issue the whole fetch.
+                attempt += 1;
+                self.stats.retries += 1;
+                let backoff = self.retry.backoff(attempt);
+                self.stats.retry_cycles += ready.saturating_sub(start) + backoff;
+                if let Some(t) = transient {
+                    if transient_active {
+                        transient_tripped = true;
+                        self.apply_transient(p_idx, sector, t.kind, &t.mask);
+                        transient_active = false;
+                    }
+                }
+                if self.tel.enabled() {
+                    self.tel.event(TelEvent::FillRetry {
+                        addr: sector.raw(),
+                        attempt,
+                    });
+                }
+                start = ready + backoff;
+                continue;
+            }
+
+            // Final attempt: undo a still-active transient (the stored
+            // bytes were never wrong, only this transfer), then resolve.
+            if let Some(t) = transient {
+                if transient_active {
+                    self.apply_transient(p_idx, sector, t.kind, &t.mask);
+                }
+                let outcome = if plan.violation.is_some() {
+                    self.stats.transients_escalated += 1;
+                    TransientOutcome::Escalated { retries: attempt }
+                } else if transient_tripped {
+                    self.stats.transients_recovered += 1;
+                    TransientOutcome::Recovered { retries: attempt }
+                } else {
+                    self.stats.transients_undetected += 1;
+                    TransientOutcome::Undetected
+                };
+                self.stats.transient_records.push(TransientRecord {
+                    addr: sector.raw(),
+                    kind: t.kind.label(),
+                    cycle: now,
+                    outcome,
+                });
+                if self.tel.enabled() {
+                    if let TransientOutcome::Recovered { retries } = outcome {
+                        self.tel.event(TelEvent::TransientRecovered {
+                            addr: sector.raw(),
+                            retries,
+                        });
+                    }
+                }
+            }
+            if self.retry.limit > 0 && (transient_tripped || plan.violation.is_some()) {
+                // Degradation hook: the engine learns this fill needed
+                // the retry path (only when retry is enabled, so legacy
+                // fail-stop campaigns keep their exact behavior).
+                self.partitions[p_idx]
+                    .engine
+                    .note_fill_failure(sector, plan.violation.is_none());
+            }
+            let latency = ready.saturating_sub(now);
+            if let Some(v) = plan.violation {
+                self.record_violation(now, v, latency);
+            }
+            if !self.armed.is_empty() {
+                self.resolve_armed(sector, |armed| match plan.violation {
+                    Some(v) => FaultOutcome::Detected {
+                        layer: v.layer(),
+                        latency: ready.saturating_sub(armed.cycle),
+                    },
+                    None => FaultOutcome::Escaped {
+                        value_verified: plan.verified_by_value,
+                    },
+                });
+            }
+            self.stats.fill_latency_sum += latency;
+            self.stats.fill_count += 1;
+            self.simtel.fill_latency.record(latency);
+            return (ready, plan.plaintext);
+        }
     }
 
     fn handle_evictions(&mut self, now: u64, p_idx: usize, evicted: &[EvictedSector]) {

@@ -146,6 +146,47 @@ pub struct FaultRecord {
     pub outcome: FaultOutcome,
 }
 
+/// How one sampled transient (soft-error) fault resolved.
+///
+/// The crucial distinction against [`FaultOutcome`]: a transient fault
+/// that is retried away is *recovered*, not an attack; only
+/// [`TransientOutcome::Escalated`] means the controller misclassified a
+/// soft error as tampering (the condition transient campaigns gate on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientOutcome {
+    /// Verification tripped, and a bounded re-fetch then succeeded.
+    Recovered {
+        /// Number of retry attempts the recovery took.
+        retries: u32,
+    },
+    /// Verification tripped and every allowed retry also failed, so the
+    /// fill escalated to a recorded [`crate::Violation`].
+    Escalated {
+        /// Retry attempts charged before escalation.
+        retries: u32,
+    },
+    /// The corrupted transfer was served without any verification layer
+    /// noticing (silent data corruption; only possible when the active
+    /// scheme does not cover the faulted structure).
+    Undetected,
+    /// The fault targeted state the engine does not keep (or a
+    /// non-resident sector) and changed nothing.
+    NotApplied,
+}
+
+/// One sampled transient fault: where it struck and how it resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientRecord {
+    /// Raw address of the fill the fault struck.
+    pub addr: u64,
+    /// Stable label of the transient kind (see `TransientKind::label`).
+    pub kind: &'static str,
+    /// Cycle of the afflicted fill's arrival at the controller.
+    pub cycle: u64,
+    /// How the fault resolved.
+    pub outcome: TransientOutcome,
+}
+
 /// Aggregated statistics for one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
@@ -177,6 +218,26 @@ pub struct SimStats {
     /// Resolution of every fault applied from a
     /// [`crate::FaultSchedule`], in deterministic order.
     pub fault_records: Vec<FaultRecord>,
+    /// Transient faults sampled by the soft-error model (including
+    /// not-applied samples).
+    pub transients_injected: u64,
+    /// Transient faults cleared by the bounded retry path.
+    pub transients_recovered: u64,
+    /// Transient faults that exhausted retries and escalated to a
+    /// recorded violation (soft errors misclassified as attacks).
+    pub transients_escalated: u64,
+    /// Transient faults served without any verification layer noticing.
+    pub transients_undetected: u64,
+    /// Transient faults that could not change state.
+    pub transients_not_applied: u64,
+    /// Fill re-fetch attempts issued by the retry path.
+    pub retries: u64,
+    /// Extra cycles charged to retried fills (failed attempts + backoff).
+    pub retry_cycles: u64,
+    /// Metadata checkpoints taken during the run.
+    pub checkpoints: u64,
+    /// One record per sampled transient fault, in injection order.
+    pub transient_records: Vec<TransientRecord>,
     /// Sum of fill latencies (ready − arrival), for average-latency
     /// diagnostics.
     pub fill_latency_sum: u64,

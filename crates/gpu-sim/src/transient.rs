@@ -1,0 +1,236 @@
+//! Transient (soft-error) fault model and the bounded retry policy.
+//!
+//! PR 2's [`crate::FaultSchedule`] models an *adversary*: persistent
+//! tampering that verification must catch and report. This module models
+//! the other failure class real controllers face — benign, transient
+//! corruption of a DRAM transfer (a link CRC miss, a marginal cell read)
+//! in the spirit of SecDDR's retryable-error class. A transient fault is
+//! an *in-flight* error: the stored bytes were never wrong, so re-issuing
+//! the fetch observes clean data. The simulator therefore applies the
+//! fault for the duration of one fill attempt and undoes it afterwards
+//! (every injection primitive is an involution), and a [`RetryPolicy`]
+//! decides how many cycle-charged re-fetches are attempted before the
+//! failure escalates to a recorded [`crate::Violation`].
+//!
+//! Sampling is deterministic: a [`TransientSampler`] hashes (seed, fill
+//! ordinal) with SplitMix64, so a campaign is exactly reproducible from
+//! its seed without any global RNG state.
+
+/// What a transient fault corrupts for the duration of one fill attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientKind {
+    /// The data sector's ciphertext transfer (bit flips via XOR mask).
+    Data,
+    /// The sector's stored MAC tag (metadata-path soft error).
+    Mac,
+    /// The BMT leaf record covering the sector's counter.
+    BmtNode,
+}
+
+impl TransientKind {
+    /// Stable short label used in records and campaign reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransientKind::Data => "transient_data",
+            TransientKind::Mac => "transient_mac",
+            TransientKind::BmtNode => "transient_bmt_node",
+        }
+    }
+}
+
+/// Configuration of the seeded soft-error process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientConfig {
+    /// Probability that any given fill suffers a transient fault.
+    pub rate: f64,
+    /// Seed for the deterministic per-fill sampler.
+    pub seed: u64,
+}
+
+impl TransientConfig {
+    /// A soft-error process at `rate` faults per fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "soft-error rate must be in [0, 1], got {rate}"
+        );
+        Self { rate, seed }
+    }
+}
+
+/// Bounded retry with cycle-charged exponential backoff.
+///
+/// `limit == 0` (the default) disables retry entirely: the first failed
+/// verification escalates immediately, which is the pre-recovery
+/// behavior every existing test and campaign was built against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of re-fetch attempts after the first failure.
+    pub limit: u32,
+    /// Backoff charged before retry `n` is `backoff_base << (n - 1)`.
+    pub backoff_base: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            limit: 0,
+            backoff_base: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `limit` retries with the default backoff base.
+    pub fn with_limit(limit: u32) -> Self {
+        Self {
+            limit,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff cycles charged before the `attempt`-th retry (1-based).
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        // Cap the shift so a pathological limit cannot overflow.
+        self.backoff_base << attempt.saturating_sub(1).min(16)
+    }
+}
+
+/// SplitMix64 step: the standard 64-bit finalizer-based generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-fill soft-error sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientSampler {
+    cfg: TransientConfig,
+}
+
+impl TransientSampler {
+    /// A sampler for the given soft-error process.
+    pub fn new(cfg: TransientConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configured soft-error process.
+    pub fn config(&self) -> TransientConfig {
+        self.cfg
+    }
+
+    /// Decides whether the fill with ordinal `fill_ordinal` suffers a
+    /// transient fault, and if so of which kind and (for data faults)
+    /// with which XOR mask. Pure function of (seed, ordinal).
+    pub fn sample(&self, fill_ordinal: u64) -> Option<(TransientKind, [u8; 32])> {
+        if self.cfg.rate <= 0.0 {
+            return None;
+        }
+        let mut state = self
+            .cfg
+            .seed
+            .wrapping_add(fill_ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let draw = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= self.cfg.rate {
+            return None;
+        }
+        let kind = match splitmix64(&mut state) % 3 {
+            0 => TransientKind::Data,
+            1 => TransientKind::Mac,
+            _ => TransientKind::BmtNode,
+        };
+        let mut mask = [0u8; 32];
+        for chunk in mask.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+        }
+        if mask.iter().all(|&b| b == 0) {
+            mask[0] = 1; // a zero mask would be a no-op "fault"
+        }
+        Some((kind, mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let s = TransientSampler::new(TransientConfig::new(0.5, 42));
+        let a: Vec<_> = (0..64).map(|i| s.sample(i)).collect();
+        let b: Vec<_> = (0..64).map(|i| s.sample(i)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rate_bounds_hold() {
+        let never = TransientSampler::new(TransientConfig::new(0.0, 1));
+        assert!((0..1000).all(|i| never.sample(i).is_none()));
+        let always = TransientSampler::new(TransientConfig::new(1.0, 1));
+        assert!((0..1000).all(|i| always.sample(i).is_some()));
+    }
+
+    #[test]
+    fn moderate_rate_hits_a_plausible_fraction() {
+        let s = TransientSampler::new(TransientConfig::new(0.1, 7));
+        let hits = (0..10_000).filter(|&i| s.sample(i).is_some()).count();
+        assert!((700..1300).contains(&hits), "got {hits} faults at rate 0.1");
+    }
+
+    #[test]
+    fn all_kinds_are_sampled() {
+        let s = TransientSampler::new(TransientConfig::new(1.0, 3));
+        let mut seen = [false; 3];
+        for i in 0..256 {
+            match s.sample(i).unwrap().0 {
+                TransientKind::Data => seen[0] = true,
+                TransientKind::Mac => seen[1] = true,
+                TransientKind::BmtNode => seen[2] = true,
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn masks_are_nonzero() {
+        let s = TransientSampler::new(TransientConfig::new(1.0, 9));
+        for i in 0..256 {
+            let (_, mask) = s.sample(i).unwrap();
+            assert!(mask.iter().any(|&b| b != 0));
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_bounded() {
+        let p = RetryPolicy {
+            limit: 4,
+            backoff_base: 8,
+        };
+        assert_eq!(p.backoff(1), 8);
+        assert_eq!(p.backoff(2), 16);
+        assert_eq!(p.backoff(3), 32);
+        // Shift saturates rather than overflowing.
+        assert_eq!(p.backoff(200), 8 << 16);
+        assert_eq!(RetryPolicy::default().limit, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "soft-error rate")]
+    fn invalid_rate_is_rejected() {
+        let _ = TransientConfig::new(1.5, 0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TransientKind::Data.label(), "transient_data");
+        assert_eq!(TransientKind::Mac.label(), "transient_mac");
+        assert_eq!(TransientKind::BmtNode.label(), "transient_bmt_node");
+    }
+}

@@ -1,0 +1,115 @@
+//! Fail-operational campaigns for the secure-memory pipeline.
+//!
+//! Two campaign families exercise the recovery machinery end-to-end:
+//!
+//! - **Transient** ([`run_transient_campaign`]): a seeded soft-error
+//!   process ([`gpu_sim::TransientConfig`]) corrupts individual DRAM
+//!   transfers while real workload traces run, and a bounded
+//!   [`gpu_sim::RetryPolicy`] re-fetches failed fills. The campaign
+//!   tallies how every transient resolved — recovered by retry,
+//!   escalated to a recorded violation (a benign fault *misclassified*
+//!   as an attack), or never observed — and [`transient_gate`] fails
+//!   the run if any transient escalated.
+//! - **Crash** ([`run_crash_campaign`]): runs are killed at arbitrary
+//!   cycles, volatile security metadata reverts to the last epoch
+//!   checkpoint, counters are reconstructed Phoenix-style against the
+//!   persistent MACs, and every resident sector is re-read and compared
+//!   against a pre-crash oracle. [`crash_gate`] fails unless every
+//!   audit came back bit-identical with no spurious violations.
+//!
+//! Engines are supplied through [`SchemeProvider`] so the campaign
+//! runners stay independent of any particular scheme catalogue; the
+//! bench crate adapts its `Scheme` enum onto this trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crash;
+mod transient;
+
+pub use crash::{
+    crash_csv, crash_gate, crash_json, crash_table, run_crash_campaign, save_crash_campaign,
+    CrashCampaignConfig, CrashRow,
+};
+pub use transient::{
+    run_transient_campaign, save_transient_campaign, transient_csv, transient_gate, transient_json,
+    transient_table, TransientCampaignConfig, TransientRow,
+};
+
+use gpu_sim::EngineFactory;
+
+/// A named source of security engines a campaign can instantiate.
+///
+/// Factories are built inside each workload's worker thread, so the
+/// provider itself only needs to be [`Sync`].
+pub trait SchemeProvider: Sync {
+    /// Display label used in campaign rows and reports.
+    fn scheme_label(&self) -> String;
+    /// Builds a fresh engine factory for one simulator instance.
+    fn make_factory(&self) -> Box<dyn EngineFactory>;
+}
+
+/// SplitMix-style per-run seed derivation, so every (workload, scheme,
+/// run) triple gets an independent, reproducible stream.
+pub(crate) fn run_seed(base: u64, workload_idx: usize, scheme_idx: usize, run: usize) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(((workload_idx as u64) << 40) | ((scheme_idx as u64) << 32) | run as u64)
+}
+
+/// Writes a campaign's JSON and CSV renderings under
+/// `target/experiments/`, returning the JSON path.
+pub(crate) fn save_reports(
+    name: &str,
+    json: &plutus_telemetry::Json,
+    csv: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("{name}.json"));
+    std::fs::write(&json_path, json.to_string_pretty())?;
+    std::fs::write(dir.join(format!("{name}.csv")), csv)?;
+    Ok(json_path)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::SchemeProvider;
+    use gpu_sim::EngineFactory;
+    use plutus_core::{PlutusConfig, PlutusEngine};
+    use secure_mem::{CommonCountersEngine, PssmEngine, SecureMemConfig};
+
+    /// The three checkpoint-capable engines, as test providers.
+    pub enum TestScheme {
+        Pssm,
+        CommonCounters,
+        Plutus,
+    }
+
+    impl SchemeProvider for TestScheme {
+        fn scheme_label(&self) -> String {
+            match self {
+                TestScheme::Pssm => "pssm".into(),
+                TestScheme::CommonCounters => "common-counters".into(),
+                TestScheme::Plutus => "plutus".into(),
+            }
+        }
+
+        fn make_factory(&self) -> Box<dyn EngineFactory> {
+            match self {
+                TestScheme::Pssm => Box::new(PssmEngine::factory(SecureMemConfig::pssm())),
+                TestScheme::CommonCounters => {
+                    Box::new(CommonCountersEngine::factory(SecureMemConfig::pssm()))
+                }
+                TestScheme::Plutus => Box::new(PlutusEngine::factory(PlutusConfig::full())),
+            }
+        }
+    }
+
+    pub fn all_schemes() -> Vec<Box<dyn SchemeProvider>> {
+        vec![
+            Box::new(TestScheme::Pssm),
+            Box::new(TestScheme::CommonCounters),
+            Box::new(TestScheme::Plutus),
+        ]
+    }
+}

@@ -1,0 +1,385 @@
+//! The transient (soft-error) retry campaign.
+
+use crate::{run_seed, SchemeProvider};
+use gpu_sim::{GpuConfig, RetryPolicy, Simulator, TransientConfig};
+use plutus_telemetry::Json;
+use workloads::{Scale, WorkloadSpec};
+
+/// Parameters of a transient campaign. `runs` independently seeded
+/// simulations execute per (workload, scheme) pair, all derived from
+/// `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientCampaignConfig {
+    /// Probability that any given fill suffers a transient fault.
+    pub soft_error_rate: f64,
+    /// Maximum re-fetch attempts after a failed verification.
+    pub retry_limit: u32,
+    /// Independently seeded runs per (workload, scheme) pair.
+    pub runs: usize,
+    /// Master seed; every run's soft-error stream derives from it.
+    pub seed: u64,
+    /// Trace scale the workloads run at.
+    pub scale: Scale,
+}
+
+impl TransientCampaignConfig {
+    /// The default campaign: a 2% soft-error rate (high enough to hit
+    /// every workload many times at test scale), 3 retries, 3 runs.
+    pub fn new(seed: u64, scale: Scale) -> Self {
+        Self {
+            soft_error_rate: 0.02,
+            retry_limit: 3,
+            runs: 3,
+            seed,
+            scale,
+        }
+    }
+}
+
+/// Aggregated transient-campaign outcome for one (workload, engine)
+/// pair, summed over all runs.
+#[derive(Debug, Clone)]
+pub struct TransientRow {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Total L2-miss fills served.
+    pub fills: u64,
+    /// Transient faults the soft-error process fired.
+    pub injected: u64,
+    /// Detected transients cleared by the bounded retry path.
+    pub recovered: u64,
+    /// Transients still failing at the retry limit — benign faults
+    /// misclassified as attacks. The gate requires zero.
+    pub escalated: u64,
+    /// Applied transients no verification layer observed (e.g. a MAC
+    /// soft error under a value-verified read that never consults it).
+    pub undetected: u64,
+    /// Sampled faults that could not change state.
+    pub not_applied: u64,
+    /// Individual re-fetch attempts issued.
+    pub retries: u64,
+    /// Extra cycles charged to retries (wasted fetch + backoff).
+    pub retry_cycles: u64,
+    /// Violations recorded across all runs (should equal `escalated`
+    /// in an attack-free campaign).
+    pub violations: u64,
+    /// Engine degradation counters observed (`degraded_*` stats).
+    pub degraded: Vec<(String, u64)>,
+}
+
+impl TransientRow {
+    fn new(workload: &str, scheme: String) -> Self {
+        Self {
+            workload: workload.to_string(),
+            scheme,
+            fills: 0,
+            injected: 0,
+            recovered: 0,
+            escalated: 0,
+            undetected: 0,
+            not_applied: 0,
+            retries: 0,
+            retry_cycles: 0,
+            violations: 0,
+            degraded: Vec::new(),
+        }
+    }
+
+    /// Detected transients (those that tripped at least one fetch).
+    pub fn detected(&self) -> u64 {
+        self.recovered + self.escalated
+    }
+
+    /// Fraction of detected transients the retry path recovered.
+    pub fn recovery_rate(&self) -> f64 {
+        let det = self.detected();
+        if det == 0 {
+            0.0
+        } else {
+            self.recovered as f64 / det as f64
+        }
+    }
+}
+
+/// Runs the transient campaign: every workload (on its own thread) ×
+/// every scheme × `runs` seeded runs, each with an independent
+/// soft-error stream.
+///
+/// # Panics
+///
+/// Panics if a workload thread panics.
+pub fn run_transient_campaign(
+    workloads: &[WorkloadSpec],
+    schemes: &[Box<dyn SchemeProvider>],
+    campaign: &TransientCampaignConfig,
+    cfg: &GpuConfig,
+) -> Vec<TransientRow> {
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .enumerate()
+            .map(|(wi, w)| {
+                let cfg = cfg.clone();
+                let campaign = *campaign;
+                scope.spawn(move || {
+                    let trace = w.trace(campaign.scale);
+                    let mut rows = Vec::new();
+                    for (si, scheme) in schemes.iter().enumerate() {
+                        let mut row = TransientRow::new(w.name, scheme.scheme_label());
+                        for run in 0..campaign.runs {
+                            let factory = scheme.make_factory();
+                            let mut sim =
+                                Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
+                            sim.set_transient_faults(TransientConfig::new(
+                                campaign.soft_error_rate,
+                                run_seed(campaign.seed, wi, si, run),
+                            ));
+                            sim.set_retry_policy(RetryPolicy::with_limit(campaign.retry_limit));
+                            let r = sim.run();
+                            row.fills += r.stats.fill_count;
+                            row.injected += r.stats.transients_injected;
+                            row.recovered += r.stats.transients_recovered;
+                            row.escalated += r.stats.transients_escalated;
+                            row.undetected += r.stats.transients_undetected;
+                            row.not_applied += r.stats.transients_not_applied;
+                            row.retries += r.stats.retries;
+                            row.retry_cycles += r.stats.retry_cycles;
+                            row.violations += r.stats.violations;
+                            for (name, v) in &r.stats.engine {
+                                if name.starts_with("degraded_") {
+                                    match row.degraded.iter_mut().find(|(n, _)| n == name) {
+                                        Some((_, acc)) => *acc += v,
+                                        None => row.degraded.push((name.clone(), *v)),
+                                    }
+                                }
+                            }
+                        }
+                        rows.push(row);
+                    }
+                    rows
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("transient campaign thread panicked"));
+        }
+    });
+    out
+}
+
+/// The fail-operational gate: no transient fault may be misclassified
+/// as an attack, and the campaign must actually have exercised the
+/// fault path.
+///
+/// # Errors
+///
+/// Returns a description of every violated condition.
+pub fn transient_gate(rows: &[TransientRow]) -> Result<(), String> {
+    if rows.is_empty() {
+        return Err("transient campaign produced no rows".into());
+    }
+    let injected: u64 = rows.iter().map(|r| r.injected).sum();
+    if injected == 0 {
+        return Err("transient campaign injected no faults (rate too low for scale?)".into());
+    }
+    let bad: Vec<String> = rows
+        .iter()
+        .filter(|r| r.escalated > 0)
+        .map(|r| {
+            format!(
+                "{}/{}: {} transient fault(s) escalated to violations",
+                r.workload, r.scheme, r.escalated
+            )
+        })
+        .collect();
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad.join("; "))
+    }
+}
+
+/// Renders transient rows as a JSON document.
+pub fn transient_json(rows: &[TransientRow]) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|r| {
+                let degraded = r
+                    .degraded
+                    .iter()
+                    .fold(Json::object(), |o, (k, v)| o.set(k, *v));
+                Json::object()
+                    .set("workload", r.workload.as_str())
+                    .set("scheme", r.scheme.as_str())
+                    .set("fills", r.fills)
+                    .set("injected", r.injected)
+                    .set("recovered", r.recovered)
+                    .set("escalated", r.escalated)
+                    .set("undetected", r.undetected)
+                    .set("not_applied", r.not_applied)
+                    .set("retries", r.retries)
+                    .set("retry_cycles", r.retry_cycles)
+                    .set("violations", r.violations)
+                    .set("recovery_rate", r.recovery_rate())
+                    .set("degraded", degraded)
+            })
+            .collect(),
+    )
+}
+
+/// Renders transient rows as CSV.
+pub fn transient_csv(rows: &[TransientRow]) -> String {
+    let mut out = String::from(
+        "workload,scheme,fills,injected,recovered,escalated,undetected,not_applied,\
+         retries,retry_cycles,violations,recovery_rate\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{:.6}\n",
+            r.workload,
+            r.scheme,
+            r.fills,
+            r.injected,
+            r.recovered,
+            r.escalated,
+            r.undetected,
+            r.not_applied,
+            r.retries,
+            r.retry_cycles,
+            r.violations,
+            r.recovery_rate()
+        ));
+    }
+    out
+}
+
+/// Renders the per-(workload, engine) transient table.
+pub fn transient_table(rows: &[TransientRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:<18}{:>9}{:>10}{:>10}{:>10}{:>8}{:>9}{:>12}{:>10}",
+        "workload",
+        "scheme",
+        "injected",
+        "recovered",
+        "escalated",
+        "undetect",
+        "n/a",
+        "retries",
+        "retry-cyc",
+        "rec-rate"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14}{:<18}{:>9}{:>10}{:>10}{:>10}{:>8}{:>9}{:>12}{:>9.1}%",
+            r.workload,
+            r.scheme,
+            r.injected,
+            r.recovered,
+            r.escalated,
+            r.undetected,
+            r.not_applied,
+            r.retries,
+            r.retry_cycles,
+            r.recovery_rate() * 100.0
+        );
+    }
+    out
+}
+
+/// Writes the transient campaign as JSON and CSV under
+/// `target/experiments/`, returning the JSON path.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn save_transient_campaign(
+    name: &str,
+    rows: &[TransientRow],
+) -> std::io::Result<std::path::PathBuf> {
+    crate::save_reports(name, &transient_json(rows), &transient_csv(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::all_schemes;
+    use workloads::by_name;
+
+    fn tiny(retry_limit: u32) -> TransientCampaignConfig {
+        TransientCampaignConfig {
+            soft_error_rate: 0.05,
+            retry_limit,
+            runs: 2,
+            seed: 11,
+            scale: Scale::Test,
+        }
+    }
+
+    #[test]
+    fn retry_recovers_every_transient() {
+        let w = [by_name("bfs").unwrap()];
+        let rows = run_transient_campaign(&w, &all_schemes(), &tiny(3), &GpuConfig::test_small());
+        assert_eq!(rows.len(), 3);
+        let injected: u64 = rows.iter().map(|r| r.injected).sum();
+        let recovered: u64 = rows.iter().map(|r| r.recovered).sum();
+        assert!(injected > 0, "campaign must inject at this rate");
+        assert!(recovered > 0, "retry path must clear detected transients");
+        transient_gate(&rows).expect("no transient may escalate with retries enabled");
+        for r in &rows {
+            assert_eq!(r.violations, 0, "{}: spurious violations", r.scheme);
+        }
+    }
+
+    #[test]
+    fn without_retry_transients_escalate() {
+        let w = [by_name("bfs").unwrap()];
+        let rows = run_transient_campaign(&w, &all_schemes(), &tiny(0), &GpuConfig::test_small());
+        let escalated: u64 = rows.iter().map(|r| r.escalated).sum();
+        assert!(escalated > 0, "fail-stop must misclassify transients");
+        assert!(transient_gate(&rows).is_err());
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let w = [by_name("bfs").unwrap()];
+        let run = || {
+            run_transient_campaign(&w, &all_schemes(), &tiny(2), &GpuConfig::test_small())
+                .iter()
+                .map(|r| (r.injected, r.recovered, r.escalated, r.retry_cycles))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let mut row = TransientRow::new("bfs", "plutus".into());
+        row.injected = 5;
+        row.recovered = 4;
+        row.escalated = 1;
+        row.retries = 6;
+        row.degraded = vec![("degraded_verifier_frozen".into(), 1)];
+        let json = transient_json(&[row.clone()]).to_string_pretty();
+        assert!(json.contains("\"recovery_rate\""));
+        assert!(json.contains("\"degraded_verifier_frozen\": 1"));
+        let csv = transient_csv(&[row.clone()]);
+        assert!(csv.starts_with("workload,scheme"));
+        assert!(csv.contains("bfs,plutus"));
+        assert!((row.recovery_rate() - 0.8).abs() < 1e-12);
+        assert!(transient_table(&[row]).contains("plutus"));
+    }
+
+    #[test]
+    fn gate_rejects_empty_and_fault_free_campaigns() {
+        assert!(transient_gate(&[]).is_err());
+        let row = TransientRow::new("bfs", "plutus".into());
+        assert!(transient_gate(&[row]).is_err(), "zero injected is vacuous");
+    }
+}

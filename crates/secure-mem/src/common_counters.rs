@@ -12,7 +12,8 @@
 use crate::config::SecureMemConfig;
 use crate::pssm::PssmEngine;
 use gpu_sim::{
-    BackingMemory, EngineFactory, FillPlan, MetaFault, SectorAddr, SecurityEngine, WritePlan,
+    BackingMemory, EngineFactory, FillPlan, MetaFault, RecoveryError, RecoveryReport, SectorAddr,
+    SecurityEngine, WritePlan,
 };
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
@@ -143,6 +144,60 @@ impl SecurityEngine for CommonCountersEngine {
             _ => self.inner.inject_fault(addr, fault),
         }
     }
+
+    fn checkpoint(&self) -> Option<Box<dyn SecurityEngine>> {
+        // The dirty-region table is shared between partitions through one
+        // Arc; a checkpoint must deep-copy its contents so later writes
+        // don't bleed into the saved state.
+        let snapshot = self.dirty_regions.lock().unwrap().clone();
+        let mut ck = self.clone();
+        ck.dirty_regions = Arc::new(Mutex::new(snapshot));
+        Some(Box::new(ck))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn crash_revert(&mut self, checkpoint: &dyn SecurityEngine) -> bool {
+        let Some(ck) = checkpoint
+            .as_any()
+            .and_then(|a| a.downcast_ref::<CommonCountersEngine>())
+        else {
+            return false;
+        };
+        self.inner.revert_keeping_macs(&ck.inner);
+        self.clean_hits = ck.clean_hits;
+        // Replace the shared table's *contents* in place so every partition
+        // keeps pointing at the one GPU-level table.
+        let snapshot = ck.dirty_regions.lock().unwrap().clone();
+        *self.dirty_regions.lock().unwrap() = snapshot;
+        true
+    }
+
+    fn recover(
+        &mut self,
+        mem: &BackingMemory,
+        sectors: &[SectorAddr],
+    ) -> Result<RecoveryReport, RecoveryError> {
+        let report = self.inner.recover(mem, sectors)?;
+        // A region is clean only while every counter in it is provably
+        // zero: re-dirty any region whose recovered counter says otherwise,
+        // so post-recovery fills take the full verified path.
+        for &s in sectors {
+            if self.inner.counters().peek_value(s) > 0 {
+                self.dirty_regions
+                    .lock()
+                    .unwrap()
+                    .insert(Self::region_of(s));
+            }
+        }
+        Ok(report)
+    }
+
+    fn peek_plaintext(&self, addr: SectorAddr, mem: &BackingMemory) -> Option<[u8; 32]> {
+        self.inner.peek_plaintext(addr, mem)
+    }
 }
 
 /// Factory building [`CommonCountersEngine`] instances per partition, all
@@ -242,6 +297,39 @@ mod tests {
         mem.corrupt(sector(0), &mask);
         let fill = e.on_fill(sector(0), &mut mem);
         assert!(fill.violation.is_some(), "MAC still protects clean regions");
+    }
+
+    #[test]
+    fn checkpoint_deep_copies_dirty_table() {
+        let (mut e, mut mem) = engine();
+        let ck = e.checkpoint().expect("common counters checkpoints");
+        // Dirtying a region after the checkpoint must not leak into it.
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        assert!(!e.is_clean(sector(0)));
+        assert!(e.crash_revert(ck.as_ref()));
+        assert!(e.is_clean(sector(0)), "reverted table is clean again");
+    }
+
+    #[test]
+    fn crash_recovery_redirties_written_regions() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        let ck = e.checkpoint().unwrap();
+        e.on_writeback(sector(0), &[2; 32], &mut mem);
+        e.on_writeback(sector(512), &[3; 32], &mut mem); // new region
+        assert!(e.crash_revert(ck.as_ref()));
+        // The post-checkpoint region went clean with the reverted table…
+        assert!(e.is_clean(sector(512)));
+        let report = e.recover(&mem, &mem.resident_addrs()).unwrap();
+        assert!(report.failed.is_empty());
+        // …and recovery re-dirties it from the recovered counters.
+        assert!(!e.is_clean(sector(512)));
+        let f0 = e.on_fill(sector(0), &mut mem);
+        assert_eq!(f0.plaintext, [2; 32]);
+        assert!(f0.violation.is_none());
+        let f512 = e.on_fill(sector(512), &mut mem);
+        assert_eq!(f512.plaintext, [3; 32]);
+        assert!(f512.violation.is_none());
     }
 
     #[test]

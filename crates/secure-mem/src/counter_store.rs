@@ -183,6 +183,41 @@ impl CounterStore {
         self.minors.insert(sector.index(), value);
     }
 
+    /// Crash-recovery hook: overwrite `sector`'s counter with a value
+    /// proven correct against a persistent MAC (Phoenix-style probing).
+    ///
+    /// Unlike [`CounterStore::set_minor`] this may move the *combined*
+    /// value in either direction: after a crash the reverted checkpoint
+    /// state can sit above or below the true value once a neighbouring
+    /// sector has already restored the group's shared major. Callers must
+    /// only pass MAC-verified values.
+    pub fn restore(&mut self, sector: SectorAddr, value: u64) {
+        match self.org {
+            crate::config::CounterOrg::Monolithic => {
+                self.monolithic.insert(sector.index(), value);
+            }
+            crate::config::CounterOrg::SplitSectored => {
+                let major = u32::try_from(value >> MINOR_BITS)
+                    .expect("recovered counter exceeds the 32-bit major range");
+                self.majors.insert(self.group_of(sector), major);
+                self.minors
+                    .insert(sector.index(), (value & u64::from(MINOR_MAX)) as u8);
+            }
+        }
+    }
+
+    /// Lowest combined value a crash-recovery probe for `sector` must
+    /// consider: the current value with the minor cleared (split — a group
+    /// overflow since the checkpoint zeroed every minor, so the true value
+    /// can sit *below* `value | minor`), or the current value itself
+    /// (monolithic — strictly increasing per sector).
+    pub fn recovery_floor(&self, sector: SectorAddr) -> u64 {
+        match self.org {
+            crate::config::CounterOrg::Monolithic => self.value(sector),
+            crate::config::CounterOrg::SplitSectored => self.value(sector) & !u64::from(MINOR_MAX),
+        }
+    }
+
     /// Attack hook: overwrite `sector`'s counter without touching the
     /// integrity tree (models tampering with the counter block in DRAM).
     pub fn tamper_minor(&mut self, sector: SectorAddr, value: u8) {
@@ -319,6 +354,34 @@ mod tests {
     fn set_minor_rejects_monolithic() {
         let mut c = CounterStore::with_org(crate::config::CounterOrg::Monolithic);
         c.set_minor(s(0), 3);
+    }
+
+    #[test]
+    fn restore_overwrites_split_major_and_minor() {
+        let mut c = CounterStore::new();
+        c.restore(s(3), (5 << MINOR_BITS) | 9);
+        assert_eq!(c.major(s(3)), 5);
+        assert_eq!(c.minor(s(3)), 9);
+        assert_eq!(c.value(s(3)), (5 << MINOR_BITS) | 9);
+        // The group-shared major moved for neighbours too.
+        assert_eq!(c.major(s(4)), 5);
+    }
+
+    #[test]
+    fn restore_overwrites_monolithic_value() {
+        let mut c = CounterStore::with_org(crate::config::CounterOrg::Monolithic);
+        c.restore(s(2), 7777);
+        assert_eq!(c.value(s(2)), 7777);
+    }
+
+    #[test]
+    fn recovery_floor_clears_minor_for_split() {
+        let mut c = CounterStore::new();
+        c.restore(s(0), (3 << MINOR_BITS) | 42);
+        assert_eq!(c.recovery_floor(s(0)), 3 << MINOR_BITS);
+        let mut m = CounterStore::with_org(crate::config::CounterOrg::Monolithic);
+        m.restore(s(0), 42);
+        assert_eq!(m.recovery_floor(s(0)), 42);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Typed errors for the secure-memory crate.
+//!
+//! Engine constructors historically panicked on invalid configuration;
+//! [`SecureMemError`] gives CLI and harness code a `Result` path instead,
+//! so a bad flag combination exits with a diagnostic rather than a
+//! backtrace.
+
+use std::fmt;
+
+/// Errors raised by secure-memory engine construction and recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecureMemError {
+    /// The [`crate::SecureMemConfig`] failed validation.
+    InvalidConfig {
+        /// Human-readable validation failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SecureMemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid SecureMemConfig: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SecureMemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_reason_and_is_std_error() {
+        let e = SecureMemError::InvalidConfig {
+            reason: "ctr_fetch_bytes must be a power of two".into(),
+        };
+        assert!(e.to_string().contains("ctr_fetch_bytes"));
+        let _: &dyn std::error::Error = &e;
+    }
+}

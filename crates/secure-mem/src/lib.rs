@@ -41,6 +41,7 @@ pub mod common_counters;
 pub mod config;
 pub mod counter_store;
 pub mod counter_system;
+pub mod error;
 pub mod layout;
 pub mod mac_store;
 pub mod mac_system;
@@ -51,6 +52,7 @@ pub use common_counters::{CommonCountersEngine, CommonCountersFactory};
 pub use config::{CipherKind, CounterOrg, SecureMemConfig};
 pub use counter_store::{CounterStore, IncrementOutcome};
 pub use counter_system::{CounterAccess, CounterSystem};
+pub use error::SecureMemError;
 pub use layout::Layout;
 pub use mac_store::MacStore;
 pub use mac_system::{MacAccess, MacSystem};

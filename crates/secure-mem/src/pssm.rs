@@ -10,11 +10,26 @@
 use crate::cipher::DataCipher;
 use crate::config::SecureMemConfig;
 use crate::counter_system::CounterSystem;
+use crate::error::SecureMemError;
 use crate::mac_system::MacSystem;
 use gpu_sim::{
-    BackingMemory, EngineFactory, FillPlan, MetaFault, SectorAddr, SecurityEngine, Violation,
-    WritePlan,
+    BackingMemory, EngineFactory, FillPlan, MetaFault, RecoveryError, RecoveryReport, SectorAddr,
+    SecurityEngine, Violation, WritePlan,
 };
+
+/// Upper bound on counter candidates probed per sector during Phoenix-style
+/// crash recovery (128 group overflows past the checkpointed value).
+const RECOVERY_PROBE_BOUND: u64 = 1 << 14;
+
+/// How one sector's counter was settled during crash recovery.
+enum Probe {
+    /// The checkpointed counter already verifies against the MAC.
+    Consistent,
+    /// A higher/rebased candidate verified; carries the proven value.
+    Verified(u64),
+    /// No candidate within [`RECOVERY_PROBE_BOUND`] verified.
+    Failed,
+}
 
 /// The PSSM secure-memory engine (one per partition).
 #[derive(Debug, Clone)]
@@ -35,9 +50,15 @@ impl PssmEngine {
     ///
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: SecureMemConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds an engine from `cfg`, returning a typed error instead of
+    /// panicking when the configuration is invalid (the CLI path).
+    pub fn try_new(cfg: SecureMemConfig) -> Result<Self, SecureMemError> {
         cfg.validate()
-            .unwrap_or_else(|e| panic!("invalid SecureMemConfig: {e}"));
-        Self {
+            .map_err(|reason| SecureMemError::InvalidConfig { reason })?;
+        Ok(Self {
             cipher: DataCipher::new(&cfg),
             counters: CounterSystem::new(&cfg),
             macs: MacSystem::new(&cfg),
@@ -45,12 +66,17 @@ impl PssmEngine {
             fills: 0,
             writebacks: 0,
             overflows: 0,
-        }
+        })
     }
 
     /// An [`EngineFactory`] producing one engine per partition.
     pub fn factory(cfg: SecureMemConfig) -> PssmFactory {
         PssmFactory { cfg }
+    }
+
+    /// The counter subsystem, read-only.
+    pub fn counters(&self) -> &CounterSystem {
+        &self.counters
     }
 
     /// The counter subsystem (attack hooks and stats live here).
@@ -150,6 +176,42 @@ impl PssmEngine {
                 gpu_sim::TrafficClass::Data,
             ));
         }
+    }
+
+    /// Crash-revert core, shared with wrapper engines: adopt the
+    /// checkpoint's volatile metadata (counters, BMT, caches) while keeping
+    /// this crashed engine's MAC store — MACs are modeled write-through
+    /// persistent, so they survive the crash and anchor Phoenix recovery.
+    pub(crate) fn revert_keeping_macs(&mut self, checkpoint: &PssmEngine) {
+        let persistent_macs = self.macs.clone();
+        *self = checkpoint.clone();
+        self.macs = persistent_macs;
+    }
+
+    /// Phoenix-style counter probe for one sector: try the current
+    /// (checkpoint-reverted) value first, then scan upward from the
+    /// recovery floor until a candidate decrypts to plaintext that verifies
+    /// against the persistent MAC.
+    fn probe_counter(&self, addr: SectorAddr, mem: &BackingMemory) -> Probe {
+        let cur = self.counters.peek_value(addr);
+        let pt = self.read_plaintext(addr, cur, mem);
+        if self.macs.verify(addr, &pt, cur) {
+            return Probe::Consistent;
+        }
+        // The floor clears the minor: a group overflow since the checkpoint
+        // zeroes every minor, so the true value can sit below `cur` once a
+        // neighbour has already restored the group's shared major.
+        let base = self.counters.recovery_floor(addr);
+        for v in base..base.saturating_add(RECOVERY_PROBE_BOUND) {
+            if v == cur {
+                continue;
+            }
+            let pt = self.read_plaintext(addr, v, mem);
+            if self.macs.verify(addr, &pt, v) {
+                return Probe::Verified(v);
+            }
+        }
+        Probe::Failed
     }
 }
 
@@ -280,6 +342,48 @@ impl SecurityEngine for PssmEngine {
             // PSSM keeps no compact counters.
             MetaFault::RollbackCompact { .. } => false,
         }
+    }
+
+    fn checkpoint(&self) -> Option<Box<dyn SecurityEngine>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn crash_revert(&mut self, checkpoint: &dyn SecurityEngine) -> bool {
+        let Some(ck) = checkpoint
+            .as_any()
+            .and_then(|a| a.downcast_ref::<PssmEngine>())
+        else {
+            return false;
+        };
+        self.revert_keeping_macs(ck);
+        true
+    }
+
+    fn recover(
+        &mut self,
+        mem: &BackingMemory,
+        sectors: &[SectorAddr],
+    ) -> Result<RecoveryReport, RecoveryError> {
+        let mut report = RecoveryReport::default();
+        for &addr in sectors {
+            match self.probe_counter(addr, mem) {
+                Probe::Consistent => report.already_consistent += 1,
+                Probe::Verified(v) => {
+                    self.counters.restore_value(addr, v);
+                    report.recovered_by_mac += 1;
+                }
+                Probe::Failed => report.failed.push(addr.raw()),
+            }
+        }
+        Ok(report)
+    }
+
+    fn peek_plaintext(&self, addr: SectorAddr, mem: &BackingMemory) -> Option<[u8; 32]> {
+        Some(self.read_plaintext(addr, self.counters.peek_value(addr), mem))
     }
 }
 
@@ -519,6 +623,98 @@ mod tests {
         e.counters_mut().tamper_minor(sector(0), 1);
         let f = e.on_fill(sector(0), &mut mem);
         assert!(matches!(f.violation, Some(Violation::TreeMismatch { .. })));
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let cfg = SecureMemConfig {
+            ctr_fetch_bytes: 48,
+            ..SecureMemConfig::test_small()
+        };
+        let err = PssmEngine::try_new(cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SecureMemError::InvalidConfig { .. }
+        ));
+        assert!(err.to_string().contains("ctr_fetch_bytes"));
+    }
+
+    #[test]
+    fn crash_recovery_restores_counters_from_macs() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        let ck = e.checkpoint().expect("pssm supports checkpointing");
+        // Post-checkpoint writes advance counters the crash will lose.
+        e.on_writeback(sector(0), &[2; 32], &mut mem);
+        e.on_writeback(sector(0), &[3; 32], &mut mem);
+        e.on_writeback(sector(7), &[9; 32], &mut mem);
+        assert!(e.crash_revert(ck.as_ref()));
+        let sectors = mem.resident_addrs();
+        let report = e.recover(&mem, &sectors).unwrap();
+        assert!(report.failed.is_empty(), "every sector must recover");
+        assert!(report.recovered_by_mac >= 2, "stale counters re-proven");
+        let f0 = e.on_fill(sector(0), &mut mem);
+        assert_eq!(f0.plaintext, [3; 32], "last pre-crash write survives");
+        assert!(f0.violation.is_none());
+        let f7 = e.on_fill(sector(7), &mut mem);
+        assert_eq!(f7.plaintext, [9; 32]);
+        assert!(f7.violation.is_none());
+    }
+
+    #[test]
+    fn crash_recovery_spans_group_overflow() {
+        let (mut e, mut mem) = engine();
+        // A neighbour resident in group 0 with a small minor.
+        e.on_writeback(sector(1), &[0xaa; 32], &mut mem);
+        for _ in 0..100 {
+            e.on_writeback(sector(0), &[0xbb; 32], &mut mem);
+        }
+        let ck = e.checkpoint().unwrap();
+        // Cross the 7-bit minor overflow after the checkpoint: the group
+        // major bumps and every minor resets, so the reverted neighbour's
+        // combined value can exceed its true post-overflow value.
+        for _ in 0..40 {
+            e.on_writeback(sector(0), &[0xcc; 32], &mut mem);
+        }
+        assert!(e.crash_revert(ck.as_ref()));
+        let report = e.recover(&mem, &mem.resident_addrs()).unwrap();
+        assert!(report.failed.is_empty());
+        let f1 = e.on_fill(sector(1), &mut mem);
+        assert_eq!(f1.plaintext, [0xaa; 32]);
+        assert!(f1.violation.is_none());
+        let f0 = e.on_fill(sector(0), &mut mem);
+        assert_eq!(f0.plaintext, [0xcc; 32]);
+        assert!(f0.violation.is_none());
+    }
+
+    #[test]
+    fn peek_plaintext_matches_fill_without_traffic() {
+        let (mut e, mut mem) = engine();
+        e.on_writeback(sector(5), &[0x33; 32], &mut mem);
+        assert_eq!(e.peek_plaintext(sector(5), &mem), Some([0x33; 32]));
+        // Unwritten sectors peek as zero (zero-initialized device memory).
+        assert_eq!(e.peek_plaintext(sector(6), &mem), Some([0; 32]));
+    }
+
+    #[test]
+    fn monolithic_crash_recovery_roundtrips() {
+        let cfg = SecureMemConfig {
+            counter_org: crate::config::CounterOrg::Monolithic,
+            ..SecureMemConfig::test_small()
+        };
+        let mut e = PssmEngine::new(cfg);
+        let mut mem = BackingMemory::new();
+        e.on_writeback(sector(0), &[1; 32], &mut mem);
+        let ck = e.checkpoint().unwrap();
+        for i in 0..10u8 {
+            e.on_writeback(sector(0), &[i; 32], &mut mem);
+        }
+        assert!(e.crash_revert(ck.as_ref()));
+        let report = e.recover(&mem, &mem.resident_addrs()).unwrap();
+        assert!(report.failed.is_empty());
+        let f = e.on_fill(sector(0), &mut mem);
+        assert_eq!(f.plaintext, [9; 32]);
+        assert!(f.violation.is_none());
     }
 
     #[test]

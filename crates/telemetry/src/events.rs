@@ -94,6 +94,45 @@ pub enum Event {
         /// Epoch label.
         label: String,
     },
+    /// A transient (soft-error) fault struck a fill.
+    TransientFault {
+        /// Raw address of the afflicted fill.
+        addr: u64,
+        /// Stable label of the transient kind (e.g. `"transient_data"`).
+        kind: String,
+    },
+    /// A failed fill verification was re-fetched by the retry path.
+    FillRetry {
+        /// Raw address of the retried fill.
+        addr: u64,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+    },
+    /// A transient fault was cleared by the bounded retry path.
+    TransientRecovered {
+        /// Raw address of the recovered fill.
+        addr: u64,
+        /// Retry attempts the recovery took.
+        retries: u32,
+    },
+    /// An engine downgraded itself after repeated fill failures.
+    Degraded {
+        /// Stable label of the degradation step (e.g.
+        /// `"value_cache_disabled"`, `"compact_block_frozen"`).
+        mode: String,
+        /// Raw address of the fill that tripped the downgrade.
+        addr: u64,
+    },
+    /// A metadata checkpoint was taken.
+    Checkpoint {
+        /// Simulated cycle of the snapshot.
+        cycle: u64,
+    },
+    /// Volatile metadata was reverted to a checkpoint (simulated crash).
+    CrashRestore {
+        /// Cycle of the checkpoint restored to.
+        checkpoint_cycle: u64,
+    },
     /// A command-line error routed through the event log.
     CliError {
         /// The error message shown to the user.
@@ -129,6 +168,12 @@ impl Event {
             Event::Violation { .. } => "violation",
             Event::FaultInjected { .. } => "fault_injected",
             Event::EpochEnd { .. } => "epoch_end",
+            Event::TransientFault { .. } => "transient_fault",
+            Event::FillRetry { .. } => "fill_retry",
+            Event::TransientRecovered { .. } => "transient_recovered",
+            Event::Degraded { .. } => "degraded",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::CrashRestore { .. } => "crash_restore",
             Event::CliError { .. } => "cli_error",
             Event::Custom { .. } => "custom",
         }
@@ -163,6 +208,22 @@ impl Event {
                 vec![("addr", Num(*addr)), ("kind", Str(kind.clone()))]
             }
             Event::EpochEnd { label } => vec![("label", Str(label.clone()))],
+            Event::TransientFault { addr, kind } => {
+                vec![("addr", Num(*addr)), ("kind", Str(kind.clone()))]
+            }
+            Event::FillRetry { addr, attempt } => {
+                vec![("addr", Num(*addr)), ("attempt", Num(u64::from(*attempt)))]
+            }
+            Event::TransientRecovered { addr, retries } => {
+                vec![("addr", Num(*addr)), ("retries", Num(u64::from(*retries)))]
+            }
+            Event::Degraded { mode, addr } => {
+                vec![("mode", Str(mode.clone())), ("addr", Num(*addr))]
+            }
+            Event::Checkpoint { cycle } => vec![("cycle", Num(*cycle))],
+            Event::CrashRestore { checkpoint_cycle } => {
+                vec![("checkpoint_cycle", Num(*checkpoint_cycle))]
+            }
             Event::CliError { message } => vec![("message", Str(message.clone()))],
             Event::Custom { name, value } => {
                 vec![("name", Str((*name).to_string())), ("value", Num(*value))]

@@ -1,0 +1,182 @@
+//! Fail-operational properties of the recovery subsystem, end-to-end:
+//! crash-consistent checkpoint/restore for every engine scheme, retry
+//! cycle-accounting, and attack detection under graceful degradation.
+
+use gpu_sim::{
+    FaultKind, FaultOutcome, FaultSchedule, FaultTrigger, GpuConfig, RetryPolicy, ScheduledFault,
+    Simulator, TransientConfig,
+};
+use plutus_bench::{recovery_schemes, Scheme};
+use plutus_recovery::{
+    crash_gate, run_crash_campaign, run_transient_campaign, transient_gate, CrashCampaignConfig,
+    SchemeProvider, TransientCampaignConfig,
+};
+use workloads::{by_name, Scale};
+
+/// Every scheme whose engine supports checkpoint/restore — all of them
+/// except the no-security baseline.
+fn checkpointable_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Pssm,
+        Scheme::PssmMac4,
+        Scheme::CommonCounters,
+        Scheme::FineLeafCoarseTree,
+        Scheme::All32,
+        Scheme::ValueVerifyOnly,
+        Scheme::Compact2Bit,
+        Scheme::Compact3Bit,
+        Scheme::CompactAdaptive,
+        Scheme::Plutus,
+        Scheme::PlutusNoTree,
+        Scheme::PssmNoTree,
+    ]
+}
+
+/// Checkpoint → keep running (the doomed tail) → crash → restore →
+/// recover must read back bit-identical, with no spurious violations,
+/// for every engine scheme.
+#[test]
+fn crash_restore_is_bit_identical_for_every_scheme() {
+    let w = by_name("bfs").unwrap();
+    for scheme in checkpointable_schemes() {
+        let factory = scheme.make_factory();
+        let mut sim = Simulator::new(
+            GpuConfig::test_small(),
+            w.trace(Scale::Test),
+            factory.as_ref(),
+        );
+        sim.set_checkpoint_interval(400);
+        let _ = sim.run_until(1500);
+        let audit = sim
+            .crash_recover_audit()
+            .unwrap_or_else(|e| panic!("{}: recovery refused: {e}", scheme.label()));
+        assert!(audit.audited > 0, "{}: nothing audited", scheme.label());
+        assert!(
+            audit.is_clean(),
+            "{}: {} mismatches, {} spurious violations, {} unrecoverable (crash@{} ckpt@{})",
+            scheme.label(),
+            audit.mismatches,
+            audit.spurious_violations,
+            audit.report.failed.len(),
+            audit.crash_cycle,
+            audit.checkpoint_cycle
+        );
+    }
+}
+
+/// The retry path must never charge fewer cycles than a clean fetch:
+/// every retry books the wasted fetch plus at least the base backoff,
+/// and the run as a whole cannot finish earlier than its fault-free
+/// twin.
+#[test]
+fn retry_never_charges_fewer_cycles_than_clean() {
+    let w = by_name("histo").unwrap();
+    let run = |rate: f64| {
+        let factory = Scheme::Pssm.make_factory();
+        let mut sim = Simulator::new(
+            GpuConfig::test_small(),
+            w.trace(Scale::Test),
+            factory.as_ref(),
+        );
+        if rate > 0.0 {
+            sim.set_transient_faults(TransientConfig::new(rate, 99));
+            sim.set_retry_policy(RetryPolicy::with_limit(3));
+        }
+        sim.run()
+    };
+    let clean = run(0.0);
+    let faulty = run(0.1);
+    assert_eq!(clean.stats.violations, 0);
+    assert_eq!(faulty.stats.violations, 0, "transients must not escalate");
+    assert!(faulty.stats.retries > 0, "rate 0.1 must force retries");
+    assert!(
+        faulty.stats.retry_cycles >= faulty.stats.retries * RetryPolicy::default().backoff_base,
+        "each retry charges at least the base backoff on top of the re-fetch: {} cycles / {} retries",
+        faulty.stats.retry_cycles,
+        faulty.stats.retries
+    );
+    assert!(
+        faulty.stats.cycles >= clean.stats.cycles,
+        "retries cannot make the run finish earlier ({} < {})",
+        faulty.stats.cycles,
+        clean.stats.cycles
+    );
+}
+
+/// A Plutus engine degraded by a soft-error barrage (value-cache fast
+/// path frozen) must still detect persistent adversarial tampering.
+#[test]
+fn degraded_plutus_still_detects_tampering() {
+    let w = by_name("bfs").unwrap();
+    let trace = w.trace(Scale::Test);
+    let n_accesses = trace.accesses.len() as u64;
+    let targets: Vec<_> = trace
+        .initial_image
+        .iter()
+        .map(|(a, _)| *a)
+        .take(6)
+        .collect();
+    assert!(!targets.is_empty(), "bfs must have an initial image");
+    let mut schedule = FaultSchedule::new();
+    // Persistent corruption lands late in the run, after the soft-error
+    // barrage below has had time to freeze the value-cache fast path.
+    for (i, addr) in targets.iter().enumerate() {
+        schedule.push(ScheduledFault {
+            trigger: FaultTrigger::AtAccess(n_accesses * 3 / 4 + i as u64),
+            addr: *addr,
+            kind: FaultKind::CorruptData { mask: [0xA5; 32] },
+        });
+    }
+    let factory = Scheme::Plutus.make_factory();
+    let mut sim = Simulator::new(GpuConfig::test_small(), trace, factory.as_ref());
+    sim.set_transient_faults(TransientConfig::new(0.2, 5));
+    sim.set_retry_policy(RetryPolicy::with_limit(2));
+    sim.set_fault_schedule(schedule);
+    let r = sim.run();
+    let frozen = r
+        .stats
+        .engine
+        .iter()
+        .find(|(n, _)| n == "degraded_verifier_frozen")
+        .map_or(0, |(_, v)| *v);
+    assert!(frozen >= 1, "soft-error barrage must freeze the fast path");
+    assert!(
+        r.stats.transients_recovered > 0,
+        "retries must clear transients while degradation builds"
+    );
+    let detected = r
+        .stats
+        .fault_records
+        .iter()
+        .filter(|f| f.kind == "corrupt_data" && matches!(f.outcome, FaultOutcome::Detected { .. }))
+        .count();
+    assert!(
+        detected >= 1,
+        "degraded engine must still catch persistent tampering: {:?}",
+        r.stats.fault_records
+    );
+}
+
+/// The bench scheme catalogue drives both recovery campaigns through
+/// the public gates cleanly.
+#[test]
+fn recovery_campaigns_gate_clean_through_bench_schemes() {
+    let w = [by_name("bfs").unwrap()];
+    let cfg = GpuConfig::test_small();
+    let tc = TransientCampaignConfig {
+        soft_error_rate: 0.1,
+        retry_limit: 3,
+        runs: 1,
+        seed: 3,
+        scale: Scale::Test,
+    };
+    let rows = run_transient_campaign(&w, &recovery_schemes(), &tc, &cfg);
+    transient_gate(&rows).expect("no transient may be misclassified as an attack");
+    let cc = CrashCampaignConfig {
+        checkpoint_cycles: 600,
+        crash_points: 2,
+        scale: Scale::Test,
+    };
+    let crows = run_crash_campaign(&w, &recovery_schemes(), &cc, &cfg);
+    crash_gate(&crows).expect("every crash audit must be bit-identical");
+}
