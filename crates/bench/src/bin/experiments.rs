@@ -8,6 +8,12 @@
 //! fig18, fig19, fig20, fig21, fig22, all}. Results print as tables and are
 //! saved as JSON under `target/experiments/`.
 //!
+//! Scheduling: simulator runs execute as independent jobs on a bounded
+//! work-stealing pool. `--jobs N` caps the worker count (default: one
+//! per available core); results are byte-identical for any `N`.
+//! `--sched-stats` prints the cumulative scheduler dump (queue latency,
+//! execution time, steals, per-worker utilization) on exit.
+//!
 //! Telemetry: `--metrics-out <path>` captures the full metrics registry
 //! (per-class traffic counters, cache hit/miss counters, latency
 //! histograms, per-run epoch snapshots, typed events) and writes it to
@@ -36,13 +42,14 @@
 
 use gpu_sim::GpuConfig;
 use plutus_bench::{
-    campaign_table, eq1_checks, geomean, matrix_table, recovery_schemes, run_campaign,
-    run_matrix_with_telemetry, save_campaign, save_json, try_run_matrix, CampaignConfig,
+    campaign_table, eq1_checks, geomean, matrix_table, recovery_schemes, run_campaign_on,
+    run_matrix_with_telemetry, save_campaign, save_json, try_run_matrix_on, CampaignConfig,
     CampaignKind, EnergyModel, Measurement, Scheme,
 };
 use plutus_core::value_analysis::analyze_trace;
+use plutus_exec::Executor;
 use plutus_recovery::{
-    crash_gate, crash_table, run_crash_campaign, run_transient_campaign, save_crash_campaign,
+    crash_gate, crash_table, run_crash_campaign_on, run_transient_campaign_on, save_crash_campaign,
     save_transient_campaign, transient_gate, transient_table, CrashCampaignConfig,
     TransientCampaignConfig,
 };
@@ -83,7 +90,9 @@ struct Args {
     retry_limit: Option<u32>,
     checkpoint_cycles: Option<u64>,
     seed: u64,
+    sched_stats: bool,
     tel: Telemetry,
+    exec: Executor,
 }
 
 impl Args {
@@ -100,7 +109,7 @@ impl Args {
                 self.epoch_cycles,
             )
         } else {
-            match try_run_matrix(&self.workloads, schemes, self.scale, cfg) {
+            match try_run_matrix_on(&self.exec, &self.workloads, schemes, self.scale, cfg) {
                 Ok(rows) => rows,
                 Err(e) => fail(&self.tel, e.to_string()),
             }
@@ -142,6 +151,8 @@ fn parse_args(tel: &Telemetry) -> Args {
     let mut retry_limit = None;
     let mut checkpoint_cycles = None;
     let mut seed = 0xB00C_5EED;
+    let mut jobs = None;
+    let mut sched_stats = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -256,6 +267,14 @@ fn parse_args(tel: &Telemetry) -> Args {
                     None => fail(tel, "--seed requires an unsigned integer".into()),
                 };
             }
+            "--jobs" => {
+                i += 1;
+                jobs = match argv.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => fail(tel, "--jobs requires a positive integer".into()),
+                };
+            }
+            "--sched-stats" => sched_stats = true,
             flag if flag.starts_with("--") => fail(tel, format!("unknown flag {flag}")),
             id => experiment = id.to_string(),
         }
@@ -296,7 +315,9 @@ fn parse_args(tel: &Telemetry) -> Args {
         retry_limit,
         checkpoint_cycles,
         seed,
+        sched_stats,
         tel: tel.clone(),
+        exec: Executor::with_telemetry(jobs, tel.clone()),
     }
 }
 
@@ -318,7 +339,7 @@ fn run_campaign_cli(args: &Args, cfg: &GpuConfig, kind: CampaignKind) {
         campaign.seed,
         campaign.scale
     );
-    let rows = run_campaign(&args.workloads, &campaign, cfg);
+    let rows = run_campaign_on(&args.exec, &args.workloads, &campaign, cfg);
     println!("{}", campaign_table(&rows));
     let path = match save_campaign(&format!("campaign-{}", kind.label()), &rows) {
         Ok(p) => p,
@@ -375,7 +396,13 @@ fn run_transient_cli(args: &Args, cfg: &GpuConfig) {
         campaign.seed,
         campaign.scale
     );
-    let rows = run_transient_campaign(&args.workloads, &recovery_schemes(), &campaign, cfg);
+    let rows = run_transient_campaign_on(
+        &args.exec,
+        &args.workloads,
+        &recovery_schemes(),
+        &campaign,
+        cfg,
+    );
     println!("{}", transient_table(&rows));
     let path = match save_transient_campaign("campaign-transient", &rows) {
         Ok(p) => p,
@@ -405,7 +432,13 @@ fn run_crash_cli(args: &Args, cfg: &GpuConfig) {
         "=== campaign crash (checkpoint every {} cycles, {} crash points, {:?} scale) ===",
         campaign.checkpoint_cycles, campaign.crash_points, campaign.scale
     );
-    let rows = run_crash_campaign(&args.workloads, &recovery_schemes(), &campaign, cfg);
+    let rows = run_crash_campaign_on(
+        &args.exec,
+        &args.workloads,
+        &recovery_schemes(),
+        &campaign,
+        cfg,
+    );
     println!("{}", crash_table(&rows));
     let path = match save_crash_campaign("campaign-crash", &rows) {
         Ok(p) => p,
@@ -433,6 +466,7 @@ fn main() {
             CampaignSel::Transient => run_transient_cli(&args, &cfg),
             CampaignSel::Crash => run_crash_cli(&args, &cfg),
         }
+        write_sched_stats(&args);
         write_metrics(&args);
         return;
     }
@@ -505,7 +539,15 @@ fn main() {
             other => fail(&args.tel, format!("unknown experiment {other}")),
         }
     }
+    write_sched_stats(&args);
     write_metrics(&args);
+}
+
+/// Prints the cumulative scheduler dump when `--sched-stats` is active.
+fn write_sched_stats(args: &Args) {
+    if args.sched_stats {
+        println!("\n{}", args.exec.stats().summary_table());
+    }
 }
 
 fn write_metrics(args: &Args) {

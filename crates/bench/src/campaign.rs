@@ -15,13 +15,14 @@
 
 use crate::runner::Scheme;
 use gpu_sim::{
-    FaultKind, FaultOutcome, FaultSchedule, FaultTrigger, GpuConfig, MetaFault, ScheduledFault,
-    SectorAddr, Simulator, Trace,
+    FaultKind, FaultOutcome, FaultRecord, FaultSchedule, FaultTrigger, GpuConfig, MetaFault,
+    ScheduledFault, SectorAddr, Simulator, Trace,
 };
 use plutus_core::binomial::{
     binomial_tail, plutus_min_hits, tamper_hit_probability, VALUES_PER_UNIT,
 };
 use plutus_core::ValueCacheConfig;
+use plutus_exec::{expect_all, Executor, Job};
 use plutus_telemetry::Json;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -245,13 +246,6 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
-/// SplitMix-style per-run seed derivation, so every (workload, scheme,
-/// run) triple gets an independent, reproducible stream.
-fn run_seed(base: u64, workload_idx: usize, scheme_idx: usize, run: usize) -> u64 {
-    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(((workload_idx as u64) << 40) | ((scheme_idx as u64) << 32) | run as u64)
-}
-
 /// Address pools a schedule draws targets from, extracted once per
 /// workload trace.
 struct TargetPools {
@@ -402,64 +396,101 @@ fn build_schedule(
     (schedule, injected)
 }
 
-/// Runs the campaign: every workload (on its own thread, like
-/// [`crate::run_matrix`]) × every security engine × `runs` seeded runs.
+/// Runs the campaign on a default-sized pool: every workload × every
+/// security engine × `runs` seeded runs. See [`run_campaign_on`].
 ///
 /// # Panics
 ///
-/// Panics if a workload thread panics.
+/// Panics if a campaign job panics.
 pub fn run_campaign(
     workloads: &[WorkloadSpec],
     campaign: &CampaignConfig,
     cfg: &GpuConfig,
 ) -> Vec<CampaignRow> {
-    let mut out = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .enumerate()
-            .map(|(wi, w)| {
-                let cfg = cfg.clone();
-                let campaign = *campaign;
-                scope.spawn(move || {
-                    let trace = w.trace(campaign.scale);
-                    let pools = TargetPools::of(&trace);
-                    let mut rows = Vec::new();
-                    for (si, scheme) in campaign_schemes().iter().enumerate() {
-                        let mut row = CampaignRow::new(w.name, scheme);
-                        let mut layer_counts: HashMap<String, u64> = HashMap::new();
-                        for run in 0..campaign.runs {
-                            let mut rng =
-                                StdRng::seed_from_u64(run_seed(campaign.seed, wi, si, run));
-                            let (schedule, _) = build_schedule(
-                                campaign.kind,
-                                &pools,
-                                campaign.faults_per_run,
-                                &mut rng,
-                            );
-                            if schedule.is_empty() {
-                                continue;
-                            }
-                            let factory = scheme.factory();
-                            let mut sim =
-                                Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
-                            sim.set_fault_schedule(schedule);
-                            let result = sim.run();
-                            row.absorb(&result.stats.fault_records, &mut layer_counts);
-                        }
-                        let mut hist: Vec<(String, u64)> = layer_counts.into_iter().collect();
-                        hist.sort();
-                        row.layer_hist = hist;
-                        rows.push(row);
-                    }
-                    rows
-                })
+    run_campaign_on(&Executor::new(None), workloads, campaign, cfg)
+}
+
+/// The campaign fan-out on a caller-supplied pool. Traces are prepared
+/// once per workload (phase 1), then every (workload, engine, run)
+/// triple becomes one independent job (phase 2) whose randomized
+/// schedule derives from [`plutus_exec::derive_seed`] — so rows
+/// aggregate identically for any worker count.
+///
+/// # Panics
+///
+/// Panics if a campaign job panics.
+pub fn run_campaign_on(
+    exec: &Executor,
+    workloads: &[WorkloadSpec],
+    campaign: &CampaignConfig,
+    cfg: &GpuConfig,
+) -> Vec<CampaignRow> {
+    let schemes = campaign_schemes();
+
+    // Phase 1: trace + target-pool extraction, once per workload.
+    let prep_jobs: Vec<Job<'_, (Trace, TargetPools)>> = workloads
+        .iter()
+        .map(|w| {
+            Job::new(w.name, move || {
+                let trace = w.trace(campaign.scale);
+                let pools = TargetPools::of(&trace);
+                (trace, pools)
             })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("campaign workload thread panicked"));
+        })
+        .collect();
+    let prepped = expect_all(exec.run(prep_jobs), "campaign trace preparation");
+
+    // Phase 2: one job per (workload, engine, run); each returns the
+    // run's fault records for submission-order aggregation below.
+    let mut run_jobs: Vec<Job<'_, Vec<FaultRecord>>> = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let (trace, pools) = &prepped[wi];
+        for (si, scheme) in schemes.iter().enumerate() {
+            for run in 0..campaign.runs {
+                run_jobs.push(Job::new(
+                    format!("{}/{}/run{run}", w.name, scheme.label()),
+                    move || {
+                        let mut rng = StdRng::seed_from_u64(plutus_exec::derive_seed(
+                            campaign.seed,
+                            wi,
+                            si,
+                            run,
+                        ));
+                        let (schedule, _) =
+                            build_schedule(campaign.kind, pools, campaign.faults_per_run, &mut rng);
+                        if schedule.is_empty() {
+                            return Vec::new();
+                        }
+                        let factory = scheme.factory();
+                        let mut sim = Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
+                        sim.set_fault_schedule(schedule);
+                        sim.run().stats.fault_records
+                    },
+                ));
+            }
         }
-    });
+    }
+    let mut records = expect_all(exec.run(run_jobs), "campaign run").into_iter();
+
+    // Deterministic submission-order assembly: the same loop nest the
+    // jobs were pushed in.
+    let mut out = Vec::new();
+    for w in workloads {
+        for scheme in &schemes {
+            let mut row = CampaignRow::new(w.name, scheme);
+            let mut layer_counts: HashMap<String, u64> = HashMap::new();
+            for _ in 0..campaign.runs {
+                let recs = records
+                    .next()
+                    .expect("one record set per submitted run job");
+                row.absorb(&recs, &mut layer_counts);
+            }
+            let mut hist: Vec<(String, u64)> = layer_counts.into_iter().collect();
+            hist.sort();
+            row.layer_hist = hist;
+            out.push(row);
+        }
+    }
     out
 }
 

@@ -17,11 +17,13 @@ pub mod runner;
 
 pub use campaign::{
     campaign_csv, campaign_json, campaign_schemes, campaign_table, eq1_bound, eq1_checks,
-    run_campaign, save_campaign, CampaignConfig, CampaignKind, CampaignRow, Eq1Check,
+    run_campaign, run_campaign_on, save_campaign, CampaignConfig, CampaignKind, CampaignRow,
+    Eq1Check,
 };
 pub use energy::EnergyModel;
 pub use report::{matrix_table, pct_change, save_json};
 pub use runner::{
     geomean, recovery_schemes, run_matrix, run_matrix_with_telemetry, run_one,
-    run_one_with_telemetry, run_with_factory, try_run_matrix, Measurement, RunnerError, Scheme,
+    run_one_with_telemetry, run_with_factory, try_run_matrix, try_run_matrix_on, Measurement,
+    RunnerError, Scheme,
 };

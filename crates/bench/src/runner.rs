@@ -2,6 +2,7 @@
 
 use gpu_sim::{EngineFactory, GpuConfig, NoSecurityEngine, SimResult, Simulator};
 use plutus_core::{CompactKind, PlutusConfig, PlutusEngine};
+use plutus_exec::{Executor, Job, JobPanic};
 use plutus_telemetry::{Event, Telemetry};
 use secure_mem::{CommonCountersEngine, PssmEngine, SecureMemConfig};
 use workloads::{Scale, WorkloadSpec};
@@ -145,13 +146,24 @@ impl std::fmt::Display for RunnerError {
 
 impl std::error::Error for RunnerError {}
 
-/// Stringifies a worker thread's panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    payload
-        .downcast_ref::<&str>()
-        .map(|s| s.to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "non-string panic payload".into())
+impl From<JobPanic> for RunnerError {
+    fn from(p: JobPanic) -> Self {
+        RunnerError::WorkerPanicked {
+            workload: p.label,
+            message: p.message,
+        }
+    }
+}
+
+/// Converts a pool result batch into values, surfacing the first
+/// panicked job (in submission order) as a [`RunnerError`]. Every job
+/// has already run to completion by the time this is called — the pool
+/// joins all workers before returning.
+fn values_or_first_panic<T>(results: Vec<Result<T, JobPanic>>) -> Result<Vec<T>, RunnerError> {
+    results
+        .into_iter()
+        .map(|r| r.map_err(RunnerError::from))
+        .collect()
 }
 
 struct NoSecurityFactoryShim;
@@ -266,13 +278,14 @@ fn measurement_of(w: &WorkloadSpec, scheme: Scheme, r: &SimResult, base_ipc: f64
 }
 
 /// Runs `workloads × schemes`, normalizing every scheme against the
-/// no-security run of the same workload. Workloads run on parallel
-/// threads with telemetry disabled; use
-/// [`run_matrix_with_telemetry`] when collecting metrics.
+/// no-security run of the same workload. Runs execute as individual
+/// (workload, scheme) jobs on a core-bounded work-stealing pool with
+/// telemetry disabled per run; use [`run_matrix_with_telemetry`] when
+/// collecting metrics.
 ///
 /// # Panics
 ///
-/// Panics if a workload thread panics; [`try_run_matrix`] reports the
+/// Panics if a workload job panics; [`try_run_matrix`] reports the
 /// same condition as a [`RunnerError`] instead.
 pub fn run_matrix(
     workloads: &[WorkloadSpec],
@@ -283,63 +296,77 @@ pub fn run_matrix(
     try_run_matrix(workloads, schemes, scale, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Fallible variant of [`run_matrix`]: a panicking worker thread is
-/// returned as a [`RunnerError`] value (after every other worker has
-/// been joined) rather than propagated, so CLI paths can log the
-/// failure and exit nonzero instead of aborting mid-report.
+/// Fallible variant of [`run_matrix`] on a default-sized pool (one
+/// worker per available core). See [`try_run_matrix_on`].
 ///
 /// # Errors
 ///
-/// Returns the first worker-thread panic, in workload order.
+/// Returns the first panicked job, in submission order.
 pub fn try_run_matrix(
     workloads: &[WorkloadSpec],
     schemes: &[Scheme],
     scale: Scale,
     cfg: &GpuConfig,
 ) -> Result<Vec<Measurement>, RunnerError> {
-    let mut out = Vec::new();
-    let mut first_err = None;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| {
-                let cfg = cfg.clone();
-                let schemes = schemes.to_vec();
-                let handle = scope.spawn(move || {
-                    let baseline = run_one(w, Scheme::None, scale, &cfg);
-                    let base_ipc = baseline.ipc();
-                    let mut rows = Vec::new();
-                    for scheme in schemes {
-                        let r = if scheme == Scheme::None {
-                            baseline.clone()
-                        } else {
-                            run_one(w, scheme, scale, &cfg)
-                        };
-                        rows.push(measurement_of(w, scheme, &r, base_ipc));
-                    }
-                    rows
-                });
-                (w.name, handle)
-            })
-            .collect();
-        for (workload, h) in handles {
-            match h.join() {
-                Ok(rows) => out.extend(rows),
-                Err(payload) => {
-                    if first_err.is_none() {
-                        first_err = Some(RunnerError::WorkerPanicked {
-                            workload: workload.to_string(),
-                            message: panic_message(payload),
-                        });
-                    }
-                }
+    try_run_matrix_on(&Executor::new(None), workloads, schemes, scale, cfg)
+}
+
+/// The matrix fan-out on a caller-supplied pool: one job per
+/// (workload, scheme) pair — every workload's no-security baseline
+/// first, then every secured scheme — assembled into measurements in
+/// submission order, so the result is byte-identical for any worker
+/// count. A panicking job is returned as a [`RunnerError`] value
+/// (after every job has finished) rather than propagated, so CLI
+/// paths can log the failure and exit nonzero instead of aborting
+/// mid-report.
+///
+/// # Errors
+///
+/// Returns the first panicked job, in submission order (baselines in
+/// workload order, then scheme runs in workload-major order).
+pub fn try_run_matrix_on(
+    exec: &Executor,
+    workloads: &[WorkloadSpec],
+    schemes: &[Scheme],
+    scale: Scale,
+    cfg: &GpuConfig,
+) -> Result<Vec<Measurement>, RunnerError> {
+    // Phase 1: the no-security baseline of every workload — the
+    // normalization denominator every other job of that workload needs.
+    let baseline_jobs: Vec<Job<'_, SimResult>> = workloads
+        .iter()
+        .map(|w| Job::new(w.name, move || run_one(w, Scheme::None, scale, cfg)))
+        .collect();
+    let baselines = values_or_first_panic(exec.run(baseline_jobs))?;
+
+    // Phase 2: one job per (workload, secured scheme); `Scheme::None`
+    // rows reuse the phase-1 result.
+    let mut scheme_jobs: Vec<Job<'_, SimResult>> = Vec::new();
+    for w in workloads {
+        for &scheme in schemes {
+            if scheme != Scheme::None {
+                scheme_jobs.push(Job::new(w.name, move || run_one(w, scheme, scale, cfg)));
             }
         }
-    });
-    match first_err {
-        None => Ok(out),
-        Some(e) => Err(e),
     }
+    let mut runs = values_or_first_panic(exec.run(scheme_jobs))?.into_iter();
+
+    // Deterministic submission-order assembly: walk the same loop nest
+    // the jobs were submitted in.
+    let mut out = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let baseline = &baselines[wi];
+        let base_ipc = baseline.ipc();
+        for &scheme in schemes {
+            let r = if scheme == Scheme::None {
+                baseline.clone()
+            } else {
+                runs.next().expect("one result per submitted scheme job")
+            };
+            out.push(measurement_of(w, scheme, &r, base_ipc));
+        }
+    }
+    Ok(out)
 }
 
 /// The instrumented variant of [`run_matrix`]: runs sequentially so the
@@ -447,6 +474,24 @@ mod tests {
         };
         assert!(err.to_string().contains("histo"));
         let _: &dyn std::error::Error = &err;
+    }
+
+    #[test]
+    fn pool_panics_surface_as_runner_errors() {
+        let exec = Executor::new(Some(2));
+        let jobs = vec![
+            Job::new("healthy", || 1u32),
+            Job::new("histo", || panic!("boom")),
+            Job::new("also-healthy", || 3u32),
+        ];
+        let err = values_or_first_panic(exec.run(jobs)).unwrap_err();
+        assert_eq!(
+            err,
+            RunnerError::WorkerPanicked {
+                workload: "histo".into(),
+                message: "boom".into(),
+            }
+        );
     }
 
     #[test]

@@ -43,9 +43,14 @@ impl ValueCacheConfig {
         32 - self.masked_bits
     }
 
-    /// Pinned-region capacity in entries.
+    /// Pinned-region capacity in entries: `entries × pinned_fraction`
+    /// rounded half-up, clamped to `[0, entries]`. Truncation instead
+    /// of rounding would under-provision the pinned region — down to
+    /// zero on small caches, where a fraction like 0.25 of 2 entries
+    /// must still pin one — silently disabling the skip-MAC write path.
     pub fn pinned_capacity(&self) -> usize {
-        (self.entries as f64 * self.pinned_fraction) as usize
+        let exact = self.entries as f64 * self.pinned_fraction;
+        (((exact + 0.5).floor()) as usize).min(self.entries)
     }
 
     /// Validates the configuration.
@@ -290,6 +295,33 @@ mod tests {
 
     fn cache() -> ValueCache {
         ValueCache::new(ValueCacheConfig::default())
+    }
+
+    #[test]
+    fn pinned_capacity_rounds_half_up() {
+        let cap = |entries, pinned_fraction| {
+            ValueCacheConfig {
+                entries,
+                pinned_fraction,
+                ..Default::default()
+            }
+            .pinned_capacity()
+        };
+        // The paper configuration is exact and must not drift.
+        assert_eq!(cap(256, 0.25), 64);
+        // Regression: truncation pinned 2 of 15 at fraction 0.2.
+        assert_eq!(cap(15, 0.2), 3);
+        // Fractions that land just below an integer round up…
+        assert_eq!(cap(29, 0.1), 3, "2.9 rounds to 3, not truncates to 2");
+        assert_eq!(cap(7, 0.5), 4, "3.5 rounds half-up");
+        // …and small caches never round their pinned region to zero
+        // for a meaningful fraction.
+        assert_eq!(cap(2, 0.25), 1);
+        assert_eq!(cap(3, 0.25), 1);
+        // Boundary fractions stay within [0, entries].
+        assert_eq!(cap(16, 0.0), 0);
+        assert_eq!(cap(2, 0.99), 2, "clamped to the cache size");
+        assert_eq!(cap(1, 0.4), 0, "0.4 still rounds down");
     }
 
     #[test]

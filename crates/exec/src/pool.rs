@@ -1,0 +1,570 @@
+//! The bounded work-stealing pool.
+
+use crate::stats::{SchedStats, StatsAcc, WorkerLocal};
+use plutus_telemetry::{Counter, Histogram, Telemetry};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One schedulable unit of work: a label (used when reporting panics)
+/// and a closure producing the job's result.
+pub struct Job<'a, T> {
+    label: String,
+    run: Box<dyn FnOnce() -> T + Send + 'a>,
+}
+
+impl<'a, T> Job<'a, T> {
+    /// Wraps `run` as a job named `label`.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'a) -> Self {
+        Self {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The job's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl<T> std::fmt::Debug for Job<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("label", &self.label).finish()
+    }
+}
+
+/// A job's panic, returned as a value: the pool catches worker panics
+/// so one failing (workload, scheme, trial) cannot abort a whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Label of the job that panicked.
+    pub label: String,
+    /// Stringified panic payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {:?} panicked: {}", self.label, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Unwraps a whole result batch, panicking with `context` on the first
+/// [`JobPanic`] in submission order — for fan-outs whose documented
+/// contract is panic-propagating rather than panic-as-value.
+///
+/// # Panics
+///
+/// Panics if any job panicked.
+pub fn expect_all<T>(results: Vec<Result<T, JobPanic>>, context: &str) -> Vec<T> {
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("{context}: {p}")))
+        .collect()
+}
+
+/// Stringifies a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// The largest injector batch one grab may take. Small enough that a
+/// worker never hoards the tail of a sweep, large enough to amortize
+/// the injector lock on thousand-job campaigns.
+const MAX_BATCH: usize = 8;
+
+/// A job tagged with its submission index (its result slot).
+type IndexedJob<'a, T> = (usize, Job<'a, T>);
+
+/// One lockable deque of indexed jobs.
+type JobDeque<'a, T> = Mutex<VecDeque<IndexedJob<'a, T>>>;
+
+struct Inner {
+    workers: usize,
+    tel: Telemetry,
+    queue_ns: Histogram,
+    exec_ns: Histogram,
+    jobs_ctr: Counter,
+    steals_ctr: Counter,
+    batches_ctr: Counter,
+    panics_ctr: Counter,
+    stats: Mutex<StatsAcc>,
+}
+
+/// The bounded work-stealing executor. Clones share one worker cap,
+/// telemetry sink, and cumulative [`SchedStats`].
+///
+/// `run` blocks until every submitted job finished and returns results
+/// in **submission order** — callers can assemble reports by walking
+/// their (workload, scheme, trial) loop nest in the same order they
+/// submitted it, independent of which worker ran what.
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.inner.workers)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// A pool of `workers` threads, or one worker per available core
+    /// when `None`. The cap is a hard bound: no `run` call ever has
+    /// more jobs in flight than this, however many jobs it receives.
+    pub fn new(workers: Option<usize>) -> Self {
+        Self::with_telemetry(workers, Telemetry::disabled())
+    }
+
+    /// Like [`Executor::new`], recording `sched.*` metrics into `tel`:
+    /// `sched.queue_ns` / `sched.exec_ns` histograms per job,
+    /// `sched.jobs` / `sched.steals` / `sched.injector_batches` /
+    /// `sched.panics` counters, and a `sched.workers` gauge.
+    pub fn with_telemetry(workers: Option<usize>, tel: Telemetry) -> Self {
+        let workers = workers
+            .map(|n| n.max(1))
+            .unwrap_or_else(default_parallelism);
+        tel.gauge("sched.workers").set(workers as u64);
+        Self {
+            inner: Arc::new(Inner {
+                workers,
+                queue_ns: tel.histogram("sched.queue_ns"),
+                exec_ns: tel.histogram("sched.exec_ns"),
+                jobs_ctr: tel.counter("sched.jobs"),
+                steals_ctr: tel.counter("sched.steals"),
+                batches_ctr: tel.counter("sched.injector_batches"),
+                panics_ctr: tel.counter("sched.panics"),
+                tel,
+                stats: Mutex::new(StatsAcc::default()),
+            }),
+        }
+    }
+
+    /// A single-worker pool: jobs run on the calling thread, in
+    /// submission order. The `--jobs 1` reference configuration.
+    pub fn sequential() -> Self {
+        Self::new(Some(1))
+    }
+
+    /// The configured worker cap.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// The telemetry sink `sched.*` metrics flow into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.tel
+    }
+
+    /// Cumulative scheduler statistics over every `run` call so far.
+    pub fn stats(&self) -> SchedStats {
+        self.inner
+            .stats
+            .lock()
+            .unwrap()
+            .snapshot(self.inner.workers)
+    }
+
+    /// Runs every job to completion and returns their results in
+    /// submission order. Panicking jobs come back as [`JobPanic`]
+    /// values; the pool itself never unwinds.
+    pub fn run<'a, T: Send>(&self, jobs: Vec<Job<'a, T>>) -> Vec<Result<T, JobPanic>> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.inner.workers.min(n);
+        let submitted = Instant::now();
+        let results = if workers == 1 {
+            self.run_inline(jobs, submitted)
+        } else {
+            self.run_stealing(jobs, workers, submitted)
+        };
+        self.inner
+            .stats
+            .lock()
+            .unwrap()
+            .close_run(submitted.elapsed().as_nanos());
+        results
+    }
+
+    /// The `--jobs 1` path: every job executes on the caller thread.
+    /// Same accounting, no thread machinery at all.
+    fn run_inline<'a, T: Send>(
+        &self,
+        jobs: Vec<Job<'a, T>>,
+        submitted: Instant,
+    ) -> Vec<Result<T, JobPanic>> {
+        let mut local = WorkerLocal::default();
+        let out: Vec<Result<T, JobPanic>> = jobs
+            .into_iter()
+            .map(|job| self.execute(job, submitted, &mut local))
+            .collect();
+        self.publish_worker_counters(&local);
+        let mut acc = self.inner.stats.lock().unwrap();
+        acc.merge_worker(0, &local);
+        acc.raise_peak(1);
+        out
+    }
+
+    /// Mirrors a worker's steal/injector tallies into the telemetry
+    /// counters (per-job metrics are recorded inline in `execute`).
+    fn publish_worker_counters(&self, local: &WorkerLocal) {
+        self.inner.steals_ctr.add(local.steals);
+        self.inner.batches_ctr.add(local.injector_batches);
+    }
+
+    /// The work-stealing path: per-worker deques seeded round-robin,
+    /// overflow in a shared injector, idle workers steal from siblings.
+    fn run_stealing<'a, T: Send>(
+        &self,
+        jobs: Vec<Job<'a, T>>,
+        workers: usize,
+        submitted: Instant,
+    ) -> Vec<Result<T, JobPanic>> {
+        let n = jobs.len();
+        let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let mut seed_deques: Vec<VecDeque<IndexedJob<'a, T>>> =
+            (0..workers).map(|_| VecDeque::new()).collect();
+        let mut overflow: VecDeque<IndexedJob<'a, T>> = VecDeque::new();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            if idx < workers {
+                seed_deques[idx].push_back((idx, job));
+            } else {
+                overflow.push_back((idx, job));
+            }
+        }
+        let queues: Vec<JobDeque<'a, T>> = seed_deques.into_iter().map(Mutex::new).collect();
+        let injector = Mutex::new(overflow);
+        // Jobs whose execution has been claimed by some worker. Idle
+        // workers exit once every job is claimed: whoever claimed the
+        // stragglers finishes them, and the scope join waits for that.
+        let claimed = AtomicUsize::new(0);
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+
+        let locals: Vec<WorkerLocal> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    let queues = &queues;
+                    let injector = &injector;
+                    let slots = &slots;
+                    let claimed = &claimed;
+                    let in_flight = &in_flight;
+                    let peak = &peak;
+                    scope.spawn(move || {
+                        let mut local = WorkerLocal::default();
+                        loop {
+                            let next = pop_own(queues, me)
+                                .or_else(|| {
+                                    grab_injector_batch(injector, queues, me, workers, &mut local)
+                                })
+                                .or_else(|| steal(queues, me, workers, &mut local));
+                            match next {
+                                Some((idx, job)) => {
+                                    claimed.fetch_add(1, Ordering::SeqCst);
+                                    let depth = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                                    peak.fetch_max(depth, Ordering::SeqCst);
+                                    let res = self.execute(job, submitted, &mut local);
+                                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                                    *slots[idx].lock().unwrap() = Some(res);
+                                }
+                                None => {
+                                    if claimed.load(Ordering::SeqCst) >= n {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker threads never unwind"))
+                .collect()
+        });
+
+        let mut acc = self.inner.stats.lock().unwrap();
+        for (slot, local) in locals.iter().enumerate() {
+            self.publish_worker_counters(local);
+            acc.merge_worker(slot, local);
+        }
+        acc.raise_peak(peak.load(Ordering::SeqCst));
+        drop(acc);
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every claimed job stores a result")
+            })
+            .collect()
+    }
+
+    /// Runs one job with full timing/panic accounting.
+    fn execute<T>(
+        &self,
+        job: Job<'_, T>,
+        submitted: Instant,
+        local: &mut WorkerLocal,
+    ) -> Result<T, JobPanic> {
+        let start = Instant::now();
+        let queue_ns = start.duration_since(submitted).as_nanos() as u64;
+        let Job { label, run } = job;
+        let outcome = catch_unwind(AssertUnwindSafe(run));
+        let exec_ns = start.elapsed().as_nanos() as u64;
+        self.inner.queue_ns.record(queue_ns);
+        self.inner.exec_ns.record(exec_ns);
+        self.inner.jobs_ctr.inc();
+        local.record_job(queue_ns, exec_ns);
+        match outcome {
+            Ok(v) => Ok(v),
+            Err(payload) => {
+                self.inner.panics_ctr.inc();
+                local.panics += 1;
+                Err(JobPanic {
+                    label,
+                    message: panic_message(payload),
+                })
+            }
+        }
+    }
+}
+
+/// Pops the newest job from the worker's own deque (LIFO: cache-warm
+/// work first).
+fn pop_own<'a, T>(queues: &[JobDeque<'a, T>], me: usize) -> Option<IndexedJob<'a, T>> {
+    queues[me].lock().unwrap().pop_back()
+}
+
+/// Takes a batch from the shared injector: the first job is returned
+/// for immediate execution, the rest land in the worker's own deque
+/// (where siblings can steal them back).
+fn grab_injector_batch<'a, T>(
+    injector: &JobDeque<'a, T>,
+    queues: &[JobDeque<'a, T>],
+    me: usize,
+    workers: usize,
+    local: &mut WorkerLocal,
+) -> Option<IndexedJob<'a, T>> {
+    let mut inj = injector.lock().unwrap();
+    if inj.is_empty() {
+        return None;
+    }
+    let grab = inj.len().div_ceil(workers).clamp(1, MAX_BATCH);
+    let first = inj.pop_front();
+    if grab > 1 {
+        let mut own = queues[me].lock().unwrap();
+        for _ in 1..grab {
+            match inj.pop_front() {
+                Some(item) => own.push_back(item),
+                None => break,
+            }
+        }
+    }
+    local.injector_batches += 1;
+    first
+}
+
+/// Steals the oldest job from the first non-empty sibling deque (FIFO:
+/// take the work its owner would reach last).
+fn steal<'a, T>(
+    queues: &[JobDeque<'a, T>],
+    me: usize,
+    workers: usize,
+    local: &mut WorkerLocal,
+) -> Option<IndexedJob<'a, T>> {
+    for offset in 1..workers {
+        let victim = (me + offset) % workers;
+        if let Some(item) = queues[victim].lock().unwrap().pop_front() {
+            local.steals += 1;
+            return Some(item);
+        }
+    }
+    None
+}
+
+/// The default worker cap: one per core the OS will give us.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn indexed_jobs(n: usize) -> Vec<Job<'static, usize>> {
+        (0..n)
+            .map(|i| Job::new(format!("j{i}"), move || i))
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for workers in [1, 2, 4, 7] {
+            let pool = Executor::new(Some(workers));
+            let out = pool.run(indexed_jobs(33));
+            let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..33).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_never_exceeds_the_configured_cap() {
+        // The cap regression test the schedulers' predecessors failed:
+        // a 32-workload synthetic list on a 2-worker pool must never
+        // have more than 2 jobs in flight.
+        let pool = Executor::new(Some(2));
+        let live = AtomicUsize::new(0);
+        let observed_peak = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_, ()>> = (0..32)
+            .map(|i| {
+                let live = &live;
+                let observed_peak = &observed_peak;
+                Job::new(format!("w{i}"), move || {
+                    let depth = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    observed_peak.fetch_max(depth, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out.len(), 32);
+        assert!(out.iter().all(Result::is_ok));
+        assert!(
+            observed_peak.load(Ordering::SeqCst) <= 2,
+            "jobs observed {} concurrent executions on a 2-worker pool",
+            observed_peak.load(Ordering::SeqCst)
+        );
+        let stats = pool.stats();
+        assert_eq!(stats.jobs, 32);
+        assert!(stats.peak_in_flight <= 2, "peak {}", stats.peak_in_flight);
+    }
+
+    #[test]
+    fn panics_are_returned_as_values_and_do_not_sink_the_pool() {
+        let pool = Executor::new(Some(3));
+        let jobs: Vec<Job<'_, u32>> = (0..9)
+            .map(|i| {
+                Job::new(format!("job-{i}"), move || {
+                    if i == 4 {
+                        panic!("boom {i}");
+                    }
+                    i
+                })
+            })
+            .collect();
+        let out = pool.run(jobs);
+        for (i, res) in out.iter().enumerate() {
+            if i == 4 {
+                let err = res.as_ref().unwrap_err();
+                assert_eq!(err.label, "job-4");
+                assert!(err.message.contains("boom 4"));
+                assert!(err.to_string().contains("job-4"));
+            } else {
+                assert_eq!(*res.as_ref().unwrap() as usize, i);
+            }
+        }
+        assert_eq!(pool.stats().panics, 1);
+    }
+
+    #[test]
+    fn empty_and_single_job_batches_work() {
+        let pool = Executor::new(None);
+        assert!(pool.run(Vec::<Job<'_, ()>>::new()).is_empty());
+        let one = pool.run(vec![Job::new("solo", || 7u8)]);
+        assert_eq!(one[0].as_ref().unwrap(), &7);
+        assert!(pool.workers() >= 1);
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_state() {
+        let inputs = [10u64, 20, 30];
+        let pool = Executor::new(Some(2));
+        let jobs: Vec<Job<'_, u64>> = inputs
+            .iter()
+            .map(|v| Job::new("borrow", move || v * 2))
+            .collect();
+        let out = pool.run(jobs);
+        let doubled: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(doubled, vec![20, 40, 60]);
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs_and_feed_telemetry() {
+        let tel = Telemetry::new();
+        let pool = Executor::with_telemetry(Some(2), tel.clone());
+        pool.run(indexed_jobs(5));
+        pool.run(indexed_jobs(3));
+        let stats = pool.stats();
+        assert_eq!(stats.runs, 2);
+        assert_eq!(stats.jobs, 8);
+        assert_eq!(stats.workers, 2);
+        assert!(stats.exec_ns_total > 0);
+        assert!(stats.wall_ns_total > 0);
+        assert_eq!(stats.worker_busy_ns.len(), 2);
+        let table = stats.summary_table();
+        assert!(table.contains("workers"), "{table}");
+        let report = tel.report();
+        assert_eq!(report.totals.counter("sched.jobs"), Some(8));
+        assert!(report
+            .totals
+            .histograms
+            .iter()
+            .any(|(name, _)| name == "sched.exec_ns"));
+    }
+
+    #[test]
+    fn sequential_pool_runs_on_the_caller_thread() {
+        let pool = Executor::sequential();
+        let caller = std::thread::current().id();
+        let out = pool.run(vec![Job::new("here", move || std::thread::current().id())]);
+        assert_eq!(out[0].as_ref().unwrap(), &caller);
+        assert_eq!(pool.stats().peak_in_flight, 1);
+    }
+
+    #[test]
+    fn wide_batches_exercise_injector_and_stealing() {
+        let pool = Executor::new(Some(4));
+        // Uneven job durations force idle workers through the injector
+        // and steal paths.
+        let jobs: Vec<Job<'_, usize>> = (0..64)
+            .map(|i| {
+                Job::new(format!("j{i}"), move || {
+                    if i % 7 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    i
+                })
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out.len(), 64);
+        let stats = pool.stats();
+        assert!(
+            stats.injector_batches > 0,
+            "64 jobs on 4 workers must overflow into the injector"
+        );
+    }
+}

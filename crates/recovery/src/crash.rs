@@ -2,6 +2,7 @@
 
 use crate::SchemeProvider;
 use gpu_sim::{GpuConfig, Simulator};
+use plutus_exec::{expect_all, Executor, Job};
 use plutus_telemetry::Json;
 use workloads::{Scale, WorkloadSpec};
 
@@ -71,85 +72,113 @@ impl CrashRow {
     }
 }
 
-/// Runs the crash campaign: every workload (on its own thread) × every
-/// scheme × `crash_points` kill cycles.
+/// Runs the crash campaign on a default-sized pool: every workload ×
+/// every scheme × `crash_points` kill cycles. See
+/// [`run_crash_campaign_on`].
 ///
 /// # Panics
 ///
-/// Panics if a workload thread panics.
+/// Panics if a campaign job panics.
 pub fn run_crash_campaign(
     workloads: &[WorkloadSpec],
     schemes: &[Box<dyn SchemeProvider>],
     campaign: &CrashCampaignConfig,
     cfg: &GpuConfig,
 ) -> Vec<CrashRow> {
-    let mut out = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| {
-                let cfg = cfg.clone();
-                let campaign = *campaign;
-                scope.spawn(move || {
-                    let trace = w.trace(campaign.scale);
-                    let mut rows = Vec::new();
-                    for scheme in schemes {
-                        // Learn the pair's run length so crash points can
-                        // be spread across the whole execution.
-                        let total = {
-                            let factory = scheme.make_factory();
-                            let mut sim =
-                                Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
-                            sim.run().stats.cycles
-                        };
-                        for i in 1..=campaign.crash_points {
-                            let crash_at =
-                                (total * i as u64 / (campaign.crash_points as u64 + 1)).max(1);
-                            let factory = scheme.make_factory();
-                            let mut sim =
-                                Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
-                            sim.set_checkpoint_interval(campaign.checkpoint_cycles);
-                            let _ = sim.run_until(crash_at);
-                            let mut row = CrashRow {
-                                workload: w.name.to_string(),
-                                scheme: scheme.scheme_label(),
-                                crash_cycle: crash_at,
-                                checkpoint_cycle: 0,
-                                audited: 0,
-                                mismatches: 0,
-                                spurious_violations: 0,
-                                already_consistent: 0,
-                                recovered_by_mac: 0,
-                                recovered_by_value: 0,
-                                failed: 0,
-                                error: None,
-                            };
-                            match sim.crash_recover_audit() {
-                                Ok(audit) => {
-                                    row.crash_cycle = audit.crash_cycle;
-                                    row.checkpoint_cycle = audit.checkpoint_cycle;
-                                    row.audited = audit.audited;
-                                    row.mismatches = audit.mismatches;
-                                    row.spurious_violations = audit.spurious_violations;
-                                    row.already_consistent = audit.report.already_consistent;
-                                    row.recovered_by_mac = audit.report.recovered_by_mac;
-                                    row.recovered_by_value = audit.report.recovered_by_value;
-                                    row.failed = audit.report.failed.len() as u64;
-                                }
-                                Err(e) => row.error = Some(e.to_string()),
-                            }
-                            rows.push(row);
-                        }
-                    }
-                    rows
-                })
-            })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("crash campaign thread panicked"));
+    run_crash_campaign_on(&Executor::new(None), workloads, schemes, campaign, cfg)
+}
+
+/// The crash fan-out on a caller-supplied pool, in three phases: build
+/// every trace, learn every (workload, scheme) pair's run length so
+/// crash points span the whole execution, then audit every
+/// (workload, scheme, crash point) as an independent job. Rows come
+/// back in submission order, identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if a campaign job panics.
+pub fn run_crash_campaign_on(
+    exec: &Executor,
+    workloads: &[WorkloadSpec],
+    schemes: &[Box<dyn SchemeProvider>],
+    campaign: &CrashCampaignConfig,
+    cfg: &GpuConfig,
+) -> Vec<CrashRow> {
+    // Phase 1: one trace per workload.
+    let trace_jobs: Vec<Job<'_, gpu_sim::Trace>> = workloads
+        .iter()
+        .map(|w| Job::new(w.name, move || w.trace(campaign.scale)))
+        .collect();
+    let traces = expect_all(exec.run(trace_jobs), "crash trace preparation");
+
+    // Phase 2: learn each pair's run length.
+    let mut length_jobs: Vec<Job<'_, u64>> = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let trace = &traces[wi];
+        for scheme in schemes {
+            length_jobs.push(Job::new(
+                format!("{}/{}/length", w.name, scheme.scheme_label()),
+                move || {
+                    let factory = scheme.make_factory();
+                    let mut sim = Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
+                    sim.run().stats.cycles
+                },
+            ));
         }
-    });
-    out
+    }
+    let totals = expect_all(exec.run(length_jobs), "crash run-length probe");
+
+    // Phase 3: one crash-inject → restore → audit job per
+    // (workload, scheme, crash point).
+    let mut audit_jobs: Vec<Job<'_, CrashRow>> = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let trace = &traces[wi];
+        for (si, scheme) in schemes.iter().enumerate() {
+            let total = totals[wi * schemes.len() + si];
+            for i in 1..=campaign.crash_points {
+                let crash_at = (total * i as u64 / (campaign.crash_points as u64 + 1)).max(1);
+                audit_jobs.push(Job::new(
+                    format!("{}/{}/crash@{crash_at}", w.name, scheme.scheme_label()),
+                    move || {
+                        let factory = scheme.make_factory();
+                        let mut sim = Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
+                        sim.set_checkpoint_interval(campaign.checkpoint_cycles);
+                        let _ = sim.run_until(crash_at);
+                        let mut row = CrashRow {
+                            workload: w.name.to_string(),
+                            scheme: scheme.scheme_label(),
+                            crash_cycle: crash_at,
+                            checkpoint_cycle: 0,
+                            audited: 0,
+                            mismatches: 0,
+                            spurious_violations: 0,
+                            already_consistent: 0,
+                            recovered_by_mac: 0,
+                            recovered_by_value: 0,
+                            failed: 0,
+                            error: None,
+                        };
+                        match sim.crash_recover_audit() {
+                            Ok(audit) => {
+                                row.crash_cycle = audit.crash_cycle;
+                                row.checkpoint_cycle = audit.checkpoint_cycle;
+                                row.audited = audit.audited;
+                                row.mismatches = audit.mismatches;
+                                row.spurious_violations = audit.spurious_violations;
+                                row.already_consistent = audit.report.already_consistent;
+                                row.recovered_by_mac = audit.report.recovered_by_mac;
+                                row.recovered_by_value = audit.report.recovered_by_value;
+                                row.failed = audit.report.failed.len() as u64;
+                            }
+                            Err(e) => row.error = Some(e.to_string()),
+                        }
+                        row
+                    },
+                ));
+            }
+        }
+    }
+    expect_all(exec.run(audit_jobs), "crash audit")
 }
 
 /// The crash-consistency gate: every audit must be clean (bit-identical
@@ -328,9 +357,9 @@ mod tests {
             failed: 0,
             error: None,
         };
-        let json = crash_json(&[row.clone()]).to_string_pretty();
+        let json = crash_json(std::slice::from_ref(&row)).to_string_pretty();
         assert!(json.contains("\"clean\": true"));
-        let csv = crash_csv(&[row.clone()]);
+        let csv = crash_csv(std::slice::from_ref(&row));
         assert!(csv.contains("bfs,plutus,900,500,40"));
         assert!(crash_table(&[row]).contains("yes"));
     }

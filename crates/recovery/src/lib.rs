@@ -28,32 +28,25 @@ mod crash;
 mod transient;
 
 pub use crash::{
-    crash_csv, crash_gate, crash_json, crash_table, run_crash_campaign, save_crash_campaign,
-    CrashCampaignConfig, CrashRow,
+    crash_csv, crash_gate, crash_json, crash_table, run_crash_campaign, run_crash_campaign_on,
+    save_crash_campaign, CrashCampaignConfig, CrashRow,
 };
 pub use transient::{
-    run_transient_campaign, save_transient_campaign, transient_csv, transient_gate, transient_json,
-    transient_table, TransientCampaignConfig, TransientRow,
+    run_transient_campaign, run_transient_campaign_on, save_transient_campaign, transient_csv,
+    transient_gate, transient_json, transient_table, TransientCampaignConfig, TransientRow,
 };
 
 use gpu_sim::EngineFactory;
 
 /// A named source of security engines a campaign can instantiate.
 ///
-/// Factories are built inside each workload's worker thread, so the
-/// provider itself only needs to be [`Sync`].
+/// Factories are built inside each campaign job, on whichever pool
+/// worker runs it, so the provider itself only needs to be [`Sync`].
 pub trait SchemeProvider: Sync {
     /// Display label used in campaign rows and reports.
     fn scheme_label(&self) -> String;
     /// Builds a fresh engine factory for one simulator instance.
     fn make_factory(&self) -> Box<dyn EngineFactory>;
-}
-
-/// SplitMix-style per-run seed derivation, so every (workload, scheme,
-/// run) triple gets an independent, reproducible stream.
-pub(crate) fn run_seed(base: u64, workload_idx: usize, scheme_idx: usize, run: usize) -> u64 {
-    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(((workload_idx as u64) << 40) | ((scheme_idx as u64) << 32) | run as u64)
 }
 
 /// Writes a campaign's JSON and CSV renderings under

@@ -1,7 +1,8 @@
 //! The transient (soft-error) retry campaign.
 
-use crate::{run_seed, SchemeProvider};
-use gpu_sim::{GpuConfig, RetryPolicy, Simulator, TransientConfig};
+use crate::SchemeProvider;
+use gpu_sim::{GpuConfig, RetryPolicy, SimStats, Simulator, TransientConfig};
+use plutus_exec::{expect_all, Executor, Job};
 use plutus_telemetry::Json;
 use workloads::{Scale, WorkloadSpec};
 
@@ -103,70 +104,97 @@ impl TransientRow {
     }
 }
 
-/// Runs the transient campaign: every workload (on its own thread) ×
-/// every scheme × `runs` seeded runs, each with an independent
-/// soft-error stream.
+/// Runs the transient campaign on a default-sized pool: every workload
+/// × every scheme × `runs` seeded runs, each with an independent
+/// soft-error stream. See [`run_transient_campaign_on`].
 ///
 /// # Panics
 ///
-/// Panics if a workload thread panics.
+/// Panics if a campaign job panics.
 pub fn run_transient_campaign(
     workloads: &[WorkloadSpec],
     schemes: &[Box<dyn SchemeProvider>],
     campaign: &TransientCampaignConfig,
     cfg: &GpuConfig,
 ) -> Vec<TransientRow> {
-    let mut out = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .enumerate()
-            .map(|(wi, w)| {
-                let cfg = cfg.clone();
-                let campaign = *campaign;
-                scope.spawn(move || {
-                    let trace = w.trace(campaign.scale);
-                    let mut rows = Vec::new();
-                    for (si, scheme) in schemes.iter().enumerate() {
-                        let mut row = TransientRow::new(w.name, scheme.scheme_label());
-                        for run in 0..campaign.runs {
-                            let factory = scheme.make_factory();
-                            let mut sim =
-                                Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
-                            sim.set_transient_faults(TransientConfig::new(
-                                campaign.soft_error_rate,
-                                run_seed(campaign.seed, wi, si, run),
-                            ));
-                            sim.set_retry_policy(RetryPolicy::with_limit(campaign.retry_limit));
-                            let r = sim.run();
-                            row.fills += r.stats.fill_count;
-                            row.injected += r.stats.transients_injected;
-                            row.recovered += r.stats.transients_recovered;
-                            row.escalated += r.stats.transients_escalated;
-                            row.undetected += r.stats.transients_undetected;
-                            row.not_applied += r.stats.transients_not_applied;
-                            row.retries += r.stats.retries;
-                            row.retry_cycles += r.stats.retry_cycles;
-                            row.violations += r.stats.violations;
-                            for (name, v) in &r.stats.engine {
-                                if name.starts_with("degraded_") {
-                                    match row.degraded.iter_mut().find(|(n, _)| n == name) {
-                                        Some((_, acc)) => *acc += v,
-                                        None => row.degraded.push((name.clone(), *v)),
-                                    }
-                                }
-                            }
-                        }
-                        rows.push(row);
-                    }
-                    rows
-                })
-            })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("transient campaign thread panicked"));
+    run_transient_campaign_on(&Executor::new(None), workloads, schemes, campaign, cfg)
+}
+
+/// The transient fan-out on a caller-supplied pool. Traces are built
+/// once per workload (phase 1), then every (workload, scheme, run)
+/// triple is one independent job (phase 2) whose soft-error stream
+/// derives from [`plutus_exec::derive_seed`]; rows are accumulated in
+/// submission order, so results are identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if a campaign job panics.
+pub fn run_transient_campaign_on(
+    exec: &Executor,
+    workloads: &[WorkloadSpec],
+    schemes: &[Box<dyn SchemeProvider>],
+    campaign: &TransientCampaignConfig,
+    cfg: &GpuConfig,
+) -> Vec<TransientRow> {
+    // Phase 1: one trace per workload.
+    let trace_jobs: Vec<Job<'_, gpu_sim::Trace>> = workloads
+        .iter()
+        .map(|w| Job::new(w.name, move || w.trace(campaign.scale)))
+        .collect();
+    let traces = expect_all(exec.run(trace_jobs), "transient trace preparation");
+
+    // Phase 2: one job per (workload, scheme, run).
+    let mut run_jobs: Vec<Job<'_, SimStats>> = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let trace = &traces[wi];
+        for (si, scheme) in schemes.iter().enumerate() {
+            for run in 0..campaign.runs {
+                run_jobs.push(Job::new(
+                    format!("{}/{}/run{run}", w.name, scheme.scheme_label()),
+                    move || {
+                        let factory = scheme.make_factory();
+                        let mut sim = Simulator::new(cfg.clone(), trace.clone(), factory.as_ref());
+                        sim.set_transient_faults(TransientConfig::new(
+                            campaign.soft_error_rate,
+                            plutus_exec::derive_seed(campaign.seed, wi, si, run),
+                        ));
+                        sim.set_retry_policy(RetryPolicy::with_limit(campaign.retry_limit));
+                        sim.run().stats
+                    },
+                ));
+            }
         }
-    });
+    }
+    let mut stats = expect_all(exec.run(run_jobs), "transient campaign run").into_iter();
+
+    // Deterministic submission-order accumulation.
+    let mut out = Vec::new();
+    for w in workloads {
+        for scheme in schemes {
+            let mut row = TransientRow::new(w.name, scheme.scheme_label());
+            for _ in 0..campaign.runs {
+                let s = stats.next().expect("one stats set per submitted run job");
+                row.fills += s.fill_count;
+                row.injected += s.transients_injected;
+                row.recovered += s.transients_recovered;
+                row.escalated += s.transients_escalated;
+                row.undetected += s.transients_undetected;
+                row.not_applied += s.transients_not_applied;
+                row.retries += s.retries;
+                row.retry_cycles += s.retry_cycles;
+                row.violations += s.violations;
+                for (name, v) in &s.engine {
+                    if name.starts_with("degraded_") {
+                        match row.degraded.iter_mut().find(|(n, _)| n == name) {
+                            Some((_, acc)) => *acc += v,
+                            None => row.degraded.push((name.clone(), *v)),
+                        }
+                    }
+                }
+            }
+            out.push(row);
+        }
+    }
     out
 }
 

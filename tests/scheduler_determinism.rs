@@ -1,0 +1,118 @@
+//! Cross-worker-count determinism of the experiment scheduler.
+//!
+//! Every fan-out in the workspace — the IPC matrix, the adversarial
+//! fault campaign, and the transient/crash recovery campaigns — runs
+//! its simulations as jobs on a `plutus_exec::Executor`. These tests
+//! pin the scheduler's core contract: for a fixed seed, the rendered
+//! reports (JSON and CSV) are **byte-identical** whether the pool has
+//! one worker or many, because per-job seeds derive purely from the
+//! (seed, workload, scheme, trial) coordinates and results assemble in
+//! submission order.
+
+use gpu_sim::GpuConfig;
+use plutus_bench::{
+    campaign_csv, campaign_json, recovery_schemes, run_campaign_on, try_run_matrix_on,
+    CampaignConfig, CampaignKind, Scheme,
+};
+use plutus_exec::Executor;
+use plutus_recovery::{
+    crash_csv, crash_json, run_crash_campaign_on, run_transient_campaign_on, transient_csv,
+    transient_json, CrashCampaignConfig, TransientCampaignConfig,
+};
+use workloads::{by_name, Scale, WorkloadSpec};
+
+/// One serial pool and one wide pool — wide enough that jobs outnumber
+/// workers and work-stealing actually reorders execution.
+fn pools() -> (Executor, Executor) {
+    (Executor::sequential(), Executor::new(Some(4)))
+}
+
+fn victims() -> Vec<WorkloadSpec> {
+    vec![by_name("bfs").unwrap(), by_name("btree").unwrap()]
+}
+
+#[test]
+fn matrix_is_identical_across_worker_counts() {
+    let (serial, wide) = pools();
+    let w = victims();
+    let schemes = [Scheme::None, Scheme::Pssm, Scheme::Plutus];
+    let cfg = GpuConfig::test_small();
+    let a = try_run_matrix_on(&serial, &w, &schemes, Scale::Test, &cfg).unwrap();
+    let b = try_run_matrix_on(&wide, &w, &schemes, Scale::Test, &cfg).unwrap();
+    // Measurement carries floats; the Debug rendering is bit-faithful,
+    // so string equality here is value equality.
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    // Row order is the submission order: workload-major, scheme-minor.
+    let order: Vec<(String, String)> = a
+        .iter()
+        .map(|m| (m.workload.clone(), m.scheme.clone()))
+        .collect();
+    let mut expect = Vec::new();
+    for wl in &w {
+        for s in &schemes {
+            expect.push((wl.name.to_string(), s.label()));
+        }
+    }
+    assert_eq!(order, expect);
+}
+
+#[test]
+fn campaign_reports_are_byte_identical_across_worker_counts() {
+    let (serial, wide) = pools();
+    let w = victims();
+    let campaign = CampaignConfig {
+        kind: CampaignKind::Sweep,
+        runs: 4,
+        faults_per_run: 2,
+        seed: 0xDEC0DE,
+        scale: Scale::Test,
+    };
+    let cfg = GpuConfig::test_small();
+    let a = run_campaign_on(&serial, &w, &campaign, &cfg);
+    let b = run_campaign_on(&wide, &w, &campaign, &cfg);
+    assert_eq!(
+        campaign_json(&a).to_string_pretty(),
+        campaign_json(&b).to_string_pretty()
+    );
+    assert_eq!(campaign_csv(&a), campaign_csv(&b));
+}
+
+#[test]
+fn transient_reports_are_byte_identical_across_worker_counts() {
+    let (serial, wide) = pools();
+    let w = victims();
+    let campaign = TransientCampaignConfig {
+        soft_error_rate: 0.05,
+        retry_limit: 3,
+        runs: 2,
+        seed: 77,
+        scale: Scale::Test,
+    };
+    let cfg = GpuConfig::test_small();
+    let a = run_transient_campaign_on(&serial, &w, &recovery_schemes(), &campaign, &cfg);
+    let b = run_transient_campaign_on(&wide, &w, &recovery_schemes(), &campaign, &cfg);
+    assert_eq!(
+        transient_json(&a).to_string_pretty(),
+        transient_json(&b).to_string_pretty()
+    );
+    assert_eq!(transient_csv(&a), transient_csv(&b));
+}
+
+#[test]
+fn crash_reports_are_byte_identical_across_worker_counts() {
+    let (serial, wide) = pools();
+    let w = victims();
+    let campaign = CrashCampaignConfig {
+        checkpoint_cycles: 500,
+        crash_points: 2,
+        scale: Scale::Test,
+    };
+    let cfg = GpuConfig::test_small();
+    let a = run_crash_campaign_on(&serial, &w, &recovery_schemes(), &campaign, &cfg);
+    let b = run_crash_campaign_on(&wide, &w, &recovery_schemes(), &campaign, &cfg);
+    assert_eq!(
+        crash_json(&a).to_string_pretty(),
+        crash_json(&b).to_string_pretty()
+    );
+    assert_eq!(crash_csv(&a), crash_csv(&b));
+}
