@@ -1,0 +1,293 @@
+//! The perf-regression baseline harness: canonical benchmark snapshots
+//! (`--bench-out`) and the tolerance-gated comparison (`--compare`) that
+//! CI runs against the committed `BENCH_<pr>.json`.
+//!
+//! Only regressions in the *bad* direction fail a comparison: an IPC
+//! drop, a traffic or overhead rise, a latency rise. Improvements pass
+//! silently — the snapshot is a floor, not a pin.
+
+use crate::runner::Measurement;
+use plutus_telemetry::Json;
+
+/// Schema tag stamped into every snapshot so future readers can detect
+/// incompatible layouts instead of mis-parsing them.
+pub const BENCH_SCHEMA: &str = "plutus-bench/v1";
+
+/// Builds the canonical perf snapshot for a matrix of measurements:
+/// per (workload, scheme) entry the IPC, normalized IPC, cycle count,
+/// per-class DRAM bytes, metadata overhead, and latency figures the
+/// regression gate compares.
+pub fn bench_snapshot(measurements: &[Measurement]) -> Json {
+    let mut entries = Vec::new();
+    for m in measurements {
+        let mut classes = Json::object();
+        for (label, bytes) in &m.class_bytes {
+            classes = classes.set(label, *bytes);
+        }
+        entries.push(
+            Json::object()
+                .set("workload", m.workload.as_str())
+                .set("scheme", m.scheme.as_str())
+                .set("ipc", m.ipc)
+                .set("norm_ipc", m.norm_ipc)
+                .set("cycles", m.cycles)
+                .set("total_bytes", m.total_bytes)
+                .set("metadata_bytes", m.metadata_bytes)
+                .set("metadata_overhead_pct", overhead_pct(m))
+                .set("class_bytes", classes)
+                .set("avg_fill_latency", m.avg_fill_latency)
+                .set("detection_latency_mean", m.detection_latency_mean),
+        );
+    }
+    Json::object()
+        .set("schema", BENCH_SCHEMA)
+        .set("entries", Json::Array(entries))
+}
+
+fn overhead_pct(m: &Measurement) -> f64 {
+    if m.total_bytes == 0 {
+        0.0
+    } else {
+        m.metadata_bytes as f64 / m.total_bytes as f64 * 100.0
+    }
+}
+
+/// Compares a current snapshot against a baseline snapshot. Returns one
+/// human-readable line per regression beyond `tolerance` (a fraction:
+/// 0.02 = 2%); an empty vector means the gate passes. Baseline entries
+/// missing from the current snapshot are regressions (coverage loss);
+/// new entries in the current snapshot are not (the next snapshot
+/// refresh picks them up).
+///
+/// # Errors
+///
+/// Returns `Err` when either document fails to parse or does not carry
+/// the [`BENCH_SCHEMA`] layout.
+pub fn compare_bench(current: &str, baseline: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    let cur = parse_snapshot(current, "current")?;
+    let base = parse_snapshot(baseline, "baseline")?;
+    let mut regressions = Vec::new();
+    for (key, base_entry) in &base {
+        let Some(cur_entry) = cur.iter().find(|(k, _)| k == key).map(|(_, e)| e) else {
+            regressions.push(format!("{key}: missing from current snapshot"));
+            continue;
+        };
+        // Higher is better.
+        for metric in ["ipc", "norm_ipc"] {
+            check(
+                &mut regressions,
+                key,
+                metric,
+                num(cur_entry, metric),
+                num(base_entry, metric),
+                tolerance,
+                Direction::HigherIsBetter,
+            );
+        }
+        // Lower is better.
+        for metric in [
+            "cycles",
+            "total_bytes",
+            "metadata_bytes",
+            "metadata_overhead_pct",
+            "avg_fill_latency",
+            "detection_latency_mean",
+        ] {
+            check(
+                &mut regressions,
+                key,
+                metric,
+                num(cur_entry, metric),
+                num(base_entry, metric),
+                tolerance,
+                Direction::LowerIsBetter,
+            );
+        }
+        if let (Some(Json::Object(base_classes)), cur_classes) =
+            (base_entry.get("class_bytes"), cur_entry.get("class_bytes"))
+        {
+            for (label, base_bytes) in base_classes {
+                let cur_bytes = cur_classes
+                    .and_then(|c| c.get(label))
+                    .and_then(Json::as_f64);
+                check(
+                    &mut regressions,
+                    key,
+                    &format!("class_bytes.{label}"),
+                    cur_bytes,
+                    base_bytes.as_f64(),
+                    tolerance,
+                    Direction::LowerIsBetter,
+                );
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+/// Appends a regression line when `cur` is worse than `base` by more
+/// than `tolerance` (relative to the baseline; a zero baseline only
+/// flags a lower-is-better metric that became nonzero).
+fn check(
+    out: &mut Vec<String>,
+    key: &str,
+    metric: &str,
+    cur: Option<f64>,
+    base: Option<f64>,
+    tolerance: f64,
+    dir: Direction,
+) {
+    let (Some(cur), Some(base)) = (cur, base) else {
+        if base.is_some() {
+            out.push(format!(
+                "{key}: metric '{metric}' missing from current snapshot"
+            ));
+        }
+        return;
+    };
+    let regressed = match dir {
+        Direction::HigherIsBetter => cur < base * (1.0 - tolerance),
+        Direction::LowerIsBetter => {
+            if base == 0.0 {
+                cur > 0.0 && tolerance < 1.0
+            } else {
+                cur > base * (1.0 + tolerance)
+            }
+        }
+    };
+    if regressed {
+        let arrow = match dir {
+            Direction::HigherIsBetter => "dropped",
+            Direction::LowerIsBetter => "rose",
+        };
+        out.push(format!(
+            "{key}: {metric} {arrow} beyond {:.1}% tolerance ({base:.4} -> {cur:.4})",
+            tolerance * 100.0
+        ));
+    }
+}
+
+fn num(entry: &Json, metric: &str) -> Option<f64> {
+    entry.get(metric).and_then(Json::as_f64)
+}
+
+/// Parses a snapshot document into `(workload/scheme, entry)` pairs.
+fn parse_snapshot(text: &str, what: &str) -> Result<Vec<(String, Json)>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("{what} snapshot: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(BENCH_SCHEMA) => {}
+        other => {
+            return Err(format!(
+                "{what} snapshot: expected schema '{BENCH_SCHEMA}', found {other:?}"
+            ))
+        }
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{what} snapshot: missing 'entries' array"))?;
+    let mut out = Vec::new();
+    for e in entries {
+        let workload = e
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{what} snapshot: entry missing 'workload'"))?;
+        let scheme = e
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{what} snapshot: entry missing 'scheme'"))?;
+        out.push((format!("{workload}/{scheme}"), e.clone()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_measurement(ipc: f64, total: u64, meta: u64) -> Measurement {
+        Measurement {
+            workload: "w".into(),
+            scheme: "plutus".into(),
+            ipc,
+            norm_ipc: 0.9,
+            cycles: 1000,
+            total_bytes: total,
+            metadata_bytes: meta,
+            class_bytes: vec![("data".into(), total - meta), ("mac".into(), meta)],
+            engine_stats: Vec::new(),
+            avg_fill_latency: 120.0,
+            detection_latency_mean: 0.0,
+        }
+    }
+
+    #[test]
+    fn snapshot_carries_schema_and_entries() {
+        let snap = bench_snapshot(&[sample_measurement(1.5, 1000, 200)]);
+        assert_eq!(snap.get("schema").unwrap().as_str(), Some(BENCH_SCHEMA));
+        let entries = snap.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].get("metadata_overhead_pct").unwrap().as_f64(),
+            Some(20.0)
+        );
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let snap = bench_snapshot(&[sample_measurement(1.5, 1000, 200)]).to_string_pretty();
+        assert!(compare_bench(&snap, &snap, 0.02).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ipc_drop_beyond_tolerance_fails() {
+        let base = bench_snapshot(&[sample_measurement(1.5, 1000, 200)]).to_string_pretty();
+        let cur = bench_snapshot(&[sample_measurement(1.4, 1000, 200)]).to_string_pretty();
+        let regressions = compare_bench(&cur, &base, 0.02).unwrap();
+        assert!(regressions.iter().any(|r| r.contains("ipc dropped")));
+        // A 2% drop inside a 5% tolerance passes.
+        assert!(compare_bench(&cur, &base, 0.10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn traffic_rise_fails_but_improvement_passes() {
+        let base = bench_snapshot(&[sample_measurement(1.5, 1000, 200)]).to_string_pretty();
+        let worse = bench_snapshot(&[sample_measurement(1.5, 1200, 300)]).to_string_pretty();
+        let better = bench_snapshot(&[sample_measurement(1.6, 900, 150)]).to_string_pretty();
+        let regressions = compare_bench(&worse, &base, 0.02).unwrap();
+        assert!(regressions.iter().any(|r| r.contains("total_bytes rose")));
+        assert!(regressions
+            .iter()
+            .any(|r| r.contains("class_bytes.mac rose")));
+        assert!(compare_bench(&better, &base, 0.02).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_entry_is_a_regression() {
+        let base = bench_snapshot(&[
+            sample_measurement(1.5, 1000, 200),
+            Measurement {
+                workload: "other".into(),
+                ..sample_measurement(1.0, 500, 100)
+            },
+        ])
+        .to_string_pretty();
+        let cur = bench_snapshot(&[sample_measurement(1.5, 1000, 200)]).to_string_pretty();
+        let regressions = compare_bench(&cur, &base, 0.02).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("other/plutus: missing"));
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let snap = bench_snapshot(&[sample_measurement(1.5, 1000, 200)]).to_string_pretty();
+        assert!(compare_bench(&snap, "{\"schema\":\"v0\",\"entries\":[]}", 0.02).is_err());
+        assert!(compare_bench("not json", &snap, 0.02).is_err());
+    }
+}

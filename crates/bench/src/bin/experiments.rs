@@ -30,6 +30,19 @@
 //! nonzero if the measured value-verification forgery-acceptance rate
 //! exceeds the analytic Eq. 1 binomial bound.
 //!
+//! Causal tracing: `--trace-out <path>` arms the per-access flight
+//! recorder on every matrix run (sampling 1-in-N roots via
+//! `--trace-sample N`, default 1 = lossless) and writes a
+//! Perfetto-loadable Chrome trace to `<path>` plus flamegraph collapsed
+//! stacks to `<path>.folded`, printing per-run bandwidth-attribution
+//! tables on exit.
+//!
+//! Regression harness: `--bench-out <path>` writes the canonical perf
+//! snapshot (IPC, per-class DRAM bytes, metadata overhead, latencies)
+//! of every matrix experiment run; `--compare <baseline.json>` checks
+//! the same snapshot against a committed baseline and exits 1 when any
+//! metric regressed beyond `--tolerance <frac>` (default 0.02).
+//!
 //! Fail-operational campaigns: `--campaign transient` injects a seeded
 //! soft-error process (`--soft-error-rate P` per fill) and retries
 //! failed fills up to `--retry-limit N`, exiting nonzero if any benign
@@ -42,9 +55,11 @@
 
 use gpu_sim::GpuConfig;
 use plutus_bench::{
-    campaign_table, eq1_checks, geomean, matrix_table, recovery_schemes, run_campaign_on,
-    run_matrix_with_telemetry, save_campaign, save_json, try_run_matrix_on, CampaignConfig,
-    CampaignKind, EnergyModel, Measurement, Scheme,
+    attribution_table, bench_snapshot, campaign_table, chrome_trace, collapsed_stack,
+    compare_bench, eq1_checks, geomean, matrix_table, recovery_schemes, run_campaign_on,
+    run_matrix_with_telemetry, save_campaign, save_json, try_run_matrix_on,
+    try_run_matrix_traced_on, CampaignConfig, CampaignKind, EnergyModel, Measurement, Scheme,
+    TracedRun,
 };
 use plutus_core::value_analysis::analyze_trace;
 use plutus_exec::Executor;
@@ -53,8 +68,9 @@ use plutus_recovery::{
     save_transient_campaign, transient_gate, transient_table, CrashCampaignConfig,
     TransientCampaignConfig,
 };
-use plutus_telemetry::{CycleClock, Event, Telemetry};
+use plutus_telemetry::{CycleClock, Event, Telemetry, DEFAULT_TRACE_CAPACITY};
 use secure_mem::SecureMemConfig;
+use std::cell::RefCell;
 use std::path::PathBuf;
 use std::sync::Arc;
 use workloads::{suite, Scale, WorkloadSpec};
@@ -91,15 +107,42 @@ struct Args {
     checkpoint_cycles: Option<u64>,
     seed: u64,
     sched_stats: bool,
+    trace_out: Option<PathBuf>,
+    trace_sample: u64,
+    bench_out: Option<PathBuf>,
+    compare: Option<PathBuf>,
+    tolerance: f64,
     tel: Telemetry,
     exec: Executor,
+    /// Causal traces collected by `--trace-out` matrix runs.
+    traces: RefCell<Vec<TracedRun>>,
+    /// Measurements collected for `--bench-out` / `--compare`.
+    measurements: RefCell<Vec<Measurement>>,
 }
 
 impl Args {
     /// Runs a workload×scheme matrix, instrumented when `--metrics-out`
-    /// is active (sequential, so epochs stay attributable per run).
+    /// is active (sequential, so epochs stay attributable per run) and
+    /// flight-recorded when `--trace-out` is active. Measurements feed
+    /// the `--bench-out` / `--compare` regression harness.
     fn matrix(&self, cfg: &GpuConfig, schemes: &[Scheme]) -> Vec<Measurement> {
-        if self.metrics_out.is_some() {
+        let rows = if self.trace_out.is_some() {
+            match try_run_matrix_traced_on(
+                &self.exec,
+                &self.workloads,
+                schemes,
+                self.scale,
+                cfg,
+                self.trace_sample,
+                DEFAULT_TRACE_CAPACITY,
+            ) {
+                Ok((rows, traces)) => {
+                    self.traces.borrow_mut().extend(traces);
+                    rows
+                }
+                Err(e) => fail(&self.tel, e.to_string()),
+            }
+        } else if self.metrics_out.is_some() {
             run_matrix_with_telemetry(
                 &self.workloads,
                 schemes,
@@ -113,7 +156,11 @@ impl Args {
                 Ok(rows) => rows,
                 Err(e) => fail(&self.tel, e.to_string()),
             }
+        };
+        if self.bench_out.is_some() || self.compare.is_some() {
+            self.measurements.borrow_mut().extend(rows.iter().cloned());
         }
+        rows
     }
 
     /// Saves a measurement set, routing I/O failure through [`fail`]
@@ -153,6 +200,11 @@ fn parse_args(tel: &Telemetry) -> Args {
     let mut seed = 0xB00C_5EED;
     let mut jobs = None;
     let mut sched_stats = false;
+    let mut trace_out = None;
+    let mut trace_sample = 1u64;
+    let mut bench_out = None;
+    let mut compare = None;
+    let mut tolerance = 0.02;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -274,6 +326,41 @@ fn parse_args(tel: &Telemetry) -> Args {
                     _ => fail(tel, "--jobs requires a positive integer".into()),
                 };
             }
+            "--trace-out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => trace_out = Some(PathBuf::from(p)),
+                    None => fail(tel, "--trace-out requires a path".into()),
+                }
+            }
+            "--trace-sample" => {
+                i += 1;
+                trace_sample = match argv.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => fail(tel, "--trace-sample requires a positive integer".into()),
+                };
+            }
+            "--bench-out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => bench_out = Some(PathBuf::from(p)),
+                    None => fail(tel, "--bench-out requires a path".into()),
+                }
+            }
+            "--compare" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => compare = Some(PathBuf::from(p)),
+                    None => fail(tel, "--compare requires a baseline snapshot path".into()),
+                }
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = match argv.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(t) if t >= 0.0 && t.is_finite() => t,
+                    _ => fail(tel, "--tolerance requires a non-negative fraction".into()),
+                };
+            }
             "--sched-stats" => sched_stats = true,
             flag if flag.starts_with("--") => fail(tel, format!("unknown flag {flag}")),
             id => experiment = id.to_string(),
@@ -316,8 +403,15 @@ fn parse_args(tel: &Telemetry) -> Args {
         checkpoint_cycles,
         seed,
         sched_stats,
+        trace_out,
+        trace_sample,
+        bench_out,
+        compare,
+        tolerance,
         tel: tel.clone(),
         exec: Executor::with_telemetry(jobs, tel.clone()),
+        traces: RefCell::new(Vec::new()),
+        measurements: RefCell::new(Vec::new()),
     }
 }
 
@@ -541,6 +635,8 @@ fn main() {
     }
     write_sched_stats(&args);
     write_metrics(&args);
+    write_trace(&args);
+    run_bench_gate(&args);
 }
 
 /// Prints the cumulative scheduler dump when `--sched-stats` is active.
@@ -565,6 +661,109 @@ fn write_metrics(args: &Args) {
         }
         println!("\n{}", report.summary_table());
         println!("metrics written to {}", path.display());
+    }
+}
+
+/// Writes the Perfetto-loadable Chrome trace (`--trace-out`), a sibling
+/// `.folded` collapsed-stack file for flamegraphs, and prints the
+/// per-run bandwidth-attribution tables.
+fn write_trace(args: &Args) {
+    let Some(path) = &args.trace_out else {
+        return;
+    };
+    let traces = args.traces.borrow();
+    let sched = args.exec.stats();
+    let doc = chrome_trace(&traces, Some(&sched));
+    if let Err(e) = std::fs::write(path, doc.to_string_compact()) {
+        fail(
+            &args.tel,
+            format!("cannot write trace to {}: {e}", path.display()),
+        );
+    }
+    let folded = path.with_extension("folded");
+    if let Err(e) = std::fs::write(&folded, collapsed_stack(&traces)) {
+        fail(
+            &args.tel,
+            format!("cannot write stacks to {}: {e}", folded.display()),
+        );
+    }
+    println!("\n{}", attribution_table(&traces));
+    let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} trace records dropped (ring buffer full); \
+             attribution is not conservation-exact"
+        );
+    }
+    println!(
+        "trace written to {} (Perfetto/chrome://tracing) and {} (flamegraph stacks)",
+        path.display(),
+        folded.display()
+    );
+}
+
+/// Emits the canonical perf snapshot (`--bench-out`) and runs the
+/// tolerance-gated regression comparison (`--compare`), exiting with
+/// status 1 when any metric regressed beyond `--tolerance`.
+fn run_bench_gate(args: &Args) {
+    if args.bench_out.is_none() && args.compare.is_none() {
+        return;
+    }
+    // Figures overlap in (workload, scheme) coverage; keep the first
+    // measurement of each pair so snapshot entries stay unique.
+    let mut rows: Vec<Measurement> = Vec::new();
+    for m in args.measurements.borrow().iter() {
+        if !rows
+            .iter()
+            .any(|r| r.workload == m.workload && r.scheme == m.scheme)
+        {
+            rows.push(m.clone());
+        }
+    }
+    if rows.is_empty() {
+        fail(
+            &args.tel,
+            "--bench-out/--compare need at least one matrix experiment (e.g. fig6)".into(),
+        );
+    }
+    let snapshot = bench_snapshot(&rows).to_string_pretty();
+    if let Some(path) = &args.bench_out {
+        if let Err(e) = std::fs::write(path, &snapshot) {
+            fail(
+                &args.tel,
+                format!("cannot write bench snapshot to {}: {e}", path.display()),
+            );
+        }
+        println!("bench snapshot written to {}", path.display());
+    }
+    if let Some(base_path) = &args.compare {
+        let baseline = match std::fs::read_to_string(base_path) {
+            Ok(t) => t,
+            Err(e) => fail(
+                &args.tel,
+                format!("cannot read baseline {}: {e}", base_path.display()),
+            ),
+        };
+        match compare_bench(&snapshot, &baseline, args.tolerance) {
+            Err(e) => fail(&args.tel, format!("regression comparison failed: {e}")),
+            Ok(regressions) if !regressions.is_empty() => {
+                eprintln!(
+                    "regression gate FAILED against {} (tolerance {:.1}%):",
+                    base_path.display(),
+                    args.tolerance * 100.0
+                );
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                std::process::exit(1);
+            }
+            Ok(_) => println!(
+                "regression gate OK against {} ({} entries, tolerance {:.1}%)",
+                base_path.display(),
+                rows.len(),
+                args.tolerance * 100.0
+            ),
+        }
     }
 }
 
@@ -820,6 +1019,8 @@ fn fig9(args: &Args, _cfg: &GpuConfig) {
                 ),
             ],
             engine_stats: Vec::new(),
+            avg_fill_latency: 0.0,
+            detection_latency_mean: 0.0,
         });
     }
     let path = args.save("fig9", &json_rows);

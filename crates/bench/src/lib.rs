@@ -10,11 +10,14 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod baseline;
 pub mod campaign;
 pub mod energy;
 pub mod report;
 pub mod runner;
+pub mod trace_export;
 
+pub use baseline::{bench_snapshot, compare_bench, BENCH_SCHEMA};
 pub use campaign::{
     campaign_csv, campaign_json, campaign_schemes, campaign_table, eq1_bound, eq1_checks,
     run_campaign, run_campaign_on, save_campaign, CampaignConfig, CampaignKind, CampaignRow,
@@ -23,7 +26,8 @@ pub use campaign::{
 pub use energy::EnergyModel;
 pub use report::{matrix_table, pct_change, save_json};
 pub use runner::{
-    geomean, recovery_schemes, run_matrix, run_matrix_with_telemetry, run_one,
-    run_one_with_telemetry, run_with_factory, try_run_matrix, try_run_matrix_on, Measurement,
-    RunnerError, Scheme,
+    geomean, recovery_schemes, run_matrix, run_matrix_with_telemetry, run_one, run_one_traced,
+    run_one_with_telemetry, run_with_factory, try_run_matrix, try_run_matrix_on,
+    try_run_matrix_traced_on, Measurement, RunnerError, Scheme, TracedRun,
 };
+pub use trace_export::{attribution_table, chrome_trace, collapsed_stack};

@@ -107,6 +107,8 @@ mod tests {
             metadata_bytes: 0,
             class_bytes: Vec::new(),
             engine_stats: Vec::new(),
+            avg_fill_latency: 0.0,
+            detection_latency_mean: 0.0,
         }
     }
 

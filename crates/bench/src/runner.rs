@@ -3,8 +3,9 @@
 use gpu_sim::{EngineFactory, GpuConfig, NoSecurityEngine, SimResult, Simulator};
 use plutus_core::{CompactKind, PlutusConfig, PlutusEngine};
 use plutus_exec::{Executor, Job, JobPanic};
-use plutus_telemetry::{Event, Telemetry};
+use plutus_telemetry::{CycleClock, Event, Telemetry, TraceRecord};
 use secure_mem::{CommonCountersEngine, PssmEngine, SecureMemConfig};
+use std::sync::Arc;
 use workloads::{Scale, WorkloadSpec};
 
 /// Every security scheme the experiments compare.
@@ -254,9 +255,15 @@ pub struct Measurement {
     pub class_bytes: Vec<(String, u64)>,
     /// Engine-specific counters.
     pub engine_stats: Vec<(String, u64)>,
+    /// Average fill latency in cycles (0.0 when the run had no fills).
+    pub avg_fill_latency: f64,
+    /// Mean violation-detection latency in cycles (0.0 when the run
+    /// raised no violations).
+    pub detection_latency_mean: f64,
 }
 
 fn measurement_of(w: &WorkloadSpec, scheme: Scheme, r: &SimResult, base_ipc: f64) -> Measurement {
+    let detections = &r.stats.violation_records;
     Measurement {
         workload: w.name.to_string(),
         scheme: scheme.label(),
@@ -274,6 +281,12 @@ fn measurement_of(w: &WorkloadSpec, scheme: Scheme, r: &SimResult, base_ipc: f64
             .map(|c| (c.label().to_string(), r.stats.class_bytes(*c)))
             .collect(),
         engine_stats: r.stats.engine.clone(),
+        avg_fill_latency: r.stats.avg_fill_latency(),
+        detection_latency_mean: if detections.is_empty() {
+            0.0
+        } else {
+            detections.iter().map(|v| v.latency as f64).sum::<f64>() / detections.len() as f64
+        },
     }
 }
 
@@ -367,6 +380,134 @@ pub fn try_run_matrix_on(
         }
     }
     Ok(out)
+}
+
+/// One traced (workload, scheme) run: the raw flight-recorder records
+/// plus the aggregate per-class totals the conservation check compares
+/// against.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Simulated cycles of the run.
+    pub cycles: u64,
+    /// Per-class byte totals `(label, bytes)` from [`gpu_sim::SimStats`].
+    pub class_bytes: Vec<(String, u64)>,
+    /// The flight-recorder records, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Records dropped because the ring buffer filled (nonzero voids the
+    /// attribution conservation property).
+    pub dropped: u64,
+}
+
+impl TracedRun {
+    /// Sums this trace's per-class traffic bytes (reads + writes), in
+    /// [`gpu_sim::TrafficClass::ALL`] order — with a sampling period of
+    /// 1 and zero drops these equal `class_bytes` exactly.
+    pub fn traced_class_bytes(&self) -> Vec<(String, u64)> {
+        gpu_sim::TrafficClass::ALL
+            .iter()
+            .map(|c| {
+                let total = self
+                    .records
+                    .iter()
+                    .filter(|r| r.kind == "traffic" && r.class == c.label())
+                    .map(|r| r.bytes)
+                    .sum();
+                (c.label().to_string(), total)
+            })
+            .collect()
+    }
+}
+
+/// Runs one workload under one scheme with the causal flight recorder
+/// armed (per-run telemetry instance, cycle-stamped records).
+pub fn run_one_traced(
+    workload: &WorkloadSpec,
+    scheme: Scheme,
+    scale: Scale,
+    cfg: &GpuConfig,
+    sample: u64,
+    capacity: usize,
+) -> (SimResult, TracedRun) {
+    let tel = Telemetry::with_clock(Arc::new(CycleClock::new()));
+    tel.enable_tracing(sample, capacity);
+    let tracer = tel.tracer();
+    let result = run_one_with_telemetry(workload, scheme, scale, cfg, &tel, None);
+    let traced = TracedRun {
+        workload: workload.name.to_string(),
+        scheme: scheme.label(),
+        cycles: result.stats.cycles,
+        class_bytes: gpu_sim::TrafficClass::ALL
+            .iter()
+            .map(|c| (c.label().to_string(), result.stats.class_bytes(*c)))
+            .collect(),
+        records: tracer.drain(),
+        dropped: tracer.dropped(),
+    };
+    (result, traced)
+}
+
+/// The traced matrix fan-out: like [`try_run_matrix_on`] but every
+/// (workload, scheme) run — baselines included — carries its own armed
+/// flight recorder. Returns the measurements plus one [`TracedRun`] per
+/// matrix row, both in submission order (so output is identical for any
+/// worker count; per-run telemetry instances keep traces disjoint).
+///
+/// # Errors
+///
+/// Returns the first panicked job, in submission order.
+pub fn try_run_matrix_traced_on(
+    exec: &Executor,
+    workloads: &[WorkloadSpec],
+    schemes: &[Scheme],
+    scale: Scale,
+    cfg: &GpuConfig,
+    sample: u64,
+    capacity: usize,
+) -> Result<(Vec<Measurement>, Vec<TracedRun>), RunnerError> {
+    // Phase 1: traced no-security baselines.
+    let baseline_jobs: Vec<Job<'_, (SimResult, TracedRun)>> = workloads
+        .iter()
+        .map(|w| {
+            Job::new(w.name, move || {
+                run_one_traced(w, Scheme::None, scale, cfg, sample, capacity)
+            })
+        })
+        .collect();
+    let baselines = values_or_first_panic(exec.run(baseline_jobs))?;
+
+    // Phase 2: one traced job per (workload, secured scheme).
+    let mut scheme_jobs: Vec<Job<'_, (SimResult, TracedRun)>> = Vec::new();
+    for w in workloads {
+        for &scheme in schemes {
+            if scheme != Scheme::None {
+                scheme_jobs.push(Job::new(w.name, move || {
+                    run_one_traced(w, scheme, scale, cfg, sample, capacity)
+                }));
+            }
+        }
+    }
+    let mut runs = values_or_first_panic(exec.run(scheme_jobs))?.into_iter();
+
+    let mut measurements = Vec::new();
+    let mut traces = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let (baseline, baseline_trace) = &baselines[wi];
+        let base_ipc = baseline.ipc();
+        for &scheme in schemes {
+            let (r, t) = if scheme == Scheme::None {
+                (baseline.clone(), baseline_trace.clone())
+            } else {
+                runs.next().expect("one result per submitted scheme job")
+            };
+            measurements.push(measurement_of(w, scheme, &r, base_ipc));
+            traces.push(t);
+        }
+    }
+    Ok((measurements, traces))
 }
 
 /// The instrumented variant of [`run_matrix`]: runs sequentially so the

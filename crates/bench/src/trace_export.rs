@@ -1,0 +1,310 @@
+//! Consumers of the causal flight recorder: the bandwidth-attribution
+//! tree (collapsed-stack / flamegraph text), per-run attribution tables,
+//! and the Chrome-trace / Perfetto JSON export.
+//!
+//! All outputs are deterministic for a fixed trace: stacks are sorted,
+//! records are emitted in recorder order, and scheduler lanes are the
+//! only part that varies with worker count (they live under their own
+//! process id so tests can slice them off).
+
+use crate::runner::TracedRun;
+use plutus_exec::SchedStats;
+use plutus_telemetry::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Folds every traced DRAM transfer into collapsed-stack lines
+/// (`workload;scheme;access_kind;class;levelN bytes`), the input format
+/// of `flamegraph.pl` and speedscope. Stacks are weight-aggregated and
+/// emitted in sorted order, so equal traces produce identical text.
+pub fn collapsed_stack(runs: &[TracedRun]) -> String {
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    for run in runs {
+        let root_kinds: BTreeMap<u64, &'static str> = run
+            .records
+            .iter()
+            .filter(|r| r.id != 0)
+            .map(|r| (r.id, r.kind))
+            .collect();
+        for rec in run.records.iter().filter(|r| r.kind == "traffic") {
+            let access = root_kinds.get(&rec.cause).copied().unwrap_or("unknown");
+            let stack = format!(
+                "{};{};{};{};level{}",
+                run.workload, run.scheme, access, rec.class, rec.level
+            );
+            *weights.entry(stack).or_insert(0) += rec.bytes;
+        }
+    }
+    let mut out = String::new();
+    for (stack, bytes) in weights {
+        let _ = writeln!(out, "{stack} {bytes}");
+    }
+    out
+}
+
+/// Per-run attribution tables: for every (access kind, traffic class)
+/// pair the traced bytes and their share of the run's traced total,
+/// followed by the conservation line comparing traced bytes against the
+/// simulator's aggregate counters.
+pub fn attribution_table(runs: &[TracedRun]) -> String {
+    let mut out = String::new();
+    for run in runs {
+        let root_kinds: BTreeMap<u64, &'static str> = run
+            .records
+            .iter()
+            .filter(|r| r.id != 0)
+            .map(|r| (r.id, r.kind))
+            .collect();
+        let mut cells: BTreeMap<(&'static str, &'static str), u64> = BTreeMap::new();
+        let mut traced_total = 0u64;
+        for rec in run.records.iter().filter(|r| r.kind == "traffic") {
+            let access = root_kinds.get(&rec.cause).copied().unwrap_or("unknown");
+            *cells.entry((access, rec.class)).or_insert(0) += rec.bytes;
+            traced_total += rec.bytes;
+        }
+        let sim_total: u64 = run.class_bytes.iter().map(|(_, b)| b).sum();
+        let _ = writeln!(
+            out,
+            "attribution: {}/{} ({} records, {} dropped)",
+            run.workload,
+            run.scheme,
+            run.records.len(),
+            run.dropped
+        );
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<12} {:>14} {:>7}",
+            "access", "class", "bytes", "share"
+        );
+        for ((access, class), bytes) in &cells {
+            let share = if traced_total > 0 {
+                *bytes as f64 / traced_total as f64 * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "  {access:<12} {class:<12} {bytes:>14} {share:>6.1}%");
+        }
+        let conserved = traced_total == sim_total && run.dropped == 0;
+        let _ = writeln!(
+            out,
+            "  traced {traced_total} B vs simulator {sim_total} B — {}",
+            if conserved {
+                "conserved"
+            } else {
+                "NOT conserved (sampling or drops)"
+            }
+        );
+    }
+    out
+}
+
+/// Builds the Chrome-trace ("trace event format") JSON document that
+/// Perfetto and `chrome://tracing` load directly.
+///
+/// Layout: each traced run is a process (`pid` = run index + 1) on the
+/// simulated-cycle timebase (1 cycle rendered as 1 µs); every sampled
+/// demand access is a complete (`"X"`) slice spanning from its root to
+/// its last child record, and every causal marker (retry, violation,
+/// degradation, vouch, spill) is an instant (`"i"`) event. Scheduler
+/// worker lanes from [`SchedStats`] job spans live under `pid` 0 on the
+/// wall-clock timebase — the only process whose content depends on the
+/// worker count.
+pub fn chrome_trace(runs: &[TracedRun], sched: Option<&SchedStats>) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    if let Some(s) = sched {
+        events.push(
+            Json::object()
+                .set("ph", "M")
+                .set("name", "process_name")
+                .set("pid", 0u64)
+                .set("tid", 0u64)
+                .set("args", Json::object().set("name", "scheduler (wall clock)")),
+        );
+        for span in &s.job_spans {
+            events.push(
+                Json::object()
+                    .set("ph", "X")
+                    .set("name", span.label.as_str())
+                    .set("cat", "sched")
+                    .set("pid", 0u64)
+                    .set("tid", span.worker as u64)
+                    .set("ts", span.start_ns as f64 / 1000.0)
+                    .set(
+                        "dur",
+                        span.end_ns.saturating_sub(span.start_ns) as f64 / 1000.0,
+                    ),
+            );
+        }
+    }
+    for (ri, run) in runs.iter().enumerate() {
+        let pid = (ri + 1) as u64;
+        events.push(
+            Json::object()
+                .set("ph", "M")
+                .set("name", "process_name")
+                .set("pid", pid)
+                .set("tid", 0u64)
+                .set(
+                    "args",
+                    Json::object().set("name", format!("{}/{}", run.workload, run.scheme)),
+                ),
+        );
+        // One slice per sampled root, spanning to its last child record.
+        let mut last_child_cycle: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut child_bytes: BTreeMap<u64, u64> = BTreeMap::new();
+        for rec in &run.records {
+            if rec.cause != 0 {
+                let end = last_child_cycle.entry(rec.cause).or_insert(0);
+                *end = (*end).max(rec.cycle);
+                *child_bytes.entry(rec.cause).or_insert(0) += rec.bytes;
+            }
+        }
+        for rec in &run.records {
+            if rec.id != 0 {
+                let end = last_child_cycle.get(&rec.id).copied().unwrap_or(rec.cycle);
+                events.push(
+                    Json::object()
+                        .set("ph", "X")
+                        .set("name", rec.kind)
+                        .set("cat", "access")
+                        .set("pid", pid)
+                        .set("tid", if rec.kind == "writeback" { 1u64 } else { 0u64 })
+                        .set("ts", rec.cycle as f64)
+                        .set("dur", (end.saturating_sub(rec.cycle)).max(1) as f64)
+                        .set(
+                            "args",
+                            Json::object()
+                                .set("trace_id", rec.id)
+                                .set("addr", rec.addr)
+                                .set("bytes", child_bytes.get(&rec.id).copied().unwrap_or(0)),
+                        ),
+                );
+            } else if rec.kind != "traffic" {
+                events.push(
+                    Json::object()
+                        .set("ph", "i")
+                        .set("name", rec.kind)
+                        .set("cat", "marker")
+                        .set("pid", pid)
+                        .set("tid", 0u64)
+                        .set("ts", rec.cycle as f64)
+                        .set("s", "t")
+                        .set(
+                            "args",
+                            Json::object()
+                                .set("cause", rec.cause)
+                                .set("addr", rec.addr)
+                                .set("info", rec.info),
+                        ),
+                );
+            }
+        }
+    }
+    Json::object()
+        .set("displayTimeUnit", "ms")
+        .set("traceEvents", Json::Array(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plutus_telemetry::TraceRecord;
+
+    fn rec(
+        id: u64,
+        cause: u64,
+        kind: &'static str,
+        class: &'static str,
+        bytes: u64,
+        level: u32,
+        cycle: u64,
+    ) -> TraceRecord {
+        TraceRecord {
+            id,
+            cause,
+            kind,
+            class,
+            bytes,
+            write: false,
+            level,
+            cycle,
+            addr: 0x40,
+            info: 0,
+        }
+    }
+
+    fn tiny_run() -> TracedRun {
+        TracedRun {
+            workload: "w".into(),
+            scheme: "plutus".into(),
+            cycles: 100,
+            class_bytes: vec![("data".into(), 64), ("counter".into(), 32)],
+            records: vec![
+                rec(1, 0, "fill", "", 0, 0, 10),
+                rec(0, 1, "traffic", "data", 32, 0, 12),
+                rec(0, 1, "traffic", "counter", 32, 0, 14),
+                rec(0, 1, "value_vouch", "", 0, 0, 15),
+                rec(2, 0, "writeback", "", 0, 0, 40),
+                rec(0, 2, "traffic", "data", 32, 0, 41),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn collapsed_stack_folds_and_sorts() {
+        let text = collapsed_stack(&[tiny_run()]);
+        assert_eq!(
+            text,
+            "w;plutus;fill;counter;level0 32\n\
+             w;plutus;fill;data;level0 32\n\
+             w;plutus;writeback;data;level0 32\n"
+        );
+    }
+
+    #[test]
+    fn attribution_table_reports_conservation() {
+        let text = attribution_table(&[tiny_run()]);
+        assert!(text.contains("w/plutus"));
+        assert!(text.contains("traced 96 B vs simulator 96 B — conserved"));
+    }
+
+    #[test]
+    fn attribution_table_flags_drops() {
+        let mut run = tiny_run();
+        run.dropped = 3;
+        let text = attribution_table(&[run]);
+        assert!(text.contains("NOT conserved"));
+    }
+
+    #[test]
+    fn chrome_trace_shapes_events() {
+        let doc = chrome_trace(&[tiny_run()], None);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 metadata + 2 root slices + 1 instant marker.
+        assert_eq!(events.len(), 4);
+        let fill = &events[1];
+        assert_eq!(fill.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(fill.get("name").unwrap().as_str(), Some("fill"));
+        assert_eq!(fill.get("ts").unwrap().as_f64(), Some(10.0));
+        // Slice spans root cycle 10 to last child cycle 15.
+        assert_eq!(fill.get("dur").unwrap().as_f64(), Some(5.0));
+        let args = fill.get("args").unwrap();
+        assert_eq!(args.get("bytes").unwrap().as_u64(), Some(64));
+        // Events keep recorder order: the vouch marker lands between the
+        // fill and writeback slices.
+        let marker = &events[2];
+        assert_eq!(marker.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(marker.get("name").unwrap().as_str(), Some("value_vouch"));
+        assert_eq!(events[3].get("name").unwrap().as_str(), Some("writeback"));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parser() {
+        let doc = chrome_trace(&[tiny_run()], None);
+        let parsed = Json::parse(&doc.to_string_compact()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[1].get("ts").unwrap().as_f64(), Some(10.0));
+    }
+}

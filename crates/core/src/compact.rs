@@ -313,11 +313,9 @@ impl CompactCounters {
                 break;
             }
             self.tree_fetches += 1;
-            out.chain.push(DramReq::new(
-                naddr,
-                NODE_BYTES as u32,
-                TrafficClass::CompactBmt,
-            ));
+            out.chain.push(
+                DramReq::new(naddr, NODE_BYTES as u32, TrafficClass::CompactBmt).at_level(level),
+            );
             let outcome = self.tree_cache.access(naddr, false, None);
             for ev in outcome.evicted {
                 out.writes.push(DramReq::new(

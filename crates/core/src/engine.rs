@@ -27,7 +27,7 @@ use gpu_sim::{
     BackingMemory, EngineFactory, FillPlan, MetaFault, RecoveryError, RecoveryReport, SectorAddr,
     SecurityEngine, Violation, WritePlan,
 };
-use plutus_telemetry::{Counter, Event, Telemetry};
+use plutus_telemetry::{Counter, Event, Telemetry, TraceId, Tracer};
 use secure_mem::{CounterAccess, CounterSystem, DataCipher, MacSystem, SecureMemError};
 use std::collections::HashMap;
 
@@ -76,6 +76,11 @@ pub struct PlutusEngine {
     tel_mac_avoided: Counter,
     tel_mac_skipped: Counter,
     tel_compact_fallbacks: Counter,
+    tracer: Tracer,
+    /// Trace root of the demand access currently being served (set by
+    /// the simulator via `begin_access_trace`), so engine-internal
+    /// causal marks attribute to the right access.
+    cur_trace: TraceId,
 }
 
 impl PlutusEngine {
@@ -123,6 +128,8 @@ impl PlutusEngine {
             tel_mac_avoided: Counter::disabled(),
             tel_mac_skipped: Counter::disabled(),
             tel_compact_fallbacks: Counter::disabled(),
+            tracer: Tracer::disabled(),
+            cur_trace: TraceId::NONE,
         })
     }
 
@@ -189,6 +196,8 @@ impl PlutusEngine {
             if self.tel.enabled() {
                 self.tel.event(Event::CompactFallback);
             }
+            self.tracer
+                .mark(self.cur_trace, "compact_fallback", addr.raw(), 0);
         }
         let oa = self.counters.read(addr);
         let hit = oa.hit;
@@ -221,6 +230,12 @@ impl PlutusEngine {
         mem: &mut BackingMemory,
         plan: &mut WritePlan,
     ) {
+        self.tracer.mark(
+            self.cur_trace,
+            "counter_overflow_spill",
+            written.raw(),
+            old_values.len() as u64,
+        );
         let group = self.counters.layout().group_of(written);
         let first = self.counters.layout().group_first_sector(group);
         for (i, old) in old_values.iter().enumerate() {
@@ -433,6 +448,8 @@ impl SecurityEngine for PlutusEngine {
                     self.tel.event(Event::ValueVerified);
                     self.tel.event(Event::MacFetchAvoided);
                 }
+                self.tracer
+                    .mark(self.cur_trace, "value_vouch", addr.raw(), 0);
             }
             Some(Verdict::NeedMac) => {
                 // Deferred MAC: fetched only now, after decryption. A
@@ -512,6 +529,8 @@ impl SecurityEngine for PlutusEngine {
                         if self.tel.enabled() {
                             self.tel.event(Event::CompactFallback);
                         }
+                        self.tracer
+                            .mark(self.cur_trace, "compact_fallback", addr.raw(), 0);
                         self.counters.increment(addr)
                     };
                     let value = oa.value;
@@ -598,6 +617,7 @@ impl SecurityEngine for PlutusEngine {
                 if self.tel.enabled() {
                     self.tel.event(Event::MacUpdateSkipped);
                 }
+                self.tracer.mark(self.cur_trace, "mac_skip", addr.raw(), 0);
                 true
             }
             _ => false,
@@ -624,7 +644,12 @@ impl SecurityEngine for PlutusEngine {
         self.tel_mac_avoided = tel.counter("engine.mac_fetches_avoided");
         self.tel_mac_skipped = tel.counter("engine.mac_updates_skipped");
         self.tel_compact_fallbacks = tel.counter("engine.compact_fallbacks");
+        self.tracer = tel.tracer();
         self.tel = tel.clone();
+    }
+
+    fn begin_access_trace(&mut self, id: TraceId) {
+        self.cur_trace = id;
     }
 
     fn extra_stats(&self) -> Vec<(String, u64)> {
@@ -711,6 +736,7 @@ impl SecurityEngine for PlutusEngine {
                     addr: addr.raw(),
                 });
             }
+            self.tracer.mark(self.cur_trace, "degrade", addr.raw(), 1);
         }
         if let Some(compact) = self.compact.as_mut() {
             let block = compact.block_index(addr);
@@ -731,6 +757,7 @@ impl SecurityEngine for PlutusEngine {
                         addr: addr.raw(),
                     });
                 }
+                self.tracer.mark(self.cur_trace, "degrade", addr.raw(), 2);
             }
         }
     }

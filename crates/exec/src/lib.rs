@@ -53,7 +53,7 @@ mod pool;
 mod stats;
 
 pub use pool::{expect_all, Executor, Job, JobPanic};
-pub use stats::SchedStats;
+pub use stats::{JobSpan, SchedStats};
 
 /// SplitMix-style per-job seed derivation: a pure function of the
 /// campaign seed and the (workload, scheme, trial) coordinates, so the

@@ -334,6 +334,12 @@ impl Executor {
         self.inner.exec_ns.record(exec_ns);
         self.inner.jobs_ctr.inc();
         local.record_job(queue_ns, exec_ns);
+        local.spans.push(crate::stats::JobSpan {
+            label: label.clone(),
+            worker: 0, // stamped with the real slot at merge time
+            start_ns: queue_ns,
+            end_ns: queue_ns.saturating_add(exec_ns),
+        });
         match outcome {
             Ok(v) => Ok(v),
             Err(payload) => {

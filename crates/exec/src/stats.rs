@@ -1,6 +1,21 @@
 //! Scheduler statistics: per-worker accounting merged into a
 //! cumulative, queryable snapshot for the `--sched-stats` dump.
 
+/// One executed job's wall-clock interval on a worker lane, for the
+/// Chrome-trace scheduler export. Times are nanoseconds since the first
+/// `run` call's submission instant (monotonic across runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpan {
+    /// Job label as submitted.
+    pub label: String,
+    /// Worker slot the job executed on (0 for inline runs).
+    pub worker: usize,
+    /// Execution start, ns since the executor's first submission.
+    pub start_ns: u64,
+    /// Execution end, ns since the executor's first submission.
+    pub end_ns: u64,
+}
+
 /// Per-worker tallies collected lock-free on the worker's own stack and
 /// merged into the shared accumulator when a `run` call ends.
 #[derive(Debug, Default, Clone)]
@@ -13,6 +28,9 @@ pub(crate) struct WorkerLocal {
     pub queue_ns_total: u128,
     pub queue_ns_max: u64,
     pub exec_ns_max: u64,
+    /// Spans of this run's jobs, start-relative to the run's submission
+    /// instant; `merge_worker` rebases them and stamps the worker slot.
+    pub spans: Vec<JobSpan>,
 }
 
 impl WorkerLocal {
@@ -40,6 +58,7 @@ pub(crate) struct StatsAcc {
     wall_ns_total: u128,
     peak_in_flight: usize,
     worker_busy_ns: Vec<u128>,
+    job_spans: Vec<JobSpan>,
 }
 
 impl StatsAcc {
@@ -56,6 +75,15 @@ impl StatsAcc {
             self.worker_busy_ns.resize(slot + 1, 0);
         }
         self.worker_busy_ns[slot] += local.busy_ns;
+        // Rebase run-relative spans onto the executor-lifetime timeline
+        // (wall_ns_total = time consumed by all earlier runs).
+        let offset = u64::try_from(self.wall_ns_total).unwrap_or(u64::MAX);
+        self.job_spans.extend(local.spans.iter().map(|s| JobSpan {
+            label: s.label.clone(),
+            worker: slot,
+            start_ns: s.start_ns.saturating_add(offset),
+            end_ns: s.end_ns.saturating_add(offset),
+        }));
     }
 
     pub fn raise_peak(&mut self, peak: usize) {
@@ -83,6 +111,7 @@ impl StatsAcc {
             wall_ns_total: self.wall_ns_total,
             peak_in_flight: self.peak_in_flight,
             worker_busy_ns: self.worker_busy_ns.clone(),
+            job_spans: self.job_spans.clone(),
         }
     }
 }
@@ -130,6 +159,9 @@ pub struct SchedStats {
     pub peak_in_flight: usize,
     /// Busy nanoseconds per worker slot.
     pub worker_busy_ns: Vec<u128>,
+    /// Wall-clock execution interval of every job, per worker lane —
+    /// the scheduler lanes of the Chrome-trace export.
+    pub job_spans: Vec<JobSpan>,
 }
 
 impl SchedStats {
@@ -243,6 +275,39 @@ mod tests {
         assert_eq!(util[0], 1.0, "busy > wall clamps to full utilization");
         assert!((util[1] - 2_000.0 / 3_000.0).abs() < 1e-9);
         assert!(util.iter().all(|u| (0.0..=1.0).contains(u)));
+    }
+
+    #[test]
+    fn job_spans_are_rebased_and_stamped() {
+        let mut acc = StatsAcc::default();
+        let mut w = WorkerLocal::default();
+        w.record_job(0, 500);
+        w.spans.push(JobSpan {
+            label: "a".into(),
+            worker: 0,
+            start_ns: 10,
+            end_ns: 510,
+        });
+        acc.merge_worker(1, &w);
+        acc.close_run(600);
+        // Second run's spans shift past the first run's wall time.
+        let mut w2 = WorkerLocal::default();
+        w2.spans.push(JobSpan {
+            label: "b".into(),
+            worker: 0,
+            start_ns: 5,
+            end_ns: 30,
+        });
+        acc.merge_worker(0, &w2);
+        acc.close_run(100);
+        let s = acc.snapshot(2);
+        assert_eq!(s.job_spans.len(), 2);
+        assert_eq!(s.job_spans[0].worker, 1);
+        assert_eq!(s.job_spans[0].start_ns, 10);
+        assert_eq!(s.job_spans[1].label, "b");
+        assert_eq!(s.job_spans[1].worker, 0);
+        assert_eq!(s.job_spans[1].start_ns, 605);
+        assert_eq!(s.job_spans[1].end_ns, 630);
     }
 
     #[test]

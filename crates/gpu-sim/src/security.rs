@@ -22,12 +22,26 @@ pub struct DramReq {
     pub bytes: u32,
     /// Traffic classification for the statistics breakdown.
     pub class: TrafficClass,
+    /// Integrity-tree level of the touched node (0 for leaves and
+    /// non-tree metadata) — used by the bandwidth-attribution trace.
+    pub level: u32,
 }
 
 impl DramReq {
-    /// Convenience constructor.
+    /// Convenience constructor (level 0).
     pub fn new(addr: u64, bytes: u32, class: TrafficClass) -> Self {
-        Self { addr, bytes, class }
+        Self {
+            addr,
+            bytes,
+            class,
+            level: 0,
+        }
+    }
+
+    /// Tags the request with the integrity-tree level it touches.
+    pub fn at_level(mut self, level: u32) -> Self {
+        self.level = level;
+        self
     }
 }
 
@@ -404,6 +418,13 @@ pub trait SecurityEngine {
     /// graceful degradation after repeated failures; the default ignores
     /// it. Must not generate timing.
     fn note_fill_failure(&mut self, _addr: SectorAddr, _recovered: bool) {}
+
+    /// Tells the engine which trace id the *next* `on_fill`/`on_writeback`
+    /// call is attributed to, so engine-internal causal marks (value-cache
+    /// vouches, skip-MAC screens, compact spills, degradations) land under
+    /// the right root. [`plutus_telemetry::TraceId::NONE`] when the access
+    /// is unsampled or tracing is off; the default ignores it.
+    fn begin_access_trace(&mut self, _id: plutus_telemetry::TraceId) {}
 }
 
 /// Builds one engine instance per partition.

@@ -30,7 +30,8 @@ use crate::stats::{
 };
 use crate::trace::{AccessKind, Trace, TraceAccess};
 use crate::transient::{RetryPolicy, TransientConfig, TransientKind, TransientSampler};
-use plutus_telemetry::{Counter, Event as TelEvent, Histogram, Telemetry};
+use plutus_telemetry::{Counter, Event as TelEvent, Histogram, Telemetry, TraceId, Tracer};
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -156,6 +157,13 @@ struct SimTelemetry {
     violations: Counter,
     /// Fill latency (arrival at the controller → verified data), cycles.
     fill_latency: Histogram,
+    /// The causal flight recorder (disarmed unless the run enabled
+    /// tracing; every call against it is then a single compare).
+    tracer: Tracer,
+    /// Root trace id of the demand access currently being served, so
+    /// `book_traffic` can attribute each transfer without threading an
+    /// argument through every plan-booking path.
+    cur_root: Cell<TraceId>,
 }
 
 impl SimTelemetry {
@@ -172,6 +180,8 @@ impl SimTelemetry {
             mshr_stalls: tel.counter("mshr.stalls"),
             violations: tel.counter("violations"),
             fill_latency: tel.histogram("fill.latency_cycles"),
+            tracer: tel.tracer(),
+            cur_root: Cell::new(TraceId::NONE),
         }
     }
 }
@@ -185,6 +195,7 @@ fn book_traffic(
     class: TrafficClass,
     bytes: u64,
     is_write: bool,
+    level: u32,
 ) {
     stats.record_traffic(class, bytes, is_write);
     if is_write {
@@ -192,6 +203,8 @@ fn book_traffic(
     } else {
         tel.read_bytes[class.idx()].add(bytes);
     }
+    tel.tracer
+        .traffic(tel.cur_root.get(), class.label(), bytes, is_write, level);
 }
 
 /// Result of a completed simulation.
@@ -764,6 +777,12 @@ impl Simulator {
                 latency,
             });
         }
+        self.simtel.tracer.mark(
+            self.simtel.cur_root.get(),
+            "violation",
+            v.addr().raw(),
+            latency,
+        );
     }
 
     /// Resolves the armed fault on `sector` (if any) into a fault record,
@@ -977,6 +996,7 @@ impl Simulator {
             TrafficClass::Data,
             SECTOR_SIZE,
             false,
+            0,
         );
 
         let mut ready = data_done;
@@ -996,6 +1016,7 @@ impl Simulator {
                     req.class,
                     req.bytes as u64,
                     false,
+                    req.level,
                 );
             }
             ready = ready.max(t);
@@ -1011,6 +1032,7 @@ impl Simulator {
                     req.class,
                     req.bytes as u64,
                     false,
+                    req.level,
                 );
             }
             ready += plan.post_latency;
@@ -1024,6 +1046,7 @@ impl Simulator {
                 req.class,
                 req.bytes as u64,
                 false,
+                req.level,
             );
         }
         for req in &plan.writes {
@@ -1035,6 +1058,7 @@ impl Simulator {
                 req.class,
                 req.bytes as u64,
                 true,
+                req.level,
             );
         }
         self.horizon = self.horizon.max(ready);
@@ -1101,6 +1125,8 @@ impl Simulator {
     /// ready, along with the plaintext itself.
     fn execute_fill(&mut self, now: u64, p_idx: usize, sector: SectorAddr) -> (u64, [u8; 32]) {
         self.fill_ordinal += 1;
+        let root = self.simtel.tracer.begin("fill", sector.raw());
+        self.simtel.cur_root.set(root);
         let transient = self.begin_transient(now, p_idx, sector);
         let mut transient_active = transient.is_some();
         let mut transient_tripped = false;
@@ -1108,6 +1134,7 @@ impl Simulator {
         let mut start = now;
         loop {
             let part = &mut self.partitions[p_idx];
+            part.engine.begin_access_trace(root);
             let plan = part.engine.on_fill(sector, &mut self.backing);
             let ready = self.book_fill_plan(start, p_idx, sector, &plan);
             if plan.violation.is_some() && attempt < self.retry.limit {
@@ -1131,6 +1158,9 @@ impl Simulator {
                         attempt,
                     });
                 }
+                self.simtel
+                    .tracer
+                    .mark(root, "retry", sector.raw(), u64::from(attempt));
                 start = ready + backoff;
                 continue;
             }
@@ -1192,6 +1222,7 @@ impl Simulator {
             self.stats.fill_latency_sum += latency;
             self.stats.fill_count += 1;
             self.simtel.fill_latency.record(latency);
+            self.simtel.cur_root.set(TraceId::NONE);
             return (ready, plan.plaintext);
         }
     }
@@ -1205,7 +1236,10 @@ impl Simulator {
     }
 
     fn writeback(&mut self, now: u64, p_idx: usize, sector: SectorAddr, data: &[u8; 32]) {
+        let root = self.simtel.tracer.begin("writeback", sector.raw());
+        self.simtel.cur_root.set(root);
         let part = &mut self.partitions[p_idx];
+        part.engine.begin_access_trace(root);
         let plan = part.engine.on_writeback(sector, data, &mut self.backing);
         let serial = self.cfg.serial_metadata_chains;
         let mut meta_ready = now;
@@ -1224,6 +1258,7 @@ impl Simulator {
                     req.class,
                     req.bytes as u64,
                     false,
+                    req.level,
                 );
             }
             meta_ready = meta_ready.max(t);
@@ -1237,6 +1272,7 @@ impl Simulator {
                 req.class,
                 req.bytes as u64,
                 false,
+                req.level,
             );
         }
         // The encrypted data and metadata writes drain from the write
@@ -1250,6 +1286,7 @@ impl Simulator {
             TrafficClass::Data,
             SECTOR_SIZE,
             true,
+            0,
         );
         for req in &plan.writes {
             let done = part.dram.access(now, req.addr, req.bytes);
@@ -1260,11 +1297,13 @@ impl Simulator {
                 req.class,
                 req.bytes as u64,
                 true,
+                req.level,
             );
         }
         if let Some(v) = plan.violation {
             self.record_violation(now, v, 0);
         }
+        self.simtel.cur_root.set(TraceId::NONE);
         if !self.armed.is_empty() {
             // A writeback either trips verification (metadata fetched for
             // the read-modify-write fails) or overwrites the faulted state

@@ -289,9 +289,12 @@ impl SimStats {
     }
 
     /// Achieved DRAM bandwidth utilization against a theoretical peak,
-    /// `bytes_per_cycle` aggregated over all partitions.
+    /// `bytes_per_cycle` aggregated over all partitions. Degenerate
+    /// inputs (no cycles, or a non-positive/non-finite peak) return 0.0
+    /// so empty or crashed runs can't push NaN/Inf into reports or
+    /// `BENCH_*.json` snapshots.
     pub fn bandwidth_utilization(&self, peak_bytes_per_cycle: f64) -> f64 {
-        if self.cycles == 0 {
+        if self.cycles == 0 || peak_bytes_per_cycle <= 0.0 || !peak_bytes_per_cycle.is_finite() {
             0.0
         } else {
             self.total_bytes() as f64 / (self.cycles as f64 * peak_bytes_per_cycle)
@@ -323,6 +326,28 @@ impl SimStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degenerate_denominators_yield_zero_not_nan() {
+        // Empty/crashed runs must not leak NaN/Inf into reports.
+        let empty = SimStats::default();
+        assert_eq!(empty.avg_fill_latency(), 0.0);
+        assert_eq!(empty.bandwidth_utilization(32.0), 0.0);
+
+        let mut s = SimStats::default();
+        s.record_traffic(TrafficClass::Data, 64, false);
+        s.cycles = 100;
+        assert_eq!(s.bandwidth_utilization(0.0), 0.0);
+        assert_eq!(s.bandwidth_utilization(-4.0), 0.0);
+        assert_eq!(s.bandwidth_utilization(f64::NAN), 0.0);
+        assert_eq!(s.bandwidth_utilization(f64::INFINITY), 0.0);
+        let util = s.bandwidth_utilization(32.0);
+        assert!(util > 0.0 && util.is_finite());
+
+        s.fill_latency_sum = 50;
+        s.fill_count = 10;
+        assert_eq!(s.avg_fill_latency(), 5.0);
+    }
 
     #[test]
     fn traffic_classification() {

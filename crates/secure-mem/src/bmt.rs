@@ -168,11 +168,10 @@ impl Bmt {
                 break; // verified at a cached ancestor
             }
             self.node_fetches += 1;
-            walk.chain.push(DramReq::new(
-                addr,
-                self.layout.node_bytes() as u32,
-                self.traffic_class,
-            ));
+            walk.chain.push(
+                DramReq::new(addr, self.layout.node_bytes() as u32, self.traffic_class)
+                    .at_level(level),
+            );
             self.fill_node(addr, false, &mut walk);
             level += 1;
             idx = self.layout.parent_index(idx);
@@ -206,11 +205,10 @@ impl Bmt {
         if !self.cache.probe(addr) {
             // Read-modify-write fetch, off the critical path.
             self.node_fetches += 1;
-            walk.async_reads.push(DramReq::new(
-                addr,
-                self.layout.node_bytes() as u32,
-                self.traffic_class,
-            ));
+            walk.async_reads.push(
+                DramReq::new(addr, self.layout.node_bytes() as u32, self.traffic_class)
+                    .at_level(level),
+            );
         } else {
             self.node_hits += 1;
         }
@@ -225,12 +223,12 @@ impl Bmt {
         for p in 0..pieces {
             let outcome = self.cache.access(addr + p * SECTOR_SIZE, write, None);
             for ev in outcome.evicted {
-                walk.writes.push(DramReq::new(
-                    ev.addr,
-                    SECTOR_SIZE as u32,
-                    self.traffic_class,
-                ));
-                if let Some((ev_level, ev_idx)) = self.layout.node_of_addr(ev.addr) {
+                let node = self.layout.node_of_addr(ev.addr);
+                walk.writes.push(
+                    DramReq::new(ev.addr, SECTOR_SIZE as u32, self.traffic_class)
+                        .at_level(node.map_or(0, |(l, _)| l)),
+                );
+                if let Some((ev_level, ev_idx)) = node {
                     self.touch_dirty(ev_level + 1, self.layout.parent_index(ev_idx), walk);
                 }
             }

@@ -264,6 +264,7 @@ pub struct EventLog {
     events: Mutex<VecDeque<TimedEvent>>,
     capacity: usize,
     dropped: AtomicU64,
+    high_water: AtomicU64,
 }
 
 impl EventLog {
@@ -273,6 +274,7 @@ impl EventLog {
             events: Mutex::new(VecDeque::new()),
             capacity,
             dropped: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         }
     }
 
@@ -291,6 +293,8 @@ impl EventLog {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         } else {
             events.push_back(TimedEvent { time, event });
+            self.high_water
+                .fetch_max(events.len() as u64, Ordering::Relaxed);
         }
     }
 
@@ -307,6 +311,13 @@ impl EventLog {
     /// Events dropped because the log was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The most events the log ever held at once (a gauge of how close
+    /// the run came to the capacity bound; equals `capacity` iff any
+    /// event was dropped).
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
     }
 
     /// A copy of the retained events, oldest first.
@@ -343,6 +354,24 @@ mod tests {
         }
         assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 3);
+        // Overflow pins the high-water mark at capacity.
+        assert_eq!(log.high_water(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let log = EventLog::with_capacity(8);
+        assert_eq!(log.high_water(), 0);
+        log.record(0, Event::ValueCacheMiss);
+        log.record(1, Event::ValueCacheMiss);
+        log.record(2, Event::ValueCacheMiss);
+        assert_eq!(log.high_water(), 3);
+        // Draining does not reset the peak.
+        log.drain();
+        assert_eq!(log.high_water(), 3);
+        log.record(3, Event::ValueCacheMiss);
+        assert_eq!(log.high_water(), 3);
+        assert_eq!(log.dropped(), 0);
     }
 
     #[test]
@@ -351,6 +380,7 @@ mod tests {
         log.record(0, Event::MacFetchAvoided);
         assert!(log.is_empty());
         assert_eq!(log.dropped(), 0);
+        assert_eq!(log.high_water(), 0);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod events;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod trace;
 
 pub use clock::{Clock, CycleClock, NullClock, WallClock};
 pub use events::{Event, EventLog, FieldValue, TimedEvent, DEFAULT_EVENT_CAPACITY};
@@ -49,6 +50,7 @@ pub use json::Json;
 pub use metrics::{
     BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot,
 };
+pub use trace::{TraceId, TraceRecord, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use std::sync::{Arc, Mutex};
 
@@ -58,6 +60,7 @@ struct Inner {
     clock: Arc<dyn Clock>,
     registry: MetricsRegistry,
     events: EventLog,
+    tracer: Tracer,
     epochs: Mutex<EpochState>,
 }
 
@@ -97,12 +100,18 @@ impl Telemetry {
     }
 
     fn build(enabled: bool, clock: Arc<dyn Clock>, capacity: usize) -> Self {
+        let tracer = if enabled {
+            Tracer::new(clock.clone())
+        } else {
+            Tracer::disabled()
+        };
         Self {
             inner: Arc::new(Inner {
                 enabled,
                 clock,
                 registry: MetricsRegistry::new(),
                 events: EventLog::with_capacity(capacity),
+                tracer,
                 epochs: Mutex::new(EpochState::default()),
             }),
         }
@@ -153,6 +162,22 @@ impl Telemetry {
     /// Records `event` at the current clock reading.
     pub fn event(&self, event: Event) {
         self.inner.events.record(self.inner.clock.now(), event);
+    }
+
+    /// The causal flight recorder sharing this instance's clock. Clones
+    /// are cheap and point at the same ring buffer; the tracer stays
+    /// disarmed until [`Telemetry::enable_tracing`].
+    pub fn tracer(&self) -> Tracer {
+        self.inner.tracer.clone()
+    }
+
+    /// Arms the flight recorder: keep one demand access in every
+    /// `sample` (1 = all) into a ring of `capacity` records. No-op on a
+    /// disabled instance — disabled telemetry never records anything.
+    pub fn enable_tracing(&self, sample: u64, capacity: usize) {
+        if self.inner.enabled {
+            self.inner.tracer.enable(sample, capacity);
+        }
     }
 
     /// A guard profiling the wall-clock time from now until drop into
@@ -210,6 +235,7 @@ impl Telemetry {
             epochs: self.epochs(),
             events: self.inner.events.to_vec(),
             events_dropped: self.inner.events.dropped(),
+            events_high_water: self.inner.events.high_water(),
         }
     }
 }
@@ -342,5 +368,31 @@ mod tests {
         let other = tel.clone();
         other.counter("shared").inc();
         assert_eq!(tel.snapshot().counter("shared"), Some(1));
+    }
+
+    #[test]
+    fn tracing_arms_only_on_enabled_instances() {
+        let off = Telemetry::disabled();
+        off.enable_tracing(1, 64);
+        assert!(off.tracer().begin("fill", 0).is_none());
+
+        let tel = Telemetry::new();
+        let tracer = tel.tracer();
+        // Disarmed until enable_tracing.
+        assert!(tracer.begin("fill", 0).is_none());
+        tel.enable_tracing(1, 64);
+        assert!(!tracer.begin("fill", 0).is_none());
+        assert_eq!(tel.tracer().len(), 1);
+    }
+
+    #[test]
+    fn report_surfaces_event_high_water() {
+        let tel = Telemetry::with_event_capacity(Arc::new(NullClock), 2);
+        for _ in 0..3 {
+            tel.event(Event::ValueCacheMiss);
+        }
+        let r = tel.report();
+        assert_eq!(r.events_dropped, 1);
+        assert_eq!(r.events_high_water, 2);
     }
 }
