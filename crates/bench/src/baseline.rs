@@ -6,6 +6,7 @@
 //! drop, a traffic or overhead rise, a latency rise. Improvements pass
 //! silently — the snapshot is a floor, not a pin.
 
+use crate::report::degenerate_workloads;
 use crate::runner::Measurement;
 use plutus_telemetry::Json;
 
@@ -16,7 +17,11 @@ pub const BENCH_SCHEMA: &str = "plutus-bench/v1";
 /// Builds the canonical perf snapshot for a matrix of measurements:
 /// per (workload, scheme) entry the IPC, normalized IPC, cycle count,
 /// per-class DRAM bytes, metadata overhead, and latency figures the
-/// regression gate compares.
+/// regression gate compares. A top-level `degenerate_norm_ipc` array
+/// names every workload whose schemes all finished in an identical
+/// cycle count — the state where normalized IPC reads 1.0 everywhere
+/// and the snapshot carries no real signal. ([`compare_bench`] only
+/// reads known fields, so older baselines without it still compare.)
 pub fn bench_snapshot(measurements: &[Measurement]) -> Json {
     let mut entries = Vec::new();
     for m in measurements {
@@ -41,6 +46,15 @@ pub fn bench_snapshot(measurements: &[Measurement]) -> Json {
     }
     Json::object()
         .set("schema", BENCH_SCHEMA)
+        .set(
+            "degenerate_norm_ipc",
+            Json::Array(
+                degenerate_workloads(measurements)
+                    .into_iter()
+                    .map(Json::from)
+                    .collect(),
+            ),
+        )
         .set("entries", Json::Array(entries))
 }
 
@@ -224,6 +238,8 @@ mod tests {
             engine_stats: Vec::new(),
             avg_fill_latency: 120.0,
             detection_latency_mean: 0.0,
+            cpi_stack: Vec::new(),
+            ledger_partitions: Vec::new(),
         }
     }
 
@@ -237,6 +253,21 @@ mod tests {
             entries[0].get("metadata_overhead_pct").unwrap().as_f64(),
             Some(20.0)
         );
+    }
+
+    #[test]
+    fn snapshot_flags_degenerate_workloads() {
+        // Two schemes of workload "w" with the identical cycle count.
+        let mut baseline = sample_measurement(1.5, 1000, 200);
+        baseline.scheme = "no-security".into();
+        let snap = bench_snapshot(&[baseline, sample_measurement(1.5, 1000, 200)]);
+        let deg = snap.get("degenerate_norm_ipc").unwrap().as_array().unwrap();
+        assert_eq!(deg.len(), 1);
+        assert_eq!(deg[0].as_str(), Some("w"));
+        // A lone entry can't be degenerate.
+        let snap = bench_snapshot(&[sample_measurement(1.5, 1000, 200)]);
+        let deg = snap.get("degenerate_norm_ipc").unwrap().as_array().unwrap();
+        assert!(deg.is_empty());
     }
 
     #[test]

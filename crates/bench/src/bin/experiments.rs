@@ -5,14 +5,29 @@
 //! ```
 //!
 //! `<id>` ∈ {table1, table2, fig6, fig7, fig9, fig10, fig15, fig16, fig17,
-//! fig18, fig19, fig20, fig21, fig22, all}. Results print as tables and are
-//! saved as JSON under `target/experiments/`.
+//! fig18, fig19, fig20, fig21, fig22, figrepro, all}. Results print as
+//! tables and are saved as JSON under `target/experiments/`. `figrepro`
+//! is the normalized-IPC figure-reproduction report (Figs. 11-14 style):
+//! the no-security/PSSM/common-counters/Plutus matrix with per-scheme
+//! geomeans, the CPI stacks behind the numbers, and a prominent warning
+//! when the result is degenerate (every scheme at norm_ipc = 1.0).
 //!
 //! Scheduling: simulator runs execute as independent jobs on a bounded
 //! work-stealing pool. `--jobs N` caps the worker count (default: one
 //! per available core); results are byte-identical for any `N`.
 //! `--sched-stats` prints the cumulative scheduler dump (queue latency,
 //! execution time, steals, per-worker utilization) on exit.
+//! `--heartbeat S` prints a progress line to stderr every S seconds
+//! while the pool runs (jobs done/total, the workload/scheme labels
+//! currently executing, elapsed wall time).
+//!
+//! Cycle ledger: `--ledger-out <path>` writes the per-cycle stall
+//! attribution of every matrix run — the JSON document (per-partition
+//! bucket matrix + summed CPI stack per workload/scheme), a `.csv`
+//! sibling, and a `.folded` flamegraph collapsed-stack sibling — and
+//! prints the CPI-stack table. The built-in conservation gate exits
+//! nonzero if any partition's buckets do not sum exactly to the run's
+//! cycle count.
 //!
 //! Telemetry: `--metrics-out <path>` captures the full metrics registry
 //! (per-class traffic counters, cache hit/miss counters, latency
@@ -56,8 +71,9 @@
 use gpu_sim::GpuConfig;
 use plutus_bench::{
     attribution_table, bench_snapshot, campaign_table, chrome_trace, collapsed_stack,
-    compare_bench, eq1_checks, geomean, matrix_table, recovery_schemes, run_campaign_on,
-    run_matrix_with_telemetry, save_campaign, save_json, try_run_matrix_on,
+    compare_bench, cpi_stack_table, degenerate_warning, eq1_checks, figure_report, geomean,
+    ledger_csv, ledger_folded, ledger_gate, ledger_json, matrix_table, recovery_schemes,
+    run_campaign_on, run_matrix_with_telemetry, save_campaign, save_json, try_run_matrix_on,
     try_run_matrix_traced_on, CampaignConfig, CampaignKind, EnergyModel, Measurement, Scheme,
     TracedRun,
 };
@@ -112,6 +128,7 @@ struct Args {
     bench_out: Option<PathBuf>,
     compare: Option<PathBuf>,
     tolerance: f64,
+    ledger_out: Option<PathBuf>,
     tel: Telemetry,
     exec: Executor,
     /// Causal traces collected by `--trace-out` matrix runs.
@@ -157,8 +174,14 @@ impl Args {
                 Err(e) => fail(&self.tel, e.to_string()),
             }
         };
-        if self.bench_out.is_some() || self.compare.is_some() {
+        if self.bench_out.is_some() || self.compare.is_some() || self.ledger_out.is_some() {
             self.measurements.borrow_mut().extend(rows.iter().cloned());
+        }
+        // The central degenerate-case check: when every scheme of a
+        // workload ran in the identical cycle count, say so loudly on
+        // every experiment that consumed the matrix.
+        if let Some(warning) = degenerate_warning(&rows) {
+            eprint!("{warning}");
         }
         rows
     }
@@ -205,6 +228,8 @@ fn parse_args(tel: &Telemetry) -> Args {
     let mut bench_out = None;
     let mut compare = None;
     let mut tolerance = 0.02;
+    let mut ledger_out = None;
+    let mut heartbeat = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -361,6 +386,23 @@ fn parse_args(tel: &Telemetry) -> Args {
                     _ => fail(tel, "--tolerance requires a non-negative fraction".into()),
                 };
             }
+            "--ledger-out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => ledger_out = Some(PathBuf::from(p)),
+                    None => fail(tel, "--ledger-out requires a path".into()),
+                }
+            }
+            "--heartbeat" => {
+                i += 1;
+                heartbeat = match argv.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => Some(std::time::Duration::from_secs(n)),
+                    _ => fail(
+                        tel,
+                        "--heartbeat requires a positive number of seconds".into(),
+                    ),
+                };
+            }
             "--sched-stats" => sched_stats = true,
             flag if flag.starts_with("--") => fail(tel, format!("unknown flag {flag}")),
             id => experiment = id.to_string(),
@@ -388,6 +430,10 @@ fn parse_args(tel: &Telemetry) -> Args {
             picked
         }
     };
+    let exec = Executor::with_telemetry(jobs, tel.clone());
+    if let Some(interval) = heartbeat {
+        exec.set_heartbeat(interval);
+    }
     Args {
         experiment,
         scale,
@@ -408,8 +454,9 @@ fn parse_args(tel: &Telemetry) -> Args {
         bench_out,
         compare,
         tolerance,
+        ledger_out,
         tel: tel.clone(),
-        exec: Executor::with_telemetry(jobs, tel.clone()),
+        exec,
         traces: RefCell::new(Vec::new()),
         measurements: RefCell::new(Vec::new()),
     }
@@ -625,6 +672,7 @@ fn main() {
                 ],
             ),
             "fig22" => fig22(&args, &cfg),
+            "figrepro" => figrepro(&args, &cfg),
             "overheads" => overheads(),
             "workloads" => workload_report(&args),
             "ablations" => {
@@ -636,7 +684,76 @@ fn main() {
     write_sched_stats(&args);
     write_metrics(&args);
     write_trace(&args);
+    write_ledger(&args);
     run_bench_gate(&args);
+}
+
+/// Deduplicates the collected matrix measurements: figures overlap in
+/// (workload, scheme) coverage, so keep the first measurement of each
+/// pair.
+fn unique_measurements(args: &Args) -> Vec<Measurement> {
+    let mut rows: Vec<Measurement> = Vec::new();
+    for m in args.measurements.borrow().iter() {
+        if !rows
+            .iter()
+            .any(|r| r.workload == m.workload && r.scheme == m.scheme)
+        {
+            rows.push(m.clone());
+        }
+    }
+    rows
+}
+
+/// Writes the cycle-ledger exports (`--ledger-out`): the JSON document,
+/// a `.csv` sibling, and a `.folded` flamegraph collapsed-stack
+/// sibling; prints the CPI-stack table; and runs the conservation gate,
+/// exiting nonzero if any partition's buckets do not sum exactly to the
+/// run's cycle count.
+fn write_ledger(args: &Args) {
+    let Some(path) = &args.ledger_out else {
+        return;
+    };
+    let rows = unique_measurements(args);
+    if rows.is_empty() {
+        fail(
+            &args.tel,
+            "--ledger-out needs at least one matrix experiment (e.g. fig6 or figrepro)".into(),
+        );
+    }
+    if let Err(e) = ledger_gate(&rows) {
+        fail(
+            &args.tel,
+            format!("cycle-ledger conservation violated:\n{e}"),
+        );
+    }
+    if let Err(e) = std::fs::write(path, ledger_json(&rows).to_string_pretty()) {
+        fail(
+            &args.tel,
+            format!("cannot write ledger to {}: {e}", path.display()),
+        );
+    }
+    let csv = path.with_extension("csv");
+    if let Err(e) = std::fs::write(&csv, ledger_csv(&rows)) {
+        fail(
+            &args.tel,
+            format!("cannot write ledger CSV to {}: {e}", csv.display()),
+        );
+    }
+    let folded = path.with_extension("folded");
+    if let Err(e) = std::fs::write(&folded, ledger_folded(&rows)) {
+        fail(
+            &args.tel,
+            format!("cannot write ledger stacks to {}: {e}", folded.display()),
+        );
+    }
+    println!("\n{}", cpi_stack_table(&rows));
+    println!(
+        "ledger gate OK: {} runs conservation-exact; written to {} (+ {} and {})",
+        rows.len(),
+        path.display(),
+        csv.display(),
+        folded.display()
+    );
 }
 
 /// Prints the cumulative scheduler dump when `--sched-stats` is active.
@@ -709,17 +826,7 @@ fn run_bench_gate(args: &Args) {
     if args.bench_out.is_none() && args.compare.is_none() {
         return;
     }
-    // Figures overlap in (workload, scheme) coverage; keep the first
-    // measurement of each pair so snapshot entries stay unique.
-    let mut rows: Vec<Measurement> = Vec::new();
-    for m in args.measurements.borrow().iter() {
-        if !rows
-            .iter()
-            .any(|r| r.workload == m.workload && r.scheme == m.scheme)
-        {
-            rows.push(m.clone());
-        }
-    }
+    let rows = unique_measurements(args);
     if rows.is_empty() {
         fail(
             &args.tel,
@@ -1021,6 +1128,8 @@ fn fig9(args: &Args, _cfg: &GpuConfig) {
             engine_stats: Vec::new(),
             avg_fill_latency: 0.0,
             detection_latency_mean: 0.0,
+            cpi_stack: Vec::new(),
+            ledger_partitions: Vec::new(),
         });
     }
     let path = args.save("fig9", &json_rows);
@@ -1107,6 +1216,25 @@ fn fig19(args: &Args, cfg: &GpuConfig) {
         best.1
     );
     let path = args.save("fig19", &rows);
+    println!("saved {}", path.display());
+}
+
+/// The figure-reproduction report: the canonical
+/// no-security/PSSM/common-counters/Plutus matrix rendered as a
+/// normalized-IPC table (paper Figs. 11-14 style) with per-scheme
+/// geomeans and the CPI stacks behind the numbers, flagging the
+/// degenerate all-schemes-at-1.0 state prominently.
+fn figrepro(args: &Args, cfg: &GpuConfig) {
+    let schemes = [
+        Scheme::None,
+        Scheme::Pssm,
+        Scheme::CommonCounters,
+        Scheme::Plutus,
+    ];
+    let rows = args.matrix(cfg, &schemes);
+    let cols = vec!["pssm".into(), "common-counters".into(), "plutus".into()];
+    print!("{}", figure_report(&rows, &cols));
+    let path = args.save("figrepro", &rows);
     println!("saved {}", path.display());
 }
 

@@ -90,6 +90,8 @@ mod tests {
             engine_stats: vec![("fills".into(), ops)],
             avg_fill_latency: 0.0,
             detection_latency_mean: 0.0,
+            cpi_stack: Vec::new(),
+            ledger_partitions: Vec::new(),
         }
     }
 

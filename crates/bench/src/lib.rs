@@ -24,7 +24,10 @@ pub use campaign::{
     Eq1Check,
 };
 pub use energy::EnergyModel;
-pub use report::{matrix_table, pct_change, save_json};
+pub use report::{
+    cpi_stack_table, degenerate_warning, degenerate_workloads, figure_report, ledger_csv,
+    ledger_folded, ledger_gate, ledger_json, matrix_table, pct_change, save_json, LEDGER_SCHEMA,
+};
 pub use runner::{
     geomean, recovery_schemes, run_matrix, run_matrix_with_telemetry, run_one, run_one_traced,
     run_one_with_telemetry, run_with_factory, try_run_matrix, try_run_matrix_on,

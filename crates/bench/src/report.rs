@@ -1,9 +1,17 @@
-//! Table formatting and JSON result persistence for the experiments.
+//! Table formatting and JSON result persistence for the experiments,
+//! including the cycle-ledger consumers: CPI-stack tables, ledger
+//! export documents (JSON / CSV / flamegraph collapsed stacks), the
+//! conservation gate, and the normalized-IPC figure-repro report with
+//! its degenerate-case detector.
 
 use crate::runner::{geomean, Measurement};
+use gpu_sim::StallBucket;
 use plutus_telemetry::Json;
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Schema tag stamped into every ledger export document.
+pub const LEDGER_SCHEMA: &str = "plutus-ledger/v1";
 
 /// Renders a per-workload × per-scheme table of one metric.
 ///
@@ -83,6 +91,219 @@ pub fn save_json(name: &str, rows: &[Measurement]) -> std::io::Result<std::path:
     Ok(path)
 }
 
+/// Sorted, deduplicated workload names of a measurement set.
+fn workload_names(rows: &[Measurement]) -> Vec<String> {
+    let mut names: Vec<String> = rows.iter().map(|r| r.workload.clone()).collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Renders the CPI stack of every (workload, scheme) row: one column
+/// per stall bucket, each cell the fraction of total cycles attributed
+/// to that bucket (buckets sum to 1.0 under the conservation
+/// invariant). Rows without a recorded ledger are skipped.
+pub fn cpi_stack_table(rows: &[Measurement]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<30}", "workload/scheme");
+    for b in StallBucket::ALL {
+        let _ = write!(out, "{:>16}", b.label());
+    }
+    out.push('\n');
+    for r in rows {
+        if r.cpi_stack.is_empty() {
+            continue;
+        }
+        let total: u64 = r.cpi_stack.iter().map(|(_, c)| *c).sum();
+        let denom = total.max(1) as f64;
+        let _ = write!(out, "{:<30}", format!("{}/{}", r.workload, r.scheme));
+        for (_, cycles) in &r.cpi_stack {
+            let _ = write!(out, "{:>16.4}", *cycles as f64 / denom);
+        }
+        out.push('\n');
+    }
+    out.push_str("(fractions of total cycles x partitions; rows sum to 1.0)\n");
+    out
+}
+
+/// Workloads whose schemes all finished in an identical cycle count —
+/// the degenerate state where every normalized IPC reads exactly 1.0
+/// and the figure reproduction is meaningless. Requires at least two
+/// schemes per workload to flag anything.
+pub fn degenerate_workloads(rows: &[Measurement]) -> Vec<String> {
+    workload_names(rows)
+        .into_iter()
+        .filter(|w| {
+            let cycles: Vec<u64> = rows
+                .iter()
+                .filter(|r| &r.workload == w)
+                .map(|r| r.cycles)
+                .collect();
+            cycles.len() >= 2 && cycles.iter().all(|&c| c == cycles[0])
+        })
+        .collect()
+}
+
+/// The prominent warning block for a degenerate measurement set, or
+/// `None` when at least one scheme pair differs per workload.
+pub fn degenerate_warning(rows: &[Measurement]) -> Option<String> {
+    let degenerate = degenerate_workloads(rows);
+    if degenerate.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    out.push_str("!!! DEGENERATE RESULT: every scheme finished in the identical cycle count on: ");
+    out.push_str(&degenerate.join(", "));
+    out.push('\n');
+    out.push_str(
+        "!!! All normalized IPCs read 1.0 — the configuration is not \
+         bandwidth-bound, so security traffic is free and the figure \
+         reproduction is vacuous. Increase --scale or shrink the DRAM \
+         bus before trusting these numbers.\n",
+    );
+    Some(out)
+}
+
+/// The figure-reproduction report (paper Figs. 11-14 style): the
+/// normalized-IPC table over `schemes`, per-scheme geomean slowdowns,
+/// the CPI stacks behind them, and — when every scheme of a workload
+/// ran in the identical cycle count — a prominent degenerate-case
+/// warning.
+pub fn figure_report(rows: &[Measurement], schemes: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("Normalized IPC (paper Figs. 11-14 style):\n");
+    out.push_str(&matrix_table(
+        rows,
+        schemes,
+        |m| m.norm_ipc,
+        "IPC normalized to no security",
+    ));
+    for s in schemes {
+        let g = geomean(rows.iter().filter(|r| &r.scheme == s).map(|r| r.norm_ipc));
+        let _ = writeln!(out, "{s}: {:.1}% of insecure IPC on geomean", g * 100.0);
+    }
+    out.push('\n');
+    out.push_str(&cpi_stack_table(rows));
+    match degenerate_warning(rows) {
+        Some(w) => out.push_str(&w),
+        None => out.push_str("degenerate-case check OK: scheme cycle counts differ per workload\n"),
+    }
+    out
+}
+
+/// One ledger entry as JSON: identity, cycles, the partition-summed
+/// CPI stack, and the raw per-partition bucket matrix.
+fn ledger_entry_json(m: &Measurement) -> Json {
+    let stack = m
+        .cpi_stack
+        .iter()
+        .fold(Json::object(), |o, (k, v)| o.set(k, *v));
+    let partitions = Json::Array(
+        m.ledger_partitions
+            .iter()
+            .map(|p| Json::Array(p.iter().map(|&c| Json::from(c)).collect()))
+            .collect(),
+    );
+    Json::object()
+        .set("workload", m.workload.as_str())
+        .set("scheme", m.scheme.as_str())
+        .set("cycles", m.cycles)
+        .set("cpi_stack", stack)
+        .set("partitions", partitions)
+}
+
+/// The `--ledger-out` JSON document: bucket taxonomy plus one entry
+/// per (workload, scheme) with the summed CPI stack and the raw
+/// per-partition matrix.
+pub fn ledger_json(rows: &[Measurement]) -> Json {
+    Json::object()
+        .set("schema", LEDGER_SCHEMA)
+        .set(
+            "buckets",
+            Json::Array(
+                StallBucket::ALL
+                    .iter()
+                    .map(|b| Json::from(b.label()))
+                    .collect(),
+            ),
+        )
+        .set(
+            "entries",
+            Json::Array(rows.iter().map(ledger_entry_json).collect()),
+        )
+}
+
+/// The `--ledger-out` CSV sibling: one line per
+/// (workload, scheme, partition, bucket) with the attributed cycles.
+pub fn ledger_csv(rows: &[Measurement]) -> String {
+    let mut out = String::from("workload,scheme,partition,bucket,cycles\n");
+    for m in rows {
+        for (p, buckets) in m.ledger_partitions.iter().enumerate() {
+            for (b, cycles) in StallBucket::ALL.iter().zip(buckets) {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{}",
+                    m.workload,
+                    m.scheme,
+                    p,
+                    b.label(),
+                    cycles
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Flamegraph collapsed stacks for the cycle ledger —
+/// `workload;scheme;bucket cycles` lines, same format the causal-trace
+/// `--trace-out` `.folded` sibling uses, so the existing flamegraph
+/// tooling renders CPI stacks unchanged. Zero-cycle buckets are
+/// omitted.
+pub fn ledger_folded(rows: &[Measurement]) -> String {
+    let mut out = String::new();
+    for m in rows {
+        for (label, cycles) in &m.cpi_stack {
+            if *cycles > 0 {
+                let _ = writeln!(out, "{};{};{label} {cycles}", m.workload, m.scheme);
+            }
+        }
+    }
+    out
+}
+
+/// The conservation gate: every partition's bucket cycles must sum to
+/// exactly the run's cycle count, for every measurement. Returns one
+/// line per violation; measurements without a recorded ledger are
+/// violations too (the ledger must never silently disappear).
+///
+/// # Errors
+///
+/// Returns every conservation violation, one line each.
+pub fn ledger_gate(rows: &[Measurement]) -> Result<(), String> {
+    let mut violations = Vec::new();
+    for m in rows {
+        if m.ledger_partitions.is_empty() {
+            violations.push(format!("{}/{}: no ledger recorded", m.workload, m.scheme));
+            continue;
+        }
+        for (p, buckets) in m.ledger_partitions.iter().enumerate() {
+            let total: u64 = buckets.iter().sum();
+            if total != m.cycles {
+                violations.push(format!(
+                    "{}/{} partition {p}: ledger sums to {total} cycles, run took {}",
+                    m.workload, m.scheme, m.cycles
+                ));
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
 /// Percentage-change helper: `(new / old - 1) × 100`.
 pub fn pct_change(new: f64, old: f64) -> f64 {
     if old == 0.0 {
@@ -97,18 +318,40 @@ mod tests {
     use super::*;
 
     fn meas(w: &str, s: &str, ipc: f64) -> Measurement {
+        meas_cycles(w, s, ipc, 100)
+    }
+
+    fn meas_cycles(w: &str, s: &str, ipc: f64, cycles: u64) -> Measurement {
+        // A two-partition ledger that conserves: issue + data_fill per
+        // partition sums to `cycles`.
+        let mut part = vec![0u64; gpu_sim::NUM_STALL_BUCKETS];
+        part[StallBucket::Issue.idx()] = cycles / 2;
+        part[StallBucket::DataFill.idx()] = cycles - cycles / 2;
+        let ledger = vec![part.clone(), part];
+        let mut stack = vec![0u64; gpu_sim::NUM_STALL_BUCKETS];
+        for p in &ledger {
+            for (acc, v) in stack.iter_mut().zip(p) {
+                *acc += v;
+            }
+        }
         Measurement {
             workload: w.into(),
             scheme: s.into(),
             ipc,
             norm_ipc: ipc,
-            cycles: 100,
+            cycles,
             total_bytes: 0,
             metadata_bytes: 0,
             class_bytes: Vec::new(),
             engine_stats: Vec::new(),
             avg_fill_latency: 0.0,
             detection_latency_mean: 0.0,
+            cpi_stack: StallBucket::ALL
+                .iter()
+                .zip(stack)
+                .map(|(b, c)| (b.label().to_string(), c))
+                .collect(),
+            ledger_partitions: ledger,
         }
     }
 
@@ -138,5 +381,96 @@ mod tests {
     fn pct_change_math() {
         assert!((pct_change(1.1, 1.0) - 10.0).abs() < 1e-9);
         assert_eq!(pct_change(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn cpi_stack_rows_render_as_fractions() {
+        let rows = vec![meas("bfs", "pssm", 0.8)];
+        let t = cpi_stack_table(&rows);
+        assert!(t.contains("bfs/pssm"));
+        assert!(t.contains("issue"));
+        assert!(t.contains("data_fill"));
+        assert!(t.contains("0.5000"));
+    }
+
+    #[test]
+    fn degenerate_detection_needs_identical_cycles_across_schemes() {
+        let degenerate = vec![
+            meas_cycles("bfs", "no-security", 1.0, 100),
+            meas_cycles("bfs", "pssm", 1.0, 100),
+        ];
+        assert_eq!(degenerate_workloads(&degenerate), vec!["bfs".to_string()]);
+        assert!(degenerate_warning(&degenerate)
+            .unwrap()
+            .contains("DEGENERATE"));
+
+        let healthy = vec![
+            meas_cycles("bfs", "no-security", 1.0, 100),
+            meas_cycles("bfs", "pssm", 0.8, 130),
+        ];
+        assert!(degenerate_workloads(&healthy).is_empty());
+        assert!(degenerate_warning(&healthy).is_none());
+
+        // A lone scheme can't be judged degenerate.
+        let single = vec![meas_cycles("bfs", "pssm", 1.0, 100)];
+        assert!(degenerate_workloads(&single).is_empty());
+    }
+
+    #[test]
+    fn figure_report_flags_degenerate_and_healthy_states() {
+        let schemes = vec!["pssm".to_string()];
+        let degenerate = vec![
+            meas_cycles("bfs", "no-security", 1.0, 100),
+            meas_cycles("bfs", "pssm", 1.0, 100),
+        ];
+        let r = figure_report(&degenerate, &schemes);
+        assert!(r.contains("Normalized IPC"));
+        assert!(r.contains("DEGENERATE"));
+
+        let healthy = vec![
+            meas_cycles("bfs", "no-security", 1.0, 100),
+            meas_cycles("bfs", "pssm", 0.8, 130),
+        ];
+        assert!(figure_report(&healthy, &schemes).contains("degenerate-case check OK"));
+    }
+
+    #[test]
+    fn ledger_exports_carry_every_bucket() {
+        let rows = vec![meas("bfs", "pssm", 0.8)];
+        let doc = ledger_json(&rows);
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(LEDGER_SCHEMA));
+        let buckets = doc.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), gpu_sim::NUM_STALL_BUCKETS);
+        let entries = doc.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        let parts = entries[0].get("partitions").unwrap().as_array().unwrap();
+        assert_eq!(parts.len(), 2);
+
+        let csv = ledger_csv(&rows);
+        assert!(csv.starts_with("workload,scheme,partition,bucket,cycles"));
+        assert!(csv.contains("bfs,pssm,1,issue,50"));
+
+        let folded = ledger_folded(&rows);
+        assert!(folded.contains("bfs;pssm;issue 100"));
+        // Zero-cycle buckets stay out of the flamegraph.
+        assert!(!folded.contains("mshr_full"));
+    }
+
+    #[test]
+    fn ledger_gate_rejects_leaks_and_missing_ledgers() {
+        let good = vec![meas("bfs", "pssm", 0.8)];
+        assert!(ledger_gate(&good).is_ok());
+
+        let mut leaking = meas("bfs", "pssm", 0.8);
+        leaking.ledger_partitions[0][0] += 1;
+        let err = ledger_gate(&[leaking]).unwrap_err();
+        assert!(err.contains("partition 0"));
+        assert!(err.contains("sums to 101"));
+
+        let mut missing = meas("bfs", "pssm", 0.8);
+        missing.ledger_partitions.clear();
+        assert!(ledger_gate(&[missing])
+            .unwrap_err()
+            .contains("no ledger recorded"));
     }
 }

@@ -128,7 +128,8 @@ pub enum RunnerError {
     /// A workload's worker thread panicked; the message carries
     /// whatever payload the panic unwound with.
     WorkerPanicked {
-        /// Workload whose thread died.
+        /// Job label of the thread that died (matrix jobs are labelled
+        /// `workload/scheme`).
         workload: String,
         /// Stringified panic payload.
         message: String,
@@ -260,6 +261,13 @@ pub struct Measurement {
     /// Mean violation-detection latency in cycles (0.0 when the run
     /// raised no violations).
     pub detection_latency_mean: f64,
+    /// CPI-stack totals `(bucket label, cycles)` summed across
+    /// partitions, in [`gpu_sim::StallBucket::ALL`] order.
+    pub cpi_stack: Vec<(String, u64)>,
+    /// Per-partition cycle-ledger buckets, in
+    /// [`gpu_sim::StallBucket::ALL`] order; each inner vector sums to
+    /// the run's cycle count (the conservation invariant).
+    pub ledger_partitions: Vec<Vec<u64>>,
 }
 
 fn measurement_of(w: &WorkloadSpec, scheme: Scheme, r: &SimResult, base_ipc: f64) -> Measurement {
@@ -287,6 +295,12 @@ fn measurement_of(w: &WorkloadSpec, scheme: Scheme, r: &SimResult, base_ipc: f64
         } else {
             detections.iter().map(|v| v.latency as f64).sum::<f64>() / detections.len() as f64
         },
+        cpi_stack: gpu_sim::StallBucket::ALL
+            .iter()
+            .zip(r.stats.cpi_stack())
+            .map(|(b, cycles)| (b.label().to_string(), cycles))
+            .collect(),
+        ledger_partitions: r.stats.ledgers.iter().map(|l| l.buckets.to_vec()).collect(),
     }
 }
 
@@ -348,7 +362,11 @@ pub fn try_run_matrix_on(
     // normalization denominator every other job of that workload needs.
     let baseline_jobs: Vec<Job<'_, SimResult>> = workloads
         .iter()
-        .map(|w| Job::new(w.name, move || run_one(w, Scheme::None, scale, cfg)))
+        .map(|w| {
+            Job::new(format!("{}/{}", w.name, Scheme::None.label()), move || {
+                run_one(w, Scheme::None, scale, cfg)
+            })
+        })
         .collect();
     let baselines = values_or_first_panic(exec.run(baseline_jobs))?;
 
@@ -358,7 +376,10 @@ pub fn try_run_matrix_on(
     for w in workloads {
         for &scheme in schemes {
             if scheme != Scheme::None {
-                scheme_jobs.push(Job::new(w.name, move || run_one(w, scheme, scale, cfg)));
+                scheme_jobs.push(Job::new(
+                    format!("{}/{}", w.name, scheme.label()),
+                    move || run_one(w, scheme, scale, cfg),
+                ));
             }
         }
     }
@@ -472,7 +493,7 @@ pub fn try_run_matrix_traced_on(
     let baseline_jobs: Vec<Job<'_, (SimResult, TracedRun)>> = workloads
         .iter()
         .map(|w| {
-            Job::new(w.name, move || {
+            Job::new(format!("{}/{}", w.name, Scheme::None.label()), move || {
                 run_one_traced(w, Scheme::None, scale, cfg, sample, capacity)
             })
         })
@@ -484,9 +505,10 @@ pub fn try_run_matrix_traced_on(
     for w in workloads {
         for &scheme in schemes {
             if scheme != Scheme::None {
-                scheme_jobs.push(Job::new(w.name, move || {
-                    run_one_traced(w, scheme, scale, cfg, sample, capacity)
-                }));
+                scheme_jobs.push(Job::new(
+                    format!("{}/{}", w.name, scheme.label()),
+                    move || run_one_traced(w, scheme, scale, cfg, sample, capacity),
+                ));
             }
         }
     }
@@ -633,6 +655,30 @@ mod tests {
                 message: "boom".into(),
             }
         );
+    }
+
+    #[test]
+    fn measurements_carry_conserving_ledgers() {
+        let w = [by_name("histo").unwrap()];
+        let rows = run_matrix(&w, &[Scheme::None, Scheme::Pssm], Scale::Test, &small_cfg());
+        for r in &rows {
+            assert!(!r.ledger_partitions.is_empty());
+            for (p, buckets) in r.ledger_partitions.iter().enumerate() {
+                assert_eq!(
+                    buckets.iter().sum::<u64>(),
+                    r.cycles,
+                    "{}/{} partition {p} must conserve",
+                    r.workload,
+                    r.scheme
+                );
+            }
+            let stack_total: u64 = r.cpi_stack.iter().map(|(_, c)| *c).sum();
+            assert_eq!(
+                stack_total,
+                r.cycles * r.ledger_partitions.len() as u64,
+                "summed CPI stack must equal cycles x partitions"
+            );
+        }
     }
 
     #[test]

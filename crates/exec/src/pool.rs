@@ -4,9 +4,9 @@ use crate::stats::{SchedStats, StatsAcc, WorkerLocal};
 use plutus_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One schedulable unit of work: a label (used when reporting panics)
 /// and a closure producing the job's result.
@@ -98,6 +98,43 @@ struct Inner {
     batches_ctr: Counter,
     panics_ctr: Counter,
     stats: Mutex<StatsAcc>,
+    /// Heartbeat interval in milliseconds; 0 disables progress lines.
+    heartbeat_ms: AtomicU64,
+}
+
+/// Progress state shared between a `run` call and its heartbeat thread:
+/// jobs finished, labels currently executing, and the run's start time.
+struct HeartbeatState {
+    done: AtomicUsize,
+    total: usize,
+    running: Mutex<Vec<String>>,
+    stop: AtomicBool,
+    start: Instant,
+}
+
+impl HeartbeatState {
+    fn begin(&self, label: &str) {
+        self.running.lock().unwrap().push(label.to_string());
+    }
+
+    fn finish(&self, label: &str) {
+        let mut running = self.running.lock().unwrap();
+        if let Some(pos) = running.iter().position(|l| l == label) {
+            running.remove(pos);
+        }
+        drop(running);
+        self.done.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn print_line(&self) {
+        let running = self.running.lock().unwrap().join(", ");
+        eprintln!(
+            "[plutus-exec] {}/{} jobs done, elapsed {:.0}s, running: [{running}]",
+            self.done.load(Ordering::SeqCst),
+            self.total,
+            self.start.elapsed().as_secs_f64(),
+        );
+    }
 }
 
 /// The bounded work-stealing executor. Clones share one worker cap,
@@ -148,8 +185,58 @@ impl Executor {
                 panics_ctr: tel.counter("sched.panics"),
                 tel,
                 stats: Mutex::new(StatsAcc::default()),
+                heartbeat_ms: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Enables periodic progress lines on stderr during every `run`
+    /// call: jobs done/total, the labels currently executing, and
+    /// elapsed wall time, printed every `interval`. Intervals under one
+    /// millisecond are clamped up; clones of this executor share the
+    /// setting.
+    pub fn set_heartbeat(&self, interval: Duration) {
+        let ms = u64::try_from(interval.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        self.inner.heartbeat_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// Spawns the heartbeat monitor for a `run` of `total` jobs, if
+    /// enabled. The monitor wakes frequently but prints only at the
+    /// configured interval, so stopping it is prompt.
+    fn start_heartbeat(
+        &self,
+        total: usize,
+    ) -> Option<(Arc<HeartbeatState>, std::thread::JoinHandle<()>)> {
+        let ms = self.inner.heartbeat_ms.load(Ordering::SeqCst);
+        if ms == 0 {
+            return None;
+        }
+        let state = Arc::new(HeartbeatState {
+            done: AtomicUsize::new(0),
+            total,
+            running: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            start: Instant::now(),
+        });
+        let shared = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let interval = Duration::from_millis(ms);
+            let tick = Duration::from_millis(25).min(interval);
+            let mut next = interval;
+            while !shared.stop.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if shared.start.elapsed() >= next {
+                    shared.print_line();
+                    next += interval;
+                }
+            }
+        });
+        Some((state, handle))
     }
 
     /// A single-worker pool: jobs run on the calling thread, in
@@ -186,17 +273,23 @@ impl Executor {
             return Vec::new();
         }
         let workers = self.inner.workers.min(n);
+        let heartbeat = self.start_heartbeat(n);
+        let hb = heartbeat.as_ref().map(|(state, _)| state.as_ref());
         let submitted = Instant::now();
         let results = if workers == 1 {
-            self.run_inline(jobs, submitted)
+            self.run_inline(jobs, submitted, hb)
         } else {
-            self.run_stealing(jobs, workers, submitted)
+            self.run_stealing(jobs, workers, submitted, hb)
         };
         self.inner
             .stats
             .lock()
             .unwrap()
             .close_run(submitted.elapsed().as_nanos());
+        if let Some((state, handle)) = heartbeat {
+            state.stop.store(true, Ordering::SeqCst);
+            handle.join().ok();
+        }
         results
     }
 
@@ -206,11 +299,12 @@ impl Executor {
         &self,
         jobs: Vec<Job<'a, T>>,
         submitted: Instant,
+        hb: Option<&HeartbeatState>,
     ) -> Vec<Result<T, JobPanic>> {
         let mut local = WorkerLocal::default();
         let out: Vec<Result<T, JobPanic>> = jobs
             .into_iter()
-            .map(|job| self.execute(job, submitted, &mut local))
+            .map(|job| self.execute(job, submitted, &mut local, hb))
             .collect();
         self.publish_worker_counters(&local);
         let mut acc = self.inner.stats.lock().unwrap();
@@ -233,6 +327,7 @@ impl Executor {
         jobs: Vec<Job<'a, T>>,
         workers: usize,
         submitted: Instant,
+        hb: Option<&HeartbeatState>,
     ) -> Vec<Result<T, JobPanic>> {
         let n = jobs.len();
         let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
@@ -278,7 +373,7 @@ impl Executor {
                                     claimed.fetch_add(1, Ordering::SeqCst);
                                     let depth = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                                     peak.fetch_max(depth, Ordering::SeqCst);
-                                    let res = self.execute(job, submitted, &mut local);
+                                    let res = self.execute(job, submitted, &mut local, hb);
                                     in_flight.fetch_sub(1, Ordering::SeqCst);
                                     *slots[idx].lock().unwrap() = Some(res);
                                 }
@@ -318,17 +413,25 @@ impl Executor {
             .collect()
     }
 
-    /// Runs one job with full timing/panic accounting.
+    /// Runs one job with full timing/panic accounting, reporting to the
+    /// heartbeat monitor when one is active.
     fn execute<T>(
         &self,
         job: Job<'_, T>,
         submitted: Instant,
         local: &mut WorkerLocal,
+        hb: Option<&HeartbeatState>,
     ) -> Result<T, JobPanic> {
         let start = Instant::now();
         let queue_ns = start.duration_since(submitted).as_nanos() as u64;
         let Job { label, run } = job;
+        if let Some(h) = hb {
+            h.begin(&label);
+        }
         let outcome = catch_unwind(AssertUnwindSafe(run));
+        if let Some(h) = hb {
+            h.finish(&label);
+        }
         let exec_ns = start.elapsed().as_nanos() as u64;
         self.inner.queue_ns.record(queue_ns);
         self.inner.exec_ns.record(exec_ns);
@@ -548,6 +651,24 @@ mod tests {
         let out = pool.run(vec![Job::new("here", move || std::thread::current().id())]);
         assert_eq!(out[0].as_ref().unwrap(), &caller);
         assert_eq!(pool.stats().peak_in_flight, 1);
+    }
+
+    #[test]
+    fn heartbeat_does_not_perturb_results() {
+        for workers in [1, 4] {
+            let pool = Executor::new(Some(workers));
+            pool.set_heartbeat(std::time::Duration::from_millis(1));
+            let jobs: Vec<Job<'_, usize>> = (0..16)
+                .map(|i| {
+                    Job::new(format!("hb{i}"), move || {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        i
+                    })
+                })
+                .collect();
+            let out: Vec<usize> = pool.run(jobs).into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(out, (0..16).collect::<Vec<_>>(), "workers={workers}");
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod fault;
+pub mod ledger;
 pub mod mem;
 pub mod security;
 pub mod sim;
@@ -51,7 +52,9 @@ pub use address::{
     partition_of, BlockAddr, SectorAddr, BLOCK_SIZE, SECTORS_PER_BLOCK, SECTOR_SIZE,
 };
 pub use config::{DramConfig, GpuConfig, SecurityLatencies};
+pub use dram::{BankStat, DramBreakdown};
 pub use fault::{FaultKind, FaultSchedule, FaultTrigger, ScheduledFault};
+pub use ledger::{CycleLedger, LedgerWeights, PartitionLedger, StallBucket, NUM_STALL_BUCKETS};
 pub use mem::BackingMemory;
 pub use security::{
     DetectionLayer, DramReq, EngineFactory, FillPlan, MetaFault, NoSecurityEngine, RecoveryError,
@@ -59,8 +62,8 @@ pub use security::{
 };
 pub use sim::{CrashAudit, SimResult, Simulator};
 pub use stats::{
-    FaultOutcome, FaultRecord, SimStats, TrafficClass, TransientOutcome, TransientRecord,
-    ViolationRecord,
+    DramStats, FaultOutcome, FaultRecord, SimStats, TrafficClass, TransientOutcome,
+    TransientRecord, ViolationRecord,
 };
 pub use trace::{AccessKind, Trace, TraceAccess};
 pub use transient::{RetryPolicy, TransientConfig, TransientKind, TransientSampler};

@@ -20,17 +20,18 @@ use crate::cache::{EvictedSector, SectoredCache};
 use crate::config::GpuConfig;
 use crate::dram::DramChannel;
 use crate::fault::{FaultKind, FaultSchedule, ScheduledFault};
+use crate::ledger::{CycleLedger, LedgerWeights, StallBucket, NUM_STALL_BUCKETS};
 use crate::mem::BackingMemory;
 use crate::security::{
     EngineFactory, FillPlan, MetaFault, RecoveryError, RecoveryReport, SecurityEngine, Violation,
 };
 use crate::stats::{
-    FaultOutcome, FaultRecord, SimStats, TrafficClass, TransientOutcome, TransientRecord,
-    ViolationRecord,
+    DramStats, FaultOutcome, FaultRecord, SimStats, TrafficClass, TransientOutcome,
+    TransientRecord, ViolationRecord,
 };
 use crate::trace::{AccessKind, Trace, TraceAccess};
 use crate::transient::{RetryPolicy, TransientConfig, TransientKind, TransientSampler};
-use plutus_telemetry::{Counter, Event as TelEvent, Histogram, Telemetry, TraceId, Tracer};
+use plutus_telemetry::{Counter, Event as TelEvent, Gauge, Histogram, Telemetry, TraceId, Tracer};
 use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -130,10 +131,12 @@ struct Partition {
     l2: Vec<SectoredCache>,
     mshr: HashMap<SectorAddr, MshrEntry>,
     mshr_capacity: usize,
-    /// Accesses waiting for a free MSHR, admitted in FIFO order as fills
+    /// Accesses waiting for a free MSHR (with the cycle they started
+    /// waiting at, so the ledger can charge the wait to
+    /// [`StallBucket::MshrFull`]), admitted in FIFO order as fills
     /// complete (avoids retry storms that would synchronize warps into
     /// convoys).
-    pending: VecDeque<TraceAccess>,
+    pending: VecDeque<(TraceAccess, u64)>,
     dram: DramChannel,
     engine: Box<dyn SecurityEngine>,
 }
@@ -155,6 +158,13 @@ struct SimTelemetry {
     mshr_merges: Counter,
     mshr_stalls: Counter,
     violations: Counter,
+    /// Per-bucket cycle-ledger counters (`ledger.<bucket>`), indexed by
+    /// [`StallBucket::idx`]; epoch deltas give the CPI-stack time series.
+    ledger_ctrs: [Counter; NUM_STALL_BUCKETS],
+    /// Aggregate DRAM bus backlog at the last epoch sample, bytes.
+    backlog_gauge: Gauge,
+    /// Aggregate MSHR occupancy at the last epoch sample.
+    mshr_gauge: Gauge,
     /// Fill latency (arrival at the controller → verified data), cycles.
     fill_latency: Histogram,
     /// The causal flight recorder (disarmed unless the run enabled
@@ -179,6 +189,9 @@ impl SimTelemetry {
             mshr_merges: tel.counter("mshr.merges"),
             mshr_stalls: tel.counter("mshr.stalls"),
             violations: tel.counter("violations"),
+            ledger_ctrs: StallBucket::ALL.map(|b| tel.counter(&format!("ledger.{}", b.label()))),
+            backlog_gauge: tel.gauge("dram.backlog_bytes"),
+            mshr_gauge: tel.gauge("mshr.occupancy"),
             fill_latency: tel.histogram("fill.latency_cycles"),
             tracer: tel.tracer(),
             cur_root: Cell::new(TraceId::NONE),
@@ -205,6 +218,39 @@ fn book_traffic(
     }
     tel.tracer
         .traffic(tel.cur_root.get(), class.label(), bytes, is_write, level);
+}
+
+/// Commits one activity span into the cycle ledger and mirrors the
+/// attributed deltas into the per-bucket telemetry counters (free
+/// function so callers can hold disjoint borrows of other `Simulator`
+/// fields).
+fn commit_ledger(
+    ledger: &mut CycleLedger,
+    tel: &SimTelemetry,
+    p: usize,
+    start: u64,
+    end: u64,
+    weights: &LedgerWeights,
+    fallback: StallBucket,
+) {
+    let delta = ledger.commit(p, start, end, weights, fallback);
+    for (c, d) in tel.ledger_ctrs.iter().zip(delta.iter()) {
+        c.add(*d);
+    }
+}
+
+/// Folds one DRAM request's wait breakdown into ledger weights: service
+/// (activation + burst + CAS) is charged to the request's traffic class,
+/// bank serialization to [`StallBucket::BankConflict`], and bus-queue
+/// drain to [`StallBucket::BusBacklog`].
+fn weigh_breakdown(
+    weights: &mut LedgerWeights,
+    class: TrafficClass,
+    rep: &crate::dram::DramBreakdown,
+) {
+    weights.add_class(class, rep.activation + rep.service);
+    weights.add(StallBucket::BankConflict, rep.bank_wait);
+    weights.add(StallBucket::BusBacklog, rep.backlog_wait);
 }
 
 /// Result of a completed simulation.
@@ -278,6 +324,9 @@ pub struct Simulator {
     checkpoint_interval: Option<u64>,
     next_checkpoint_at: u64,
     checkpoint: Option<CheckpointState>,
+    /// The per-partition cycle ledger (CPI-stack attribution), closed at
+    /// finalize.
+    ledger: CycleLedger,
     /// Whether the warp pool has been launched (guards re-entry of
     /// [`Simulator::run_until`]).
     started: bool,
@@ -348,6 +397,7 @@ impl Simulator {
         }
 
         let simtel = SimTelemetry::new(&tel);
+        let ledger = CycleLedger::new(cfg.partitions);
         Self {
             cfg,
             trace,
@@ -374,6 +424,7 @@ impl Simulator {
             checkpoint_interval: None,
             next_checkpoint_at: u64::MAX,
             checkpoint: None,
+            ledger,
             started: false,
             last_event_time: 0,
         }
@@ -533,7 +584,7 @@ impl Simulator {
             }
             match ev.kind {
                 EventKind::WarpNext { warp } => self.warp_next(ev.time, warp),
-                EventKind::Arrive { access } => self.arrive(ev.time, access),
+                EventKind::Arrive { access } => self.arrive(ev.time, access, 0),
                 EventKind::FillDone { partition, sector } => {
                     self.fill_done(ev.time, partition as usize, sector)
                 }
@@ -561,11 +612,23 @@ impl Simulator {
     }
 
     /// Closes every epoch boundary at or before `now` (several may pass at
-    /// once when the event queue jumps across idle time).
+    /// once when the event queue jumps across idle time). Utilization
+    /// gauges — aggregate bus backlog and MSHR occupancy — are sampled
+    /// as-of `now` so epoch snapshots carry the DRAM-pressure timeline.
     fn roll_epochs(&mut self, now: u64) {
         let Some(interval) = self.epoch_interval else {
             return;
         };
+        if now >= self.next_epoch_at {
+            let backlog: u64 = self
+                .partitions
+                .iter()
+                .map(|p| p.dram.backlog_bytes_at(now))
+                .sum();
+            self.simtel.backlog_gauge.set(backlog);
+            let occupancy: u64 = self.partitions.iter().map(|p| p.mshr.len() as u64).sum();
+            self.simtel.mshr_gauge.set(occupancy);
+        }
         while now >= self.next_epoch_at {
             self.tel.end_epoch(&format!("cycle-{}", self.next_epoch_at));
             self.next_epoch_at += interval;
@@ -804,6 +867,35 @@ impl Simulator {
 
     fn finalize(&mut self) -> SimResult {
         self.stats.cycles = self.horizon;
+        // Close the cycle ledger at the horizon: remaining unattributed
+        // time becomes issue/compute, overruns from early halts are
+        // trimmed, and conservation (bucket sums == cycles per partition)
+        // holds from here on.
+        let issue_tail = self.ledger.close(self.horizon);
+        self.simtel.ledger_ctrs[StallBucket::Issue.idx()].add(issue_tail);
+        self.stats.ledgers = self.ledger.ledgers();
+        // Aggregate DRAM internals across partitions: per-bank counters
+        // sum by bank index, the backlog high-water mark takes the
+        // deepest single channel.
+        let mut dram = DramStats {
+            per_bank: vec![crate::dram::BankStat::default(); self.cfg.dram.banks],
+            ..DramStats::default()
+        };
+        for p in &self.partitions {
+            let (h, m) = p.dram.row_stats();
+            dram.row_hits += h;
+            dram.row_misses += m;
+            dram.backlog_hwm_bytes = dram
+                .backlog_hwm_bytes
+                .max(p.dram.backlog_high_water_bytes());
+            for (agg, b) in dram.per_bank.iter_mut().zip(p.dram.bank_stats()) {
+                agg.row_hits += b.row_hits;
+                agg.row_misses += b.row_misses;
+                agg.busy_cycles += b.busy_cycles;
+                dram.bank_busy_cycles += b.busy_cycles;
+            }
+        }
+        self.stats.dram = dram;
         // Faults never verified again resolve as unobserved; sort for
         // deterministic record order (the armed map is a HashMap).
         let mut leftovers: Vec<(u64, ArmedFault)> = self.armed.drain().collect();
@@ -877,7 +969,11 @@ impl Simulator {
         (idx % self.cfg.l2_banks_per_partition as u64) as usize
     }
 
-    fn arrive(&mut self, now: u64, access: TraceAccess) {
+    /// Handles an access arriving at its partition. `mshr_wait` is the
+    /// cycles the access already spent queued for a free MSHR (nonzero
+    /// only when re-admitted from the pending queue); the ledger charges
+    /// it to [`StallBucket::MshrFull`].
+    fn arrive(&mut self, now: u64, access: TraceAccess, mshr_wait: u64) {
         let sector = access.addr;
         let p_idx = partition_of(sector.block(), self.cfg.partitions);
         let bank = self.bank_of(sector);
@@ -922,14 +1018,18 @@ impl Simulator {
                 if self.partitions[p_idx].mshr.len() >= self.partitions[p_idx].mshr_capacity {
                     self.stats.mshr_stalls += 1;
                     self.simtel.mshr_stalls.inc();
-                    self.partitions[p_idx].pending.push_back(access);
+                    // Back-date the queue entry by any wait already served
+                    // so the accumulated MSHR wait survives re-queueing.
+                    self.partitions[p_idx]
+                        .pending
+                        .push_back((access, now - mshr_wait.min(now)));
                     return;
                 }
                 self.stats.l2_misses += 1;
                 self.simtel.l2_misses.inc();
                 let outcome = self.partitions[p_idx].l2[bank].access(sector.raw(), false, None);
                 self.handle_evictions(now, p_idx, &outcome.evicted);
-                let (ready, plaintext) = self.execute_fill(now, p_idx, sector);
+                let (ready, plaintext) = self.execute_fill(now, p_idx, sector, mshr_wait);
                 self.partitions[p_idx].mshr.insert(
                     sector,
                     MshrEntry {
@@ -966,30 +1066,38 @@ impl Simulator {
         // Admit queued accesses while MSHRs are free (merges and hits do
         // not consume a slot, so keep draining).
         while self.partitions[p_idx].mshr.len() < self.partitions[p_idx].mshr_capacity {
-            let Some(next) = self.partitions[p_idx].pending.pop_front() else {
+            let Some((next, queued_at)) = self.partitions[p_idx].pending.pop_front() else {
                 break;
             };
-            self.arrive(now, next);
+            self.arrive(now, next, now.saturating_sub(queued_at));
         }
     }
 
     /// Books the data + metadata DRAM requests of one fill attempt
-    /// starting at `start` and returns the cycle at which the verified
-    /// plaintext is ready at the controller.
+    /// starting at `start`, accumulating stall-attribution weights into
+    /// `weights`. Returns `(ready, end)`: the cycle at which the verified
+    /// plaintext is ready at the controller, and the end of all DRAM
+    /// activity booked by this attempt (≥ `ready`; async reads and
+    /// writes can outlive the fill).
     fn book_fill_plan(
         &mut self,
         start: u64,
         p_idx: usize,
         sector: SectorAddr,
         plan: &FillPlan,
-    ) -> u64 {
+        weights: &mut LedgerWeights,
+    ) -> (u64, u64) {
         let part = &mut self.partitions[p_idx];
         // All of a fill's DRAM requests book bus bandwidth at issue time;
         // dependence chains (counter → tree levels, deferred MAC) extend
         // the fill's *latency* only. Bandwidth contention stays exact while
         // latency — which the warp pool hides — is approximated, keeping
         // the simulator in the paper's bandwidth-bound regime.
-        let data_done = part.dram.access(start, sector.raw(), SECTOR_SIZE as u32);
+        let rep = part
+            .dram
+            .access_report(start, sector.raw(), SECTOR_SIZE as u32);
+        weigh_breakdown(weights, TrafficClass::Data, &rep);
+        let data_done = rep.done;
         book_traffic(
             &mut self.stats,
             &self.simtel,
@@ -1000,15 +1108,19 @@ impl Simulator {
         );
 
         let mut ready = data_done;
+        let mut end = data_done;
         let serial = self.cfg.serial_metadata_chains;
         for chain in &plan.pre_chains {
             let mut t = start;
             for (i, req) in chain.iter().enumerate() {
-                let done = part.dram.access(start, req.addr, req.bytes);
+                let rep = part.dram.access_report(start, req.addr, req.bytes);
+                weigh_breakdown(weights, req.class, &rep);
                 if serial && i > 0 {
-                    t += part.dram.unloaded_latency(req.bytes);
+                    let unloaded = part.dram.unloaded_latency(req.bytes);
+                    weights.add_class(req.class, unloaded);
+                    t += unloaded;
                 } else {
-                    t = t.max(done);
+                    t = t.max(rep.done);
                 }
                 book_traffic(
                     &mut self.stats,
@@ -1024,8 +1136,11 @@ impl Simulator {
         ready += plan.crypto_latency;
         if !plan.post_chain.is_empty() || plan.post_latency > 0 {
             for req in &plan.post_chain {
-                part.dram.access(start, req.addr, req.bytes);
-                ready += part.dram.unloaded_latency(req.bytes);
+                let rep = part.dram.access_report(start, req.addr, req.bytes);
+                weigh_breakdown(weights, req.class, &rep);
+                let unloaded = part.dram.unloaded_latency(req.bytes);
+                weights.add_class(req.class, unloaded);
+                ready += unloaded;
                 book_traffic(
                     &mut self.stats,
                     &self.simtel,
@@ -1038,8 +1153,10 @@ impl Simulator {
             ready += plan.post_latency;
         }
         for req in &plan.async_reads {
-            let done = part.dram.access(start, req.addr, req.bytes);
-            self.horizon = self.horizon.max(done);
+            let rep = part.dram.access_report(start, req.addr, req.bytes);
+            weigh_breakdown(weights, req.class, &rep);
+            end = end.max(rep.done);
+            self.horizon = self.horizon.max(rep.done);
             book_traffic(
                 &mut self.stats,
                 &self.simtel,
@@ -1050,8 +1167,10 @@ impl Simulator {
             );
         }
         for req in &plan.writes {
-            let done = part.dram.access(start, req.addr, req.bytes);
-            self.horizon = self.horizon.max(done);
+            let rep = part.dram.access_report(start, req.addr, req.bytes);
+            weigh_breakdown(weights, req.class, &rep);
+            end = end.max(rep.done);
+            self.horizon = self.horizon.max(rep.done);
             book_traffic(
                 &mut self.stats,
                 &self.simtel,
@@ -1061,8 +1180,26 @@ impl Simulator {
                 req.level,
             );
         }
+        // Crypto/verification pipeline time: charged to the MAC bucket
+        // when the plan carries security metadata (the hash/MAC check is
+        // what serializes), to the data bucket otherwise.
+        let crypto = plan.crypto_latency + plan.post_latency;
+        if crypto > 0 {
+            let has_meta = !plan.pre_chains.is_empty()
+                || !plan.post_chain.is_empty()
+                || !plan.async_reads.is_empty()
+                || !plan.writes.is_empty();
+            weights.add(
+                if has_meta {
+                    StallBucket::MetaMac
+                } else {
+                    StallBucket::DataFill
+                },
+                crypto,
+            );
+        }
         self.horizon = self.horizon.max(ready);
-        ready
+        (ready, end.max(ready))
     }
 
     /// Samples the soft-error process for this fill and, if a fault
@@ -1121,9 +1258,17 @@ impl Simulator {
     /// Serves one L2 read miss, with bounded retry: a failed verification
     /// is re-fetched up to the retry limit with exponential backoff, and
     /// only the final attempt's outcome escalates to a recorded
-    /// [`Violation`]. Returns the cycle at which verified plaintext is
-    /// ready, along with the plaintext itself.
-    fn execute_fill(&mut self, now: u64, p_idx: usize, sector: SectorAddr) -> (u64, [u8; 32]) {
+    /// [`Violation`]. `mshr_wait` is time already spent queued for an
+    /// MSHR, charged to [`StallBucket::MshrFull`] in the ledger. Returns
+    /// the cycle at which verified plaintext is ready, along with the
+    /// plaintext itself.
+    fn execute_fill(
+        &mut self,
+        now: u64,
+        p_idx: usize,
+        sector: SectorAddr,
+        mshr_wait: u64,
+    ) -> (u64, [u8; 32]) {
         self.fill_ordinal += 1;
         let root = self.simtel.tracer.begin("fill", sector.raw());
         self.simtel.cur_root.set(root);
@@ -1136,7 +1281,11 @@ impl Simulator {
             let part = &mut self.partitions[p_idx];
             part.engine.begin_access_trace(root);
             let plan = part.engine.on_fill(sector, &mut self.backing);
-            let ready = self.book_fill_plan(start, p_idx, sector, &plan);
+            let mut weights = LedgerWeights::default();
+            if attempt == 0 {
+                weights.add(StallBucket::MshrFull, mshr_wait);
+            }
+            let (ready, end) = self.book_fill_plan(start, p_idx, sector, &plan, &mut weights);
             if plan.violation.is_some() && attempt < self.retry.limit {
                 // Failed verification with retries remaining: undo any
                 // in-flight transient (a re-fetch observes clean data),
@@ -1145,6 +1294,31 @@ impl Simulator {
                 self.stats.retries += 1;
                 let backoff = self.retry.backoff(attempt);
                 self.stats.retry_cycles += ready.saturating_sub(start) + backoff;
+                // The whole failed attempt is wasted work: charge its span
+                // to transient-retry, and the backoff window to recovery.
+                weights.collapse_into(StallBucket::TransientRetry);
+                commit_ledger(
+                    &mut self.ledger,
+                    &self.simtel,
+                    p_idx,
+                    start,
+                    end,
+                    &weights,
+                    StallBucket::TransientRetry,
+                );
+                if backoff > 0 {
+                    let mut bw = LedgerWeights::default();
+                    bw.add(StallBucket::Recovery, backoff);
+                    commit_ledger(
+                        &mut self.ledger,
+                        &self.simtel,
+                        p_idx,
+                        ready,
+                        ready + backoff,
+                        &bw,
+                        StallBucket::Recovery,
+                    );
+                }
                 if let Some(t) = transient {
                     if transient_active {
                         transient_tripped = true;
@@ -1223,6 +1397,15 @@ impl Simulator {
             self.stats.fill_count += 1;
             self.simtel.fill_latency.record(latency);
             self.simtel.cur_root.set(TraceId::NONE);
+            commit_ledger(
+                &mut self.ledger,
+                &self.simtel,
+                p_idx,
+                start,
+                end,
+                &weights,
+                StallBucket::DataFill,
+            );
             return (ready, plan.plaintext);
         }
     }
@@ -1242,15 +1425,20 @@ impl Simulator {
         part.engine.begin_access_trace(root);
         let plan = part.engine.on_writeback(sector, data, &mut self.backing);
         let serial = self.cfg.serial_metadata_chains;
+        let mut weights = LedgerWeights::default();
         let mut meta_ready = now;
+        let mut end = now;
         for chain in &plan.pre_chains {
             let mut t = now;
             for (i, req) in chain.iter().enumerate() {
-                let done = part.dram.access(now, req.addr, req.bytes);
+                let rep = part.dram.access_report(now, req.addr, req.bytes);
+                weigh_breakdown(&mut weights, req.class, &rep);
                 if serial && i > 0 {
-                    t += part.dram.unloaded_latency(req.bytes);
+                    let unloaded = part.dram.unloaded_latency(req.bytes);
+                    weights.add_class(req.class, unloaded);
+                    t += unloaded;
                 } else {
-                    t = t.max(done);
+                    t = t.max(rep.done);
                 }
                 book_traffic(
                     &mut self.stats,
@@ -1263,9 +1451,12 @@ impl Simulator {
             }
             meta_ready = meta_ready.max(t);
         }
+        end = end.max(meta_ready);
         for req in &plan.async_reads {
-            let done = part.dram.access(now, req.addr, req.bytes);
-            self.horizon = self.horizon.max(done);
+            let rep = part.dram.access_report(now, req.addr, req.bytes);
+            weigh_breakdown(&mut weights, req.class, &rep);
+            end = end.max(rep.done);
+            self.horizon = self.horizon.max(rep.done);
             book_traffic(
                 &mut self.stats,
                 &self.simtel,
@@ -1278,8 +1469,13 @@ impl Simulator {
         // The encrypted data and metadata writes drain from the write
         // buffer; their bandwidth is booked immediately, and the pipeline
         // latency (crypto) only extends the horizon.
-        let done = part.dram.access(now, sector.raw(), SECTOR_SIZE as u32);
-        self.horizon = self.horizon.max(done.max(meta_ready) + plan.crypto_latency);
+        let rep = part
+            .dram
+            .access_report(now, sector.raw(), SECTOR_SIZE as u32);
+        weigh_breakdown(&mut weights, TrafficClass::Data, &rep);
+        let wb_done = rep.done.max(meta_ready) + plan.crypto_latency;
+        end = end.max(wb_done);
+        self.horizon = self.horizon.max(wb_done);
         book_traffic(
             &mut self.stats,
             &self.simtel,
@@ -1289,8 +1485,10 @@ impl Simulator {
             0,
         );
         for req in &plan.writes {
-            let done = part.dram.access(now, req.addr, req.bytes);
-            self.horizon = self.horizon.max(done);
+            let rep = part.dram.access_report(now, req.addr, req.bytes);
+            weigh_breakdown(&mut weights, req.class, &rep);
+            end = end.max(rep.done);
+            self.horizon = self.horizon.max(rep.done);
             book_traffic(
                 &mut self.stats,
                 &self.simtel,
@@ -1300,6 +1498,30 @@ impl Simulator {
                 req.level,
             );
         }
+        // Crypto pipeline time on the writeback path follows the fill
+        // rule: metadata-bearing plans charge the MAC bucket.
+        if plan.crypto_latency > 0 {
+            let has_meta = !plan.pre_chains.is_empty()
+                || !plan.async_reads.is_empty()
+                || !plan.writes.is_empty();
+            weights.add(
+                if has_meta {
+                    StallBucket::MetaMac
+                } else {
+                    StallBucket::DataFill
+                },
+                plan.crypto_latency,
+            );
+        }
+        commit_ledger(
+            &mut self.ledger,
+            &self.simtel,
+            p_idx,
+            now,
+            end,
+            &weights,
+            StallBucket::DataFill,
+        );
         if let Some(v) = plan.violation {
             self.record_violation(now, v, 0);
         }
@@ -1511,6 +1733,83 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.stats.accesses, 400, "queued accesses must all complete");
         assert!(r.stats.mshr_stalls > 0, "tiny MSHR must actually saturate");
+    }
+
+    #[test]
+    fn ledger_conserves_cycles_under_mshr_pressure() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.mshrs_per_partition = 2;
+        cfg.warps = 64;
+        let trace = read_trace(400, 32);
+        let mut sim = Simulator::new(cfg, trace, &NoSecurityEngine::factory());
+        let r = sim.run();
+        assert_eq!(r.stats.ledgers.len(), 4, "one ledger per partition");
+        assert!(
+            r.stats.ledger_conserved(),
+            "every partition's buckets must sum to {} cycles",
+            r.stats.cycles
+        );
+        let stack = r.stats.cpi_stack();
+        assert_eq!(stack.iter().sum::<u64>(), r.stats.cycles * 4);
+        assert!(r.stats.ledger_cycles(crate::ledger::StallBucket::DataFill) > 0);
+        assert!(
+            r.stats.ledger_cycles(crate::ledger::StallBucket::MshrFull) > 0,
+            "saturated MSHRs must show up in the ledger"
+        );
+    }
+
+    #[test]
+    fn ledger_conserves_cycles_with_writebacks() {
+        let mut trace = Trace::new("writes");
+        for i in 0..4096u64 {
+            trace.push_write(SectorAddr::new(i * 32), [i as u8; 32], 1, 1);
+        }
+        let mut sim = Simulator::new(GpuConfig::test_small(), trace, &NoSecurityEngine::factory());
+        let r = sim.run();
+        assert!(r.stats.ledger_conserved());
+    }
+
+    #[test]
+    fn ledger_conserved_on_early_halt() {
+        let trace = read_trace(400, 32);
+        let mut sim = Simulator::new(GpuConfig::test_small(), trace, &NoSecurityEngine::factory());
+        let r = sim.run_until(100);
+        assert!(r.stats.cycles <= 100);
+        assert!(
+            r.stats.ledger_conserved(),
+            "crashed runs must still conserve: totals {:?} vs cycles {}",
+            r.stats
+                .ledgers
+                .iter()
+                .map(|l| l.total())
+                .collect::<Vec<_>>(),
+            r.stats.cycles
+        );
+    }
+
+    #[test]
+    fn dram_stats_aggregate_across_partitions() {
+        let trace = read_trace(400, 32);
+        let mut sim = Simulator::new(GpuConfig::test_small(), trace, &NoSecurityEngine::factory());
+        let r = sim.run();
+        let d = &r.stats.dram;
+        assert_eq!(
+            d.row_hits + d.row_misses,
+            r.stats
+                .traffic
+                .iter()
+                .map(|t| t.read_reqs + t.write_reqs)
+                .sum::<u64>()
+        );
+        assert_eq!(
+            d.per_bank.iter().map(|b| b.row_misses).sum::<u64>(),
+            d.row_misses
+        );
+        assert_eq!(
+            d.per_bank.iter().map(|b| b.busy_cycles).sum::<u64>(),
+            d.bank_busy_cycles
+        );
+        assert!(d.backlog_hwm_bytes > 0, "misses must queue bus bytes");
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! mix (Fig. 10), and the DRAM-energy proxy behind the power figure
 //! (Fig. 22).
 
+use crate::dram::BankStat;
+use crate::ledger::{PartitionLedger, StallBucket, NUM_STALL_BUCKETS};
 use crate::security::DetectionLayer;
 
 /// Classification of DRAM traffic, matching the paper's breakdown.
@@ -187,6 +189,21 @@ pub struct TransientRecord {
     pub outcome: TransientOutcome,
 }
 
+/// DRAM-internal statistics aggregated across all partitions' channels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Requests that found their row open, all channels.
+    pub row_hits: u64,
+    /// Requests that paid a precharge+activate, all channels.
+    pub row_misses: u64,
+    /// Total cycles banks spent occupied by precharge+activate windows.
+    pub bank_busy_cycles: u64,
+    /// Deepest bus backlog observed on any single channel, in bytes.
+    pub backlog_hwm_bytes: u64,
+    /// Per-bank counters summed across partitions by bank index.
+    pub per_bank: Vec<BankStat>,
+}
+
 /// Aggregated statistics for one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
@@ -245,6 +262,12 @@ pub struct SimStats {
     pub fill_count: u64,
     /// Engine-specific counters (e.g. value-cache hits), name → count.
     pub engine: Vec<(String, u64)>,
+    /// DRAM-internal counters: row locality, bank occupancy, and the bus
+    /// backlog high-water mark.
+    pub dram: DramStats,
+    /// The closed cycle ledger, one [`PartitionLedger`] per partition —
+    /// conservation-exact: each sums to [`SimStats::cycles`].
+    pub ledgers: Vec<PartitionLedger>,
 }
 
 impl SimStats {
@@ -310,6 +333,31 @@ impl SimStats {
     /// Used by the Fig. 22 power model.
     pub fn dram_energy_pj(&self, pj_per_byte: f64) -> f64 {
         self.total_bytes() as f64 * pj_per_byte
+    }
+
+    /// The run's CPI stack: per-bucket cycles summed across partitions,
+    /// indexed by [`StallBucket::idx`]. Sums to
+    /// `cycles × partitions` once the ledger is closed.
+    pub fn cpi_stack(&self) -> [u64; NUM_STALL_BUCKETS] {
+        let mut out = [0u64; NUM_STALL_BUCKETS];
+        for led in &self.ledgers {
+            for (o, b) in out.iter_mut().zip(led.buckets.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Cycles attributed to `bucket` across all partitions.
+    pub fn ledger_cycles(&self, bucket: StallBucket) -> u64 {
+        self.ledgers.iter().map(|l| l.get(bucket)).sum()
+    }
+
+    /// Conservation check: every partition's ledger sums exactly to
+    /// [`SimStats::cycles`]. Vacuously true for stats with no ledger
+    /// (hand-built defaults).
+    pub fn ledger_conserved(&self) -> bool {
+        self.ledgers.iter().all(|l| l.total() == self.cycles)
     }
 
     /// Average fill latency in cycles (arrival at the controller to
@@ -396,6 +444,26 @@ mod tests {
         s.record_traffic(TrafficClass::Data, 240, false);
         let u = s.bandwidth_utilization(24.0);
         assert!((u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpi_stack_sums_partitions_and_checks_conservation() {
+        let mut s = SimStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        assert!(s.ledger_conserved(), "no ledger is vacuously conserved");
+        let mut a = PartitionLedger::default();
+        a.buckets[StallBucket::Issue.idx()] = 60;
+        a.buckets[StallBucket::DataFill.idx()] = 40;
+        let mut b = PartitionLedger::default();
+        b.buckets[StallBucket::Issue.idx()] = 100;
+        s.ledgers = vec![a, b];
+        assert!(s.ledger_conserved());
+        assert_eq!(s.ledger_cycles(StallBucket::Issue), 160);
+        assert_eq!(s.cpi_stack().iter().sum::<u64>(), 200);
+        s.ledgers[0].buckets[StallBucket::Issue.idx()] = 61;
+        assert!(!s.ledger_conserved());
     }
 
     #[test]
