@@ -177,11 +177,20 @@ impl Args {
         if self.bench_out.is_some() || self.compare.is_some() || self.ledger_out.is_some() {
             self.measurements.borrow_mut().extend(rows.iter().cloned());
         }
-        // The central degenerate-case check: when every scheme of a
-        // workload ran in the identical cycle count, say so loudly on
-        // every experiment that consumed the matrix.
+        // The central degenerate-case gate: when every scheme of a
+        // workload ran in the identical cycle count, the run is not
+        // bandwidth-bound, security traffic was free, and every figure
+        // built from this matrix is meaningless — print the diagnosis
+        // and exit nonzero so CI cannot green-light a decoupled model.
         if let Some(warning) = degenerate_warning(&rows) {
             eprint!("{warning}");
+            fail(
+                &self.tel,
+                "degenerate matrix: normalized IPC is 1.0 for every scheme; \
+                 increase --scale (or the workload set) until the run is \
+                 bandwidth-bound"
+                    .into(),
+            );
         }
         rows
     }
@@ -600,7 +609,12 @@ fn run_crash_cli(args: &Args, cfg: &GpuConfig) {
 fn main() {
     let tel = Telemetry::with_clock(Arc::new(CycleClock::new()));
     let args = parse_args(&tel);
-    let cfg = GpuConfig::default();
+    let mut cfg = GpuConfig::default();
+    // Measure steady-state IPC past the warp-launch ramp: warps launch
+    // staggered at one every other cycle, so the pool is fully populated
+    // after warps/2 cycles. Excluding the ramp keeps short traces from
+    // reading as latency-bound cold starts.
+    cfg.warmup_cycles = cfg.warps as u64 / 2;
     if let Some(sel) = args.campaign {
         match sel {
             CampaignSel::Adversarial(kind) => run_campaign_cli(&args, &cfg, kind),

@@ -30,7 +30,7 @@ pub use report::{
 };
 pub use runner::{
     geomean, recovery_schemes, run_matrix, run_matrix_with_telemetry, run_one, run_one_traced,
-    run_one_with_telemetry, run_with_factory, try_run_matrix, try_run_matrix_on,
+    run_one_with_telemetry, run_trace, run_with_factory, try_run_matrix, try_run_matrix_on,
     try_run_matrix_traced_on, Measurement, RunnerError, Scheme, TracedRun,
 };
 pub use trace_export::{attribution_table, chrome_trace, collapsed_stack};

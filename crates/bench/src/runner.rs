@@ -222,6 +222,15 @@ pub fn run_one_with_telemetry(
     result
 }
 
+/// Runs a prebuilt trace under one scheme (telemetry disabled) — the
+/// escape hatch for callers that size traces themselves, e.g. with
+/// [`workloads::ScaleKnobs`] multipliers instead of a stock [`Scale`].
+pub fn run_trace(trace: gpu_sim::Trace, scheme: Scheme, cfg: &GpuConfig) -> SimResult {
+    let factory = scheme.factory();
+    let mut sim = Simulator::new(cfg.clone(), trace, factory.as_ref());
+    sim.run()
+}
+
 /// Runs one workload under a custom engine factory (for ablations not
 /// covered by [`Scheme`]).
 pub fn run_with_factory(
@@ -272,15 +281,15 @@ pub struct Measurement {
 
 fn measurement_of(w: &WorkloadSpec, scheme: Scheme, r: &SimResult, base_ipc: f64) -> Measurement {
     let detections = &r.stats.violation_records;
+    // Steady-state IPC: identical to whole-run IPC unless the config set
+    // a warm-up boundary (`GpuConfig::warmup_cycles`), in which case the
+    // launch ramp is excluded from both the scheme run and its baseline.
+    let ipc = r.stats.steady_ipc();
     Measurement {
         workload: w.name.to_string(),
         scheme: scheme.label(),
-        ipc: r.ipc(),
-        norm_ipc: if base_ipc > 0.0 {
-            r.ipc() / base_ipc
-        } else {
-            0.0
-        },
+        ipc,
+        norm_ipc: if base_ipc > 0.0 { ipc / base_ipc } else { 0.0 },
         cycles: r.stats.cycles,
         total_bytes: r.stats.total_bytes(),
         metadata_bytes: r.stats.metadata_bytes(),
@@ -390,7 +399,7 @@ pub fn try_run_matrix_on(
     let mut out = Vec::new();
     for (wi, w) in workloads.iter().enumerate() {
         let baseline = &baselines[wi];
-        let base_ipc = baseline.ipc();
+        let base_ipc = baseline.stats.steady_ipc();
         for &scheme in schemes {
             let r = if scheme == Scheme::None {
                 baseline.clone()
@@ -518,7 +527,7 @@ pub fn try_run_matrix_traced_on(
     let mut traces = Vec::new();
     for (wi, w) in workloads.iter().enumerate() {
         let (baseline, baseline_trace) = &baselines[wi];
-        let base_ipc = baseline.ipc();
+        let base_ipc = baseline.stats.steady_ipc();
         for &scheme in schemes {
             let (r, t) = if scheme == Scheme::None {
                 (baseline.clone(), baseline_trace.clone())
@@ -547,7 +556,7 @@ pub fn run_matrix_with_telemetry(
     let mut out = Vec::new();
     for w in workloads {
         let baseline = run_one_with_telemetry(w, Scheme::None, scale, cfg, tel, epoch_cycles);
-        let base_ipc = baseline.ipc();
+        let base_ipc = baseline.stats.steady_ipc();
         for &scheme in schemes {
             let r = if scheme == Scheme::None {
                 baseline.clone()

@@ -39,6 +39,16 @@ pub struct GpuConfig {
     /// are index-computable, so controllers issue the whole path in
     /// parallel and only the (pipelined) hash checks serialize.
     pub serial_metadata_chains: bool,
+    /// Steady-state warm-up cutoff in cycles: instructions retired before
+    /// this boundary are excluded from [`crate::SimStats::steady_ipc`], so
+    /// measured IPC reflects the post-launch-ramp regime rather than the
+    /// cold start. 0 (the default) measures the whole run.
+    pub warmup_cycles: u64,
+    /// Per-channel store-buffer depth in bytes: when a store's partition
+    /// has more DRAM bus backlog than this, the issuing warp stalls until
+    /// the excess drains — the feedback path that lets bus saturation
+    /// throttle write traffic. `u64::MAX` disables the throttle.
+    pub write_throttle_bytes: u64,
 }
 
 impl Default for GpuConfig {
@@ -58,6 +68,11 @@ impl Default for GpuConfig {
             dram: DramConfig::default(),
             flush_l2_at_end: false,
             serial_metadata_chains: false,
+            warmup_cycles: 0,
+            // 8 KiB ≈ 340 cycles of drain at 24 B/cycle: deep enough that
+            // bursts pass untouched, shallow enough that a saturated
+            // channel pushes back on the issuing warps.
+            write_throttle_bytes: 8 * 1024,
         }
     }
 }

@@ -332,6 +332,9 @@ pub struct Simulator {
     started: bool,
     /// Time of the last processed event (the crash cycle on early stop).
     last_event_time: u64,
+    /// Whether the warm-up boundary has been crossed (instruction
+    /// snapshot taken).
+    warmup_done: bool,
 }
 
 impl Simulator {
@@ -427,6 +430,7 @@ impl Simulator {
             ledger,
             started: false,
             last_event_time: 0,
+            warmup_done: false,
         }
     }
 
@@ -522,12 +526,21 @@ impl Simulator {
 
     fn schedule(&mut self, time: u64, kind: EventKind) {
         self.seq += 1;
-        self.horizon = self.horizon.max(time);
         self.events.push(Reverse(Event {
             time,
             seq: self.seq,
             kind,
         }));
+    }
+
+    /// Extends the measured horizon to `time`. Called only at points where
+    /// work *retires* — instruction retirement, fill readiness, DRAM
+    /// activity completion — never for merely scheduled events. A
+    /// `WarpNext` that finds the trace drained is a no-op and must not
+    /// define the cycle count (staggered launches of a 4k-warp pool would
+    /// otherwise floor every run at the launch tail).
+    fn retire_at(&mut self, time: u64) {
+        self.horizon = self.horizon.max(time);
     }
 
     /// Runs the simulation to completion and returns the results.
@@ -564,7 +577,14 @@ impl Simulator {
             }
             self.events.pop();
             self.last_event_time = ev.time;
-            self.horizon = self.horizon.max(ev.time);
+            if !self.warmup_done && ev.time >= self.cfg.warmup_cycles {
+                // Steady-state cutoff: events are processed in time
+                // order, so this snapshots the instruction count exactly
+                // at the warm-up boundary.
+                self.stats.warmup_cycles = self.cfg.warmup_cycles;
+                self.stats.warmup_instructions = self.stats.instructions;
+                self.warmup_done = true;
+            }
             if self.tel.enabled() {
                 self.tel.advance_clock(ev.time);
                 if ev.time >= self.next_epoch_at {
@@ -946,8 +966,24 @@ impl Simulator {
                 // let the warp continue.
                 self.stats.instructions += access.instructions as u64;
                 self.stats.accesses += 1;
+                self.retire_at(issue);
                 self.schedule_arrive(arrive, access, warp);
-                self.schedule(issue, EventKind::WarpNext { warp });
+                // Store-buffer backpressure: when the target partition's
+                // bus backlog exceeds the buffer depth, the issuing warp
+                // stalls until the excess drains — bus saturation
+                // throttles write issue instead of letting stores pile
+                // bytes onto an unbounded queue for free.
+                let p_idx = partition_of(access.addr.block(), self.cfg.partitions);
+                let backlog = self.partitions[p_idx].dram.backlog_bytes_at(issue);
+                let resume = if backlog > self.cfg.write_throttle_bytes {
+                    let excess = (backlog - self.cfg.write_throttle_bytes) as f64;
+                    let stall = (excess / self.cfg.dram.bytes_per_cycle).ceil() as u64;
+                    self.stats.write_throttle_cycles += stall;
+                    issue + stall
+                } else {
+                    issue
+                };
+                self.schedule(resume, EventKind::WarpNext { warp });
             }
         }
     }
@@ -1011,6 +1047,7 @@ impl Simulator {
                     self.stats.instructions += access.instructions as u64;
                     self.stats.accesses += 1;
                     let wake = now + self.cfg.l2_hit_latency + self.cfg.interconnect_latency;
+                    self.retire_at(wake);
                     self.schedule(wake, EventKind::WarpNext { warp });
                     return;
                 }
@@ -1061,6 +1098,7 @@ impl Simulator {
             self.stats.instructions += w.instructions as u64;
             self.stats.accesses += 1;
             let wake = now + self.cfg.interconnect_latency;
+            self.retire_at(wake);
             self.schedule(wake, EventKind::WarpNext { warp: w.warp });
         }
         // Admit queued accesses while MSHRs are free (merges and hits do
@@ -1113,15 +1151,16 @@ impl Simulator {
         for chain in &plan.pre_chains {
             let mut t = start;
             for (i, req) in chain.iter().enumerate() {
-                let rep = part.dram.access_report(start, req.addr, req.bytes);
+                // Serial chains issue each dependent fetch when its
+                // predecessor returns: book it at `t` so it both observes
+                // the backlog that has built up by then and contributes
+                // its own bytes to the backlog later fetches see.
+                // Parallel chains (index-computable addresses) all issue
+                // at `start`.
+                let issue_at = if serial && i > 0 { t } else { start };
+                let rep = part.dram.access_report(issue_at, req.addr, req.bytes);
                 weigh_breakdown(weights, req.class, &rep);
-                if serial && i > 0 {
-                    let unloaded = part.dram.unloaded_latency(req.bytes);
-                    weights.add_class(req.class, unloaded);
-                    t += unloaded;
-                } else {
-                    t = t.max(rep.done);
-                }
+                t = t.max(rep.done);
                 book_traffic(
                     &mut self.stats,
                     &self.simtel,
@@ -1136,6 +1175,15 @@ impl Simulator {
         ready += plan.crypto_latency;
         if !plan.post_chain.is_empty() || plan.post_latency > 0 {
             for req in &plan.post_chain {
+                // Post-chain fetches (deferred MAC) issue after the data
+                // returns, but their *bandwidth* is still booked at the
+                // fill's start: the fluid-queue channel clock is
+                // monotonic in event time, and booking at the future
+                // `ready` would drag it forward and serialize every
+                // later fill on this partition. The dependence cost is
+                // charged additively as an unloaded round trip instead
+                // (bandwidth exact, latency approximated — see the
+                // header comment).
                 let rep = part.dram.access_report(start, req.addr, req.bytes);
                 weigh_breakdown(weights, req.class, &rep);
                 let unloaded = part.dram.unloaded_latency(req.bytes);
@@ -1156,7 +1204,7 @@ impl Simulator {
             let rep = part.dram.access_report(start, req.addr, req.bytes);
             weigh_breakdown(weights, req.class, &rep);
             end = end.max(rep.done);
-            self.horizon = self.horizon.max(rep.done);
+            self.horizon = self.horizon.max(rep.done); // DRAM activity retires
             book_traffic(
                 &mut self.stats,
                 &self.simtel,
@@ -1170,7 +1218,7 @@ impl Simulator {
             let rep = part.dram.access_report(start, req.addr, req.bytes);
             weigh_breakdown(weights, req.class, &rep);
             end = end.max(rep.done);
-            self.horizon = self.horizon.max(rep.done);
+            self.horizon = self.horizon.max(rep.done); // DRAM activity retires
             book_traffic(
                 &mut self.stats,
                 &self.simtel,
@@ -1198,7 +1246,7 @@ impl Simulator {
                 crypto,
             );
         }
-        self.horizon = self.horizon.max(ready);
+        self.horizon = self.horizon.max(ready); // fill readiness retires
         (ready, end.max(ready))
     }
 
@@ -1431,15 +1479,12 @@ impl Simulator {
         for chain in &plan.pre_chains {
             let mut t = now;
             for (i, req) in chain.iter().enumerate() {
-                let rep = part.dram.access_report(now, req.addr, req.bytes);
+                // Same rule as `book_fill_plan`: serial dependent fetches
+                // are booked at the time they actually issue.
+                let issue_at = if serial && i > 0 { t } else { now };
+                let rep = part.dram.access_report(issue_at, req.addr, req.bytes);
                 weigh_breakdown(&mut weights, req.class, &rep);
-                if serial && i > 0 {
-                    let unloaded = part.dram.unloaded_latency(req.bytes);
-                    weights.add_class(req.class, unloaded);
-                    t += unloaded;
-                } else {
-                    t = t.max(rep.done);
-                }
+                t = t.max(rep.done);
                 book_traffic(
                     &mut self.stats,
                     &self.simtel,
@@ -1456,7 +1501,7 @@ impl Simulator {
             let rep = part.dram.access_report(now, req.addr, req.bytes);
             weigh_breakdown(&mut weights, req.class, &rep);
             end = end.max(rep.done);
-            self.horizon = self.horizon.max(rep.done);
+            self.horizon = self.horizon.max(rep.done); // DRAM activity retires
             book_traffic(
                 &mut self.stats,
                 &self.simtel,
@@ -1475,7 +1520,7 @@ impl Simulator {
         weigh_breakdown(&mut weights, TrafficClass::Data, &rep);
         let wb_done = rep.done.max(meta_ready) + plan.crypto_latency;
         end = end.max(wb_done);
-        self.horizon = self.horizon.max(wb_done);
+        self.horizon = self.horizon.max(wb_done); // writeback drain retires
         book_traffic(
             &mut self.stats,
             &self.simtel,
@@ -1488,7 +1533,7 @@ impl Simulator {
             let rep = part.dram.access_report(now, req.addr, req.bytes);
             weigh_breakdown(&mut weights, req.class, &rep);
             end = end.max(rep.done);
-            self.horizon = self.horizon.max(rep.done);
+            self.horizon = self.horizon.max(rep.done); // DRAM activity retires
             book_traffic(
                 &mut self.stats,
                 &self.simtel,
@@ -1879,6 +1924,143 @@ mod tests {
             (r.stats.cycles, r.stats.total_bytes(), r.stats.l2_hits)
         };
         assert_eq!(run(Telemetry::disabled()), run(Telemetry::new()));
+    }
+
+    #[test]
+    fn drained_trace_wakeups_do_not_define_cycles() {
+        // 8192 same-sector reads with zero think time: a handful of early
+        // warps recycle through the trace and drain it long before the
+        // last of 4096 staggered launches at cycle (4096-1)/2 = 2047.
+        // Those late launches find the trace drained; the measured cycle
+        // count must come from the last retirement, not the launch tail.
+        let mk_trace = || {
+            let mut t = Trace::new("drain");
+            for _ in 0..8192 {
+                t.push_read(SectorAddr::new(0x100), 0, 1);
+            }
+            t
+        };
+        let mut cfg = GpuConfig::test_small();
+        cfg.warps = 4096;
+        let r = Simulator::new(cfg, mk_trace(), &NoSecurityEngine::factory()).run();
+        assert_eq!(r.stats.accesses, 8192);
+        assert!(
+            r.stats.cycles < 4096 / 2,
+            "launch-stagger tail must not floor cycles, got {}",
+            r.stats.cycles
+        );
+        assert!(r.stats.ledger_conserved());
+        // A 1-access trace's cycle count is independent of the warp pool.
+        let one = |warps: usize| {
+            let mut cfg = GpuConfig::test_small();
+            cfg.warps = warps;
+            Simulator::new(cfg, read_trace(1, 32), &NoSecurityEngine::factory())
+                .run()
+                .stats
+                .cycles
+        };
+        assert_eq!(one(2), one(4096));
+    }
+
+    #[test]
+    fn serial_chain_requests_book_at_dependent_time() {
+        use crate::security::{DramReq, FillPlan};
+        // Book one fill with a serial two-element metadata chain onto a
+        // saturated channel, once with serial chains and once with
+        // parallel ones. `backlog_bytes_at` clamps a past `now` up to the
+        // channel's last issue time, so probing at cycle 100 reads the
+        // queue as of the latest booking: for the serial chain that is
+        // the dependent element's issue time t1 (= its predecessor's
+        // completion, after the burst drained), where only the dependent
+        // element's own bytes remain queued.
+        let book = |serial: bool| {
+            let mut cfg = GpuConfig::test_small();
+            cfg.serial_metadata_chains = serial;
+            let mut sim = Simulator::new(cfg, Trace::new("sat"), &NoSecurityEngine::factory());
+            // 24 KiB burst at cycle 0: ~1024 cycles of bus backlog at
+            // 24 B/cycle.
+            sim.partitions[0].dram.access_report(0, 0, 24 * 1024);
+            let plan = FillPlan {
+                pre_chains: vec![vec![
+                    DramReq::new(0x10_0000, 32, TrafficClass::Counter),
+                    DramReq::new(0x20_0000, 4096, TrafficClass::BmtNode),
+                ]],
+                ..FillPlan::default()
+            };
+            let mut w = LedgerWeights::default();
+            let (ready, _end) = sim.book_fill_plan(0, 0, SectorAddr::new(0x40), &plan, &mut w);
+            let backlog = sim.partitions[0].dram.backlog_bytes_at(100);
+            (ready, backlog)
+        };
+        let (ready_serial, backlog_serial) = book(true);
+        let (ready_parallel, backlog_parallel) = book(false);
+        // Serial: the dependent 4 KiB element was booked at t1 ≈ 1060,
+        // after the burst drained — it is the only thing in the queue.
+        // Booking it at the fill's start (the old bug) would leave the
+        // channel clock at 0 and the probe would see the whole burst.
+        assert!(
+            backlog_serial <= 4096,
+            "dependent fetch must be booked at its issue time t1, after \
+             the burst drained (backlog {backlog_serial})"
+        );
+        assert!(
+            backlog_serial >= 4000,
+            "dependent fetch's bytes must enter the backlog at t1 \
+             (backlog {backlog_serial})"
+        );
+        // Parallel: everything was booked at cycle 0; mid-drain the burst
+        // still dominates the queue.
+        assert!(
+            backlog_parallel > 20_000,
+            "parallel chains book at fill start (backlog {backlog_parallel})"
+        );
+        assert!(
+            ready_serial >= ready_parallel,
+            "serialized chain cannot be faster than a parallel one \
+             ({ready_serial} vs {ready_parallel})"
+        );
+    }
+
+    #[test]
+    fn write_backpressure_throttles_issue_on_saturated_channel() {
+        // Stores headed for a saturated partition must stall the issuing
+        // warp until the excess backlog drains; with the throttle disabled
+        // the same trace issues freely and finishes sooner.
+        let run = |throttle: u64| {
+            // 64 distinct sectors, all mapping to partition 0.
+            let addrs: Vec<SectorAddr> = (0u64..)
+                .map(|i| SectorAddr::new(i * 32))
+                .filter(|a| partition_of(a.block(), 4) == 0)
+                .take(64)
+                .collect();
+            let mut trace = Trace::new("wthrottle");
+            for (i, a) in addrs.iter().enumerate() {
+                trace.push_write(*a, [i as u8; 32], 1, 1);
+            }
+            let mut cfg = GpuConfig::test_small();
+            cfg.write_throttle_bytes = throttle;
+            let mut sim = Simulator::new(cfg, trace, &NoSecurityEngine::factory());
+            // ~100 KiB burst at cycle 0: far beyond the 8 KiB store-buffer
+            // depth, ~4300 cycles of bus backlog at 24 B/cycle.
+            sim.partitions[0].dram.access_report(0, 0, 100 * 1024);
+            let r = sim.run();
+            assert_eq!(r.stats.write_accesses, 64, "all stores must complete");
+            r.stats.clone()
+        };
+        let throttled = run(8 * 1024);
+        let free = run(u64::MAX);
+        assert!(
+            throttled.write_throttle_cycles > 0,
+            "saturated channel must stall write issue"
+        );
+        assert_eq!(free.write_throttle_cycles, 0);
+        assert!(
+            throttled.cycles > free.cycles,
+            "backpressure must show up in measured cycles \
+             ({} vs {})",
+            throttled.cycles,
+            free.cycles
+        );
     }
 
     #[test]

@@ -255,6 +255,16 @@ pub struct SimStats {
     pub checkpoints: u64,
     /// One record per sampled transient fault, in injection order.
     pub transient_records: Vec<TransientRecord>,
+    /// Steady-state warm-up boundary in cycles (from
+    /// [`crate::GpuConfig::warmup_cycles`]); 0 when the whole run is
+    /// measured.
+    pub warmup_cycles: u64,
+    /// Instructions retired before the warm-up boundary, excluded from
+    /// [`Self::steady_ipc`].
+    pub warmup_instructions: u64,
+    /// Cycles warps spent stalled by the store-buffer backpressure
+    /// throttle (bus saturation pushing back on write issue).
+    pub write_throttle_cycles: u64,
     /// Sum of fill latencies (ready − arrival), for average-latency
     /// diagnostics.
     pub fill_latency_sum: u64,
@@ -290,6 +300,19 @@ impl SimStats {
         } else {
             self.instructions as f64 / self.cycles as f64
         }
+    }
+
+    /// Steady-state instructions per cycle: retirement measured after
+    /// the warm-up boundary, so the warp-pool launch ramp and cold-cache
+    /// start do not dilute the bandwidth-bound regime the paper's
+    /// figures study. Falls back to [`Self::ipc`] when no warm-up was
+    /// configured or the run ended inside the warm-up window.
+    pub fn steady_ipc(&self) -> f64 {
+        if self.warmup_cycles == 0 || self.cycles <= self.warmup_cycles {
+            return self.ipc();
+        }
+        (self.instructions - self.warmup_instructions) as f64
+            / (self.cycles - self.warmup_cycles) as f64
     }
 
     /// Total DRAM bytes moved, all classes.
@@ -423,6 +446,25 @@ mod tests {
             ..Default::default()
         };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_ipc_excludes_warmup_window() {
+        let mut s = SimStats {
+            cycles: 1000,
+            instructions: 1000,
+            ..Default::default()
+        };
+        // No warm-up configured → whole-run IPC.
+        assert!((s.steady_ipc() - s.ipc()).abs() < 1e-12);
+        // 200 warm-up cycles retiring 50 instructions: steady window is
+        // 950 instructions over 800 cycles.
+        s.warmup_cycles = 200;
+        s.warmup_instructions = 50;
+        assert!((s.steady_ipc() - 950.0 / 800.0).abs() < 1e-12);
+        // Run ended inside the warm-up window → fall back to full-run IPC.
+        s.warmup_cycles = 2000;
+        assert!((s.steady_ipc() - s.ipc()).abs() < 1e-12);
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod stats;
 pub mod values;
 
 pub use generators::{generate, GenParams, Pattern};
-pub use spec::{by_name, suite, Intensity, Scale, Suite, WorkloadSpec};
+pub use spec::{by_name, suite, Intensity, Scale, ScaleKnobs, Suite, WorkloadSpec};
 pub use stats::{characterize, value_census, TraceStats, ValueCensus};
 pub use values::ValueProfile;

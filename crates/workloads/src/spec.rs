@@ -55,6 +55,29 @@ pub enum Scale {
     Paper,
 }
 
+/// Multiplicative trace-size knobs layered on a base [`Scale`]:
+/// `length_mul` multiplies the access count (trace length) and
+/// `footprint_mul` the sector footprint. Longer traces push a run past
+/// the warp-pool launch ramp into the bandwidth-bound steady state the
+/// paper's figures measure; a larger footprint defeats L2 reuse so the
+/// extra accesses still reach DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleKnobs {
+    /// Multiplier on the base scale's access count (≥ 1).
+    pub length_mul: u32,
+    /// Multiplier on the base scale's footprint (≥ 1).
+    pub footprint_mul: u32,
+}
+
+impl Default for ScaleKnobs {
+    fn default() -> Self {
+        Self {
+            length_mul: 1,
+            footprint_mul: 1,
+        }
+    }
+}
+
 impl Scale {
     fn footprint_sectors(self) -> u64 {
         // Far larger than the 6 MiB L2 (except at test scale), as the
@@ -100,6 +123,17 @@ impl WorkloadSpec {
 
     /// Generates with an explicit seed (for sensitivity studies).
     pub fn trace_seeded(&self, scale: Scale, seed: u64) -> Trace {
+        self.trace_knobbed_seeded(scale, ScaleKnobs::default(), seed)
+    }
+
+    /// Generates at `scale` stretched by [`ScaleKnobs`] (length ×
+    /// footprint multipliers).
+    pub fn trace_knobbed(&self, scale: Scale, knobs: ScaleKnobs) -> Trace {
+        self.trace_knobbed_seeded(scale, knobs, fxhash(self.name))
+    }
+
+    /// [`Self::trace_knobbed`] with an explicit seed.
+    pub fn trace_knobbed_seeded(&self, scale: Scale, knobs: ScaleKnobs, seed: u64) -> Trace {
         let think = match self.intensity {
             Intensity::High => (2, 10),
             Intensity::Medium => (20, 48),
@@ -112,8 +146,8 @@ impl WorkloadSpec {
             self.name,
             self.pattern,
             GenParams {
-                footprint_sectors: scale.footprint_sectors(),
-                accesses: scale.accesses(),
+                footprint_sectors: scale.footprint_sectors() * knobs.footprint_mul.max(1) as u64,
+                accesses: scale.accesses() * knobs.length_mul.max(1) as usize,
                 think_cycles: think,
                 instructions,
                 seed,
@@ -427,6 +461,33 @@ mod tests {
         ] {
             assert!(s.iter().any(|w| w.suite == src), "missing suite {src}");
         }
+    }
+
+    #[test]
+    fn scale_knobs_stretch_length_and_footprint() {
+        let w = by_name("bfs").unwrap();
+        let base = w.trace(Scale::Test);
+        let knobbed = w.trace_knobbed(
+            Scale::Test,
+            ScaleKnobs {
+                length_mul: 4,
+                footprint_mul: 2,
+            },
+        );
+        assert_eq!(knobbed.len(), 4 * base.len(), "length_mul scales accesses");
+        let footprint = |t: &Trace| {
+            let mut sectors: Vec<u64> = t.accesses.iter().map(|a| a.addr.raw()).collect();
+            sectors.sort_unstable();
+            sectors.dedup();
+            sectors.len()
+        };
+        assert!(
+            footprint(&knobbed) > footprint(&base),
+            "footprint_mul must widen the touched sector set"
+        );
+        // Knobs at 1/1 are the identity.
+        let id = w.trace_knobbed(Scale::Test, ScaleKnobs::default());
+        assert_eq!(id.len(), base.len());
     }
 
     #[test]
