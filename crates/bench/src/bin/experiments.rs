@@ -19,7 +19,11 @@
 //! execution time, steals, per-worker utilization) on exit.
 //! `--heartbeat S` prints a progress line to stderr every S seconds
 //! while the pool runs (jobs done/total, the workload/scheme labels
-//! currently executing, elapsed wall time).
+//! currently executing, elapsed wall time). Heartbeat runs arm a soft
+//! per-job watchdog: once three jobs have finished, any job still
+//! executing past `--watchdog M` (default 4) times the running median
+//! duration is marked `[SLOW]` in the progress line and counted in the
+//! `sched.watchdog` telemetry counter; jobs are never cancelled.
 //!
 //! Cycle ledger: `--ledger-out <path>` writes the per-cycle stall
 //! attribution of every matrix run — the JSON document (per-partition
@@ -67,6 +71,20 @@
 //! persistent MACs, and exits nonzero unless every post-recovery read
 //! is bit-identical with no spurious violations. Reports land under
 //! `target/experiments/campaign-{transient,crash}.{json,csv}`.
+//!
+//! Multi-tenant chaos: `--campaign storm` co-schedules an adversarial
+//! tenant (counter-overflow write hammer + tamper/replay faults at its
+//! own slab) with `--tenants N` victim tenants (default 3) under
+//! per-tenant keys, rotates a victim's keys live, and crash-kills runs
+//! mid-rotation. The gate exits nonzero unless victims record zero
+//! violations and zero degradation-ladder freezes, victim IPC stays
+//! within `--tolerance` (default 25%) of an honest baseline, the cycle
+//! ledger conserves, Eq. 1 holds, and every mid-rotation crash recovers
+//! bit-identical plaintext. `--campaign soak` adds seeded soft errors
+//! (`--soft-error-rate`, `--retry-limit`) and more crash points;
+//! `--inject-breach` deliberately faults a victim slab to prove the
+//! monitors fail loudly. Reports land under
+//! `target/experiments/campaign-{storm,soak}.{json,csv}`.
 
 use gpu_sim::GpuConfig;
 use plutus_bench::{
@@ -80,9 +98,10 @@ use plutus_bench::{
 use plutus_core::value_analysis::analyze_trace;
 use plutus_exec::Executor;
 use plutus_recovery::{
-    crash_gate, crash_table, run_crash_campaign_on, run_transient_campaign_on, save_crash_campaign,
-    save_transient_campaign, transient_gate, transient_table, CrashCampaignConfig,
-    TransientCampaignConfig,
+    crash_gate, crash_table, run_crash_campaign_on, run_storm_campaign_on,
+    run_transient_campaign_on, save_crash_campaign, save_storm_campaign, save_transient_campaign,
+    storm_gate, storm_table, transient_gate, transient_table, CrashCampaignConfig,
+    StormCampaignConfig, TransientCampaignConfig,
 };
 use plutus_telemetry::{CycleClock, Event, Telemetry, DEFAULT_TRACE_CAPACITY};
 use secure_mem::SecureMemConfig;
@@ -106,6 +125,10 @@ enum CampaignSel {
     Transient,
     /// Crash injection with checkpoint restore and recovery.
     Crash,
+    /// Multi-tenant overflow storm with live key rotation.
+    Storm,
+    /// The storm plus soft errors and more crash points.
+    Soak,
 }
 
 struct Args {
@@ -127,7 +150,9 @@ struct Args {
     trace_sample: u64,
     bench_out: Option<PathBuf>,
     compare: Option<PathBuf>,
-    tolerance: f64,
+    tolerance: Option<f64>,
+    tenants: Option<usize>,
+    inject_breach: bool,
     ledger_out: Option<PathBuf>,
     tel: Telemetry,
     exec: Executor,
@@ -236,9 +261,12 @@ fn parse_args(tel: &Telemetry) -> Args {
     let mut trace_sample = 1u64;
     let mut bench_out = None;
     let mut compare = None;
-    let mut tolerance = 0.02;
+    let mut tolerance = None;
+    let mut tenants = None;
+    let mut inject_breach = false;
     let mut ledger_out = None;
     let mut heartbeat = None;
+    let mut watchdog = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -292,13 +320,15 @@ fn parse_args(tel: &Telemetry) -> Args {
                 campaign = match argv.get(i).map(String::as_str) {
                     Some("transient") => Some(CampaignSel::Transient),
                     Some("crash") => Some(CampaignSel::Crash),
+                    Some("storm") => Some(CampaignSel::Storm),
+                    Some("soak") => Some(CampaignSel::Soak),
                     Some(s) => match CampaignKind::parse(s) {
                         Some(k) => Some(CampaignSel::Adversarial(k)),
                         None => fail(
                             tel,
                             format!(
                                 "unknown campaign {s:?}; expected \
-                                 tamper|replay|rollback|sweep|transient|crash"
+                                 tamper|replay|rollback|sweep|transient|crash|storm|soak"
                             ),
                         ),
                     },
@@ -391,10 +421,18 @@ fn parse_args(tel: &Telemetry) -> Args {
             "--tolerance" => {
                 i += 1;
                 tolerance = match argv.get(i).and_then(|s| s.parse::<f64>().ok()) {
-                    Some(t) if t >= 0.0 && t.is_finite() => t,
+                    Some(t) if t >= 0.0 && t.is_finite() => Some(t),
                     _ => fail(tel, "--tolerance requires a non-negative fraction".into()),
                 };
             }
+            "--tenants" => {
+                i += 1;
+                tenants = match argv.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => fail(tel, "--tenants requires a positive victim count".into()),
+                };
+            }
+            "--inject-breach" => inject_breach = true,
             "--ledger-out" => {
                 i += 1;
                 match argv.get(i) {
@@ -409,6 +447,16 @@ fn parse_args(tel: &Telemetry) -> Args {
                     _ => fail(
                         tel,
                         "--heartbeat requires a positive number of seconds".into(),
+                    ),
+                };
+            }
+            "--watchdog" => {
+                i += 1;
+                watchdog = match argv.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(m) if m > 0.0 && m.is_finite() => Some(m),
+                    _ => fail(
+                        tel,
+                        "--watchdog requires a positive multiple of the median job time".into(),
                     ),
                 };
             }
@@ -442,6 +490,15 @@ fn parse_args(tel: &Telemetry) -> Args {
     let exec = Executor::with_telemetry(jobs, tel.clone());
     if let Some(interval) = heartbeat {
         exec.set_heartbeat(interval);
+        // The watchdog observes from the heartbeat monitor thread, so
+        // it defaults on (4x the running median) whenever progress
+        // lines are requested; `--watchdog M` overrides the multiple.
+        exec.set_watchdog(watchdog.unwrap_or(4.0));
+    } else if let Some(multiple) = watchdog {
+        fail(
+            tel,
+            format!("--watchdog {multiple} has no effect without --heartbeat"),
+        );
     }
     Args {
         experiment,
@@ -463,6 +520,8 @@ fn parse_args(tel: &Telemetry) -> Args {
         bench_out,
         compare,
         tolerance,
+        tenants,
+        inject_breach,
         ledger_out,
         tel: tel.clone(),
         exec,
@@ -571,6 +630,86 @@ fn run_transient_cli(args: &Args, cfg: &GpuConfig) {
     }
 }
 
+/// Runs the multi-tenant overflow-storm (or soak) chaos campaign,
+/// exiting nonzero on any isolation, backpressure, conservation, Eq. 1,
+/// or rotation-recovery breach.
+fn run_storm_cli(args: &Args, soak: bool) {
+    let mut campaign = if soak {
+        StormCampaignConfig::soak(args.seed)
+    } else {
+        StormCampaignConfig::new(args.seed)
+    };
+    // The campaign composes its own multi-tenant traces sized against
+    // the small simulator geometry: co-tenant thrash must actually evict
+    // the adversary's probe sectors or injected tampering is never
+    // re-verified. Scale stretches the run, not the machine.
+    let cfg = GpuConfig::test_small();
+    match args.scale {
+        Scale::Test => {
+            campaign.accesses_per_tenant = 900;
+            campaign.faults = 12;
+            campaign.crash_points = campaign.crash_points.min(1);
+        }
+        Scale::Small => {}
+        Scale::Paper => {
+            campaign.accesses_per_tenant = 8000;
+            campaign.faults = 48;
+            campaign.crash_points += 1;
+        }
+    }
+    if let Some(n) = args.tenants {
+        campaign.victims = n;
+    }
+    if let Some(t) = args.trials {
+        campaign.crash_points = t;
+    }
+    if let Some(f) = args.faults_per_run {
+        campaign.faults = f;
+    }
+    if let Some(c) = args.checkpoint_cycles {
+        campaign.checkpoint_cycles = c;
+    }
+    if let Some(t) = args.tolerance {
+        campaign.ipc_tolerance = t;
+    }
+    if let Some(r) = args.soft_error_rate {
+        campaign.soft_error_rate = r;
+    }
+    if let Some(l) = args.retry_limit {
+        campaign.retry_limit = l;
+    }
+    campaign.inject_breach = args.inject_breach;
+    let name = if soak { "soak" } else { "storm" };
+    println!(
+        "=== campaign {name} ({} victims + adversary, {} accesses/tenant, {} faults, \
+         {} crash points, ipc tolerance {:.0}%, seed {}{}) ===",
+        campaign.victims,
+        campaign.accesses_per_tenant,
+        campaign.faults,
+        campaign.crash_points,
+        campaign.ipc_tolerance * 100.0,
+        campaign.seed,
+        if campaign.inject_breach {
+            ", BREACH INJECTED"
+        } else {
+            ""
+        }
+    );
+    let rows = run_storm_campaign_on(&args.exec, &campaign, &cfg);
+    println!("{}", storm_table(&rows, &campaign));
+    let path = match save_storm_campaign(&format!("campaign-{name}"), &rows, &campaign) {
+        Ok(p) => p,
+        Err(e) => fail(&args.tel, format!("cannot write {name} results: {e}")),
+    };
+    println!("saved {} (and .csv)", path.display());
+    match storm_gate(&rows, &campaign) {
+        Ok(()) => println!(
+            "gate OK: victims isolated, backpressure held, rotation recovered bit-identical"
+        ),
+        Err(e) => fail(&args.tel, format!("{name} campaign breached: {e}")),
+    }
+}
+
 /// Runs the crash-injection campaign, exiting nonzero unless every
 /// restore-and-recover audit reads back bit-identical.
 fn run_crash_cli(args: &Args, cfg: &GpuConfig) {
@@ -620,6 +759,8 @@ fn main() {
             CampaignSel::Adversarial(kind) => run_campaign_cli(&args, &cfg, kind),
             CampaignSel::Transient => run_transient_cli(&args, &cfg),
             CampaignSel::Crash => run_crash_cli(&args, &cfg),
+            CampaignSel::Storm => run_storm_cli(&args, false),
+            CampaignSel::Soak => run_storm_cli(&args, true),
         }
         write_sched_stats(&args);
         write_metrics(&args);
@@ -740,21 +881,21 @@ fn write_ledger(args: &Args) {
             format!("cycle-ledger conservation violated:\n{e}"),
         );
     }
-    if let Err(e) = std::fs::write(path, ledger_json(&rows).to_string_pretty()) {
+    if let Err(e) = plutus_telemetry::atomic_write(path, ledger_json(&rows).to_string_pretty()) {
         fail(
             &args.tel,
             format!("cannot write ledger to {}: {e}", path.display()),
         );
     }
     let csv = path.with_extension("csv");
-    if let Err(e) = std::fs::write(&csv, ledger_csv(&rows)) {
+    if let Err(e) = plutus_telemetry::atomic_write(&csv, ledger_csv(&rows)) {
         fail(
             &args.tel,
             format!("cannot write ledger CSV to {}: {e}", csv.display()),
         );
     }
     let folded = path.with_extension("folded");
-    if let Err(e) = std::fs::write(&folded, ledger_folded(&rows)) {
+    if let Err(e) = plutus_telemetry::atomic_write(&folded, ledger_folded(&rows)) {
         fail(
             &args.tel,
             format!("cannot write ledger stacks to {}: {e}", folded.display()),
@@ -784,7 +925,7 @@ fn write_metrics(args: &Args) {
             MetricsFormat::Json => report.to_json().to_string_pretty(),
             MetricsFormat::Csv => report.to_csv(),
         };
-        if let Err(e) = std::fs::write(path, text) {
+        if let Err(e) = plutus_telemetry::atomic_write(path, text) {
             fail(
                 &args.tel,
                 format!("cannot write metrics to {}: {e}", path.display()),
@@ -805,14 +946,14 @@ fn write_trace(args: &Args) {
     let traces = args.traces.borrow();
     let sched = args.exec.stats();
     let doc = chrome_trace(&traces, Some(&sched));
-    if let Err(e) = std::fs::write(path, doc.to_string_compact()) {
+    if let Err(e) = plutus_telemetry::atomic_write(path, doc.to_string_compact()) {
         fail(
             &args.tel,
             format!("cannot write trace to {}: {e}", path.display()),
         );
     }
     let folded = path.with_extension("folded");
-    if let Err(e) = std::fs::write(&folded, collapsed_stack(&traces)) {
+    if let Err(e) = plutus_telemetry::atomic_write(&folded, collapsed_stack(&traces)) {
         fail(
             &args.tel,
             format!("cannot write stacks to {}: {e}", folded.display()),
@@ -849,7 +990,7 @@ fn run_bench_gate(args: &Args) {
     }
     let snapshot = bench_snapshot(&rows).to_string_pretty();
     if let Some(path) = &args.bench_out {
-        if let Err(e) = std::fs::write(path, &snapshot) {
+        if let Err(e) = plutus_telemetry::atomic_write(path, &snapshot) {
             fail(
                 &args.tel,
                 format!("cannot write bench snapshot to {}: {e}", path.display()),
@@ -865,13 +1006,14 @@ fn run_bench_gate(args: &Args) {
                 format!("cannot read baseline {}: {e}", base_path.display()),
             ),
         };
-        match compare_bench(&snapshot, &baseline, args.tolerance) {
+        let tolerance = args.tolerance.unwrap_or(0.02);
+        match compare_bench(&snapshot, &baseline, tolerance) {
             Err(e) => fail(&args.tel, format!("regression comparison failed: {e}")),
             Ok(regressions) if !regressions.is_empty() => {
                 eprintln!(
                     "regression gate FAILED against {} (tolerance {:.1}%):",
                     base_path.display(),
-                    args.tolerance * 100.0
+                    tolerance * 100.0
                 );
                 for r in &regressions {
                     eprintln!("  {r}");
@@ -882,7 +1024,7 @@ fn run_bench_gate(args: &Args) {
                 "regression gate OK against {} ({} entries, tolerance {:.1}%)",
                 base_path.display(),
                 rows.len(),
-                args.tolerance * 100.0
+                tolerance * 100.0
             ),
         }
     }

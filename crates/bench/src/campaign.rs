@@ -622,8 +622,8 @@ pub fn save_campaign(name: &str, rows: &[CampaignRow]) -> std::io::Result<PathBu
     let dir = Path::new("target/experiments");
     std::fs::create_dir_all(dir)?;
     let json_path = dir.join(format!("{name}.json"));
-    std::fs::write(&json_path, campaign_json(rows).to_string_pretty())?;
-    std::fs::write(dir.join(format!("{name}.csv")), campaign_csv(rows))?;
+    plutus_telemetry::atomic_write(&json_path, campaign_json(rows).to_string_pretty())?;
+    plutus_telemetry::atomic_write(dir.join(format!("{name}.csv")), campaign_csv(rows))?;
     Ok(json_path)
 }
 

@@ -87,7 +87,7 @@ pub fn save_json(name: &str, rows: &[Measurement]) -> std::io::Result<std::path:
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
     let doc = Json::Array(rows.iter().map(measurement_json).collect());
-    std::fs::write(&path, doc.to_string_pretty())?;
+    plutus_telemetry::atomic_write(&path, doc.to_string_pretty())?;
     Ok(path)
 }
 

@@ -24,12 +24,14 @@ use crate::compact::CompactCounters;
 use crate::config::PlutusConfig;
 use crate::verify::{ValueVerifier, Verdict, WriteScreen};
 use gpu_sim::{
-    BackingMemory, EngineFactory, FillPlan, MetaFault, RecoveryError, RecoveryReport, SectorAddr,
-    SecurityEngine, Violation, WritePlan,
+    BackingMemory, DramReq, EngineFactory, FillPlan, MetaFault, RecoveryError, RecoveryReport,
+    SectorAddr, SecurityEngine, TrafficClass, Violation, WritePlan,
 };
 use plutus_telemetry::{Counter, Event, Telemetry, TraceId, Tracer};
-use secure_mem::{CounterAccess, CounterSystem, DataCipher, MacSystem, SecureMemError};
-use std::collections::HashMap;
+use secure_mem::{
+    CounterAccess, CounterSystem, DataCipher, MacSystem, SecureMemError, TenantCrypto,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Fill failures (retries or escalations) before the value-cache fast path
 /// is frozen and every read pays full MAC verification.
@@ -54,6 +56,16 @@ enum RecoverKind {
     Value,
 }
 
+/// A counter candidate that checked out during crash recovery.
+#[derive(Clone, Copy)]
+struct Candidate {
+    /// Proven by the persistent MAC (vs vouched by the pinned screen).
+    by_mac: bool,
+    /// Verified under the pending new-generation cipher of a mid-flight
+    /// key-rotation walk (the crash reverted the walk frontier).
+    new_gen: bool,
+}
+
 /// The Plutus engine (one per memory partition).
 #[derive(Debug, Clone)]
 pub struct PlutusEngine {
@@ -63,6 +75,9 @@ pub struct PlutusEngine {
     macs: MacSystem,
     verifier: Option<ValueVerifier>,
     compact: Option<CompactCounters>,
+    /// Per-tenant key table, rotation walk, and storm gate (multi-tenant
+    /// operation only).
+    tenancy: Option<TenantCrypto>,
     fills: u64,
     writebacks: u64,
     mac_fetches_avoided: u64,
@@ -70,6 +85,10 @@ pub struct PlutusEngine {
     compact_fallbacks: u64,
     fill_failures: u64,
     verifier_frozen: bool,
+    /// Per-tenant ladder state (tenancy only): an attacked tenant's
+    /// value-cache freeze never widens to other tenants.
+    tenant_fill_failures: BTreeMap<u32, u64>,
+    frozen_tenants: BTreeSet<u32>,
     block_failures: HashMap<u64, u32>,
     blocks_frozen: u64,
     tel: Telemetry,
@@ -114,6 +133,11 @@ impl PlutusEngine {
                     cfg.mem.disable_tree,
                 )
             }),
+            tenancy: cfg
+                .mem
+                .tenancy
+                .clone()
+                .map(|t| TenantCrypto::new(cfg.mem.cipher, t)),
             cfg,
             fills: 0,
             writebacks: 0,
@@ -122,6 +146,8 @@ impl PlutusEngine {
             compact_fallbacks: 0,
             fill_failures: 0,
             verifier_frozen: false,
+            tenant_fill_failures: BTreeMap::new(),
+            frozen_tenants: BTreeSet::new(),
             block_failures: HashMap::new(),
             blocks_frozen: 0,
             tel: Telemetry::disabled(),
@@ -158,13 +184,119 @@ impl PlutusEngine {
         self.verifier.as_ref()
     }
 
+    /// The effective cipher for `sector`: the single shared cipher, or —
+    /// under tenancy — the owning tenant's current generation (old
+    /// generation past a live rotation-walk frontier).
+    fn cipher_for(&self, sector: SectorAddr) -> &DataCipher {
+        match &self.tenancy {
+            Some(tc) => tc.cipher_for(sector),
+            None => &self.cipher,
+        }
+    }
+
     fn read_plaintext(&self, sector: SectorAddr, ctr: u64, mem: &BackingMemory) -> [u8; 32] {
+        self.read_plaintext_with(self.cipher_for(sector), sector, ctr, mem)
+    }
+
+    fn read_plaintext_with(
+        &self,
+        cipher: &DataCipher,
+        sector: SectorAddr,
+        ctr: u64,
+        mem: &BackingMemory,
+    ) -> [u8; 32] {
         match mem.read(sector) {
             Some(mut ct) => {
-                self.cipher.decrypt(&mut ct, sector, ctr);
+                cipher.decrypt(&mut ct, sector, ctr);
                 ct
             }
             None => [0; 32],
+        }
+    }
+
+    /// Advances a live key-rotation walk by a bounded number of sectors
+    /// (see the PSSM engine for the walk invariant; mechanics are
+    /// identical, except the live counter may come from the compact
+    /// layer).
+    fn rotation_step(
+        &mut self,
+        mem: &mut BackingMemory,
+        reads: &mut Vec<DramReq>,
+        writes: &mut Vec<DramReq>,
+    ) {
+        let Some(tc) = &self.tenancy else {
+            return;
+        };
+        let Some((frontier, end, step)) = tc.walk_window() else {
+            return;
+        };
+        let step = step as usize;
+        // The work list is the ownership registry, not the MAC tag
+        // table: MAC-skip sectors carry ciphertext but no stored tag.
+        let addrs = tc.owned_in_range(frontier, end, step);
+        let done = addrs.len() < step;
+        let mut last = frontier;
+        for addr in addrs {
+            let ctr = self.live_counter(addr);
+            if let Some(tc) = &mut self.tenancy {
+                if tc.rotate_sector(addr, ctr, mem) {
+                    reads.push(DramReq::new(addr.raw(), 32, TrafficClass::Data));
+                    writes.push(DramReq::new(addr.raw(), 32, TrafficClass::Data));
+                }
+            }
+            last = addr.raw();
+        }
+        let Some(tc) = &mut self.tenancy else {
+            return;
+        };
+        if done {
+            tc.finish_walk();
+        } else {
+            tc.advance_frontier(last + 32);
+        }
+    }
+
+    /// Drains a little of `addr`'s tenant's deferred storm traffic into
+    /// the current plan.
+    fn drain_storm(
+        &mut self,
+        addr: SectorAddr,
+        reads: &mut Vec<DramReq>,
+        writes: &mut Vec<DramReq>,
+    ) {
+        if let Some(tc) = &mut self.tenancy {
+            let t = tc.tenant_of(addr);
+            tc.storm_drain_into(t, reads, writes);
+        }
+    }
+
+    /// Books an overflow re-encryption's traffic: inline within the
+    /// tenant's storm burst budget, deferred to the offender's own later
+    /// accesses past it.
+    fn book_overflow(
+        &mut self,
+        addr: SectorAddr,
+        old_values: &[u64],
+        new_value: u64,
+        mem: &mut BackingMemory,
+        plan: &mut WritePlan,
+    ) {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        self.reencrypt_group(addr, old_values, new_value, mem, &mut reads, &mut writes);
+        let admit = match &mut self.tenancy {
+            Some(tc) => {
+                let t = tc.tenant_of(addr);
+                tc.storm_admit(t)
+            }
+            None => true,
+        };
+        if admit {
+            plan.async_reads.extend(reads);
+            plan.writes.extend(writes);
+        } else if let Some(tc) = &mut self.tenancy {
+            let t = tc.tenant_of(addr);
+            tc.storm_defer(t, reads, writes);
         }
     }
 
@@ -221,14 +353,16 @@ impl PlutusEngine {
     }
 
     /// Re-encrypts an overflowed counter group (same mechanics as the PSSM
-    /// baseline).
+    /// baseline). Traffic is emitted into `reads`/`writes` so the caller
+    /// can book it inline or route it through the storm gate.
     fn reencrypt_group(
         &mut self,
         written: SectorAddr,
         old_values: &[u64],
         new_value: u64,
         mem: &mut BackingMemory,
-        plan: &mut WritePlan,
+        reads: &mut Vec<DramReq>,
+        writes: &mut Vec<DramReq>,
     ) {
         self.tracer.mark(
             self.cur_trace,
@@ -254,29 +388,42 @@ impl PlutusEngine {
             let Some(mut data) = mem.read(sector) else {
                 continue;
             };
-            self.cipher.decrypt(&mut data, sector, *old);
+            self.cipher_for(sector).decrypt(&mut data, sector, *old);
             let plaintext = data;
             let mut ct = plaintext;
-            self.cipher.encrypt(&mut ct, sector, new_value);
+            self.cipher_for(sector).encrypt(&mut ct, sector, new_value);
             mem.write(sector, ct);
             self.macs.update_silently(sector, &plaintext, new_value);
-            plan.async_reads.push(gpu_sim::DramReq::new(
-                sector.raw(),
-                32,
-                gpu_sim::TrafficClass::Data,
-            ));
-            plan.writes.push(gpu_sim::DramReq::new(
-                sector.raw(),
-                32,
-                gpu_sim::TrafficClass::Data,
-            ));
+            reads.push(DramReq::new(sector.raw(), 32, TrafficClass::Data));
+            writes.push(DramReq::new(sector.raw(), 32, TrafficClass::Data));
         }
     }
 
     /// True while the value-verification fast path is in use (configured
-    /// and not frozen by the degradation ladder).
+    /// and not frozen by the degradation ladder). Under tenancy this is
+    /// the any-tenant view; per-address scoping is
+    /// [`Self::verifier_frozen_for`].
     pub fn verifier_active(&self) -> bool {
         self.verifier.is_some() && !self.verifier_frozen
+    }
+
+    /// True when `tenant`'s value-verification fast path is still live
+    /// (tenancy only; single-tenant callers use
+    /// [`Self::verifier_active`]).
+    pub fn verifier_active_for(&self, tenant: u32) -> bool {
+        self.verifier.is_some() && !self.verifier_frozen && !self.frozen_tenants.contains(&tenant)
+    }
+
+    /// Whether the degradation ladder has frozen the fast path for reads
+    /// of `addr`: per-tenant under tenancy, global otherwise.
+    fn verifier_frozen_for(&self, addr: SectorAddr) -> bool {
+        if self.verifier_frozen {
+            return true;
+        }
+        match &self.tenancy {
+            Some(tc) => self.frozen_tenants.contains(&tc.tenant_of(addr)),
+            None => false,
+        }
     }
 
     /// The counter a read of `addr` would decrypt with right now, without
@@ -291,28 +438,78 @@ impl PlutusEngine {
         self.counters.peek_value(addr)
     }
 
-    /// Checks one counter candidate during crash recovery. `Some(true)` —
-    /// proven by the persistent MAC; `Some(false)` — vouched by the
-    /// pinned-value screen (the MAC update was legitimately skipped);
-    /// `None` — neither.
-    fn candidate_ok(&self, addr: SectorAddr, v: u64, mem: &BackingMemory) -> Option<bool> {
+    /// Checks one counter candidate during crash recovery: the persistent
+    /// MAC first (under the effective cipher, then — mid-rotation — the
+    /// pending new generation), then the pinned-value screen the same
+    /// way.
+    fn candidate_ok(&self, addr: SectorAddr, v: u64, mem: &BackingMemory) -> Option<Candidate> {
+        let pending = self
+            .tenancy
+            .as_ref()
+            .and_then(|tc| tc.pending_new_gen(addr));
         let pt = self.read_plaintext(addr, v, mem);
         if self.macs.verify(addr, &pt, v) {
-            return Some(true);
+            return Some(Candidate {
+                by_mac: true,
+                new_gen: false,
+            });
+        }
+        if let Some(cipher) = pending {
+            let npt = self.read_plaintext_with(cipher, addr, v, mem);
+            if self.macs.verify(addr, &npt, v) {
+                return Some(Candidate {
+                    by_mac: true,
+                    new_gen: true,
+                });
+            }
         }
         if self
             .verifier
             .as_ref()
             .is_some_and(|ver| ver.screen_pinned(&pt))
         {
-            return Some(false);
+            return Some(Candidate {
+                by_mac: false,
+                new_gen: false,
+            });
+        }
+        if let Some(cipher) = pending {
+            let npt = self.read_plaintext_with(cipher, addr, v, mem);
+            if self
+                .verifier
+                .as_ref()
+                .is_some_and(|ver| ver.screen_pinned(&npt))
+            {
+                return Some(Candidate {
+                    by_mac: false,
+                    new_gen: true,
+                });
+            }
         }
         None
     }
 
+    /// Repairs the MAC of a value-vouched sector in place, decrypting
+    /// under the generation the candidate verified with.
+    fn repair_mac(&mut self, addr: SectorAddr, v: u64, new_gen: bool, mem: &BackingMemory) {
+        let pt = if new_gen {
+            match self
+                .tenancy
+                .as_ref()
+                .and_then(|tc| tc.pending_new_gen(addr))
+            {
+                Some(cipher) => self.read_plaintext_with(cipher, addr, v, mem),
+                None => return,
+            }
+        } else {
+            self.read_plaintext(addr, v, mem)
+        };
+        self.macs.update_silently(addr, &pt, v);
+    }
+
     /// Accepts candidate `v` for `addr`: places the value in the layer that
     /// serves the sector and repairs the MAC if it was vouched by value.
-    fn accept_candidate(&mut self, addr: SectorAddr, v: u64, by_mac: bool, mem: &BackingMemory) {
+    fn accept_candidate(&mut self, addr: SectorAddr, v: u64, cand: Candidate, mem: &BackingMemory) {
         let compact_live = match &self.compact {
             Some(c) if !c.is_disabled(addr) => v < u64::from(c.kind().saturation()),
             _ => false,
@@ -333,23 +530,27 @@ impl PlutusEngine {
                 }
             }
         }
-        if !by_mac {
-            let pt = self.read_plaintext(addr, v, mem);
-            self.macs.update_silently(addr, &pt, v);
+        if !cand.by_mac {
+            self.repair_mac(addr, v, cand.new_gen, mem);
         }
     }
 
     /// Phoenix-style recovery of one sector: current value first, then the
     /// compact range, then the split range from the recovery floor.
-    fn recover_sector(&mut self, addr: SectorAddr, mem: &BackingMemory) -> Option<RecoverKind> {
+    /// Returns the kind and whether the sector verified under the pending
+    /// new generation.
+    fn recover_sector(
+        &mut self,
+        addr: SectorAddr,
+        mem: &BackingMemory,
+    ) -> Option<(RecoverKind, bool)> {
         let live = self.live_counter(addr);
-        if let Some(by_mac) = self.candidate_ok(addr, live, mem) {
-            if !by_mac {
-                let pt = self.read_plaintext(addr, live, mem);
-                self.macs.update_silently(addr, &pt, live);
-                return Some(RecoverKind::Value);
+        if let Some(cand) = self.candidate_ok(addr, live, mem) {
+            if !cand.by_mac {
+                self.repair_mac(addr, live, cand.new_gen, mem);
+                return Some((RecoverKind::Value, cand.new_gen));
             }
-            return Some(RecoverKind::Consistent);
+            return Some((RecoverKind::Consistent, cand.new_gen));
         }
         if let Some(c) = &self.compact {
             if !c.is_disabled(addr) {
@@ -357,13 +558,16 @@ impl PlutusEngine {
                     if v == live {
                         continue;
                     }
-                    if let Some(by_mac) = self.candidate_ok(addr, v, mem) {
-                        self.accept_candidate(addr, v, by_mac, mem);
-                        return Some(if by_mac {
-                            RecoverKind::Mac
-                        } else {
-                            RecoverKind::Value
-                        });
+                    if let Some(cand) = self.candidate_ok(addr, v, mem) {
+                        self.accept_candidate(addr, v, cand, mem);
+                        return Some((
+                            if cand.by_mac {
+                                RecoverKind::Mac
+                            } else {
+                                RecoverKind::Value
+                            },
+                            cand.new_gen,
+                        ));
                     }
                 }
             }
@@ -373,13 +577,16 @@ impl PlutusEngine {
             if v == live {
                 continue;
             }
-            if let Some(by_mac) = self.candidate_ok(addr, v, mem) {
-                self.accept_candidate(addr, v, by_mac, mem);
-                return Some(if by_mac {
-                    RecoverKind::Mac
-                } else {
-                    RecoverKind::Value
-                });
+            if let Some(cand) = self.candidate_ok(addr, v, mem) {
+                self.accept_candidate(addr, v, cand, mem);
+                return Some((
+                    if cand.by_mac {
+                        RecoverKind::Mac
+                    } else {
+                        RecoverKind::Value
+                    },
+                    cand.new_gen,
+                ));
             }
         }
         None
@@ -394,8 +601,11 @@ impl SecurityEngine for PlutusEngine {
     fn install(&mut self, addr: SectorAddr, plaintext: &[u8; 32], mem: &mut BackingMemory) {
         // Counter 0 in both the compact and original layers.
         let mut ct = *plaintext;
-        self.cipher.encrypt(&mut ct, addr, 0);
+        self.cipher_for(addr).encrypt(&mut ct, addr, 0);
         mem.write(addr, ct);
+        if let Some(tc) = &mut self.tenancy {
+            tc.note_owned(addr);
+        }
         self.macs.update_silently(addr, plaintext, 0);
     }
 
@@ -431,9 +641,11 @@ impl SecurityEngine for PlutusEngine {
             lat.aes_latency
         };
 
-        let verdict = if self.verifier_frozen {
-            // Degraded mode: the fast path is frozen; every read takes the
-            // conventional parallel-MAC branch below.
+        let frozen = self.verifier_frozen_for(addr);
+        let verdict = if frozen {
+            // Degraded mode (global, or this address's tenant): the fast
+            // path is frozen; every read takes the conventional
+            // parallel-MAC branch below.
             None
         } else {
             self.verifier.as_mut().map(|v| v.verify_read(&plaintext))
@@ -479,7 +691,7 @@ impl SecurityEngine for PlutusEngine {
                     // screen (the guarantee skip-MAC relied on) still
                     // vouches for it. Repair the MAC so the fallback is
                     // one-time.
-                    let vouched = self.verifier_frozen
+                    let vouched = frozen
                         && self
                             .verifier
                             .as_ref()
@@ -492,6 +704,9 @@ impl SecurityEngine for PlutusEngine {
                 }
             }
         }
+        // Background tenancy work rides on the fill's plan.
+        self.rotation_step(mem, &mut plan.async_reads, &mut plan.writes);
+        self.drain_storm(addr, &mut plan.async_reads, &mut plan.writes);
         plan
     }
 
@@ -505,6 +720,10 @@ impl SecurityEngine for PlutusEngine {
         let _span = self.tel.span("engine.writeback");
         let mut plan = WritePlan::default();
         let mut chain = Vec::new();
+        if let Some(tc) = &mut self.tenancy {
+            let t = tc.tenant_of(addr);
+            tc.storm_tick(t);
+        }
 
         // Advance the counter through the compact layer when present.
         let ctr = if let Some(compact) = self.compact.as_mut() {
@@ -542,7 +761,7 @@ impl SecurityEngine for PlutusEngine {
                             &mut plan.writes,
                             &mut plan.violation,
                         );
-                        self.reencrypt_group(addr, &old, value, mem, &mut plan);
+                        self.book_overflow(addr, &old, value, mem, &mut plan);
                     } else {
                         Self::merge_counter(
                             oa,
@@ -581,7 +800,7 @@ impl SecurityEngine for PlutusEngine {
                     &mut plan.writes,
                     &mut plan.violation,
                 );
-                self.reencrypt_group(addr, &old, value, mem, &mut plan);
+                self.book_overflow(addr, &old, value, mem, &mut plan);
             } else {
                 Self::merge_counter(
                     oa,
@@ -599,13 +818,16 @@ impl SecurityEngine for PlutusEngine {
 
         // Encrypt and store.
         let mut ct = *plaintext;
-        self.cipher.encrypt(&mut ct, addr, ctr);
+        self.cipher_for(addr).encrypt(&mut ct, addr, ctr);
         mem.write(addr, ct);
+        if let Some(tc) = &mut self.tenancy {
+            tc.note_owned(addr);
+        }
 
         // MAC update, unless the pinned value screen guarantees the next
         // read verifies by value.
         let lat = self.cfg.mem.latencies;
-        let screen = if self.verifier_frozen {
+        let screen = if self.verifier_frozen_for(addr) {
             None // degraded mode: never skip MAC updates
         } else {
             self.verifier.as_mut().map(|v| v.screen_write(plaintext))
@@ -629,6 +851,8 @@ impl SecurityEngine for PlutusEngine {
             plan.writes.extend(ma.writes);
             plan.crypto_latency = lat.aes_latency + lat.mac_latency;
         }
+        self.rotation_step(mem, &mut plan.async_reads, &mut plan.writes);
+        self.drain_storm(addr, &mut plan.async_reads, &mut plan.writes);
         plan
     }
 
@@ -693,7 +917,27 @@ impl SecurityEngine for PlutusEngine {
             u64::from(self.verifier_frozen),
         ));
         out.push(("degraded_blocks_frozen".into(), self.blocks_frozen));
+        if let Some(tc) = &self.tenancy {
+            out.extend(tc.extra_stats());
+            for (&t, &n) in &self.tenant_fill_failures {
+                out.push((format!("ladder_fill_failures_t{t}"), n));
+            }
+            for &t in &self.frozen_tenants {
+                out.push((format!("ladder_frozen_t{t}"), 1));
+            }
+        }
         out
+    }
+
+    fn start_key_rotation(&mut self, tenant: u32) -> bool {
+        match &mut self.tenancy {
+            Some(tc) => tc.start_rotation(tenant),
+            None => false,
+        }
+    }
+
+    fn rotation_active(&self) -> bool {
+        self.tenancy.as_ref().is_some_and(|tc| tc.rotation_active())
     }
 
     fn inject_fault(&mut self, addr: SectorAddr, fault: MetaFault) -> bool {
@@ -725,7 +969,25 @@ impl SecurityEngine for PlutusEngine {
 
     fn note_fill_failure(&mut self, addr: SectorAddr, _recovered: bool) {
         self.fill_failures += 1;
-        if !self.verifier_frozen
+        if let Some(tc) = &self.tenancy {
+            // Tenancy: the ladder is scoped to the failing address's
+            // tenant — an attacked tenant's freeze never widens.
+            let tenant = tc.tenant_of(addr);
+            let n = self.tenant_fill_failures.entry(tenant).or_insert(0);
+            *n += 1;
+            if *n >= VERIFIER_FREEZE_FAILURES
+                && self.verifier.is_some()
+                && self.frozen_tenants.insert(tenant)
+            {
+                if self.tel.enabled() {
+                    self.tel.event(Event::Degraded {
+                        mode: format!("value_cache_disabled_t{tenant}"),
+                        addr: addr.raw(),
+                    });
+                }
+                self.tracer.mark(self.cur_trace, "degrade", addr.raw(), 1);
+            }
+        } else if !self.verifier_frozen
             && self.verifier.is_some()
             && self.fill_failures >= VERIFIER_FREEZE_FAILURES
         {
@@ -795,13 +1057,33 @@ impl SecurityEngine for PlutusEngine {
         sectors: &[SectorAddr],
     ) -> Result<RecoveryReport, RecoveryError> {
         let mut report = RecoveryReport::default();
+        // Highest sector proven to already carry a mid-rotation new
+        // generation (the walk is address-ordered, so everything up to it
+        // is done; see the PSSM engine).
+        let mut max_new_gen: Option<u64> = None;
         for &addr in sectors {
             match self.recover_sector(addr, mem) {
-                Some(RecoverKind::Consistent) => report.already_consistent += 1,
-                Some(RecoverKind::Mac) => report.recovered_by_mac += 1,
-                Some(RecoverKind::Value) => report.recovered_by_value += 1,
+                Some((kind, new_gen)) => {
+                    if new_gen {
+                        max_new_gen = Some(max_new_gen.map_or(addr.raw(), |m| m.max(addr.raw())));
+                    }
+                    match kind {
+                        RecoverKind::Consistent => report.already_consistent += 1,
+                        RecoverKind::Mac => report.recovered_by_mac += 1,
+                        RecoverKind::Value => report.recovered_by_value += 1,
+                    }
+                    // Re-note ownership: the revert may have rolled the
+                    // registry back past sectors that verifiably hold
+                    // our ciphertext; a rotation walk must not skip them.
+                    if let Some(tc) = &mut self.tenancy {
+                        tc.note_owned(addr);
+                    }
+                }
                 None => report.failed.push(addr.raw()),
             }
+        }
+        if let Some(tc) = &mut self.tenancy {
+            tc.reconcile_frontier(max_new_gen);
         }
         Ok(report)
     }
@@ -1168,6 +1450,65 @@ mod tests {
             "vv_reads_need_mac",
         ] {
             assert!(stats.iter().any(|(n, _)| n == key), "missing stat {key}");
+        }
+    }
+
+    fn tenant_engine() -> (PlutusEngine, BackingMemory) {
+        use gpu_sim::TenantMap;
+        use secure_mem::TenancyConfig;
+        let mut map = TenantMap::new();
+        map.add_range(0, 0x10000, 1);
+        map.add_range(0x10000, 0x20000, 2);
+        let mut cfg = PlutusConfig::test_small();
+        cfg.mem.tenancy = Some(TenancyConfig::new(map, 11));
+        (PlutusEngine::new(cfg), BackingMemory::new())
+    }
+
+    #[test]
+    fn ladder_freeze_is_scoped_to_the_failing_tenant() {
+        let (mut e, mut mem) = tenant_engine();
+        let victim = SectorAddr::new(0x10040); // tenant 2
+        e.on_writeback(victim, &[7; 32], &mut mem);
+        // Attack tenant 1 past the freeze threshold.
+        for _ in 0..VERIFIER_FREEZE_FAILURES {
+            e.note_fill_failure(sector(0), true);
+        }
+        assert!(!e.verifier_active_for(1), "attacked tenant must freeze");
+        assert!(e.verifier_active_for(2), "victim tenant must stay live");
+        // Victim reads still use the value-verification fast path.
+        let f = e.on_fill(victim, &mut mem);
+        assert_eq!(f.plaintext, [7; 32]);
+        assert!(f.violation.is_none());
+        let stats = e.extra_stats();
+        assert!(stats
+            .iter()
+            .any(|(n, v)| n == "ladder_frozen_t1" && *v == 1));
+        assert!(!stats.iter().any(|(n, _)| n == "ladder_frozen_t2"));
+    }
+
+    #[test]
+    fn tenant_rotation_preserves_plaintext_and_macs() {
+        let (mut e, mut mem) = tenant_engine();
+        for i in 0..20u64 {
+            e.on_writeback(sector(i), &[i as u8; 32], &mut mem);
+        }
+        let before = mem.read(sector(0)).unwrap();
+        assert!(e.start_key_rotation(1));
+        let other = SectorAddr::new(0x10000);
+        let mut guard = 0;
+        while e.rotation_active() {
+            e.on_fill(other, &mut mem);
+            guard += 1;
+            assert!(guard < 100, "rotation walk must terminate");
+        }
+        assert_ne!(mem.read(sector(0)).unwrap(), before, "ciphertext rotated");
+        for i in 0..20u64 {
+            let f = e.on_fill(sector(i), &mut mem);
+            assert_eq!(f.plaintext, [i as u8; 32]);
+            assert!(
+                f.violation.is_none(),
+                "sector {i} must verify post-rotation"
+            );
         }
     }
 }

@@ -100,6 +100,20 @@ struct Inner {
     stats: Mutex<StatsAcc>,
     /// Heartbeat interval in milliseconds; 0 disables progress lines.
     heartbeat_ms: AtomicU64,
+    /// Watchdog multiple in thousandths (e.g. 4000 = 4x the running
+    /// median of completed job durations); 0 disables the watchdog.
+    watchdog_x1000: AtomicU64,
+    watchdog_ctr: Counter,
+}
+
+/// A job currently executing, as seen by the heartbeat monitor.
+struct RunningJob {
+    label: String,
+    started: Instant,
+    /// Whether the watchdog has already flagged this job — the
+    /// `sched.watchdog` counter increments once per straggler, not once
+    /// per heartbeat tick.
+    flagged: bool,
 }
 
 /// Progress state shared between a `run` call and its heartbeat thread:
@@ -107,32 +121,82 @@ struct Inner {
 struct HeartbeatState {
     done: AtomicUsize,
     total: usize,
-    running: Mutex<Vec<String>>,
+    running: Mutex<Vec<RunningJob>>,
+    /// Durations of completed jobs this run, in nanoseconds; feeds the
+    /// watchdog's running median.
+    finished_ns: Mutex<Vec<u64>>,
     stop: AtomicBool,
     start: Instant,
+    /// Watchdog multiple in thousandths (0 = watchdog off).
+    watchdog_x1000: u64,
+    watchdog_ctr: Counter,
 }
 
 impl HeartbeatState {
     fn begin(&self, label: &str) {
-        self.running.lock().unwrap().push(label.to_string());
+        self.running.lock().unwrap().push(RunningJob {
+            label: label.to_string(),
+            started: Instant::now(),
+            flagged: false,
+        });
     }
 
     fn finish(&self, label: &str) {
         let mut running = self.running.lock().unwrap();
-        if let Some(pos) = running.iter().position(|l| l == label) {
-            running.remove(pos);
+        if let Some(pos) = running.iter().position(|j| j.label == label) {
+            let job = running.remove(pos);
+            self.finished_ns
+                .lock()
+                .unwrap()
+                .push(job.started.elapsed().as_nanos() as u64);
         }
         drop(running);
         self.done.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// The watchdog threshold in nanoseconds: `multiple` times the
+    /// median completed-job duration, once at least three jobs have
+    /// finished (before that there is no trustworthy baseline).
+    fn watchdog_threshold_ns(&self) -> Option<u64> {
+        if self.watchdog_x1000 == 0 {
+            return None;
+        }
+        let mut finished = self.finished_ns.lock().unwrap().clone();
+        if finished.len() < 3 {
+            return None;
+        }
+        finished.sort_unstable();
+        let median = finished[finished.len() / 2];
+        Some(((median as u128 * self.watchdog_x1000 as u128) / 1000) as u64)
+    }
+
     fn print_line(&self) {
-        let running = self.running.lock().unwrap().join(", ");
+        let threshold = self.watchdog_threshold_ns();
+        let mut running = self.running.lock().unwrap();
+        let labels: Vec<String> = running
+            .iter_mut()
+            .map(|job| match threshold {
+                Some(limit) if job.started.elapsed().as_nanos() as u64 > limit => {
+                    if !job.flagged {
+                        job.flagged = true;
+                        self.watchdog_ctr.inc();
+                    }
+                    format!(
+                        "{} [SLOW {:.1}s]",
+                        job.label,
+                        job.started.elapsed().as_secs_f64()
+                    )
+                }
+                _ => job.label.clone(),
+            })
+            .collect();
+        drop(running);
         eprintln!(
-            "[plutus-exec] {}/{} jobs done, elapsed {:.0}s, running: [{running}]",
+            "[plutus-exec] {}/{} jobs done, elapsed {:.0}s, running: [{}]",
             self.done.load(Ordering::SeqCst),
             self.total,
             self.start.elapsed().as_secs_f64(),
+            labels.join(", "),
         );
     }
 }
@@ -183,9 +247,11 @@ impl Executor {
                 steals_ctr: tel.counter("sched.steals"),
                 batches_ctr: tel.counter("sched.injector_batches"),
                 panics_ctr: tel.counter("sched.panics"),
+                watchdog_ctr: tel.counter("sched.watchdog"),
                 tel,
                 stats: Mutex::new(StatsAcc::default()),
                 heartbeat_ms: AtomicU64::new(0),
+                watchdog_x1000: AtomicU64::new(0),
             }),
         }
     }
@@ -200,6 +266,23 @@ impl Executor {
             .unwrap_or(u64::MAX)
             .max(1);
         self.inner.heartbeat_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// Arms the soft per-job watchdog: once at least three jobs of a
+    /// `run` have completed, any job still executing past `multiple`
+    /// times the running median of completed durations is flagged
+    /// `[SLOW]` in the heartbeat line and counted once in the
+    /// `sched.watchdog` telemetry counter. Soft means observe-and-report
+    /// only — the job is never cancelled. Requires an enabled heartbeat
+    /// (the watchdog rides its monitor thread); non-positive or
+    /// non-finite multiples disable it. Clones share the setting.
+    pub fn set_watchdog(&self, multiple: f64) {
+        let x1000 = if multiple.is_finite() && multiple > 0.0 {
+            (multiple * 1000.0).round().max(1.0) as u64
+        } else {
+            0
+        };
+        self.inner.watchdog_x1000.store(x1000, Ordering::SeqCst);
     }
 
     /// Spawns the heartbeat monitor for a `run` of `total` jobs, if
@@ -217,8 +300,11 @@ impl Executor {
             done: AtomicUsize::new(0),
             total,
             running: Mutex::new(Vec::new()),
+            finished_ns: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
             start: Instant::now(),
+            watchdog_x1000: self.inner.watchdog_x1000.load(Ordering::SeqCst),
+            watchdog_ctr: self.inner.watchdog_ctr.clone(),
         });
         let shared = Arc::clone(&state);
         let handle = std::thread::spawn(move || {
@@ -669,6 +755,69 @@ mod tests {
             let out: Vec<usize> = pool.run(jobs).into_iter().map(|r| r.unwrap()).collect();
             assert_eq!(out, (0..16).collect::<Vec<_>>(), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn watchdog_flags_the_straggler_exactly_once() {
+        let tel = Telemetry::new();
+        let pool = Executor::with_telemetry(Some(4), tel.clone());
+        pool.set_heartbeat(std::time::Duration::from_millis(10));
+        pool.set_watchdog(8.0);
+        // 8 fast jobs establish a ~1ms median and finish before the
+        // first heartbeat tick; the straggler runs ~150x the median,
+        // far past the 8x threshold, across many ticks.
+        let jobs: Vec<Job<'_, usize>> = (0..9)
+            .map(|i| {
+                Job::new(format!("wd{i}"), move || {
+                    let ms = if i == 8 { 150 } else { 1 };
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                    i
+                })
+            })
+            .collect();
+        let out: Vec<usize> = pool.run(jobs).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(out, (0..9).collect::<Vec<_>>());
+        assert_eq!(
+            tel.report().totals.counter("sched.watchdog"),
+            Some(1),
+            "the straggler must be counted once, not per tick"
+        );
+    }
+
+    #[test]
+    fn watchdog_stays_silent_when_disabled_or_all_jobs_are_uniform() {
+        let tel = Telemetry::new();
+        let pool = Executor::with_telemetry(Some(2), tel.clone());
+        pool.set_heartbeat(std::time::Duration::from_millis(5));
+        // Watchdog never armed: uniform jobs, no flag set.
+        let jobs: Vec<Job<'_, ()>> = (0..8)
+            .map(|i| {
+                Job::new(format!("u{i}"), || {
+                    std::thread::sleep(std::time::Duration::from_millis(2))
+                })
+            })
+            .collect();
+        assert!(pool.run(jobs).iter().all(Result::is_ok));
+        assert_eq!(
+            tel.report().totals.counter("sched.watchdog").unwrap_or(0),
+            0
+        );
+        // Explicitly disabling after arming also holds it silent.
+        pool.set_watchdog(4.0);
+        pool.set_watchdog(0.0);
+        let jobs: Vec<Job<'_, ()>> = (0..8)
+            .map(|i| {
+                Job::new(format!("v{i}"), move || {
+                    let ms = if i == 7 { 40 } else { 1 };
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                })
+            })
+            .collect();
+        assert!(pool.run(jobs).iter().all(Result::is_ok));
+        assert_eq!(
+            tel.report().totals.counter("sched.watchdog").unwrap_or(0),
+            0
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod mem;
 pub mod security;
 pub mod sim;
 pub mod stats;
+pub mod tenant;
 pub mod trace;
 pub mod transient;
 
@@ -65,5 +66,6 @@ pub use stats::{
     DramStats, FaultOutcome, FaultRecord, SimStats, TrafficClass, TransientOutcome,
     TransientRecord, ViolationRecord,
 };
+pub use tenant::{TenantMap, TenantStat};
 pub use trace::{AccessKind, Trace, TraceAccess};
 pub use transient::{RetryPolicy, TransientConfig, TransientKind, TransientSampler};

@@ -425,6 +425,22 @@ pub trait SecurityEngine {
     /// the right root. [`plutus_telemetry::TraceId::NONE`] when the access
     /// is unsampled or tracing is off; the default ignores it.
     fn begin_access_trace(&mut self, _id: plutus_telemetry::TraceId) {}
+
+    /// Starts a live key rotation for `tenant`: subsequent fills and
+    /// writebacks interleave a bounded, cycle-charged re-encryption walk
+    /// that moves the tenant's slab from its old data key to the next
+    /// generation. Returns `false` when the engine has no tenancy/key
+    /// table or the tenant is unknown (the default).
+    fn start_key_rotation(&mut self, _tenant: u32) -> bool {
+        false
+    }
+
+    /// True while a key-rotation walk started by
+    /// [`SecurityEngine::start_key_rotation`] has not yet covered its
+    /// whole range.
+    fn rotation_active(&self) -> bool {
+        false
+    }
 }
 
 /// Builds one engine instance per partition.

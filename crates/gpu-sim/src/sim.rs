@@ -29,6 +29,7 @@ use crate::stats::{
     DramStats, FaultOutcome, FaultRecord, SimStats, TrafficClass, TransientOutcome,
     TransientRecord, ViolationRecord,
 };
+use crate::tenant::{TenantMap, TenantStat};
 use crate::trace::{AccessKind, Trace, TraceAccess};
 use crate::transient::{RetryPolicy, TransientConfig, TransientKind, TransientSampler};
 use plutus_telemetry::{Counter, Event as TelEvent, Gauge, Histogram, Telemetry, TraceId, Tracer};
@@ -335,6 +336,12 @@ pub struct Simulator {
     /// Whether the warm-up boundary has been crossed (instruction
     /// snapshot taken).
     warmup_done: bool,
+    /// Address-range → tenant mapping (empty = single-tenant; no
+    /// per-tenant stats are kept then).
+    tenants: TenantMap,
+    /// Per-tenant progress accumulation, folded into
+    /// [`SimStats::tenants`] at finalize.
+    tenant_acc: HashMap<u32, TenantStat>,
 }
 
 impl Simulator {
@@ -431,6 +438,8 @@ impl Simulator {
             started: false,
             last_event_time: 0,
             warmup_done: false,
+            tenants: TenantMap::new(),
+            tenant_acc: HashMap::new(),
         }
     }
 
@@ -497,6 +506,31 @@ impl Simulator {
         self.checkpoint.as_ref().map(|c| c.cycle)
     }
 
+    /// Installs the address-range → tenant mapping. Violations, fault
+    /// records, and per-tenant progress ([`SimStats::tenants`]) are
+    /// attributed through it; an empty map keeps single-tenant behavior
+    /// (every record tagged tenant 0, no per-tenant stats).
+    pub fn set_tenant_map(&mut self, map: TenantMap) {
+        self.tenants = map;
+    }
+
+    /// Starts a live key-rotation walk for `tenant` on every partition
+    /// engine. Returns `true` only if every engine accepted (engines
+    /// without tenancy configured refuse).
+    pub fn start_key_rotation(&mut self, tenant: u32) -> bool {
+        let mut all = !self.partitions.is_empty();
+        for p in &mut self.partitions {
+            all &= p.engine.start_key_rotation(tenant);
+        }
+        all
+    }
+
+    /// True while any partition engine still has an unfinished
+    /// key-rotation walk.
+    pub fn rotation_active(&self) -> bool {
+        self.partitions.iter().any(|p| p.engine.rotation_active())
+    }
+
     /// Mutable access to the functional memory, for injecting physical
     /// attacks before (or between) runs. Mid-run attacks go through
     /// [`Simulator::set_fault_schedule`] instead, which also tracks each
@@ -541,6 +575,20 @@ impl Simulator {
     /// otherwise floor every run at the launch tail).
     fn retire_at(&mut self, time: u64) {
         self.horizon = self.horizon.max(time);
+    }
+
+    /// Credits `instructions` retiring at `time` to the tenant owning
+    /// `addr`. No-op in single-tenant runs (empty map) so existing
+    /// configurations keep an empty [`SimStats::tenants`].
+    fn retire_tenant(&mut self, addr: SectorAddr, instructions: u64, time: u64) {
+        if self.tenants.is_empty() {
+            return;
+        }
+        let tenant = self.tenants.tenant_of(addr);
+        let acc = self.tenant_acc.entry(tenant).or_default();
+        acc.tenant = tenant;
+        acc.instructions += instructions;
+        acc.last_retire_cycle = acc.last_retire_cycle.max(time);
     }
 
     /// Runs the simulation to completion and returns the results.
@@ -823,9 +871,11 @@ impl Simulator {
             // A second fault on an already-armed sector takes over the
             // arming; the first can no longer be told apart and resolves
             // as unobserved.
+            let tenant = self.tenants.tenant_of(f.addr);
             if let Some(prev) = self.armed.insert(f.addr.raw(), armed) {
                 self.stats.fault_records.push(FaultRecord {
                     addr: f.addr.raw(),
+                    tenant,
                     kind: prev.kind,
                     injected_cycle: prev.cycle,
                     outcome: FaultOutcome::Unobserved,
@@ -834,6 +884,7 @@ impl Simulator {
         } else {
             self.stats.fault_records.push(FaultRecord {
                 addr: f.addr.raw(),
+                tenant: self.tenants.tenant_of(f.addr),
                 kind,
                 injected_cycle: now,
                 outcome: FaultOutcome::NotApplied,
@@ -847,9 +898,16 @@ impl Simulator {
     fn record_violation(&mut self, now: u64, v: Violation, latency: u64) {
         self.stats.violations += 1;
         self.simtel.violations.inc();
+        let tenant = self.tenants.tenant_of(v.addr());
+        if !self.tenants.is_empty() {
+            let acc = self.tenant_acc.entry(tenant).or_default();
+            acc.tenant = tenant;
+            acc.violations += 1;
+        }
         self.stats.violation_records.push(ViolationRecord {
             cycle: now,
             addr: v.addr().raw(),
+            tenant,
             layer: v.layer(),
             latency,
         });
@@ -878,6 +936,7 @@ impl Simulator {
         if let Some(armed) = self.armed.remove(&sector.raw()) {
             self.stats.fault_records.push(FaultRecord {
                 addr: sector.raw(),
+                tenant: self.tenants.tenant_of(sector),
                 kind: armed.kind,
                 injected_cycle: armed.cycle,
                 outcome: outcome_of(&armed),
@@ -923,6 +982,7 @@ impl Simulator {
         for (addr, armed) in leftovers {
             self.stats.fault_records.push(FaultRecord {
                 addr,
+                tenant: self.tenants.tenant_of_raw(addr),
                 kind: armed.kind,
                 injected_cycle: armed.cycle,
                 outcome: FaultOutcome::Unobserved,
@@ -939,6 +999,11 @@ impl Simulator {
             }
         }
         self.stats.engine = merged;
+        // Per-tenant progress, sorted by tenant id for deterministic
+        // output (the accumulator is a HashMap).
+        let mut tenants: Vec<TenantStat> = self.tenant_acc.values().copied().collect();
+        tenants.sort_by_key(|t| t.tenant);
+        self.stats.tenants = tenants;
         SimResult {
             engine: self.engine_name.to_string(),
             workload: self.trace.name.clone(),
@@ -967,6 +1032,7 @@ impl Simulator {
                 self.stats.instructions += access.instructions as u64;
                 self.stats.accesses += 1;
                 self.retire_at(issue);
+                self.retire_tenant(access.addr, access.instructions as u64, issue);
                 self.schedule_arrive(arrive, access, warp);
                 // Store-buffer backpressure: when the target partition's
                 // bus backlog exceeds the buffer depth, the issuing warp
@@ -1048,6 +1114,7 @@ impl Simulator {
                     self.stats.accesses += 1;
                     let wake = now + self.cfg.l2_hit_latency + self.cfg.interconnect_latency;
                     self.retire_at(wake);
+                    self.retire_tenant(sector, access.instructions as u64, wake);
                     self.schedule(wake, EventKind::WarpNext { warp });
                     return;
                 }
@@ -1099,6 +1166,7 @@ impl Simulator {
             self.stats.accesses += 1;
             let wake = now + self.cfg.interconnect_latency;
             self.retire_at(wake);
+            self.retire_tenant(sector, w.instructions as u64, wake);
             self.schedule(wake, EventKind::WarpNext { warp: w.warp });
         }
         // Admit queued accesses while MSHRs are free (merges and hits do

@@ -8,6 +8,7 @@
 use crate::dram::BankStat;
 use crate::ledger::{PartitionLedger, StallBucket, NUM_STALL_BUCKETS};
 use crate::security::DetectionLayer;
+use crate::tenant::TenantStat;
 
 /// Classification of DRAM traffic, matching the paper's breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -100,6 +101,8 @@ pub struct ViolationRecord {
     pub cycle: u64,
     /// Raw address of the offending data sector.
     pub addr: u64,
+    /// Tenant owning the offending address (0 without a tenant map).
+    pub tenant: u32,
     /// Verification layer that caught the violation.
     pub layer: DetectionLayer,
     /// Cycles from the request's arrival to verified rejection (the
@@ -140,6 +143,8 @@ pub enum FaultOutcome {
 pub struct FaultRecord {
     /// Raw address of the targeted data sector.
     pub addr: u64,
+    /// Tenant owning the targeted address (0 without a tenant map).
+    pub tenant: u32,
     /// Stable label of the fault kind (see `FaultKind::label`).
     pub kind: &'static str,
     /// Cycle at which the fault was applied.
@@ -278,6 +283,9 @@ pub struct SimStats {
     /// The closed cycle ledger, one [`PartitionLedger`] per partition —
     /// conservation-exact: each sums to [`SimStats::cycles`].
     pub ledgers: Vec<PartitionLedger>,
+    /// Per-tenant progress and violation counters, sorted by tenant id.
+    /// Empty when no tenant map was installed.
+    pub tenants: Vec<TenantStat>,
 }
 
 impl SimStats {
@@ -350,6 +358,11 @@ impl SimStats {
     /// Looks up an engine-specific counter by name.
     pub fn engine_counter(&self, name: &str) -> Option<u64> {
         self.engine.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up one tenant's progress counters.
+    pub fn tenant_stat(&self, tenant: u32) -> Option<&TenantStat> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
     }
 
     /// DRAM energy proxy in picojoules: `pj_per_byte` × bytes moved.

@@ -1,0 +1,172 @@
+//! Multi-tenant address-space partitioning.
+//!
+//! The simulator models tenancy by address range: each tenant owns a
+//! contiguous slab of the protected region, and every access, violation,
+//! and fault is attributed to the tenant whose slab its address falls
+//! in. Addresses outside every registered range belong to
+//! [`TenantMap::DEFAULT_TENANT`] (tenant 0), so single-tenant
+//! configurations — an empty map — behave exactly as before tenancy
+//! existed.
+
+use crate::address::SectorAddr;
+
+/// Address-range → tenant mapping shared by the simulator (record
+/// tagging) and the security engines (key selection, per-tenant
+/// degradation scoping).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantMap {
+    /// Non-overlapping `(start, end, tenant)` ranges, end exclusive,
+    /// sorted by start.
+    ranges: Vec<(u64, u64, u32)>,
+}
+
+impl TenantMap {
+    /// The tenant unmapped addresses belong to.
+    pub const DEFAULT_TENANT: u32 = 0;
+
+    /// An empty map: every address belongs to tenant 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `[start, end)` as belonging to `tenant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or overlaps a registered range.
+    pub fn add_range(&mut self, start: u64, end: u64, tenant: u32) {
+        assert!(start < end, "tenant range must be non-empty");
+        assert!(
+            !self.ranges.iter().any(|&(s, e, _)| start < e && s < end),
+            "tenant ranges must not overlap"
+        );
+        self.ranges.push((start, end, tenant));
+        self.ranges.sort_by_key(|&(s, _, _)| s);
+    }
+
+    /// The tenant owning `addr` (tenant 0 when unmapped).
+    pub fn tenant_of(&self, addr: SectorAddr) -> u32 {
+        self.tenant_of_raw(addr.raw())
+    }
+
+    /// The tenant owning raw address `addr` (tenant 0 when unmapped).
+    pub fn tenant_of_raw(&self, addr: u64) -> u32 {
+        match self
+            .ranges
+            .binary_search_by(|&(s, e, _)| {
+                if addr < s {
+                    std::cmp::Ordering::Greater
+                } else if addr >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok()
+        {
+            Some(i) => self.ranges[i].2,
+            None => Self::DEFAULT_TENANT,
+        }
+    }
+
+    /// The `[start, end)` slab registered for `tenant`, if any.
+    pub fn range_of(&self, tenant: u32) -> Option<(u64, u64)> {
+        self.ranges
+            .iter()
+            .find(|&&(_, _, t)| t == tenant)
+            .map(|&(s, e, _)| (s, e))
+    }
+
+    /// The registered `(start, end, tenant)` ranges, sorted by start.
+    pub fn ranges(&self) -> &[(u64, u64, u32)] {
+        &self.ranges
+    }
+
+    /// Every registered tenant id, sorted and deduplicated.
+    pub fn tenants(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.ranges.iter().map(|&(_, _, t)| t).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// True when no ranges are registered (single-tenant operation).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Per-tenant progress counters the simulator keeps so campaigns can
+/// compare each tenant's throughput across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStat {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Instructions retired by this tenant's accesses.
+    pub instructions: u64,
+    /// Cycle at which the tenant's last instruction retired — the
+    /// tenant's finish time under whatever interference the run had.
+    pub last_retire_cycle: u64,
+    /// Integrity violations recorded against this tenant's addresses.
+    pub violations: u64,
+}
+
+impl TenantStat {
+    /// The tenant's effective IPC: its own instructions over the span it
+    /// took to retire them.
+    pub fn ipc(&self) -> f64 {
+        if self.last_retire_cycle == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.last_retire_cycle as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_is_single_tenant() {
+        let m = TenantMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.tenant_of(SectorAddr::new(0)), 0);
+        assert_eq!(m.tenant_of(SectorAddr::new(1 << 30)), 0);
+        assert!(m.tenants().is_empty());
+    }
+
+    #[test]
+    fn ranges_route_to_their_tenant() {
+        let mut m = TenantMap::new();
+        m.add_range(0, 0x1000, 1);
+        m.add_range(0x1000, 0x2000, 2);
+        assert_eq!(m.tenant_of(SectorAddr::new(0)), 1);
+        assert_eq!(m.tenant_of(SectorAddr::new(0xfe0)), 1);
+        assert_eq!(m.tenant_of(SectorAddr::new(0x1000)), 2);
+        assert_eq!(m.tenant_of(SectorAddr::new(0x2000)), 0, "past the end");
+        assert_eq!(m.range_of(2), Some((0x1000, 0x2000)));
+        assert_eq!(m.range_of(9), None);
+        assert_eq!(m.tenants(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_ranges_are_rejected() {
+        let mut m = TenantMap::new();
+        m.add_range(0, 0x1000, 1);
+        m.add_range(0x800, 0x1800, 2);
+    }
+
+    #[test]
+    fn tenant_stat_ipc() {
+        let s = TenantStat {
+            tenant: 1,
+            instructions: 50,
+            last_retire_cycle: 100,
+            violations: 0,
+        };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert_eq!(TenantStat::default().ipc(), 0.0);
+    }
+}

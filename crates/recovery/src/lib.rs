@@ -1,6 +1,6 @@
 //! Fail-operational campaigns for the secure-memory pipeline.
 //!
-//! Two campaign families exercise the recovery machinery end-to-end:
+//! Three campaign families exercise the recovery machinery end-to-end:
 //!
 //! - **Transient** ([`run_transient_campaign`]): a seeded soft-error
 //!   process ([`gpu_sim::TransientConfig`]) corrupts individual DRAM
@@ -16,6 +16,12 @@
 //!   persistent MACs, and every resident sector is re-read and compared
 //!   against a pre-crash oracle. [`crash_gate`] fails unless every
 //!   audit came back bit-identical with no spurious violations.
+//! - **Storm / soak** ([`run_storm_campaign`]): a multi-tenant chaos
+//!   campaign — an adversarial tenant forces counter-group overflow
+//!   storms and fires tamper/replay faults at its own slab while victim
+//!   tenants run concurrently, a victim's key rotation walks live, and
+//!   crash-kills land mid-walk. [`storm_gate`] fails on any isolation,
+//!   conservation, Eq. 1, or recovery breach.
 //!
 //! Engines are supplied through [`SchemeProvider`] so the campaign
 //! runners stay independent of any particular scheme catalogue; the
@@ -25,11 +31,16 @@
 #![warn(missing_docs)]
 
 mod crash;
+mod storm;
 mod transient;
 
 pub use crash::{
     crash_csv, crash_gate, crash_json, crash_table, run_crash_campaign, run_crash_campaign_on,
     save_crash_campaign, CrashCampaignConfig, CrashRow,
+};
+pub use storm::{
+    run_storm_campaign, run_storm_campaign_on, save_storm_campaign, storm_csv, storm_gate,
+    storm_json, storm_schemes, storm_table, StormCampaignConfig, StormRow, ADVERSARY, FIRST_VICTIM,
 };
 pub use transient::{
     run_transient_campaign, run_transient_campaign_on, save_transient_campaign, transient_csv,
@@ -59,8 +70,8 @@ pub(crate) fn save_reports(
     let dir = std::path::Path::new("target/experiments");
     std::fs::create_dir_all(dir)?;
     let json_path = dir.join(format!("{name}.json"));
-    std::fs::write(&json_path, json.to_string_pretty())?;
-    std::fs::write(dir.join(format!("{name}.csv")), csv)?;
+    plutus_telemetry::atomic_write(&json_path, json.to_string_pretty())?;
+    plutus_telemetry::atomic_write(dir.join(format!("{name}.csv")), csv)?;
     Ok(json_path)
 }
 

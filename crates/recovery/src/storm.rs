@@ -1,0 +1,1048 @@
+//! The multi-tenant overflow-storm / soak chaos campaign.
+//!
+//! One adversarial tenant and several victim tenants share the GPU: the
+//! adversary hammers a tiny sector set with locality-free writes (a
+//! counter-group overflow storm, `workloads::overflow_storm_trace`) and
+//! fires tamper/replay/metadata faults at its *own* slab, while a live
+//! key rotation of a victim tenant walks underneath and — in the crash
+//! phase — the whole machine is kill-9'd mid-walk and recovered.
+//!
+//! Continuous invariant monitors turn the chaos into a pass/fail gate
+//! ([`storm_gate`]):
+//!
+//! - **isolation** — victims record zero violations and zero degradation-
+//!   ladder transitions, no matter what the adversary does;
+//! - **backpressure** — every victim's per-tenant IPC stays within a
+//!   configured tolerance of an honest-company baseline (the adversary
+//!   slot replaced by an equal-volume neutral workload);
+//! - **conservation** — the per-partition cycle ledger still sums to the
+//!   run length;
+//! - **Eq. 1** — the measured value-verification forgery-acceptance
+//!   rate stays at or below the paper's analytic binomial bound;
+//! - **rotation** — the walk completes under fire, and a crash-kill in
+//!   the middle of it recovers bit-identical plaintext under the
+//!   post-rotation key schedule.
+//!
+//! The soak variant additionally pours seeded benign soft errors over
+//! the same storm (no transient may escalate into a recorded violation)
+//! and probes more crash points.
+
+use crate::SchemeProvider;
+use gpu_sim::{
+    AccessKind, EngineFactory, FaultKind, FaultOutcome, FaultSchedule, FaultTrigger, GpuConfig,
+    MetaFault, RetryPolicy, ScheduledFault, SectorAddr, SimStats, Simulator, TenantMap, Trace,
+    TransientConfig,
+};
+use plutus_core::binomial::{
+    binomial_tail, plutus_min_hits, tamper_hit_probability, VALUES_PER_UNIT,
+};
+use plutus_core::{PlutusConfig, PlutusEngine, ValueCacheConfig};
+use plutus_exec::{expect_all, Executor, Job};
+use plutus_telemetry::Json;
+use secure_mem::{CommonCountersEngine, PssmEngine, SecureMemConfig, TenancyConfig};
+use std::collections::BTreeMap;
+use workloads::{
+    generate, multi_tenant_trace, overflow_storm_trace, GenParams, Pattern, ValueProfile,
+};
+
+/// The adversary's tenant id (slot 0 of the composed trace).
+pub const ADVERSARY: u32 = 1;
+/// First victim tenant id; victims are numbered consecutively from it.
+pub const FIRST_VICTIM: u32 = 2;
+
+/// Parameters of a storm/soak campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct StormCampaignConfig {
+    /// Master seed: trace generation, fault placement, key derivation.
+    pub seed: u64,
+    /// Victim tenants co-resident with the adversary (≥ 1; the
+    /// acceptance configuration uses 3).
+    pub victims: usize,
+    /// Accesses each tenant issues.
+    pub accesses_per_tenant: usize,
+    /// Bytes of protected memory per tenant slab (4 KiB-aligned).
+    pub slab_bytes: u64,
+    /// Metadata checkpoint cadence for the crash phase.
+    pub checkpoint_cycles: u64,
+    /// Adversarial tamper/replay/metadata faults fired during the storm.
+    pub faults: usize,
+    /// Mid-rotation crash-kills probed per scheme.
+    pub crash_points: usize,
+    /// Victim IPC must stay ≥ `1 - ipc_tolerance` of its honest
+    /// baseline.
+    pub ipc_tolerance: f64,
+    /// Run the soak extension: seeded soft errors over the storm plus
+    /// the transient-escalation monitor.
+    pub soak: bool,
+    /// Soft-error probability per DRAM transfer in the soak phase.
+    pub soft_error_rate: f64,
+    /// Bounded re-fetch attempts for the soak phase.
+    pub retry_limit: u32,
+    /// Deliberately fault a victim's slab during the storm — an
+    /// injected isolation breach that must make [`storm_gate`] fail
+    /// (used to prove the monitors are live).
+    pub inject_breach: bool,
+}
+
+impl StormCampaignConfig {
+    /// The default storm campaign: 3 victims, one adversary, a
+    /// mid-storm key rotation, and 2 mid-rotation crash-kills.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            victims: 3,
+            accesses_per_tenant: 2500,
+            slab_bytes: 0x10000,
+            checkpoint_cycles: 2000,
+            faults: 24,
+            crash_points: 2,
+            ipc_tolerance: 0.25,
+            soak: false,
+            soft_error_rate: 5e-5,
+            retry_limit: 3,
+            inject_breach: false,
+        }
+    }
+
+    /// The soak campaign: the storm plus soft errors and more crash
+    /// points.
+    pub fn soak(seed: u64) -> Self {
+        Self {
+            soak: true,
+            crash_points: 4,
+            ..Self::new(seed)
+        }
+    }
+
+    fn victim_ids(&self) -> Vec<u32> {
+        (0..self.victims as u32).map(|v| FIRST_VICTIM + v).collect()
+    }
+}
+
+/// One monitored phase of the campaign for one scheme.
+#[derive(Debug, Clone)]
+pub struct StormRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// `baseline`, `storm`, `soak`, or `rotation@<cycle>`.
+    pub phase: String,
+    /// Run length in cycles.
+    pub cycles: u64,
+    /// Per-victim `(tenant, ipc)` for this run.
+    pub victim_ipc: Vec<(u32, f64)>,
+    /// Worst victim IPC relative to the honest baseline (1.0 for the
+    /// baseline itself and for phases without an IPC monitor).
+    pub min_ipc_ratio: f64,
+    /// Violations recorded against victim addresses.
+    pub victim_violations: u64,
+    /// Victim tenants the degradation ladder froze.
+    pub victim_frozen: u64,
+    /// Violations recorded against the adversary's addresses.
+    pub adversary_violations: u64,
+    /// Whether every partition's cycle ledger summed to the run length.
+    pub ledger_conserved: bool,
+    /// Overflow re-encryptions the per-tenant storm gate rate-limited.
+    pub storm_suppressed: u64,
+    /// DRAM requests the storm gate deferred onto the offender.
+    pub storm_deferred: u64,
+    /// Key-rotation walks completed during the run.
+    pub rotations_completed: u64,
+    /// Sectors re-encrypted by rotation walks.
+    pub rotated_sectors: u64,
+    /// Scheduled faults a verification layer ruled on.
+    pub faults_adjudicated: u64,
+    /// Value-verification forgery acceptances among them (Eq. 1).
+    pub forgeries: u64,
+    /// Whether the measured forgery rate respects the analytic bound.
+    pub eq1_ok: bool,
+    /// Benign transients misclassified as attacks (soak phase).
+    pub transients_escalated: u64,
+    /// Sectors audited after the mid-rotation crash recovery.
+    pub rotation_audited: u64,
+    /// Audited sectors whose post-recovery plaintext diverged.
+    pub rotation_mismatches: u64,
+    /// Post-recovery fills that flagged honest data.
+    pub rotation_spurious: u64,
+    /// Sectors recovery could not reconstruct.
+    pub rotation_failed: u64,
+    /// Machinery error, if the phase could not run.
+    pub error: Option<String>,
+}
+
+impl StormRow {
+    fn new(scheme: &str, phase: impl Into<String>) -> Self {
+        Self {
+            scheme: scheme.to_string(),
+            phase: phase.into(),
+            cycles: 0,
+            victim_ipc: Vec::new(),
+            min_ipc_ratio: 1.0,
+            victim_violations: 0,
+            victim_frozen: 0,
+            adversary_violations: 0,
+            ledger_conserved: true,
+            storm_suppressed: 0,
+            storm_deferred: 0,
+            rotations_completed: 0,
+            rotated_sectors: 0,
+            faults_adjudicated: 0,
+            forgeries: 0,
+            eq1_ok: true,
+            transients_escalated: 0,
+            rotation_audited: 0,
+            rotation_mismatches: 0,
+            rotation_spurious: 0,
+            rotation_failed: 0,
+            error: None,
+        }
+    }
+
+    /// The per-row invariants ([`storm_gate`] also checks cross-row
+    /// conditions): no victim violation or freeze, ledger conserved,
+    /// IPC within tolerance, Eq. 1 respected, crash audits bit-identical.
+    pub fn is_clean(&self, ipc_tolerance: f64) -> bool {
+        self.error.is_none()
+            && self.victim_violations == 0
+            && self.victim_frozen == 0
+            && self.ledger_conserved
+            && self.min_ipc_ratio >= 1.0 - ipc_tolerance
+            && self.eq1_ok
+            && self.transients_escalated == 0
+            && self.rotation_mismatches == 0
+            && self.rotation_spurious == 0
+            && self.rotation_failed == 0
+    }
+}
+
+/// The three checkpoint-capable engines, with tenancy configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StormScheme {
+    Pssm,
+    CommonCounters,
+    Plutus,
+}
+
+const STORM_SCHEMES: [StormScheme; 3] = [
+    StormScheme::Pssm,
+    StormScheme::CommonCounters,
+    StormScheme::Plutus,
+];
+
+impl StormScheme {
+    fn label(self) -> &'static str {
+        match self {
+            StormScheme::Pssm => "pssm",
+            StormScheme::CommonCounters => "common-counters",
+            StormScheme::Plutus => "plutus",
+        }
+    }
+
+    /// True for schemes whose value-verification fast path Eq. 1
+    /// bounds.
+    fn value_verifying(self) -> bool {
+        self == StormScheme::Plutus
+    }
+
+    fn factory(self, tenancy: TenancyConfig) -> Box<dyn EngineFactory> {
+        match self {
+            StormScheme::Pssm => {
+                let mut cfg = SecureMemConfig::pssm();
+                cfg.tenancy = Some(tenancy);
+                Box::new(PssmEngine::factory(cfg))
+            }
+            StormScheme::CommonCounters => {
+                let mut cfg = SecureMemConfig::pssm();
+                cfg.tenancy = Some(tenancy);
+                Box::new(CommonCountersEngine::factory(cfg))
+            }
+            StormScheme::Plutus => {
+                let mut cfg = PlutusConfig::full();
+                cfg.mem.tenancy = Some(tenancy);
+                Box::new(PlutusEngine::factory(cfg))
+            }
+        }
+    }
+}
+
+/// The composed campaign inputs: both traces and the shared tenant map.
+struct StormFixture {
+    storm: Trace,
+    honest: Trace,
+    map: TenantMap,
+    tenancy: TenancyConfig,
+}
+
+/// Builds one victim workload; patterns rotate by victim index so the
+/// company mixes regular and irregular traffic.
+fn victim_trace(cfg: &StormCampaignConfig, index: usize) -> Trace {
+    let params = GenParams {
+        footprint_sectors: (cfg.slab_bytes / gpu_sim::SECTOR_SIZE / 2).clamp(64, 1024),
+        accesses: cfg.accesses_per_tenant,
+        think_cycles: (1, 4),
+        instructions: 8,
+        seed: cfg.seed ^ (0x51C7 + index as u64),
+    };
+    let (name, pattern) = match index % 3 {
+        0 => ("victim-rmw", Pattern::RandomRmw),
+        1 => (
+            "victim-graph",
+            Pattern::Graph {
+                degree: 3,
+                write_permille: 150,
+            },
+        ),
+        _ => (
+            "victim-stencil",
+            Pattern::Stencil {
+                read_arrays: 2,
+                write_period: 4,
+                passes: 8,
+            },
+        ),
+    };
+    generate(
+        name,
+        pattern,
+        params,
+        ValueProfile::SmallInts { max: 100 },
+        ValueProfile::Mixed {
+            small_permille: 500,
+            max: 100,
+        },
+    )
+}
+
+/// A neutral equal-volume workload standing in for the adversary in the
+/// honest baseline: same access count, benign streaming behaviour.
+fn neutral_trace(cfg: &StormCampaignConfig) -> Trace {
+    generate(
+        "neutral",
+        Pattern::Stencil {
+            read_arrays: 2,
+            write_period: 4,
+            passes: 16,
+        },
+        GenParams {
+            footprint_sectors: (cfg.slab_bytes / gpu_sim::SECTOR_SIZE / 2).clamp(64, 1024),
+            accesses: cfg.accesses_per_tenant,
+            think_cycles: (1, 4),
+            instructions: 8,
+            seed: cfg.seed ^ 0x4EA7,
+        },
+        ValueProfile::SmallInts { max: 100 },
+        ValueProfile::SmallInts { max: 100 },
+    )
+}
+
+/// The adversary's write-hammer footprint — small enough to stay
+/// cache-hot, so overflow storms are pure writeback pressure.
+const HAMMER_SECTORS: u64 = 4;
+
+/// The adversary's read-probe footprint. Probe sectors are read rarely,
+/// get evicted by co-tenant thrash in between, and are re-filled on the
+/// next probe — the fill path where injected tampering is adjudicated.
+const PROBE_SECTORS: u64 = 64;
+
+fn build_fixture(cfg: &StormCampaignConfig) -> StormFixture {
+    assert!(cfg.victims >= 1, "storm campaign needs at least one victim");
+    let adversary = overflow_storm_trace(
+        "adversary",
+        cfg.seed ^ 0xAD,
+        HAMMER_SECTORS,
+        PROBE_SECTORS,
+        cfg.accesses_per_tenant,
+    );
+    let neutral = neutral_trace(cfg);
+    let victims: Vec<Trace> = (0..cfg.victims).map(|i| victim_trace(cfg, i)).collect();
+
+    let mut storm_slots = vec![(ADVERSARY, adversary)];
+    let mut honest_slots = vec![(ADVERSARY, neutral)];
+    for (i, v) in victims.into_iter().enumerate() {
+        storm_slots.push((FIRST_VICTIM + i as u32, v.clone()));
+        honest_slots.push((FIRST_VICTIM + i as u32, v));
+    }
+    let (storm, map) = multi_tenant_trace("storm", &storm_slots, cfg.slab_bytes);
+    let (honest, honest_map) = multi_tenant_trace("storm-honest", &honest_slots, cfg.slab_bytes);
+    assert_eq!(
+        map, honest_map,
+        "storm and baseline must share the slab map"
+    );
+    let tenancy = TenancyConfig::new(map.clone(), cfg.seed ^ 0x7E4A);
+    StormFixture {
+        storm,
+        honest,
+        map,
+        tenancy,
+    }
+}
+
+/// The adversary's fault barrage, spread evenly through the run's steady
+/// state by access count — all aimed at the adversary's own slab:
+///
+/// - ciphertext corruption and MAC tamper target the *probe* region,
+///   whose sectors are evicted and re-filled, so the verifier actually
+///   rules on each fault (the cache-hot hammer set would leave tampered
+///   DRAM unread);
+/// - snapshot/replay pairs target a *hammer* sector — the classic
+///   replay against a constantly-rewritten line.
+///
+/// With `inject_breach`, cross-tenant corruption is added on top: the
+/// first victim's longest-reuse-distance reads (sectors certain to have
+/// been evicted and re-filled) are each corrupted shortly before the
+/// victim fetches them — the breach the isolation gate must catch as
+/// victim-attributed violations.
+fn adversary_faults(cfg: &StormCampaignConfig, trace: &Trace, map: &TenantMap) -> FaultSchedule {
+    let total_accesses = trace.accesses.len() as u64;
+    let mut schedule = FaultSchedule::new();
+    let n = cfg.faults.max(1) as u64;
+    if cfg.inject_breach {
+        for (at, addr) in breach_targets(trace, map, (cfg.faults / 2).max(3)) {
+            schedule.push(ScheduledFault {
+                trigger: FaultTrigger::AtAccess(at),
+                addr,
+                kind: FaultKind::CorruptData { mask: [0x5A; 32] },
+            });
+        }
+    }
+    for i in 0..n {
+        // Skip the first and last tenth so faults land in steady state.
+        let at = (total_accesses / 10 + (total_accesses * 8 / 10) * i / n).max(1);
+        let probe = SectorAddr::new((HAMMER_SECTORS + i % PROBE_SECTORS) * gpu_sim::SECTOR_SIZE);
+        match i % 4 {
+            1 => {
+                let addr = SectorAddr::new((i / 4 % HAMMER_SECTORS) * gpu_sim::SECTOR_SIZE);
+                schedule.push(ScheduledFault {
+                    trigger: FaultTrigger::AtAccess(at),
+                    addr,
+                    kind: FaultKind::SnapshotData,
+                });
+                schedule.push(ScheduledFault {
+                    trigger: FaultTrigger::AtAccess(at + total_accesses / 12),
+                    addr,
+                    kind: FaultKind::ReplayData,
+                });
+            }
+            3 => schedule.push(ScheduledFault {
+                trigger: FaultTrigger::AtAccess(at),
+                addr: probe,
+                kind: FaultKind::Metadata(MetaFault::TamperMac),
+            }),
+            _ => schedule.push(ScheduledFault {
+                trigger: FaultTrigger::AtAccess(at),
+                addr: probe,
+                kind: FaultKind::CorruptData { mask: [0x5A; 32] },
+            }),
+        }
+    }
+    schedule
+}
+
+/// Picks up to `want` first-victim reads in the second half of the
+/// merged trace, preferring the longest reuse distance since the
+/// sector's previous access — those sectors are certain to have been
+/// evicted by co-tenant thrash, so the pre-read corruption is actually
+/// fetched and adjudicated. Returns `(fault_access, sector)` pairs with
+/// the fault scheduled shortly before the victim's read.
+fn breach_targets(trace: &Trace, map: &TenantMap, want: usize) -> Vec<(u64, SectorAddr)> {
+    let mut last_touch: BTreeMap<u64, usize> = BTreeMap::new();
+    // (reuse distance, read index, sector)
+    let mut candidates: Vec<(usize, usize, SectorAddr)> = Vec::new();
+    let half = trace.accesses.len() / 2;
+    for (i, a) in trace.accesses.iter().enumerate() {
+        if map.tenant_of(a.addr) != FIRST_VICTIM {
+            continue;
+        }
+        if a.kind == AccessKind::Read && i >= half {
+            if let Some(&prev) = last_touch.get(&a.addr.raw()) {
+                candidates.push((i - prev, i, a.addr));
+            }
+        }
+        last_touch.insert(a.addr.raw(), i);
+    }
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    candidates.truncate(want);
+    candidates.sort_by_key(|c| c.1);
+    candidates
+        .into_iter()
+        .map(|(_, i, addr)| ((i as u64).saturating_sub(32).max(1), addr))
+        .collect()
+}
+
+/// Fault kinds whose applied effect changes the plaintext served to the
+/// core — the only escapes Eq. 1 counts as forgeries (mirrors the
+/// adversarial campaign's accounting).
+fn randomizes_plaintext(kind: &str) -> bool {
+    matches!(
+        kind,
+        "corrupt_data" | "replay_data" | "rollback_counter" | "rollback_compact"
+    )
+}
+
+/// The analytic Eq. 1 forgery bound at the default value-cache design
+/// point.
+fn eq1_bound() -> f64 {
+    let vc = ValueCacheConfig::default();
+    let p = tamper_hit_probability(vc.entries, vc.effective_bits());
+    binomial_tail(
+        VALUES_PER_UNIT,
+        plutus_min_hits(vc.entries, vc.effective_bits()),
+        p,
+    )
+}
+
+/// Folds a finished run's stats into `row`: tenant attribution, ladder
+/// freezes, ledger conservation, storm/rotation counters, and Eq. 1.
+fn absorb_stats(row: &mut StormRow, stats: &SimStats, victims: &[u32], value_verifying: bool) {
+    row.cycles = stats.cycles;
+    row.ledger_conserved = stats.ledger_conserved();
+    for &v in victims {
+        let t = stats.tenant_stat(v);
+        row.victim_ipc.push((v, t.map_or(0.0, |t| t.ipc())));
+        row.victim_violations += t.map_or(0, |t| t.violations);
+        if stats
+            .engine_counter(&format!("ladder_frozen_t{v}"))
+            .unwrap_or(0)
+            > 0
+        {
+            row.victim_frozen += 1;
+        }
+    }
+    row.adversary_violations = stats.tenant_stat(ADVERSARY).map_or(0, |t| t.violations);
+    row.storm_suppressed = stats
+        .engine_counter("storm_suppressed_overflows")
+        .unwrap_or(0);
+    row.storm_deferred = stats.engine_counter("storm_deferred_reqs").unwrap_or(0);
+    row.rotations_completed = stats.engine_counter("rotations_completed").unwrap_or(0);
+    row.rotated_sectors = stats.engine_counter("rotated_sectors").unwrap_or(0);
+    row.transients_escalated = stats.transients_escalated;
+    let mut detected = 0u64;
+    let mut escaped = 0u64;
+    for r in &stats.fault_records {
+        match r.outcome {
+            FaultOutcome::Detected { .. } => detected += 1,
+            FaultOutcome::Escaped { value_verified } => {
+                escaped += 1;
+                if value_verified && randomizes_plaintext(r.kind) {
+                    row.forgeries += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    row.faults_adjudicated = detected + escaped;
+    if value_verifying && row.faults_adjudicated > 0 {
+        let empirical = row.forgeries as f64 / row.faults_adjudicated as f64;
+        row.eq1_ok = empirical <= eq1_bound();
+    }
+}
+
+/// Applies the baseline IPC reference to a monitored row.
+fn apply_ipc_ratio(row: &mut StormRow, baseline: &StormRow) {
+    let mut min_ratio = f64::INFINITY;
+    for &(v, ipc) in &row.victim_ipc {
+        let base = baseline
+            .victim_ipc
+            .iter()
+            .find(|&&(bv, _)| bv == v)
+            .map_or(0.0, |&(_, b)| b);
+        if base > 0.0 {
+            min_ratio = min_ratio.min(ipc / base);
+        }
+    }
+    row.min_ipc_ratio = if min_ratio.is_finite() {
+        min_ratio
+    } else {
+        0.0
+    };
+}
+
+/// Runs the storm (or soak) campaign on a default-sized pool. See
+/// [`run_storm_campaign_on`].
+///
+/// # Panics
+///
+/// Panics if a campaign job panics.
+pub fn run_storm_campaign(campaign: &StormCampaignConfig, cfg: &GpuConfig) -> Vec<StormRow> {
+    run_storm_campaign_on(&Executor::new(None), campaign, cfg)
+}
+
+/// The storm fan-out on a caller-supplied pool. Per scheme (PSSM,
+/// Common Counters, Plutus — all with per-tenant keys):
+///
+/// 1. **baseline** — the honest company (adversary slot replaced by a
+///    neutral equal-volume workload) establishes each victim's IPC;
+/// 2. **storm** — the adversary hammers overflows and fires
+///    tamper/replay/MAC faults at its own slab while the first victim's
+///    key rotation walks live;
+/// 3. **soak** (soak mode only) — the same storm under seeded soft
+///    errors with bounded retry;
+/// 4. **rotation@c** — `crash_points` kill-cycles: rotation started
+///    before the first covering checkpoint, crash mid-walk, revert,
+///    Phoenix-recover, and audit every resident sector bit-identically.
+///
+/// Rows come back in a fixed phase order per scheme, identical for any
+/// worker count. Unlike the crash/transient campaigns the storm
+/// campaign composes its own multi-tenant traces, so it takes no
+/// workload list.
+///
+/// # Panics
+///
+/// Panics if a campaign job panics.
+pub fn run_storm_campaign_on(
+    exec: &Executor,
+    campaign: &StormCampaignConfig,
+    cfg: &GpuConfig,
+) -> Vec<StormRow> {
+    let fixture = build_fixture(campaign);
+    let victims = campaign.victim_ids();
+
+    // Phase 1: honest baseline + storm (+ soak) runs, in one parallel
+    // round. Each job returns the finished stats and whether the live
+    // rotation completed.
+    let mut round1: Vec<Job<'_, (Box<SimStats>, bool)>> = Vec::new();
+    for scheme in STORM_SCHEMES {
+        let fx = &fixture;
+        round1.push(Job::new(
+            format!("{}/baseline", scheme.label()),
+            move || {
+                let factory = scheme.factory(fx.tenancy.clone());
+                let mut sim = Simulator::new(cfg.clone(), fx.honest.clone(), factory.as_ref());
+                sim.set_tenant_map(fx.map.clone());
+                let r = sim.run();
+                (Box::new(r.stats), true)
+            },
+        ));
+    }
+    for scheme in STORM_SCHEMES {
+        let fx = &fixture;
+        round1.push(Job::new(format!("{}/storm", scheme.label()), move || {
+            let factory = scheme.factory(fx.tenancy.clone());
+            let mut sim = Simulator::new(cfg.clone(), fx.storm.clone(), factory.as_ref());
+            sim.set_tenant_map(fx.map.clone());
+            sim.set_fault_schedule(adversary_faults(campaign, &fx.storm, &fx.map));
+            // Live rotation of the first victim, under fire from the
+            // adversary's overflow storm.
+            let rotation_ok = sim.start_key_rotation(FIRST_VICTIM);
+            let r = sim.run();
+            (Box::new(r.stats), rotation_ok && !sim.rotation_active())
+        }));
+    }
+    if campaign.soak {
+        for scheme in STORM_SCHEMES {
+            let fx = &fixture;
+            round1.push(Job::new(format!("{}/soak", scheme.label()), move || {
+                let factory = scheme.factory(fx.tenancy.clone());
+                let mut sim = Simulator::new(cfg.clone(), fx.storm.clone(), factory.as_ref());
+                sim.set_tenant_map(fx.map.clone());
+                sim.set_transient_faults(TransientConfig::new(
+                    campaign.soft_error_rate,
+                    campaign.seed ^ 0x050A_CE44,
+                ));
+                sim.set_retry_policy(RetryPolicy::with_limit(campaign.retry_limit));
+                let rotation_ok = sim.start_key_rotation(FIRST_VICTIM);
+                let r = sim.run();
+                (Box::new(r.stats), rotation_ok && !sim.rotation_active())
+            }));
+        }
+    }
+    let mut round1_out = expect_all(exec.run(round1), "storm campaign runs").into_iter();
+
+    let mut baselines: Vec<StormRow> = Vec::new();
+    for scheme in STORM_SCHEMES {
+        let (stats, _) = round1_out.next().expect("baseline result");
+        let mut row = StormRow::new(scheme.label(), "baseline");
+        absorb_stats(&mut row, &stats, &victims, false);
+        baselines.push(row);
+    }
+    let mut storm_rows: Vec<StormRow> = Vec::new();
+    for (si, scheme) in STORM_SCHEMES.iter().enumerate() {
+        let (stats, rotation_done) = round1_out.next().expect("storm result");
+        let mut row = StormRow::new(scheme.label(), "storm");
+        absorb_stats(&mut row, &stats, &victims, scheme.value_verifying());
+        apply_ipc_ratio(&mut row, &baselines[si]);
+        if !rotation_done {
+            row.error = Some("key-rotation walk did not complete".into());
+        }
+        storm_rows.push(row);
+    }
+    let mut soak_rows: Vec<StormRow> = Vec::new();
+    if campaign.soak {
+        for (si, scheme) in STORM_SCHEMES.iter().enumerate() {
+            let (stats, rotation_done) = round1_out.next().expect("soak result");
+            let mut row = StormRow::new(scheme.label(), "soak");
+            absorb_stats(&mut row, &stats, &victims, scheme.value_verifying());
+            apply_ipc_ratio(&mut row, &baselines[si]);
+            if !rotation_done {
+                row.error = Some("key-rotation walk did not complete".into());
+            }
+            soak_rows.push(row);
+        }
+    }
+
+    // Phase 2: mid-rotation crash-kills. Crash cycles span the storm
+    // run's measured length; rotation starts before the first covering
+    // checkpoint so the restored checkpoint always postdates the
+    // generation bump (the dual-generation recovery invariant).
+    let mut crash_jobs: Vec<Job<'_, StormRow>> = Vec::new();
+    for (si, scheme) in STORM_SCHEMES.iter().enumerate() {
+        let total = storm_rows[si].cycles.max(campaign.checkpoint_cycles + 2);
+        for i in 1..=campaign.crash_points {
+            let lo = campaign.checkpoint_cycles + 1;
+            let hi = (total * 9 / 10).max(lo + 1);
+            let crash_at = lo + (hi - lo) * i as u64 / (campaign.crash_points as u64 + 1);
+            let fx = &fixture;
+            let scheme = *scheme;
+            crash_jobs.push(Job::new(
+                format!("{}/rotation@{crash_at}", scheme.label()),
+                move || {
+                    let factory = scheme.factory(fx.tenancy.clone());
+                    let mut sim = Simulator::new(cfg.clone(), fx.storm.clone(), factory.as_ref());
+                    sim.set_tenant_map(fx.map.clone());
+                    sim.set_checkpoint_interval(campaign.checkpoint_cycles);
+                    let mut row = StormRow::new(scheme.label(), format!("rotation@{crash_at}"));
+                    // Start the walk before the first periodic
+                    // checkpoint covers it.
+                    let start_at = (campaign.checkpoint_cycles / 2).max(1);
+                    let _ = sim.run_until(start_at);
+                    if !sim.start_key_rotation(FIRST_VICTIM) {
+                        row.error = Some("engine refused key rotation".into());
+                        return row;
+                    }
+                    let r = sim.run_until(crash_at);
+                    row.cycles = r.stats.cycles;
+                    match sim.crash_recover_audit() {
+                        Ok(audit) => {
+                            row.rotation_audited = audit.audited;
+                            row.rotation_mismatches = audit.mismatches;
+                            row.rotation_spurious = audit.spurious_violations;
+                            row.rotation_failed = audit.report.failed.len() as u64;
+                        }
+                        Err(e) => row.error = Some(e.to_string()),
+                    }
+                    row
+                },
+            ));
+        }
+    }
+    let crash_rows = expect_all(exec.run(crash_jobs), "storm rotation-crash audits");
+
+    // Assemble: per scheme — baseline, storm, (soak), rotation crashes.
+    let mut out = Vec::new();
+    let mut crash_iter = crash_rows.into_iter();
+    for (si, _scheme) in STORM_SCHEMES.iter().enumerate() {
+        out.push(baselines[si].clone());
+        out.push(storm_rows[si].clone());
+        if campaign.soak {
+            out.push(soak_rows[si].clone());
+        }
+        for _ in 0..campaign.crash_points {
+            out.push(crash_iter.next().expect("one row per crash job"));
+        }
+    }
+    out
+}
+
+/// The storm gate: every row's invariants hold, the storm actually
+/// exercised the machinery (faults adjudicated, rotation completed and
+/// re-encrypted sectors, crash audits audited sectors), and victims
+/// were never disturbed.
+///
+/// # Errors
+///
+/// Returns a description of every violated condition.
+pub fn storm_gate(rows: &[StormRow], campaign: &StormCampaignConfig) -> Result<(), String> {
+    if rows.is_empty() {
+        return Err("storm campaign produced no rows".into());
+    }
+    let mut bad: Vec<String> = Vec::new();
+    for r in rows {
+        if !r.is_clean(campaign.ipc_tolerance) {
+            let detail = match &r.error {
+                Some(e) => e.clone(),
+                None => format!(
+                    "{} victim violations, {} frozen victims, ipc ratio {:.3}, \
+                     ledger conserved {}, eq1 {}, {} escalated transients, \
+                     rotation {}/{}/{} mismatch/spurious/failed",
+                    r.victim_violations,
+                    r.victim_frozen,
+                    r.min_ipc_ratio,
+                    r.ledger_conserved,
+                    r.eq1_ok,
+                    r.transients_escalated,
+                    r.rotation_mismatches,
+                    r.rotation_spurious,
+                    r.rotation_failed
+                ),
+            };
+            bad.push(format!("{}/{}: {detail}", r.scheme, r.phase));
+        }
+        if r.phase == "storm" && r.faults_adjudicated == 0 && r.error.is_none() {
+            bad.push(format!(
+                "{}/storm: no adversarial fault was ever adjudicated",
+                r.scheme
+            ));
+        }
+        if (r.phase == "storm" || r.phase == "soak")
+            && r.error.is_none()
+            && (r.rotations_completed == 0 || r.rotated_sectors == 0)
+        {
+            bad.push(format!(
+                "{}/{}: key rotation did not complete ({} walks, {} sectors)",
+                r.scheme, r.phase, r.rotations_completed, r.rotated_sectors
+            ));
+        }
+        if r.phase.starts_with("rotation@") && r.rotation_audited == 0 && r.error.is_none() {
+            bad.push(format!(
+                "{}/{}: crash audit saw no sectors",
+                r.scheme, r.phase
+            ));
+        }
+    }
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad.join("; "))
+    }
+}
+
+/// Renders storm rows as a JSON document.
+pub fn storm_json(rows: &[StormRow], campaign: &StormCampaignConfig) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|r| {
+                let ipc = r
+                    .victim_ipc
+                    .iter()
+                    .fold(Json::object(), |o, (t, v)| o.set(&format!("t{t}"), *v));
+                let mut o = Json::object()
+                    .set("scheme", r.scheme.as_str())
+                    .set("phase", r.phase.as_str())
+                    .set("cycles", r.cycles)
+                    .set("victim_ipc", ipc)
+                    .set("min_ipc_ratio", r.min_ipc_ratio)
+                    .set("victim_violations", r.victim_violations)
+                    .set("victim_frozen", r.victim_frozen)
+                    .set("adversary_violations", r.adversary_violations)
+                    .set("ledger_conserved", r.ledger_conserved)
+                    .set("storm_suppressed", r.storm_suppressed)
+                    .set("storm_deferred", r.storm_deferred)
+                    .set("rotations_completed", r.rotations_completed)
+                    .set("rotated_sectors", r.rotated_sectors)
+                    .set("faults_adjudicated", r.faults_adjudicated)
+                    .set("forgeries", r.forgeries)
+                    .set("eq1_ok", r.eq1_ok)
+                    .set("transients_escalated", r.transients_escalated)
+                    .set("rotation_audited", r.rotation_audited)
+                    .set("rotation_mismatches", r.rotation_mismatches)
+                    .set("rotation_spurious", r.rotation_spurious)
+                    .set("rotation_failed", r.rotation_failed)
+                    .set("clean", r.is_clean(campaign.ipc_tolerance));
+                if let Some(e) = &r.error {
+                    o = o.set("error", e.as_str());
+                }
+                o
+            })
+            .collect(),
+    )
+}
+
+/// Renders storm rows as CSV.
+pub fn storm_csv(rows: &[StormRow], campaign: &StormCampaignConfig) -> String {
+    let mut out = String::from(
+        "scheme,phase,cycles,min_ipc_ratio,victim_violations,victim_frozen,\
+         adversary_violations,ledger_conserved,storm_suppressed,storm_deferred,\
+         rotations_completed,rotated_sectors,faults_adjudicated,forgeries,eq1_ok,\
+         transients_escalated,rotation_audited,rotation_mismatches,rotation_spurious,\
+         rotation_failed,clean\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.scheme,
+            r.phase,
+            r.cycles,
+            r.min_ipc_ratio,
+            r.victim_violations,
+            r.victim_frozen,
+            r.adversary_violations,
+            r.ledger_conserved,
+            r.storm_suppressed,
+            r.storm_deferred,
+            r.rotations_completed,
+            r.rotated_sectors,
+            r.faults_adjudicated,
+            r.forgeries,
+            r.eq1_ok,
+            r.transients_escalated,
+            r.rotation_audited,
+            r.rotation_mismatches,
+            r.rotation_spurious,
+            r.rotation_failed,
+            r.is_clean(campaign.ipc_tolerance)
+        ));
+    }
+    out
+}
+
+/// Renders the per-phase storm table.
+pub fn storm_table(rows: &[StormRow], campaign: &StormCampaignConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18}{:<16}{:>9}{:>9}{:>8}{:>8}{:>9}{:>9}{:>8}{:>8}{:>7}",
+        "scheme",
+        "phase",
+        "cycles",
+        "ipc-rat",
+        "v-viol",
+        "v-frz",
+        "rot-sec",
+        "audited",
+        "mism",
+        "adjud",
+        "clean"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<18}{:<16}{:>9}{:>9.3}{:>8}{:>8}{:>9}{:>9}{:>8}{:>8}{:>7}",
+            r.scheme,
+            r.phase,
+            r.cycles,
+            r.min_ipc_ratio,
+            r.victim_violations,
+            r.victim_frozen,
+            r.rotated_sectors,
+            r.rotation_audited,
+            r.rotation_mismatches,
+            r.faults_adjudicated,
+            if r.is_clean(campaign.ipc_tolerance) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+    out
+}
+
+/// Writes the storm campaign as JSON and CSV under `target/experiments/`,
+/// returning the JSON path.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn save_storm_campaign(
+    name: &str,
+    rows: &[StormRow],
+    campaign: &StormCampaignConfig,
+) -> std::io::Result<std::path::PathBuf> {
+    crate::save_reports(
+        name,
+        &storm_json(rows, campaign),
+        &storm_csv(rows, campaign),
+    )
+}
+
+/// Adapts the storm schemes onto [`SchemeProvider`] for callers that
+/// want tenancy-configured engines outside the storm campaign itself.
+pub fn storm_schemes(tenancy: TenancyConfig) -> Vec<Box<dyn SchemeProvider>> {
+    struct P(StormScheme, TenancyConfig);
+    impl SchemeProvider for P {
+        fn scheme_label(&self) -> String {
+            self.0.label().to_string()
+        }
+        fn make_factory(&self) -> Box<dyn EngineFactory> {
+            self.0.factory(self.1.clone())
+        }
+    }
+    STORM_SCHEMES
+        .iter()
+        .map(|&s| Box::new(P(s, tenancy.clone())) as Box<dyn SchemeProvider>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(seed: u64) -> StormCampaignConfig {
+        StormCampaignConfig {
+            accesses_per_tenant: 700,
+            faults: 12,
+            crash_points: 1,
+            ..StormCampaignConfig::new(seed)
+        }
+    }
+
+    #[test]
+    fn honest_storm_campaign_passes_the_gate() {
+        let campaign = quick(0xB00C);
+        let rows = run_storm_campaign(&campaign, &GpuConfig::test_small());
+        // baseline + storm + 1 rotation crash, per scheme.
+        assert_eq!(rows.len(), 3 * 3);
+        storm_gate(&rows, &campaign).expect("honest storm must pass");
+        // The campaign must actually exercise the machinery: overflows
+        // suppressed or deferred somewhere, sectors rotated, faults
+        // adjudicated against the adversary.
+        let storm = |r: &StormRow| r.phase == "storm";
+        assert!(rows
+            .iter()
+            .filter(|r| storm(r))
+            .all(|r| r.rotated_sectors > 0));
+        assert!(rows
+            .iter()
+            .filter(|r| storm(r))
+            .any(|r| r.faults_adjudicated > 0));
+        assert!(rows
+            .iter()
+            .any(|r| r.phase.starts_with("rotation@") && r.rotation_audited > 0));
+    }
+
+    #[test]
+    fn injected_breach_fails_the_gate() {
+        let campaign = StormCampaignConfig {
+            inject_breach: true,
+            ..quick(0xB00C)
+        };
+        let rows = run_storm_campaign(&campaign, &GpuConfig::test_small());
+        let err = storm_gate(&rows, &campaign).unwrap_err();
+        assert!(
+            err.contains("victim violations") || err.contains("frozen"),
+            "breach must surface as a victim-isolation failure: {err}"
+        );
+    }
+
+    #[test]
+    fn storm_campaign_is_deterministic_across_worker_counts() {
+        let campaign = quick(7);
+        let cfg = GpuConfig::test_small();
+        let a = run_storm_campaign_on(&Executor::new(Some(1)), &campaign, &cfg);
+        let b = run_storm_campaign_on(&Executor::new(Some(4)), &campaign, &cfg);
+        assert_eq!(
+            storm_csv(&a, &campaign),
+            storm_csv(&b, &campaign),
+            "storm rows must not depend on worker count"
+        );
+        assert_eq!(
+            storm_json(&a, &campaign).to_string_pretty(),
+            storm_json(&b, &campaign).to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let campaign = StormCampaignConfig::new(1);
+        let mut row = StormRow::new("plutus", "storm");
+        row.victim_ipc = vec![(2, 0.5), (3, 0.4)];
+        row.min_ipc_ratio = 0.93;
+        row.rotated_sectors = 40;
+        let json = storm_json(std::slice::from_ref(&row), &campaign).to_string_pretty();
+        assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("\"t2\""));
+        let csv = storm_csv(std::slice::from_ref(&row), &campaign);
+        assert!(csv.contains("plutus,storm"));
+        assert!(storm_table(&[row], &campaign).contains("yes"));
+    }
+}

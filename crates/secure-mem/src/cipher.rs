@@ -15,10 +15,15 @@ pub struct DataCipher {
 impl DataCipher {
     /// Builds the cipher from the configuration's keys.
     pub fn new(cfg: &SecureMemConfig) -> Self {
+        Self::from_keys(cfg.cipher, cfg.data_key, cfg.tweak_key)
+    }
+
+    /// Builds the cipher from explicit keys (per-tenant key tables).
+    pub fn from_keys(kind: CipherKind, data_key: [u8; 16], tweak_key: [u8; 16]) -> Self {
         Self {
-            kind: cfg.cipher,
-            cme: CounterMode::new(cfg.data_key),
-            xts: Xts::new(cfg.data_key, cfg.tweak_key),
+            kind,
+            cme: CounterMode::new(data_key),
+            xts: Xts::new(data_key, tweak_key),
         }
     }
 

@@ -133,6 +133,14 @@ impl SecurityEngine for CommonCountersEngine {
         self.inner.attach_telemetry(tel);
     }
 
+    fn start_key_rotation(&mut self, tenant: u32) -> bool {
+        self.inner.start_key_rotation(tenant)
+    }
+
+    fn rotation_active(&self) -> bool {
+        self.inner.rotation_active()
+    }
+
     fn inject_fault(&mut self, addr: SectorAddr, fault: MetaFault) -> bool {
         match fault {
             // Clean regions never consult per-sector counters or the BMT

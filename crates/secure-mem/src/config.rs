@@ -2,6 +2,7 @@
 //! cipher selection, and cache geometry (paper Table II plus the Fig. 14
 //! design space).
 
+use crate::tenant::TenancyConfig;
 use gpu_sim::SecurityLatencies;
 
 /// Encryption-counter organization.
@@ -75,6 +76,10 @@ pub struct SecureMemConfig {
     /// so tree geometry (levels, node counts) is computed for a
     /// 1/`partitions` share of the leaves.
     pub partitions: usize,
+    /// Multi-tenant operation: per-tenant key tables, live key rotation
+    /// and overflow-storm backpressure. `None` (the default) keeps the
+    /// single-key behaviour below.
+    pub tenancy: Option<TenancyConfig>,
     /// AES data key.
     pub data_key: [u8; 16],
     /// AES tweak key (XTS) / pad key (CME).
@@ -102,6 +107,7 @@ impl Default for SecureMemConfig {
             counter_org: CounterOrg::SplitSectored,
             disable_tree: false,
             partitions: 32,
+            tenancy: None,
             data_key: [0x3c; 16],
             tweak_key: [0x5a; 16],
             mac_key: [0x96; 16],
@@ -223,6 +229,28 @@ impl SecureMemConfig {
         }
         if self.partitions == 0 {
             return Err("partitions must be > 0".into());
+        }
+        if let Some(t) = &self.tenancy {
+            if t.rotation_sectors_per_step == 0 {
+                return Err("tenancy.rotation_sectors_per_step must be > 0".into());
+            }
+            if t.storm_window == 0 || t.storm_drain == 0 {
+                return Err("tenancy.storm_window and storm_drain must be > 0".into());
+            }
+            for &(start, end, tenant) in t.map.ranges() {
+                // 4 KiB slab alignment keeps counter groups (1 KiB) and
+                // 128 B metadata fetch units from spanning tenants.
+                if !start.is_multiple_of(4096) || !end.is_multiple_of(4096) {
+                    return Err(format!(
+                        "tenant {tenant} slab [{start:#x}, {end:#x}) is not 4 KiB-aligned"
+                    ));
+                }
+                if end > self.protected_bytes {
+                    return Err(format!(
+                        "tenant {tenant} slab end {end:#x} exceeds protected_bytes"
+                    ));
+                }
+            }
         }
         Ok(())
     }

@@ -46,6 +46,7 @@ pub mod layout;
 pub mod mac_store;
 pub mod mac_system;
 pub mod pssm;
+pub mod tenant;
 
 pub use cipher::DataCipher;
 pub use common_counters::{CommonCountersEngine, CommonCountersFactory};
@@ -57,3 +58,4 @@ pub use layout::Layout;
 pub use mac_store::MacStore;
 pub use mac_system::{MacAccess, MacSystem};
 pub use pssm::{PssmEngine, PssmFactory};
+pub use tenant::{RotationWalk, TenancyConfig, TenantCrypto};

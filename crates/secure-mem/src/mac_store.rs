@@ -6,7 +6,8 @@
 //! never-written zero-initialized memory: its expected tag is the MAC of an
 //! all-zero sector under counter 0.
 
-use gpu_sim::SectorAddr;
+use crate::tenant::derive_mac_key;
+use gpu_sim::{SectorAddr, TenantMap, SECTOR_SIZE};
 use plutus_crypto::{Cmac, Tweak};
 use std::collections::HashMap;
 
@@ -15,6 +16,9 @@ use std::collections::HashMap;
 pub struct MacStore {
     tags: HashMap<u64, u64>,
     cmac: Cmac,
+    /// Per-tenant CMACs (multi-tenant operation). Keys are derived
+    /// generation-free, so live key rotation never invalidates a tag.
+    tenants: Option<(TenantMap, HashMap<u32, Cmac>)>,
     mask: u64,
 }
 
@@ -37,15 +41,53 @@ impl MacStore {
         Self {
             tags: HashMap::new(),
             cmac: Cmac::new(key),
+            tenants: None,
             mask,
+        }
+    }
+
+    /// Switches to per-tenant MAC keys derived from `seed` for every
+    /// tenant in `map` (plus the default tenant for unmapped addresses).
+    pub fn set_tenant_keys(&mut self, map: TenantMap, seed: u64) {
+        let mut ids = map.tenants();
+        if !ids.contains(&TenantMap::DEFAULT_TENANT) {
+            ids.push(TenantMap::DEFAULT_TENANT);
+        }
+        let keys = ids
+            .into_iter()
+            .map(|t| (t, Cmac::new(derive_mac_key(seed, t))))
+            .collect();
+        self.tenants = Some((map, keys));
+    }
+
+    fn cmac_of(&self, addr: SectorAddr) -> &Cmac {
+        match &self.tenants {
+            Some((map, keys)) => keys.get(&map.tenant_of(addr)).unwrap_or(&self.cmac),
+            None => &self.cmac,
         }
     }
 
     /// Computes the truncated tag of `plaintext` under `(addr, counter)`.
     pub fn compute(&self, plaintext: &[u8; 32], addr: SectorAddr, counter: u64) -> u64 {
-        self.cmac
+        self.cmac_of(addr)
             .stateful_tag64(plaintext, Tweak::new(addr.raw(), counter))
             & self.mask
+    }
+
+    /// Addresses with stored tags inside `[start, end)`, ascending, at
+    /// most `limit`. The tag table is the ownership source of truth for
+    /// the key-rotation walk: exactly the sectors ever written (and hence
+    /// carrying non-trivial ciphertext) are visited.
+    pub fn addrs_in_range(&self, start: u64, end: u64, limit: usize) -> Vec<SectorAddr> {
+        let mut raws: Vec<u64> = self
+            .tags
+            .keys()
+            .map(|idx| idx * SECTOR_SIZE)
+            .filter(|a| (start..end).contains(a))
+            .collect();
+        raws.sort_unstable();
+        raws.truncate(limit);
+        raws.into_iter().map(SectorAddr::new).collect()
     }
 
     /// Stores the tag for a freshly written sector.
@@ -137,5 +179,38 @@ mod tests {
     #[should_panic(expected = "mac_bytes")]
     fn rejects_oversized_mac() {
         MacStore::new([0; 16], 9);
+    }
+
+    #[test]
+    fn tenant_keys_separate_tags() {
+        let mut map = TenantMap::new();
+        map.add_range(0, 0x1000, 1);
+        map.add_range(0x1000, 0x2000, 2);
+        let mut m = store();
+        let shared_key_tag = m.compute(&[5; 32], SectorAddr::new(0x40), 3);
+        m.set_tenant_keys(map, 99);
+        let t1 = m.compute(&[5; 32], SectorAddr::new(0x40), 3);
+        // Same plaintext/counter, same slab offset, different tenant key.
+        let t2 = m.compute(&[5; 32], SectorAddr::new(0x1040), 3);
+        assert_ne!(t1, shared_key_tag);
+        // Tweak already differs by address; the stronger check is that
+        // tenant 1's tag under tenant 2's address-tweak differs too —
+        // covered by key derivation tests; here assert tags are stable.
+        assert_eq!(t1, m.compute(&[5; 32], SectorAddr::new(0x40), 3));
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn addrs_in_range_sorted_and_bounded() {
+        let mut m = store();
+        for raw in [0x200u64, 0x40, 0x1000, 0x80] {
+            m.update(SectorAddr::new(raw), &[1; 32], 1);
+        }
+        let got = m.addrs_in_range(0, 0x1000, 8);
+        let raws: Vec<u64> = got.iter().map(|a| a.raw()).collect();
+        assert_eq!(raws, vec![0x40, 0x80, 0x200]);
+        let capped = m.addrs_in_range(0, 0x2000, 2);
+        assert_eq!(capped.len(), 2);
+        assert_eq!(capped[0].raw(), 0x40);
     }
 }

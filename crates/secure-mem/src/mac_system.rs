@@ -35,11 +35,17 @@ pub struct MacSystem {
 }
 
 impl MacSystem {
-    /// Builds the subsystem from the configuration.
+    /// Builds the subsystem from the configuration. Under tenancy, the
+    /// store switches to per-tenant MAC keys (generation-stable, so tags
+    /// survive key rotation).
     pub fn new(cfg: &SecureMemConfig) -> Self {
+        let mut store = MacStore::new(cfg.mac_key, cfg.mac_bytes.min(8));
+        if let Some(t) = &cfg.tenancy {
+            store.set_tenant_keys(t.map.clone(), t.master_seed);
+        }
         Self {
             layout: Layout::new(cfg),
-            store: MacStore::new(cfg.mac_key, cfg.mac_bytes.min(8)),
+            store,
             cache: SectoredCache::new(
                 cfg.meta_cache_bytes,
                 cfg.meta_cache_ways,
@@ -129,6 +135,12 @@ impl MacSystem {
     /// Attack hook: tamper with the stored tag of `sector`.
     pub fn tamper(&mut self, sector: SectorAddr) {
         self.store.tamper(sector);
+    }
+
+    /// Tagged addresses inside `[start, end)`, ascending, at most
+    /// `limit` — the key-rotation walk's work list.
+    pub fn addrs_in_range(&self, start: u64, end: u64, limit: usize) -> Vec<SectorAddr> {
+        self.store.addrs_in_range(start, end, limit)
     }
 
     /// `(hits, misses)` so far.

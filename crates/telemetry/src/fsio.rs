@@ -1,0 +1,106 @@
+//! Crash-safe file output.
+//!
+//! Every report the workspace writes — campaign JSON/CSV, metrics
+//! exports, bench snapshots, cycle ledgers — goes through
+//! [`atomic_write`]: the bytes land in a temporary sibling first and are
+//! moved over the destination with a rename, which is atomic on POSIX
+//! filesystems. A reader (CI collecting artifacts, a dashboard tailing
+//! `target/experiments/`) therefore never observes a half-written file,
+//! and a crash mid-write leaves the previous version intact.
+
+use std::io;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the data goes to a temporary
+/// file in the same directory (same filesystem, so the final rename
+/// cannot degrade into a copy) and replaces `path` only once fully
+/// flushed. On any error the destination is untouched; the temporary is
+/// cleaned up best-effort.
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "cannot atomically write to {}: no file name",
+                path.display()
+            ),
+        )
+    })?;
+    // Pid-tagged sibling: concurrent writers of the same report (two
+    // campaign processes racing) each stage privately and the last
+    // rename wins whole, never interleaved.
+    let tmp_name = format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("plutus-fsio-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("report.json");
+        atomic_write(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temporary left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temps: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_intact() {
+        let dir = tmp_dir("intact");
+        let path = dir.join("report.json");
+        atomic_write(&path, "good").unwrap();
+        // Writing *through* a path whose parent is a regular file fails.
+        let bad = path.join("child.json");
+        assert!(atomic_write(&bad, "bad").is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "good");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_pathless_destination() {
+        assert!(atomic_write(std::path::PathBuf::from(".."), "x").is_err());
+    }
+
+    #[test]
+    fn bare_relative_file_name_works() {
+        let dir = tmp_dir("bare");
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        atomic_write("bare.txt", "data").unwrap();
+        let content = std::fs::read_to_string(dir.join("bare.txt")).unwrap();
+        std::env::set_current_dir(prev).unwrap();
+        assert_eq!(content, "data");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -39,6 +39,7 @@
 pub mod clock;
 pub mod events;
 pub mod export;
+pub mod fsio;
 pub mod json;
 pub mod metrics;
 pub mod trace;
@@ -46,6 +47,7 @@ pub mod trace;
 pub use clock::{Clock, CycleClock, NullClock, WallClock};
 pub use events::{Event, EventLog, FieldValue, TimedEvent, DEFAULT_EVENT_CAPACITY};
 pub use export::{EpochSnapshot, Report};
+pub use fsio::atomic_write;
 pub use json::Json;
 pub use metrics::{
     BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot,

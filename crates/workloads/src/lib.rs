@@ -29,9 +29,11 @@
 pub mod generators;
 pub mod spec;
 pub mod stats;
+pub mod tenancy;
 pub mod values;
 
 pub use generators::{generate, GenParams, Pattern};
 pub use spec::{by_name, suite, Intensity, Scale, ScaleKnobs, Suite, WorkloadSpec};
 pub use stats::{characterize, value_census, TraceStats, ValueCensus};
+pub use tenancy::{multi_tenant_trace, overflow_storm_trace, SLAB_ALIGN};
 pub use values::ValueProfile;

@@ -1,0 +1,273 @@
+//! Multi-tenant trace composition and the overflow-storm adversary.
+//!
+//! The storm/soak campaigns (ISSUE 8) run several tenants concurrently on
+//! one GPU: each tenant's workload is generated independently, relocated
+//! into a private 4 KiB-aligned address slab, and the per-tenant streams
+//! are round-robin interleaved into one trace — modeling spatial
+//! multi-tenancy where co-resident kernels share the memory system but
+//! never share data.
+//!
+//! The adversary is [`overflow_storm_trace`]: a write hammer over a tiny
+//! sector set with value-locality-free payloads. Every 128 writes to a
+//! sector overflow its split-counter group and trigger a whole-group
+//! re-encryption — the bandwidth storm the per-tenant backpressure gate
+//! (`secure_mem::TenancyConfig::storm_burst`) must contain.
+
+use crate::values::ValueProfile;
+use gpu_sim::{AccessKind, SectorAddr, TenantMap, Trace, SECTOR_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tenant slabs must be 4 KiB-aligned so counter groups and metadata
+/// fetch units never span two tenants (mirrors
+/// `SecureMemConfig::validate`).
+pub const SLAB_ALIGN: u64 = 4096;
+
+/// Generates the overflow-forcing adversary: `accesses` writes hammered
+/// round-robin over `hammer_sectors` sectors with uniformly random
+/// payloads (no value locality, so the pinned-value screen never
+/// absorbs them), plus sparse reads over a `probe_sectors`-sized probe
+/// region right after the hammer set.
+///
+/// The hammer set is tiny on purpose — it stays cache-hot, so the storm
+/// is pure writeback pressure. The probe region is the opposite: each
+/// probe sector is read rarely, gets evicted by co-tenant traffic in
+/// between, and is re-*filled* on the next probe — the path where the
+/// verifier adjudicates any tampering the adversary aimed at its own
+/// slab. With `probe_sectors == 0` the reads fall back onto the hammer
+/// set.
+///
+/// With 128 writes per counter-group overflow, this trace forces about
+/// `accesses / 128` group re-encryption storms — the worst case for
+/// co-resident tenants.
+pub fn overflow_storm_trace(
+    name: &str,
+    seed: u64,
+    hammer_sectors: u64,
+    probe_sectors: u64,
+    accesses: usize,
+) -> Trace {
+    let hammer = hammer_sectors.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new(name);
+    let payload = ValueProfile::WideRandom;
+    for i in 0..hammer + probe_sectors {
+        trace.set_initial(
+            SectorAddr::new(i * SECTOR_SIZE),
+            payload.fill_sector(&mut rng),
+        );
+    }
+    let mut emitted = 0usize;
+    let mut cursor = 0u64;
+    let mut probe_cursor = 0u64;
+    while emitted < accesses {
+        // 1-in-4 reads keep fills (and thus the verifier) in play; the
+        // rest is the write hammer driving counters toward overflow.
+        if rng.gen_range(0..4) == 0 {
+            let probe = if probe_sectors > 0 {
+                let p = hammer + probe_cursor;
+                probe_cursor = (probe_cursor + 1) % probe_sectors;
+                p
+            } else {
+                cursor
+            };
+            trace.push_read(SectorAddr::new(probe * SECTOR_SIZE), 1, 2);
+        } else {
+            let addr = SectorAddr::new(cursor * SECTOR_SIZE);
+            cursor = (cursor + 1) % hammer;
+            trace.push_write(addr, payload.fill_sector(&mut rng), 1, 2);
+        }
+        emitted += 1;
+    }
+    trace
+}
+
+/// Relocates each `(tenant, trace)` slot into its own `slab_bytes` slab
+/// and round-robin interleaves the streams into one trace, returning it
+/// with the matching [`TenantMap`].
+///
+/// Slot `i` (in input order) owns `[i * slab_bytes, (i + 1) * slab_bytes)`;
+/// all of a slot's addresses — accesses and initial image — are shifted
+/// by its slab base. Interleaving takes one access per non-exhausted
+/// slot per round, so tenants progress together regardless of trace
+/// length, and the result is deterministic in the input order.
+///
+/// # Panics
+///
+/// Panics if `slab_bytes` is not 4 KiB-aligned, a tenant id repeats, or
+/// a slot's trace does not fit inside one slab.
+pub fn multi_tenant_trace(
+    name: &str,
+    slots: &[(u32, Trace)],
+    slab_bytes: u64,
+) -> (Trace, TenantMap) {
+    assert!(
+        slab_bytes > 0 && slab_bytes.is_multiple_of(SLAB_ALIGN),
+        "slab_bytes must be a positive multiple of {SLAB_ALIGN}"
+    );
+    let mut map = TenantMap::new();
+    let mut merged = Trace::new(name);
+    for (i, (tenant, trace)) in slots.iter().enumerate() {
+        let base = i as u64 * slab_bytes;
+        map.add_range(base, base + slab_bytes, *tenant);
+        for &(addr, data) in &trace.initial_image {
+            assert!(
+                addr.raw() + SECTOR_SIZE <= slab_bytes,
+                "tenant {tenant} initial image exceeds its {slab_bytes}-byte slab"
+            );
+            merged.set_initial(SectorAddr::new(base + addr.raw()), data);
+        }
+    }
+    let mut cursors = vec![0usize; slots.len()];
+    loop {
+        let mut progressed = false;
+        for (i, (tenant, trace)) in slots.iter().enumerate() {
+            let Some(access) = trace.accesses.get(cursors[i]) else {
+                continue;
+            };
+            cursors[i] += 1;
+            progressed = true;
+            let base = i as u64 * slab_bytes;
+            assert!(
+                access.addr.raw() + SECTOR_SIZE <= slab_bytes,
+                "tenant {tenant} access exceeds its {slab_bytes}-byte slab"
+            );
+            let addr = SectorAddr::new(base + access.addr.raw());
+            match access.kind {
+                AccessKind::Read => {
+                    merged.push_read(addr, access.think_cycles, access.instructions)
+                }
+                AccessKind::Write => merged.push_write(
+                    addr,
+                    *trace.data_of(access),
+                    access.think_cycles,
+                    access.instructions,
+                ),
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (merged, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate, GenParams, Pattern};
+
+    fn small(seed: u64, accesses: usize) -> Trace {
+        generate(
+            "victim",
+            Pattern::RandomRmw,
+            GenParams {
+                footprint_sectors: 64,
+                accesses,
+                think_cycles: (1, 4),
+                instructions: 8,
+                seed,
+            },
+            ValueProfile::SmallInts { max: 50 },
+            ValueProfile::SmallInts { max: 50 },
+        )
+    }
+
+    #[test]
+    fn storm_trace_is_a_write_hammer() {
+        let t = overflow_storm_trace("adv", 3, 4, 16, 2000);
+        assert_eq!(t.len(), 2000);
+        assert!(t.write_fraction() > 0.7, "wf {}", t.write_fraction());
+        // Writes stay inside the hammer set; reads probe the region
+        // right after it.
+        for a in &t.accesses {
+            match a.kind {
+                AccessKind::Write => assert!(a.addr.raw() < 4 * SECTOR_SIZE),
+                AccessKind::Read => {
+                    assert!(a.addr.raw() >= 4 * SECTOR_SIZE);
+                    assert!(a.addr.raw() < (4 + 16) * SECTOR_SIZE);
+                }
+            }
+        }
+        // Probe sectors are pre-imaged so tampering them has something
+        // to corrupt.
+        assert!(t.initial_image.len() == 20);
+        // Enough writes per sector to overflow 128-write counter groups
+        // several times over.
+        assert!(t.write_fraction() * 2000.0 / 4.0 > 256.0);
+    }
+
+    #[test]
+    fn multi_tenant_trace_relocates_and_interleaves() {
+        let slots = vec![
+            (1u32, small(1, 100)),
+            (2u32, small(2, 100)),
+            (3u32, small(3, 40)),
+        ];
+        let (trace, map) = multi_tenant_trace("multi", &slots, 0x10000);
+        assert_eq!(trace.len(), 240);
+        assert_eq!(map.tenants(), vec![1, 2, 3]);
+        assert_eq!(map.range_of(2), Some((0x10000, 0x20000)));
+        // Every access lands in its tenant's slab, and the first round
+        // is strictly round-robin.
+        assert_eq!(map.tenant_of(trace.accesses[0].addr), 1);
+        assert_eq!(map.tenant_of(trace.accesses[1].addr), 2);
+        assert_eq!(map.tenant_of(trace.accesses[2].addr), 3);
+        for a in &trace.accesses {
+            assert!(map.tenant_of(a.addr) != TenantMap::DEFAULT_TENANT);
+        }
+        // Initial images carried over with relocation.
+        assert!(trace.initial_image.iter().any(|&(a, _)| a.raw() >= 0x20000));
+        // Write payloads survive the merge byte-identically.
+        let w = trace
+            .accesses
+            .iter()
+            .find(|a| a.kind == AccessKind::Write)
+            .unwrap();
+        let orig = slots[0]
+            .1
+            .accesses
+            .iter()
+            .find(|a| a.kind == AccessKind::Write)
+            .unwrap();
+        assert_eq!(trace.data_of(w), slots[0].1.data_of(orig));
+    }
+
+    #[test]
+    fn multi_tenant_trace_is_deterministic() {
+        let mk = || {
+            multi_tenant_trace(
+                "det",
+                &[
+                    (1, small(9, 80)),
+                    (2, overflow_storm_trace("adv", 5, 4, 8, 80)),
+                ],
+                0x8000,
+            )
+        };
+        let (a, am) = mk();
+        let (b, bm) = mk();
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.write_data, b.write_data);
+        assert_eq!(am, bm);
+    }
+
+    #[test]
+    #[should_panic(expected = "slab")]
+    fn oversized_trace_is_rejected() {
+        let big = generate(
+            "big",
+            Pattern::RandomRmw,
+            GenParams {
+                footprint_sectors: 4096,
+                accesses: 50,
+                think_cycles: (1, 1),
+                instructions: 1,
+                seed: 0,
+            },
+            ValueProfile::WideRandom,
+            ValueProfile::WideRandom,
+        );
+        multi_tenant_trace("bad", &[(1, big)], SLAB_ALIGN);
+    }
+}

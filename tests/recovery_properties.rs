@@ -3,8 +3,8 @@
 //! cycle-accounting, and attack detection under graceful degradation.
 
 use gpu_sim::{
-    FaultKind, FaultOutcome, FaultSchedule, FaultTrigger, GpuConfig, RetryPolicy, ScheduledFault,
-    Simulator, TransientConfig,
+    BackingMemory, FaultKind, FaultOutcome, FaultSchedule, FaultTrigger, GpuConfig, RetryPolicy,
+    ScheduledFault, SectorAddr, Simulator, TransientConfig, SECTOR_SIZE,
 };
 use plutus_bench::{recovery_schemes, Scheme};
 use plutus_recovery::{
@@ -155,6 +155,83 @@ fn degraded_plutus_still_detects_tampering() {
         "degraded engine must still catch persistent tampering: {:?}",
         r.stats.fault_records
     );
+}
+
+/// A counter-group overflow landing *between* the checkpoint and the
+/// crash is the hardest recovery case: the group major bumped and every
+/// minor reset after the checkpointed state was taken, so a naive
+/// restart from the reverted counters could accept stale values. The
+/// recovery floor (major-with-cleared-minor for split counters, the
+/// checkpointed value for monolithic ones) must re-prove every resident
+/// sector against the persistent MACs and read back bit-identical, on
+/// both the split-counter PSSM engine and the monolithic
+/// common-counters engine.
+#[test]
+fn overflow_between_checkpoint_and_crash_recovers_bit_identical() {
+    for scheme in [Scheme::Pssm, Scheme::CommonCounters] {
+        for seed in [1u64, 7, 23] {
+            let label = format!("{} seed {seed}", scheme.label());
+            let factory = scheme.make_factory();
+            let mut e = factory.build(0);
+            let mut mem = BackingMemory::new();
+            let s = |i: u64| SectorAddr::new(i * SECTOR_SIZE);
+            let payload = |tag: u64| {
+                let mut p = [0u8; 32];
+                p[0] = tag as u8;
+                p[1] = (tag >> 8) as u8;
+                p[2] = seed as u8;
+                p
+            };
+            // A neighbour resident in the hammered sector's group keeps
+            // a low minor the overflow will clear.
+            e.on_writeback(s(1), &payload(0x9999), &mut mem);
+            // Most of the way to the 128-write minor overflow...
+            let pre = 100 + (seed as usize % 20);
+            for i in 0..pre {
+                e.on_writeback(s(0), &payload(i as u64), &mut mem);
+            }
+            let ck = e
+                .checkpoint()
+                .unwrap_or_else(|| panic!("{label}: engine must checkpoint"));
+            // ...and across it only after the checkpoint: these writes
+            // (and the group re-encryption they trigger) are exactly
+            // what the crash loses.
+            let post = 40 + (seed as usize % 9);
+            for i in 0..post {
+                e.on_writeback(s(0), &payload(0x1000 + i as u64), &mut mem);
+            }
+            if scheme == Scheme::Pssm {
+                let overflows = e
+                    .extra_stats()
+                    .iter()
+                    .find(|(n, _)| n == "ctr_group_overflows")
+                    .map_or(0, |(_, v)| *v);
+                assert!(
+                    overflows >= 1,
+                    "{label}: the doomed tail must cross a group overflow"
+                );
+            }
+            let oracle0 = e
+                .peek_plaintext(s(0), &mem)
+                .unwrap_or_else(|| panic!("{label}: peek before crash"));
+            let oracle1 = e.peek_plaintext(s(1), &mem).unwrap();
+            assert!(e.crash_revert(ck.as_ref()), "{label}: revert refused");
+            let report = e
+                .recover(&mem, &mem.resident_addrs())
+                .unwrap_or_else(|e| panic!("{label}: recovery refused: {e}"));
+            assert!(
+                report.failed.is_empty(),
+                "{label}: unrecoverable sectors {:?}",
+                report.failed
+            );
+            let f0 = e.on_fill(s(0), &mut mem);
+            assert_eq!(f0.plaintext, oracle0, "{label}: hammered sector drifted");
+            assert!(f0.violation.is_none(), "{label}: {:?}", f0.violation);
+            let f1 = e.on_fill(s(1), &mut mem);
+            assert_eq!(f1.plaintext, oracle1, "{label}: neighbour drifted");
+            assert!(f1.violation.is_none(), "{label}: {:?}", f1.violation);
+        }
+    }
 }
 
 /// The bench scheme catalogue drives both recovery campaigns through

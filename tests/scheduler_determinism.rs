@@ -1,8 +1,9 @@
 //! Cross-worker-count determinism of the experiment scheduler.
 //!
 //! Every fan-out in the workspace — the IPC matrix, the adversarial
-//! fault campaign, and the transient/crash recovery campaigns — runs
-//! its simulations as jobs on a `plutus_exec::Executor`. These tests
+//! fault campaign, the transient/crash recovery campaigns, and the
+//! multi-tenant storm campaign — runs its simulations as jobs on a
+//! `plutus_exec::Executor`. These tests
 //! pin the scheduler's core contract: for a fixed seed, the rendered
 //! reports (JSON and CSV) are **byte-identical** whether the pool has
 //! one worker or many, because per-job seeds derive purely from the
@@ -16,8 +17,9 @@ use plutus_bench::{
 };
 use plutus_exec::Executor;
 use plutus_recovery::{
-    crash_csv, crash_json, run_crash_campaign_on, run_transient_campaign_on, transient_csv,
-    transient_json, CrashCampaignConfig, TransientCampaignConfig,
+    crash_csv, crash_json, run_crash_campaign_on, run_storm_campaign_on, run_transient_campaign_on,
+    storm_csv, storm_json, transient_csv, transient_json, CrashCampaignConfig, StormCampaignConfig,
+    TransientCampaignConfig,
 };
 use workloads::{by_name, Scale, WorkloadSpec};
 
@@ -96,6 +98,25 @@ fn transient_reports_are_byte_identical_across_worker_counts() {
         transient_json(&b).to_string_pretty()
     );
     assert_eq!(transient_csv(&a), transient_csv(&b));
+}
+
+#[test]
+fn storm_reports_are_byte_identical_across_worker_counts() {
+    let (serial, wide) = pools();
+    let campaign = StormCampaignConfig {
+        accesses_per_tenant: 700,
+        faults: 12,
+        crash_points: 1,
+        ..StormCampaignConfig::new(0xD17E)
+    };
+    let cfg = GpuConfig::test_small();
+    let a = run_storm_campaign_on(&serial, &campaign, &cfg);
+    let b = run_storm_campaign_on(&wide, &campaign, &cfg);
+    assert_eq!(
+        storm_json(&a, &campaign).to_string_pretty(),
+        storm_json(&b, &campaign).to_string_pretty()
+    );
+    assert_eq!(storm_csv(&a, &campaign), storm_csv(&b, &campaign));
 }
 
 #[test]
