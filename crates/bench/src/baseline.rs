@@ -165,6 +165,16 @@ fn check(
         }
         return;
     };
+    // A NaN (or infinite) value compares false against every threshold,
+    // which would silently disarm the gate — treat it as a failure
+    // instead of a pass.
+    if !cur.is_finite() || !base.is_finite() {
+        out.push(format!(
+            "{key}: {metric} is not finite ({base} -> {cur}); \
+             refusing to gate on a NaN/infinite metric"
+        ));
+        return;
+    }
     let regressed = match dir {
         Direction::HigherIsBetter => cur < base * (1.0 - tolerance),
         Direction::LowerIsBetter => {
@@ -313,6 +323,46 @@ mod tests {
         let regressions = compare_bench(&cur, &base, 0.02).unwrap();
         assert_eq!(regressions.len(), 1);
         assert!(regressions[0].contains("other/plutus: missing"));
+    }
+
+    #[test]
+    fn non_finite_metric_fails_the_gate() {
+        // NaN compares false against every threshold; before the guard,
+        // a NaN metric sailed through `--compare --tolerance` silently.
+        let mut out = Vec::new();
+        check(
+            &mut out,
+            "w/plutus",
+            "ipc",
+            Some(f64::NAN),
+            Some(1.5),
+            0.02,
+            Direction::HigherIsBetter,
+        );
+        assert_eq!(out.len(), 1, "NaN current value must fail the gate");
+        assert!(out[0].contains("not finite"));
+        let mut out = Vec::new();
+        check(
+            &mut out,
+            "w/plutus",
+            "cycles",
+            Some(1000.0),
+            Some(f64::INFINITY),
+            0.02,
+            Direction::LowerIsBetter,
+        );
+        assert_eq!(out.len(), 1, "non-finite baseline must fail the gate");
+        let mut out = Vec::new();
+        check(
+            &mut out,
+            "w/plutus",
+            "ipc",
+            Some(1.5),
+            Some(1.5),
+            0.02,
+            Direction::HigherIsBetter,
+        );
+        assert!(out.is_empty(), "finite equal values still pass");
     }
 
     #[test]

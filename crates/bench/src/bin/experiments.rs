@@ -5,12 +5,21 @@
 //! ```
 //!
 //! `<id>` ∈ {table1, table2, fig6, fig7, fig9, fig10, fig15, fig16, fig17,
-//! fig18, fig19, fig20, fig21, fig22, figrepro, all}. Results print as
-//! tables and are saved as JSON under `target/experiments/`. `figrepro`
+//! fig18, fig19, fig20, fig21, fig22, figrepro, cipher_bench, all}.
+//! Results print as tables and are saved as JSON under
+//! `target/experiments/`. `figrepro`
 //! is the normalized-IPC figure-reproduction report (Figs. 11-14 style):
 //! the no-security/PSSM/common-counters/Plutus matrix with per-scheme
 //! geomeans, the CPI stacks behind the numbers, and a prominent warning
 //! when the result is degenerate (every scheme at norm_ipc = 1.0).
+//! `cipher_bench` times the functional crypto primitives scalar vs the
+//! native SIMD backend (`--assert-speedup X` gates the batched rows).
+//!
+//! Crypto backend: every invocation logs `crypto backend: <name>` and
+//! sets the `crypto.backend_simd` gauge; `--crypto-backend
+//! auto|scalar|simd` overrides the CPUID-based runtime selection
+//! (`scalar` forces the portable tables, e.g. to reproduce golden files
+//! on any host; `simd` fails fast when the CPU lacks AES-NI).
 //!
 //! Scheduling: simulator runs execute as independent jobs on a bounded
 //! work-stealing pool. `--jobs N` caps the worker count (default: one
@@ -154,6 +163,7 @@ struct Args {
     tenants: Option<usize>,
     inject_breach: bool,
     ledger_out: Option<PathBuf>,
+    assert_speedup: Option<f64>,
     tel: Telemetry,
     exec: Executor,
     /// Causal traces collected by `--trace-out` matrix runs.
@@ -267,6 +277,8 @@ fn parse_args(tel: &Telemetry) -> Args {
     let mut ledger_out = None;
     let mut heartbeat = None;
     let mut watchdog = None;
+    let mut assert_speedup = None;
+    let mut crypto_backend = String::from("auto");
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -461,6 +473,23 @@ fn parse_args(tel: &Telemetry) -> Args {
                 };
             }
             "--sched-stats" => sched_stats = true,
+            "--crypto-backend" => {
+                i += 1;
+                crypto_backend = match argv.get(i).map(String::as_str) {
+                    Some(s @ ("auto" | "scalar" | "simd" | "aes-ni" | "aesni")) => s.to_string(),
+                    other => fail(
+                        tel,
+                        format!("unknown crypto backend {other:?}; expected auto|scalar|simd"),
+                    ),
+                };
+            }
+            "--assert-speedup" => {
+                i += 1;
+                assert_speedup = match argv.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(x) if x > 0.0 && x.is_finite() => Some(x),
+                    _ => fail(tel, "--assert-speedup requires a positive multiple".into()),
+                };
+            }
             flag if flag.starts_with("--") => fail(tel, format!("unknown flag {flag}")),
             id => experiment = id.to_string(),
         }
@@ -487,6 +516,29 @@ fn parse_args(tel: &Telemetry) -> Args {
             picked
         }
     };
+    // Pin the crypto backend before any cipher is constructed so every
+    // run in this process is uniform, then surface the choice: one log
+    // line plus the `crypto.backend_simd` gauge (1 = AES-NI active).
+    match crypto_backend.as_str() {
+        "auto" => {}
+        "scalar" => plutus_crypto::backend::force_scalar(),
+        _ => {
+            if plutus_crypto::backend::detect() != plutus_crypto::CryptoBackend::AesNi {
+                fail(
+                    tel,
+                    "--crypto-backend simd requested, but this host has no \
+                     AES-NI/PCLMULQDQ support"
+                        .into(),
+                );
+            }
+            plutus_crypto::backend::force(plutus_crypto::CryptoBackend::AesNi);
+        }
+    }
+    let active_backend = plutus_crypto::backend::active();
+    eprintln!("crypto backend: {active_backend}");
+    tel.gauge("crypto.backend_simd").set(u64::from(
+        active_backend == plutus_crypto::CryptoBackend::AesNi,
+    ));
     let exec = Executor::with_telemetry(jobs, tel.clone());
     if let Some(interval) = heartbeat {
         exec.set_heartbeat(interval);
@@ -523,6 +575,7 @@ fn parse_args(tel: &Telemetry) -> Args {
         tenants,
         inject_breach,
         ledger_out,
+        assert_speedup,
         tel: tel.clone(),
         exec,
         traces: RefCell::new(Vec::new()),
@@ -828,6 +881,7 @@ fn main() {
             ),
             "fig22" => fig22(&args, &cfg),
             "figrepro" => figrepro(&args, &cfg),
+            "cipher_bench" => cipher_bench_cli(&args),
             "overheads" => overheads(),
             "workloads" => workload_report(&args),
             "ablations" => {
@@ -841,6 +895,31 @@ fn main() {
     write_trace(&args);
     write_ledger(&args);
     run_bench_gate(&args);
+}
+
+/// The `cipher_bench` microbenchmark: scalar vs native crypto-backend
+/// throughput, saved under `target/experiments/cipher_bench.json`.
+/// `--assert-speedup X` gates the batched primitives at X× native over
+/// scalar (CI's proof that the SIMD backend actually engaged).
+fn cipher_bench_cli(args: &Args) {
+    let (native, rows) = plutus_bench::run_cipher_bench();
+    print!("{}", plutus_bench::cipher_bench_table(native, &rows));
+    let dir = PathBuf::from("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        fail(&args.tel, format!("cannot create {}: {e}", dir.display()));
+    }
+    let path = dir.join("cipher_bench.json");
+    let doc = plutus_bench::cipher_bench_json(native, &rows).to_string_pretty();
+    if let Err(e) = plutus_telemetry::atomic_write(&path, doc) {
+        fail(&args.tel, format!("cannot write {}: {e}", path.display()));
+    }
+    println!("saved {}", path.display());
+    if let Some(min) = args.assert_speedup {
+        match plutus_bench::cipher_bench_gate(native, &rows, min) {
+            Ok(()) => println!("gate OK: every batched primitive at >= {min:.2}x over scalar"),
+            Err(e) => fail(&args.tel, format!("cipher_bench speedup gate failed: {e}")),
+        }
+    }
 }
 
 /// Deduplicates the collected matrix measurements: figures overlap in

@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod baseline;
 pub mod campaign;
+pub mod cipher_bench;
 pub mod energy;
 pub mod report;
 pub mod runner;
@@ -22,6 +23,9 @@ pub use campaign::{
     campaign_csv, campaign_json, campaign_schemes, campaign_table, eq1_bound, eq1_checks,
     run_campaign, run_campaign_on, save_campaign, CampaignConfig, CampaignKind, CampaignRow,
     Eq1Check,
+};
+pub use cipher_bench::{
+    cipher_bench_gate, cipher_bench_json, cipher_bench_table, run_cipher_bench, CipherBenchRow,
 };
 pub use energy::EnergyModel;
 pub use report::{

@@ -305,12 +305,27 @@ pub fn ledger_gate(rows: &[Measurement]) -> Result<(), String> {
 }
 
 /// Percentage-change helper: `(new / old - 1) × 100`.
+///
+/// The division is guarded so the regression gate cannot be silently
+/// disarmed: a zero or non-finite baseline against a differing current
+/// value returns the appropriately-signed infinity (every `>` tolerance
+/// comparison then fires), `0 → 0` reports no change, and a non-finite
+/// `new` propagates as NaN for [`crate::baseline::compare_bench`] to
+/// treat as a failure.
 pub fn pct_change(new: f64, old: f64) -> f64 {
-    if old == 0.0 {
-        0.0
-    } else {
-        (new / old - 1.0) * 100.0
+    if !new.is_finite() || !old.is_finite() {
+        return f64::NAN;
     }
+    if old == 0.0 {
+        return if new == 0.0 {
+            0.0
+        } else if new > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
+    }
+    (new / old - 1.0) * 100.0
 }
 
 #[cfg(test)]
@@ -380,7 +395,22 @@ mod tests {
     #[test]
     fn pct_change_math() {
         assert!((pct_change(1.1, 1.0) - 10.0).abs() < 1e-9);
-        assert_eq!(pct_change(1.0, 0.0), 0.0);
+        assert!((pct_change(0.9, 1.0) + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pct_change_guards_zero_and_non_finite_inputs() {
+        // A metric that appears from a zero baseline (or vanishes into
+        // one) must register as an infinite change, not 0%: the old
+        // `old == 0.0 → 0.0` fold let such regressions slip the gate.
+        assert_eq!(pct_change(0.0, 0.0), 0.0);
+        assert_eq!(pct_change(1.0, 0.0), f64::INFINITY);
+        assert_eq!(pct_change(-1.0, 0.0), f64::NEG_INFINITY);
+        // Non-finite inputs propagate as NaN so comparators can refuse
+        // them instead of comparing false against every tolerance.
+        assert!(pct_change(f64::NAN, 1.0).is_nan());
+        assert!(pct_change(1.0, f64::NAN).is_nan());
+        assert!(pct_change(f64::INFINITY, 1.0).is_nan());
     }
 
     #[test]

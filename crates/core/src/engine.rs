@@ -235,20 +235,23 @@ impl PlutusEngine {
         // table: MAC-skip sectors carry ciphertext but no stored tag.
         let addrs = tc.owned_in_range(frontier, end, step);
         let done = addrs.len() < step;
-        let mut last = frontier;
-        for addr in addrs {
-            let ctr = self.live_counter(addr);
-            if let Some(tc) = &mut self.tenancy {
-                if tc.rotate_sector(addr, ctr, mem) {
-                    reads.push(DramReq::new(addr.raw(), 32, TrafficClass::Data));
-                    writes.push(DramReq::new(addr.raw(), 32, TrafficClass::Data));
-                }
-            }
-            last = addr.raw();
-        }
+        // One batched decrypt + encrypt + MAC pass over the whole step
+        // instead of sector-at-a-time (the counter may come from the
+        // compact layer, hence the live_counter pre-pass).
+        let items: Vec<(SectorAddr, u64)> = addrs
+            .iter()
+            .map(|&addr| (addr, self.live_counter(addr)))
+            .collect();
+        let last = items.last().map_or(frontier, |&(addr, _)| addr.raw());
         let Some(tc) = &mut self.tenancy else {
             return;
         };
+        for (&(addr, _), changed) in items.iter().zip(tc.rotate_sectors(&items, mem)) {
+            if changed {
+                reads.push(DramReq::new(addr.raw(), 32, TrafficClass::Data));
+                writes.push(DramReq::new(addr.raw(), 32, TrafficClass::Data));
+            }
+        }
         if done {
             tc.finish_walk();
         } else {
@@ -372,6 +375,11 @@ impl PlutusEngine {
         );
         let group = self.counters.layout().group_of(written);
         let first = self.counters.layout().group_first_sector(group);
+        // Gather the group's affected resident sectors, then run the
+        // old-counter decrypts, new-counter encrypts, and MAC refreshes
+        // as three batches instead of sector-at-a-time.
+        let mut data: Vec<[u8; 32]> = Vec::with_capacity(old_values.len());
+        let mut old_at: Vec<(SectorAddr, u64)> = Vec::with_capacity(old_values.len());
         for (i, old) in old_values.iter().enumerate() {
             let sector = SectorAddr::new(first.raw() + (i as u64) * 32);
             if sector == written {
@@ -385,17 +393,52 @@ impl PlutusEngine {
                     continue;
                 }
             }
-            let Some(mut data) = mem.read(sector) else {
+            let Some(ct) = mem.read(sector) else {
                 continue;
             };
-            self.cipher_for(sector).decrypt(&mut data, sector, *old);
-            let plaintext = data;
-            let mut ct = plaintext;
-            self.cipher_for(sector).encrypt(&mut ct, sector, new_value);
-            mem.write(sector, ct);
-            self.macs.update_silently(sector, &plaintext, new_value);
+            data.push(ct);
+            old_at.push((sector, *old));
+        }
+        self.decrypt_many_effective(&mut data, &old_at);
+        let plaintexts = data.clone();
+        let new_at: Vec<(SectorAddr, u64)> = old_at.iter().map(|&(s, _)| (s, new_value)).collect();
+        self.encrypt_many_effective(&mut data, &new_at);
+        for (ct, &(sector, _)) in data.iter().zip(new_at.iter()) {
+            mem.write(sector, *ct);
             reads.push(DramReq::new(sector.raw(), 32, TrafficClass::Data));
             writes.push(DramReq::new(sector.raw(), 32, TrafficClass::Data));
+        }
+        self.macs.update_silently_many(&plaintexts, &new_at);
+    }
+
+    /// Batched decrypt under each sector's *effective* cipher: consecutive
+    /// sectors sharing a cipher (the overwhelmingly common case — tenant
+    /// boundaries are slab-aligned) form one batch each.
+    fn decrypt_many_effective(&self, data: &mut [[u8; 32]], at: &[(SectorAddr, u64)]) {
+        let mut start = 0;
+        while start < at.len() {
+            let cipher = self.cipher_for(at[start].0);
+            let mut end = start + 1;
+            while end < at.len() && std::ptr::eq(cipher, self.cipher_for(at[end].0)) {
+                end += 1;
+            }
+            cipher.decrypt_many(&mut data[start..end], &at[start..end]);
+            start = end;
+        }
+    }
+
+    /// Batched encrypt under each sector's effective cipher (see
+    /// [`Self::decrypt_many_effective`]).
+    fn encrypt_many_effective(&self, data: &mut [[u8; 32]], at: &[(SectorAddr, u64)]) {
+        let mut start = 0;
+        while start < at.len() {
+            let cipher = self.cipher_for(at[start].0);
+            let mut end = start + 1;
+            while end < at.len() && std::ptr::eq(cipher, self.cipher_for(at[end].0)) {
+                end += 1;
+            }
+            cipher.encrypt_many(&mut data[start..end], &at[start..end]);
+            start = end;
         }
     }
 
@@ -489,6 +532,105 @@ impl PlutusEngine {
         None
     }
 
+    /// Scans candidate counters in order, returning the first that
+    /// verifies. Semantically identical to calling
+    /// [`Self::candidate_ok`] per candidate, but the decrypts and MAC
+    /// probes run as batched cipher calls over chunks of the scan: the
+    /// per-candidate check order (effective-generation MAC, pending MAC,
+    /// effective value screen, pending value screen) is preserved by
+    /// walking each chunk's verdicts in candidate order.
+    fn scan_candidates(
+        &self,
+        addr: SectorAddr,
+        vs: &[u64],
+        mem: &BackingMemory,
+    ) -> Option<(u64, Candidate)> {
+        let pending = self
+            .tenancy
+            .as_ref()
+            .and_then(|tc| tc.pending_new_gen(addr));
+        let effective = self.cipher_for(addr);
+        let ct = mem.read(addr);
+        const SCAN_CHUNK: usize = 16;
+        for chunk in vs.chunks(SCAN_CHUNK) {
+            let at: Vec<(SectorAddr, u64)> = chunk.iter().map(|&v| (addr, v)).collect();
+            let eff_pts = Self::decrypt_candidates(effective, ct, &at);
+            let eff_mac = self.macs.verify_many(&eff_pts, &at);
+            let (pend_pts, pend_mac) = match pending {
+                Some(cipher) => {
+                    let pts = Self::decrypt_candidates(cipher, ct, &at);
+                    let ok = self.macs.verify_many(&pts, &at);
+                    (Some(pts), Some(ok))
+                }
+                None => (None, None),
+            };
+            for (i, &v) in chunk.iter().enumerate() {
+                if eff_mac[i] {
+                    return Some((
+                        v,
+                        Candidate {
+                            by_mac: true,
+                            new_gen: false,
+                        },
+                    ));
+                }
+                if pend_mac.as_ref().is_some_and(|m| m[i]) {
+                    return Some((
+                        v,
+                        Candidate {
+                            by_mac: true,
+                            new_gen: true,
+                        },
+                    ));
+                }
+                if self
+                    .verifier
+                    .as_ref()
+                    .is_some_and(|ver| ver.screen_pinned(&eff_pts[i]))
+                {
+                    return Some((
+                        v,
+                        Candidate {
+                            by_mac: false,
+                            new_gen: false,
+                        },
+                    ));
+                }
+                if let Some(pts) = &pend_pts {
+                    if self
+                        .verifier
+                        .as_ref()
+                        .is_some_and(|ver| ver.screen_pinned(&pts[i]))
+                    {
+                        return Some((
+                            v,
+                            Candidate {
+                                by_mac: false,
+                                new_gen: true,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Decrypts the (single) resident ciphertext under every candidate
+    /// counter in one batched call; a non-resident sector reads as zeros
+    /// under any counter, matching [`Self::read_plaintext_with`].
+    fn decrypt_candidates(
+        cipher: &DataCipher,
+        ct: Option<[u8; 32]>,
+        at: &[(SectorAddr, u64)],
+    ) -> Vec<[u8; 32]> {
+        let mut pts = vec![ct.unwrap_or([0; 32]); at.len()];
+        if ct.is_some() {
+            cipher.decrypt_many(&mut pts, at);
+        }
+        pts
+    }
+
     /// Repairs the MAC of a value-vouched sector in place, decrypting
     /// under the generation the candidate verified with.
     fn repair_mac(&mut self, addr: SectorAddr, v: u64, new_gen: bool, mem: &BackingMemory) {
@@ -554,40 +696,36 @@ impl PlutusEngine {
         }
         if let Some(c) = &self.compact {
             if !c.is_disabled(addr) {
-                for v in 0..u64::from(c.kind().saturation()) {
-                    if v == live {
-                        continue;
-                    }
-                    if let Some(cand) = self.candidate_ok(addr, v, mem) {
-                        self.accept_candidate(addr, v, cand, mem);
-                        return Some((
-                            if cand.by_mac {
-                                RecoverKind::Mac
-                            } else {
-                                RecoverKind::Value
-                            },
-                            cand.new_gen,
-                        ));
-                    }
+                let vs: Vec<u64> = (0..u64::from(c.kind().saturation()))
+                    .filter(|&v| v != live)
+                    .collect();
+                if let Some((v, cand)) = self.scan_candidates(addr, &vs, mem) {
+                    self.accept_candidate(addr, v, cand, mem);
+                    return Some((
+                        if cand.by_mac {
+                            RecoverKind::Mac
+                        } else {
+                            RecoverKind::Value
+                        },
+                        cand.new_gen,
+                    ));
                 }
             }
         }
         let base = self.counters.recovery_floor(addr);
-        for v in base..base.saturating_add(RECOVERY_PROBE_BOUND) {
-            if v == live {
-                continue;
-            }
-            if let Some(cand) = self.candidate_ok(addr, v, mem) {
-                self.accept_candidate(addr, v, cand, mem);
-                return Some((
-                    if cand.by_mac {
-                        RecoverKind::Mac
-                    } else {
-                        RecoverKind::Value
-                    },
-                    cand.new_gen,
-                ));
-            }
+        let vs: Vec<u64> = (base..base.saturating_add(RECOVERY_PROBE_BOUND))
+            .filter(|&v| v != live)
+            .collect();
+        if let Some((v, cand)) = self.scan_candidates(addr, &vs, mem) {
+            self.accept_candidate(addr, v, cand, mem);
+            return Some((
+                if cand.by_mac {
+                    RecoverKind::Mac
+                } else {
+                    RecoverKind::Value
+                },
+                cand.new_gen,
+            ));
         }
         None
     }

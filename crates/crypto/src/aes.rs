@@ -130,6 +130,8 @@ pub struct Aes128 {
     ek: [[u32; 4]; 11],
     /// Equivalent-inverse-cipher round keys.
     dk: [[u32; 4]; 11],
+    /// `dk` in byte layout — the schedule `aesdec` consumes directly.
+    dec_keys: [[u8; 16]; 11],
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -183,11 +185,86 @@ impl Aes128 {
                 dk[r][c] = inv_mix_word(ek[10 - r][c]);
             }
         }
-        Self { round_keys, ek, dk }
+        let mut dec_keys = [[0u8; 16]; 11];
+        for (bytes, words) in dec_keys.iter_mut().zip(dk.iter()) {
+            for c in 0..4 {
+                bytes[4 * c..4 * c + 4].copy_from_slice(&words[c].to_be_bytes());
+            }
+        }
+        Self {
+            round_keys,
+            ek,
+            dk,
+            dec_keys,
+        }
     }
 
-    /// Encrypts one 16-byte block in place.
+    /// Encryption round keys in byte layout (the AES-NI kernels' input).
+    #[cfg(all(target_arch = "x86_64", test))]
+    pub(crate) fn enc_round_keys(&self) -> &[[u8; 16]; 11] {
+        &self.round_keys
+    }
+
+    /// Equivalent-inverse-cipher round keys in byte layout.
+    #[cfg(all(target_arch = "x86_64", test))]
+    pub(crate) fn dec_round_keys(&self) -> &[[u8; 16]; 11] {
+        &self.dec_keys
+    }
+
+    /// Encrypts one 16-byte block in place, dispatching to the active
+    /// [backend](crate::backend).
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::aesni::try_encrypt_blocks(&self.round_keys, std::slice::from_mut(block)) {
+            return;
+        }
+        self.encrypt_block_scalar(block);
+    }
+
+    /// Decrypts one 16-byte block in place, dispatching to the active
+    /// [backend](crate::backend).
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::aesni::try_decrypt_blocks(&self.dec_keys, std::slice::from_mut(block)) {
+            return;
+        }
+        self.decrypt_block_scalar(block);
+    }
+
+    /// Encrypts a batch of independent 16-byte blocks in place.
+    ///
+    /// This is the throughput entry point: the AES-NI backend pipelines up
+    /// to 8 blocks per kernel iteration, so callers with several blocks in
+    /// hand (a sector's worth of XTS blocks, a fill's MAC probes, a
+    /// rotation step's sectors) should hand them over in one call rather
+    /// than block-at-a-time.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::aesni::try_encrypt_blocks(&self.round_keys, blocks) {
+            return;
+        }
+        for block in blocks.iter_mut() {
+            self.encrypt_block_scalar(block);
+        }
+    }
+
+    /// Decrypts a batch of independent 16-byte blocks in place (see
+    /// [`Aes128::encrypt_blocks`]).
+    pub fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::aesni::try_decrypt_blocks(&self.dec_keys, blocks) {
+            return;
+        }
+        for block in blocks.iter_mut() {
+            self.decrypt_block_scalar(block);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place on the scalar T-table path,
+    /// regardless of the active backend (the equivalence suites' pinned
+    /// reference).
+    #[doc(hidden)]
+    pub fn encrypt_block_scalar(&self, block: &mut [u8; 16]) {
         let t = tables();
         let ek = &self.ek;
         let mut s0 = u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ ek[0][0];
@@ -234,8 +311,10 @@ impl Aes128 {
         block[12..16].copy_from_slice(&o3.to_be_bytes());
     }
 
-    /// Decrypts one 16-byte block in place.
-    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+    /// Decrypts one 16-byte block in place on the scalar T-table path,
+    /// regardless of the active backend.
+    #[doc(hidden)]
+    pub fn decrypt_block_scalar(&self, block: &mut [u8; 16]) {
         let t = tables();
         let dk = &self.dk;
         let mut s0 = u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ dk[0][0];
@@ -325,6 +404,22 @@ impl Aes128 {
     pub fn decrypt(&self, block: [u8; 16]) -> [u8; 16] {
         let mut out = block;
         self.decrypt_block(&mut out);
+        out
+    }
+
+    /// Scalar-path copying variant of [`Aes128::encrypt`].
+    #[doc(hidden)]
+    pub fn encrypt_scalar(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut out = block;
+        self.encrypt_block_scalar(&mut out);
+        out
+    }
+
+    /// Scalar-path copying variant of [`Aes128::decrypt`].
+    #[doc(hidden)]
+    pub fn decrypt_scalar(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut out = block;
+        self.decrypt_block_scalar(&mut out);
         out
     }
 }
@@ -492,14 +587,56 @@ mod tests {
             pt[8..].copy_from_slice(&next().to_le_bytes());
             let aes = Aes128::new(key);
             let mut fast = pt;
-            aes.encrypt_block(&mut fast);
+            aes.encrypt_block_scalar(&mut fast);
             let mut slow = pt;
             aes.encrypt_block_reference(&mut slow);
             assert_eq!(fast, slow, "encrypt mismatch");
-            aes.decrypt_block(&mut fast);
+            aes.decrypt_block_scalar(&mut fast);
             aes.decrypt_block_reference(&mut slow);
             assert_eq!(fast, slow, "decrypt mismatch");
             assert_eq!(fast, pt);
+        }
+    }
+
+    /// The dispatching batch entry points must agree byte-for-byte with the
+    /// scalar reference path, whatever backend is active on this host.
+    #[test]
+    fn batch_dispatch_matches_scalar() {
+        let mut x: u64 = 0x0bad_cafe_1234_5678;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for trial in 0..16 {
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&next().to_le_bytes());
+            key[8..].copy_from_slice(&next().to_le_bytes());
+            let aes = Aes128::new(key);
+            // Lengths straddle the 8-lane kernel width, including 0.
+            let n = (trial * 3) % 21;
+            let mut blocks = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut b = [0u8; 16];
+                b[..8].copy_from_slice(&next().to_le_bytes());
+                b[8..].copy_from_slice(&next().to_le_bytes());
+                blocks.push(b);
+            }
+            let plain = blocks.clone();
+            aes.encrypt_blocks(&mut blocks);
+            for (ct, pt) in blocks.iter().zip(plain.iter()) {
+                assert_eq!(*ct, aes.encrypt_scalar(*pt), "batch encrypt mismatch");
+            }
+            aes.decrypt_blocks(&mut blocks);
+            assert_eq!(blocks, plain, "batch decrypt mismatch");
+            if let Some(first) = plain.first() {
+                let mut single = *first;
+                aes.encrypt_block(&mut single);
+                assert_eq!(single, aes.encrypt_scalar(*first));
+                aes.decrypt_block(&mut single);
+                assert_eq!(single, *first);
+            }
         }
     }
 

@@ -28,6 +28,25 @@ pub fn xts_mul_alpha(tweak: &mut [u8; 16]) {
     }
 }
 
+/// Writes the XTS tweak progression `t0 · α^i` into `chain[i]`.
+///
+/// This is the batch form of repeated [`xts_mul_alpha`]: the AES-NI
+/// backend computes the polynomial reduction with PCLMULQDQ, the scalar
+/// fallback iterates the byte-wise doubling. Both fill `chain`
+/// identically.
+#[inline]
+pub fn fill_tweak_chain(t0: [u8; 16], chain: &mut [[u8; 16]]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::aesni::try_fill_tweak_chain(&t0, chain) {
+        return;
+    }
+    let mut t = t0;
+    for slot in chain.iter_mut() {
+        *slot = t;
+        xts_mul_alpha(&mut t);
+    }
+}
+
 /// Multiplies a 16-byte block by `x` in the CMAC (big-endian) convention.
 ///
 /// Used to derive the CMAC subkeys `K1 = L·x` and `K2 = L·x²`.
@@ -96,6 +115,24 @@ mod tests {
         let mut expected = [0u8; 16];
         expected[15] = 0x02;
         assert_eq!(b, expected);
+    }
+
+    /// `fill_tweak_chain` must agree with step-by-step doubling on
+    /// whatever backend is active.
+    #[test]
+    fn tweak_chain_matches_stepwise_doubling() {
+        let mut t0 = [0u8; 16];
+        t0[0] = 0x35;
+        t0[15] = 0x91; // reduction fires within the first couple of steps
+        let mut chain = [[0u8; 16]; 65];
+        fill_tweak_chain(t0, &mut chain);
+        let mut t = t0;
+        for step in chain.iter() {
+            assert_eq!(*step, t);
+            xts_mul_alpha(&mut t);
+        }
+        // Zero-length chains are a no-op, not a panic.
+        fill_tweak_chain(t0, &mut []);
     }
 
     /// Doubling 128 times returns to the reduction polynomial pattern, never

@@ -33,17 +33,33 @@
 //! ```
 //!
 //! All types are `Send + Sync` and deterministic; nothing here performs I/O.
+//!
+//! # Backends
+//!
+//! Every primitive has two implementations selected at runtime by
+//! [`backend`]: the portable scalar path above, and an `x86_64`
+//! AES-NI + PCLMULQDQ batch path (the crate-private `aesni` module, the
+//! only one permitted to use `unsafe`). Both are byte-identical — the SIMD path is purely a
+//! wall-clock optimization, so simulation results never depend on the host
+//! CPU. Batch entry points ([`Aes128::encrypt_blocks`],
+//! [`CounterMode::pad_stream`], [`Cmac::stateful_tag64_many`],
+//! [`Xts::process_sectors`]) pipeline independent blocks through the AES
+//! units; prefer them whenever more than one block is in hand.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod aesni;
+pub mod backend;
 pub mod ctr;
 pub mod gf128;
 pub mod mac;
 pub mod xts;
 
 pub use aes::Aes128;
+pub use backend::CryptoBackend;
 pub use ctr::CounterMode;
 pub use mac::Cmac;
 pub use xts::Xts;

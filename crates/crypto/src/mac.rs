@@ -108,14 +108,135 @@ impl Cmac {
 
     /// Computes a fixed 8-byte stateful tag as a `u64` (the Plutus MAC
     /// configuration). Convenient for storing tags in simulator tables.
+    ///
+    /// Equivalent to `mac(tweak_block ‖ message)` but allocation-free —
+    /// this sits on every MAC probe of every fill, so the CBC chain is
+    /// run incrementally instead of materializing the concatenation.
     pub fn stateful_tag64(&self, message: &[u8], tweak: Tweak) -> u64 {
-        let full = {
-            let mut buf = Vec::with_capacity(message.len() + 16);
-            buf.extend_from_slice(&tweak.to_block());
-            buf.extend_from_slice(message);
-            self.mac(&buf)
+        let tweak_block = tweak.to_block();
+        let mut x;
+        if message.is_empty() {
+            // The tweak block is the single (full) final block: XOR K1.
+            let mut last = tweak_block;
+            for (b, k) in last.iter_mut().zip(self.k1.iter()) {
+                *b ^= k;
+            }
+            x = self.cipher.encrypt(last);
+        } else {
+            // The tweak block is the first full block of the chain.
+            x = self.cipher.encrypt(tweak_block);
+            let full_blocks = (message.len() - 1) / 16;
+            for block in message[..16 * full_blocks].chunks_exact(16) {
+                let mut next: [u8; 16] = block.try_into().unwrap();
+                for (b, xb) in next.iter_mut().zip(x.iter()) {
+                    *b ^= xb;
+                }
+                x = self.cipher.encrypt(next);
+            }
+            let rest = &message[16 * full_blocks..];
+            let mut last = [0u8; 16];
+            let key = if rest.len() == 16 {
+                last.copy_from_slice(rest);
+                &self.k1
+            } else {
+                last[..rest.len()].copy_from_slice(rest);
+                last[rest.len()] = 0x80;
+                &self.k2
+            };
+            for ((b, xb), k) in last.iter_mut().zip(x.iter()).zip(key.iter()) {
+                *b ^= xb ^ k;
+            }
+            x = self.cipher.encrypt(last);
+        }
+        u64::from_le_bytes(x[..8].try_into().unwrap())
+    }
+
+    /// Computes the stateful 8-byte tags of many independent 32-byte
+    /// sectors in lockstep.
+    ///
+    /// Each tag's CBC chain is three blocks (tweak ‖ sector), so the batch
+    /// runs exactly three batched cipher calls over all chains — this is
+    /// the entry point fill paths and recovery probes use to verify a
+    /// group of sectors as one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors.len() != tweaks.len()`.
+    pub fn stateful_tag64_many(&self, sectors: &[[u8; 32]], tweaks: &[Tweak]) -> Vec<u64> {
+        assert_eq!(
+            sectors.len(),
+            tweaks.len(),
+            "one tweak per sector: {} sectors, {} tweaks",
+            sectors.len(),
+            tweaks.len()
+        );
+        // Round 1: encrypt every chain's tweak block.
+        let mut states: Vec<[u8; 16]> = tweaks.iter().map(|t| t.to_block()).collect();
+        self.cipher.encrypt_blocks(&mut states);
+        // Round 2: fold in each sector's first half.
+        for (state, sector) in states.iter_mut().zip(sectors.iter()) {
+            for (b, m) in state.iter_mut().zip(sector[..16].iter()) {
+                *b ^= m;
+            }
+        }
+        self.cipher.encrypt_blocks(&mut states);
+        // Round 3: the final full block XORs K1 per RFC 4493.
+        for (state, sector) in states.iter_mut().zip(sectors.iter()) {
+            for ((b, m), k) in state
+                .iter_mut()
+                .zip(sector[16..].iter())
+                .zip(self.k1.iter())
+            {
+                *b ^= m ^ k;
+            }
+        }
+        self.cipher.encrypt_blocks(&mut states);
+        states
+            .iter()
+            .map(|s| u64::from_le_bytes(s[..8].try_into().unwrap()))
+            .collect()
+    }
+
+    /// Computes the full CMACs of many messages, running equal-length
+    /// multi-block messages in lockstep so the cipher sees full batches.
+    ///
+    /// Mixed-length inputs fall back to per-message [`Cmac::mac`]; the
+    /// result is identical either way.
+    pub fn mac_many(&self, messages: &[&[u8]]) -> Vec<[u8; 16]> {
+        let Some(first) = messages.first() else {
+            return Vec::new();
         };
-        u64::from_le_bytes(full[..8].try_into().unwrap())
+        let len = first.len();
+        if len == 0 || messages.iter().any(|m| m.len() != len) {
+            return messages.iter().map(|m| self.mac(m)).collect();
+        }
+        let full_blocks = (len - 1) / 16;
+        let mut states = vec![[0u8; 16]; messages.len()];
+        for i in 0..full_blocks {
+            for (state, msg) in states.iter_mut().zip(messages.iter()) {
+                for (b, m) in state.iter_mut().zip(msg[16 * i..16 * i + 16].iter()) {
+                    *b ^= m;
+                }
+            }
+            self.cipher.encrypt_blocks(&mut states);
+        }
+        for (state, msg) in states.iter_mut().zip(messages.iter()) {
+            let rest = &msg[16 * full_blocks..];
+            if rest.len() == 16 {
+                for ((b, m), k) in state.iter_mut().zip(rest.iter()).zip(self.k1.iter()) {
+                    *b ^= m ^ k;
+                }
+            } else {
+                let mut last = [0u8; 16];
+                last[..rest.len()].copy_from_slice(rest);
+                last[rest.len()] = 0x80;
+                for ((b, m), k) in state.iter_mut().zip(last.iter()).zip(self.k2.iter()) {
+                    *b ^= m ^ k;
+                }
+            }
+        }
+        self.cipher.encrypt_blocks(&mut states);
+        states
     }
 }
 
@@ -220,5 +341,53 @@ mod tests {
             cmac.stateful_tag64(b"abc", tweak),
             u64::from_le_bytes(v.try_into().unwrap())
         );
+    }
+
+    /// The incremental stateful tag must equal the concatenate-then-MAC
+    /// definition for every final-block shape (empty, partial, full).
+    #[test]
+    fn stateful_tag64_matches_concatenation() {
+        let cmac = rfc4493_cmac();
+        let tweak = Tweak::new(0x7700, 3);
+        let message: Vec<u8> = (0..64u8).collect();
+        for len in [0, 1, 15, 16, 17, 31, 32, 33, 48, 64] {
+            let mut buf = tweak.to_block().to_vec();
+            buf.extend_from_slice(&message[..len]);
+            let expected = u64::from_le_bytes(cmac.mac(&buf)[..8].try_into().unwrap());
+            assert_eq!(
+                cmac.stateful_tag64(&message[..len], tweak),
+                expected,
+                "divergence at message length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn stateful_tag64_many_matches_serial() {
+        let cmac = rfc4493_cmac();
+        let sectors: Vec<[u8; 32]> = (0..13u8).map(|i| [i.wrapping_mul(17); 32]).collect();
+        let tweaks: Vec<Tweak> = (0..13u64).map(|i| Tweak::new(0x20 * i, i + 5)).collect();
+        let batch = cmac.stateful_tag64_many(&sectors, &tweaks);
+        for ((sector, tweak), tag) in sectors.iter().zip(tweaks.iter()).zip(batch.iter()) {
+            assert_eq!(*tag, cmac.stateful_tag64(sector, *tweak));
+        }
+        assert!(cmac.stateful_tag64_many(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn mac_many_matches_serial() {
+        let cmac = rfc4493_cmac();
+        let backing: Vec<Vec<u8>> = (0..9).map(|i| vec![i as u8; 48]).collect();
+        // Equal-length lockstep path.
+        let msgs: Vec<&[u8]> = backing.iter().map(|v| v.as_slice()).collect();
+        for (msg, tag) in msgs.iter().zip(cmac.mac_many(&msgs).iter()) {
+            assert_eq!(*tag, cmac.mac(msg));
+        }
+        // Mixed-length (and empty) fallback path.
+        let mixed: Vec<&[u8]> = vec![b"", b"abc", &backing[0], &backing[1][..17]];
+        for (msg, tag) in mixed.iter().zip(cmac.mac_many(&mixed).iter()) {
+            assert_eq!(*tag, cmac.mac(msg));
+        }
+        assert!(cmac.mac_many(&[]).is_empty());
     }
 }

@@ -58,6 +58,38 @@ impl DataCipher {
             CipherKind::Xts => self.xts.decrypt_sector(data, Self::tweak(addr, counter)),
         }
     }
+
+    fn tweaks(at: &[(SectorAddr, u64)]) -> Vec<Tweak> {
+        at.iter().map(|&(a, c)| Self::tweak(a, c)).collect()
+    }
+
+    /// Encrypts many sectors in place, each under its own `(addr,
+    /// counter)`, batching all cipher blocks into single backend calls —
+    /// the group re-encryption / rotation-walk entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors.len() != at.len()`.
+    pub fn encrypt_many(&self, sectors: &mut [[u8; 32]], at: &[(SectorAddr, u64)]) {
+        assert_eq!(sectors.len(), at.len(), "one (addr, counter) per sector");
+        match self.kind {
+            CipherKind::Cme => self.cme.apply_sectors(sectors, &Self::tweaks(at)),
+            CipherKind::Xts => self.xts.encrypt_sectors(sectors, &Self::tweaks(at)),
+        }
+    }
+
+    /// Decrypts many sectors in place (see [`DataCipher::encrypt_many`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors.len() != at.len()`.
+    pub fn decrypt_many(&self, sectors: &mut [[u8; 32]], at: &[(SectorAddr, u64)]) {
+        assert_eq!(sectors.len(), at.len(), "one (addr, counter) per sector");
+        match self.kind {
+            CipherKind::Cme => self.cme.apply_sectors(sectors, &Self::tweaks(at)),
+            CipherKind::Xts => self.xts.decrypt_sectors(sectors, &Self::tweaks(at)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +131,28 @@ mod tests {
     fn only_cme_overlaps_fetch() {
         assert!(cipher(CipherKind::Cme).overlaps_fetch());
         assert!(!cipher(CipherKind::Xts).overlaps_fetch());
+    }
+
+    #[test]
+    fn batch_matches_serial_for_both_modes() {
+        for kind in [CipherKind::Cme, CipherKind::Xts] {
+            let c = cipher(kind);
+            let at: Vec<(SectorAddr, u64)> = (0..9u64)
+                .map(|i| (SectorAddr::new(0x20 * i), i + 1))
+                .collect();
+            let mut batch: Vec<[u8; 32]> = (0..9u8).map(|i| [i; 32]).collect();
+            let mut serial = batch.clone();
+            c.encrypt_many(&mut batch, &at);
+            for (sector, &(addr, ctr)) in serial.iter_mut().zip(at.iter()) {
+                c.encrypt(sector, addr, ctr);
+            }
+            assert_eq!(batch, serial, "{kind:?} batch encrypt diverges");
+            c.decrypt_many(&mut batch, &at);
+            for (sector, &(addr, ctr)) in serial.iter_mut().zip(at.iter()) {
+                c.decrypt(sector, addr, ctr);
+            }
+            assert_eq!(batch, serial, "{kind:?} batch decrypt diverges");
+        }
     }
 
     #[test]

@@ -125,11 +125,24 @@ impl MacSystem {
         self.store.verify(sector, plaintext, counter)
     }
 
+    /// Functionally verifies many `(plaintext, counter)` candidates as one
+    /// batched CMAC pass, preserving input order — the recovery-probe and
+    /// group-verification entry point.
+    pub fn verify_many(&self, plaintexts: &[[u8; 32]], at: &[(SectorAddr, u64)]) -> Vec<bool> {
+        self.store.verify_many(plaintexts, at)
+    }
+
     /// Updates the stored tag without touching the cache (used during
     /// install and overflow re-encryption bookkeeping by engines that also
     /// account the traffic separately).
     pub fn update_silently(&mut self, sector: SectorAddr, plaintext: &[u8; 32], counter: u64) {
         self.store.update(sector, plaintext, counter);
+    }
+
+    /// Batch form of [`MacSystem::update_silently`]: one CMAC pass over
+    /// the whole group (group re-encryption, rotation walks).
+    pub fn update_silently_many(&mut self, plaintexts: &[[u8; 32]], at: &[(SectorAddr, u64)]) {
+        self.store.update_many(plaintexts, at);
     }
 
     /// Attack hook: tamper with the stored tag of `sector`.

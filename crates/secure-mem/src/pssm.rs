@@ -202,16 +202,20 @@ impl PssmEngine {
         // table: MAC-skip sectors carry ciphertext but no stored tag.
         let addrs = tc.owned_in_range(frontier, end, step);
         let done = addrs.len() < step;
-        let mut last = frontier;
-        for addr in addrs {
-            let ctr = self.counters.peek_value(addr);
-            if let Some(tc) = &mut self.tenancy {
-                if tc.rotate_sector(addr, ctr, mem) {
+        // One batched rotate call re-encrypts the whole step: the old and
+        // new generations' cipher blocks each run as a single batch.
+        let items: Vec<(SectorAddr, u64)> = addrs
+            .iter()
+            .map(|&a| (a, self.counters.peek_value(a)))
+            .collect();
+        let last = items.last().map_or(frontier, |&(a, _)| a.raw());
+        if let Some(tc) = &mut self.tenancy {
+            for (&(addr, _), changed) in items.iter().zip(tc.rotate_sectors(&items, mem)) {
+                if changed {
                     reads.push(DramReq::new(addr.raw(), 32, TrafficClass::Data));
                     writes.push(DramReq::new(addr.raw(), 32, TrafficClass::Data));
                 }
             }
-            last = addr.raw();
         }
         let Some(tc) = &mut self.tenancy else {
             return;
@@ -254,22 +258,62 @@ impl PssmEngine {
         self.overflows += 1;
         let group = self.counters.layout().group_of(written);
         let first = self.counters.layout().group_first_sector(group);
+        // Gather the group's resident sectors, then run the old-counter
+        // decrypts, new-counter encrypts, and MAC refreshes as three
+        // batches instead of sector-at-a-time.
+        let mut data: Vec<[u8; 32]> = Vec::with_capacity(old_values.len());
+        let mut old_at: Vec<(SectorAddr, u64)> = Vec::with_capacity(old_values.len());
         for (i, old) in old_values.iter().enumerate() {
             let sector = SectorAddr::new(first.raw() + (i as u64) * 32);
             if sector == written {
                 continue; // the triggering sector is re-encrypted by the caller
             }
-            let Some(mut data) = mem.read(sector) else {
+            let Some(ct) = mem.read(sector) else {
                 continue;
             };
-            self.cipher_for(sector).decrypt(&mut data, sector, *old);
-            let plaintext = data;
-            let mut ct = plaintext;
-            self.cipher_for(sector).encrypt(&mut ct, sector, new_value);
-            mem.write(sector, ct);
-            self.macs.update_silently(sector, &plaintext, new_value);
+            data.push(ct);
+            old_at.push((sector, *old));
+        }
+        self.decrypt_many_effective(&mut data, &old_at);
+        let plaintexts = data.clone();
+        let new_at: Vec<(SectorAddr, u64)> = old_at.iter().map(|&(s, _)| (s, new_value)).collect();
+        self.encrypt_many_effective(&mut data, &new_at);
+        for (ct, &(sector, _)) in data.iter().zip(new_at.iter()) {
+            mem.write(sector, *ct);
             reads.push(DramReq::new(sector.raw(), 32, TrafficClass::Data));
             writes.push(DramReq::new(sector.raw(), 32, TrafficClass::Data));
+        }
+        self.macs.update_silently_many(&plaintexts, &new_at);
+    }
+
+    /// Batched decrypt under each sector's *effective* cipher: consecutive
+    /// sectors sharing a cipher (the overwhelmingly common case — tenant
+    /// boundaries are slab-aligned) form one batch each.
+    fn decrypt_many_effective(&self, data: &mut [[u8; 32]], at: &[(SectorAddr, u64)]) {
+        let mut start = 0;
+        while start < at.len() {
+            let cipher = self.cipher_for(at[start].0);
+            let mut end = start + 1;
+            while end < at.len() && std::ptr::eq(cipher, self.cipher_for(at[end].0)) {
+                end += 1;
+            }
+            cipher.decrypt_many(&mut data[start..end], &at[start..end]);
+            start = end;
+        }
+    }
+
+    /// Batched encrypt under each sector's effective cipher (see
+    /// [`Self::decrypt_many_effective`]).
+    fn encrypt_many_effective(&self, data: &mut [[u8; 32]], at: &[(SectorAddr, u64)]) {
+        let mut start = 0;
+        while start < at.len() {
+            let cipher = self.cipher_for(at[start].0);
+            let mut end = start + 1;
+            while end < at.len() && std::ptr::eq(cipher, self.cipher_for(at[end].0)) {
+                end += 1;
+            }
+            cipher.encrypt_many(&mut data[start..end], &at[start..end]);
+            start = end;
         }
     }
 
@@ -309,29 +353,62 @@ impl PssmEngine {
         // The floor clears the minor: a group overflow since the checkpoint
         // zeroes every minor, so the true value can sit below `cur` once a
         // neighbour has already restored the group's shared major.
+        //
+        // Candidates are probed in chunks: each chunk's decrypts and MAC
+        // verifications run as batched cipher calls, while the
+        // first-verifying-candidate semantics (effective generation before
+        // pending, lowest counter first) are preserved by scanning the
+        // chunk's verdicts in order.
+        let effective = self.cipher_for(addr);
+        let ct = mem.read(addr);
         let base = self.counters.recovery_floor(addr);
-        for v in base..base.saturating_add(RECOVERY_PROBE_BOUND) {
-            if v == cur {
+        let end = base.saturating_add(RECOVERY_PROBE_BOUND);
+        const PROBE_CHUNK: u64 = 16;
+        let mut v = base;
+        while v < end {
+            let chunk_end = end.min(v + PROBE_CHUNK);
+            let at: Vec<(SectorAddr, u64)> = (v..chunk_end)
+                .filter(|&x| x != cur)
+                .map(|x| (addr, x))
+                .collect();
+            v = chunk_end;
+            if at.is_empty() {
                 continue;
             }
-            let pt = self.read_plaintext(addr, v, mem);
-            if self.macs.verify(addr, &pt, v) {
-                return Probe::Verified {
-                    value: v,
-                    new_gen: false,
-                };
-            }
-            if let Some(cipher) = pending {
-                let pt = self.read_plaintext_with(cipher, addr, v, mem);
-                if self.macs.verify(addr, &pt, v) {
+            let eff_ok = self.probe_chunk(effective, ct, &at);
+            let pend_ok = pending.map(|cipher| self.probe_chunk(cipher, ct, &at));
+            for (i, &(_, value)) in at.iter().enumerate() {
+                if eff_ok[i] {
                     return Probe::Verified {
-                        value: v,
+                        value,
+                        new_gen: false,
+                    };
+                }
+                if pend_ok.as_ref().is_some_and(|p| p[i]) {
+                    return Probe::Verified {
+                        value,
                         new_gen: true,
                     };
                 }
             }
         }
         Probe::Failed
+    }
+
+    /// MAC-verifies one chunk of candidate counters for a single sector:
+    /// the resident ciphertext is decrypted under every candidate in one
+    /// batched call, then all tags verify in a second.
+    fn probe_chunk(
+        &self,
+        cipher: &DataCipher,
+        ct: Option<[u8; 32]>,
+        at: &[(SectorAddr, u64)],
+    ) -> Vec<bool> {
+        let mut pts = vec![ct.unwrap_or([0; 32]); at.len()];
+        if ct.is_some() {
+            cipher.decrypt_many(&mut pts, at);
+        }
+        self.macs.verify_many(&pts, at)
     }
 }
 

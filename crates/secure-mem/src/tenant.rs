@@ -334,6 +334,45 @@ impl TenantCrypto {
         true
     }
 
+    /// Batch form of [`Self::rotate_sector`] for a whole walk step: one
+    /// batched decrypt under the old generation and one batched encrypt
+    /// under the new, instead of sector-at-a-time cipher calls. Returns
+    /// per-sector "memory changed" flags in input order.
+    pub fn rotate_sectors(
+        &mut self,
+        items: &[(SectorAddr, u64)],
+        mem: &mut BackingMemory,
+    ) -> Vec<bool> {
+        let mut changed = vec![false; items.len()];
+        let Some(w) = self.walk else {
+            return changed;
+        };
+        let st = &self.ciphers[&w.tenant];
+        let Some(old) = &st.old else {
+            return changed;
+        };
+        // Gather the resident sectors, run both generations' cipher work
+        // as two batches, then scatter the results back to memory.
+        let mut data: Vec<[u8; 32]> = Vec::with_capacity(items.len());
+        let mut at: Vec<(SectorAddr, u64)> = Vec::with_capacity(items.len());
+        let mut input_idx: Vec<usize> = Vec::with_capacity(items.len());
+        for (i, &(addr, ctr)) in items.iter().enumerate() {
+            if let Some(ct) = mem.read(addr) {
+                data.push(ct);
+                at.push((addr, ctr));
+                input_idx.push(i);
+            }
+        }
+        old.decrypt_many(&mut data, &at);
+        st.current.encrypt_many(&mut data, &at);
+        for ((&i, sector), &(addr, _)) in input_idx.iter().zip(data.iter()).zip(at.iter()) {
+            mem.write(addr, *sector);
+            changed[i] = true;
+        }
+        self.rotated_sectors += at.len() as u64;
+        changed
+    }
+
     /// Advances the walk frontier to `to` (never backwards).
     pub fn advance_frontier(&mut self, to: u64) {
         if let Some(w) = &mut self.walk {
