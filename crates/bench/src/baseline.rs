@@ -14,6 +14,30 @@ use plutus_telemetry::Json;
 /// incompatible layouts instead of mis-parsing them.
 pub const BENCH_SCHEMA: &str = "plutus-bench/v1";
 
+/// Provenance embedded in a snapshot by [`bench_snapshot_with`]: the
+/// knobs that make two snapshots comparable at all. [`compare_bench`]
+/// refuses to diff snapshots whose provenance disagrees — a scalar-vs-
+/// AES-NI comparison or a cross-seed comparison is not a regression
+/// signal, it is two different experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchProvenance {
+    /// The `--seed` the run used.
+    pub seed: u64,
+    /// Active crypto backend label (e.g. `"scalar"`, `"aes-ni"`).
+    pub crypto_backend: String,
+    /// Workspace version that produced the snapshot.
+    pub version: String,
+}
+
+impl BenchProvenance {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("seed", self.seed)
+            .set("crypto_backend", self.crypto_backend.as_str())
+            .set("version", self.version.as_str())
+    }
+}
+
 /// Builds the canonical perf snapshot for a matrix of measurements:
 /// per (workload, scheme) entry the IPC, normalized IPC, cycle count,
 /// per-class DRAM bytes, metadata overhead, and latency figures the
@@ -23,6 +47,18 @@ pub const BENCH_SCHEMA: &str = "plutus-bench/v1";
 /// and the snapshot carries no real signal. ([`compare_bench`] only
 /// reads known fields, so older baselines without it still compare.)
 pub fn bench_snapshot(measurements: &[Measurement]) -> Json {
+    snapshot_impl(measurements, None)
+}
+
+/// [`bench_snapshot`] with embedded [`BenchProvenance`]. Snapshots
+/// without provenance (older baselines) still compare against anything;
+/// once both sides carry it, mismatched seeds or crypto backends make
+/// [`compare_bench`] fail loudly instead of reporting nonsense deltas.
+pub fn bench_snapshot_with(measurements: &[Measurement], provenance: &BenchProvenance) -> Json {
+    snapshot_impl(measurements, Some(provenance))
+}
+
+fn snapshot_impl(measurements: &[Measurement], provenance: Option<&BenchProvenance>) -> Json {
     let mut entries = Vec::new();
     for m in measurements {
         let mut classes = Json::object();
@@ -44,7 +80,7 @@ pub fn bench_snapshot(measurements: &[Measurement]) -> Json {
                 .set("detection_latency_mean", m.detection_latency_mean),
         );
     }
-    Json::object()
+    let mut doc = Json::object()
         .set("schema", BENCH_SCHEMA)
         .set(
             "degenerate_norm_ipc",
@@ -55,7 +91,11 @@ pub fn bench_snapshot(measurements: &[Measurement]) -> Json {
                     .collect(),
             ),
         )
-        .set("entries", Json::Array(entries))
+        .set("entries", Json::Array(entries));
+    if let Some(p) = provenance {
+        doc = doc.set("provenance", p.to_json());
+    }
+    doc
 }
 
 fn overhead_pct(m: &Measurement) -> f64 {
@@ -78,6 +118,7 @@ fn overhead_pct(m: &Measurement) -> f64 {
 /// Returns `Err` when either document fails to parse or does not carry
 /// the [`BENCH_SCHEMA`] layout.
 pub fn compare_bench(current: &str, baseline: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    check_provenance(current, baseline)?;
     let cur = parse_snapshot(current, "current")?;
     let base = parse_snapshot(baseline, "baseline")?;
     let mut regressions = Vec::new();
@@ -199,6 +240,32 @@ fn check(
 
 fn num(entry: &Json, metric: &str) -> Option<f64> {
     entry.get(metric).and_then(Json::as_f64)
+}
+
+/// Refuses to compare snapshots whose embedded provenance disagrees on
+/// seed or crypto backend. A snapshot without provenance (pre-v1.1
+/// baselines) compares against anything — the check only arms once
+/// both documents carry it.
+fn check_provenance(current: &str, baseline: &str) -> Result<(), String> {
+    let (Ok(cur), Ok(base)) = (Json::parse(current), Json::parse(baseline)) else {
+        return Ok(()); // parse_snapshot reports the real error
+    };
+    let (Some(cur_p), Some(base_p)) = (cur.get("provenance"), base.get("provenance")) else {
+        return Ok(());
+    };
+    for field in ["seed", "crypto_backend"] {
+        let c = cur_p.get(field).cloned().unwrap_or(Json::Null);
+        let b = base_p.get(field).cloned().unwrap_or(Json::Null);
+        if c != b {
+            return Err(format!(
+                "provenance mismatch: {field} differs between snapshots \
+                 ({} vs {}); these runs are not comparable",
+                c.to_string_compact(),
+                b.to_string_compact()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Parses a snapshot document into `(workload/scheme, entry)` pairs.
@@ -363,6 +430,49 @@ mod tests {
             Direction::HigherIsBetter,
         );
         assert!(out.is_empty(), "finite equal values still pass");
+    }
+
+    #[test]
+    fn provenance_mismatch_is_an_error() {
+        let rows = [sample_measurement(1.5, 1000, 200)];
+        let scalar = BenchProvenance {
+            seed: 42,
+            crypto_backend: "scalar".into(),
+            version: "0.1.0".into(),
+        };
+        let simd = BenchProvenance {
+            crypto_backend: "aes-ni".into(),
+            ..scalar.clone()
+        };
+        let reseeded = BenchProvenance {
+            seed: 7,
+            ..scalar.clone()
+        };
+        let a = bench_snapshot_with(&rows, &scalar).to_string_pretty();
+        let b = bench_snapshot_with(&rows, &simd).to_string_pretty();
+        let c = bench_snapshot_with(&rows, &reseeded).to_string_pretty();
+        let bare = bench_snapshot(&rows).to_string_pretty();
+        // Same provenance: compares normally.
+        assert!(compare_bench(&a, &a, 0.02).unwrap().is_empty());
+        // Backend or seed mismatch: loud error, not a silent diff.
+        let err = compare_bench(&a, &b, 0.02).unwrap_err();
+        assert!(err.contains("crypto_backend"), "got: {err}");
+        let err = compare_bench(&a, &c, 0.02).unwrap_err();
+        assert!(err.contains("seed"), "got: {err}");
+        // Provenance on one side only (older committed baselines):
+        // the check stays disarmed so existing gates keep passing.
+        assert!(compare_bench(&a, &bare, 0.02).unwrap().is_empty());
+        assert!(compare_bench(&bare, &b, 0.02).unwrap().is_empty());
+        // Version differences alone do not block comparison.
+        let d = bench_snapshot_with(
+            &rows,
+            &BenchProvenance {
+                version: "9.9.9".into(),
+                ..scalar
+            },
+        )
+        .to_string_pretty();
+        assert!(compare_bench(&a, &d, 0.02).unwrap().is_empty());
     }
 
     #[test]

@@ -94,28 +94,47 @@
 //! `--inject-breach` deliberately faults a victim slab to prove the
 //! monitors fail loudly. Reports land under
 //! `target/experiments/campaign-{storm,soak}.{json,csv}`.
+//!
+//! Live observability: `--run-dir DIR` routes every report writer
+//! (metrics, ledger, trace, bench, campaign JSON/CSV) into one
+//! directory and stamps a `manifest.json` (cmdline, seed, scale,
+//! workloads, crypto backend, workspace version) so runs are
+//! self-describing and diffable. `--stream-out FILE|-` streams one
+//! NDJSON line per closed telemetry epoch (metric deltas + typed
+//! events) the moment the epoch closes; a slow consumer drops lines
+//! instead of stalling the run. `--serve-metrics ADDR` exposes the
+//! live registry at `http://ADDR/metrics` in Prometheus text format.
+//! Storm/soak rows feed per-tenant SLO detectors (EWMA z-scores plus
+//! hard IPC-floor/violation-ceiling checks); `--slo-gate` turns any
+//! hard breach into a nonzero exit. `experiments obs-diff A B
+//! [--tolerance F]` compares two run directories — manifests first,
+//! then every shared JSON report leaf by leaf — and exits 1 on
+//! regressions beyond the tolerance.
 
 use gpu_sim::GpuConfig;
 use plutus_bench::{
-    attribution_table, bench_snapshot, campaign_table, chrome_trace, collapsed_stack,
-    compare_bench, cpi_stack_table, degenerate_warning, eq1_checks, figure_report, geomean,
-    ledger_csv, ledger_folded, ledger_gate, ledger_json, matrix_table, recovery_schemes,
-    run_campaign_on, run_matrix_with_telemetry, save_campaign, save_json, try_run_matrix_on,
-    try_run_matrix_traced_on, CampaignConfig, CampaignKind, EnergyModel, Measurement, Scheme,
-    TracedRun,
+    attribution_table, bench_snapshot_with, campaign_table, chrome_trace, collapsed_stack,
+    compare_bench, cpi_stack_table, degenerate_warning, diff_run_dirs, eq1_checks, figure_report,
+    geomean, ledger_csv, ledger_folded, ledger_gate, ledger_json, matrix_table, obs_diff_table,
+    recovery_schemes, run_campaign_on, run_matrix_with_telemetry, save_campaign, save_json,
+    try_run_matrix_on, try_run_matrix_traced_on, BenchProvenance, CampaignConfig, CampaignKind,
+    EnergyModel, Measurement, Scheme, TracedRun,
 };
 use plutus_core::value_analysis::analyze_trace;
 use plutus_exec::Executor;
 use plutus_recovery::{
-    crash_gate, crash_table, run_crash_campaign_on, run_storm_campaign_on,
+    crash_gate, crash_table, run_crash_campaign_on, run_storm_campaign_observed,
     run_transient_campaign_on, save_crash_campaign, save_storm_campaign, save_transient_campaign,
     storm_gate, storm_table, transient_gate, transient_table, CrashCampaignConfig,
     StormCampaignConfig, TransientCampaignConfig,
 };
-use plutus_telemetry::{CycleClock, Event, Telemetry, DEFAULT_TRACE_CAPACITY};
+use plutus_telemetry::{
+    CycleClock, Event, Json, MetricsServer, SloPolicy, SloTracker, Telemetry,
+    DEFAULT_TRACE_CAPACITY, MANIFEST_FILE, MANIFEST_SCHEMA,
+};
 use secure_mem::SecureMemConfig;
 use std::cell::RefCell;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use workloads::{suite, Scale, WorkloadSpec};
 
@@ -164,6 +183,11 @@ struct Args {
     inject_breach: bool,
     ledger_out: Option<PathBuf>,
     assert_speedup: Option<f64>,
+    /// `--serve-metrics` bind address (e.g. `127.0.0.1:9184`).
+    serve_metrics: Option<String>,
+    slo_gate: bool,
+    /// Positional arguments after an `obs-diff` subcommand.
+    obs_args: Vec<String>,
     tel: Telemetry,
     exec: Executor,
     /// Causal traces collected by `--trace-out` matrix runs.
@@ -279,6 +303,11 @@ fn parse_args(tel: &Telemetry) -> Args {
     let mut watchdog = None;
     let mut assert_speedup = None;
     let mut crypto_backend = String::from("auto");
+    let mut stream_out: Option<String> = None;
+    let mut serve_metrics: Option<String> = None;
+    let mut run_dir: Option<PathBuf> = None;
+    let mut slo_gate = false;
+    let mut obs_args: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -473,6 +502,34 @@ fn parse_args(tel: &Telemetry) -> Args {
                 };
             }
             "--sched-stats" => sched_stats = true,
+            "--stream-out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => stream_out = Some(p.clone()),
+                    None => fail(
+                        tel,
+                        "--stream-out requires a path (or '-' for stdout)".into(),
+                    ),
+                }
+            }
+            "--serve-metrics" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(a) => serve_metrics = Some(a.clone()),
+                    None => fail(
+                        tel,
+                        "--serve-metrics requires a bind address (e.g. 127.0.0.1:9184)".into(),
+                    ),
+                }
+            }
+            "--run-dir" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => run_dir = Some(PathBuf::from(p)),
+                    None => fail(tel, "--run-dir requires a directory".into()),
+                }
+            }
+            "--slo-gate" => slo_gate = true,
             "--crypto-backend" => {
                 i += 1;
                 crypto_backend = match argv.get(i).map(String::as_str) {
@@ -491,6 +548,10 @@ fn parse_args(tel: &Telemetry) -> Args {
                 };
             }
             flag if flag.starts_with("--") => fail(tel, format!("unknown flag {flag}")),
+            // Positionals after an `obs-diff` subcommand are its two
+            // run directories; otherwise the last bare token picks the
+            // experiment id (unchanged historical behavior).
+            id if experiment == "obs-diff" => obs_args.push(id.to_string()),
             id => experiment = id.to_string(),
         }
         i += 1;
@@ -539,6 +600,55 @@ fn parse_args(tel: &Telemetry) -> Args {
     tel.gauge("crypto.backend_simd").set(u64::from(
         active_backend == plutus_crypto::CryptoBackend::AesNi,
     ));
+    if slo_gate && !matches!(campaign, Some(CampaignSel::Storm | CampaignSel::Soak)) {
+        fail(
+            tel,
+            "--slo-gate only applies to --campaign storm|soak (the SLO tracker is fed by \
+             storm rows)"
+                .into(),
+        );
+    }
+    // Arm the run directory before any writer runs: every report
+    // (campaign JSON/CSV, figures, metrics, ledger, trace, bench)
+    // routes through `plutus_telemetry::report_dir()`/`in_run_dir`,
+    // and the manifest makes the directory self-describing.
+    if let Some(dir) = &run_dir {
+        if let Err(e) = plutus_telemetry::set_run_dir(dir) {
+            fail(tel, format!("cannot create run dir {}: {e}", dir.display()));
+        }
+        let manifest = build_manifest(
+            &argv,
+            &experiment,
+            campaign,
+            scale,
+            &workloads,
+            seed,
+            jobs,
+            &active_backend.to_string(),
+        );
+        if let Err(e) =
+            plutus_telemetry::atomic_write(dir.join(MANIFEST_FILE), manifest.to_string_pretty())
+        {
+            fail(tel, format!("cannot write manifest: {e}"));
+        }
+        eprintln!("run dir: {}", dir.display());
+    }
+    // Start the epoch stream before any run closes an epoch, so the
+    // first line of the campaign is the first line of the stream.
+    if let Some(spec) = &stream_out {
+        let sink: Box<dyn std::io::Write + Send> = if spec == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            let path = plutus_telemetry::in_run_dir(Path::new(spec));
+            match std::fs::File::create(&path) {
+                Ok(f) => Box::new(f),
+                Err(e) => fail(tel, format!("cannot open stream {}: {e}", path.display())),
+            }
+        };
+        if let Err(e) = tel.stream_to(sink) {
+            fail(tel, format!("cannot start epoch stream: {e}"));
+        }
+    }
     let exec = Executor::with_telemetry(jobs, tel.clone());
     if let Some(interval) = heartbeat {
         exec.set_heartbeat(interval);
@@ -556,7 +666,7 @@ fn parse_args(tel: &Telemetry) -> Args {
         experiment,
         scale,
         workloads,
-        metrics_out,
+        metrics_out: metrics_out.map(plutus_telemetry::in_run_dir),
         metrics_format,
         epoch_cycles,
         campaign,
@@ -567,20 +677,69 @@ fn parse_args(tel: &Telemetry) -> Args {
         checkpoint_cycles,
         seed,
         sched_stats,
-        trace_out,
+        trace_out: trace_out.map(plutus_telemetry::in_run_dir),
         trace_sample,
-        bench_out,
+        bench_out: bench_out.map(plutus_telemetry::in_run_dir),
         compare,
         tolerance,
         tenants,
         inject_breach,
-        ledger_out,
+        ledger_out: ledger_out.map(plutus_telemetry::in_run_dir),
         assert_speedup,
+        serve_metrics,
+        slo_gate,
+        obs_args,
         tel: tel.clone(),
         exec,
         traces: RefCell::new(Vec::new()),
         measurements: RefCell::new(Vec::new()),
     }
+}
+
+/// The `manifest.json` document for a `--run-dir` run: everything that
+/// identifies the experiment (and gates [`diff_run_dirs`]
+/// comparability) plus the verbatim command line for humans.
+#[allow(clippy::too_many_arguments)]
+fn build_manifest(
+    argv: &[String],
+    experiment: &str,
+    campaign: Option<CampaignSel>,
+    scale: Scale,
+    workloads: &[WorkloadSpec],
+    seed: u64,
+    jobs: Option<usize>,
+    crypto_backend: &str,
+) -> Json {
+    let campaign_label = campaign.map(|c| match c {
+        CampaignSel::Adversarial(k) => k.label().to_string(),
+        CampaignSel::Transient => "transient".to_string(),
+        CampaignSel::Crash => "crash".to_string(),
+        CampaignSel::Storm => "storm".to_string(),
+        CampaignSel::Soak => "soak".to_string(),
+    });
+    let mut doc = Json::object()
+        .set("schema", MANIFEST_SCHEMA)
+        .set(
+            "cmdline",
+            Json::Array(argv.iter().map(|s| Json::from(s.as_str())).collect()),
+        )
+        .set("experiment", experiment)
+        .set(
+            "campaign",
+            campaign_label.map_or(Json::Null, |l| Json::from(l.as_str())),
+        )
+        .set("scale", format!("{scale:?}").to_lowercase())
+        .set(
+            "workloads",
+            Json::Array(workloads.iter().map(|w| Json::from(w.name)).collect()),
+        )
+        .set("seed", seed)
+        .set("crypto_backend", crypto_backend)
+        .set("version", env!("CARGO_PKG_VERSION"));
+    if let Some(j) = jobs {
+        doc = doc.set("jobs", j as u64);
+    }
+    doc
 }
 
 /// Runs a fault-injection campaign and validates the Eq. 1 bound,
@@ -748,13 +907,92 @@ fn run_storm_cli(args: &Args, soak: bool) {
             ""
         }
     );
-    let rows = run_storm_campaign_on(&args.exec, &campaign, &cfg);
+    // Every campaign row flows through the observer on this thread, in
+    // a fixed phase order regardless of worker count: mirror it into
+    // the live registry (one telemetry epoch per row, so `--stream-out`
+    // and `--serve-metrics` show campaign progress), then feed the SLO
+    // detectors — advisory EWMA z-scores over per-row series plus the
+    // hard per-tenant floors/ceilings `--slo-gate` enforces.
+    let tel = args.tel.clone();
+    let mut slo = SloTracker::new(SloPolicy::default());
+    let ipc_floor = 1.0 - campaign.ipc_tolerance;
+    let rows = {
+        let mut observe_row = |row: &plutus_recovery::StormRow| {
+            for (t, ipc) in &row.victim_ipc {
+                tel.gauge(&format!("tenant.t{t}.ipc_milli"))
+                    .set((ipc * 1000.0).max(0.0) as u64);
+            }
+            tel.gauge("storm.min_ipc_ratio_milli")
+                .set((row.min_ipc_ratio * 1000.0).max(0.0) as u64);
+            tel.counter("storm.victim_violations")
+                .add(row.victim_violations);
+            tel.counter("storm.deferred").add(row.storm_deferred);
+            tel.counter("storm.suppressed").add(row.storm_suppressed);
+            tel.counter("storm.rotated_sectors")
+                .add(row.rotated_sectors);
+            tel.counter("storm.faults_adjudicated")
+                .add(row.faults_adjudicated);
+            tel.counter("storm.transients_escalated")
+                .add(row.transients_escalated);
+            let mut found = Vec::new();
+            for (t, ipc) in &row.victim_ipc {
+                found.extend(slo.observe(&format!("{}.tenant.t{t}.ipc", row.scheme), *ipc));
+            }
+            for (series, value) in [
+                ("victim_violations", row.victim_violations as f64),
+                ("rotated_sectors", row.rotated_sectors as f64),
+                ("transients_escalated", row.transients_escalated as f64),
+                ("storm_deferred", row.storm_deferred as f64),
+            ] {
+                found.extend(slo.observe(&format!("{}.{series}", row.scheme), value));
+            }
+            let key = format!("{}/{}", row.scheme, row.phase);
+            found.extend(slo.check_ceiling(
+                &format!("{key}.victim_violations"),
+                row.victim_violations as f64,
+                0.0,
+            ));
+            found.extend(slo.check_ceiling(
+                &format!("{key}.victim_frozen"),
+                row.victim_frozen as f64,
+                0.0,
+            ));
+            found.extend(slo.check_floor(
+                &format!("{key}.min_ipc_ratio"),
+                row.min_ipc_ratio,
+                ipc_floor,
+            ));
+            for a in found {
+                tel.event(a.to_event());
+            }
+            tel.end_epoch(&key);
+        };
+        run_storm_campaign_observed(&args.exec, &campaign, &cfg, &mut observe_row)
+    };
     println!("{}", storm_table(&rows, &campaign));
     let path = match save_storm_campaign(&format!("campaign-{name}"), &rows, &campaign) {
         Ok(p) => p,
         Err(e) => fail(&args.tel, format!("cannot write {name} results: {e}")),
     };
     println!("saved {} (and .csv)", path.display());
+    let advisories = slo.anomalies().iter().filter(|a| !a.gating).count();
+    if advisories > 0 {
+        println!("slo: {advisories} advisory anomalies flagged (streamed as anomaly events)");
+    }
+    if slo.breached() {
+        let detail = slo
+            .breaches()
+            .iter()
+            .map(|a| a.describe())
+            .collect::<Vec<_>>()
+            .join("; ");
+        if args.slo_gate {
+            fail(&args.tel, format!("SLO gate breached: {detail}"));
+        }
+        eprintln!("warning: SLO breached (run without --slo-gate): {detail}");
+    } else if args.slo_gate {
+        println!("SLO gate OK: every victim held its IPC floor with zero violations");
+    }
     match storm_gate(&rows, &campaign) {
         Ok(()) => println!(
             "gate OK: victims isolated, backpressure held, rotation recovered bit-identical"
@@ -801,6 +1039,21 @@ fn run_crash_cli(args: &Args, cfg: &GpuConfig) {
 fn main() {
     let tel = Telemetry::with_clock(Arc::new(CycleClock::new()));
     let args = parse_args(&tel);
+    if args.experiment == "obs-diff" {
+        run_obs_diff(&args);
+        return;
+    }
+    // Held until main returns: dropping it shuts the scrape endpoint
+    // down. `fail()` exits the process, which closes the socket too.
+    let mut server = args.serve_metrics.as_deref().map(|addr| {
+        match MetricsServer::serve(args.tel.clone(), addr) {
+            Ok(s) => {
+                eprintln!("serving metrics on http://{}/metrics", s.addr());
+                s
+            }
+            Err(e) => fail(&args.tel, format!("cannot serve metrics on {addr}: {e}")),
+        }
+    });
     let mut cfg = GpuConfig::default();
     // Measure steady-state IPC past the warp-launch ramp: warps launch
     // staggered at one every other cycle, so the pool is fully populated
@@ -817,6 +1070,7 @@ fn main() {
         }
         write_sched_stats(&args);
         write_metrics(&args);
+        finish_observability(&args, &mut server);
         return;
     }
     let ids: Vec<&str> = if args.experiment == "all" {
@@ -895,6 +1149,66 @@ fn main() {
     write_trace(&args);
     write_ledger(&args);
     run_bench_gate(&args);
+    finish_observability(&args, &mut server);
+}
+
+/// Closes the epoch stream (reporting line/drop counts) and shuts the
+/// metrics endpoint down. Runs on every successful exit path; `fail()`
+/// paths rely on process exit, which the line-buffered stream and the
+/// socket both survive.
+fn finish_observability(args: &Args, server: &mut Option<MetricsServer>) {
+    if let Some(lines) = args.tel.close_stream() {
+        eprintln!(
+            "epoch stream closed: {lines} lines, {} dropped",
+            args.tel.stream_dropped()
+        );
+    }
+    if let Some(s) = server.as_mut() {
+        s.shutdown();
+    }
+}
+
+/// The `obs-diff A B` subcommand: manifest-gated cross-run comparison
+/// of two `--run-dir` directories. Exit codes: 0 no regressions, 1
+/// regressions beyond `--tolerance`, 2 unreadable or incompatible runs.
+fn run_obs_diff(args: &Args) {
+    let [a, b] = args.obs_args.as_slice() else {
+        fail(
+            &args.tel,
+            format!(
+                "obs-diff needs exactly two run directories, got {:?}",
+                args.obs_args
+            ),
+        );
+    };
+    let diff = match diff_run_dirs(Path::new(a), Path::new(b)) {
+        Ok(d) => d,
+        Err(e) => fail(&args.tel, format!("obs-diff: {e}")),
+    };
+    let tolerance = args.tolerance.unwrap_or(0.0);
+    println!(
+        "obs-diff {a} vs {b}: {} shared reports compared",
+        diff.compared.len()
+    );
+    for s in &diff.one_sided {
+        eprintln!("coverage changed: {s}");
+    }
+    let regressions = diff.regressions(tolerance);
+    if regressions.is_empty() && diff.one_sided.is_empty() {
+        println!(
+            "obs-diff OK: no regressions beyond {:.1}% tolerance ({} leaves changed within it)",
+            tolerance * 100.0,
+            diff.changed.len()
+        );
+    } else {
+        eprintln!(
+            "obs-diff: {} leaves regressed beyond {:.1}% tolerance:",
+            regressions.len(),
+            tolerance * 100.0
+        );
+        eprint!("{}", obs_diff_table(&regressions));
+        std::process::exit(1);
+    }
 }
 
 /// The `cipher_bench` microbenchmark: scalar vs native crypto-backend
@@ -1067,7 +1381,12 @@ fn run_bench_gate(args: &Args) {
             "--bench-out/--compare need at least one matrix experiment (e.g. fig6)".into(),
         );
     }
-    let snapshot = bench_snapshot(&rows).to_string_pretty();
+    let provenance = BenchProvenance {
+        seed: args.seed,
+        crypto_backend: plutus_crypto::backend::active().to_string(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+    };
+    let snapshot = bench_snapshot_with(&rows, &provenance).to_string_pretty();
     if let Some(path) = &args.bench_out {
         if let Err(e) = plutus_telemetry::atomic_write(path, &snapshot) {
             fail(

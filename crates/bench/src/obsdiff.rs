@@ -1,0 +1,381 @@
+//! Cross-run diffing of observability run directories.
+//!
+//! `experiments obs-diff A B [--tolerance F]` compares two run
+//! directories produced with `--run-dir`. Manifests gate the diff:
+//! two runs that disagree on seed, crypto backend, scale, workload
+//! set, or experiment selection are different experiments, and diffing
+//! them produces noise, not regressions. Compatible runs are then
+//! compared report by report — every `*.json` both directories carry,
+//! walked down to its numeric (and boolean) leaves — and the changed
+//! leaves are ranked by percent change, worst first.
+//!
+//! Leaves whose path contains a known scheduler-nondeterministic
+//! metric ([`plutus_telemetry::STREAM_NONDETERMINISTIC`]) are skipped,
+//! for the same reason the epoch stream excludes them: steal counts
+//! vary run to run even at identical seeds. Wall-time series
+//! (`sched.queue_ns`, `sched.exec_ns`, `span.*.ns` histograms) and the
+//! worker-count gauge are skipped too — they describe the host and the
+//! `--jobs` setting, not the simulated run, so two byte-identical
+//! simulations legitimately disagree on them.
+
+use crate::report::pct_change;
+use plutus_telemetry::{Json, MANIFEST_FILE, MANIFEST_SCHEMA, STREAM_NONDETERMINISTIC};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One numeric leaf that changed between run A and run B.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Report file both directories carry (e.g. `campaign-storm.json`).
+    pub file: String,
+    /// Dotted path to the leaf inside the document.
+    pub path: String,
+    /// Value in run A (NaN when the leaf exists only in B).
+    pub a: f64,
+    /// Value in run B (NaN when the leaf exists only in A).
+    pub b: f64,
+    /// `pct_change(b, a)`, in percent; non-finite for appear/vanish.
+    pub pct: f64,
+}
+
+/// The outcome of diffing two compatible run directories.
+#[derive(Debug, Default)]
+pub struct ObsDiff {
+    /// Every changed leaf, ranked by |pct| descending (non-finite
+    /// changes — leaves that appeared or vanished — rank first).
+    pub changed: Vec<DiffRow>,
+    /// Reports present in exactly one directory (coverage changes).
+    pub one_sided: Vec<String>,
+    /// Reports compared in both directories.
+    pub compared: Vec<String>,
+}
+
+impl ObsDiff {
+    /// The changed leaves beyond `tolerance` (a fraction; 0.02 = 2%).
+    /// Non-finite changes always count. One-sided reports are gated
+    /// separately via [`ObsDiff::one_sided`].
+    pub fn regressions(&self, tolerance: f64) -> Vec<&DiffRow> {
+        self.changed
+            .iter()
+            .filter(|r| !r.pct.is_finite() || r.pct.abs() > tolerance * 100.0)
+            .collect()
+    }
+}
+
+/// Checks that two manifests describe comparable runs: same manifest
+/// schema and same values for every identity field (seed, crypto
+/// backend, scale, workloads, experiment, campaign). The command line
+/// is deliberately *not* compared — `--run-dir X` vs `--run-dir Y` is
+/// exactly the difference a diff exists to bridge.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first mismatch.
+pub fn manifest_compat(a: &Json, b: &Json) -> Result<(), String> {
+    for (doc, name) in [(a, "A"), (b, "B")] {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(MANIFEST_SCHEMA) => {}
+            other => {
+                return Err(format!(
+                    "run {name}: expected manifest schema '{MANIFEST_SCHEMA}', found {other:?}"
+                ))
+            }
+        }
+    }
+    for field in [
+        "seed",
+        "crypto_backend",
+        "scale",
+        "workloads",
+        "experiment",
+        "campaign",
+    ] {
+        let av = a.get(field).cloned().unwrap_or(Json::Null);
+        let bv = b.get(field).cloned().unwrap_or(Json::Null);
+        if av != bv {
+            return Err(format!(
+                "manifests disagree on {field}: {} vs {}; these runs are not comparable",
+                av.to_string_compact(),
+                bv.to_string_compact()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Diffs two run directories: manifest compatibility first, then every
+/// shared JSON report leaf by leaf.
+///
+/// # Errors
+///
+/// Returns `Err` when a manifest is missing or unreadable, or when the
+/// manifests are incompatible (the caller should treat this as a usage
+/// error, not a regression).
+pub fn diff_run_dirs(a: &Path, b: &Path) -> Result<ObsDiff, String> {
+    let ma = read_manifest(a)?;
+    let mb = read_manifest(b)?;
+    manifest_compat(&ma, &mb)?;
+    let fa = json_reports(a)?;
+    let fb = json_reports(b)?;
+    let mut out = ObsDiff::default();
+    for name in fa.iter().filter(|n| !fb.contains(n)) {
+        out.one_sided.push(format!("{name} (only in A)"));
+    }
+    for name in fb.iter().filter(|n| !fa.contains(n)) {
+        out.one_sided.push(format!("{name} (only in B)"));
+    }
+    for name in fa.iter().filter(|n| fb.contains(n)) {
+        let da = read_json(&a.join(name))?;
+        let db = read_json(&b.join(name))?;
+        out.compared.push(name.clone());
+        let mut la = BTreeMap::new();
+        walk("", &da, &mut la);
+        let mut lb = BTreeMap::new();
+        walk("", &db, &mut lb);
+        let keys: Vec<&String> = la
+            .keys()
+            .chain(lb.keys().filter(|k| !la.contains_key(*k)))
+            .collect();
+        for key in keys {
+            let (va, vb) = (la.get(key), lb.get(key));
+            let (a_val, b_val) = (
+                va.copied().unwrap_or(f64::NAN),
+                vb.copied().unwrap_or(f64::NAN),
+            );
+            let pct = match (va, vb) {
+                (Some(&x), Some(&y)) => {
+                    if x == y {
+                        continue;
+                    }
+                    pct_change(y, x)
+                }
+                _ => f64::INFINITY,
+            };
+            out.changed.push(DiffRow {
+                file: name.clone(),
+                path: key.clone(),
+                a: a_val,
+                b: b_val,
+                pct,
+            });
+        }
+    }
+    out.changed.sort_by(|x, y| {
+        let kx = if x.pct.is_finite() {
+            x.pct.abs()
+        } else {
+            f64::INFINITY
+        };
+        let ky = if y.pct.is_finite() {
+            y.pct.abs()
+        } else {
+            f64::INFINITY
+        };
+        ky.partial_cmp(&kx)
+            .unwrap()
+            .then_with(|| x.file.cmp(&y.file))
+            .then_with(|| x.path.cmp(&y.path))
+    });
+    Ok(out)
+}
+
+/// Renders the ranked regression table for the rows
+/// [`ObsDiff::regressions`] selected.
+pub fn obs_diff_table(rows: &[&DiffRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24}{:<48}{:>14}{:>14}{:>10}\n",
+        "report", "leaf", "A", "B", "change%"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24}{:<48}{:>14.4}{:>14.4}{:>10}\n",
+            r.file,
+            r.path,
+            r.a,
+            r.b,
+            if r.pct.is_finite() {
+                format!("{:+.2}", r.pct)
+            } else {
+                "±inf".into()
+            }
+        ));
+    }
+    out
+}
+
+fn read_manifest(dir: &Path) -> Result<Json, String> {
+    read_json(&dir.join(MANIFEST_FILE))
+        .map_err(|e| format!("{e}; was this directory produced with --run-dir?"))
+}
+
+fn read_json(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Sorted `*.json` report names in `dir`, excluding the manifest.
+fn json_reports(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".json") && name != MANIFEST_FILE {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Wall-time and environment-shaped series excluded from cross-run
+/// diffs on top of [`STREAM_NONDETERMINISTIC`]: these measure the host
+/// and the worker count, not the simulated run.
+const WALL_TIME_NONDETERMINISTIC: &[&str] = &["sched.queue_ns", "sched.exec_ns", "sched.workers"];
+
+/// True when a leaf path names a metric that legitimately differs
+/// between byte-identical simulations.
+fn nondeterministic(path: &str) -> bool {
+    STREAM_NONDETERMINISTIC
+        .iter()
+        .chain(WALL_TIME_NONDETERMINISTIC)
+        .any(|m| path.contains(m))
+        || (path.contains("span.") && path.contains(".ns"))
+}
+
+/// Flattens every numeric and boolean leaf of `v` into dotted paths.
+/// Booleans become 0/1 so a `clean: true -> false` flip is visible.
+/// Scheduler-nondeterministic and wall-time metric names are skipped.
+fn walk(prefix: &str, v: &Json, out: &mut BTreeMap<String, f64>) {
+    if nondeterministic(prefix) {
+        return;
+    }
+    match v {
+        Json::Object(pairs) => {
+            for (k, val) in pairs {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                walk(&path, val, out);
+            }
+        }
+        Json::Array(items) => {
+            for (i, val) in items.iter().enumerate() {
+                walk(&format!("{prefix}[{i}]"), val, out);
+            }
+        }
+        Json::Bool(b) => {
+            out.insert(prefix.to_string(), f64::from(u8::from(*b)));
+        }
+        other => {
+            if let Some(x) = other.as_f64() {
+                out.insert(prefix.to_string(), x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn manifest(seed: u64) -> Json {
+        Json::object()
+            .set("schema", MANIFEST_SCHEMA)
+            .set("seed", seed)
+            .set("crypto_backend", "scalar")
+            .set("scale", "test")
+            .set("experiment", "campaign")
+            .set("campaign", "storm")
+            .set("workloads", Json::Array(vec![Json::from("gemm")]))
+    }
+
+    fn write_run(dir: &Path, seed: u64, ipc: f64, clean: bool) {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), manifest(seed).to_string_pretty()).unwrap();
+        let report = Json::object().set(
+            "rows",
+            Json::Array(vec![Json::object()
+                .set("ipc", ipc)
+                .set("clean", clean)
+                .set("sched.steals", 99u64)
+                .set("sched.exec_ns", if clean { 100u64 } else { 999u64 })
+                .set("span.engine.fill.ns", if clean { 7u64 } else { 8u64 })]),
+        );
+        std::fs::write(dir.join("campaign-storm.json"), report.to_string_pretty()).unwrap();
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("plutus-obsdiff-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn identical_runs_diff_empty() {
+        let (a, b) = (scratch("id-a"), scratch("id-b"));
+        write_run(&a, 42, 1.5, true);
+        write_run(&b, 42, 1.5, true);
+        let diff = diff_run_dirs(&a, &b).unwrap();
+        assert!(diff.changed.is_empty());
+        assert!(diff.one_sided.is_empty());
+        assert_eq!(diff.compared, vec!["campaign-storm.json"]);
+    }
+
+    #[test]
+    fn changed_leaves_rank_by_magnitude() {
+        let (a, b) = (scratch("rk-a"), scratch("rk-b"));
+        write_run(&a, 42, 1.5, true);
+        write_run(&b, 42, 1.2, false);
+        let diff = diff_run_dirs(&a, &b).unwrap();
+        // The clean flip (1 -> 0, -100%) outranks the 20% IPC drop;
+        // the nondeterministic steal counter and the wall-time series
+        // (exec ns, span histogram) never show up even though they
+        // changed too.
+        let paths: Vec<&str> = diff.changed.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["rows[0].clean", "rows[0].ipc"]);
+        assert_eq!(
+            diff.regressions(0.25).len(),
+            1,
+            "20% drop inside 25% tolerance"
+        );
+        assert_eq!(diff.regressions(0.0).len(), 2);
+        let table = obs_diff_table(&diff.regressions(0.0));
+        assert!(table.contains("rows[0].ipc"));
+    }
+
+    #[test]
+    fn seed_mismatch_refuses_to_diff() {
+        let (a, b) = (scratch("sd-a"), scratch("sd-b"));
+        write_run(&a, 42, 1.5, true);
+        write_run(&b, 7, 1.5, true);
+        let err = diff_run_dirs(&a, &b).unwrap_err();
+        assert!(err.contains("seed"), "got: {err}");
+    }
+
+    #[test]
+    fn missing_manifest_is_a_usage_error() {
+        let (a, b) = (scratch("mm-a"), scratch("mm-b"));
+        write_run(&a, 42, 1.5, true);
+        std::fs::create_dir_all(&b).unwrap();
+        let err = diff_run_dirs(&a, &b).unwrap_err();
+        assert!(err.contains("--run-dir"), "got: {err}");
+    }
+
+    #[test]
+    fn one_sided_reports_are_flagged() {
+        let (a, b) = (scratch("os-a"), scratch("os-b"));
+        write_run(&a, 42, 1.5, true);
+        write_run(&b, 42, 1.5, true);
+        std::fs::write(a.join("extra.json"), "{\"x\": 1}").unwrap();
+        let diff = diff_run_dirs(&a, &b).unwrap();
+        assert_eq!(diff.one_sided, vec!["extra.json (only in A)"]);
+        assert!(diff.changed.is_empty());
+    }
+}

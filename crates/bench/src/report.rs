@@ -8,7 +8,6 @@ use crate::runner::{geomean, Measurement};
 use gpu_sim::StallBucket;
 use plutus_telemetry::Json;
 use std::fmt::Write as _;
-use std::path::Path;
 
 /// Schema tag stamped into every ledger export document.
 pub const LEDGER_SCHEMA: &str = "plutus-ledger/v1";
@@ -77,14 +76,15 @@ pub fn measurement_json(m: &Measurement) -> Json {
         .set("engine_stats", pairs(&m.engine_stats))
 }
 
-/// Writes measurements as JSON under `target/experiments/<name>.json`.
+/// Writes measurements as JSON under `<report dir>/<name>.json` (the
+/// `--run-dir` when one is set, `target/experiments/` otherwise).
 ///
 /// # Errors
 ///
 /// Returns any I/O error.
 pub fn save_json(name: &str, rows: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
-    let dir = Path::new("target/experiments");
-    std::fs::create_dir_all(dir)?;
+    let dir = plutus_telemetry::report_dir();
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let doc = Json::Array(rows.iter().map(measurement_json).collect());
     plutus_telemetry::atomic_write(&path, doc.to_string_pretty())?;

@@ -1,7 +1,7 @@
 //! The bounded work-stealing pool.
 
 use crate::stats::{SchedStats, StatsAcc, WorkerLocal};
-use plutus_telemetry::{Counter, Histogram, Telemetry};
+use plutus_telemetry::{Counter, Event, Histogram, Telemetry};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -130,6 +130,9 @@ struct HeartbeatState {
     /// Watchdog multiple in thousandths (0 = watchdog off).
     watchdog_x1000: u64,
     watchdog_ctr: Counter,
+    /// Telemetry sink for typed progress/slow events — the stderr lines
+    /// are ephemeral, the events land in the stream and run artifacts.
+    tel: Telemetry,
 }
 
 impl HeartbeatState {
@@ -173,6 +176,7 @@ impl HeartbeatState {
     fn print_line(&self) {
         let threshold = self.watchdog_threshold_ns();
         let mut running = self.running.lock().unwrap();
+        let mut slow: Vec<(String, u64)> = Vec::new();
         let labels: Vec<String> = running
             .iter_mut()
             .map(|job| match threshold {
@@ -180,6 +184,7 @@ impl HeartbeatState {
                     if !job.flagged {
                         job.flagged = true;
                         self.watchdog_ctr.inc();
+                        slow.push((job.label.clone(), job.started.elapsed().as_millis() as u64));
                     }
                     format!(
                         "{} [SLOW {:.1}s]",
@@ -190,7 +195,20 @@ impl HeartbeatState {
                 _ => job.label.clone(),
             })
             .collect();
+        let executing = labels.len() as u64;
         drop(running);
+        // Typed twins of the stderr line: a progress tick per heartbeat
+        // and one slow event per freshly flagged straggler, so pool
+        // health reaches the stream and run artifacts, not just the
+        // terminal scrollback.
+        self.tel.event(Event::PoolProgress {
+            done: self.done.load(Ordering::SeqCst) as u64,
+            total: self.total as u64,
+            running: executing,
+        });
+        for (label, elapsed_ms) in slow {
+            self.tel.event(Event::JobSlow { label, elapsed_ms });
+        }
         eprintln!(
             "[plutus-exec] {}/{} jobs done, elapsed {:.0}s, running: [{}]",
             self.done.load(Ordering::SeqCst),
@@ -305,6 +323,7 @@ impl Executor {
             start: Instant::now(),
             watchdog_x1000: self.inner.watchdog_x1000.load(Ordering::SeqCst),
             watchdog_ctr: self.inner.watchdog_ctr.clone(),
+            tel: self.inner.tel.clone(),
         });
         let shared = Arc::clone(&state);
         let handle = std::thread::spawn(move || {
@@ -782,6 +801,25 @@ mod tests {
             Some(1),
             "the straggler must be counted once, not per tick"
         );
+        // The stderr lines have typed twins in the event log: progress
+        // ticks, and exactly one slow event naming the straggler.
+        let events = tel.report().events;
+        assert!(
+            events.iter().any(|te| te.event.kind() == "sched_progress"),
+            "heartbeat ticks must emit typed progress events"
+        );
+        let slow: Vec<_> = events
+            .iter()
+            .filter(|te| te.event.kind() == "sched_slow")
+            .collect();
+        assert_eq!(slow.len(), 1, "one slow event per straggler");
+        match &slow[0].event {
+            Event::JobSlow { label, elapsed_ms } => {
+                assert_eq!(label, "wd8");
+                assert!(*elapsed_ms > 0);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
     }
 
     #[test]

@@ -342,6 +342,10 @@ pub struct Simulator {
     /// Per-tenant progress accumulation, folded into
     /// [`SimStats::tenants`] at finalize.
     tenant_acc: HashMap<u32, TenantStat>,
+    /// `(instructions, violations)` already mirrored into the registry
+    /// per tenant — epoch rollups add only the delta since the previous
+    /// mirror so `tenant.t<id>.*` counters stay monotonic.
+    tenant_mirrored: HashMap<u32, (u64, u64)>,
 }
 
 impl Simulator {
@@ -440,6 +444,7 @@ impl Simulator {
             warmup_done: false,
             tenants: TenantMap::new(),
             tenant_acc: HashMap::new(),
+            tenant_mirrored: HashMap::new(),
         }
     }
 
@@ -591,6 +596,36 @@ impl Simulator {
         acc.last_retire_cycle = acc.last_retire_cycle.max(time);
     }
 
+    /// Mirrors per-tenant progress into `tenant.t<id>.instructions` /
+    /// `tenant.t<id>.violations` registry counters, adding only what
+    /// accumulated since the previous mirror — epoch deltas therefore
+    /// carry per-tenant rollups and the counters sum to
+    /// [`SimStats::tenants`]. Sorted iteration keeps the registration
+    /// order (and hence exported byte order) deterministic.
+    fn mirror_tenants(&mut self) {
+        if !self.tel.enabled() || self.tenant_acc.is_empty() {
+            return;
+        }
+        let mut ids: Vec<u32> = self.tenant_acc.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let acc = self.tenant_acc[&id];
+            let seen = self.tenant_mirrored.entry(id).or_insert((0, 0));
+            if acc.instructions > seen.0 {
+                self.tel
+                    .counter(&format!("tenant.t{id}.instructions"))
+                    .add(acc.instructions - seen.0);
+                seen.0 = acc.instructions;
+            }
+            if acc.violations > seen.1 {
+                self.tel
+                    .counter(&format!("tenant.t{id}.violations"))
+                    .add(acc.violations - seen.1);
+                seen.1 = acc.violations;
+            }
+        }
+    }
+
     /// Runs the simulation to completion and returns the results.
     pub fn run(&mut self) -> SimResult {
         self.run_until(u64::MAX)
@@ -696,6 +731,7 @@ impl Simulator {
             self.simtel.backlog_gauge.set(backlog);
             let occupancy: u64 = self.partitions.iter().map(|p| p.mshr.len() as u64).sum();
             self.simtel.mshr_gauge.set(occupancy);
+            self.mirror_tenants();
         }
         while now >= self.next_epoch_at {
             self.tel.end_epoch(&format!("cycle-{}", self.next_epoch_at));
@@ -1004,6 +1040,16 @@ impl Simulator {
         let mut tenants: Vec<TenantStat> = self.tenant_acc.values().copied().collect();
         tenants.sort_by_key(|t| t.tenant);
         self.stats.tenants = tenants;
+        // Mirror the final per-tenant progress and close a terminal
+        // epoch at the horizon, so the streamed epoch deltas sum exactly
+        // to the run's counter totals (conservation over the stream).
+        if self.tel.enabled() {
+            self.mirror_tenants();
+            if self.epoch_interval.is_some() {
+                self.tel.advance_clock(self.horizon);
+                self.tel.end_epoch(&format!("final-{}", self.horizon));
+            }
+        }
         SimResult {
             engine: self.engine_name.to_string(),
             workload: self.trace.name.clone(),
@@ -1977,6 +2023,45 @@ mod tests {
         for w in epochs.windows(2) {
             assert_eq!(w[1].start_time, w[0].end_time);
         }
+    }
+
+    #[test]
+    fn tenant_rollups_mirror_into_epochs_and_sum_to_stats() {
+        let tel = Telemetry::with_clock(std::sync::Arc::new(CycleClock::new()));
+        let trace = read_trace(400, 32);
+        let mut sim = Simulator::with_telemetry(
+            GpuConfig::test_small(),
+            trace,
+            &NoSecurityEngine::factory(),
+            tel.clone(),
+        );
+        // Split the touched address range between two tenants.
+        let mut map = TenantMap::new();
+        map.add_range(0, 400 * 32 / 2, 1);
+        map.add_range(400 * 32 / 2, u64::MAX, 2);
+        sim.set_tenant_map(map);
+        sim.set_epoch_interval(50);
+        let r = sim.run();
+        assert!(r.stats.tenants.len() == 2, "both tenants progressed");
+        let snap = tel.snapshot();
+        for t in &r.stats.tenants {
+            let name = format!("tenant.t{}.instructions", t.tenant);
+            assert_eq!(
+                snap.counter(&name),
+                Some(t.instructions),
+                "{name} total mismatch"
+            );
+            // Per-tenant epoch deltas chain back to the same total —
+            // this is what the NDJSON stream serializes per line.
+            let from_epochs: u64 = tel.epochs().iter().map(|e| e.delta(&name)).sum();
+            assert_eq!(from_epochs, t.instructions, "{name} epoch sum mismatch");
+        }
+        // The terminal epoch captures the tail past the last boundary.
+        let labels: Vec<String> = tel.epochs().iter().map(|e| e.label.clone()).collect();
+        assert!(
+            labels.last().unwrap().starts_with("final-"),
+            "missing terminal epoch: {labels:?}"
+        );
     }
 
     #[test]

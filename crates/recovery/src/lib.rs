@@ -39,8 +39,9 @@ pub use crash::{
     save_crash_campaign, CrashCampaignConfig, CrashRow,
 };
 pub use storm::{
-    run_storm_campaign, run_storm_campaign_on, save_storm_campaign, storm_csv, storm_gate,
-    storm_json, storm_schemes, storm_table, StormCampaignConfig, StormRow, ADVERSARY, FIRST_VICTIM,
+    run_storm_campaign, run_storm_campaign_observed, run_storm_campaign_on, save_storm_campaign,
+    storm_csv, storm_gate, storm_json, storm_schemes, storm_table, StormCampaignConfig, StormRow,
+    ADVERSARY, FIRST_VICTIM,
 };
 pub use transient::{
     run_transient_campaign, run_transient_campaign_on, save_transient_campaign, transient_csv,
@@ -60,15 +61,16 @@ pub trait SchemeProvider: Sync {
     fn make_factory(&self) -> Box<dyn EngineFactory>;
 }
 
-/// Writes a campaign's JSON and CSV renderings under
-/// `target/experiments/`, returning the JSON path.
+/// Writes a campaign's JSON and CSV renderings into the report
+/// directory (the `--run-dir` when set, `target/experiments/`
+/// otherwise), returning the JSON path.
 pub(crate) fn save_reports(
     name: &str,
     json: &plutus_telemetry::Json,
     csv: &str,
 ) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("target/experiments");
-    std::fs::create_dir_all(dir)?;
+    let dir = plutus_telemetry::report_dir();
+    std::fs::create_dir_all(&dir)?;
     let json_path = dir.join(format!("{name}.json"));
     plutus_telemetry::atomic_write(&json_path, json.to_string_pretty())?;
     plutus_telemetry::atomic_write(dir.join(format!("{name}.csv")), csv)?;

@@ -593,6 +593,26 @@ pub fn run_storm_campaign_on(
     campaign: &StormCampaignConfig,
     cfg: &GpuConfig,
 ) -> Vec<StormRow> {
+    run_storm_campaign_observed(exec, campaign, cfg, &mut |_| {})
+}
+
+/// [`run_storm_campaign_on`] with a live row observer: `observer` is
+/// called on the caller thread the moment each campaign row is
+/// assembled — baseline/storm/soak rows right after the first parallel
+/// round lands (while the crash-audit jobs are still running), crash
+/// rows at final assembly. Observation order is the fixed phase order,
+/// independent of worker count, so observers that mirror rows into
+/// telemetry epochs or feed SLO trackers stay deterministic.
+///
+/// # Panics
+///
+/// Panics if a campaign job panics.
+pub fn run_storm_campaign_observed(
+    exec: &Executor,
+    campaign: &StormCampaignConfig,
+    cfg: &GpuConfig,
+    observer: &mut dyn FnMut(&StormRow),
+) -> Vec<StormRow> {
     let fixture = build_fixture(campaign);
     let victims = campaign.victim_ids();
 
@@ -652,6 +672,7 @@ pub fn run_storm_campaign_on(
         let (stats, _) = round1_out.next().expect("baseline result");
         let mut row = StormRow::new(scheme.label(), "baseline");
         absorb_stats(&mut row, &stats, &victims, false);
+        observer(&row);
         baselines.push(row);
     }
     let mut storm_rows: Vec<StormRow> = Vec::new();
@@ -663,6 +684,7 @@ pub fn run_storm_campaign_on(
         if !rotation_done {
             row.error = Some("key-rotation walk did not complete".into());
         }
+        observer(&row);
         storm_rows.push(row);
     }
     let mut soak_rows: Vec<StormRow> = Vec::new();
@@ -675,6 +697,7 @@ pub fn run_storm_campaign_on(
             if !rotation_done {
                 row.error = Some("key-rotation walk did not complete".into());
             }
+            observer(&row);
             soak_rows.push(row);
         }
     }
@@ -736,7 +759,9 @@ pub fn run_storm_campaign_on(
             out.push(soak_rows[si].clone());
         }
         for _ in 0..campaign.crash_points {
-            out.push(crash_iter.next().expect("one row per crash job"));
+            let row = crash_iter.next().expect("one row per crash job");
+            observer(&row);
+            out.push(row);
         }
     }
     out

@@ -138,6 +138,36 @@ pub enum Event {
         /// The error message shown to the user.
         message: String,
     },
+    /// A heartbeat progress tick from the executor pool.
+    PoolProgress {
+        /// Jobs finished so far this run.
+        done: u64,
+        /// Jobs submitted this run.
+        total: u64,
+        /// Jobs executing at tick time.
+        running: u64,
+    },
+    /// The pool watchdog flagged a straggling job (`[SLOW]`).
+    JobSlow {
+        /// Label of the straggling job.
+        label: String,
+        /// How long it had been running when flagged, in milliseconds.
+        elapsed_ms: u64,
+    },
+    /// An SLO detector finding (see [`crate::SloTracker`]). Fractional
+    /// values ride as thousandths so payloads stay integral.
+    Anomaly {
+        /// Series the detector watched, e.g. `"tenant.t2.ipc"`.
+        series: String,
+        /// Which detector fired: `"zscore"`, `"floor"`, `"ceiling"`.
+        detector: String,
+        /// Observed value × 1000.
+        value_milli: u64,
+        /// Expected value (EWMA mean or bound) × 1000.
+        expected_milli: u64,
+        /// Whether this finding fails `--slo-gate`.
+        gating: bool,
+    },
     /// A free-form event for call sites without a dedicated variant.
     Custom {
         /// Static event name.
@@ -175,6 +205,9 @@ impl Event {
             Event::Checkpoint { .. } => "checkpoint",
             Event::CrashRestore { .. } => "crash_restore",
             Event::CliError { .. } => "cli_error",
+            Event::PoolProgress { .. } => "sched_progress",
+            Event::JobSlow { .. } => "sched_slow",
+            Event::Anomaly { .. } => "anomaly",
             Event::Custom { .. } => "custom",
         }
     }
@@ -225,6 +258,32 @@ impl Event {
                 vec![("checkpoint_cycle", Num(*checkpoint_cycle))]
             }
             Event::CliError { message } => vec![("message", Str(message.clone()))],
+            Event::PoolProgress {
+                done,
+                total,
+                running,
+            } => vec![
+                ("done", Num(*done)),
+                ("total", Num(*total)),
+                ("running", Num(*running)),
+            ],
+            Event::JobSlow { label, elapsed_ms } => vec![
+                ("label", Str(label.clone())),
+                ("elapsed_ms", Num(*elapsed_ms)),
+            ],
+            Event::Anomaly {
+                series,
+                detector,
+                value_milli,
+                expected_milli,
+                gating,
+            } => vec![
+                ("series", Str(series.clone())),
+                ("detector", Str(detector.clone())),
+                ("value_milli", Num(*value_milli)),
+                ("expected_milli", Num(*expected_milli)),
+                ("gating", Bool(*gating)),
+            ],
             Event::Custom { name, value } => {
                 vec![("name", Str((*name).to_string())), ("value", Num(*value))]
             }
@@ -232,6 +291,41 @@ impl Event {
         }
     }
 }
+
+/// Every stable event kind label, in declaration order — the reference
+/// the `METRICS.md` sync test checks documentation against. Adding an
+/// [`Event`] variant without extending this list fails
+/// `event_kinds_catalog_is_complete`.
+pub const EVENT_KINDS: &[&str] = &[
+    "run_start",
+    "run_end",
+    "value_verified",
+    "value_cache_hit",
+    "value_cache_miss",
+    "value_cache_promotion",
+    "mac_fetch",
+    "mac_fetch_avoided",
+    "mac_update_skipped",
+    "compact_overflow",
+    "compact_disable",
+    "compact_fallback",
+    "counter_fetch",
+    "bmt_walk",
+    "violation",
+    "fault_injected",
+    "epoch_end",
+    "transient_fault",
+    "fill_retry",
+    "transient_recovered",
+    "degraded",
+    "checkpoint",
+    "crash_restore",
+    "cli_error",
+    "sched_progress",
+    "sched_slow",
+    "anomaly",
+    "custom",
+];
 
 /// A typed event payload value.
 #[derive(Debug, Clone, PartialEq)]
@@ -431,5 +525,133 @@ mod tests {
             .kind(),
             "run_start"
         );
+    }
+
+    /// One sample of every variant; the catalog must know each kind.
+    fn one_of_each() -> Vec<Event> {
+        vec![
+            Event::RunStart {
+                workload: "bfs".into(),
+                scheme: "plutus".into(),
+            },
+            Event::RunEnd {
+                workload: "bfs".into(),
+                scheme: "plutus".into(),
+            },
+            Event::ValueVerified,
+            Event::ValueCacheHit { pinned: true },
+            Event::ValueCacheMiss,
+            Event::ValueCachePromotion,
+            Event::MacFetch { addr: 1 },
+            Event::MacFetchAvoided,
+            Event::MacUpdateSkipped,
+            Event::CompactOverflow { addr: 1 },
+            Event::CompactDisable { addr: 1 },
+            Event::CompactFallback,
+            Event::CounterFetch { addr: 1 },
+            Event::BmtWalk { depth: 1 },
+            Event::Violation {
+                kind: "k".into(),
+                layer: "mac".into(),
+                latency: 1,
+            },
+            Event::FaultInjected {
+                addr: 1,
+                kind: "corrupt_data".into(),
+            },
+            Event::EpochEnd { label: "e".into() },
+            Event::TransientFault {
+                addr: 1,
+                kind: "transient_data".into(),
+            },
+            Event::FillRetry {
+                addr: 1,
+                attempt: 1,
+            },
+            Event::TransientRecovered {
+                addr: 1,
+                retries: 1,
+            },
+            Event::Degraded {
+                mode: "m".into(),
+                addr: 1,
+            },
+            Event::Checkpoint { cycle: 1 },
+            Event::CrashRestore {
+                checkpoint_cycle: 1,
+            },
+            Event::CliError {
+                message: "m".into(),
+            },
+            Event::PoolProgress {
+                done: 1,
+                total: 2,
+                running: 1,
+            },
+            Event::JobSlow {
+                label: "l".into(),
+                elapsed_ms: 5,
+            },
+            Event::Anomaly {
+                series: "s".into(),
+                detector: "floor".into(),
+                value_milli: 1,
+                expected_milli: 2,
+                gating: true,
+            },
+            Event::Custom {
+                name: "n",
+                value: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn event_kinds_catalog_is_complete() {
+        let samples = one_of_each();
+        // Every sample's kind is cataloged, and the catalog holds no
+        // stale entries beyond the sampled kinds.
+        let mut kinds: Vec<&str> = samples.iter().map(Event::kind).collect();
+        kinds.dedup();
+        assert_eq!(kinds, EVENT_KINDS, "EVENT_KINDS out of sync with Event");
+    }
+
+    #[test]
+    fn new_observability_events_carry_their_payloads() {
+        let p = Event::PoolProgress {
+            done: 3,
+            total: 8,
+            running: 2,
+        };
+        assert_eq!(p.kind(), "sched_progress");
+        assert_eq!(
+            p.fields(),
+            vec![
+                ("done", FieldValue::Num(3)),
+                ("total", FieldValue::Num(8)),
+                ("running", FieldValue::Num(2)),
+            ]
+        );
+        let s = Event::JobSlow {
+            label: "bfs/plutus#2".into(),
+            elapsed_ms: 1500,
+        };
+        assert_eq!(s.kind(), "sched_slow");
+        assert_eq!(
+            s.fields(),
+            vec![
+                ("label", FieldValue::Str("bfs/plutus#2".into())),
+                ("elapsed_ms", FieldValue::Num(1500)),
+            ]
+        );
+        let a = Event::Anomaly {
+            series: "tenant.t2.ipc".into(),
+            detector: "zscore".into(),
+            value_milli: 20,
+            expected_milli: 500,
+            gating: false,
+        };
+        assert_eq!(a.kind(), "anomaly");
+        assert_eq!(a.fields().len(), 5);
     }
 }

@@ -1,0 +1,220 @@
+//! Prometheus text exposition for live scraping (`--serve-metrics`).
+//!
+//! Two layers: [`prometheus_text`] renders a registry [`Snapshot`] in
+//! the Prometheus text exposition format (version 0.0.4 — the format
+//! every scraper and `curl | grep` understands), and [`MetricsServer`]
+//! is a deliberately tiny std-only HTTP endpoint serving it: one
+//! listener thread, one request at a time, no keep-alive, no external
+//! dependencies. A soak campaign is a single process that already
+//! saturates the cores with workers; a second hyper-style server inside
+//! it would be waste. Scrapes read whatever the atomics hold at that
+//! instant — no locks are taken on the hot path.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::{HistogramSnapshot, Snapshot};
+use crate::Telemetry;
+
+/// Renders `snap` in Prometheus text exposition format. Metric names
+/// are sanitized (`.` and `-` become `_`); counters gain the
+/// conventional `_total` suffix; log-scale histograms are emitted as
+/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+/// Output order follows registration order, so it is deterministic.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n}_total counter\n{n}_total {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        push_histogram(&mut out, &n, h);
+    }
+    out
+}
+
+fn push_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for b in &h.buckets {
+        cumulative += b.count;
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{hi}\"}} {cumulative}\n",
+            hi = b.hi
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Maps a telemetry metric name onto the Prometheus name charset.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The std-only scrape endpoint: serves the current registry snapshot
+/// at every path on a single listener thread until dropped or
+/// [`MetricsServer::shutdown`].
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`; port 0 picks a free port)
+    /// and starts serving `tel`'s registry.
+    pub fn serve(tel: Telemetry, addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("plutus-metrics-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // One scrape at a time; errors just drop the socket.
+                    let _ = answer(stream, &tel);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful when serving on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads (and discards) the request head, then writes one 200 response
+/// carrying the exposition body.
+fn answer(mut stream: TcpStream, tel: &Telemetry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    // A scrape request head fits one read in practice; tolerate clients
+    // that send nothing (the shutdown self-connect does).
+    let _ = stream.read(&mut buf);
+    let body = prometheus_text(&tel.snapshot());
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_covers_all_metric_types() {
+        let tel = Telemetry::new();
+        tel.counter("traffic.mac.read_bytes").add(64);
+        tel.gauge("dram.backlog_bytes").set(128);
+        let h = tel.histogram("fill.latency_cycles");
+        h.record(3);
+        h.record(900);
+        let text = prometheus_text(&tel.snapshot());
+        assert!(text.contains("# TYPE traffic_mac_read_bytes_total counter"));
+        assert!(text.contains("traffic_mac_read_bytes_total 64"));
+        assert!(text.contains("dram_backlog_bytes 128"));
+        assert!(text.contains("fill_latency_cycles_bucket{le=\"3\"} 1"));
+        assert!(text.contains("fill_latency_cycles_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("fill_latency_cycles_sum 903"));
+        assert!(text.contains("fill_latency_cycles_count 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let tel = Telemetry::new();
+        let h = tel.histogram("lat");
+        for v in [1, 2, 2, 900] {
+            h.record(v);
+        }
+        let text = prometheus_text(&tel.snapshot());
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 3"));
+        assert!(text.contains("lat_bucket{le=\"1023\"} 4"));
+    }
+
+    #[test]
+    fn sanitize_maps_to_prometheus_charset() {
+        assert_eq!(sanitize("traffic.mac.read-bytes"), "traffic_mac_read_bytes");
+        assert_eq!(sanitize("ok_name:x9"), "ok_name:x9");
+    }
+
+    #[test]
+    fn server_serves_scrapes_and_shuts_down() {
+        let tel = Telemetry::new();
+        tel.counter("scrapes.visible").add(7);
+        let mut server = MetricsServer::serve(tel.clone(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for _ in 0..2 {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response}");
+            assert!(response.contains("scrapes_visible_total 7"));
+        }
+        // A mid-run update is visible on the next scrape.
+        tel.counter("scrapes.visible").add(1);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.contains("scrapes_visible_total 8"));
+        server.shutdown();
+        // Idempotent.
+        server.shutdown();
+    }
+}

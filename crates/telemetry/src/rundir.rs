@@ -1,0 +1,88 @@
+//! The process-wide run directory (`--run-dir`).
+//!
+//! Historically every writer scattered its artifacts: campaign reports
+//! under `target/experiments/`, metrics/ledger/trace/bench snapshots
+//! wherever the flag pointed. A run directory gathers one run's entire
+//! output — reports, stream, manifest — into a single self-describing
+//! artifact that `obs-diff` can compare against another run.
+//!
+//! This is a process-wide setting (one CLI invocation is one run), so
+//! it lives in a `static`. Writers consult [`report_dir`] instead of
+//! hardcoding `target/experiments`, and CLI output flags route relative
+//! paths through [`in_run_dir`].
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Schema tag of `manifest.json` inside a run directory.
+pub const MANIFEST_SCHEMA: &str = "plutus-manifest/v1";
+
+/// File name of the run manifest inside a run directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+static RUN_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Declares `dir` the run directory for this process, creating it if
+/// missing. Subsequent [`report_dir`] / [`in_run_dir`] calls route
+/// output there.
+pub fn set_run_dir(dir: impl AsRef<Path>) -> std::io::Result<()> {
+    let dir = dir.as_ref().to_path_buf();
+    std::fs::create_dir_all(&dir)?;
+    *RUN_DIR.lock().unwrap() = Some(dir);
+    Ok(())
+}
+
+/// Clears the run directory (tests only — one process is one run).
+pub fn clear_run_dir() {
+    *RUN_DIR.lock().unwrap() = None;
+}
+
+/// The active run directory, if one was set.
+pub fn run_dir() -> Option<PathBuf> {
+    RUN_DIR.lock().unwrap().clone()
+}
+
+/// Where report writers should put their files: the run directory when
+/// set, the traditional `target/experiments` otherwise.
+pub fn report_dir() -> PathBuf {
+    run_dir().unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+/// Routes `path` into the run directory when one is set and `path` is
+/// relative; absolute paths and no-run-dir invocations pass through
+/// unchanged (explicit destinations always win).
+pub fn in_run_dir(path: impl AsRef<Path>) -> PathBuf {
+    let path = path.as_ref();
+    match run_dir() {
+        Some(dir) if path.is_relative() => dir.join(path),
+        _ => path.to_path_buf(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole lifecycle: the static is
+    // process-wide, so independent tests would race each other.
+    #[test]
+    fn run_dir_routes_reports_and_relative_paths() {
+        let dir = std::env::temp_dir().join(format!("plutus-rundir-{}", std::process::id()));
+        clear_run_dir();
+        assert_eq!(report_dir(), PathBuf::from("target/experiments"));
+        assert_eq!(in_run_dir("metrics.json"), PathBuf::from("metrics.json"));
+
+        set_run_dir(&dir).unwrap();
+        assert!(dir.is_dir());
+        assert_eq!(run_dir(), Some(dir.clone()));
+        assert_eq!(report_dir(), dir.clone());
+        assert_eq!(in_run_dir("metrics.json"), dir.join("metrics.json"));
+        // Absolute paths are left alone.
+        let abs = std::env::temp_dir().join("explicit.json");
+        assert_eq!(in_run_dir(&abs), abs);
+
+        clear_run_dir();
+        assert_eq!(run_dir(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

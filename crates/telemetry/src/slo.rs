@@ -1,0 +1,318 @@
+//! Per-tenant SLO tracking and rolling anomaly detection.
+//!
+//! The campaigns need two different alarms:
+//!
+//! * **Z-score anomalies** — "this epoch's value is far outside the
+//!   series' own recent behavior." Each named series keeps an
+//!   exponentially weighted moving average of its mean and variance
+//!   (`mean' = αx + (1−α)mean`; `var' = α(x−mean)² + (1−α)var`, with
+//!   the residual taken against the pre-update mean) and flags
+//!   `|x − mean| / √var > z_threshold` once `warmup` samples have been
+//!   absorbed. These are advisory: they become `anomaly` events in the
+//!   stream but do not fail the run, because a short campaign may
+//!   legitimately shift regimes (warm-up → storm → rotation).
+//! * **Hard SLO floors/ceilings** — "a victim's IPC ratio fell below
+//!   the isolation contract" or "a victim saw violations at all."
+//!   These are *gating*: [`SloTracker::breached`] reports them and
+//!   `--slo-gate` turns that into a nonzero exit.
+//!
+//! Everything is plain f64 state on the caller thread; the tracker is
+//! fed from deterministic observation points (epoch closes, campaign
+//! row assembly), so its verdicts are deterministic too.
+
+use crate::events::Event;
+
+/// Tuning for [`SloTracker`].
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// EWMA smoothing factor in (0, 1]; higher tracks faster.
+    pub alpha: f64,
+    /// Z-score magnitude beyond which a sample is anomalous.
+    pub z_threshold: f64,
+    /// Samples a series must absorb before z-scores are trusted.
+    pub warmup: usize,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            alpha: 0.3,
+            z_threshold: 4.0,
+            warmup: 5,
+        }
+    }
+}
+
+/// One detected anomaly or SLO breach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Series name, e.g. `"tenant.t2.ipc"`.
+    pub series: String,
+    /// Which detector fired: `"zscore"`, `"floor"`, or `"ceiling"`.
+    pub detector: &'static str,
+    /// The observed value.
+    pub value: f64,
+    /// What the detector expected (EWMA mean, floor, or ceiling).
+    pub expected: f64,
+    /// Z-score at detection time (0 for floor/ceiling breaches).
+    pub z: f64,
+    /// Whether this finding fails `--slo-gate`.
+    pub gating: bool,
+}
+
+impl Anomaly {
+    /// The typed event form streamed to observers. Fractional values
+    /// ride as thousandths so event payloads stay integral (and
+    /// therefore deterministic to serialize).
+    pub fn to_event(&self) -> Event {
+        Event::Anomaly {
+            series: self.series.clone(),
+            detector: self.detector.to_string(),
+            value_milli: to_milli(self.value),
+            expected_milli: to_milli(self.expected),
+            gating: self.gating,
+        }
+    }
+
+    /// One-line human rendering for gate output.
+    pub fn describe(&self) -> String {
+        match self.detector {
+            "zscore" => format!(
+                "{}: value {:.3} deviates from EWMA mean {:.3} (z = {:.1})",
+                self.series, self.value, self.expected, self.z
+            ),
+            "floor" => format!(
+                "{}: value {:.3} below SLO floor {:.3}",
+                self.series, self.value, self.expected
+            ),
+            _ => format!(
+                "{}: value {:.3} above SLO ceiling {:.3}",
+                self.series, self.value, self.expected
+            ),
+        }
+    }
+}
+
+/// Saturating millisecond-style fixed-point conversion for event
+/// payloads: negative and non-finite values clamp to 0 / u64::MAX.
+fn to_milli(v: f64) -> u64 {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    let scaled = v * 1000.0;
+    if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled.round() as u64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Ewma {
+    name: String,
+    mean: f64,
+    var: f64,
+    samples: usize,
+}
+
+/// Rolling detectors over named series plus the accumulated findings.
+#[derive(Debug, Default)]
+pub struct SloTracker {
+    policy: SloPolicy,
+    series: Vec<Ewma>,
+    anomalies: Vec<Anomaly>,
+}
+
+impl SloTracker {
+    /// A tracker with `policy`.
+    pub fn new(policy: SloPolicy) -> Self {
+        SloTracker {
+            policy,
+            series: Vec::new(),
+            anomalies: Vec::new(),
+        }
+    }
+
+    /// Feeds one sample of `series` through the z-score detector.
+    /// Returns the anomaly if the sample deviates past the threshold
+    /// (advisory — never gating).
+    pub fn observe(&mut self, series: &str, value: f64) -> Option<Anomaly> {
+        if !value.is_finite() {
+            return None;
+        }
+        let policy = self.policy.clone();
+        let s = match self.series.iter_mut().find(|s| s.name == series) {
+            Some(s) => s,
+            None => {
+                self.series.push(Ewma {
+                    name: series.to_string(),
+                    mean: value,
+                    var: 0.0,
+                    samples: 0,
+                });
+                self.series.last_mut().unwrap()
+            }
+        };
+        let residual = value - s.mean;
+        let sigma = s.var.max(1e-12).sqrt();
+        let z = residual / sigma;
+        let warmed = s.samples >= policy.warmup;
+        s.mean += policy.alpha * residual;
+        s.var = policy.alpha * residual * residual + (1.0 - policy.alpha) * s.var;
+        s.samples += 1;
+        if warmed && z.abs() > policy.z_threshold {
+            let a = Anomaly {
+                series: series.to_string(),
+                detector: "zscore",
+                value,
+                expected: s.mean - policy.alpha * residual,
+                z,
+                gating: false,
+            };
+            self.anomalies.push(a.clone());
+            return Some(a);
+        }
+        None
+    }
+
+    /// Gating check: `value` must be at least `floor`.
+    pub fn check_floor(&mut self, series: &str, value: f64, floor: f64) -> Option<Anomaly> {
+        if value.is_finite() && value >= floor {
+            return None;
+        }
+        let a = Anomaly {
+            series: series.to_string(),
+            detector: "floor",
+            value,
+            expected: floor,
+            z: 0.0,
+            gating: true,
+        };
+        self.anomalies.push(a.clone());
+        Some(a)
+    }
+
+    /// Gating check: `value` must not exceed `ceiling`.
+    pub fn check_ceiling(&mut self, series: &str, value: f64, ceiling: f64) -> Option<Anomaly> {
+        if value.is_finite() && value <= ceiling {
+            return None;
+        }
+        let a = Anomaly {
+            series: series.to_string(),
+            detector: "ceiling",
+            value,
+            expected: ceiling,
+            z: 0.0,
+            gating: true,
+        };
+        self.anomalies.push(a.clone());
+        Some(a)
+    }
+
+    /// Every finding so far, in detection order.
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+
+    /// The gating findings only (the ones `--slo-gate` fails on).
+    pub fn breaches(&self) -> Vec<&Anomaly> {
+        self.anomalies.iter().filter(|a| a.gating).collect()
+    }
+
+    /// Whether any gating SLO was breached.
+    pub fn breached(&self) -> bool {
+        self.anomalies.iter().any(|a| a.gating)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_series_raises_nothing() {
+        let mut t = SloTracker::new(SloPolicy::default());
+        for _ in 0..50 {
+            assert!(t.observe("tenant.t2.ipc", 0.5).is_none());
+        }
+        assert!(t.anomalies().is_empty());
+        assert!(!t.breached());
+    }
+
+    #[test]
+    fn collapse_after_warmup_is_flagged() {
+        let mut t = SloTracker::new(SloPolicy::default());
+        // A gently noisy baseline, then a collapse to near zero.
+        for i in 0..20 {
+            let wiggle = if i % 2 == 0 { 0.01 } else { -0.01 };
+            t.observe("tenant.t2.ipc", 0.5 + wiggle);
+        }
+        let a = t.observe("tenant.t2.ipc", 0.02).expect("collapse missed");
+        assert_eq!(a.detector, "zscore");
+        assert!(!a.gating, "zscore anomalies are advisory");
+        assert!(a.z.abs() > 4.0);
+        assert!(a.describe().contains("tenant.t2.ipc"));
+    }
+
+    #[test]
+    fn no_alarm_during_warmup() {
+        let mut t = SloTracker::new(SloPolicy::default());
+        t.observe("s", 100.0);
+        // Wild swings inside the warmup window stay quiet.
+        assert!(t.observe("s", 0.0).is_none());
+        assert!(t.observe("s", 500.0).is_none());
+    }
+
+    #[test]
+    fn floors_and_ceilings_gate() {
+        let mut t = SloTracker::new(SloPolicy::default());
+        assert!(t.check_floor("tenant.t2.ipc_ratio", 0.9, 0.75).is_none());
+        let a = t
+            .check_floor("tenant.t3.ipc_ratio", 0.4, 0.75)
+            .expect("floor breach missed");
+        assert!(a.gating);
+        assert!(t.check_ceiling("tenant.t3.violations", 0.0, 0.0).is_none());
+        assert!(t.check_ceiling("tenant.t3.violations", 2.0, 0.0).is_some());
+        assert!(t.breached());
+        assert_eq!(t.breaches().len(), 2);
+        assert_eq!(t.anomalies().len(), 2);
+    }
+
+    #[test]
+    fn non_finite_values_breach_floors_but_skip_zscore() {
+        let mut t = SloTracker::new(SloPolicy::default());
+        assert!(t.observe("s", f64::NAN).is_none());
+        assert!(t.check_floor("s", f64::NAN, 0.5).is_some());
+    }
+
+    #[test]
+    fn anomaly_events_are_integral() {
+        let a = Anomaly {
+            series: "tenant.t2.ipc".into(),
+            detector: "floor",
+            value: 0.25,
+            expected: 0.75,
+            z: 0.0,
+            gating: true,
+        };
+        match a.to_event() {
+            Event::Anomaly {
+                series,
+                detector,
+                value_milli,
+                expected_milli,
+                gating,
+            } => {
+                assert_eq!(series, "tenant.t2.ipc");
+                assert_eq!(detector, "floor");
+                assert_eq!(value_milli, 250);
+                assert_eq!(expected_milli, 750);
+                assert!(gating);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+        assert_eq!(to_milli(f64::NAN), 0);
+        assert_eq!(to_milli(-3.0), 0);
+        assert_eq!(to_milli(f64::INFINITY), u64::MAX);
+    }
+}

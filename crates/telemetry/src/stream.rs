@@ -1,0 +1,249 @@
+//! The live NDJSON epoch stream (`plutus-stream/v1`).
+//!
+//! Batch exporters ([`crate::Report`]) only exist after a run ends; the
+//! stream sink flushes each closed epoch as one JSON line the moment
+//! [`crate::Telemetry::end_epoch`] closes it, so an hour-two IPC
+//! collapse in a soak run is visible while the run is still going.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never block the simulation loop.** Emission uses `try_lock` on
+//!    the sink and counts a dropped line on contention or I/O error
+//!    instead of waiting — the same drop-counting backpressure the
+//!    bounded [`crate::EventLog`] uses.
+//! 2. **Deterministic bytes.** A stream produced under `--jobs 4` must
+//!    be byte-identical to one produced under `--jobs 1` (the repo's
+//!    pinned determinism property). Two rules follow: counters whose
+//!    value depends on worker count (work-stealing internals) are
+//!    excluded from the per-epoch deltas, and wall-clock timestamps are
+//!    omitted entirely — epoch `start`/`end` and event `t` fields only
+//!    appear when the telemetry clock counts simulated cycles.
+//!
+//! Stream grammar: the first line is a header object carrying the
+//! schema tag; every following line is one closed epoch with its
+//! nonzero counter deltas and the typed events recorded since the
+//! previous line.
+
+use std::io::Write;
+
+use crate::events::TimedEvent;
+use crate::export::EpochSnapshot;
+use crate::json::Json;
+
+/// Schema tag written in the stream header line.
+pub const STREAM_SCHEMA: &str = "plutus-stream/v1";
+
+/// Counters excluded from stream deltas because their values depend on
+/// how many workers the pool ran with (stealing and batching are
+/// scheduling accidents, not simulation facts). Keeping them out is
+/// what makes the stream byte-identical across `--jobs N`.
+pub const STREAM_NONDETERMINISTIC: &[&str] = &["sched.steals", "sched.injector_batches"];
+
+/// One open stream: a writer plus the cursor of events already emitted.
+pub struct StreamSink {
+    out: Box<dyn Write + Send>,
+    /// Events already emitted on earlier lines (the event log keeps its
+    /// head when full, so earlier indexes stay stable).
+    events_seen: usize,
+    lines: u64,
+    /// Whether epoch and event timestamps are deterministic (cycle
+    /// clock) and therefore allowed into the stream.
+    with_times: bool,
+}
+
+impl std::fmt::Debug for StreamSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSink")
+            .field("events_seen", &self.events_seen)
+            .field("lines", &self.lines)
+            .field("with_times", &self.with_times)
+            .finish()
+    }
+}
+
+impl StreamSink {
+    /// Wraps `out` and writes the `plutus-stream/v1` header line.
+    /// `time_unit` decides whether timestamps are streamed (only
+    /// `"cycles"` is deterministic).
+    pub fn new(mut out: Box<dyn Write + Send>, time_unit: &str) -> std::io::Result<StreamSink> {
+        let with_times = time_unit == "cycles";
+        let header = Json::object()
+            .set("schema", STREAM_SCHEMA)
+            .set("time_unit", time_unit)
+            .set("times", with_times);
+        writeln!(out, "{}", header.to_string_compact())?;
+        out.flush()?;
+        Ok(StreamSink {
+            out,
+            events_seen: 0,
+            lines: 1,
+            with_times,
+        })
+    }
+
+    /// Lines written so far (header included).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Serializes and flushes one epoch line. `events` is the full event
+    /// log; the sink's cursor picks out the suffix not yet streamed.
+    pub fn emit(
+        &mut self,
+        epoch: &EpochSnapshot,
+        events: &[TimedEvent],
+        dropped_so_far: u64,
+    ) -> std::io::Result<()> {
+        let first = self.events_seen.min(events.len());
+        let fresh = &events[first..];
+        self.events_seen = events.len();
+        let line = stream_line(epoch, fresh, dropped_so_far, self.with_times);
+        writeln!(self.out, "{}", line.to_string_compact())?;
+        self.out.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered output (called on close).
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Renders one epoch line: index, label, optional deterministic
+/// timestamps, nonzero deterministic counter deltas, fresh events, and
+/// the cumulative count of lines dropped by backpressure.
+pub fn stream_line(
+    epoch: &EpochSnapshot,
+    events: &[TimedEvent],
+    dropped_so_far: u64,
+    with_times: bool,
+) -> Json {
+    let deltas = epoch
+        .counter_deltas
+        .iter()
+        .filter(|(n, v)| *v != 0 && !STREAM_NONDETERMINISTIC.contains(&n.as_str()))
+        .fold(Json::object(), |o, (n, v)| o.set(n, *v));
+    let events: Vec<Json> = events
+        .iter()
+        .map(|te| {
+            let base = if with_times {
+                Json::object().set("t", te.time)
+            } else {
+                Json::object()
+            };
+            te.event
+                .fields()
+                .into_iter()
+                .fold(base.set("kind", te.event.kind()), |o, (k, v)| o.set(k, v))
+        })
+        .collect();
+    let mut line = Json::object()
+        .set("epoch", epoch.index)
+        .set("label", epoch.label.as_str());
+    if with_times {
+        line = line
+            .set("start", epoch.start_time)
+            .set("end", epoch.end_time);
+    }
+    line.set("deltas", deltas)
+        .set("events", events)
+        .set("stream_dropped", dropped_so_far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Event;
+
+    fn epoch() -> EpochSnapshot {
+        EpochSnapshot {
+            index: 2,
+            label: "cycle-400".into(),
+            start_time: 200,
+            end_time: 400,
+            counter_deltas: vec![
+                ("traffic.data.read_bytes".into(), 4096),
+                ("sched.steals".into(), 7),
+                ("zeros".into(), 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn line_filters_zero_and_nondeterministic_deltas() {
+        let line = stream_line(&epoch(), &[], 0, true);
+        let deltas = line.get("deltas").unwrap();
+        assert_eq!(
+            deltas.get("traffic.data.read_bytes").and_then(Json::as_u64),
+            Some(4096)
+        );
+        assert!(deltas.get("sched.steals").is_none());
+        assert!(deltas.get("zeros").is_none());
+        assert_eq!(line.get("start").and_then(Json::as_u64), Some(200));
+    }
+
+    #[test]
+    fn wall_clock_lines_omit_times() {
+        let ev = TimedEvent {
+            time: 123,
+            event: Event::ValueCacheMiss,
+        };
+        let line = stream_line(&epoch(), &[ev], 3, false);
+        assert!(line.get("start").is_none());
+        assert!(line.get("end").is_none());
+        let events = line.get("events").and_then(Json::as_array).unwrap();
+        assert!(events[0].get("t").is_none());
+        assert_eq!(
+            events[0].get("kind").and_then(Json::as_str),
+            Some("value_cache_miss")
+        );
+        assert_eq!(line.get("stream_dropped").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn sink_writes_header_then_epochs_and_tracks_cursor() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(buf));
+        struct Tee(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for Tee {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = StreamSink::new(Box::new(Tee(shared.clone())), "cycles").unwrap();
+        let evs = vec![
+            TimedEvent {
+                time: 1,
+                event: Event::ValueCacheMiss,
+            },
+            TimedEvent {
+                time: 2,
+                event: Event::ValueVerified,
+            },
+        ];
+        sink.emit(&epoch(), &evs[..1], 0).unwrap();
+        sink.emit(&epoch(), &evs, 0).unwrap();
+        assert_eq!(sink.lines(), 3);
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(Json::as_str),
+            Some(STREAM_SCHEMA)
+        );
+        // Second line already consumed event 0; third carries only event 1.
+        let third = Json::parse(lines[2]).unwrap();
+        let evs = third.get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(
+            evs[0].get("kind").and_then(Json::as_str),
+            Some("value_verified")
+        );
+    }
+}

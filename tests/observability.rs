@@ -1,0 +1,206 @@
+//! The live observability plane, end to end: epoch-stream delta
+//! conservation under concurrent counter updates, byte-identity of the
+//! stream across worker counts, run-directory report routing, and the
+//! METRICS.md reference staying in sync with the registry and the
+//! typed-event catalog.
+
+use plutus_exec::{Executor, Job};
+use plutus_telemetry::{CycleClock, Json, Telemetry, EVENT_KINDS, STREAM_NONDETERMINISTIC};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A `Write + Send` sink the test can read back after the stream closes.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(b);
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs three rounds of pool jobs that hammer shared counters from
+/// `workers` threads, closing one epoch per round, and returns the
+/// streamed bytes plus the final counter totals.
+///
+/// Counters are registered on this thread before the pool runs — the
+/// same discipline the product code follows (simulators register in
+/// sorted order, the executor registers at construction), because
+/// registration order is serialization order.
+fn streamed_run(workers: usize) -> (String, Vec<(String, u64)>) {
+    let tel = Telemetry::with_clock(Arc::new(CycleClock::new()));
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    tel.stream_to(Box::new(buf.clone())).unwrap();
+    tel.counter("obs.work_units");
+    tel.counter("obs.items");
+    let exec = Executor::with_telemetry(Some(workers), tel.clone());
+    for round in 1..=3u64 {
+        let jobs: Vec<Job<()>> = (0..8u64)
+            .map(|j| {
+                let tel = tel.clone();
+                Job::new(format!("r{round}-j{j}"), move || {
+                    tel.counter("obs.work_units").add(round * (j + 1));
+                    tel.counter("obs.items").add(j % 3);
+                })
+            })
+            .collect();
+        for r in exec.run(jobs) {
+            r.expect("observability job panicked");
+        }
+        tel.advance_clock(round * 100);
+        tel.end_epoch(&format!("round-{round}"));
+    }
+    let lines = tel.close_stream().expect("stream was open");
+    assert_eq!(lines, 4, "header + one line per closed epoch");
+    assert_eq!(tel.stream_dropped(), 0);
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    (text, tel.snapshot().counters)
+}
+
+#[test]
+fn streamed_epoch_deltas_conserve_and_match_across_worker_counts() {
+    let (serial, totals_serial) = streamed_run(1);
+    let (wide, totals_wide) = streamed_run(4);
+    // Byte-identity: the stream is part of the repo's determinism
+    // contract, so `--jobs 1` and `--jobs 4` must produce the same
+    // bytes (worker-count-dependent counters are excluded by design).
+    assert_eq!(serial, wide, "stream bytes differ across worker counts");
+
+    let lines: Vec<&str> = serial.lines().collect();
+    let header = Json::parse(lines[0]).unwrap();
+    assert_eq!(
+        header.get("schema").and_then(Json::as_str),
+        Some("plutus-stream/v1")
+    );
+    assert!(matches!(header.get("times"), Some(Json::Bool(true))));
+
+    // Conservation: summing every epoch's deltas per counter must
+    // reproduce the final cumulative totals exactly — nothing lost,
+    // nothing double-counted, even though the adds raced across
+    // worker threads while rounds were in flight.
+    let mut summed: BTreeMap<String, u64> = BTreeMap::new();
+    for line in &lines[1..] {
+        let doc = Json::parse(line).unwrap();
+        let Some(Json::Object(deltas)) = doc.get("deltas") else {
+            panic!("epoch line without deltas: {line}");
+        };
+        for (name, v) in deltas {
+            *summed.entry(name.clone()).or_insert(0) += v.as_u64().unwrap();
+        }
+        assert!(
+            doc.get("start").and_then(Json::as_u64).is_some(),
+            "cycle-clock streams carry epoch times"
+        );
+    }
+    for (name, total) in totals_serial {
+        if STREAM_NONDETERMINISTIC.contains(&name.as_str()) {
+            assert!(
+                !summed.contains_key(&name),
+                "nondeterministic counter {name} leaked into the stream"
+            );
+            continue;
+        }
+        assert_eq!(
+            summed.get(&name).copied().unwrap_or(0),
+            total,
+            "streamed deltas of {name} do not sum to the final total"
+        );
+    }
+    // The raced counters really did race: totals agree across pools.
+    let get =
+        |ts: &[(String, u64)], n: &str| ts.iter().find(|(k, _)| k == n).map(|(_, v)| *v).unwrap();
+    assert_eq!(
+        get(&totals_wide, "obs.work_units"),
+        (1 + 2 + 3) * (1..=8).sum::<u64>()
+    );
+    // j % 3 over j = 0..8 sums to 7, times three rounds.
+    assert_eq!(get(&totals_wide, "obs.items"), 3 * 7);
+}
+
+#[test]
+fn run_dir_routes_reports_into_one_directory() {
+    let dir = std::env::temp_dir().join(format!("plutus-obs-rundir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    plutus_telemetry::set_run_dir(&dir).unwrap();
+    let path = plutus_bench::save_json("obs-routing", &[]).unwrap();
+    plutus_telemetry::clear_run_dir();
+    assert_eq!(path, dir.join("obs-routing.json"));
+    assert!(path.is_file(), "report not written into the run dir");
+    // With the run dir cleared, writers fall back to the historical
+    // default location.
+    assert_eq!(
+        plutus_telemetry::report_dir(),
+        std::path::PathBuf::from("target/experiments")
+    );
+}
+
+#[test]
+fn metrics_doc_covers_registry_and_event_catalog() {
+    let doc = include_str!("../METRICS.md");
+    // Populate a registry the way real runs do: an executor plus a
+    // small instrumented matrix run.
+    let tel = Telemetry::with_clock(Arc::new(CycleClock::new()));
+    let exec = Executor::with_telemetry(Some(2), tel.clone());
+    let done: Vec<_> = exec.run(vec![Job::new("noop", || ())]);
+    assert_eq!(done.len(), 1);
+    let workloads: Vec<_> = workloads::suite().into_iter().take(1).collect();
+    let cfg = gpu_sim::GpuConfig::test_small();
+    plutus_bench::run_matrix_with_telemetry(
+        &workloads,
+        &[plutus_bench::Scheme::Pssm, plutus_bench::Scheme::Plutus],
+        workloads::Scale::Test,
+        &cfg,
+        &tel,
+        Some(500),
+    );
+    let snap = tel.snapshot();
+    let names: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n.clone())
+        .chain(snap.gauges.iter().map(|(n, _)| n.clone()))
+        .chain(snap.histograms.iter().map(|(n, _)| n.clone()))
+        .collect();
+    let mut missing = Vec::new();
+    for name in names {
+        // Parameterized families are documented as patterns, not one
+        // row per instance: `tenant.t<id>.*` and `span.<name>.ns`.
+        let doc_name = normalize(&name);
+        if !doc.contains(&format!("`{doc_name}`")) {
+            missing.push(doc_name);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "metrics registered but not documented in METRICS.md: {missing:?}"
+    );
+    let undocumented: Vec<&&str> = EVENT_KINDS
+        .iter()
+        .filter(|k| !doc.contains(&format!("`{k}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "event kinds missing from METRICS.md: {undocumented:?}"
+    );
+}
+
+/// `tenant.t7.instructions` -> `tenant.t<id>.instructions`;
+/// `span.engine.fill.ns` -> `span.<name>.ns`.
+fn normalize(name: &str) -> String {
+    if name.starts_with("span.") && name.ends_with(".ns") {
+        return "span.<name>.ns".to_string();
+    }
+    if let Some(rest) = name.strip_prefix("tenant.t") {
+        if let Some(dot) = rest.find('.') {
+            if rest[..dot].chars().all(|c| c.is_ascii_digit()) {
+                return format!("tenant.t<id>{}", &rest[dot..]);
+            }
+        }
+    }
+    name.to_string()
+}
